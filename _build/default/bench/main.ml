@@ -1,0 +1,164 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 7), the ablations, and Bechamel micro-benchmarks of
+   the engine's hot paths.
+
+     dune exec bench/main.exe            — everything (quick settings)
+     dune exec bench/main.exe -- table1  — one artifact
+     dune exec bench/main.exe -- full    — paper-scale trial counts
+
+   Artifacts: table1, fig8, fig9, table2, ablation-truncation,
+   ablation-opt, ablation-modes, ablation-startup, micro. *)
+
+module Harness = Rvm_harness
+
+let run_table1_family ~trials ~measure =
+  let data = Harness.Table1.run ~trials ~measure () in
+  Harness.Table1.print_table1 data;
+  Harness.Table1.print_figure8 data;
+  Harness.Table1.print_figure9 data
+
+let run_table2 () = Harness.Table2.print (Harness.Table2.run ())
+
+(* --- Bechamel micro-benchmarks: real time on the host, one test per hot
+   path. These measure the implementation itself, not the simulated 1993
+   hardware. --- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let mk_world () =
+    let log_dev = Rvm_disk.Mem_device.create ~size:(8 * 1024 * 1024) () in
+    Rvm_core.Rvm.create_log log_dev;
+    let seg_dev = Rvm_disk.Mem_device.create ~size:(4 * 1024 * 1024) () in
+    let rvm =
+      Rvm_core.Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) ()
+    in
+    let base = 16 * 4096 in
+    ignore
+      (Rvm_core.Rvm.map rvm ~vaddr:base ~seg:1 ~seg_off:0 ~len:(1024 * 1024) ());
+    (rvm, base)
+  in
+  let rvm, base = mk_world () in
+  let counter = ref 0 in
+  let test_commit =
+    Test.make ~name:"txn-commit-flush"
+      (Staged.stage (fun () ->
+           incr counter;
+           let tid =
+             Rvm_core.Rvm.begin_transaction rvm ~mode:Rvm_core.Types.Restore
+           in
+           let addr = base + (!counter mod 2000 * 400) in
+           Rvm_core.Rvm.set_range rvm tid ~addr ~len:256;
+           Rvm_core.Rvm.store rvm ~addr (Bytes.make 256 'x');
+           Rvm_core.Rvm.end_transaction rvm tid ~mode:Rvm_core.Types.Flush))
+  in
+  let rvm2, base2 = mk_world () in
+  let counter2 = ref 0 in
+  let test_noflush =
+    Test.make ~name:"txn-commit-noflush"
+      (Staged.stage (fun () ->
+           incr counter2;
+           let tid =
+             Rvm_core.Rvm.begin_transaction rvm2 ~mode:Rvm_core.Types.No_restore
+           in
+           let addr = base2 + (!counter2 mod 2000 * 400) in
+           Rvm_core.Rvm.set_range rvm2 tid ~addr ~len:256;
+           Rvm_core.Rvm.store rvm2 ~addr (Bytes.make 256 'x');
+           Rvm_core.Rvm.end_transaction rvm2 tid ~mode:Rvm_core.Types.No_flush;
+           if !counter2 mod 64 = 0 then Rvm_core.Rvm.flush rvm2))
+  in
+  let rvm3, base3 = mk_world () in
+  let tid3 = Rvm_core.Rvm.begin_transaction rvm3 ~mode:Rvm_core.Types.Restore in
+  let counter3 = ref 0 in
+  let test_set_range =
+    Test.make ~name:"set-range-256B"
+      (Staged.stage (fun () ->
+           incr counter3;
+           Rvm_core.Rvm.set_range rvm3 tid3
+             ~addr:(base3 + (!counter3 mod 3000 * 300))
+             ~len:256))
+  in
+  let enc_record =
+    Rvm_log.Record.commit ~seqno:9 ~tid:7
+      [ { Rvm_log.Record.seg = 1; off = 4096; data = Bytes.make 256 'r' } ]
+  in
+  let test_encode =
+    Test.make ~name:"record-encode-256B"
+      (Staged.stage (fun () -> ignore (Rvm_log.Record.encode enc_record)))
+  in
+  let encoded = Rvm_log.Record.encode enc_record in
+  let test_decode =
+    Test.make ~name:"record-decode-256B"
+      (Staged.stage (fun () -> ignore (Rvm_log.Record.decode encoded ~pos:0)))
+  in
+  let iv = ref Rvm_util.Intervals.empty in
+  let counter4 = ref 0 in
+  let test_intervals =
+    Test.make ~name:"intervals-add"
+      (Staged.stage (fun () ->
+           incr counter4;
+           if !counter4 mod 4096 = 0 then iv := Rvm_util.Intervals.empty;
+           iv := Rvm_util.Intervals.add !iv ~lo:(!counter4 * 7 mod 100_000) ~len:64))
+  in
+  let tests =
+    Test.make_grouped ~name:"rvm" ~fmt:"%s %s"
+      [
+        test_commit; test_noflush; test_set_range; test_encode; test_decode;
+        test_intervals;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  print_endline "\n== Micro-benchmarks (host time per operation) ==";
+  Hashtbl.iter
+    (fun _ per_instance ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-28s %10.1f ns/op\n" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+        per_instance)
+    results;
+  flush stdout
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "table1" | "fig8" | "fig9" -> run_table1_family ~trials:3 ~measure:3000
+  | "table2" -> run_table2 ()
+  | "ablation-truncation" -> Harness.Ablation.truncation_modes ()
+  | "ablation-opt" -> Harness.Ablation.optimizations ()
+  | "ablation-modes" -> Harness.Ablation.commit_modes ()
+  | "ablation-startup" -> Harness.Ablation.startup_latency ()
+  | "micro" -> micro ()
+  | "full" ->
+    run_table1_family ~trials:5 ~measure:8000;
+    run_table2 ();
+    Harness.Ablation.truncation_modes ();
+    Harness.Ablation.optimizations ();
+    Harness.Ablation.commit_modes ();
+    Harness.Ablation.startup_latency ();
+    micro ()
+  | "all" ->
+    run_table1_family ~trials:2 ~measure:2500;
+    run_table2 ();
+    Harness.Ablation.truncation_modes ();
+    Harness.Ablation.optimizations ();
+    Harness.Ablation.commit_modes ();
+    Harness.Ablation.startup_latency ();
+    micro ()
+  | other ->
+    Printf.eprintf
+      "unknown artifact %S (try: all, full, table1, fig8, fig9, table2, \
+       ablation-truncation, ablation-opt, ablation-modes, ablation-startup, \
+       micro)\n"
+      other;
+    exit 2

@@ -1,0 +1,255 @@
+(* rvmutl — RVM log utility.
+
+   Mirrors the administrative companion of the original RVM release plus
+   the post-mortem debugging workflow of section 6: "All we had to do was
+   to save a copy of the log before truncation, and to build a post-mortem
+   tool to search and display the history of modifications recorded by the
+   log."
+
+     rvmutl create-log  LOG --size BYTES
+     rvmutl create-seg  SEG --size BYTES
+     rvmutl status      LOG
+     rvmutl dump        LOG [--data]
+     rvmutl history     LOG --seg ID --off OFF [--len LEN]
+     rvmutl recover     LOG --map ID=PATH [--map ID=PATH ...]
+*)
+
+module Device = Rvm_disk.Device
+module File_device = Rvm_disk.File_device
+module Log_manager = Rvm_log.Log_manager
+module Record = Rvm_log.Record
+module Status = Rvm_log.Status
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+
+open Cmdliner
+
+let open_log path =
+  let dev = File_device.open_existing ~path in
+  match Log_manager.open_log dev with
+  | Ok lm -> lm
+  | Error e ->
+    Printf.eprintf "rvmutl: %s: %s\n" path e;
+    exit 1
+
+(* --- create-log --- *)
+
+let create_log path size =
+  let dev = File_device.create ~truncate:true ~path ~size () in
+  Log_manager.format dev;
+  dev.Device.close ();
+  Printf.printf "formatted %s as a %d-byte RVM log\n" path size
+
+(* --- create-seg --- *)
+
+let create_seg path size =
+  let dev = File_device.create ~truncate:true ~path ~size () in
+  dev.Device.sync ();
+  dev.Device.close ();
+  Printf.printf "created %d-byte external data segment %s\n" size path
+
+(* --- status --- *)
+
+let status path =
+  let lm = open_log path in
+  let st = Log_manager.status lm in
+  Printf.printf "log:          %s\n" path;
+  Printf.printf "size:         %d bytes (%d usable)\n" st.Status.log_size
+    (Log_manager.capacity lm);
+  Printf.printf "head:         offset %d, seqno %d\n" st.Status.head
+    st.Status.head_seqno;
+  Printf.printf "tail:         offset %d, next seqno %d\n" (Log_manager.tail lm)
+    (Log_manager.next_seqno lm);
+  Printf.printf "live:         %d records, %d bytes (%.1f%% full)\n"
+    (Log_manager.record_count lm)
+    (Log_manager.used_bytes lm)
+    (100.
+    *. float_of_int (Log_manager.used_bytes lm)
+    /. float_of_int (Log_manager.capacity lm));
+  Printf.printf "truncations:  %d\n" st.Status.truncations
+
+(* --- dump --- *)
+
+let pp_record ~data ~off (r : Record.t) =
+  match r.Record.kind with
+  | Record.Wrap ->
+    Printf.printf "%8d  seq %-6d WRAP (pad %d)\n" off r.Record.seqno r.Record.pad
+  | Record.Commit ->
+    Printf.printf "%8d  seq %-6d tid %-6d t=%dus flags=%#x ranges=%d (%d bytes)\n"
+      off r.Record.seqno r.Record.tid r.Record.timestamp_us r.Record.flags
+      (List.length r.Record.ranges)
+      (Record.data_bytes r);
+    List.iter
+      (fun (rg : Record.range) ->
+        Printf.printf "          seg %d [%d, %d)" rg.Record.seg rg.Record.off
+          (rg.Record.off + Bytes.length rg.Record.data);
+        if data then begin
+          print_string "  ";
+          let n = min 32 (Bytes.length rg.Record.data) in
+          for i = 0 to n - 1 do
+            Printf.printf "%02x" (Char.code (Bytes.get rg.Record.data i))
+          done;
+          if Bytes.length rg.Record.data > n then print_string "..."
+        end;
+        print_newline ())
+      r.Record.ranges
+
+let dump path data =
+  let lm = open_log path in
+  Log_manager.iter_live lm ~f:(fun ~off r -> pp_record ~data ~off r);
+  Printf.printf "%d live records\n" (Log_manager.record_count lm)
+
+(* --- history: the post-mortem debugger --- *)
+
+let history path seg off len =
+  let lm = open_log path in
+  let lo = off and hi = off + len in
+  let hits = ref 0 in
+  Log_manager.iter_live lm ~f:(fun ~off:rec_off r ->
+      if r.Record.kind = Record.Commit then
+        List.iter
+          (fun (rg : Record.range) ->
+            let rlo = rg.Record.off in
+            let rhi = rlo + Bytes.length rg.Record.data in
+            if rg.Record.seg = seg && rlo < hi && lo < rhi then begin
+              incr hits;
+              let slo = max lo rlo and shi = min hi rhi in
+              Printf.printf
+                "seq %-6d tid %-6d t=%dus @ log offset %d wrote [%d, %d): "
+                r.Record.seqno r.Record.tid r.Record.timestamp_us rec_off slo
+                shi;
+              for i = slo to min (shi - 1) (slo + 31) do
+                Printf.printf "%02x"
+                  (Char.code (Bytes.get rg.Record.data (i - rlo)))
+              done;
+              if shi - slo > 32 then print_string "...";
+              print_newline ()
+            end)
+          r.Record.ranges);
+  Printf.printf
+    "%d modification(s) of segment %d range [%d, %d) in the live log\n" !hits
+    seg lo hi
+
+(* --- recover --- *)
+
+let parse_map s =
+  match String.index_opt s '=' with
+  | Some i ->
+    let id = int_of_string (String.sub s 0 i) in
+    let path = String.sub s (i + 1) (String.length s - i - 1) in
+    (id, path)
+  | None -> failwith (Printf.sprintf "bad --map %S (expected ID=PATH)" s)
+
+let recover path maps =
+  let lm = open_log path in
+  let table = Hashtbl.create 4 in
+  let resolve id =
+    match Hashtbl.find_opt table id with
+    | Some seg -> seg
+    | None -> (
+      match List.assoc_opt id maps with
+      | Some seg_path ->
+        let seg =
+          Rvm_core.Segment.create ~id (File_device.open_existing ~path:seg_path)
+        in
+        Hashtbl.replace table id seg;
+        seg
+      | None ->
+        Printf.eprintf "rvmutl: no --map for segment %d\n" id;
+        exit 1)
+  in
+  let outcome =
+    Rvm_core.Recovery.recover ~resolve ~clock:Clock.null
+      ~model:Cost_model.dec5000 lm
+  in
+  Printf.printf "recovered: %d records, %d bytes applied to %d segment(s)\n"
+    outcome.Rvm_core.Recovery.records_seen
+    outcome.Rvm_core.Recovery.bytes_applied
+    (List.length outcome.Rvm_core.Recovery.segments_touched)
+
+(* --- command line --- *)
+
+let log_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG" ~doc:"Log file.")
+
+let size_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "size" ] ~docv:"BYTES" ~doc:"Size in bytes.")
+
+let create_log_cmd =
+  Cmd.v
+    (Cmd.info "create-log" ~doc:"Format a file as an empty RVM log.")
+    Term.(const create_log $ log_arg $ size_arg)
+
+let create_seg_cmd =
+  Cmd.v
+    (Cmd.info "create-seg" ~doc:"Create a zeroed external data segment file.")
+    Term.(const create_seg $ log_arg $ size_arg)
+
+let status_cmd =
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show the log status block and live statistics.")
+    Term.(const status $ log_arg)
+
+let dump_cmd =
+  let data =
+    Arg.(value & flag & info [ "data" ] ~doc:"Show range payloads (hex).")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"List every live record in the log.")
+    Term.(const dump $ log_arg $ data)
+
+let history_cmd =
+  let seg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "seg" ] ~docv:"ID" ~doc:"Segment identifier.")
+  in
+  let off =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "off" ] ~docv:"OFF" ~doc:"Byte offset within the segment.")
+  in
+  let len =
+    Arg.(value & opt int 1 & info [ "len" ] ~docv:"LEN" ~doc:"Range length.")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "Post-mortem debugging (paper section 6): show the history of \
+          modifications to an address range recorded in the live log.")
+    Term.(const history $ log_arg $ seg $ off $ len)
+
+let recover_cmd =
+  let maps =
+    Arg.(
+      value
+      & opt_all
+          (conv
+             ( (fun s ->
+                 try Ok (parse_map s) with Failure m -> Error (`Msg m)),
+               fun ppf (id, p) -> Format.fprintf ppf "%d=%s" id p ))
+          []
+      & info [ "map" ] ~docv:"ID=PATH" ~doc:"Segment id to file mapping.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Apply the log to its external data segments and empty it.")
+    Term.(const recover $ log_arg $ maps)
+
+let () =
+  let info =
+    Cmd.info "rvmutl" ~version:"1.0"
+      ~doc:"RVM log utility: create, inspect, recover, post-mortem."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            create_log_cmd; create_seg_cmd; status_cmd; dump_cmd; history_cmd;
+            recover_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/address_book.ml: Bytes Filename Hashtbl Int64 Printf Region Rvm Rvm_alloc Rvm_core Rvm_disk Rvm_seg String Sys Types Unix

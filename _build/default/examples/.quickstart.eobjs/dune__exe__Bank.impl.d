@@ -1,0 +1,1 @@
+examples/bank.ml: Int64 Printf Region Rvm Rvm_core Rvm_disk Rvm_util Types

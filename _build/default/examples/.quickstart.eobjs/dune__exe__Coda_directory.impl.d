@@ -1,0 +1,1 @@
+examples/coda_directory.ml: Bytes Int64 List Option Printf Region Rvm Rvm_core Rvm_disk Rvm_log Statistics String Types

@@ -1,0 +1,1 @@
+examples/coda_directory.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Filename Printf Region Rvm Rvm_core Rvm_disk Sys Types Unix

@@ -1,0 +1,1 @@
+examples/two_phase.ml: Bytes Int64 List Printf Region Rvm Rvm_core Rvm_disk Rvm_layers Types

@@ -1,0 +1,123 @@
+(* A persistent address book built from the layered packages: the segment
+   loader maps the heap segment at the same base address every run, so the
+   records form an ordinary linked list with absolute pointers inside
+   recoverable memory, allocated by the rds heap.
+
+     dune exec examples/address_book.exe
+*)
+
+open Rvm_core
+module File_device = Rvm_disk.File_device
+module Loader = Rvm_seg.Loader
+module Rds = Rvm_alloc.Rds
+
+let ps = 4096
+let heap_seg = 2
+let heap_len = 16 * ps
+
+(* Record layout inside recoverable memory:
+   [next ptr: 8][name: 32][phone: 16] = 56 bytes. *)
+let record_size = 56
+
+let write_record rvm tid ~addr ~next ~name ~phone =
+  Rvm.set_range rvm tid ~addr ~len:record_size;
+  Rvm.set_i64 rvm ~addr (Int64.of_int next);
+  let pad s n =
+    let b = Bytes.make n '\000' in
+    Bytes.blit_string s 0 b 0 (min n (String.length s));
+    b
+  in
+  Rvm.store rvm ~addr:(addr + 8) (pad name 32);
+  Rvm.store rvm ~addr:(addr + 40) (pad phone 16)
+
+let read_cstr rvm ~addr ~len =
+  let b = Rvm.load rvm ~addr ~len in
+  match Bytes.index_opt b '\000' with
+  | Some i -> Bytes.sub_string b 0 i
+  | None -> Bytes.to_string b
+
+(* The list head pointer lives at a fixed slot: the first word after the
+   heap (we reserve the last 8 bytes of the region for it). *)
+let head_slot heap_base = heap_base + heap_len - 8
+
+let add_entry rvm heap ~heap_base ~name ~phone =
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let addr = Rds.alloc heap tid ~size:record_size in
+  let old_head = Int64.to_int (Rvm.get_i64 rvm ~addr:(head_slot heap_base)) in
+  write_record rvm tid ~addr ~next:old_head ~name ~phone;
+  Rvm.set_range rvm tid ~addr:(head_slot heap_base) ~len:8;
+  Rvm.set_i64 rvm ~addr:(head_slot heap_base) (Int64.of_int addr);
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  addr
+
+let iter_entries rvm ~heap_base ~f =
+  let rec go ptr =
+    if ptr <> 0 then begin
+      f ~addr:ptr
+        ~name:(read_cstr rvm ~addr:(ptr + 8) ~len:32)
+        ~phone:(read_cstr rvm ~addr:(ptr + 40) ~len:16);
+      go (Int64.to_int (Rvm.get_i64 rvm ~addr:ptr))
+    end
+  in
+  go (Int64.to_int (Rvm.get_i64 rvm ~addr:(head_slot heap_base)))
+
+let () =
+  let dir = Filename.temp_file "rvm_addrbook" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let log_path = Filename.concat dir "log" in
+  let map_path = Filename.concat dir "loadmap.seg" in
+  let heap_path = Filename.concat dir "heap.seg" in
+  let log_dev = File_device.create ~path:log_path ~size:(512 * 1024) () in
+  Rvm.create_log log_dev;
+  let devices = Hashtbl.create 2 in
+  Hashtbl.replace devices 1 (File_device.create ~path:map_path ~size:(64 * 1024) ());
+  Hashtbl.replace devices heap_seg
+    (File_device.create ~path:heap_path ~size:(heap_len + ps) ());
+  let resolve id = Hashtbl.find devices id in
+
+  (* First run: initialize the heap and add some entries. *)
+  let rvm = Rvm.initialize ~log:log_dev ~resolve () in
+  let loader = Loader.attach rvm ~map_seg:1 in
+  let region = Loader.load loader ~seg:heap_seg ~seg_off:0 ~len:heap_len in
+  let heap_base = region.Region.vaddr in
+  Printf.printf "heap mapped at %#x (stable across runs)\n" heap_base;
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let heap = Rds.init rvm tid ~base:heap_base ~len:(heap_len - 8) in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  ignore (add_entry rvm heap ~heap_base ~name:"Satya" ~phone:"x1-412");
+  ignore (add_entry rvm heap ~heap_base ~name:"Mashburn" ~phone:"x2-415");
+  let kumar = add_entry rvm heap ~heap_base ~name:"Kumar" ~phone:"x3-911" in
+  print_endline "after three inserts:";
+  iter_entries rvm ~heap_base ~f:(fun ~addr ~name ~phone ->
+      Printf.printf "  %#x  %-10s %s\n" addr name phone);
+
+  (* Delete one entry transactionally (unlink + free in one txn). *)
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let next_of_kumar = Rvm.get_i64 rvm ~addr:kumar in
+  Rvm.set_range rvm tid ~addr:(head_slot heap_base) ~len:8;
+  Rvm.set_i64 rvm ~addr:(head_slot heap_base) next_of_kumar;
+  Rds.free heap tid kumar;
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  print_endline "after deleting the head entry:";
+  iter_entries rvm ~heap_base ~f:(fun ~addr:_ ~name ~phone ->
+      Printf.printf "  %-10s %s\n" name phone);
+
+  (* Restart: same base address, pointers still valid, heap reattaches. *)
+  Rvm.terminate rvm;
+  Hashtbl.iter (fun _ (d : Rvm_disk.Device.t) -> d.Rvm_disk.Device.close ()) devices;
+  Hashtbl.replace devices 1 (File_device.open_existing ~path:map_path);
+  Hashtbl.replace devices heap_seg (File_device.open_existing ~path:heap_path);
+  let rvm2 =
+    Rvm.initialize ~log:(File_device.open_existing ~path:log_path) ~resolve ()
+  in
+  let loader2 = Loader.attach rvm2 ~map_seg:1 in
+  let region2 = Loader.load loader2 ~seg:heap_seg ~seg_off:0 ~len:heap_len in
+  assert (region2.Region.vaddr = heap_base);
+  let heap2 = Rds.attach rvm2 ~base:heap_base in
+  Rds.check heap2;
+  Printf.printf "after restart (base still %#x):\n" region2.Region.vaddr;
+  iter_entries rvm2 ~heap_base ~f:(fun ~addr:_ ~name ~phone ->
+      Printf.printf "  %-10s %s\n" name phone);
+  Rvm.terminate rvm2;
+  print_endline "address book done"

@@ -1,0 +1,138 @@
+(* Coda-style directory meta-data — the workload that motivated RVM
+   (section 2.2): directory operations as manipulations of in-memory data
+   structures with transactional guarantees, plus the two log
+   optimizations at work and the debugging-by-log workflow of section 6.
+
+   A directory is a fixed array of (name, inode) slots in recoverable
+   memory. Server-style operations use flush commits; a client-style burst
+   ("cp d1/* d2") uses no-flush commits and shows the inter-transaction
+   optimization discarding subsumed records.
+
+     dune exec examples/coda_directory.exe
+*)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+
+let ps = 4096
+let slot_size = 40 (* name 32 + inode 8 *)
+let slots_per_dir = 64
+
+let slot_addr dir_base i = dir_base + (i * slot_size)
+
+let set_slot rvm tid ~addr ~name ~inode =
+  (* Defensive modularity, as in real Coda code: the caller declares the
+     whole slot, then this helper re-declares the parts it writes. The
+     duplicate declarations cost nothing thanks to the intra-transaction
+     optimization. *)
+  Rvm.set_range rvm tid ~addr ~len:slot_size;
+  Rvm.set_range rvm tid ~addr ~len:32;
+  let b = Bytes.make 32 '\000' in
+  Bytes.blit_string name 0 b 0 (min 32 (String.length name));
+  Rvm.store rvm ~addr b;
+  Rvm.set_range rvm tid ~addr:(addr + 32) ~len:8;
+  Rvm.set_i64 rvm ~addr:(addr + 32) inode
+
+let lookup rvm dir_base name =
+  let rec go i =
+    if i >= slots_per_dir then None
+    else
+      let b = Rvm.load rvm ~addr:(slot_addr dir_base i) ~len:32 in
+      let n =
+        match Bytes.index_opt b '\000' with
+        | Some j -> Bytes.sub_string b 0 j
+        | None -> Bytes.to_string b
+      in
+      if n = name then Some (Rvm.get_i64 rvm ~addr:(slot_addr dir_base i + 32))
+      else go (i + 1)
+  in
+  go 0
+
+let free_slot rvm dir_base =
+  let rec go i =
+    if i >= slots_per_dir then Types.error "directory full"
+    else if Rvm.get_u8 rvm ~addr:(slot_addr dir_base i) = 0 then i
+    else go (i + 1)
+  in
+  go 0
+
+let mkfile rvm ~dir_base ~name ~inode ~mode =
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let i = free_slot rvm dir_base in
+  set_slot rvm tid ~addr:(slot_addr dir_base i) ~name ~inode;
+  Rvm.end_transaction rvm tid ~mode
+
+let () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(1024 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(256 * 1024) () in
+  let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(16 * ps) () in
+  let base = region.Region.vaddr in
+  let d1 = base and d2 = base + ps in
+
+  (* Server-side: create files in d1 with full permanence. *)
+  List.iteri
+    (fun i name ->
+      mkfile rvm ~dir_base:d1 ~name ~inode:(Int64.of_int (100 + i))
+        ~mode:Types.Flush)
+    [ "README"; "paper.tex"; "rvm.c"; "coda.h" ];
+  Printf.printf "d1 populated; lookup paper.tex -> inode %Ld\n"
+    (Option.get (lookup rvm d1 "paper.tex"));
+
+  (* Client-side: cp d1/* d2 — one no-flush transaction per child, all
+     updating d2. Temporal locality makes older spooled records redundant. *)
+  let before = (Rvm.stats rvm).Statistics.records_dropped in
+  List.iteri
+    (fun i name ->
+      (* Each copy rewrites the d2 slot directory header area as real Coda
+         did, so successive records subsume one another. *)
+      let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      for s = 0 to 7 do
+        set_slot rvm tid ~addr:(slot_addr d2 s)
+          ~name:(if s <= i then List.nth [ "README"; "paper.tex"; "rvm.c"; "coda.h" ] (min s 3) else "")
+          ~inode:(Int64.of_int (200 + s))
+      done;
+      ignore name;
+      Rvm.end_transaction rvm tid ~mode:Types.No_flush)
+    [ "README"; "paper.tex"; "rvm.c"; "coda.h" ];
+  Rvm.flush rvm;
+  let s = Rvm.stats rvm in
+  Printf.printf
+    "cp burst: %d spooled records discarded by the inter-transaction \
+     optimization\n"
+    (s.Statistics.records_dropped - before);
+  Printf.printf
+    "log traffic: %d bytes written, %.1f%% saved intra, %.1f%% saved inter\n"
+    s.Statistics.bytes_logged
+    (100. *. Statistics.intra_fraction s)
+    (100. *. Statistics.inter_fraction s);
+
+  (* Debugging with the log (section 6): who modified slot 0 of d2? *)
+  print_endline "history of d2 slot 0 (from the live log):";
+  Rvm_log.Log_manager.iter_live (Rvm.log_manager rvm) ~f:(fun ~off:_ r ->
+      List.iter
+        (fun (rg : Rvm_log.Record.range) ->
+          let lo = ps (* d2 is at segment offset ps *) in
+          if rg.Rvm_log.Record.off <= lo
+             && lo < rg.Rvm_log.Record.off + Bytes.length rg.Rvm_log.Record.data
+          then
+            Printf.printf "  tid %d wrote [%d, %d)\n" r.Rvm_log.Record.tid
+              rg.Rvm_log.Record.off
+              (rg.Rvm_log.Record.off + Bytes.length rg.Rvm_log.Record.data))
+        r.Rvm_log.Record.ranges);
+
+  (* The forgotten-set_range bug (section 6), demonstrated safely: a write
+     without a declaration is visible in memory but not logged. *)
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Rvm.store_string rvm ~addr:(d1 + 2048) "UNDECLARED";
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  Rvm.truncate rvm;
+  Printf.printf
+    "forgotten set_range: memory says %S but the segment says %S — the \
+     classic RVM bug\n"
+    (Bytes.to_string (Rvm.load rvm ~addr:(d1 + 2048) ~len:10))
+    (Bytes.to_string
+       (Rvm_disk.Device.read_bytes seg_dev ~off:2048 ~len:10));
+  Rvm.terminate rvm;
+  print_endline "coda_directory done"

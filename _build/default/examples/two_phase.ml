@@ -1,0 +1,93 @@
+(* Distributed transactions layered on RVM (section 8): a funds transfer
+   between two bank sites, each an independent RVM instance, coordinated
+   by the two-phase-commit library. One run commits; a second run has a
+   site refuse its vote, and the prepared site is rolled back by a
+   compensating transaction.
+
+     dune exec examples/two_phase.exe
+*)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Twopc = Rvm_layers.Twopc
+
+let ps = 4096
+
+type site = { name : string; rvm : Rvm.t; base : int; sub : Twopc.sub }
+
+let make_site name =
+  let log_dev = Mem_device.create ~name:(name ^ "-log") ~size:(256 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:(name ^ "-seg") ~size:(64 * 1024) () in
+  let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(2 * ps) () in
+  let base = region.Region.vaddr in
+  (* Fund the site. *)
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Rvm.set_range rvm tid ~addr:base ~len:8;
+  Rvm.set_i64 rvm ~addr:base 500L;
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  { name; rvm; base; sub = Twopc.sub_create ~name rvm }
+
+let balance s = Rvm.get_i64 s.rvm ~addr:s.base
+
+let transfer coordinator gid ~from_site ~to_site ~amount ?fail_vote () =
+  let work sub =
+    let site = if Twopc.sub_name sub = from_site.name then from_site else to_site in
+    let delta = if site == from_site then Int64.neg amount else amount in
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.add (balance site) delta);
+    Twopc.sub_modify sub gid ~addr:site.base b
+  in
+  Twopc.run coordinator gid
+    ~participants:[ from_site.sub; to_site.sub ]
+    ~work ?fail_vote ()
+
+let () =
+  let pittsburgh = make_site "pittsburgh" in
+  let palo_alto = make_site "palo-alto" in
+  Printf.printf "initial: pittsburgh=%Ld palo-alto=%Ld\n" (balance pittsburgh)
+    (balance palo_alto);
+
+  (* The coordinator's durable decision records live in a dedicated region
+     of its own RVM instance. *)
+  let coord_site = make_site "coordinator" in
+  let decision_region =
+    Rvm.map coord_site.rvm ~seg:1 ~seg_off:(4 * ps) ~len:ps ()
+  in
+  let coordinator =
+    Twopc.coordinator_create coord_site.rvm ~decision_region
+  in
+
+  (* A committed distributed transfer. *)
+  let d =
+    transfer coordinator "xfer-1" ~from_site:pittsburgh ~to_site:palo_alto
+      ~amount:120L ()
+  in
+  Printf.printf "xfer-1: %s; pittsburgh=%Ld palo-alto=%Ld\n"
+    (match d with Twopc.Committed -> "committed" | Twopc.Aborted -> "aborted")
+    (balance pittsburgh) (balance palo_alto);
+
+  (* A transfer where palo-alto refuses its vote: pittsburgh had already
+     prepared (first-phase committed!) and must be compensated. *)
+  let d =
+    transfer coordinator "xfer-2" ~from_site:pittsburgh ~to_site:palo_alto
+      ~amount:400L
+      ~fail_vote:(fun name -> name = "palo-alto")
+      ()
+  in
+  Printf.printf "xfer-2: %s; pittsburgh=%Ld palo-alto=%Ld\n"
+    (match d with Twopc.Committed -> "committed" | Twopc.Aborted -> "aborted")
+    (balance pittsburgh) (balance palo_alto);
+
+  (* The decisions are durable: an in-doubt subordinate can always ask. *)
+  List.iter
+    (fun gid ->
+      Printf.printf "decision %s: %s\n" gid
+        (match Twopc.lookup_decision coordinator gid with
+        | Some Twopc.Committed -> "committed"
+        | Some Twopc.Aborted -> "aborted"
+        | None -> "unknown"))
+    [ "xfer-1"; "xfer-2" ];
+  assert (Int64.add (balance pittsburgh) (balance palo_alto) = 1000L);
+  print_endline "two_phase done (money conserved)"

@@ -1,0 +1,1 @@
+lib/alloc/rds.ml: Int64 List Rvm_core

@@ -1,0 +1,1 @@
+lib/alloc/rds.mli: Rvm_core

@@ -1,0 +1,223 @@
+module Rvm = Rvm_core.Rvm
+module Types = Rvm_core.Types
+
+type t = { rvm : Rvm.t; base : int; len : int }
+
+let magic = 0x52564D52445348L (* "RVMRDSH" *)
+let hdr_magic = 0
+let hdr_len = 8
+let hdr_free = 16
+let hdr_allocated = 24
+let heap_header = 32
+let overhead = 16 (* block header + footer *)
+let min_block = 32
+
+let getw t addr = Int64.to_int (Rvm.get_i64 t.rvm ~addr)
+
+let setw t tid addr v =
+  Rvm.set_range t.rvm tid ~addr ~len:8;
+  Rvm.set_i64 t.rvm ~addr (Int64.of_int v)
+
+(* Block accessors. A block [b] spans [b, b + size); header and footer both
+   hold size lor allocated-bit. *)
+let block_size_tag t b = getw t b
+let size_of_tag tag = tag land lnot 7
+let allocated_tag tag = tag land 1 <> 0
+let footer_addr b size = b + size - 8
+
+let write_tags t tid b ~size ~allocated =
+  let tag = size lor if allocated then 1 else 0 in
+  setw t tid b tag;
+  setw t tid (footer_addr b size) tag
+
+let next_free t b = getw t (b + 8)
+let prev_free t b = getw t (b + 16)
+let set_next_free t tid b v = setw t tid (b + 8) v
+let set_prev_free t tid b v = setw t tid (b + 16) v
+
+let free_head t = getw t (t.base + hdr_free)
+let set_free_head t tid v = setw t tid (t.base + hdr_free) v
+let allocated_bytes t = getw t (t.base + hdr_allocated)
+
+let add_allocated t tid delta =
+  setw t tid (t.base + hdr_allocated) (allocated_bytes t + delta)
+
+let first_block t = t.base + heap_header
+let heap_end t = t.base + t.len
+
+let round8 n = (n + 7) land lnot 7
+
+(* Address-ordered free-list insertion keeps first-fit deterministic and
+   helps coalescing locality. *)
+let insert_free t tid b =
+  let rec find prev cur =
+    if cur = 0 || cur > b then (prev, cur) else find cur (next_free t cur)
+  in
+  let prev, next = find 0 (free_head t) in
+  set_next_free t tid b next;
+  set_prev_free t tid b prev;
+  if prev = 0 then set_free_head t tid b else set_next_free t tid prev b;
+  if next <> 0 then set_prev_free t tid next b
+
+let remove_free t tid b =
+  let prev = prev_free t b and next = next_free t b in
+  if prev = 0 then set_free_head t tid next else set_next_free t tid prev next;
+  if next <> 0 then set_prev_free t tid next prev
+
+let init rvm tid ~base ~len =
+  if len < heap_header + min_block then
+    Types.error "rds: heap of %d bytes is too small" len;
+  let len = len land lnot 7 in
+  let t = { rvm; base; len } in
+  setw t tid (base + hdr_magic) (Int64.to_int magic);
+  setw t tid (base + hdr_len) len;
+  setw t tid (base + hdr_free) 0;
+  setw t tid (base + hdr_allocated) 0;
+  let b = first_block t in
+  write_tags t tid b ~size:(len - heap_header) ~allocated:false;
+  insert_free t tid b;
+  t
+
+let attach rvm ~base =
+  let t = { rvm; base; len = 0 } in
+  if getw t (base + hdr_magic) <> Int64.to_int magic then
+    Types.error "rds: no heap at %#x" base;
+  { t with len = getw t (base + hdr_len) }
+
+let alloc t tid ~size =
+  if size <= 0 then Types.error "rds: allocation of %d bytes" size;
+  let need = max min_block (round8 size + overhead) in
+  let rec fit b =
+    if b = 0 then
+      Types.error "rds: out of recoverable heap space (%d bytes requested)"
+        size
+    else
+      let bsize = size_of_tag (block_size_tag t b) in
+      if bsize >= need then b else fit (next_free t b)
+  in
+  let b = fit (free_head t) in
+  let bsize = size_of_tag (block_size_tag t b) in
+  remove_free t tid b;
+  let used =
+    if bsize - need >= min_block then begin
+      (* Split: the tail stays free. *)
+      let rest = b + need in
+      write_tags t tid rest ~size:(bsize - need) ~allocated:false;
+      insert_free t tid rest;
+      need
+    end
+    else bsize
+  in
+  write_tags t tid b ~size:used ~allocated:true;
+  add_allocated t tid (used - overhead);
+  b + 8
+
+let payload_block t p =
+  let b = p - 8 in
+  if b < first_block t || b >= heap_end t then
+    Types.error "rds: %#x is not a heap address" p;
+  let tag = block_size_tag t b in
+  let size = size_of_tag tag in
+  if
+    size < min_block
+    || b + size > heap_end t
+    || block_size_tag t (footer_addr b size) <> tag
+  then Types.error "rds: %#x does not point at a block" p;
+  (b, size, allocated_tag tag)
+
+let usable_size t p =
+  let _, size, _ = payload_block t p in
+  size - overhead
+
+let free t tid p =
+  let b, size, allocated = payload_block t p in
+  if not allocated then Types.error "rds: double free of %#x" p;
+  add_allocated t tid (overhead - size);
+  (* Coalesce with the next block. *)
+  let b, size =
+    let nb = b + size in
+    if nb < heap_end t && not (allocated_tag (block_size_tag t nb)) then begin
+      remove_free t tid nb;
+      (b, size + size_of_tag (block_size_tag t nb))
+    end
+    else (b, size)
+  in
+  (* Coalesce with the previous block (via its footer). *)
+  let b, size =
+    if b > first_block t && not (allocated_tag (block_size_tag t (b - 8)))
+    then begin
+      let psize = size_of_tag (block_size_tag t (b - 8)) in
+      let pb = b - psize in
+      remove_free t tid pb;
+      (pb, size + psize)
+    end
+    else (b, size)
+  in
+  write_tags t tid b ~size ~allocated:false;
+  insert_free t tid b
+
+let base t = t.base
+let heap_len t = t.len
+
+let fold_blocks t ~init ~f =
+  let rec go b acc =
+    if b >= heap_end t then acc
+    else
+      let tag = block_size_tag t b in
+      let size = size_of_tag tag in
+      go (b + size) (f acc ~block:b ~size ~allocated:(allocated_tag tag))
+  in
+  go (first_block t) init
+
+let free_bytes t =
+  fold_blocks t ~init:0 ~f:(fun acc ~block:_ ~size ~allocated ->
+      if allocated then acc else acc + size - overhead)
+
+let block_count t =
+  fold_blocks t ~init:0 ~f:(fun acc ~block:_ ~size:_ ~allocated:_ -> acc + 1)
+
+let check t =
+  let fail fmt = Types.error fmt in
+  (* Walk the block chain. *)
+  let walked_free = ref [] in
+  let total = ref 0 in
+  let allocated_payload = ref 0 in
+  let prev_free_flag = ref false in
+  fold_blocks t ~init:() ~f:(fun () ~block ~size ~allocated ->
+      if size < min_block || size land 7 <> 0 then
+        fail "rds-check: bad size %d at %#x" size block;
+      let tag = block_size_tag t block in
+      if block_size_tag t (footer_addr block size) <> tag then
+        fail "rds-check: footer mismatch at %#x" block;
+      if (not allocated) && !prev_free_flag then
+        fail "rds-check: uncoalesced free blocks at %#x" block;
+      prev_free_flag := not allocated;
+      if allocated then allocated_payload := !allocated_payload + size - overhead
+      else walked_free := block :: !walked_free;
+      total := !total + size);
+  if !total <> t.len - heap_header then
+    fail "rds-check: blocks cover %d of %d bytes" !total (t.len - heap_header);
+  if !allocated_payload <> allocated_bytes t then
+    fail "rds-check: allocated accounting %d <> %d" !allocated_payload
+      (allocated_bytes t);
+  (* Walk the free list and compare. *)
+  let listed = ref [] in
+  let rec go prev b =
+    if b <> 0 then begin
+      if prev_free t b <> prev then fail "rds-check: bad prev link at %#x" b;
+      if List.length !listed > block_count t then
+        fail "rds-check: free list cycle";
+      listed := b :: !listed;
+      if allocated_tag (block_size_tag t b) then
+        fail "rds-check: allocated block %#x on free list" b;
+      let n = next_free t b in
+      if n <> 0 && n <= b then fail "rds-check: free list not address-ordered";
+      go b n
+    end
+  in
+  go 0 (free_head t);
+  let sort = List.sort compare in
+  if sort !listed <> sort !walked_free then
+    fail "rds-check: free list disagrees with heap walk (%d vs %d)"
+      (List.length !listed)
+      (List.length !walked_free)

@@ -1,0 +1,1 @@
+lib/camelot/camelot.ml: Bytes Float Hashtbl Ipc List Queue Rvm_core Rvm_disk Rvm_log Rvm_util Rvm_vm

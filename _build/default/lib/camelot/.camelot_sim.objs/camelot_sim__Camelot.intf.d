@@ -1,0 +1,1 @@
+lib/camelot/camelot.mli: Bytes Ipc Rvm_core Rvm_disk Rvm_log Rvm_util Rvm_vm

@@ -1,0 +1,1 @@
+lib/camelot/ipc.ml: Hashtbl Option Rvm_util

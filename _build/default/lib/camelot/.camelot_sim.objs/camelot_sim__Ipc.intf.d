@@ -1,0 +1,1 @@
+lib/camelot/ipc.mli: Rvm_util

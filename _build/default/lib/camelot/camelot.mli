@@ -1,0 +1,71 @@
+(** The Camelot baseline: an architectural model of the system RVM was
+    evaluated against (Figure 1 and sections 2, 7.1).
+
+    Functionally it is a real recoverable-virtual-memory engine — value
+    logging into a write-ahead log, crash recovery, abort — but structured
+    the way Camelot was, with the costs in Camelot's places:
+
+    - every primitive crosses task boundaries by Mach IPC ({!Ipc}): pin
+      requests to the Disk Manager, commit coordination with the
+      Transaction Manager (the ~8 round-trips per transaction that halve
+      scalability in Figure 9);
+    - recoverable regions are backed by an external pager: pages fault in
+      from the external data segment on first touch (no en-masse load) and
+      dirty uncommitted pages are pinned in memory until commit, which is
+      what lets Camelot avoid RVM's double paging;
+    - the Disk Manager truncates aggressively, writing out {e whole dirty
+      pages} referenced by the affected portion of the log — the behaviour
+      the paper blames for Camelot's locality sensitivity: "when truncation
+      is frequent and account access is random, many opportunities to
+      amortize the cost of writing out a dirty page across multiple
+      transactions are lost" (section 7.1.2). *)
+
+type t
+
+type config = {
+  truncation_threshold : float;
+      (** Disk Manager truncates when the log passes this fraction —
+          deliberately aggressive (default 0.15) *)
+  server_cpu_per_txn_us : float;
+      (** CPU burned inside the manager tasks per transaction, overlapping
+          the commit force *)
+  page_batch_settle_us : float;
+      (** fixed positioning cost per page in the Disk Manager's sorted
+          write-back sweeps *)
+}
+
+val default_config : config
+
+val initialize :
+  ?config:config ->
+  ?clock:Rvm_util.Clock.t ->
+  ?model:Rvm_util.Cost_model.t ->
+  ?vm:Rvm_vm.Vm_sim.t ->
+  log:Rvm_disk.Device.t ->
+  resolve:(int -> Rvm_disk.Device.t) ->
+  unit ->
+  t
+(** Open the (formatted) log, run recovery, start the simulated tasks. *)
+
+val map :
+  t -> ?vaddr:int -> seg:int -> seg_off:int -> len:int -> unit -> Rvm_core.Region.t
+
+val begin_transaction : t -> Rvm_core.Rvm.tid
+val set_range : t -> Rvm_core.Rvm.tid -> addr:int -> len:int -> unit
+val end_transaction : t -> Rvm_core.Rvm.tid -> unit
+(** Commit with full atomicity and permanence (log force), as in the
+    benchmark of section 7.1. *)
+
+val abort_transaction : t -> Rvm_core.Rvm.tid -> unit
+val truncate : t -> unit
+
+val load : t -> addr:int -> len:int -> Bytes.t
+val store : t -> addr:int -> Bytes.t -> unit
+
+val ipc : t -> Ipc.t
+val clock : t -> Rvm_util.Clock.t
+val log_manager : t -> Rvm_log.Log_manager.t
+val pages_written : t -> int
+(** Whole pages written back by Disk Manager truncation. *)
+
+val txns_committed : t -> int

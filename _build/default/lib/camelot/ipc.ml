@@ -1,0 +1,39 @@
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+
+type endpoint =
+  | Transaction_manager
+  | Disk_manager
+  | Recovery_manager
+  | Node_server
+
+type t = {
+  clock : Clock.t;
+  model : Cost_model.t;
+  counts : (endpoint, int) Hashtbl.t;
+}
+
+let create ~clock ~model = { clock; model; counts = Hashtbl.create 4 }
+
+let bump t ep =
+  Hashtbl.replace t.counts ep
+    (1 + Option.value (Hashtbl.find_opt t.counts ep) ~default:0)
+
+let roundtrip_us t =
+  t.model.Cost_model.ipc_roundtrip_us
+  +. (2. *. t.model.Cost_model.context_switch_us)
+
+let call t ep =
+  bump t ep;
+  Clock.charge_cpu t.clock (roundtrip_us t)
+
+let notify t ep =
+  bump t ep;
+  Clock.charge_background t.clock (roundtrip_us t)
+
+let server_work t ep us =
+  ignore ep;
+  Clock.charge_background t.clock us
+
+let calls_to t ep = Option.value (Hashtbl.find_opt t.counts ep) ~default:0
+let total_calls t = Hashtbl.fold (fun _ n acc -> acc + n) t.counts 0

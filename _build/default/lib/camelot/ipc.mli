@@ -1,0 +1,37 @@
+(** Simulated Mach IPC between the Camelot tasks of Figure 1.
+
+    Camelot's modular decomposition — Data Server, Transaction Manager,
+    Disk Manager, Recovery Manager as separate Mach tasks — "is predicated
+    on fast IPC", and the paper measures Mach IPC at roughly 600 times the
+    cost of a local procedure call (430 us vs 0.7 us on the DECstation
+    5000/200, section 3.3). Every cross-task interaction in the Camelot
+    model goes through this module so that cost shows up exactly where the
+    architecture puts it.
+
+    Calls can be synchronous (the Data Server blocks: foreground time) or
+    asynchronous (processed by the server task while the caller waits on
+    I/O anyway: background time). *)
+
+type endpoint =
+  | Transaction_manager
+  | Disk_manager
+  | Recovery_manager
+  | Node_server
+
+type t
+
+val create : clock:Rvm_util.Clock.t -> model:Rvm_util.Cost_model.t -> t
+
+val call : t -> endpoint -> unit
+(** Synchronous round-trip: blocks the caller for one IPC round-trip plus
+    two context switches. *)
+
+val notify : t -> endpoint -> unit
+(** Asynchronous message: the same work, but performed by the target task
+    concurrently with the caller's next I/O wait. *)
+
+val server_work : t -> endpoint -> float -> unit
+(** CPU spent inside a manager task on behalf of a request (background). *)
+
+val calls_to : t -> endpoint -> int
+val total_calls : t -> int

@@ -1,0 +1,1 @@
+lib/disk/crash_device.ml: Bytes Device List Rvm_util

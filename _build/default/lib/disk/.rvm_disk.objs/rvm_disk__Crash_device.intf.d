@@ -1,0 +1,1 @@
+lib/disk/crash_device.mli: Device Rvm_util

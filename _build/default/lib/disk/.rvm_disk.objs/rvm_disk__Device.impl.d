@@ -1,0 +1,1 @@
+lib/disk/device.ml: Bytes Format Printf String

@@ -1,0 +1,1 @@
+lib/disk/device.mli: Bytes Format

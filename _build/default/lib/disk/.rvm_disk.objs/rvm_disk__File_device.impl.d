@@ -1,0 +1,1 @@
+lib/disk/file_device.ml: Device Printf Unix

@@ -1,0 +1,1 @@
+lib/disk/file_device.mli: Device

@@ -1,0 +1,1 @@
+lib/disk/mem_device.ml: Bytes Device Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/disk/sim_device.ml: Device Hashtbl List Rvm_util

@@ -1,0 +1,1 @@
+lib/disk/sim_device.mli: Device Rvm_util

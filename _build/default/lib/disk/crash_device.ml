@@ -1,0 +1,96 @@
+type pending = { off : int; data : Bytes.t }
+
+type t = {
+  durable : Bytes.t;
+  volatile : Bytes.t;
+  mutable pending : pending list;  (* newest first *)
+  mutable fail_in : int option;
+  dev : Device.t;
+}
+
+let apply_write target { off; data } =
+  Bytes.blit data 0 target off (Bytes.length data)
+
+let tick t =
+  match t.fail_in with
+  | None -> ()
+  | Some 0 -> raise (Device.Io_error "injected failure")
+  | Some n -> t.fail_in <- Some (n - 1)
+
+let create ?(name = "crash") ~size () =
+  let durable = Bytes.make size '\000' in
+  let volatile = Bytes.make size '\000' in
+  let stats = Device.fresh_stats () in
+  let rec t =
+    {
+      durable;
+      volatile;
+      pending = [];
+      fail_in = None;
+      dev =
+        {
+          Device.name;
+          size;
+          read =
+            (fun ~off ~buf ~pos ~len ->
+              Device.check_range t.dev ~off ~len;
+              tick t;
+              Bytes.blit volatile off buf pos len;
+              stats.reads <- stats.reads + 1;
+              stats.bytes_read <- stats.bytes_read + len);
+          write =
+            (fun ~off ~buf ~pos ~len ->
+              Device.check_range t.dev ~off ~len;
+              tick t;
+              let data = Bytes.sub buf pos len in
+              Bytes.blit data 0 volatile off len;
+              t.pending <- { off; data } :: t.pending;
+              stats.writes <- stats.writes + 1;
+              stats.bytes_written <- stats.bytes_written + len);
+          sync =
+            (fun () ->
+              tick t;
+              List.iter (apply_write durable) (List.rev t.pending);
+              t.pending <- [];
+              stats.syncs <- stats.syncs + 1);
+          close = (fun () -> ());
+          stats;
+        };
+    }
+  in
+  t
+
+let device t = t.dev
+
+let crash t =
+  t.pending <- [];
+  Bytes.blit t.durable 0 t.volatile 0 (Bytes.length t.durable)
+
+let crash_torn t ~rng =
+  let writes = List.rev t.pending in
+  let n = List.length writes in
+  if n = 0 then crash t
+  else begin
+    let survive = Rvm_util.Rng.int rng (n + 1) in
+    Bytes.blit t.durable 0 t.volatile 0 (Bytes.length t.durable);
+    List.iteri
+      (fun i w ->
+        if i < survive then apply_write t.volatile w
+        else if i = survive then begin
+          (* Torn write: an arbitrary prefix of the sectors reaches disk. *)
+          let keep = Rvm_util.Rng.int rng (Bytes.length w.data + 1) in
+          Bytes.blit w.data 0 t.volatile w.off keep
+        end)
+      writes;
+    (* What survived the tear is now the durable image. *)
+    Bytes.blit t.volatile 0 t.durable 0 (Bytes.length t.durable);
+    t.pending <- []
+  end
+
+let pending_writes t = List.length t.pending
+let fail_after t ~ops = t.fail_in <- Some ops
+let disarm t = t.fail_in <- None
+
+let reopen t =
+  crash t;
+  t.dev

@@ -1,0 +1,36 @@
+(** Crash-injecting device for recovery testing.
+
+    Models a volatile write cache over durable media: writes are visible to
+    subsequent reads immediately, but only {!Device.t.sync} makes them
+    durable. {!crash} discards the cache, optionally letting a prefix of the
+    pending writes — and a torn fragment of the next one — survive, which is
+    how a power failure in the middle of a multi-sector log append behaves.
+
+    A separate fail-stop mode ({!fail_after}) makes the device raise
+    [Io_error] after a chosen number of operations, for exercising error
+    paths rather than recovery. *)
+
+type t
+
+val create : ?name:string -> size:int -> unit -> t
+val device : t -> Device.t
+
+val crash : t -> unit
+(** Drop every unsynced write. *)
+
+val crash_torn : t -> rng:Rvm_util.Rng.t -> unit
+(** Let a random prefix of the pending writes survive and tear the next
+    write at a random byte boundary, then drop the rest. *)
+
+val pending_writes : t -> int
+(** Number of writes buffered since the last sync. *)
+
+val fail_after : t -> ops:int -> unit
+(** Arm fail-stop: the device raises [Io_error] once [ops] further
+    operations (reads, writes or syncs) have completed. *)
+
+val disarm : t -> unit
+
+val reopen : t -> Device.t
+(** The device as seen after a crash and restart: durable contents only.
+    Equivalent to [crash t; device t] but leaves stats untouched. *)

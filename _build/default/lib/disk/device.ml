@@ -1,0 +1,44 @@
+exception Io_error of string
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable syncs : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type t = {
+  name : string;
+  size : int;
+  read : off:int -> buf:Bytes.t -> pos:int -> len:int -> unit;
+  write : off:int -> buf:Bytes.t -> pos:int -> len:int -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+  stats : stats;
+}
+
+let fresh_stats () =
+  { reads = 0; writes = 0; syncs = 0; bytes_read = 0; bytes_written = 0 }
+
+let check_range t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.size then
+    raise
+      (Io_error
+         (Printf.sprintf "%s: access [%d, %d) outside device of size %d"
+            t.name off (off + len) t.size))
+
+let read_bytes t ~off ~len =
+  let buf = Bytes.create len in
+  t.read ~off ~buf ~pos:0 ~len;
+  buf
+
+let write_bytes t ~off b = t.write ~off ~buf:b ~pos:0 ~len:(Bytes.length b)
+
+let write_string t ~off s =
+  t.write ~off ~buf:(Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "reads=%d (%d B) writes=%d (%d B) syncs=%d" s.reads s.bytes_read s.writes
+    s.bytes_written s.syncs

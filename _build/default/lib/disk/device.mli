@@ -1,0 +1,42 @@
+(** Block devices.
+
+    RVM's permanence guarantee rests on one contract: bytes passed to
+    {!write} followed by {!sync} survive a crash; unsynced writes may vanish
+    or tear. The same interface backs Unix files (production), in-memory
+    stores (tests), crash-injecting wrappers (recovery tests) and
+    simulated-timing wrappers (the performance evaluation), so every layer
+    above — log, segments, recovery — is exercised identically under all
+    four. *)
+
+exception Io_error of string
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable syncs : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type t = {
+  name : string;
+  size : int;  (** device capacity in bytes *)
+  read : off:int -> buf:Bytes.t -> pos:int -> len:int -> unit;
+  write : off:int -> buf:Bytes.t -> pos:int -> len:int -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+  stats : stats;
+}
+
+val fresh_stats : unit -> stats
+
+val check_range : t -> off:int -> len:int -> unit
+(** Raise [Io_error] if [off, off+len) is outside the device. *)
+
+val read_bytes : t -> off:int -> len:int -> Bytes.t
+(** Convenience wrapper allocating the destination. *)
+
+val write_bytes : t -> off:int -> Bytes.t -> unit
+val write_string : t -> off:int -> string -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

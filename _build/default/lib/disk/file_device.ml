@@ -1,0 +1,63 @@
+let rec really_pread fd buf pos len off =
+  if len > 0 then begin
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let n = Unix.read fd buf pos len in
+    if n = 0 then raise (Device.Io_error "unexpected end of file");
+    really_pread fd buf (pos + n) (len - n) (off + n)
+  end
+
+let rec really_pwrite fd buf pos len off =
+  if len > 0 then begin
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let n = Unix.write fd buf pos len in
+    really_pwrite fd buf (pos + n) (len - n) (off + n)
+  end
+
+let wrap_unix name f =
+  try f ()
+  with Unix.Unix_error (e, fn, _) ->
+    raise
+      (Device.Io_error
+         (Printf.sprintf "%s: %s: %s" name fn (Unix.error_message e)))
+
+let make ~path ~size fd =
+  let stats = Device.fresh_stats () in
+  let rec t =
+    {
+      Device.name = path;
+      size;
+      read =
+        (fun ~off ~buf ~pos ~len ->
+          Device.check_range t ~off ~len;
+          wrap_unix path (fun () -> really_pread fd buf pos len off);
+          stats.reads <- stats.reads + 1;
+          stats.bytes_read <- stats.bytes_read + len);
+      write =
+        (fun ~off ~buf ~pos ~len ->
+          Device.check_range t ~off ~len;
+          wrap_unix path (fun () -> really_pwrite fd buf pos len off);
+          stats.writes <- stats.writes + 1;
+          stats.bytes_written <- stats.bytes_written + len);
+      sync =
+        (fun () ->
+          wrap_unix path (fun () -> Unix.fsync fd);
+          stats.syncs <- stats.syncs + 1);
+      close = (fun () -> wrap_unix path (fun () -> Unix.close fd));
+      stats;
+    }
+  in
+  t
+
+let create ?(truncate = false) ~path ~size () =
+  wrap_unix path (fun () ->
+      let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+      if truncate then Unix.ftruncate fd 0;
+      let current = (Unix.fstat fd).Unix.st_size in
+      if current < size then Unix.ftruncate fd size;
+      make ~path ~size fd)
+
+let open_existing ~path =
+  wrap_unix path (fun () ->
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      let size = (Unix.fstat fd).Unix.st_size in
+      make ~path ~size fd)

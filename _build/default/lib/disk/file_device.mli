@@ -1,0 +1,10 @@
+(** Unix-file-backed device. [sync] maps to [fsync], which is exactly the
+    dependency the paper states: "RVM's permanence guarantees rely on the
+    correct implementation of this system call" (section 3.3). *)
+
+val create : ?truncate:bool -> path:string -> size:int -> unit -> Device.t
+(** Open (creating or extending if needed) [path] as a device of [size]
+    bytes. With [truncate] the file is first reset to zeros. *)
+
+val open_existing : path:string -> Device.t
+(** Open an existing file, deriving the size from the file length. *)

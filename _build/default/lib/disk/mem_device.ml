@@ -1,0 +1,42 @@
+(* Registry associating the closure-based device with its backing store, so
+   snapshot can retrieve it without widening the Device.t type. *)
+let backing : (string, Bytes.t) Hashtbl.t = Hashtbl.create 8
+let counter = ref 0
+
+let create ?name ~size () =
+  incr counter;
+  let name =
+    match name with
+    | Some n -> Printf.sprintf "%s#%d" n !counter
+    | None -> Printf.sprintf "mem#%d" !counter
+  in
+  let data = Bytes.make size '\000' in
+  Hashtbl.replace backing name data;
+  let stats = Device.fresh_stats () in
+  let rec t =
+    {
+      Device.name;
+      size;
+      read =
+        (fun ~off ~buf ~pos ~len ->
+          Device.check_range t ~off ~len;
+          Bytes.blit data off buf pos len;
+          stats.reads <- stats.reads + 1;
+          stats.bytes_read <- stats.bytes_read + len);
+      write =
+        (fun ~off ~buf ~pos ~len ->
+          Device.check_range t ~off ~len;
+          Bytes.blit buf pos data off len;
+          stats.writes <- stats.writes + 1;
+          stats.bytes_written <- stats.bytes_written + len);
+      sync = (fun () -> stats.syncs <- stats.syncs + 1);
+      close = (fun () -> Hashtbl.remove backing name);
+      stats;
+    }
+  in
+  t
+
+let snapshot (d : Device.t) =
+  match Hashtbl.find_opt backing d.name with
+  | Some data -> Bytes.copy data
+  | None -> invalid_arg "Mem_device.snapshot: not a memory device"

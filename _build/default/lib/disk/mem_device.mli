@@ -1,0 +1,7 @@
+(** In-memory device. Writes are immediately "durable" (sync is a no-op);
+    use {!Crash_device} on top when crash semantics matter. *)
+
+val create : ?name:string -> size:int -> unit -> Device.t
+
+val snapshot : Device.t -> Bytes.t
+(** Copy of the device contents; only valid on devices made by [create]. *)

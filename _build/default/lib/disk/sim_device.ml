@@ -1,0 +1,99 @@
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+
+type t = {
+  base : Device.t;
+  clock : Clock.t;
+  disk : Cost_model.disk;
+  seek_fraction : float;
+  sector : int;
+  (* Dirty extents accumulated since the last sync, newest first, in units
+     of [sector] bytes. Writes that extend or repeat an extent coalesce, so
+     a streak of sequential appends costs one force while scattered page
+     writes cost one positioning delay per run of pages. *)
+  mutable dirty : (int, unit) Hashtbl.t;  (* dirty sector numbers *)
+  mutable background : bool;
+  mutable ios : int;
+  mutable busy : float;
+  dev : Device.t;
+}
+
+let charge t us =
+  t.busy <- t.busy +. us;
+  if t.background then Clock.charge_background t.clock us
+  else Clock.charge_io t.clock us
+
+(* Runs of consecutive dirty sectors = the extents a sorted write-back
+   sweep would issue. *)
+let sweep_extents t =
+  let sectors = Hashtbl.fold (fun s () acc -> s :: acc) t.dirty [] in
+  let sectors = List.sort compare sectors in
+  let rec runs acc cur_start cur_len = function
+    | [] -> if cur_len > 0 then (cur_start, cur_len) :: acc else acc
+    | s :: rest ->
+      if cur_len > 0 && s = cur_start + cur_len then
+        runs acc cur_start (cur_len + 1) rest
+      else if cur_len > 0 then runs ((cur_start, cur_len) :: acc) s 1 rest
+      else runs acc s 1 rest
+  in
+  runs [] 0 0 sectors
+
+let create ?(seek_fraction = 1.0) ?(sector = 1) ~base ~clock ~disk () =
+  let stats = Device.fresh_stats () in
+  let rec t =
+    {
+      base;
+      clock;
+      disk;
+      seek_fraction;
+      sector;
+      dirty = Hashtbl.create 256;
+      background = false;
+      ios = 0;
+      busy = 0.;
+      dev =
+        {
+          Device.name = base.Device.name ^ "+sim";
+          size = base.Device.size;
+          read =
+            (fun ~off ~buf ~pos ~len ->
+              base.Device.read ~off ~buf ~pos ~len;
+              t.ios <- t.ios + 1;
+              charge t
+                (Cost_model.disk_service_us t.disk
+                   ~seek_fraction:t.seek_fraction ~bytes:len ());
+              stats.reads <- stats.reads + 1;
+              stats.bytes_read <- stats.bytes_read + len);
+          write =
+            (fun ~off ~buf ~pos ~len ->
+              base.Device.write ~off ~buf ~pos ~len;
+              if len > 0 then
+                for s = off / t.sector to (off + len - 1) / t.sector do
+                  Hashtbl.replace t.dirty s ()
+                done;
+              stats.writes <- stats.writes + 1;
+              stats.bytes_written <- stats.bytes_written + len);
+          sync =
+            (fun () ->
+              base.Device.sync ();
+              List.iter
+                (fun (_, slen) ->
+                  t.ios <- t.ios + 1;
+                  charge t
+                    (Cost_model.disk_service_us t.disk
+                       ~seek_fraction:t.seek_fraction
+                       ~bytes:(slen * t.sector) ()))
+                (sweep_extents t);
+              Hashtbl.reset t.dirty;
+              stats.syncs <- stats.syncs + 1);
+          close = (fun () -> base.Device.close ());
+          stats;
+        };
+    }
+  in
+  t
+
+let device t = t.dev
+let set_background t b = t.background <- b
+let io_count t = t.ios
+let busy_us t = t.busy

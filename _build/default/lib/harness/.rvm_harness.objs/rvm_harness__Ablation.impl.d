@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Bytes Experiment List Printf Report Rvm_core Rvm_disk Rvm_util Rvm_vm Rvm_workload

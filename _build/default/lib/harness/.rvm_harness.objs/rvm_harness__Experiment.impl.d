@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Camelot_sim Int64 List Rvm_core Rvm_disk Rvm_util Rvm_vm Rvm_workload

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Rvm_core Rvm_util Rvm_workload

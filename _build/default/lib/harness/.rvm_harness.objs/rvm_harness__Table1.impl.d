@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Array Experiment Format List Option Printf Report Rvm_util Rvm_workload

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: List Report Rvm_core Rvm_disk Rvm_workload

@@ -1,0 +1,1 @@
+lib/harness/table2.mli: Rvm_workload

@@ -1,0 +1,21 @@
+(** Ablation benchmarks for the design choices DESIGN.md calls out:
+    truncation mechanism (Figures 6 vs 7), the two log optimizations
+    (section 5.2), the transaction modes (section 4.2), and the en-masse
+    mapping strategy's startup cost (section 3.2). *)
+
+val truncation_modes : ?measure:int -> unit -> unit
+(** Epoch vs incremental truncation on the TPC-A localized workload:
+    throughput, CPU, truncation activity. The paper expected "incremental
+    truncation to improve performance significantly" (Table 1 caption). *)
+
+val optimizations : unit -> unit
+(** Intra/inter optimization switches crossed on the heaviest Coda client
+    profile: log bytes with each combination. *)
+
+val commit_modes : unit -> unit
+(** Commit latency of flush vs no-flush transactions and set_range cost of
+    restore vs no-restore mode (section 5.1.1's claimed efficiencies). *)
+
+val startup_latency : unit -> unit
+(** Map time as a function of region size — the cost of copying data in en
+    masse rather than paging on demand. *)

@@ -1,0 +1,51 @@
+(** Simulated-world builders and the core TPC-A experiment runner behind
+    Table 1 and Figures 8 and 9.
+
+    Experimental conditions follow the paper (Table 1's caption): a
+    DECstation 5000/200 with 64 MB of main memory and separate disks for
+    the log, the external data segment and the paging file; one benchmark
+    thread; transactions fully atomic and permanent; intra/inter
+    optimizations enabled (ineffective for this workload); epoch
+    truncation. *)
+
+type engine_kind = Rvm | Camelot
+
+val engine_name : engine_kind -> string
+
+type run_result = {
+  txns : int;
+  tps : float;  (** committed transactions per simulated second *)
+  cpu_ms_per_txn : float;  (** amortized CPU cost, the Figure 9 metric *)
+  faults : int;
+  pageouts : int;
+  rmem_pmem : float;  (** ratio of recoverable to physical memory *)
+}
+
+val pmem_bytes : int
+(** Simulated physical memory: the paper's 64 MB scaled by {!scale}. *)
+
+val scale : int
+(** Memory-scale divisor (8): every size is 1/8th of the paper's, keeping
+    all ratios — Rmem/Pmem, page geometry, log-window density — intact. *)
+
+val account_steps : int list
+(** The 14 account-array sizes of Table 1, scaled. *)
+
+val tpca_run :
+  ?log_size:int ->
+  ?warmup:int ->
+  ?measure:int ->
+  ?truncation_mode:Rvm_core.Types.truncation_mode ->
+  engine:engine_kind ->
+  accounts:int ->
+  pattern:Rvm_workload.Tpca.pattern ->
+  seed:int64 ->
+  unit ->
+  run_result
+(** One benchmark run on a fresh simulated world. *)
+
+val trial_stats :
+  trials:int ->
+  (seed:int64 -> run_result) ->
+  Rvm_util.Stats.t * Rvm_util.Stats.t
+(** Run [trials] seeds and summarize (tps, cpu_ms). *)

@@ -1,0 +1,174 @@
+module Stats = Rvm_util.Stats
+module Tpca = Rvm_workload.Tpca
+
+type cell = { tps : Stats.t; cpu : Stats.t; paper_tps : float option }
+
+type row = {
+  accounts : int;
+  ratio_pct : float;
+  cells : ((Experiment.engine_kind * Tpca.pattern) * cell) list;
+}
+
+type data = row list
+
+(* Table 1 of the paper, transactions per second (means). *)
+let paper_rvm_seq =
+  [| 48.6; 48.5; 48.6; 48.2; 48.1; 47.7; 47.2; 46.9; 46.3; 46.9; 48.6; 46.9; 46.5; 46.4 |]
+
+let paper_rvm_random =
+  [| 47.9; 46.4; 45.5; 44.7; 43.9; 43.2; 42.5; 41.6; 40.8; 39.7; 33.8; 33.3; 30.9; 27.4 |]
+
+let paper_rvm_localized =
+  [| 47.5; 46.6; 46.2; 45.1; 44.2; 43.4; 43.8; 41.1; 39.0; 39.0; 40.0; 39.4; 38.7; 35.4 |]
+
+let paper_camelot_seq =
+  [| 48.1; 48.2; 48.9; 48.1; 48.1; 48.1; 48.2; 48.0; 48.0; 48.1; 48.3; 48.9; 48.0; 47.7 |]
+
+let paper_camelot_random =
+  [| 41.6; 34.2; 30.1; 29.2; 27.1; 25.8; 23.9; 21.7; 20.8; 19.1; 18.6; 18.7; 18.2; 17.9 |]
+
+let paper_camelot_localized =
+  [| 44.5; 43.1; 41.2; 41.3; 40.3; 39.5; 37.9; 35.9; 35.2; 33.7; 33.3; 32.4; 32.3; 31.6 |]
+
+let paper_tps engine pattern i =
+  let arr =
+    match (engine, pattern) with
+    | Experiment.Rvm, Tpca.Sequential -> paper_rvm_seq
+    | Experiment.Rvm, Tpca.Random -> paper_rvm_random
+    | Experiment.Rvm, Tpca.Localized -> paper_rvm_localized
+    | Experiment.Camelot, Tpca.Sequential -> paper_camelot_seq
+    | Experiment.Camelot, Tpca.Random -> paper_camelot_random
+    | Experiment.Camelot, Tpca.Localized -> paper_camelot_localized
+  in
+  if i >= 0 && i < Array.length arr then Some arr.(i) else None
+
+let step_index accounts = (accounts * Experiment.scale / 32768) - 1
+
+let run ?(trials = 3) ?(measure = 3000)
+    ?(accounts_steps = Experiment.account_steps)
+    ?(patterns = [ Tpca.Sequential; Tpca.Random; Tpca.Localized ])
+    ?(engines = [ Experiment.Rvm; Experiment.Camelot ]) () =
+  List.map
+    (fun accounts ->
+      let cells =
+        List.concat_map
+          (fun engine ->
+            List.map
+              (fun pattern ->
+                let tps, cpu =
+                  Experiment.trial_stats ~trials (fun ~seed ->
+                      Experiment.tpca_run ~measure ~engine ~accounts ~pattern
+                        ~seed ())
+                in
+                Printf.eprintf "  [table1] %s/%s accounts=%d: %.1f tps\n%!"
+                  (Experiment.engine_name engine)
+                  (Tpca.pattern_name pattern)
+                  accounts (Stats.mean tps);
+                ( (engine, pattern),
+                  { tps; cpu; paper_tps = paper_tps engine pattern (step_index accounts) } ))
+              patterns)
+          engines
+      in
+      let layout =
+        Tpca.layout ~accounts ~base:(16 * 4096) ~page_size:4096
+      in
+      {
+        accounts;
+        ratio_pct =
+          100. *. float_of_int layout.Tpca.total_len
+          /. float_of_int Experiment.pmem_bytes;
+        cells;
+      })
+    accounts_steps
+
+let cell row engine pattern = List.assoc_opt (engine, pattern) row.cells
+
+let fmt_cell = function
+  | None -> "-"
+  | Some c -> Format.asprintf "%a" Stats.pp_mean_std c.tps
+
+let fmt_paper = function
+  | None -> "-"
+  | Some c -> (
+    match c.paper_tps with None -> "-" | Some v -> Printf.sprintf "%.1f" v)
+
+let print_table1 data =
+  let header =
+    [
+      "Accounts"; "Rmem/Pmem";
+      "RVM seq"; "(paper)"; "RVM rand"; "(paper)"; "RVM local"; "(paper)";
+      "Cam seq"; "(paper)"; "Cam rand"; "(paper)"; "Cam local"; "(paper)";
+    ]
+  in
+  let rows =
+    List.map
+      (fun row ->
+        let c e p = cell row e p in
+        [
+          string_of_int row.accounts;
+          Printf.sprintf "%.1f%%" row.ratio_pct;
+          fmt_cell (c Experiment.Rvm Tpca.Sequential);
+          fmt_paper (c Experiment.Rvm Tpca.Sequential);
+          fmt_cell (c Experiment.Rvm Tpca.Random);
+          fmt_paper (c Experiment.Rvm Tpca.Random);
+          fmt_cell (c Experiment.Rvm Tpca.Localized);
+          fmt_paper (c Experiment.Rvm Tpca.Localized);
+          fmt_cell (c Experiment.Camelot Tpca.Sequential);
+          fmt_paper (c Experiment.Camelot Tpca.Sequential);
+          fmt_cell (c Experiment.Camelot Tpca.Random);
+          fmt_paper (c Experiment.Camelot Tpca.Random);
+          fmt_cell (c Experiment.Camelot Tpca.Localized);
+          fmt_paper (c Experiment.Camelot Tpca.Localized);
+        ])
+      data
+  in
+  Report.table
+    ~title:
+      "Table 1: Transactional throughput (txn/s), measured (std) vs paper"
+    ~header ~rows
+
+let series_of data ~metric ~engine ~pattern =
+  List.filter_map
+    (fun row ->
+      Option.map
+        (fun c -> (row.ratio_pct, metric c))
+        (cell row engine pattern))
+    data
+
+let print_figure8 data =
+  let tps c = Stats.mean c.tps in
+  Report.series
+    ~title:"Figure 8(a): throughput, best and worst cases"
+    ~xlabel:"Rmem/Pmem (percent)" ~ylabel:"txn/s"
+    [
+      ("RVM sequential", series_of data ~metric:tps ~engine:Experiment.Rvm ~pattern:Tpca.Sequential);
+      ("Camelot sequential", series_of data ~metric:tps ~engine:Experiment.Camelot ~pattern:Tpca.Sequential);
+      ("RVM random", series_of data ~metric:tps ~engine:Experiment.Rvm ~pattern:Tpca.Random);
+      ("Camelot random", series_of data ~metric:tps ~engine:Experiment.Camelot ~pattern:Tpca.Random);
+    ];
+  Report.series
+    ~title:"Figure 8(b): throughput, average case"
+    ~xlabel:"Rmem/Pmem (percent)" ~ylabel:"txn/s"
+    [
+      ("RVM localized", series_of data ~metric:tps ~engine:Experiment.Rvm ~pattern:Tpca.Localized);
+      ("Camelot localized", series_of data ~metric:tps ~engine:Experiment.Camelot ~pattern:Tpca.Localized);
+    ]
+
+let print_figure9 data =
+  let cpu c = Stats.mean c.cpu in
+  Report.series
+    ~title:"Figure 9(a): amortized CPU cost per transaction, best/worst cases"
+    ~xlabel:"Rmem/Pmem (percent)" ~ylabel:"CPU ms/txn"
+    [
+      ("RVM sequential", series_of data ~metric:cpu ~engine:Experiment.Rvm ~pattern:Tpca.Sequential);
+      ("Camelot sequential", series_of data ~metric:cpu ~engine:Experiment.Camelot ~pattern:Tpca.Sequential);
+      ("RVM random", series_of data ~metric:cpu ~engine:Experiment.Rvm ~pattern:Tpca.Random);
+      ("Camelot random", series_of data ~metric:cpu ~engine:Experiment.Camelot ~pattern:Tpca.Random);
+    ];
+  Report.series
+    ~title:"Figure 9(b): amortized CPU cost per transaction, average case"
+    ~xlabel:"Rmem/Pmem (percent)" ~ylabel:"CPU ms/txn"
+    [
+      ("RVM localized", series_of data ~metric:cpu ~engine:Experiment.Rvm ~pattern:Tpca.Localized);
+      ("Camelot localized", series_of data ~metric:cpu ~engine:Experiment.Camelot ~pattern:Tpca.Localized);
+    ]

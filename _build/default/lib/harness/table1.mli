@@ -1,0 +1,37 @@
+(** Table 1 / Figure 8 / Figure 9: transactional throughput and amortized
+    CPU cost of RVM vs Camelot across recoverable-memory sizes and access
+    patterns, with the paper's measured values alongside. *)
+
+type cell = {
+  tps : Rvm_util.Stats.t;
+  cpu : Rvm_util.Stats.t;
+  paper_tps : float option;  (** the corresponding Table 1 entry *)
+}
+
+type row = {
+  accounts : int;
+  ratio_pct : float;  (** Rmem/Pmem, percent *)
+  cells : ((Experiment.engine_kind * Rvm_workload.Tpca.pattern) * cell) list;
+}
+
+type data = row list
+
+val paper_tps :
+  Experiment.engine_kind -> Rvm_workload.Tpca.pattern -> int -> float option
+(** Paper Table 1 value for the i-th account step (0-based). *)
+
+val run :
+  ?trials:int ->
+  ?measure:int ->
+  ?accounts_steps:int list ->
+  ?patterns:Rvm_workload.Tpca.pattern list ->
+  ?engines:Experiment.engine_kind list ->
+  unit ->
+  data
+
+val print_table1 : data -> unit
+val print_figure8 : data -> unit
+(** Throughput series: (a) sequential + random, (b) localized. *)
+
+val print_figure9 : data -> unit
+(** CPU-per-transaction series, same split. *)

@@ -1,0 +1,7 @@
+(** Table 2: savings in log traffic due to RVM's intra- and
+    inter-transaction optimizations on the nine Coda machines, measured by
+    the real optimizer against synthetic streams with the paper's observed
+    rates (see {!Rvm_workload.Coda}). *)
+
+val run : ?seed:int64 -> unit -> Rvm_workload.Coda.result list
+val print : Rvm_workload.Coda.result list -> unit

@@ -1,0 +1,1 @@
+lib/layers/lock_mgr.ml: Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/layers/nested.ml: Bytes Hashtbl List Rvm_core Rvm_util

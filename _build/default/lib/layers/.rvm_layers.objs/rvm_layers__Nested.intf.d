@@ -1,0 +1,1 @@
+lib/layers/nested.mli: Bytes Rvm_core

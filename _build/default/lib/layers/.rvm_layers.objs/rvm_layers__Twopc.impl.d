@@ -1,0 +1,1 @@
+lib/layers/twopc.ml: Bytes Hashtbl Int64 List Rvm_core Rvm_util String

@@ -1,0 +1,1 @@
+lib/layers/twopc.mli: Bytes Rvm_core

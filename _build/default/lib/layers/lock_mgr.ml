@@ -1,0 +1,92 @@
+type mode = Shared | Exclusive
+
+type t = {
+  locks : (string, (int * mode) list ref) Hashtbl.t;
+  waits : (int, int list) Hashtbl.t;  (* owner -> owners it waits for *)
+}
+
+let create () = { locks = Hashtbl.create 64; waits = Hashtbl.create 16 }
+
+let cell t key =
+  match Hashtbl.find_opt t.locks key with
+  | Some c -> c
+  | None ->
+    let c = ref [] in
+    Hashtbl.add t.locks key c;
+    c
+
+let compatible holders ~owner ~mode =
+  let others = List.filter (fun (o, _) -> o <> owner) holders in
+  match mode with
+  | Shared ->
+    let blockers =
+      List.filter_map
+        (fun (o, m) -> if m = Exclusive then Some o else None)
+        others
+    in
+    if blockers = [] then Ok () else Error blockers
+  | Exclusive ->
+    if others = [] then Ok () else Error (List.map fst others)
+
+let try_acquire t ~owner ~key mode =
+  let c = cell t key in
+  match compatible !c ~owner ~mode with
+  | Error blockers -> `Conflict (List.sort_uniq compare blockers)
+  | Ok () ->
+    let mine = List.assoc_opt owner !c in
+    let merged =
+      match (mine, mode) with
+      | Some Exclusive, _ -> Exclusive
+      | _, Exclusive -> Exclusive  (* fresh X, or S->X upgrade *)
+      | Some Shared, Shared | None, Shared -> Shared
+    in
+    c := (owner, merged) :: List.remove_assoc owner !c;
+    `Granted
+
+(* Cycle check in the wait-for graph starting from [src]. *)
+let reaches t ~src ~dst =
+  let seen = Hashtbl.create 8 in
+  let rec go o =
+    o = dst
+    || (not (Hashtbl.mem seen o))
+       && begin
+            Hashtbl.add seen o ();
+            List.exists go (Option.value (Hashtbl.find_opt t.waits o) ~default:[])
+          end
+  in
+  go src
+
+let wait_for t ~owner ~key mode =
+  match try_acquire t ~owner ~key mode with
+  | `Granted ->
+    Hashtbl.remove t.waits owner;
+    `Granted
+  | `Conflict blockers ->
+    if List.exists (fun b -> reaches t ~src:b ~dst:owner) blockers then
+      `Deadlock
+    else begin
+      Hashtbl.replace t.waits owner blockers;
+      `Wait blockers
+    end
+
+let release_all t ~owner =
+  Hashtbl.iter
+    (fun _ c -> c := List.filter (fun (o, _) -> o <> owner) !c)
+    t.locks;
+  Hashtbl.remove t.waits owner;
+  Hashtbl.iter
+    (fun o blockers ->
+      Hashtbl.replace t.waits o (List.filter (fun b -> b <> owner) blockers))
+    t.waits
+
+let holders t ~key =
+  match Hashtbl.find_opt t.locks key with Some c -> !c | None -> []
+
+let held_keys t ~owner =
+  Hashtbl.fold
+    (fun key c acc -> if List.mem_assoc owner !c then key :: acc else acc)
+    t.locks []
+  |> List.sort compare
+
+let lock_count t =
+  Hashtbl.fold (fun _ c acc -> acc + List.length !c) t.locks 0

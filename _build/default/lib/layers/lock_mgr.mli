@@ -1,0 +1,38 @@
+(** A two-phase-locking lock manager — the serializability layer of
+    Figure 2.
+
+    RVM deliberately factors concurrency control out (section 3.1): "If
+    serializability is required, a layer above RVM has to enforce it. That
+    layer is also responsible for coping with deadlocks, starvation and
+    other unpleasant concurrency control problems." This module is such a
+    layer: named resources, shared/exclusive modes, reentrant holds,
+    upgrades, and wait-for-graph deadlock detection for callers that queue.
+
+    Locks are volatile by design — after a crash, RVM recovery restores
+    committed state and no transaction survives to hold anything. *)
+
+type t
+
+type mode = Shared | Exclusive
+
+val create : unit -> t
+
+val try_acquire : t -> owner:int -> key:string -> mode -> [ `Granted | `Conflict of int list ]
+(** Attempt to lock [key]. Re-acquisition by a holder is granted; a sole
+    shared holder may upgrade to exclusive. On conflict, the blocking
+    owners are returned. *)
+
+val wait_for :
+  t -> owner:int -> key:string -> mode -> [ `Granted | `Wait of int list | `Deadlock ]
+(** Like {!try_acquire}, but on conflict records a wait-for edge first:
+    [`Deadlock] if that edge closes a cycle (the caller should abort one
+    transaction), [`Wait blockers] otherwise (the caller retries after the
+    blockers release — no real blocking, the engine is single-threaded). *)
+
+val release_all : t -> owner:int -> unit
+(** Drop every lock and wait edge of [owner] — the phase-two release at
+    commit or abort. *)
+
+val holders : t -> key:string -> (int * mode) list
+val held_keys : t -> owner:int -> string list
+val lock_count : t -> int

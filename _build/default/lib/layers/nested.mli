@@ -1,0 +1,47 @@
+(** Nested transactions layered on RVM (section 8).
+
+    "Nested transactions could be implemented using RVM as a substrate for
+    bookkeeping state such as the undo logs of nested transactions. Only
+    top-level begin, commit, and abort operations would be visible to RVM.
+    Recovery would be simple, since the restoration of committed state
+    would be handled entirely by RVM."
+
+    Each nesting level keeps its own volatile undo log, captured at
+    [set_range] time; aborting a subtransaction restores exactly the bytes
+    it declared, while committing one merges its undo log into the parent
+    so a later parent abort undoes it too. The top level maps 1:1 onto an
+    RVM transaction, to which all set_ranges are forwarded. *)
+
+type t
+type ntid
+
+val create : Rvm_core.Rvm.t -> t
+
+val begin_top : t -> ntid
+(** Start a top-level transaction (a restore-mode RVM transaction). *)
+
+val begin_nested : t -> parent:ntid -> ntid
+(** Start a subtransaction. The parent must be active and must not already
+    have an active child (linear nesting, as in Venari's usage). *)
+
+val set_range : t -> ntid -> addr:int -> len:int -> unit
+(** Declare a modification for the given (deepest active) level. *)
+
+val modify : t -> ntid -> addr:int -> Bytes.t -> unit
+
+val commit : t -> ntid -> ?mode:Rvm_core.Types.commit_mode -> unit -> unit
+(** Commit a level. For a subtransaction this merges its undo log into the
+    parent (no RVM interaction); for the top level it ends the underlying
+    RVM transaction with [mode] (default [Flush]). Requires all children
+    resolved. *)
+
+val abort : t -> ntid -> unit
+(** Abort a level: restore every byte it declared (and everything its
+    committed children declared). A top-level abort aborts the RVM
+    transaction itself. *)
+
+val depth : t -> ntid -> int
+(** 0 for a top-level transaction. *)
+
+val active : t -> int
+(** Number of active levels across all trees. *)

@@ -1,0 +1,177 @@
+module Rvm = Rvm_core.Rvm
+module Region = Rvm_core.Region
+module Types = Rvm_core.Types
+module Intervals = Rvm_util.Intervals
+
+type gid = string
+
+(* --- subordinate --- *)
+
+type branch_state = Active | Prepared
+
+type branch = {
+  mutable tid : Rvm.tid;
+  mutable covered : Intervals.t;
+  mutable compensation : (int * Bytes.t) list;  (* (addr, old value) *)
+  mutable state : branch_state;
+}
+
+type sub = {
+  s_name : string;
+  s_rvm : Rvm.t;
+  branches : (gid, branch) Hashtbl.t;
+}
+
+let sub_create ~name rvm = { s_name = name; s_rvm = rvm; branches = Hashtbl.create 8 }
+let sub_name s = s.s_name
+
+let branch s gid =
+  match Hashtbl.find_opt s.branches gid with
+  | Some b -> b
+  | None -> Types.error "2pc[%s]: no branch for %S" s.s_name gid
+
+let sub_begin s gid =
+  if Hashtbl.mem s.branches gid then
+    Types.error "2pc[%s]: branch %S already active" s.s_name gid;
+  let tid = Rvm.begin_transaction s.s_rvm ~mode:Types.Restore in
+  Hashtbl.add s.branches gid
+    { tid; covered = Intervals.empty; compensation = []; state = Active }
+
+let sub_modify s gid ~addr bytes =
+  let b = branch s gid in
+  if b.state <> Active then
+    Types.error "2pc[%s]: branch %S is prepared" s.s_name gid;
+  let len = Bytes.length bytes in
+  (* Compensation data: the old value of each newly covered byte — the
+     old-value records the paper proposes end_transaction should return. *)
+  let gaps, covered = Intervals.add_uncovered b.covered ~lo:addr ~len in
+  b.covered <- covered;
+  List.iter
+    (fun (lo, glen) ->
+      b.compensation <- (lo, Rvm.load s.s_rvm ~addr:lo ~len:glen) :: b.compensation)
+    gaps;
+  Rvm.modify s.s_rvm b.tid ~addr bytes
+
+let sub_prepare s gid =
+  let b = branch s gid in
+  if b.state <> Active then
+    Types.error "2pc[%s]: branch %S already prepared" s.s_name gid;
+  (* First-phase commit: full permanence so the prepared state survives a
+     crash of the site (the compensation data is what lets a later global
+     abort undo it). *)
+  Rvm.end_transaction s.s_rvm b.tid ~mode:Types.Flush;
+  b.state <- Prepared;
+  `Prepared
+
+let sub_refuse s gid =
+  let b = branch s gid in
+  Rvm.abort_transaction s.s_rvm b.tid;
+  Hashtbl.remove s.branches gid
+
+let sub_commit s gid =
+  let b = branch s gid in
+  if b.state <> Prepared then
+    Types.error "2pc[%s]: commit of unprepared branch %S" s.s_name gid;
+  Hashtbl.remove s.branches gid
+
+let sub_abort s gid =
+  let b = branch s gid in
+  (match b.state with
+  | Active -> Rvm.abort_transaction s.s_rvm b.tid
+  | Prepared ->
+    (* Compensating transaction: restore every modified byte. *)
+    let tid = Rvm.begin_transaction s.s_rvm ~mode:Types.Restore in
+    List.iter
+      (fun (addr, old_value) -> Rvm.modify s.s_rvm tid ~addr old_value)
+      b.compensation;
+    Rvm.end_transaction s.s_rvm tid ~mode:Types.Flush);
+  Hashtbl.remove s.branches gid
+
+let sub_in_doubt s =
+  Hashtbl.fold
+    (fun gid b acc -> if b.state = Prepared then gid :: acc else acc)
+    s.branches []
+
+(* --- coordinator --- *)
+
+(* Decision records live in recoverable memory: 40-byte entries of
+   zero-padded gid (32 bytes) + decision byte, preceded by a count. *)
+
+type coordinator = { c_rvm : Rvm.t; region : Region.t }
+
+type decision = Committed | Aborted
+
+let gid_bytes = 32
+let entry_size = gid_bytes + 8
+
+let coordinator_create rvm ~decision_region =
+  { c_rvm = rvm; region = decision_region }
+
+let decision_count c =
+  Int64.to_int (Rvm.get_i64 c.c_rvm ~addr:c.region.Region.vaddr)
+
+let entry_addr c i = c.region.Region.vaddr + 8 + (i * entry_size)
+
+let pad_gid gid =
+  if String.length gid > gid_bytes then
+    Types.error "2pc: gid %S longer than %d bytes" gid gid_bytes;
+  let b = Bytes.make gid_bytes '\000' in
+  Bytes.blit_string gid 0 b 0 (String.length gid);
+  b
+
+let lookup_decision c gid =
+  let padded = pad_gid gid in
+  let n = decision_count c in
+  let rec go i =
+    if i >= n then None
+    else
+      let a = entry_addr c i in
+      if Rvm.load c.c_rvm ~addr:a ~len:gid_bytes = padded then
+        match Rvm.get_u8 c.c_rvm ~addr:(a + gid_bytes) with
+        | 1 -> Some Committed
+        | _ -> Some Aborted
+      else go (i + 1)
+  in
+  go 0
+
+let persist_decision c gid d =
+  let n = decision_count c in
+  let a = entry_addr c n in
+  if a + entry_size > Region.end_vaddr c.region then
+    Types.error "2pc: decision region full";
+  let tid = Rvm.begin_transaction c.c_rvm ~mode:Types.Restore in
+  Rvm.modify c.c_rvm tid ~addr:a (pad_gid gid);
+  Rvm.set_range c.c_rvm tid ~addr:(a + gid_bytes) ~len:1;
+  Rvm.set_u8 c.c_rvm ~addr:(a + gid_bytes) (match d with Committed -> 1 | Aborted -> 0);
+  Rvm.set_range c.c_rvm tid ~addr:c.region.Region.vaddr ~len:8;
+  Rvm.set_i64 c.c_rvm ~addr:c.region.Region.vaddr (Int64.of_int (n + 1));
+  (* The decision must be durable before any announcement: this is the
+     commit point of the whole distributed transaction. *)
+  Rvm.end_transaction c.c_rvm tid ~mode:Types.Flush
+
+let run c gid ~participants ~work ?(fail_vote = fun _ -> false) () =
+  List.iter (fun s -> sub_begin s gid) participants;
+  List.iter (fun s -> work s) participants;
+  (* Phase one: collect votes. *)
+  let votes =
+    List.map
+      (fun s ->
+        if fail_vote s.s_name then begin
+          sub_refuse s gid;
+          (s, `Refused)
+        end
+        else (s, sub_prepare s gid))
+      participants
+  in
+  let all_prepared = List.for_all (fun (_, v) -> v = `Prepared) votes in
+  let d = if all_prepared then Committed else Aborted in
+  persist_decision c gid d;
+  (* Phase two. *)
+  List.iter
+    (fun (s, v) ->
+      match (d, v) with
+      | Committed, `Prepared -> sub_commit s gid
+      | Aborted, `Prepared -> sub_abort s gid
+      | _, `Refused -> ())
+    votes;
+  d

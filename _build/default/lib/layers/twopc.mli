@@ -1,0 +1,81 @@
+(** Distributed transactions layered on RVM (section 8).
+
+    "Support for distributed transactions could also be provided by a
+    library built on RVM. Such a library would provide coordinator and
+    subordinate routines for each phase of a two-phase commit ... On a
+    global abort, the library at each subordinate could use the saved
+    records to construct a compensating RVM transaction."
+
+    Each site is an RVM instance. A subordinate runs the distributed
+    transaction's local work as an ordinary RVM transaction; at {e prepare}
+    it captures the old values of every declared range (the extension the
+    paper proposes for [end_transaction]) and commits locally with a flush.
+    The coordinator durably records its commit/abort decision in its own
+    recoverable memory before announcing it, so a restarted coordinator can
+    answer in-doubt subordinates. A global abort triggers a compensating
+    RVM transaction at each prepared subordinate.
+
+    The transport is a pair of upcalls supplied by the application, as the
+    paper suggests ("the communication mechanism could be left unspecified
+    until runtime by using upcalls"), so the same library runs over any
+    messaging layer; tests inject vote and delivery failures. *)
+
+type gid = string
+(** Global transaction identifier. *)
+
+(** {1 Subordinate} *)
+
+type sub
+
+val sub_create : name:string -> Rvm_core.Rvm.t -> sub
+val sub_name : sub -> string
+
+val sub_begin : sub -> gid -> unit
+(** Start the local branch of [gid]. One active branch per gid per site. *)
+
+val sub_modify : sub -> gid -> addr:int -> Bytes.t -> unit
+(** Declare-and-write within the branch. *)
+
+val sub_prepare : sub -> gid -> [ `Prepared | `Refused ]
+(** First phase: capture compensation data and commit the local branch with
+    full permanence. After [`Prepared] the site can still undo the branch
+    via {!sub_abort}. [`Refused] aborts the branch locally. *)
+
+val sub_commit : sub -> gid -> unit
+(** Second phase, global commit: discard compensation data. *)
+
+val sub_abort : sub -> gid -> unit
+(** Second phase, global abort: run the compensating transaction restoring
+    every byte the branch modified, then discard. Valid both before and
+    after prepare. *)
+
+val sub_in_doubt : sub -> gid list
+(** Prepared branches awaiting a decision. *)
+
+(** {1 Coordinator} *)
+
+type coordinator
+
+type decision = Committed | Aborted
+
+val coordinator_create :
+  Rvm_core.Rvm.t -> decision_region:Rvm_core.Region.t -> coordinator
+(** The coordinator persists decisions in [decision_region] (a small
+    mapped region it owns exclusively). *)
+
+val run :
+  coordinator ->
+  gid ->
+  participants:sub list ->
+  work:(sub -> unit) ->
+  ?fail_vote:(string -> bool) ->
+  unit ->
+  decision
+(** Execute one distributed transaction: begin a branch at every
+    participant, run [work] on each, collect votes ([fail_vote] forces a
+    site to refuse — failure injection for tests), persist the decision,
+    then commit or abort every branch. *)
+
+val lookup_decision : coordinator -> gid -> decision option
+(** Durable decision lookup — what an in-doubt subordinate asks after a
+    coordinator restart. *)

@@ -1,0 +1,1 @@
+lib/log/log_manager.ml: Bytes List Logs Printf Record Rvm_disk Status

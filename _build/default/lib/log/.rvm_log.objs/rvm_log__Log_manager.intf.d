@@ -1,0 +1,1 @@
+lib/log/log_manager.mli: Record Rvm_disk Status

@@ -1,0 +1,1 @@
+lib/log/record.ml: Bytes Int64 List Rvm_util

@@ -1,0 +1,1 @@
+lib/log/status.ml: Bytes Rvm_disk Rvm_util

@@ -1,0 +1,1 @@
+lib/log/status.mli: Bytes Rvm_disk

@@ -1,0 +1,205 @@
+module Device = Rvm_disk.Device
+
+exception Log_full
+
+let src = Logs.Src.create "rvm.log" ~doc:"RVM write-ahead log"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  dev : Device.t;
+  mutable status : Status.t;
+  mutable tail : int;
+  mutable next_seqno : int;
+  mutable used : int;  (* live bytes (records + wrap filler) *)
+  mutable records : int;  (* live record count *)
+}
+
+let device t = t.dev
+let status t = t.status
+let capacity t = t.status.Status.log_size - t.status.Status.data_start
+let used_bytes t = t.used
+let free_bytes t = capacity t - t.used
+let is_empty t = t.used = 0
+let head t = t.status.Status.head
+let tail t = t.tail
+let next_seqno t = t.next_seqno
+let record_count t = t.records
+
+let format dev =
+  let size = dev.Device.size in
+  if size < Status.size + (4 * Record.wrap_size) then
+    invalid_arg "Log_manager.format: device too small for a log";
+  Status.write dev (Status.initial ~log_size:size)
+
+(* Read the whole data area once; scans decode against this image. Used at
+   open time, when the tail is not yet known. *)
+let read_area dev =
+  Device.read_bytes dev ~off:0 ~len:dev.Device.size
+
+(* Read only the live window [head, tail) (two spans when wrapped) into a
+   device-sized buffer, so iteration I/O cost is proportional to the live
+   log, not the device. *)
+let read_live t =
+  let buf = Bytes.make t.dev.Device.size '\000' in
+  let head = t.status.Status.head in
+  let data_start = t.status.Status.data_start in
+  let log_size = t.status.Status.log_size in
+  if t.used > 0 then begin
+    if t.tail > head then
+      t.dev.Device.read ~off:head ~buf ~pos:head ~len:(t.tail - head)
+    else begin
+      t.dev.Device.read ~off:head ~buf ~pos:head ~len:(log_size - head);
+      if t.tail > data_start then
+        t.dev.Device.read ~off:data_start ~buf ~pos:data_start
+          ~len:(t.tail - data_start)
+    end
+  end;
+  buf
+
+(* Walk live records from [head] expecting consecutive sequence numbers.
+   Returns (tail, next_seqno, used, records) and calls [f] per record. *)
+let scan area (st : Status.t) ~f =
+  let log_size = st.Status.log_size in
+  let data_start = st.Status.data_start in
+  let rec go off seqno used records =
+    if log_size - off < Record.wrap_size then
+      (* Too little room even for a wrap marker: implicit wrap; account the
+         skipped filler as used space, mirroring the writer. *)
+      go_at data_start seqno (used + (log_size - off)) records
+    else go_at off seqno used records
+  and go_at off seqno used records =
+    match Record.decode area ~pos:off with
+    | Some (r, total) when r.Record.seqno = seqno -> begin
+      f ~off r;
+      match r.Record.kind with
+      | Record.Wrap ->
+        (* The marker stretches to the end of the area. *)
+        go data_start (seqno + 1) (used + total) (records + 1)
+      | Record.Commit -> go (off + total) (seqno + 1) (used + total) (records + 1)
+    end
+    | _ -> (off, seqno, used, records)
+  in
+  go st.Status.head st.Status.head_seqno 0 0
+
+let open_log dev =
+  match Status.read dev with
+  | Error _ as e -> e
+  | Ok st ->
+    if st.Status.log_size <> dev.Device.size then
+      Error
+        (Printf.sprintf "log size mismatch: formatted for %d, device is %d"
+           st.Status.log_size dev.Device.size)
+    else begin
+      let area = read_area dev in
+      let tail, next_seqno, used, records =
+        scan area st ~f:(fun ~off:_ _ -> ())
+      in
+      Ok { dev; status = st; tail; next_seqno; used; records }
+    end
+
+let append_record t record =
+  let seqno = t.next_seqno in
+  let record = { record with Record.seqno } in
+  let size = Record.encoded_size record in
+  let log_size = t.status.Status.log_size in
+  let data_start = t.status.Status.data_start in
+  let room_to_end = log_size - t.tail in
+  let fits_in_place = size <= room_to_end in
+  (* A record must never end inside the last [wrap_size - 1] bytes of the
+     area: the sliver could hold no wrap marker, and a backward scan coming
+     from [data_start] expects a trailer at the wrap point. Pad such a
+     record so it ends exactly at the end of the area. *)
+  let record, size =
+    if fits_in_place && room_to_end - size < Record.wrap_size then
+      ({ record with Record.pad = record.Record.pad + (room_to_end - size) },
+       room_to_end)
+    else (record, size)
+  in
+  let needed = if fits_in_place then size else room_to_end + size in
+  if t.used + needed > capacity t then raise Log_full;
+  if not fits_in_place then begin
+    (* Mark the jump explicitly when a marker fits; otherwise the reader
+       wraps implicitly because the space cannot hold any record. *)
+    if room_to_end >= Record.wrap_size then begin
+      let marker =
+        Record.wrap ~seqno ~pad:(room_to_end - Record.wrap_size)
+      in
+      Device.write_bytes t.dev ~off:t.tail (Record.encode marker);
+      t.next_seqno <- t.next_seqno + 1;
+      t.records <- t.records + 1
+    end;
+    t.used <- t.used + room_to_end;
+    t.tail <- data_start
+  end;
+  let record = { record with Record.seqno = t.next_seqno } in
+  let off = t.tail in
+  Device.write_bytes t.dev ~off (Record.encode record);
+  let seqno = t.next_seqno in
+  t.tail <- t.tail + size;
+  t.used <- t.used + size;
+  t.next_seqno <- t.next_seqno + 1;
+  t.records <- t.records + 1;
+  (off, seqno)
+
+let append t ~tid ?timestamp_us ?flags ranges =
+  append_record t (Record.commit ~seqno:0 ~tid ?timestamp_us ?flags ranges)
+
+let force t = t.dev.Device.sync ()
+
+let iter_live t ~f =
+  let area = read_live t in
+  ignore (scan area t.status ~f)
+
+let live_records t =
+  let acc = ref [] in
+  iter_live t ~f:(fun ~off r -> acc := (off, r) :: !acc);
+  List.rev !acc
+
+let iter_live_backward t ~f =
+  (* Walk trailers back from the tail. The wrap marker pads to the end of
+     the data area, so stepping back from [data_start] continues at
+     [log_size]. Stop once the head is reached. *)
+  let area = read_live t in
+  let log_size = t.status.Status.log_size in
+  let data_start = t.status.Status.data_start in
+  let head = t.status.Status.head in
+  let rec go end_pos =
+    let end_pos = if end_pos = data_start then log_size else end_pos in
+    match Record.decode_backward area ~end_pos with
+    | Some (r, start) ->
+      f ~off:start r;
+      if start <> head then go start
+    | None ->
+      (* The live area was validated by the forward scan at open time. *)
+      invalid_arg "Log_manager.iter_live_backward: corrupt live area"
+  in
+  if t.records > 0 then go t.tail
+
+let move_head t ~new_head ~new_head_seqno =
+  let log_size = t.status.Status.log_size in
+  let data_start = t.status.Status.data_start in
+  let old_head = t.status.Status.head in
+  let reclaimed =
+    if new_head >= old_head then new_head - old_head
+    else log_size - old_head + (new_head - data_start)
+  in
+  let reclaimed_records = new_head_seqno - t.status.Status.head_seqno in
+  L.debug (fun m ->
+      m "move_head: %d -> %d (reclaimed %d bytes, %d records)" old_head
+        new_head reclaimed reclaimed_records);
+  t.used <- t.used - reclaimed;
+  t.records <- t.records - reclaimed_records;
+  assert (t.used >= 0 && t.records >= 0);
+  let status =
+    {
+      t.status with
+      Status.head = new_head;
+      head_seqno = new_head_seqno;
+      truncations = t.status.Status.truncations + 1;
+    }
+  in
+  Status.write t.dev status;
+  t.status <- status
+
+let reset_empty t = move_head t ~new_head:t.tail ~new_head_seqno:t.next_seqno

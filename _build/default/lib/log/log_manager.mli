@@ -1,0 +1,75 @@
+(** The circular write-ahead log.
+
+    One log per process (section 3.3): a status block at offset 0 and a
+    circular data area after it. Appends go at the tail; the head advances
+    only at truncation. The tail is never stored durably — opening a log
+    scans forward from the head, accepting records whose checksums verify
+    and whose sequence numbers continue the chain, and stops at the first
+    mismatch. A torn final append therefore vanishes, never half-applies.
+
+    The manager knows nothing about transactions or segments; it moves
+    validated records. Commit semantics, recovery and truncation live in
+    [Rvm_core] on top of {!iter_live} / {!append} / {!move_head}. *)
+
+exception Log_full
+(** Raised by {!append} when the record does not fit in the free space.
+    The caller is expected to truncate and retry. *)
+
+type t
+
+val format : Rvm_disk.Device.t -> unit
+(** Initialize a device as an empty log (writes and syncs the status
+    block). Raises [Invalid_argument] if the device is too small. *)
+
+val open_log : Rvm_disk.Device.t -> (t, string) result
+(** Open a formatted log, scanning to locate the tail. *)
+
+val device : t -> Rvm_disk.Device.t
+val status : t -> Status.t
+
+val capacity : t -> int
+(** Usable bytes in the circular data area. *)
+
+val used_bytes : t -> int
+val free_bytes : t -> int
+val is_empty : t -> bool
+val head : t -> int
+val tail : t -> int
+val next_seqno : t -> int
+
+val record_count : t -> int
+(** Live records (including wrap markers). *)
+
+val append :
+  t ->
+  tid:int ->
+  ?timestamp_us:int ->
+  ?flags:int ->
+  Record.range list ->
+  int * int
+(** Append a commit record, returning its [(offset, sequence number)].
+    Does not force. Raises {!Log_full}. *)
+
+val append_record : t -> Record.t -> int * int
+(** Lower-level append of a pre-built record; its [seqno] field is replaced
+    with the next sequence number. Returns [(offset, seqno)]. *)
+
+val force : t -> unit
+(** Synchronously flush everything appended so far (the log force of a
+    flush-mode commit). *)
+
+val iter_live : t -> f:(off:int -> Record.t -> unit) -> unit
+(** Visit live records oldest-first. Wrap markers are included. *)
+
+val iter_live_backward : t -> f:(off:int -> Record.t -> unit) -> unit
+(** Visit live records newest-first, walking the reverse displacements. *)
+
+val live_records : t -> (int * Record.t) list
+(** Oldest-first [(offset, record)] list. *)
+
+val move_head : t -> new_head:int -> new_head_seqno:int -> unit
+(** Advance the head past reclaimed records and durably record it in the
+    status block (the final, idempotency-delimiting step of truncation). *)
+
+val reset_empty : t -> unit
+(** Declare every live record reclaimed (end of recovery: head := tail). *)

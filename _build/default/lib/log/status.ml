@@ -1,0 +1,62 @@
+module B = Rvm_util.Bytebuf
+module Checksum = Rvm_util.Checksum
+
+type t = {
+  log_size : int;
+  data_start : int;
+  head : int;
+  head_seqno : int;
+  truncations : int;
+}
+
+let size = 512
+let data_start = size
+let magic = 0x52564C53 (* "RVLS" *)
+let version = 1
+
+let initial ~log_size =
+  { log_size; data_start; head = data_start; head_seqno = 0; truncations = 0 }
+
+let encode t =
+  let b = B.create ~capacity:size () in
+  B.u32 b magic;
+  B.u32 b version;
+  B.uint b t.log_size;
+  B.uint b t.data_start;
+  B.uint b t.head;
+  B.uint b t.head_seqno;
+  B.uint b t.truncations;
+  let crc = B.checksum b ~pos:0 ~len:(B.length b) in
+  B.i32 b crc;
+  let out = Bytes.make size '\000' in
+  B.blit_into b out ~pos:0;
+  out
+
+let decode bytes =
+  if Bytes.length bytes < size then Error "status block: short read"
+  else
+    let c = B.Cursor.of_bytes bytes ~pos:0 ~len:size in
+    try
+      if B.Cursor.u32 c <> magic then Error "status block: bad magic"
+      else if B.Cursor.u32 c <> version then Error "status block: bad version"
+      else begin
+        let log_size = B.Cursor.uint c in
+        let data_start = B.Cursor.uint c in
+        let head = B.Cursor.uint c in
+        let head_seqno = B.Cursor.uint c in
+        let truncations = B.Cursor.uint c in
+        let body_len = B.Cursor.pos c in
+        let crc = B.Cursor.i32 c in
+        if crc <> Checksum.bytes bytes ~pos:0 ~len:body_len then
+          Error "status block: bad checksum"
+        else Ok { log_size; data_start; head; head_seqno; truncations }
+      end
+    with B.Underflow -> Error "status block: truncated"
+
+let read dev =
+  let bytes = Rvm_disk.Device.read_bytes dev ~off:0 ~len:size in
+  decode bytes
+
+let write dev t =
+  Rvm_disk.Device.write_bytes dev ~off:0 (encode t);
+  dev.Rvm_disk.Device.sync ()

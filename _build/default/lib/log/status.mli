@@ -1,0 +1,35 @@
+(** The log status block: a fixed 512-byte sector at device offset 0.
+
+    It records where the live portion of the circular log begins (head
+    offset and the sequence number expected there); the tail is found by
+    scanning forward, so the block only needs rewriting when the head moves
+    — at truncation and at the end of recovery — never on the commit path.
+
+    Updating it is the {e last} step of recovery/truncation: until then a
+    crash simply replays the same prefix again, which is what makes both
+    idempotent (section 5.1.2). *)
+
+type t = {
+  log_size : int;  (** device capacity the log was formatted for *)
+  data_start : int;  (** first byte of the circular data area *)
+  head : int;  (** device offset of the oldest live record *)
+  head_seqno : int;  (** sequence number expected at [head] *)
+  truncations : int;  (** completed truncation count (epoch counter) *)
+}
+
+val size : int
+(** 512. *)
+
+val data_start : int
+(** Where the data area begins on a freshly formatted log ([size]). *)
+
+val initial : log_size:int -> t
+
+val encode : t -> Bytes.t
+(** 512 bytes, checksummed. *)
+
+val decode : Bytes.t -> (t, string) result
+
+val read : Rvm_disk.Device.t -> (t, string) result
+val write : Rvm_disk.Device.t -> t -> unit
+(** Write and sync the block. *)

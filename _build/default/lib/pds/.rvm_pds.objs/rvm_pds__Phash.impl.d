@@ -1,0 +1,1 @@
+lib/pds/phash.ml: Bytes Char Int32 Int64 Rvm_alloc Rvm_core String

@@ -1,0 +1,1 @@
+lib/pds/phash.mli: Rvm_alloc Rvm_core

@@ -1,0 +1,1 @@
+lib/pds/pqueue.ml: Bytes Int64 Rvm_alloc Rvm_core String

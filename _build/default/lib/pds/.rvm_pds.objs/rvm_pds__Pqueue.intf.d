@@ -1,0 +1,1 @@
+lib/pds/pqueue.mli: Rvm_alloc Rvm_core

@@ -1,0 +1,160 @@
+module Rvm = Rvm_core.Rvm
+module Types = Rvm_core.Types
+module Rds = Rvm_alloc.Rds
+
+(* Layout.
+   Header (32 bytes, rds-allocated):
+     +0  magic          "RVMPHSH1"
+     +8  bucket array address
+     +16 bucket count
+     +24 entry count
+   Bucket array: one 8-byte entry pointer per bucket (0 = empty).
+   Entry (rds-allocated):
+     +0  next entry address (0 = end of chain)
+     +8  key length (i32) | value length (i32 at +12)
+     +16 key bytes, then value bytes. *)
+
+type t = { rvm : Rvm.t; heap : Rds.t; addr : int }
+
+let magic = 0x52564D5048534831L (* "RVMPHSH1" *)
+let header_size = 32
+let entry_header = 16
+
+let getw t addr = Int64.to_int (Rvm.get_i64 t.rvm ~addr)
+
+let setw t tid addr v =
+  Rvm.set_range t.rvm tid ~addr ~len:8;
+  Rvm.set_i64 t.rvm ~addr (Int64.of_int v)
+
+let bucket_array t = getw t (t.addr + 8)
+let buckets t = getw t (t.addr + 16)
+let length t = getw t (t.addr + 24)
+let bucket_addr t i = bucket_array t + (8 * i)
+let address t = t.addr
+
+(* FNV-1a (63-bit), folded into the bucket count. *)
+let hash t key =
+  let h = ref 0xbf29ce484222325 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land max_int)
+    key;
+  !h mod buckets t
+
+let create rvm heap tid ~buckets:n =
+  if n <= 0 then Types.error "phash: bucket count %d" n;
+  let addr = Rds.alloc heap tid ~size:header_size in
+  let arr = Rds.alloc heap tid ~size:(8 * n) in
+  let t = { rvm; heap; addr } in
+  setw t tid addr (Int64.to_int magic);
+  setw t tid (addr + 8) arr;
+  setw t tid (addr + 16) n;
+  setw t tid (addr + 24) 0;
+  (* rds payloads are not zeroed: clear the bucket array. *)
+  Rvm.set_range rvm tid ~addr:arr ~len:(8 * n);
+  Rvm.store rvm ~addr:arr (Bytes.make (8 * n) '\000');
+  t
+
+let attach rvm heap ~addr =
+  let t = { rvm; heap; addr } in
+  if getw t addr <> Int64.to_int magic then
+    Types.error "phash: no table at %#x" addr;
+  t
+
+let entry_key t e =
+  let klen = Int32.to_int (Rvm.get_i32 t.rvm ~addr:(e + 8)) in
+  Bytes.to_string (Rvm.load t.rvm ~addr:(e + entry_header) ~len:klen)
+
+let entry_value t e =
+  let klen = Int32.to_int (Rvm.get_i32 t.rvm ~addr:(e + 8)) in
+  let vlen = Int32.to_int (Rvm.get_i32 t.rvm ~addr:(e + 12)) in
+  Bytes.to_string (Rvm.load t.rvm ~addr:(e + entry_header + klen) ~len:vlen)
+
+let entry_next t e = getw t e
+
+(* Find the entry for [key] in its chain, with its predecessor slot (the
+   address holding the pointer to it — bucket slot or previous entry's
+   next field). *)
+let find_slot t ~key =
+  let slot0 = bucket_addr t (hash t key) in
+  let rec go slot =
+    let e = getw t slot in
+    if e = 0 then None
+    else if entry_key t e = key then Some (slot, e)
+    else go e (* next field is at offset 0 *)
+  in
+  go slot0
+
+let get t ~key =
+  match find_slot t ~key with
+  | Some (_, e) -> Some (entry_value t e)
+  | None -> None
+
+let mem t ~key = find_slot t ~key <> None
+
+let alloc_entry t tid ~next ~key ~value =
+  let klen = String.length key and vlen = String.length value in
+  let e = Rds.alloc t.heap tid ~size:(entry_header + klen + vlen) in
+  setw t tid e next;
+  Rvm.set_range t.rvm tid ~addr:(e + 8) ~len:8;
+  Rvm.set_i32 t.rvm ~addr:(e + 8) (Int32.of_int klen);
+  Rvm.set_i32 t.rvm ~addr:(e + 12) (Int32.of_int vlen);
+  Rvm.set_range t.rvm tid ~addr:(e + entry_header) ~len:(klen + vlen);
+  Rvm.store_string t.rvm ~addr:(e + entry_header) key;
+  Rvm.store_string t.rvm ~addr:(e + entry_header + klen) value;
+  e
+
+let put t tid ~key ~value =
+  match find_slot t ~key with
+  | Some (slot, e) ->
+    (* Replace: new entry takes the old one's place in the chain. *)
+    let e' = alloc_entry t tid ~next:(entry_next t e) ~key ~value in
+    setw t tid slot e';
+    Rds.free t.heap tid e
+  | None ->
+    let slot0 = bucket_addr t (hash t key) in
+    let e = alloc_entry t tid ~next:(getw t slot0) ~key ~value in
+    setw t tid slot0 e;
+    setw t tid (t.addr + 24) (length t + 1)
+
+let remove t tid ~key =
+  match find_slot t ~key with
+  | Some (slot, e) ->
+    setw t tid slot (entry_next t e);
+    Rds.free t.heap tid e;
+    setw t tid (t.addr + 24) (length t - 1);
+    true
+  | None -> false
+
+let iter t ~f =
+  for i = 0 to buckets t - 1 do
+    let rec go e =
+      if e <> 0 then begin
+        f ~key:(entry_key t e) ~value:(entry_value t e);
+        go (entry_next t e)
+      end
+    in
+    go (getw t (bucket_addr t i))
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun ~key ~value -> acc := f !acc ~key ~value);
+  !acc
+
+let check t =
+  if getw t t.addr <> Int64.to_int magic then
+    Types.error "phash-check: bad magic";
+  let n = fold t ~init:0 ~f:(fun acc ~key:_ ~value:_ -> acc + 1) in
+  if n <> length t then
+    Types.error "phash-check: count %d but %d entries reachable" (length t) n;
+  (* Every entry hashes to the chain it lives in. *)
+  for i = 0 to buckets t - 1 do
+    let rec go e =
+      if e <> 0 then begin
+        if hash t (entry_key t e) <> i then
+          Types.error "phash-check: entry %#x in wrong bucket" e;
+        go (entry_next t e)
+      end
+    in
+    go (getw t (bucket_addr t i))
+  done

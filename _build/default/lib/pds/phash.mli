@@ -1,0 +1,46 @@
+(** A persistent hash table in recoverable memory.
+
+    The structure the paper's storage-repository use-cases need constantly
+    (Coda's directories, replica databases, the hoard database of section
+    6 are all keyed meta-data): a chained hash table whose buckets, entries
+    and counters all live inside an {!Rvm_alloc.Rds} heap, so every
+    mutation is transactional — an abort rolls it back, a crash recovers
+    it to the last committed state, and a restart {!attach}es to it at the
+    same address (use the segment loader for the stable mapping).
+
+    Keys and values are arbitrary byte strings. Reads need no transaction
+    (reads of mapped memory require no RVM intervention); mutations take
+    the caller's transaction id. *)
+
+type t
+
+val create :
+  Rvm_core.Rvm.t -> Rvm_alloc.Rds.t -> Rvm_core.Rvm.tid -> buckets:int -> t
+(** Allocate an empty table with a fixed bucket count inside the heap,
+    within the given transaction. Returns the handle; its recoverable
+    address is {!address}. *)
+
+val attach : Rvm_core.Rvm.t -> Rvm_alloc.Rds.t -> addr:int -> t
+(** Re-attach to a table created earlier at [addr] (e.g. after restart).
+    Raises {!Rvm_core.Types.Rvm_error} if no table signature is present. *)
+
+val address : t -> int
+(** The table's recoverable address — store it somewhere findable (a root
+    slot, another structure) to {!attach} later. *)
+
+val put : t -> Rvm_core.Rvm.tid -> key:string -> value:string -> unit
+(** Insert or replace. *)
+
+val get : t -> key:string -> string option
+val mem : t -> key:string -> bool
+
+val remove : t -> Rvm_core.Rvm.tid -> key:string -> bool
+(** [true] if the key was present. *)
+
+val length : t -> int
+val buckets : t -> int
+val iter : t -> f:(key:string -> value:string -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> key:string -> value:string -> 'a) -> 'a
+
+val check : t -> unit
+(** Verify structural invariants (entry counts, chain sanity); for tests. *)

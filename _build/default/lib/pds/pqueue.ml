@@ -1,0 +1,94 @@
+module Rvm = Rvm_core.Rvm
+module Types = Rvm_core.Types
+module Rds = Rvm_alloc.Rds
+
+(* Header (32 bytes): magic, head ptr, tail ptr, count.
+   Entry: next ptr (8), length (8), bytes. *)
+
+type t = { rvm : Rvm.t; heap : Rds.t; addr : int }
+
+let magic = 0x52564D5051554531L (* "RVMPQUE1" *)
+
+let getw t addr = Int64.to_int (Rvm.get_i64 t.rvm ~addr)
+
+let setw t tid addr v =
+  Rvm.set_range t.rvm tid ~addr ~len:8;
+  Rvm.set_i64 t.rvm ~addr (Int64.of_int v)
+
+let head t = getw t (t.addr + 8)
+let tail t = getw t (t.addr + 16)
+let length t = getw t (t.addr + 24)
+let is_empty t = length t = 0
+let address t = t.addr
+
+let create rvm heap tid =
+  let addr = Rds.alloc heap tid ~size:32 in
+  let t = { rvm; heap; addr } in
+  setw t tid addr (Int64.to_int magic);
+  setw t tid (addr + 8) 0;
+  setw t tid (addr + 16) 0;
+  setw t tid (addr + 24) 0;
+  t
+
+let attach rvm heap ~addr =
+  let t = { rvm; heap; addr } in
+  if getw t addr <> Int64.to_int magic then
+    Types.error "pqueue: no queue at %#x" addr;
+  t
+
+let entry_data t e =
+  let len = getw t (e + 8) in
+  Bytes.to_string (Rvm.load t.rvm ~addr:(e + 16) ~len)
+
+let push t tid data =
+  let len = String.length data in
+  let e = Rds.alloc t.heap tid ~size:(16 + len) in
+  setw t tid e 0;
+  setw t tid (e + 8) len;
+  Rvm.set_range t.rvm tid ~addr:(e + 16) ~len;
+  Rvm.store_string t.rvm ~addr:(e + 16) data;
+  (match tail t with
+  | 0 -> setw t tid (t.addr + 8) e (* was empty: head too *)
+  | old_tail -> setw t tid old_tail e);
+  setw t tid (t.addr + 16) e;
+  setw t tid (t.addr + 24) (length t + 1)
+
+let pop t tid =
+  match head t with
+  | 0 -> None
+  | e ->
+    let data = entry_data t e in
+    let next = getw t e in
+    setw t tid (t.addr + 8) next;
+    if next = 0 then setw t tid (t.addr + 16) 0;
+    setw t tid (t.addr + 24) (length t - 1);
+    Rds.free t.heap tid e;
+    Some data
+
+let peek t = match head t with 0 -> None | e -> Some (entry_data t e)
+
+let iter t ~f =
+  let rec go e =
+    if e <> 0 then begin
+      f (entry_data t e);
+      go (getw t e)
+    end
+  in
+  go (head t)
+
+let check t =
+  if getw t t.addr <> Int64.to_int magic then
+    Types.error "pqueue-check: bad magic";
+  let n = ref 0 in
+  let last = ref 0 in
+  iter t ~f:(fun _ -> incr n);
+  let rec walk e =
+    if e <> 0 then begin
+      last := e;
+      walk (getw t e)
+    end
+  in
+  walk (head t);
+  if !n <> length t then
+    Types.error "pqueue-check: count %d but %d reachable" (length t) !n;
+  if !last <> tail t then Types.error "pqueue-check: tail pointer wrong"

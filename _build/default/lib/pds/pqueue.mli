@@ -1,0 +1,28 @@
+(** A persistent FIFO queue in recoverable memory.
+
+    The shape of Coda's replay logs and of section 6's log-based directory
+    resolution: an append-at-tail, consume-at-head sequence of byte-string
+    records that survives crashes. Entries are {!Rvm_alloc.Rds} blocks;
+    push and pop are transactional, so a consumer can pop a record and
+    process its effects in one atomic step — crash before commit and the
+    record is back on the queue. *)
+
+type t
+
+val create : Rvm_core.Rvm.t -> Rvm_alloc.Rds.t -> Rvm_core.Rvm.tid -> t
+val attach : Rvm_core.Rvm.t -> Rvm_alloc.Rds.t -> addr:int -> t
+val address : t -> int
+
+val push : t -> Rvm_core.Rvm.tid -> string -> unit
+(** Append at the tail. *)
+
+val pop : t -> Rvm_core.Rvm.tid -> string option
+(** Remove and return the head, [None] if empty. *)
+
+val peek : t -> string option
+val length : t -> int
+val is_empty : t -> bool
+val iter : t -> f:(string -> unit) -> unit
+(** Head to tail. *)
+
+val check : t -> unit

@@ -1,0 +1,1 @@
+lib/rvm/addr_space.ml: Int List Map Region Rvm_vm Segment Types

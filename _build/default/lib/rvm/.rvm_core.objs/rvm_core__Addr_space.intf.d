@@ -1,0 +1,1 @@
+lib/rvm/addr_space.mli: Region

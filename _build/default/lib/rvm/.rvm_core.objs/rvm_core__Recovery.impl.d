@@ -1,0 +1,1 @@
+lib/rvm/recovery.ml: Bytes Hashtbl List Logs Rvm_log Rvm_util Segment

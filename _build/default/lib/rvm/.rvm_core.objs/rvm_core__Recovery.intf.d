@@ -1,0 +1,1 @@
+lib/rvm/recovery.mli: Rvm_log Rvm_util Segment

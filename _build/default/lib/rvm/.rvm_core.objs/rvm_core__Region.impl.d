@@ -1,0 +1,1 @@
+lib/rvm/region.ml: Bytes Rvm_vm Segment

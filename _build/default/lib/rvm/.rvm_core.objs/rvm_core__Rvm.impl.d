@@ -1,0 +1,1 @@
+lib/rvm/rvm.ml: Addr_space Bytes Char Hashtbl List Logs Option Options Queue Recovery Region Rvm_disk Rvm_log Rvm_util Rvm_vm Segment Statistics Txn Types Unix

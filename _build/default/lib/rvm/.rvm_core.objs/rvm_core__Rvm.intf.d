@@ -1,0 +1,1 @@
+lib/rvm/rvm.mli: Bytes Options Region Rvm_disk Rvm_log Rvm_util Rvm_vm Segment Statistics Types

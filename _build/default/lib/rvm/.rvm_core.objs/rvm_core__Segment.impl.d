@@ -1,0 +1,1 @@
+lib/rvm/segment.ml: Rvm_disk

@@ -1,0 +1,1 @@
+lib/rvm/segment.mli: Bytes Rvm_disk

@@ -1,0 +1,1 @@
+lib/rvm/statistics.ml: Format

@@ -1,0 +1,1 @@
+lib/rvm/txn.ml: Bytes Hashtbl List Region Rvm_util Types

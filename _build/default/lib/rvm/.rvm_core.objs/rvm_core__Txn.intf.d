@@ -1,0 +1,1 @@
+lib/rvm/txn.mli: Bytes Hashtbl Region Rvm_util Types

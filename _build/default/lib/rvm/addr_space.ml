@@ -1,0 +1,68 @@
+module M = Map.Make (Int)
+
+type t = {
+  page_size : int;
+  mutable by_vaddr : Region.t M.t;
+}
+
+let create ~page_size = { page_size; by_vaddr = M.empty }
+let page_size t = t.page_size
+
+let overlaps a_lo a_len b_lo b_len = a_lo < b_lo + b_len && b_lo < a_lo + a_len
+
+let add t (r : Region.t) =
+  if not (Rvm_vm.Page.is_aligned ~page_size:t.page_size r.Region.vaddr) then
+    Types.error "map: virtual address %#x is not page-aligned" r.Region.vaddr;
+  if not (Rvm_vm.Page.is_aligned ~page_size:t.page_size r.Region.seg_off) then
+    Types.error "map: segment offset %d is not page-aligned" r.Region.seg_off;
+  if r.Region.length <= 0 then Types.error "map: empty region";
+  if r.Region.length mod t.page_size <> 0 then
+    Types.error "map: length %d is not a multiple of the page size"
+      r.Region.length;
+  M.iter
+    (fun _ (q : Region.t) ->
+      if overlaps r.Region.vaddr r.Region.length q.Region.vaddr q.Region.length
+      then
+        Types.error "map: [%#x, %#x) overlaps existing mapping at %#x"
+          r.Region.vaddr (Region.end_vaddr r) q.Region.vaddr;
+      if
+        Segment.id q.Region.seg = Segment.id r.Region.seg
+        && overlaps r.Region.seg_off r.Region.length q.Region.seg_off
+             q.Region.length
+      then
+        Types.error
+          "map: segment %d range [%d, %d) is already mapped (no region may \
+           be mapped more than once)"
+          (Segment.id r.Region.seg) r.Region.seg_off
+          (r.Region.seg_off + r.Region.length))
+    t.by_vaddr;
+  t.by_vaddr <- M.add r.Region.vaddr r t.by_vaddr
+
+let remove t (r : Region.t) = t.by_vaddr <- M.remove r.Region.vaddr t.by_vaddr
+
+let find_opt t ~addr =
+  match M.find_last_opt (fun v -> v <= addr) t.by_vaddr with
+  | Some (_, r) when addr < Region.end_vaddr r -> Some r
+  | _ -> None
+
+let find t ~addr ~len =
+  match find_opt t ~addr with
+  | Some r when Region.contains r ~addr ~len -> r
+  | Some r ->
+    Types.error
+      "address range [%#x, %#x) extends past the region mapped at %#x" addr
+      (addr + len) r.Region.vaddr
+  | None -> Types.error "address %#x is not in any mapped region" addr
+
+let regions t = M.fold (fun _ r acc -> r :: acc) t.by_vaddr [] |> List.rev
+let region_count t = M.cardinal t.by_vaddr
+
+let suggest_vaddr t ~len =
+  let len = Rvm_vm.Page.round_up ~page_size:t.page_size (max len 1) in
+  let gap_after = 16 * t.page_size in
+  match M.max_binding_opt t.by_vaddr with
+  | None -> 16 * t.page_size
+  | Some (_, r) ->
+    ignore len;
+    Rvm_vm.Page.round_up ~page_size:t.page_size (Region.end_vaddr r)
+    + gap_after

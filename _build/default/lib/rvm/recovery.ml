@@ -1,0 +1,73 @@
+module Log_manager = Rvm_log.Log_manager
+module Record = Rvm_log.Record
+module Intervals = Rvm_util.Intervals
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+
+let src = Logs.Src.create "rvm.recovery" ~doc:"RVM crash recovery"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+type outcome = {
+  records_seen : int;
+  bytes_applied : int;
+  segments_touched : Segment.t list;
+}
+
+type seg_state = { seg : Segment.t; mutable covered : Intervals.t }
+
+let apply_live ?before_seqno ~resolve ~clock ~model log =
+  let states : (int, seg_state) Hashtbl.t = Hashtbl.create 8 in
+  let state_of seg_id =
+    match Hashtbl.find_opt states seg_id with
+    | Some s -> s
+    | None ->
+      let s = { seg = resolve seg_id; covered = Intervals.empty } in
+      Hashtbl.add states seg_id s;
+      s
+  in
+  let records_seen = ref 0 in
+  let bytes_applied = ref 0 in
+  let wanted (r : Record.t) =
+    r.Record.kind = Record.Commit
+    && match before_seqno with None -> true | Some b -> r.Record.seqno < b
+  in
+  Log_manager.iter_live_backward log ~f:(fun ~off:_ r ->
+      if wanted r then begin
+        incr records_seen;
+        List.iter
+          (fun (range : Record.range) ->
+            let len = Bytes.length range.Record.data in
+            let st = state_of range.Record.seg in
+            let gaps, covered =
+              Intervals.add_uncovered st.covered ~lo:range.Record.off ~len
+            in
+            st.covered <- covered;
+            List.iter
+              (fun (lo, glen) ->
+                Segment.write st.seg ~off:lo ~buf:range.Record.data
+                  ~pos:(lo - range.Record.off) ~len:glen;
+                bytes_applied := !bytes_applied + glen;
+                Clock.charge_cpu clock
+                  (float_of_int glen
+                  *. model.Cost_model.cpu_per_byte_copy_us))
+              gaps)
+          r.Record.ranges
+      end);
+  let touched = Hashtbl.fold (fun _ s acc -> s.seg :: acc) states [] in
+  (* Segment sync before the caller moves the head: the write ordering that
+     makes head movement safe. *)
+  List.iter Segment.sync touched;
+  L.debug (fun m ->
+      m "applied %d records, %d bytes, %d segments" !records_seen
+        !bytes_applied (List.length touched));
+  {
+    records_seen = !records_seen;
+    bytes_applied = !bytes_applied;
+    segments_touched = touched;
+  }
+
+let recover ~resolve ~clock ~model log =
+  let outcome = apply_live ~resolve ~clock ~model log in
+  Log_manager.reset_empty log;
+  outcome

@@ -1,0 +1,44 @@
+(** Crash recovery and the shared log-application scanner (section 5.1.2).
+
+    "Crash recovery consists of RVM first reading the log from tail to
+    head, then constructing an in-memory tree of the latest committed
+    changes for each data segment encountered in the log. The trees are
+    then traversed, applying modifications ... Finally, the head and tail
+    location information in the log status block is updated to reflect an
+    empty log. The idempotency of recovery is achieved by delaying this
+    step until all other recovery actions are complete."
+
+    We scan newest-first and keep, per segment, an interval set of bytes
+    already applied; older records only contribute their not-yet-covered
+    gaps, so each byte is written once with its latest committed value —
+    the same effect as the paper's trees. Epoch truncation (Figure 6)
+    reuses exactly this scanner on a frozen prefix of the log, which is how
+    the original implementation minimized effort too. *)
+
+type outcome = {
+  records_seen : int;
+  bytes_applied : int;
+  segments_touched : Segment.t list;
+}
+
+val apply_live :
+  ?before_seqno:int ->
+  resolve:(int -> Segment.t) ->
+  clock:Rvm_util.Clock.t ->
+  model:Rvm_util.Cost_model.t ->
+  Rvm_log.Log_manager.t ->
+  outcome
+(** Apply live committed records (newest first, latest value wins) to their
+    external data segments and sync those segments. Does {e not} move the
+    log head — the caller does, as its own last, idempotency-preserving
+    step. [before_seqno] restricts application to records with a strictly
+    smaller sequence number (the frozen epoch of a truncation). *)
+
+val recover :
+  resolve:(int -> Segment.t) ->
+  clock:Rvm_util.Clock.t ->
+  model:Rvm_util.Cost_model.t ->
+  Rvm_log.Log_manager.t ->
+  outcome
+(** Full crash recovery: {!apply_live} on everything, then declare the log
+    empty. *)

@@ -1,0 +1,35 @@
+type t = {
+  seg : Segment.t;
+  seg_off : int;
+  vaddr : int;
+  length : int;
+  buf : Bytes.t;
+  pages : Rvm_vm.Page_table.t;
+  page_size : int;
+  mutable mapped : bool;
+  mutable active_txns : int;
+}
+
+let v ~seg ~seg_off ~vaddr ~length ~page_size =
+  let n_pages = Rvm_vm.Page.round_up ~page_size length / page_size in
+  {
+    seg;
+    seg_off;
+    vaddr;
+    length;
+    buf = Bytes.make length '\000';
+    pages = Rvm_vm.Page_table.create ~pages:n_pages;
+    page_size;
+    mapped = true;
+    active_txns = 0;
+  }
+
+let page_count t = Rvm_vm.Page_table.pages t.pages
+
+let contains t ~addr ~len =
+  addr >= t.vaddr && addr + len <= t.vaddr + t.length
+
+let to_region_off t ~addr = addr - t.vaddr
+let to_seg_off t ~region_off = t.seg_off + region_off
+let end_vaddr t = t.vaddr + t.length
+let vm_page t ~region_page = (t.vaddr / t.page_size) + region_page

@@ -1,0 +1,34 @@
+(** A mapped region: a page-aligned range of a segment copied into memory
+    at a virtual base address (Figure 3).
+
+    The in-memory image is the authority while mapped; the page vector
+    (Figure 7) tracks which of its pages carry committed-but-untruncated
+    data (dirty) and which are referenced by uncommitted or unflushed
+    transactions (uncommitted count — such pages must not reach the
+    segment, preserving the no-undo/redo invariant). *)
+
+type t = {
+  seg : Segment.t;
+  seg_off : int;  (** start of the region within its segment *)
+  vaddr : int;  (** virtual base address of the mapping *)
+  length : int;
+  buf : Bytes.t;  (** the recoverable memory itself *)
+  pages : Rvm_vm.Page_table.t;
+  page_size : int;
+  mutable mapped : bool;
+  mutable active_txns : int;  (** uncommitted transactions touching it *)
+}
+
+val v :
+  seg:Segment.t -> seg_off:int -> vaddr:int -> length:int -> page_size:int -> t
+(** Allocates the buffer; does not load it (the engine does, so it can
+    charge the simulated clock for the en-masse read). *)
+
+val page_count : t -> int
+val contains : t -> addr:int -> len:int -> bool
+val to_region_off : t -> addr:int -> int
+val to_seg_off : t -> region_off:int -> int
+val end_vaddr : t -> int
+
+val vm_page : t -> region_page:int -> int
+(** Global page id used with {!Rvm_vm.Vm_sim} (derived from the vaddr). *)

@@ -1,0 +1,781 @@
+module Device = Rvm_disk.Device
+module Log_manager = Rvm_log.Log_manager
+module Record = Rvm_log.Record
+module Intervals = Rvm_util.Intervals
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+module Page = Rvm_vm.Page
+module Page_table = Rvm_vm.Page_table
+module Vm_sim = Rvm_vm.Vm_sim
+
+let src = Logs.Src.create "rvm" ~doc:"RVM engine"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+type tid = int
+
+(* A committed-but-unwritten no-flush transaction (section 5.1.1: "new-value
+   and commit records can be spooled rather than forced to the log"). *)
+type spool_entry = {
+  sp_tid : int;
+  sp_timestamp_us : int;
+  sp_flags : int;
+  sp_ranges : Record.range list;
+  sp_covered : (int * Intervals.t) list;  (* seg id -> covered, for inter-opt *)
+  sp_pages : (Region.t * int) list;  (* uncommitted refs released at write *)
+  sp_size : int;  (* encoded record size *)
+}
+
+(* Incremental truncation page queue descriptor (Figure 7): the page and
+   the log offset/seqno of the earliest record referencing it. *)
+type descriptor = {
+  d_region : Region.t;
+  d_page : int;
+  d_log_off : int;
+  d_seqno : int;
+}
+
+type t = {
+  mutable opts : Options.t;
+  clock : Clock.t;
+  model : Cost_model.t;
+  vm : Vm_sim.t option;
+  log : Log_manager.t;
+  resolve : int -> Device.t;
+  segments : (int, Segment.t) Hashtbl.t;
+  space : Addr_space.t;
+  txns : (int, Txn.t) Hashtbl.t;
+  mutable next_tid : int;
+  mutable spool : spool_entry list;  (* newest first *)
+  mutable spool_bytes : int;
+  queue : descriptor Queue.t;
+  queued : (int * int, unit) Hashtbl.t;  (* (vaddr, page) in queue *)
+  stats : Statistics.t;
+  mutable terminated : bool;
+  mutable in_truncation : bool;
+}
+
+type query_result = {
+  active_tids : tid list;
+  mapped_regions : int;
+  log_used_bytes : int;
+  log_free_bytes : int;
+  spool_bytes : int;
+  spool_records : int;
+}
+
+(* --- small helpers --- *)
+
+let cpu t us = Clock.charge_cpu t.clock us
+let copy_cost t bytes = float_of_int bytes *. t.model.Cost_model.cpu_per_byte_copy_us
+let checksum_cost t bytes =
+  float_of_int bytes *. t.model.Cost_model.cpu_per_byte_checksum_us
+
+let check_live t =
+  if t.terminated then Types.error "instance has been terminated"
+
+let now_us t =
+  if Clock.is_null t.clock then
+    int_of_float (Unix.gettimeofday () *. 1_000_000.)
+  else int_of_float (Clock.now_us t.clock)
+
+let segment t seg_id =
+  match Hashtbl.find_opt t.segments seg_id with
+  | Some s -> s
+  | None ->
+    let s = Segment.create ~id:seg_id (t.resolve seg_id) in
+    Hashtbl.add t.segments seg_id s;
+    s
+
+let find_txn t tid =
+  match Hashtbl.find_opt t.txns tid with
+  | Some txn when Txn.is_active txn -> txn
+  | Some _ -> Types.error "transaction %d is no longer active" tid
+  | None -> Types.error "unknown transaction %d" tid
+
+let vm_touch t (region : Region.t) ~region_off ~len ~write =
+  match t.vm with
+  | None -> ()
+  | Some vm ->
+    Page.iter_pages ~page_size:region.Region.page_size ~off:region_off ~len
+      ~f:(fun p ->
+        Vm_sim.touch vm ~page:(Region.vm_page region ~region_page:p) ~write)
+
+let release_page_refs pages =
+  List.iter
+    (fun ((region : Region.t), page) ->
+      Page_table.decr_uncommitted region.Region.pages page)
+    pages
+
+(* --- log writing --- *)
+
+(* Mark the pages covered by freshly logged ranges dirty and enqueue them
+   for incremental truncation, each at the earliest record that references
+   it (Figure 7's "no duplicate page references" rule). Ranges are
+   segment-relative; each is projected onto the mapped regions it
+   intersects. *)
+let note_logged_ranges t ~log_off ~seqno ranges =
+  let regions = Addr_space.regions t.space in
+  List.iter
+    (fun (range : Record.range) ->
+      let len = Bytes.length range.Record.data in
+      if len > 0 then
+        List.iter
+          (fun (r : Region.t) ->
+            if
+              Segment.id r.Region.seg = range.Record.seg
+              && range.Record.off < r.Region.seg_off + r.Region.length
+              && range.Record.off + len > r.Region.seg_off
+            then begin
+              let lo = max range.Record.off r.Region.seg_off in
+              let hi =
+                min (range.Record.off + len)
+                  (r.Region.seg_off + r.Region.length)
+              in
+              Page.iter_pages ~page_size:r.Region.page_size
+                ~off:(lo - r.Region.seg_off) ~len:(hi - lo) ~f:(fun p ->
+                  Page_table.set_dirty r.Region.pages p true;
+                  let key = (r.Region.vaddr, p) in
+                  if not (Hashtbl.mem t.queued key) then begin
+                    Hashtbl.add t.queued key ();
+                    Queue.add
+                      { d_region = r; d_page = p; d_log_off = log_off;
+                        d_seqno = seqno }
+                      t.queue
+                  end)
+            end)
+          regions)
+    ranges
+
+(* Epoch truncation (Figure 6): apply the frozen live window to the
+   external data segments using the recovery scanner, then move the head
+   past it. *)
+let epoch_truncate t =
+  if not (Log_manager.is_empty t.log) then begin
+    t.in_truncation <- true;
+    let freeze_tail = Log_manager.tail t.log in
+    let freeze_seqno = Log_manager.next_seqno t.log in
+    let _outcome =
+      Recovery.apply_live ~before_seqno:freeze_seqno ~resolve:(fun id ->
+          segment t id)
+        ~clock:t.clock ~model:t.model t.log
+    in
+    Log_manager.move_head t.log ~new_head:freeze_tail
+      ~new_head_seqno:freeze_seqno;
+    (* Every queued page belongs to the reclaimed epoch now. *)
+    Queue.clear t.queue;
+    Hashtbl.reset t.queued;
+    List.iter
+      (fun (r : Region.t) ->
+        List.iter
+          (fun p -> Page_table.set_dirty r.Region.pages p false)
+          (Page_table.dirty_pages r.Region.pages))
+      (Addr_space.regions t.space);
+    t.stats.Statistics.epoch_truncations <-
+      t.stats.Statistics.epoch_truncations + 1;
+    t.in_truncation <- false
+  end
+
+let append_with_retry t record =
+  let rec go retried =
+    try Log_manager.append_record t.log record
+    with Log_manager.Log_full ->
+      if retried then
+        Types.error
+          "log full: a single transaction exceeds the log capacity (%d bytes)"
+          (Log_manager.capacity t.log)
+      else begin
+        (* Reclaim space synchronously and retry once. *)
+        epoch_truncate t;
+        go true
+      end
+  in
+  go false
+
+(* Write one commit record to the log (no force) and do the page-vector
+   bookkeeping. Returns the encoded size. *)
+let write_commit_record t ~txn_tid ~timestamp_us ~flags ~ranges ~pages =
+  let record = Record.commit ~seqno:0 ~tid:txn_tid ~timestamp_us ~flags ranges in
+  let size = Record.encoded_size record in
+  let off, seqno = append_with_retry t record in
+  cpu t (t.model.Cost_model.log_record_us +. checksum_cost t size);
+  t.stats.Statistics.bytes_logged <- t.stats.Statistics.bytes_logged + size;
+  note_logged_ranges t ~log_off:off ~seqno ranges;
+  release_page_refs pages;
+  size
+
+(* Write every spooled record (commit order) without forcing. *)
+let drain_spool t =
+  let entries = List.rev t.spool in
+  t.spool <- [];
+  t.spool_bytes <- 0;
+  List.iter
+    (fun e ->
+      ignore
+        (write_commit_record t ~txn_tid:e.sp_tid ~timestamp_us:e.sp_timestamp_us
+           ~flags:e.sp_flags ~ranges:e.sp_ranges ~pages:e.sp_pages))
+    entries
+
+let force_log t =
+  Log_manager.force t.log;
+  cpu t t.model.Cost_model.syscall_us;
+  t.stats.Statistics.forces <- t.stats.Statistics.forces + 1
+
+let flush t =
+  check_live t;
+  drain_spool t;
+  force_log t;
+  t.stats.Statistics.flushes <- t.stats.Statistics.flushes + 1
+
+(* --- incremental truncation (Figure 7) --- *)
+
+let seg_write_page t (region : Region.t) page =
+  let page_size = region.Region.page_size in
+  let off = page * page_size in
+  let len = min page_size (region.Region.length - off) in
+  (match t.vm with
+  | Some vm ->
+    Vm_sim.ensure_resident vm ~page:(Region.vm_page region ~region_page:page);
+    Vm_sim.mark_clean vm ~page:(Region.vm_page region ~region_page:page)
+  | None -> ());
+  Segment.write region.Region.seg
+    ~off:(Region.to_seg_off region ~region_off:off)
+    ~buf:region.Region.buf ~pos:off ~len;
+  cpu t (copy_cost t len)
+
+(* One incremental step: write out the queue-head page if nothing
+   uncommitted or unflushed references it. Returns [`Wrote seg], [`Blocked]
+   or [`Empty]. The caller batches segment syncs and head movement. *)
+let incremental_step t =
+  match Queue.peek_opt t.queue with
+  | None -> `Empty
+  | Some d ->
+    let pages = d.d_region.Region.pages in
+    if not d.d_region.Region.mapped then `Blocked
+    else if Page_table.uncommitted pages d.d_page > 0 then `Blocked
+    else if not (Page_table.reserve pages d.d_page) then `Blocked
+    else begin
+      ignore (Queue.pop t.queue);
+      Hashtbl.remove t.queued (d.d_region.Region.vaddr, d.d_page);
+      seg_write_page t d.d_region d.d_page;
+      Page_table.set_dirty pages d.d_page false;
+      Page_table.release pages d.d_page;
+      t.stats.Statistics.incremental_steps <-
+        t.stats.Statistics.incremental_steps + 1;
+      `Wrote d.d_region.Region.seg
+    end
+
+(* Run incremental steps until the log drops below [target] occupancy or
+   the queue head is blocked. *)
+let incremental_truncate t ~target =
+  let touched = Hashtbl.create 4 in
+  let below_target () =
+    float_of_int (Log_manager.used_bytes t.log)
+    <= target *. float_of_int (Log_manager.capacity t.log)
+  in
+  let rec run blocked =
+    if below_target () then blocked
+    else
+      match incremental_step t with
+      | `Wrote seg ->
+        Hashtbl.replace touched (Segment.id seg) seg;
+        (* The head can move to the next descriptor's offset (or the tail
+           if the queue drained). *)
+        run blocked
+      | `Blocked ->
+        t.stats.Statistics.incremental_blocked <-
+          t.stats.Statistics.incremental_blocked + 1;
+        true
+      | `Empty -> blocked
+  in
+  let blocked = run false in
+  if Hashtbl.length touched > 0 || Queue.is_empty t.queue then begin
+    Hashtbl.iter (fun _ seg -> Segment.sync seg) touched;
+    match Queue.peek_opt t.queue with
+    | Some d ->
+      if d.d_log_off <> Log_manager.head t.log then
+        Log_manager.move_head t.log ~new_head:d.d_log_off
+          ~new_head_seqno:d.d_seqno
+    | None ->
+      if not (Log_manager.is_empty t.log) then Log_manager.reset_empty t.log
+  end;
+  blocked
+
+let truncate_now t =
+  match t.opts.Options.truncation_mode with
+  | Types.Epoch -> epoch_truncate t
+  | Types.Incremental ->
+    let blocked = incremental_truncate t ~target:0.0 in
+    let used_fraction =
+      float_of_int (Log_manager.used_bytes t.log)
+      /. float_of_int (Log_manager.capacity t.log)
+    in
+    (* Long-running transactions can block incremental truncation with the
+       log critically full: revert to epoch truncation (section 5.1.2). *)
+    if blocked && used_fraction >= t.opts.Options.truncation_critical then
+      epoch_truncate t
+
+let maybe_truncate t =
+  if t.opts.Options.auto_truncate && not t.in_truncation then begin
+    let used_fraction =
+      float_of_int (Log_manager.used_bytes t.log)
+      /. float_of_int (Log_manager.capacity t.log)
+    in
+    if used_fraction >= t.opts.Options.truncation_threshold then
+      match t.opts.Options.truncation_mode with
+      | Types.Epoch -> epoch_truncate t
+      | Types.Incremental ->
+        let target = t.opts.Options.truncation_threshold /. 2. in
+        let blocked = incremental_truncate t ~target in
+        let used_fraction =
+          float_of_int (Log_manager.used_bytes t.log)
+          /. float_of_int (Log_manager.capacity t.log)
+        in
+        if blocked && used_fraction >= t.opts.Options.truncation_critical
+        then epoch_truncate t
+  end
+
+let truncate t =
+  check_live t;
+  truncate_now t
+
+(* --- initialization / termination / mapping --- *)
+
+let create_log dev = Log_manager.format dev
+
+let initialize ?(options = Options.default) ?(clock = Clock.null)
+    ?(model = Cost_model.dec5000) ?vm ~log ~resolve () =
+  Options.validate options;
+  let lm =
+    match Log_manager.open_log log with
+    | Ok lm -> lm
+    | Error e -> Types.error "initialize: %s" e
+  in
+  let t =
+    {
+      opts = options;
+      clock;
+      model;
+      vm;
+      log = lm;
+      resolve;
+      segments = Hashtbl.create 8;
+      space = Addr_space.create ~page_size:options.Options.page_size;
+      txns = Hashtbl.create 16;
+      next_tid = 1;
+      spool = [];
+      spool_bytes = 0;
+      queue = Queue.create ();
+      queued = Hashtbl.create 64;
+      stats = Statistics.create ();
+      terminated = false;
+      in_truncation = false;
+    }
+  in
+  (* Crash recovery before anything is mapped: mapped data must be the
+     committed image. *)
+  if not (Log_manager.is_empty lm) then begin
+    let outcome =
+      Recovery.recover ~resolve:(fun id -> segment t id) ~clock ~model lm
+    in
+    t.stats.Statistics.recoveries <- 1;
+    L.info (fun m ->
+        m "recovery applied %d records (%d bytes)" outcome.Recovery.records_seen
+          outcome.Recovery.bytes_applied)
+  end;
+  t
+
+let active_transactions t = Hashtbl.length t.txns
+
+let terminate t =
+  check_live t;
+  if active_transactions t > 0 then
+    Types.error "terminate: %d transactions still active"
+      (active_transactions t);
+  drain_spool t;
+  force_log t;
+  t.terminated <- true
+
+let map t ?vaddr ~seg ~seg_off ~len () =
+  check_live t;
+  let page_size = Addr_space.page_size t.space in
+  let vaddr =
+    match vaddr with
+    | Some v -> v
+    | None -> Addr_space.suggest_vaddr t.space ~len
+  in
+  let sg = segment t seg in
+  if seg_off + len > Segment.size sg then
+    Types.error "map: [%d, %d) exceeds segment %d of size %d" seg_off
+      (seg_off + len) seg (Segment.size sg);
+  let region = Region.v ~seg:sg ~seg_off ~vaddr ~length:len ~page_size in
+  Addr_space.add t.space region;
+  (* The log was emptied by recovery at initialize time and unmap
+     truncates, so the segment alone holds the committed image. *)
+  (match t.opts.Options.map_mode with
+  | Options.Copy ->
+    (* En-masse copy from the external data segment (section 3.2). *)
+    Segment.read_into sg ~off:seg_off ~buf:region.Region.buf ~pos:0 ~len;
+    cpu t (copy_cost t len);
+    (match t.vm with
+    | Some vm ->
+      Vm_sim.load_sequential vm
+        ~first:(Region.vm_page region ~region_page:0)
+        ~count:(Region.page_count region)
+    | None -> ())
+  | Options.Demand ->
+    (* External-pager mode: contents arrive lazily. The image is read here
+       for functional correctness, but the transfer time is charged per
+       page at fault time by the paging simulator, so the read itself is
+       free and no page starts resident. *)
+    Clock.suspend t.clock (fun () ->
+        Segment.read_into sg ~off:seg_off ~buf:region.Region.buf ~pos:0 ~len));
+  L.debug (fun m ->
+      m "mapped segment %d [%d, %d) at %#x" seg seg_off (seg_off + len) vaddr);
+  region
+
+let unmap t (region : Region.t) =
+  check_live t;
+  if not region.Region.mapped then Types.error "unmap: region is not mapped";
+  if region.Region.active_txns > 0 then
+    Types.error "unmap: region has %d uncommitted transactions"
+      region.Region.active_txns;
+  (* Flush spooled commits and truncate so no live log record references
+     the region once it is gone, and the segment holds the full committed
+     image for a future map. *)
+  drain_spool t;
+  force_log t;
+  epoch_truncate t;
+  (match t.vm with
+  | Some vm ->
+    for p = 0 to Region.page_count region - 1 do
+      Vm_sim.drop vm ~page:(Region.vm_page region ~region_page:p)
+    done
+  | None -> ());
+  Addr_space.remove t.space region;
+  region.Region.mapped <- false
+
+(* --- transactions --- *)
+
+let begin_transaction t ~mode =
+  check_live t;
+  let tid = t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  Hashtbl.add t.txns tid (Txn.create ~tid ~mode ~started_us:(now_us t));
+  tid
+
+let set_range t tid ~addr ~len =
+  check_live t;
+  if len < 0 then Types.error "set_range: negative length";
+  let txn = find_txn t tid in
+  t.stats.Statistics.set_ranges <- t.stats.Statistics.set_ranges + 1;
+  cpu t t.model.Cost_model.set_range_call_us;
+  if len > 0 then begin
+    let region = Addr_space.find t.space ~addr ~len in
+    let pr = Txn.per_region txn region in
+    if Intervals.is_empty pr.Txn.covered then
+      region.Region.active_txns <- region.Region.active_txns + 1;
+    let region_off = Region.to_region_off region ~addr in
+    pr.Txn.raw_calls <- (region_off, len) :: pr.Txn.raw_calls;
+    (* What an unoptimized implementation would log for this call: one
+       range header plus the full payload. *)
+    pr.Txn.naive_bytes <- pr.Txn.naive_bytes + 32 + len;
+    let gaps, covered =
+      Intervals.add_uncovered pr.Txn.covered ~lo:region_off ~len
+    in
+    pr.Txn.covered <- covered;
+    (* Old values are saved only for newly covered bytes: a duplicate
+       set_range is harmless (section 5.2). Skipped entirely in no-restore
+       mode — "RVM does not have to copy data on a set-range". *)
+    if txn.Txn.mode = Types.Restore then
+      List.iter
+        (fun (lo, glen) ->
+          let old_value = Bytes.sub region.Region.buf lo glen in
+          txn.Txn.saved <-
+            { Txn.region; region_off = lo; old_value } :: txn.Txn.saved;
+          cpu t (copy_cost t glen))
+        gaps;
+    (* Uncommitted reference counts (incremental truncation must not write
+       these pages until the transaction resolves). *)
+    Page.iter_pages ~page_size:region.Region.page_size ~off:region_off ~len
+      ~f:(fun p ->
+        if Txn.touch_page txn region ~region_page:p then
+          Page_table.incr_uncommitted region.Region.pages p);
+    vm_touch t region ~region_off ~len ~write:true
+  end
+
+(* Ranges logged by a transaction. With the intra-transaction optimization
+   on (the default), these are the coalesced intervals; with it off (the
+   ablation), one range per set_range call as declared. Data is read from
+   the region at commit time either way, so every range carries final
+   values and multiple updates to one range cost one record. *)
+let build_ranges t txn =
+  let ranges = ref [] in
+  let logged_bytes = ref 0 in
+  let naive_bytes = ref 0 in
+  let emit region ~lo ~len =
+    let data = Bytes.sub region.Region.buf lo len in
+    logged_bytes := !logged_bytes + 32 + len;
+    cpu t (copy_cost t len);
+    ranges :=
+      {
+        Record.seg = Segment.id region.Region.seg;
+        off = Region.to_seg_off region ~region_off:lo;
+        data;
+      }
+      :: !ranges
+  in
+  List.iter
+    (fun (pr : Txn.per_region) ->
+      let region = pr.Txn.region in
+      naive_bytes := !naive_bytes + pr.Txn.naive_bytes;
+      if t.opts.Options.intra_optimization then
+        Intervals.iter pr.Txn.covered ~f:(fun ~lo ~len -> emit region ~lo ~len)
+      else
+        List.iter
+          (fun (lo, len) -> emit region ~lo ~len)
+          (List.rev pr.Txn.raw_calls))
+    (Txn.regions txn);
+  (List.rev !ranges, !logged_bytes, !naive_bytes)
+
+let covered_by_seg txn =
+  List.filter_map
+    (fun (pr : Txn.per_region) ->
+      if Intervals.is_empty pr.Txn.covered then None
+      else
+        let region = pr.Txn.region in
+        let shifted =
+          Intervals.fold pr.Txn.covered ~init:Intervals.empty
+            ~f:(fun acc ~lo ~len ->
+              Intervals.add acc ~lo:(Region.to_seg_off region ~region_off:lo)
+                ~len)
+        in
+        Some (Segment.id region.Region.seg, shifted))
+    (Txn.regions txn)
+
+(* Merge by segment id (a transaction can touch several regions of one
+   segment). *)
+let merge_covered l =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (seg, iv) ->
+      let cur =
+        Option.value (Hashtbl.find_opt tbl seg) ~default:Intervals.empty
+      in
+      Hashtbl.replace tbl seg
+        (Intervals.fold iv ~init:cur ~f:(fun acc ~lo ~len ->
+             Intervals.add acc ~lo ~len)))
+    l;
+  Hashtbl.fold (fun seg iv acc -> (seg, iv) :: acc) tbl []
+
+let subsumes_entry ~newer ~older =
+  List.for_all
+    (fun (seg, iv) ->
+      match List.assoc_opt seg newer with
+      | Some niv -> Intervals.subsumes niv iv
+      | None -> Intervals.is_empty iv)
+    older
+
+let txn_pages txn =
+  let acc = ref [] in
+  Txn.iter_pages txn ~f:(fun ~vaddr ~region_page ->
+      match
+        List.find_opt
+          (fun (pr : Txn.per_region) -> pr.Txn.region.Region.vaddr = vaddr)
+          (Txn.regions txn)
+      with
+      | Some pr -> acc := (pr.Txn.region, region_page) :: !acc
+      | None -> assert false);
+  !acc
+
+let finish_txn t (txn : Txn.t) status =
+  txn.Txn.status <- status;
+  Hashtbl.remove t.txns txn.Txn.tid;
+  List.iter
+    (fun (pr : Txn.per_region) ->
+      if not (Intervals.is_empty pr.Txn.covered) then
+        pr.Txn.region.Region.active_txns <-
+          pr.Txn.region.Region.active_txns - 1)
+    (Txn.regions txn)
+
+let end_transaction t tid ~mode =
+  check_live t;
+  let txn = find_txn t tid in
+  cpu t t.model.Cost_model.txn_overhead_us;
+  let ranges, logged_bytes, naive_bytes = build_ranges t txn in
+  let pages = txn_pages txn in
+  let flags =
+    (match mode with Types.No_flush -> Record.Flags.no_flush | Types.Flush -> 0)
+    lor
+    match txn.Txn.mode with
+    | Types.No_restore -> Record.Flags.no_restore
+    | Types.Restore -> 0
+  in
+  t.stats.Statistics.intra_saved <-
+    t.stats.Statistics.intra_saved + (naive_bytes - logged_bytes);
+  (match ranges with
+  | [] ->
+    (* Nothing modified: no record at all. *)
+    release_page_refs pages
+  | _ -> begin
+    match mode with
+    | Types.Flush ->
+      (* Spooled records precede this one in commit order. *)
+      drain_spool t;
+      ignore
+        (write_commit_record t ~txn_tid:tid ~timestamp_us:(now_us t) ~flags
+           ~ranges ~pages);
+      force_log t
+    | Types.No_flush ->
+      let entry =
+        {
+          sp_tid = tid;
+          sp_timestamp_us = now_us t;
+          sp_flags = flags;
+          sp_ranges = ranges;
+          sp_covered = merge_covered (covered_by_seg txn);
+          sp_pages = pages;
+          sp_size =
+            Record.encoded_size
+              (Record.commit ~seqno:0 ~tid ~flags ranges);
+        }
+      in
+      (* Inter-transaction optimization (section 5.2): a no-flush commit
+         whose modifications subsume an earlier unflushed transaction's
+         makes the older spooled records redundant — recovery applies
+         newest-first. *)
+      if t.opts.Options.inter_optimization then begin
+        let kept, dropped =
+          List.partition
+            (fun old ->
+              not (subsumes_entry ~newer:entry.sp_covered ~older:old.sp_covered))
+            t.spool
+        in
+        List.iter
+          (fun old ->
+            t.spool_bytes <- t.spool_bytes - old.sp_size;
+            t.stats.Statistics.inter_saved <-
+              t.stats.Statistics.inter_saved + old.sp_size;
+            t.stats.Statistics.records_dropped <-
+              t.stats.Statistics.records_dropped + 1;
+            release_page_refs old.sp_pages)
+          dropped;
+        t.spool <- kept
+      end;
+      t.spool <- entry :: t.spool;
+      t.spool_bytes <- t.spool_bytes + entry.sp_size;
+      t.stats.Statistics.bytes_spooled <-
+        t.stats.Statistics.bytes_spooled + entry.sp_size;
+      if t.spool_bytes > t.opts.Options.spool_max_bytes then begin
+        drain_spool t;
+        force_log t;
+        t.stats.Statistics.flushes <- t.stats.Statistics.flushes + 1
+      end
+  end);
+  finish_txn t txn Txn.Committed;
+  t.stats.Statistics.txns_committed <- t.stats.Statistics.txns_committed + 1;
+  maybe_truncate t
+
+let abort_transaction t tid =
+  check_live t;
+  let txn = find_txn t tid in
+  if txn.Txn.mode = Types.No_restore then
+    Types.error
+      "abort: transaction %d was begun in no-restore mode (the application \
+       promised never to abort)"
+      tid;
+  (* Each byte was saved exactly once, at first coverage, so restoring in
+     any order yields the pre-transaction image. *)
+  List.iter
+    (fun { Txn.region; region_off; old_value } ->
+      Bytes.blit old_value 0 region.Region.buf region_off
+        (Bytes.length old_value);
+      cpu t (copy_cost t (Bytes.length old_value)))
+    txn.Txn.saved;
+  release_page_refs (txn_pages txn);
+  finish_txn t txn Txn.Aborted;
+  t.stats.Statistics.txns_aborted <- t.stats.Statistics.txns_aborted + 1
+
+(* --- memory access --- *)
+
+let load t ~addr ~len =
+  let region = Addr_space.find t.space ~addr ~len in
+  let region_off = Region.to_region_off region ~addr in
+  vm_touch t region ~region_off ~len ~write:false;
+  Bytes.sub region.Region.buf region_off len
+
+let store t ~addr bytes =
+  let len = Bytes.length bytes in
+  let region = Addr_space.find t.space ~addr ~len in
+  let region_off = Region.to_region_off region ~addr in
+  vm_touch t region ~region_off ~len ~write:true;
+  Bytes.blit bytes 0 region.Region.buf region_off len;
+  cpu t (copy_cost t len)
+
+let store_string t ~addr s = store t ~addr (Bytes.unsafe_of_string s)
+
+let modify t tid ~addr bytes =
+  set_range t tid ~addr ~len:(Bytes.length bytes);
+  store t ~addr bytes
+
+let get_u8 t ~addr =
+  let region = Addr_space.find t.space ~addr ~len:1 in
+  let region_off = Region.to_region_off region ~addr in
+  vm_touch t region ~region_off ~len:1 ~write:false;
+  Char.code (Bytes.get region.Region.buf region_off)
+
+let set_u8 t ~addr v =
+  let region = Addr_space.find t.space ~addr ~len:1 in
+  let region_off = Region.to_region_off region ~addr in
+  vm_touch t region ~region_off ~len:1 ~write:true;
+  Bytes.set region.Region.buf region_off (Char.chr (v land 0xff))
+
+let get_i32 t ~addr =
+  let region = Addr_space.find t.space ~addr ~len:4 in
+  let region_off = Region.to_region_off region ~addr in
+  vm_touch t region ~region_off ~len:4 ~write:false;
+  Bytes.get_int32_le region.Region.buf region_off
+
+let set_i32 t ~addr v =
+  let region = Addr_space.find t.space ~addr ~len:4 in
+  let region_off = Region.to_region_off region ~addr in
+  vm_touch t region ~region_off ~len:4 ~write:true;
+  Bytes.set_int32_le region.Region.buf region_off v
+
+let get_i64 t ~addr =
+  let region = Addr_space.find t.space ~addr ~len:8 in
+  let region_off = Region.to_region_off region ~addr in
+  vm_touch t region ~region_off ~len:8 ~write:false;
+  Bytes.get_int64_le region.Region.buf region_off
+
+let set_i64 t ~addr v =
+  let region = Addr_space.find t.space ~addr ~len:8 in
+  let region_off = Region.to_region_off region ~addr in
+  vm_touch t region ~region_off ~len:8 ~write:true;
+  Bytes.set_int64_le region.Region.buf region_off v
+
+let region_of_addr t ~addr = Addr_space.find_opt t.space ~addr
+
+(* --- miscellaneous --- *)
+
+let query t =
+  check_live t;
+  {
+    active_tids = Hashtbl.fold (fun tid _ acc -> tid :: acc) t.txns [];
+    mapped_regions = Addr_space.region_count t.space;
+    log_used_bytes = Log_manager.used_bytes t.log;
+    log_free_bytes = Log_manager.free_bytes t.log;
+    spool_bytes = t.spool_bytes;
+    spool_records = List.length t.spool;
+  }
+
+let set_options t f =
+  let opts = f t.opts in
+  Options.validate opts;
+  t.opts <- opts
+
+let stats t = t.stats
+let options t = t.opts
+let clock t = t.clock
+let log_manager t = t.log
+let regions t = Addr_space.regions t.space

@@ -1,0 +1,141 @@
+(** RVM — recoverable virtual memory (the Figure 4 primitives).
+
+    One [t] per process: a write-ahead log plus an address space of mapped
+    regions. Typical use:
+
+    {[
+      let rvm =
+        Rvm.initialize ~log:log_device ~resolve:segment_of_id ()
+      in
+      let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(64 * 4096) () in
+      let base = region.Rvm_core.Region.vaddr in
+      let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      Rvm.set_range rvm tid ~addr:base ~len:8;
+      Rvm.set_i64 rvm ~addr:base 42L;
+      Rvm.end_transaction rvm tid ~mode:Types.Flush
+    ]}
+
+    Atomicity and the process-failure aspect of permanence are guaranteed;
+    serializability, nesting, distribution and media resilience are layers
+    above (see [Rvm_layers]) — section 3.1's factoring. *)
+
+type t
+type tid = int
+
+(** {1 Initialization, termination and mapping — Figure 4(a)} *)
+
+val create_log : Rvm_disk.Device.t -> unit
+(** Format a device as an empty RVM log (Figure 4(d)'s [create_log]). *)
+
+val initialize :
+  ?options:Options.t ->
+  ?clock:Rvm_util.Clock.t ->
+  ?model:Rvm_util.Cost_model.t ->
+  ?vm:Rvm_vm.Vm_sim.t ->
+  log:Rvm_disk.Device.t ->
+  resolve:(int -> Rvm_disk.Device.t) ->
+  unit ->
+  t
+(** Open the log and run crash recovery: every committed transaction in the
+    log is applied to its external data segment (obtained through
+    [resolve]) before this returns, so subsequent [map]s read pure
+    committed images. [clock]/[model]/[vm] instrument the instance for the
+    simulated performance evaluation; omit them for production use. *)
+
+val terminate : t -> unit
+(** Flush spooled commits, force the log, release the instance. Raises if
+    transactions are still active. *)
+
+val map : t -> ?vaddr:int -> seg:int -> seg_off:int -> len:int -> unit -> Region.t
+(** Map [len] bytes of segment [seg] starting at [seg_off] into the
+    process' recoverable address space ([vaddr] chosen automatically when
+    omitted). The data is copied in en masse; the mapped image is the
+    committed image. Alignment and no-overlap rules of section 4.1 are
+    enforced. *)
+
+val unmap : t -> Region.t -> unit
+(** Unmap a quiescent region. Spooled commits are flushed and the log
+    truncated first, so the segment holds the full committed image and no
+    log record references an unmapped page afterwards. *)
+
+(** {1 Transactions — Figure 4(b)} *)
+
+val begin_transaction : t -> mode:Types.restore_mode -> tid
+
+val set_range : t -> tid -> addr:int -> len:int -> unit
+(** Declare that [addr, addr+len) (within one mapped region) is about to be
+    modified. In [Restore] mode the current contents are saved for abort.
+    Duplicate, overlapping and adjacent declarations coalesce (the
+    intra-transaction optimization). *)
+
+val modify : t -> tid -> addr:int -> Bytes.t -> unit
+(** [set_range] followed by [store] — the common case in one call. *)
+
+val end_transaction : t -> tid -> mode:Types.commit_mode -> unit
+(** Commit. [Flush] forces the log before returning; [No_flush] spools the
+    record for reduced latency and bounded persistence (flushed on
+    {!flush}, on spool overflow, or at {!terminate}). Atomicity is
+    guaranteed in both modes. *)
+
+val abort_transaction : t -> tid -> unit
+(** Restore every byte declared via [set_range] to its value at
+    declaration time. Raises for no-restore transactions. *)
+
+(** {1 Log control — Figure 4(c)} *)
+
+val flush : t -> unit
+(** Write all spooled no-flush commits to the log and force it. *)
+
+val truncate : t -> unit
+(** Blocking truncation: reflect committed log records to their segments
+    and reclaim the log space. Uses the configured mode (epoch or
+    incremental; incremental falls back to epoch when blocked). *)
+
+(** {1 Miscellaneous — Figure 4(d)} *)
+
+type query_result = {
+  active_tids : tid list;
+  mapped_regions : int;
+  log_used_bytes : int;
+  log_free_bytes : int;
+  spool_bytes : int;
+  spool_records : int;
+}
+
+val query : t -> query_result
+
+val set_options : t -> (Options.t -> Options.t) -> unit
+(** Adjust tuning knobs (truncation threshold, spool size, optimization
+    switches) on a live instance. *)
+
+(** {1 Recoverable memory access}
+
+    Mapped memory is ordinary memory: reads require no RVM intervention
+    (section 4.2). These accessors exist because regions live behind
+    virtual addresses; they also drive the paging simulator when one is
+    attached. Writing without a prior [set_range] is the classic RVM bug
+    (section 6) — the write succeeds but will not survive a crash. *)
+
+val load : t -> addr:int -> len:int -> Bytes.t
+val store : t -> addr:int -> Bytes.t -> unit
+val store_string : t -> addr:int -> string -> unit
+val get_u8 : t -> addr:int -> int
+val set_u8 : t -> addr:int -> int -> unit
+val get_i32 : t -> addr:int -> int32
+val set_i32 : t -> addr:int -> int32 -> unit
+val get_i64 : t -> addr:int -> int64
+val set_i64 : t -> addr:int -> int64 -> unit
+
+val region_of_addr : t -> addr:int -> Region.t option
+
+(** {1 Introspection} *)
+
+val stats : t -> Statistics.t
+val options : t -> Options.t
+val clock : t -> Rvm_util.Clock.t
+val log_manager : t -> Rvm_log.Log_manager.t
+val segment : t -> int -> Segment.t
+(** Resolve (and cache) a segment handle. *)
+
+val active_transactions : t -> int
+val regions : t -> Region.t list

@@ -1,0 +1,12 @@
+module Device = Rvm_disk.Device
+
+type t = { id : int; dev : Device.t }
+
+let create ~id dev = { id; dev }
+let id t = t.id
+let size t = t.dev.Device.size
+let device t = t.dev
+let read t ~off ~len = Device.read_bytes t.dev ~off ~len
+let read_into t ~off ~buf ~pos ~len = t.dev.Device.read ~off ~buf ~pos ~len
+let write t ~off ~buf ~pos ~len = t.dev.Device.write ~off ~buf ~pos ~len
+let sync t = t.dev.Device.sync ()

@@ -1,0 +1,19 @@
+(** External data segments (section 4.1).
+
+    A segment is the durable backing store for recoverable memory — a file
+    or raw partition, deliberately {e separate} from the region's VM swap
+    space (section 3.2), so crash recovery depends only on the segment plus
+    the log. The segment holds the last truncated committed image; the log
+    holds everything newer. *)
+
+type t
+
+val create : id:int -> Rvm_disk.Device.t -> t
+val id : t -> int
+val size : t -> int
+val device : t -> Rvm_disk.Device.t
+
+val read : t -> off:int -> len:int -> Bytes.t
+val read_into : t -> off:int -> buf:Bytes.t -> pos:int -> len:int -> unit
+val write : t -> off:int -> buf:Bytes.t -> pos:int -> len:int -> unit
+val sync : t -> unit

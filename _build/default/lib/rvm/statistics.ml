@@ -1,0 +1,74 @@
+type t = {
+  mutable txns_committed : int;
+  mutable txns_aborted : int;
+  mutable set_ranges : int;
+  mutable bytes_logged : int;
+  mutable bytes_spooled : int;
+  mutable intra_saved : int;
+  mutable inter_saved : int;
+  mutable forces : int;
+  mutable flushes : int;
+  mutable epoch_truncations : int;
+  mutable incremental_steps : int;
+  mutable incremental_blocked : int;
+  mutable recoveries : int;
+  mutable records_dropped : int;
+}
+
+let create () =
+  {
+    txns_committed = 0;
+    txns_aborted = 0;
+    set_ranges = 0;
+    bytes_logged = 0;
+    bytes_spooled = 0;
+    intra_saved = 0;
+    inter_saved = 0;
+    forces = 0;
+    flushes = 0;
+    epoch_truncations = 0;
+    incremental_steps = 0;
+    incremental_blocked = 0;
+    recoveries = 0;
+    records_dropped = 0;
+  }
+
+let reset t =
+  t.txns_committed <- 0;
+  t.txns_aborted <- 0;
+  t.set_ranges <- 0;
+  t.bytes_logged <- 0;
+  t.bytes_spooled <- 0;
+  t.intra_saved <- 0;
+  t.inter_saved <- 0;
+  t.forces <- 0;
+  t.flushes <- 0;
+  t.epoch_truncations <- 0;
+  t.incremental_steps <- 0;
+  t.incremental_blocked <- 0;
+  t.recoveries <- 0;
+  t.records_dropped <- 0
+
+let original_bytes t = t.bytes_logged + t.intra_saved + t.inter_saved
+
+let fraction part whole =
+  if whole = 0 then 0. else float_of_int part /. float_of_int whole
+
+let intra_fraction t = fraction t.intra_saved (original_bytes t)
+let inter_fraction t = fraction t.inter_saved (original_bytes t)
+
+let total_fraction t =
+  fraction (t.intra_saved + t.inter_saved) (original_bytes t)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>txns: %d committed, %d aborted; set_ranges: %d@,\
+     log: %d bytes written, %d forces, %d flushes@,\
+     optimizations: intra %.1f%%, inter %.1f%% (%d records dropped)@,\
+     truncation: %d epoch, %d incremental steps (%d blocked); %d recoveries@]"
+    t.txns_committed t.txns_aborted t.set_ranges t.bytes_logged t.forces
+    t.flushes
+    (100. *. intra_fraction t)
+    (100. *. inter_fraction t)
+    t.records_dropped t.epoch_truncations t.incremental_steps
+    t.incremental_blocked t.recoveries

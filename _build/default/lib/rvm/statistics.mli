@@ -1,0 +1,38 @@
+(** Engine counters, including the instrumentation behind Table 2: RVM was
+    "instrumented to keep track of the total volume of log data eliminated
+    by each technique" (section 7.3). *)
+
+type t = {
+  mutable txns_committed : int;
+  mutable txns_aborted : int;
+  mutable set_ranges : int;
+  mutable bytes_logged : int;  (** record bytes actually appended *)
+  mutable bytes_spooled : int;
+  mutable intra_saved : int;
+      (** record bytes eliminated by set-range coalescing *)
+  mutable inter_saved : int;
+      (** record bytes eliminated by dropping subsumed spooled records *)
+  mutable forces : int;
+  mutable flushes : int;
+  mutable epoch_truncations : int;
+  mutable incremental_steps : int;
+  mutable incremental_blocked : int;
+      (** times an incremental step found its queue head referenced by an
+          uncommitted or unflushed transaction *)
+  mutable recoveries : int;
+  mutable records_dropped : int;  (** spool entries killed by inter-opt *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val original_bytes : t -> int
+(** What would have been logged with no optimizations:
+    [bytes_logged + intra_saved + inter_saved]. *)
+
+val intra_fraction : t -> float
+(** Fraction of the original log volume eliminated intra-transaction. *)
+
+val inter_fraction : t -> float
+val total_fraction : t -> float
+val pp : Format.formatter -> t -> unit

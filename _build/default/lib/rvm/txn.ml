@@ -1,0 +1,62 @@
+type status = Active | Committed | Aborted
+
+type saved = { region : Region.t; region_off : int; old_value : Bytes.t }
+
+type per_region = {
+  region : Region.t;
+  mutable covered : Rvm_util.Intervals.t;
+  mutable raw_calls : (int * int) list;  (* newest first *)
+  mutable naive_bytes : int;
+}
+
+type t = {
+  tid : int;
+  mode : Types.restore_mode;
+  started_us : int;
+  mutable status : status;
+  by_region : (int, per_region) Hashtbl.t;
+  mutable saved : saved list;
+  touched_pages : (int * int, unit) Hashtbl.t;
+}
+
+let create ~tid ~mode ~started_us =
+  {
+    tid;
+    mode;
+    started_us;
+    status = Active;
+    by_region = Hashtbl.create 4;
+    saved = [];
+    touched_pages = Hashtbl.create 16;
+  }
+
+let per_region t (region : Region.t) =
+  let key = region.Region.vaddr in
+  match Hashtbl.find_opt t.by_region key with
+  | Some pr -> pr
+  | None ->
+    let pr =
+      { region; covered = Rvm_util.Intervals.empty; raw_calls = [];
+        naive_bytes = 0 }
+    in
+    Hashtbl.add t.by_region key pr;
+    pr
+
+let regions t =
+  Hashtbl.fold (fun _ pr acc -> pr :: acc) t.by_region []
+  |> List.sort (fun a b ->
+         compare a.region.Region.vaddr b.region.Region.vaddr)
+
+let touch_page t (region : Region.t) ~region_page =
+  let key = (region.Region.vaddr, region_page) in
+  if Hashtbl.mem t.touched_pages key then false
+  else begin
+    Hashtbl.add t.touched_pages key ();
+    true
+  end
+
+let iter_pages t ~f =
+  Hashtbl.iter (fun (vaddr, region_page) () -> f ~vaddr ~region_page)
+    t.touched_pages
+
+let is_active t = t.status = Active

@@ -1,0 +1,53 @@
+(** Per-transaction state.
+
+    A transaction accumulates, per region, the set of byte ranges declared
+    by [set_range] (an interval set, which is what makes the
+    intra-transaction optimization automatic: duplicate, overlapping and
+    adjacent declarations collapse into coalesced intervals), the saved old
+    values needed to undo on abort (skipped in no-restore mode), and the
+    set of pages it references (the page vector's uncommitted counts). *)
+
+type status = Active | Committed | Aborted
+
+type saved = {
+  region : Region.t;
+  region_off : int;
+  old_value : Bytes.t;
+}
+
+type per_region = {
+  region : Region.t;
+  mutable covered : Rvm_util.Intervals.t;  (** region-offset intervals *)
+  mutable raw_calls : (int * int) list;
+      (** every set_range call as declared, [(region_off, len)], newest
+          first — what is logged when the intra-transaction optimization is
+          disabled for ablation *)
+  mutable naive_bytes : int;
+      (** record bytes an unoptimized implementation would log: one range
+          header plus the full length per set_range call *)
+}
+
+type t = {
+  tid : int;
+  mode : Types.restore_mode;
+  started_us : int;
+  mutable status : status;
+  by_region : (int, per_region) Hashtbl.t;  (** keyed by region vaddr *)
+  mutable saved : saved list;  (** newest first *)
+  touched_pages : (int * int, unit) Hashtbl.t;
+      (** (region vaddr, region page) holding an uncommitted reference *)
+}
+
+val create : tid:int -> mode:Types.restore_mode -> started_us:int -> t
+val per_region : t -> Region.t -> per_region
+(** Find or create the per-region state. *)
+
+val regions : t -> per_region list
+(** In increasing vaddr order (deterministic log layout). *)
+
+val touch_page : t -> Region.t -> region_page:int -> bool
+(** Remember the page; [true] if this is the first touch (the caller then
+    increments the page vector's uncommitted count). *)
+
+val iter_pages : t -> f:(vaddr:int -> region_page:int -> unit) -> unit
+val is_active : t -> bool

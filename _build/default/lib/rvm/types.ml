@@ -1,0 +1,7 @@
+type restore_mode = Restore | No_restore
+type commit_mode = Flush | No_flush
+type truncation_mode = Epoch | Incremental
+
+exception Rvm_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Rvm_error s)) fmt

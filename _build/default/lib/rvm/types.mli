@@ -1,0 +1,26 @@
+(** Shared types and errors of the RVM engine. *)
+
+type restore_mode =
+  | Restore
+      (** old values are saved on [set_range] so the transaction can abort *)
+  | No_restore
+      (** the application promises never to abort: no old-value copies
+          (section 4.2's more efficient mode) *)
+
+type commit_mode =
+  | Flush  (** force the log before returning: full permanence *)
+  | No_flush
+      (** spool the record; permanence is bounded by the next explicit
+          flush (section 4.2's lazy transactions) *)
+
+type truncation_mode =
+  | Epoch  (** reuse the recovery scanner on a frozen log prefix (Fig. 6) *)
+  | Incremental  (** page-vector/page-queue mechanism (Fig. 7) *)
+
+exception Rvm_error of string
+(** Misuse of the interface: unknown transaction, unmapped address,
+    overlapping mapping, abort of a no-restore transaction, operating on a
+    terminated instance, and similar. The message says which. *)
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error fmt ...] raises {!Rvm_error} with a formatted message. *)

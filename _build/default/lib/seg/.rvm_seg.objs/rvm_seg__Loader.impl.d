@@ -1,0 +1,1 @@
+lib/seg/loader.ml: Int64 List Rvm_core Rvm_vm

@@ -1,0 +1,1 @@
+lib/seg/loader.mli: Rvm_core

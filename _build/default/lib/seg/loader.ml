@@ -1,0 +1,138 @@
+module Rvm = Rvm_core.Rvm
+module Region = Rvm_core.Region
+module Types = Rvm_core.Types
+module Options = Rvm_core.Options
+
+type t = { rvm : Rvm.t; region : Region.t }
+
+type entry = { seg : int; seg_off : int; length : int; base : int }
+
+(* The map region: magic, count, then fixed 32-byte entries. It is mapped
+   at a fixed address itself, bootstrap-style. *)
+let map_base = 16 * 4096
+let map_len = 8 * 4096
+let magic = 0x52564D4C4F414431L (* "RVMLOAD1" *)
+let header_size = 16
+let entry_size = 32
+let capacity_const = (map_len - header_size) / entry_size
+
+let count t = Int64.to_int (Rvm.get_i64 t.rvm ~addr:(map_base + 8))
+
+let entry_addr i = map_base + header_size + (i * entry_size)
+
+let read_entry t i =
+  let a = entry_addr i in
+  {
+    seg = Int64.to_int (Rvm.get_i64 t.rvm ~addr:a);
+    seg_off = Int64.to_int (Rvm.get_i64 t.rvm ~addr:(a + 8));
+    length = Int64.to_int (Rvm.get_i64 t.rvm ~addr:(a + 16));
+    base = Int64.to_int (Rvm.get_i64 t.rvm ~addr:(a + 24));
+  }
+
+let entries t = List.init (count t) (read_entry t)
+
+let lookup t ~seg ~seg_off =
+  List.find_opt (fun e -> e.seg = seg && e.seg_off = seg_off) (entries t)
+
+let capacity _ = capacity_const
+
+let attach rvm ~map_seg =
+  let region = Rvm.map rvm ~vaddr:map_base ~seg:map_seg ~seg_off:0 ~len:map_len () in
+  let t = { rvm; region } in
+  ignore t.region;
+  let current = Rvm.get_i64 rvm ~addr:map_base in
+  if current = magic then t
+  else if current = 0L then begin
+    (* Blank segment: initialize an empty map, transactionally. *)
+    let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+    Rvm.set_range rvm tid ~addr:map_base ~len:header_size;
+    Rvm.set_i64 rvm ~addr:map_base magic;
+    Rvm.set_i64 rvm ~addr:(map_base + 8) 0L;
+    Rvm.end_transaction rvm tid ~mode:Types.Flush;
+    t
+  end
+  else
+    Types.error
+      "segment loader: segment %d does not contain a load map (found %#Lx)"
+      map_seg current
+
+(* A base address that collides neither with live mappings nor with any
+   recorded entry (entries of currently unmapped segments must keep their
+   addresses free — that is the whole point). *)
+let choose_base t ~len =
+  let page_size =
+    (Rvm.options t.rvm).Options.page_size
+  in
+  let after_entries =
+    List.fold_left
+      (fun acc e -> max acc (e.base + e.length))
+      (map_base + map_len) (entries t)
+  in
+  let taken =
+    List.fold_left
+      (fun acc (r : Region.t) ->
+        max acc (r.Region.vaddr + r.Region.length))
+      after_entries (Rvm.regions t.rvm)
+  in
+  ignore len;
+  Rvm_vm.Page.round_up ~page_size taken + (16 * page_size)
+
+let load t ~seg ~seg_off ~len =
+  match lookup t ~seg ~seg_off with
+  | Some e ->
+    if e.length <> len then
+      Types.error
+        "segment loader: segment %d offset %d was recorded with length %d, \
+         not %d"
+        seg seg_off e.length len;
+    Rvm.map t.rvm ~vaddr:e.base ~seg ~seg_off ~len ()
+  | None ->
+    let n = count t in
+    if n >= capacity_const then
+      Types.error "segment loader: load map is full (%d entries)"
+        capacity_const;
+    let base = choose_base t ~len in
+    let tid = Rvm.begin_transaction t.rvm ~mode:Types.Restore in
+    let a = entry_addr n in
+    Rvm.set_range t.rvm tid ~addr:a ~len:entry_size;
+    Rvm.set_i64 t.rvm ~addr:a (Int64.of_int seg);
+    Rvm.set_i64 t.rvm ~addr:(a + 8) (Int64.of_int seg_off);
+    Rvm.set_i64 t.rvm ~addr:(a + 16) (Int64.of_int len);
+    Rvm.set_i64 t.rvm ~addr:(a + 24) (Int64.of_int base);
+    Rvm.set_range t.rvm tid ~addr:(map_base + 8) ~len:8;
+    Rvm.set_i64 t.rvm ~addr:(map_base + 8) (Int64.of_int (n + 1));
+    Rvm.end_transaction t.rvm tid ~mode:Types.Flush;
+    Rvm.map t.rvm ~vaddr:base ~seg ~seg_off ~len ()
+
+let unload t region = Rvm.unmap t.rvm region
+
+let forget t ~seg ~seg_off =
+  let es = entries t in
+  (match
+     List.find_opt
+       (fun e ->
+         e.seg = seg && e.seg_off = seg_off
+         && List.exists
+              (fun (r : Region.t) -> r.Region.vaddr = e.base)
+              (Rvm.regions t.rvm))
+       es
+   with
+  | Some _ -> Types.error "segment loader: range is currently mapped"
+  | None -> ());
+  match List.partition (fun e -> e.seg = seg && e.seg_off = seg_off) es with
+  | [], _ -> Types.error "segment loader: no entry for segment %d offset %d" seg seg_off
+  | _, kept ->
+    let tid = Rvm.begin_transaction t.rvm ~mode:Types.Restore in
+    let n = List.length kept in
+    Rvm.set_range t.rvm tid ~addr:(map_base + 8)
+      ~len:(header_size - 8 + ((n + 1) * entry_size));
+    Rvm.set_i64 t.rvm ~addr:(map_base + 8) (Int64.of_int n);
+    List.iteri
+      (fun i e ->
+        let a = entry_addr i in
+        Rvm.set_i64 t.rvm ~addr:a (Int64.of_int e.seg);
+        Rvm.set_i64 t.rvm ~addr:(a + 8) (Int64.of_int e.seg_off);
+        Rvm.set_i64 t.rvm ~addr:(a + 16) (Int64.of_int e.length);
+        Rvm.set_i64 t.rvm ~addr:(a + 24) (Int64.of_int e.base))
+      kept;
+    Rvm.end_transaction t.rvm tid ~mode:Types.Flush

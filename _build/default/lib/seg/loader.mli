@@ -1,0 +1,46 @@
+(** The segment loader package (section 4.1).
+
+    "A segment loader package, built on top of RVM, allows the creation and
+    maintenance of a load map for recoverable storage and takes care of
+    mapping a segment into the same base address each time. This simplifies
+    the use of absolute pointers in segments."
+
+    The load map is itself recoverable data: it lives in a region of a
+    dedicated map segment, always mapped at a fixed virtual address, and is
+    updated transactionally. Applications call {!load} instead of [Rvm.map]
+    and get the same base address in every process incarnation, so any
+    pointers they stored inside their segments stay valid. *)
+
+type t
+
+type entry = {
+  seg : int;
+  seg_off : int;
+  length : int;
+  base : int;  (** the virtual address this range is always mapped at *)
+}
+
+val map_base : int
+(** The fixed virtual address of the load map region itself. *)
+
+val attach : Rvm_core.Rvm.t -> map_seg:int -> t
+(** Map the load map region of segment [map_seg] (creating an empty map if
+    the segment is blank) and return the loader. The map region occupies
+    the first pages of [map_seg]; keep application data out of them. *)
+
+val load : t -> seg:int -> seg_off:int -> len:int -> Rvm_core.Region.t
+(** Map a segment range at its recorded base address, recording a newly
+    chosen base (transactionally) on first load. Raises {!Rvm_core.Types.Rvm_error}
+    if the recorded length disagrees with [len]. *)
+
+val unload : t -> Rvm_core.Region.t -> unit
+(** Unmap a region previously mapped via {!load}. The map entry is kept so
+    a later {!load} reuses the same base. *)
+
+val forget : t -> seg:int -> seg_off:int -> unit
+(** Remove a map entry (the range must not be currently mapped). *)
+
+val entries : t -> entry list
+val lookup : t -> seg:int -> seg_off:int -> entry option
+val capacity : t -> int
+(** Maximum number of entries the map region can hold. *)

@@ -1,0 +1,1 @@
+lib/util/bytebuf.ml: Bytes Char Checksum Int32 Int64 String

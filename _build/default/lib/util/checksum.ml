@@ -1,0 +1,37 @@
+type t = int32
+
+(* Table-driven CRC-32, reflected form, polynomial 0xEDB88320. *)
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let initial = 0l
+
+let update crc b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.update";
+  let table = Lazy.force table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get b i)))) 0xffl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let update_string crc s =
+  update crc (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let bytes b ~pos ~len = update initial b ~pos ~len
+let string s = update_string initial s

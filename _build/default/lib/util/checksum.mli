@@ -1,0 +1,23 @@
+(** CRC-32 (IEEE 802.3 polynomial) checksums over byte ranges.
+
+    Used to validate log records and the log status block: a torn write at
+    the tail of the log must be detectable so that recovery can discard the
+    incomplete record (atomicity across crashes). *)
+
+type t = int32
+
+val initial : t
+(** Checksum of the empty string. *)
+
+val update : t -> Bytes.t -> pos:int -> len:int -> t
+(** [update crc b ~pos ~len] extends [crc] with [len] bytes of [b] starting
+    at [pos]. Raises [Invalid_argument] if the range is out of bounds. *)
+
+val update_string : t -> string -> t
+(** [update_string crc s] extends [crc] with all of [s]. *)
+
+val bytes : Bytes.t -> pos:int -> len:int -> t
+(** One-shot checksum of a byte range. *)
+
+val string : string -> t
+(** One-shot checksum of a string. *)

@@ -1,0 +1,60 @@
+type t = {
+  enabled : bool;
+  mutable suspended : bool;
+  mutable now : float;
+  mutable backlog : float;
+  mutable cpu : float;
+  mutable io : float;
+}
+
+let null =
+  { enabled = false; suspended = false; now = 0.; backlog = 0.; cpu = 0.;
+    io = 0. }
+
+let simulated () =
+  { enabled = true; suspended = false; now = 0.; backlog = 0.; cpu = 0.;
+    io = 0. }
+
+let is_null t = not t.enabled
+let now_us t = t.now
+
+let suspend t f =
+  if not t.enabled then f ()
+  else begin
+    let prev = t.suspended in
+    t.suspended <- true;
+    Fun.protect ~finally:(fun () -> t.suspended <- prev) f
+  end
+
+let charge_cpu t us =
+  if t.enabled && (not t.suspended) && us > 0. then begin
+    t.now <- t.now +. us;
+    t.cpu <- t.cpu +. us
+  end
+
+let charge_background t us =
+  if t.enabled && (not t.suspended) && us > 0. then begin
+    t.backlog <- t.backlog +. us;
+    t.cpu <- t.cpu +. us
+  end
+
+let charge_io t us =
+  if t.enabled && (not t.suspended) && us > 0. then begin
+    t.now <- t.now +. us;
+    t.io <- t.io +. us;
+    t.backlog <- Float.max 0. (t.backlog -. us)
+  end
+
+let drain_backlog t =
+  if t.enabled then begin
+    t.now <- t.now +. t.backlog;
+    t.backlog <- 0.
+  end
+
+let cpu_us t = t.cpu
+let io_us t = t.io
+let backlog_us t = t.backlog
+
+let reset_counters t =
+  t.cpu <- 0.;
+  t.io <- 0.

@@ -1,0 +1,54 @@
+(** Simulated time base for the performance evaluation.
+
+    The paper's measurements were taken on a DECstation 5000/200 with 1993
+    disks; we reproduce the evaluation's {e shape} on a simulated clock whose
+    time advances are charged from instrumented points in the real engine
+    code (see {!Cost_model}). Production use of the library passes {!null},
+    which makes every charge a no-op.
+
+    A clock distinguishes three kinds of charge:
+    - {e foreground CPU} blocks the caller (wall time and CPU both advance);
+    - {e background CPU} is work logically done by other tasks or deferred
+      daemons (Camelot's managers, truncation): it accrues in a backlog that
+      drains for free while the foreground waits on I/O, and is paid as wall
+      time only when the backlog is explicitly drained;
+    - {e I/O waits} advance wall time and drain backlog concurrently.
+
+    This is what lets a library structure and an IPC-heavy multi-task
+    structure show the same disk-bound throughput while differing ~2x in CPU
+    consumed per transaction, exactly the effect in Figures 8 and 9. *)
+
+type t
+
+val null : t
+(** Disabled clock: all charges are no-ops, [now_us] is 0. *)
+
+val simulated : unit -> t
+(** Fresh simulated clock at time 0. *)
+
+val is_null : t -> bool
+val now_us : t -> float
+
+val suspend : t -> (unit -> 'a) -> 'a
+(** Run [f] with all charges disabled — for work that is functionally
+    necessary in the simulation but whose cost is accounted elsewhere
+    (e.g. a demand-paged mapping fills its buffer immediately for
+    correctness while the time is charged per page at fault time). *)
+
+val charge_cpu : t -> float -> unit
+val charge_background : t -> float -> unit
+val charge_io : t -> float -> unit
+
+val drain_backlog : t -> unit
+(** Pay any remaining background backlog as wall time (end of a run). *)
+
+val cpu_us : t -> float
+(** Total CPU charged, foreground + background (the Figure 9 metric). *)
+
+val io_us : t -> float
+(** Total I/O wait time charged. *)
+
+val backlog_us : t -> float
+val reset_counters : t -> unit
+(** Zero the cpu/io accumulators (not the wall time) — used between the
+    warm-up and measured phases of an experiment. *)

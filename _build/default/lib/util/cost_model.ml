@@ -1,0 +1,93 @@
+type disk = {
+  seek_us : float;
+  rot_half_us : float;
+  transfer_us_per_byte : float;
+  sync_settle_us : float;
+}
+
+let disk_service_us d ?(seek_fraction = 1.0) ~bytes () =
+  (d.seek_us *. seek_fraction)
+  +. d.rot_half_us
+  +. (float_of_int bytes *. d.transfer_us_per_byte)
+  +. d.sync_settle_us
+
+type t = {
+  procedure_call_us : float;
+  ipc_roundtrip_us : float;
+  context_switch_us : float;
+  cpu_per_byte_copy_us : float;
+  cpu_per_byte_checksum_us : float;
+  set_range_call_us : float;
+  txn_overhead_us : float;
+  log_record_us : float;
+  page_fault_service_us : float;
+  syscall_us : float;
+  log_disk : disk;
+  data_disk : disk;
+  paging_disk : disk;
+}
+
+(* RZ56-class 5.25-inch SCSI disk of the period: ~14 ms average seek, 3600 rpm
+   (8.3 ms/rev), ~1.5 MB/s sustained transfer. The log disk is modelled with
+   the same mechanism; forces land near the previous tail so only a short
+   seek applies, and calibration targets the paper's measured 17.4 ms mean
+   log force (which the paper notes is within 15% of 1/57.4 tps). *)
+let period_disk =
+  {
+    seek_us = 14_000.;
+    rot_half_us = 4_150.;
+    transfer_us_per_byte = 0.67;
+    sync_settle_us = 1_200.;
+  }
+
+let log_disk =
+  (* Force = short seek + full average rotational delay + transfer + settle;
+     tuned so a typical benchmark force (~1 KB of dirty log sectors) costs
+     ~17.0 ms, for an observed ~17.4 ms mean with record-size variation. *)
+  {
+    seek_us = 4_000.;
+    rot_half_us = 8_300.;
+    transfer_us_per_byte = 0.67;
+    sync_settle_us = 4_000.;
+  }
+
+let dec5000 =
+  {
+    procedure_call_us = 0.7;
+    ipc_roundtrip_us = 430.;
+    context_switch_us = 80.;
+    (* ~12 MB/s memcpy on a 25 MHz R3000 *)
+    cpu_per_byte_copy_us = 0.085;
+    cpu_per_byte_checksum_us = 0.11;
+    set_range_call_us = 150.;
+    txn_overhead_us = 1_650.;
+    log_record_us = 400.;
+    page_fault_service_us = 900.;
+    syscall_us = 200.;
+    log_disk;
+    data_disk = period_disk;
+    paging_disk = period_disk;
+  }
+
+let log_force_us t ~bytes =
+  disk_service_us t.log_disk ~seek_fraction:1.0 ~bytes ()
+
+let zero_disk =
+  { seek_us = 0.; rot_half_us = 0.; transfer_us_per_byte = 0.; sync_settle_us = 0. }
+
+let zero =
+  {
+    procedure_call_us = 0.;
+    ipc_roundtrip_us = 0.;
+    context_switch_us = 0.;
+    cpu_per_byte_copy_us = 0.;
+    cpu_per_byte_checksum_us = 0.;
+    set_range_call_us = 0.;
+    txn_overhead_us = 0.;
+    log_record_us = 0.;
+    page_fault_service_us = 0.;
+    syscall_us = 0.;
+    log_disk = zero_disk;
+    data_disk = zero_disk;
+    paging_disk = zero_disk;
+  }

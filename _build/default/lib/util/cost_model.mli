@@ -1,0 +1,47 @@
+(** Calibration constants for the simulated performance evaluation.
+
+    Values come from the paper where it states them (log force 17.4 ms mean,
+    Mach IPC round-trip 430 us vs 0.7 us procedure call on a DECstation
+    5000/200) and from period hardware specification otherwise. DESIGN.md
+    section 5 records the calibration; EXPERIMENTS.md records how the
+    resulting numbers compare with the paper's. *)
+
+type disk = {
+  seek_us : float;  (** average seek *)
+  rot_half_us : float;  (** average rotational delay (half a rotation) *)
+  transfer_us_per_byte : float;
+  sync_settle_us : float;  (** controller/fsync fixed overhead *)
+}
+
+val disk_service_us : disk -> ?seek_fraction:float -> bytes:int -> unit -> float
+(** Service time of one synchronous request. [seek_fraction] scales the seek
+    component (1.0 = random placement, 0.0 = head already on track, the log
+    disk's common case). *)
+
+type t = {
+  procedure_call_us : float;
+  ipc_roundtrip_us : float;
+  context_switch_us : float;
+  cpu_per_byte_copy_us : float;  (** memcpy bandwidth *)
+  cpu_per_byte_checksum_us : float;
+  set_range_call_us : float;  (** fixed cost of one set_range *)
+  txn_overhead_us : float;  (** begin + end bookkeeping *)
+  log_record_us : float;  (** assembling one log record *)
+  page_fault_service_us : float;  (** kernel fault path, excluding I/O *)
+  syscall_us : float;
+  log_disk : disk;
+  data_disk : disk;
+  paging_disk : disk;
+}
+
+val dec5000 : t
+(** The DECstation 5000/200 configuration of Section 7.1 (64 MB memory,
+    separate log / external-data-segment / paging disks). *)
+
+val log_force_us : t -> bytes:int -> float
+(** Time for a synchronous force of [bytes] to the log disk (head stays near
+    the log tail, so the seek component is small). The paper reports a mean
+    of 17.4 ms on its hardware. *)
+
+val zero : t
+(** All-zero model (for tests that want pure functional behaviour). *)

@@ -1,0 +1,46 @@
+(** Sets of disjoint, coalesced half-open integer intervals [lo, hi).
+
+    Adjacent and overlapping intervals merge automatically — this is the
+    data structure behind RVM's intra-transaction optimization (duplicate,
+    overlapping and adjacent [set_range] calls coalesce to one log record,
+    paper section 5.2) and behind newest-first recovery application (bytes
+    already written by a newer record are skipped). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : t -> lo:int -> len:int -> t
+(** Add [lo, lo+len); coalesces with neighbours. [len = 0] is a no-op. *)
+
+val add_uncovered : t -> lo:int -> len:int -> (int * int) list * t
+(** [add_uncovered t ~lo ~len] returns the sub-intervals of [lo, lo+len)
+    that were {e not} already covered (as [(lo, len)] pairs, in increasing
+    order), together with the set extended by the whole interval. This is
+    the primitive behind old-value capture: only newly covered bytes need
+    their prior contents saved. *)
+
+val covers : t -> lo:int -> len:int -> bool
+(** Is every byte in [lo, lo+len) covered? (Empty ranges are covered.) *)
+
+val mem : t -> int -> bool
+
+val subsumes : t -> t -> bool
+(** [subsumes a b] iff every interval in [b] is covered by [a]. *)
+
+val inter_nonempty : t -> lo:int -> len:int -> bool
+(** Does [lo, lo+len) intersect any interval of the set? *)
+
+val to_list : t -> (int * int) list
+(** Coalesced intervals as [(lo, len)] pairs, increasing order. *)
+
+val iter : t -> f:(lo:int -> len:int -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> lo:int -> len:int -> 'a) -> 'a
+
+val byte_count : t -> int
+(** Total number of covered integers. *)
+
+val interval_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* Rejection-free: modulo bias is negligible for the bounds we use
+     (bound << 2^63), but use the high-quality low 62 bits anyway. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
+  done;
+  b
+
+let split t = { state = mix (next t) }

@@ -1,0 +1,33 @@
+(** Deterministic SplitMix64 pseudo-random numbers.
+
+    Every randomized component in the repository (workload generators,
+    crash-injection tests, property generators' auxiliary draws) takes an
+    explicit [Rng.t] so that runs are reproducible from a seed. *)
+
+type t
+
+val create : seed:int64 -> t
+val copy : t -> t
+
+val next : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val bytes : t -> int -> Bytes.t
+(** [bytes t n] is [n] random bytes. *)
+
+val split : t -> t
+(** An independent stream derived from the current state. *)

@@ -1,0 +1,39 @@
+(* Welford's online algorithm. *)
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable sum : float;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; mn = infinity; mx = neg_infinity; sum = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  let d = x -. t.mean in
+  t.mean <- t.mean +. (d /. float_of_int t.n);
+  t.m2 <- t.m2 +. (d *. (x -. t.mean));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  t.sum <- t.sum +. x
+
+let count t = t.n
+let mean t = t.mean
+
+let stddev t =
+  if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let min t = t.mn
+let max t = t.mx
+let total t = t.sum
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let pp_mean_std ppf t =
+  Format.fprintf ppf "%.1f (%.1f)" (mean t) (stddev t)

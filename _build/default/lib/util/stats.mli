@@ -1,0 +1,20 @@
+(** Streaming summary statistics (count, mean, standard deviation, extrema)
+    used by the experiment harness to report each configuration the way
+    Table 1 does: mean over trials with the standard deviation in
+    parentheses. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+(** Sample standard deviation; 0 for fewer than two samples. *)
+
+val min : t -> float
+val max : t -> float
+val total : t -> float
+val of_list : float list -> t
+val pp_mean_std : Format.formatter -> t -> unit
+(** Prints ["48.6 (0.0)"] style, one decimal, matching Table 1. *)

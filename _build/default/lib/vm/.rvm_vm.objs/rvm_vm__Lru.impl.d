@@ -1,0 +1,1 @@
+lib/vm/lru.ml: Hashtbl List

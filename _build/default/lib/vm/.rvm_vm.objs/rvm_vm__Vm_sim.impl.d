@@ -1,0 +1,1 @@
+lib/vm/vm_sim.ml: Hashtbl Lru Rvm_util

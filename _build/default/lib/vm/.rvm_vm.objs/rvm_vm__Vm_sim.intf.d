@@ -1,0 +1,1 @@
+lib/vm/vm_sim.mli: Rvm_util

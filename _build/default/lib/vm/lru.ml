@@ -1,0 +1,57 @@
+type node = { key : int; mutable prev : node option; mutable next : node option }
+
+type t = {
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+}
+
+let create () = { table = Hashtbl.create 1024; head = None; tail = None }
+let mem t k = Hashtbl.mem t.table k
+let size t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+    unlink t n;
+    push_front t n
+  | None ->
+    let n = { key = k; prev = None; next = None } in
+    Hashtbl.add t.table k n;
+    push_front t n
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table k
+  | None -> ()
+
+let evict_lru t =
+  match t.tail with
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table n.key;
+    Some n.key
+  | None -> None
+
+let peek_lru t = match t.tail with Some n -> Some n.key | None -> None
+
+let to_list_mru_first t =
+  let rec walk acc = function
+    | Some n -> walk (n.key :: acc) n.next
+    | None -> List.rev acc
+  in
+  walk [] t.head

@@ -1,0 +1,19 @@
+let default_size = 4096
+let is_aligned ~page_size off = off mod page_size = 0
+let page_of ~page_size off = off / page_size
+let page_base ~page_size page = page * page_size
+let round_up ~page_size n = (n + page_size - 1) / page_size * page_size
+let round_down ~page_size n = n / page_size * page_size
+
+let pages_spanning ~page_size ~off ~len =
+  if len <= 0 then (off / page_size, 0)
+  else
+    let first = off / page_size in
+    let last = (off + len - 1) / page_size in
+    (first, last - first + 1)
+
+let iter_pages ~page_size ~off ~len ~f =
+  let first, count = pages_spanning ~page_size ~off ~len in
+  for p = first to first + count - 1 do
+    f p
+  done

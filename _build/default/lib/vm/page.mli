@@ -1,0 +1,22 @@
+(** Page arithmetic. RVM requires mappings to be page-aligned and done in
+    multiples of the page size (section 4.1); these helpers keep that logic
+    in one place. *)
+
+val default_size : int
+(** 4096, matching both the paper's hardware and modern defaults. *)
+
+val is_aligned : page_size:int -> int -> bool
+val page_of : page_size:int -> int -> int
+(** Page number containing a byte offset. *)
+
+val page_base : page_size:int -> int -> int
+(** First byte offset of a page. *)
+
+val round_up : page_size:int -> int -> int
+val round_down : page_size:int -> int -> int
+
+val pages_spanning : page_size:int -> off:int -> len:int -> int * int
+(** [(first, count)]: pages touched by the byte range [off, off+len).
+    [count] is 0 when [len] is 0. *)
+
+val iter_pages : page_size:int -> off:int -> len:int -> f:(int -> unit) -> unit

@@ -1,0 +1,126 @@
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+
+type config = {
+  physical_pages : int;
+  page_size : int;
+  fault_disk : Cost_model.disk;
+  evict_disk : Cost_model.disk;
+  evict_in_background : bool;
+}
+
+type t = {
+  clock : Clock.t;
+  model : Cost_model.t;
+  config : config;
+  lru : Lru.t;
+  dirty : (int, unit) Hashtbl.t;
+  pins : (int, int) Hashtbl.t;
+  mutable faults : int;
+  mutable evictions : int;
+  mutable pageouts : int;
+}
+
+let create ~clock ~model config =
+  {
+    clock;
+    model;
+    config;
+    lru = Lru.create ();
+    dirty = Hashtbl.create 1024;
+    pins = Hashtbl.create 64;
+    faults = 0;
+    evictions = 0;
+    pageouts = 0;
+  }
+
+let pinned t page = Hashtbl.mem t.pins page
+let is_resident t ~page = Lru.mem t.lru page || pinned t page
+
+let pageout t _page =
+  t.pageouts <- t.pageouts + 1;
+  let us =
+    Cost_model.disk_service_us t.config.evict_disk
+      ~bytes:t.config.page_size ()
+  in
+  if t.config.evict_in_background then Clock.charge_background t.clock us
+  else Clock.charge_io t.clock us
+
+(* Evict LRU frames until the resident set fits. Pinned pages are held
+   outside the LRU list, so eviction never has to skip them; if everything
+   is pinned the resident set simply overcommits, as Mach's pin did. *)
+let rec balance t =
+  if Lru.size t.lru + Hashtbl.length t.pins > t.config.physical_pages then
+    match Lru.evict_lru t.lru with
+    | None -> ()
+    | Some victim ->
+      t.evictions <- t.evictions + 1;
+      if Hashtbl.mem t.dirty victim then begin
+        Hashtbl.remove t.dirty victim;
+        pageout t victim
+      end;
+      balance t
+
+let fault t =
+  t.faults <- t.faults + 1;
+  Clock.charge_cpu t.clock t.model.Cost_model.page_fault_service_us;
+  Clock.charge_io t.clock
+    (Cost_model.disk_service_us t.config.fault_disk
+       ~bytes:t.config.page_size ())
+
+let touch t ~page ~write =
+  if not (is_resident t ~page) then begin
+    fault t;
+    Lru.touch t.lru page;
+    balance t
+  end
+  else if not (pinned t page) then Lru.touch t.lru page;
+  if write then Hashtbl.replace t.dirty page ()
+
+let ensure_resident t ~page = touch t ~page ~write:false
+let mark_clean t ~page = Hashtbl.remove t.dirty page
+
+let pin t ~page =
+  if pinned t page then
+    Hashtbl.replace t.pins page (Hashtbl.find t.pins page + 1)
+  else begin
+    if not (Lru.mem t.lru page) then fault t else Lru.remove t.lru page;
+    Hashtbl.replace t.pins page 1;
+    balance t
+  end
+
+let unpin t ~page =
+  match Hashtbl.find_opt t.pins page with
+  | None -> invalid_arg "Vm_sim.unpin: page not pinned"
+  | Some 1 ->
+    Hashtbl.remove t.pins page;
+    Lru.touch t.lru page;
+    balance t
+  | Some n -> Hashtbl.replace t.pins page (n - 1)
+
+let drop t ~page =
+  Lru.remove t.lru page;
+  Hashtbl.remove t.dirty page;
+  Hashtbl.remove t.pins page
+
+let load_sequential t ~first ~count =
+  if count > 0 then begin
+    Clock.charge_io t.clock
+      (Cost_model.disk_service_us t.config.fault_disk
+         ~bytes:(count * t.config.page_size) ());
+    for p = first to first + count - 1 do
+      Lru.touch t.lru p;
+      Hashtbl.remove t.dirty p
+    done;
+    balance t
+  end
+
+let resident_pages t = Lru.size t.lru + Hashtbl.length t.pins
+let faults t = t.faults
+let evictions t = t.evictions
+let pageouts t = t.pageouts
+
+let reset_counters t =
+  t.faults <- 0;
+  t.evictions <- 0;
+  t.pageouts <- 0

@@ -1,0 +1,67 @@
+(** Paging simulator for the performance evaluation.
+
+    The paper's central performance question is how RVM behaves when the
+    recoverable set approaches or exceeds physical memory (sections 3.2 and
+    7.1). We cannot exhaust a container's RAM reproducibly, so the benchmark
+    drives this model instead: an LRU residency set of [physical_pages]
+    frames, where a miss charges the simulated clock a kernel fault service
+    plus a disk read, and eviction of a dirty frame charges an asynchronous
+    pageout.
+
+    Two backings mirror the two systems:
+    - RVM's regions are anonymous memory copied from the external data
+      segment at map time; page-ins and pageouts use the paging disk, and a
+      page that truncation later needs must be faulted back in (the "double
+      paging" the paper accepts).
+    - Camelot's Disk Manager is an external pager: the backing store is the
+      data segment itself, and pinned pages (uncommitted data) are never
+      evicted.
+
+    Pages are identified by arbitrary integers (the caller uses virtual page
+    numbers), so one simulator instance covers all mapped regions of a
+    process. *)
+
+type config = {
+  physical_pages : int;
+  page_size : int;
+  fault_disk : Rvm_util.Cost_model.disk;  (** read on page-in *)
+  evict_disk : Rvm_util.Cost_model.disk;  (** write on dirty eviction *)
+  evict_in_background : bool;
+      (** pageouts overlap with foreground waits (kernel paging daemon) *)
+}
+
+type t
+
+val create :
+  clock:Rvm_util.Clock.t -> model:Rvm_util.Cost_model.t -> config -> t
+
+val touch : t -> page:int -> write:bool -> unit
+(** Reference a page, faulting it in if necessary. *)
+
+val is_resident : t -> page:int -> bool
+
+val ensure_resident : t -> page:int -> unit
+(** [touch ~write:false]. *)
+
+val mark_clean : t -> page:int -> unit
+(** After the engine writes the page's contents elsewhere (truncation). *)
+
+val pin : t -> page:int -> unit
+(** Faults the page in if needed and protects it from eviction. Pin counts
+    nest. *)
+
+val unpin : t -> page:int -> unit
+
+val drop : t -> page:int -> unit
+(** Discard a page without write-back (region unmap). *)
+
+val load_sequential : t -> first:int -> count:int -> unit
+(** Map-time en-masse load: one long sequential read from the fault disk;
+    the tail of the range ends up resident, clean. Models the startup
+    latency cost the paper notes in section 3.2. *)
+
+val resident_pages : t -> int
+val faults : t -> int
+val evictions : t -> int
+val pageouts : t -> int
+val reset_counters : t -> unit

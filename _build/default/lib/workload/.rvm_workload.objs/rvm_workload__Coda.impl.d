@@ -1,0 +1,1 @@
+lib/workload/coda.ml: Bytes Char Int64 List Rvm_core Rvm_util

@@ -1,0 +1,1 @@
+lib/workload/coda.mli: Rvm_core

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Bytes Camelot_sim Rvm_core

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Bytes Camelot_sim Rvm_core

@@ -1,0 +1,1 @@
+lib/workload/tpca.ml: Bytes Driver Hashtbl Int64 Rvm_util Rvm_vm

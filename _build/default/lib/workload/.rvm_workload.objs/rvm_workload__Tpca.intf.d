@@ -1,0 +1,1 @@
+lib/workload/tpca.mli: Driver

@@ -1,0 +1,60 @@
+(** Coda-style workloads for the Table 2 reproduction.
+
+    Table 2 measured the log-traffic savings of RVM's optimizations on
+    three Coda servers and six Coda clients over four days of real use. We
+    cannot replay that traffic, so these generators reproduce its
+    {e mechanisms} with per-machine rates taken from the paper's own
+    observations:
+
+    - {e Servers} (grieg, haydn, wagner) run flush-mode directory
+      transactions written defensively: modular code re-declares ranges the
+      caller already declared ("applications are often written to err on
+      the side of caution", section 5.2), which is what intra-transaction
+      optimization recovers. Flush commits leave nothing spooled, so inter
+      savings are structurally zero — the 0.0% column.
+    - {e Clients} additionally batch no-flush transactions with strong
+      temporal locality ("cp d1/* d2" updates the d2 directory once per
+      child): bursts of commits covering the same directory object, where
+      only the last survives a flush.
+
+    The savings are {e measured} by the real optimizer in the engine
+    ([Rvm_core.Statistics]); only the operation stream is synthetic. *)
+
+type kind = Server | Client
+
+type paper_row = {
+  p_txns : int;
+  p_bytes : int;  (** bytes written to log, after optimizations *)
+  p_intra_pct : float;
+  p_inter_pct : float;
+  p_total_pct : float;
+}
+
+type profile = {
+  name : string;
+  kind : kind;
+  txns : int;  (** scaled-down transaction count for the harness *)
+  range_bytes : int;  (** primary declared range per directory operation *)
+  intra_rate : float;  (** fraction of declared bytes that are redundant *)
+  burst_mean : float;  (** mean no-flush burst length (1.0 for servers) *)
+  paper : paper_row;  (** the corresponding Table 2 row *)
+}
+
+val machines : profile list
+(** The nine machines of Table 2, in table order. *)
+
+val find : string -> profile
+
+type result = {
+  profile : profile;
+  txns_run : int;
+  bytes_logged : int;
+  intra_pct : float;
+  inter_pct : float;
+  total_pct : float;
+}
+
+val run : profile -> Rvm_core.Rvm.t -> base:int -> len:int -> seed:int64 -> result
+(** Drive the profile's transaction stream against mapped recoverable
+    memory at [base, base+len) and report the measured savings. The
+    engine's statistics are reset first. *)

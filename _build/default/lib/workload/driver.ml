@@ -1,0 +1,32 @@
+module Rvm = Rvm_core.Rvm
+module Types = Rvm_core.Types
+module Camelot = Camelot_sim.Camelot
+
+type engine = {
+  begin_txn : unit -> int;
+  set_range : int -> addr:int -> len:int -> unit;
+  load : addr:int -> len:int -> Bytes.t;
+  store : addr:int -> Bytes.t -> unit;
+  commit : int -> unit;
+  name : string;
+}
+
+let of_rvm ?(commit_mode = Types.Flush) rvm =
+  {
+    begin_txn = (fun () -> Rvm.begin_transaction rvm ~mode:Types.No_restore);
+    set_range = (fun tid ~addr ~len -> Rvm.set_range rvm tid ~addr ~len);
+    load = (fun ~addr ~len -> Rvm.load rvm ~addr ~len);
+    store = (fun ~addr bytes -> Rvm.store rvm ~addr bytes);
+    commit = (fun tid -> Rvm.end_transaction rvm tid ~mode:commit_mode);
+    name = "rvm";
+  }
+
+let of_camelot cam =
+  {
+    begin_txn = (fun () -> Camelot.begin_transaction cam);
+    set_range = (fun tid ~addr ~len -> Camelot.set_range cam tid ~addr ~len);
+    load = (fun ~addr ~len -> Camelot.load cam ~addr ~len);
+    store = (fun ~addr bytes -> Camelot.store cam ~addr bytes);
+    commit = (fun tid -> Camelot.end_transaction cam tid);
+    name = "camelot";
+  }

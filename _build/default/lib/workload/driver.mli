@@ -1,0 +1,20 @@
+(** Engine-agnostic transaction driver.
+
+    The evaluation runs the same workloads against RVM and against the
+    Camelot model; this record-of-operations interface is what the
+    generators program against. *)
+
+type engine = {
+  begin_txn : unit -> int;
+  set_range : int -> addr:int -> len:int -> unit;
+  load : addr:int -> len:int -> Bytes.t;
+  store : addr:int -> Bytes.t -> unit;
+  commit : int -> unit;
+  name : string;
+}
+
+val of_rvm : ?commit_mode:Rvm_core.Types.commit_mode -> Rvm_core.Rvm.t -> engine
+(** Default commit mode is [Flush] — the benchmark requires transactions to
+    be "fully atomic and permanent" (Table 1's conditions). *)
+
+val of_camelot : Camelot_sim.Camelot.t -> engine

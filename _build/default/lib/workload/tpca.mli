@@ -1,0 +1,57 @@
+(** The TPC-A variant of section 7.1.1.
+
+    "A hypothetical bank with one or more branches, multiple tellers per
+    branch, and many customer accounts per branch. A transaction updates a
+    randomly chosen account, updates branch and teller balances, and
+    appends a history record to an audit trail." All data structures live
+    in recoverable memory: accounts are 128-byte records, audit-trail
+    entries 64-byte records, each array close to half of recoverable
+    memory; teller and branch balances are insignificant in size. Audit
+    access is sequential with wrap-around; account access follows one of
+    three patterns:
+
+    - {e Sequential} — the paging best case;
+    - {e Random} — uniform over all accounts, the worst case;
+    - {e Localized} — 70% of transactions update accounts on 5% of the
+      account pages, 25% on a different 15%, and 5% on the remaining 80%,
+      uniformly within each set. *)
+
+type pattern = Sequential | Random | Localized
+
+val pattern_name : pattern -> string
+
+type layout = {
+  accounts : int;
+  base : int;  (** vaddr of the account array *)
+  tellers_base : int;
+  branches_base : int;
+  audit_base : int;
+  audit_entries : int;
+  total_len : int;  (** page-rounded length of the whole recoverable area *)
+}
+
+val account_size : int
+(** 128 bytes. *)
+
+val audit_size : int
+(** 64 bytes. *)
+
+val tellers : int
+val branches : int
+
+val layout : accounts:int -> base:int -> page_size:int -> layout
+(** Compute the memory layout for a given account count. The audit trail
+    gets two entries per account so that both arrays occupy close to half
+    of recoverable memory, as in the paper. *)
+
+type state
+
+val create : layout -> pattern -> seed:int64 -> state
+
+val transaction : state -> Driver.engine -> unit
+(** Run one TPC-A transaction through the engine: pick an account per the
+    pattern, update it, update a teller and a branch balance, append the
+    audit record. *)
+
+val transactions_run : state -> int
+val account_pages_touched : state -> int

@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Bytes List Region Rvm Rvm_alloc Rvm_core Rvm_disk Rvm_util Types

@@ -1,0 +1,1 @@
+test/test_camelot.ml: Alcotest Bytes Camelot_sim List Rvm_core Rvm_disk Rvm_log Rvm_util

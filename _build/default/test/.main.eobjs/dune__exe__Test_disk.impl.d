@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Crash_device Device File_device Filename Fun List Mem_device Printf Rvm_disk Rvm_util Sim_device String Sys

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float List Option Printf Rvm_harness Rvm_workload

@@ -1,0 +1,1 @@
+test/test_layers.ml: Alcotest Bytes List Printf Region Rvm Rvm_core Rvm_disk Rvm_layers String Types

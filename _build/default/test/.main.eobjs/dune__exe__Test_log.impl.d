@@ -1,0 +1,1 @@
+test/test_log.ml: Alcotest Bytes Char List Log_manager Record Result Rvm_disk Rvm_log Rvm_util Status String

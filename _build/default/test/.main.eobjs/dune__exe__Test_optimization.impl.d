@@ -1,0 +1,1 @@
+test/test_optimization.ml: Alcotest Bytes Char Hashtbl List Options Region Rvm Rvm_core Rvm_disk Rvm_log Statistics String Types

@@ -1,0 +1,1 @@
+test/test_pds.ml: Alcotest Hashtbl List Printf Queue Region Rvm Rvm_alloc Rvm_core Rvm_disk Rvm_pds Rvm_util Types

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Bytes Char Int64 List Option Options Printf QCheck QCheck_alcotest Region Result Rvm Rvm_alloc Rvm_core Rvm_disk Rvm_log Rvm_util String Types

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Bytes List Options Printf Region Rvm Rvm_core Rvm_disk Rvm_log Rvm_util String Types

@@ -1,0 +1,1 @@
+test/test_rvm.ml: Alcotest Bytes Format Hashtbl List Option Options Printf Region Rvm Rvm_core Rvm_disk Rvm_log Rvm_util Rvm_vm Types

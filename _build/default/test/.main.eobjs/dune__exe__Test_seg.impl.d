@@ -1,0 +1,1 @@
+test/test_seg.ml: Alcotest Bytes Hashtbl Int64 List Printf Region Rvm Rvm_core Rvm_disk Rvm_seg Types

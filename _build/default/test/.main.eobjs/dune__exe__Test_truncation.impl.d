@@ -1,0 +1,1 @@
+test/test_truncation.ml: Alcotest Bytes Options Region Rvm Rvm_core Rvm_disk Rvm_log Statistics String Types

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytebuf Bytes Checksum Clock Cost_model Intervals Printf Rng Rvm_util Stats

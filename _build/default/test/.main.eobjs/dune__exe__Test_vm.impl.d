@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest List Lru Page Page_table Printf Rvm_util Rvm_vm Vm_sim

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes Camelot_sim Float List Options Printf Region Rvm Rvm_core Rvm_disk Rvm_log Rvm_util Rvm_workload

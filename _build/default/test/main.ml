@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "rvm"
+    [
+      ("util", Test_util.suite);
+      ("disk", Test_disk.suite);
+      ("log", Test_log.suite);
+      ("vm", Test_vm.suite);
+      ("rvm", Test_rvm.suite);
+      ("recovery", Test_recovery.suite);
+      ("truncation", Test_truncation.suite);
+      ("optimization", Test_optimization.suite);
+      ("alloc", Test_alloc.suite);
+      ("seg", Test_seg.suite);
+      ("layers", Test_layers.suite);
+      ("camelot", Test_camelot.suite);
+      ("workload", Test_workload.suite);
+      ("props", Test_props.suite);
+      ("harness", Test_harness.suite);
+      ("pds", Test_pds.suite);
+    ]

@@ -1,0 +1,228 @@
+(* Tests for the recoverable dynamic storage allocator (Rds): allocation,
+   free/coalescing, transactional rollback, crash persistence, invariants. *)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Crash_device = Rvm_disk.Crash_device
+module Rds = Rvm_alloc.Rds
+module Rng = Rvm_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ps = 4096
+
+let make_world ?(len = 16 * ps) () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(512 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(256 * 1024) () in
+  let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len () in
+  (rvm, r.Region.vaddr)
+
+let with_heap ?(len = 16 * ps) f =
+  let rvm, base = make_world ~len () in
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let h = Rds.init rvm tid ~base ~len in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  f rvm h
+
+let in_txn rvm f =
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let v = f tid in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  v
+
+let test_alloc_basic () =
+  with_heap (fun rvm h ->
+      let p = in_txn rvm (fun tid -> Rds.alloc h tid ~size:100) in
+      check_bool "in heap" true (p > Rds.base h && p < Rds.base h + Rds.heap_len h);
+      check_bool "usable" true (Rds.usable_size h p >= 100);
+      check_bool "accounted" true (Rds.allocated_bytes h >= 100);
+      Rds.check h)
+
+let test_alloc_distinct () =
+  with_heap (fun rvm h ->
+      let ptrs =
+        in_txn rvm (fun tid ->
+            List.init 20 (fun _ -> Rds.alloc h tid ~size:64))
+      in
+      let sorted = List.sort_uniq compare ptrs in
+      check_int "all distinct" 20 (List.length sorted);
+      (* Payloads must not overlap. *)
+      let rec overlaps = function
+        | a :: (b :: _ as rest) -> (a + 64 > b) || overlaps rest
+        | _ -> false
+      in
+      check_bool "no overlap" false (overlaps (List.sort compare ptrs));
+      Rds.check h)
+
+let test_free_and_reuse () =
+  with_heap (fun rvm h ->
+      let p1 = in_txn rvm (fun tid -> Rds.alloc h tid ~size:200) in
+      in_txn rvm (fun tid -> Rds.free h tid p1);
+      check_int "all free again" 0 (Rds.allocated_bytes h);
+      let p2 = in_txn rvm (fun tid -> Rds.alloc h tid ~size:200) in
+      check_int "space reused" p1 p2;
+      Rds.check h)
+
+let test_coalescing () =
+  with_heap (fun rvm h ->
+      let ps' =
+        in_txn rvm (fun tid -> List.init 3 (fun _ -> Rds.alloc h tid ~size:100))
+      in
+      (* Free in an order that exercises both next- and prev-coalescing. *)
+      (match ps' with
+      | [ a; b; c ] ->
+        in_txn rvm (fun tid -> Rds.free h tid a);
+        in_txn rvm (fun tid -> Rds.free h tid c);
+        in_txn rvm (fun tid -> Rds.free h tid b)
+      | _ -> Alcotest.fail "expected 3 pointers");
+      check_int "coalesced to one block" 1 (Rds.block_count h);
+      Rds.check h)
+
+let test_double_free_rejected () =
+  with_heap (fun rvm h ->
+      let p = in_txn rvm (fun tid -> Rds.alloc h tid ~size:64) in
+      in_txn rvm (fun tid -> Rds.free h tid p);
+      let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      let raised =
+        try
+          Rds.free h tid p;
+          false
+        with Types.Rvm_error _ -> true
+      in
+      check_bool "double free" true raised;
+      Rvm.abort_transaction rvm tid)
+
+let test_foreign_pointer_rejected () =
+  with_heap (fun rvm h ->
+      let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      let raised =
+        try
+          Rds.free h tid (Rds.base h + 12345);
+          false
+        with Types.Rvm_error _ -> true
+      in
+      check_bool "foreign pointer" true raised;
+      Rvm.abort_transaction rvm tid)
+
+let test_out_of_memory () =
+  with_heap ~len:(2 * ps) (fun rvm h ->
+      let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      let raised =
+        try
+          ignore (Rds.alloc h tid ~size:(4 * ps));
+          false
+        with Types.Rvm_error _ -> true
+      in
+      check_bool "oom" true raised;
+      Rvm.abort_transaction rvm tid)
+
+let test_abort_rolls_back_allocation () =
+  with_heap (fun rvm h ->
+      let before_blocks = Rds.block_count h in
+      let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      ignore (Rds.alloc h tid ~size:128);
+      ignore (Rds.alloc h tid ~size:256);
+      Rvm.abort_transaction rvm tid;
+      check_int "allocation undone" 0 (Rds.allocated_bytes h);
+      check_int "block structure restored" before_blocks (Rds.block_count h);
+      Rds.check h)
+
+let test_abort_rolls_back_free () =
+  with_heap (fun rvm h ->
+      let p = in_txn rvm (fun tid -> Rds.alloc h tid ~size:128) in
+      let allocated = Rds.allocated_bytes h in
+      let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      Rds.free h tid p;
+      Rvm.abort_transaction rvm tid;
+      check_int "free undone" allocated (Rds.allocated_bytes h);
+      Rds.check h;
+      (* The block is still allocated and can be freed for real. *)
+      in_txn rvm (fun tid -> Rds.free h tid p);
+      Rds.check h)
+
+let test_attach_after_restart () =
+  let log_crash = Crash_device.create ~name:"log" ~size:(512 * 1024) () in
+  let seg_crash = Crash_device.create ~name:"seg" ~size:(256 * 1024) () in
+  Rvm.create_log (Crash_device.device log_crash);
+  let resolve _ = Crash_device.device seg_crash in
+  let rvm = Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(16 * ps) () in
+  let base = r.Region.vaddr in
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let h = Rds.init rvm tid ~base ~len:(16 * ps) in
+  let p = Rds.alloc h tid ~size:64 in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  in_txn rvm (fun tid ->
+      Rvm.set_range rvm tid ~addr:p ~len:9;
+      Rvm.store_string rvm ~addr:p "persisted");
+  (* Crash and restart. *)
+  Crash_device.crash log_crash;
+  Crash_device.crash seg_crash;
+  let rvm2 = Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  ignore (Rvm.map rvm2 ~vaddr:base ~seg:1 ~seg_off:0 ~len:(16 * ps) ());
+  let h2 = Rds.attach rvm2 ~base in
+  Rds.check h2;
+  check_bool "allocation survived" true (Rds.allocated_bytes h2 >= 64);
+  Alcotest.(check string)
+    "data survived" "persisted"
+    (Bytes.to_string (Rvm.load rvm2 ~addr:p ~len:9))
+
+let test_attach_garbage_rejected () =
+  let rvm, base = make_world () in
+  let raised =
+    try
+      ignore (Rds.attach rvm ~base);
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "no heap signature" true raised
+
+let test_random_workload_invariants () =
+  with_heap ~len:(32 * ps) (fun rvm h ->
+      let rng = Rng.create ~seed:17L in
+      let live = ref [] in
+      for round = 1 to 60 do
+        in_txn rvm (fun tid ->
+            (* A few allocations... *)
+            for _ = 1 to 1 + Rng.int rng 5 do
+              let size = 8 + Rng.int rng 600 in
+              match Rds.alloc h tid ~size with
+              | p -> live := (p, size) :: !live
+              | exception Types.Rvm_error _ -> ()
+            done;
+            (* ...and a few frees. *)
+            for _ = 1 to Rng.int rng 4 do
+              match !live with
+              | [] -> ()
+              | _ ->
+                let i = Rng.int rng (List.length !live) in
+                let p, _ = List.nth !live i in
+                live := List.filteri (fun j _ -> j <> i) !live;
+                Rds.free h tid p
+            done);
+        if round mod 10 = 0 then Rds.check h
+      done;
+      Rds.check h;
+      (* Free everything: the heap must coalesce back to a single block. *)
+      in_txn rvm (fun tid -> List.iter (fun (p, _) -> Rds.free h tid p) !live);
+      check_int "fully coalesced" 1 (Rds.block_count h);
+      check_int "nothing allocated" 0 (Rds.allocated_bytes h);
+      Rds.check h)
+
+let suite =
+  [
+    ("alloc.basic", `Quick, test_alloc_basic);
+    ("alloc.distinct", `Quick, test_alloc_distinct);
+    ("alloc.free-reuse", `Quick, test_free_and_reuse);
+    ("alloc.coalescing", `Quick, test_coalescing);
+    ("alloc.double-free", `Quick, test_double_free_rejected);
+    ("alloc.foreign-pointer", `Quick, test_foreign_pointer_rejected);
+    ("alloc.oom", `Quick, test_out_of_memory);
+    ("alloc.abort-alloc", `Quick, test_abort_rolls_back_allocation);
+    ("alloc.abort-free", `Quick, test_abort_rolls_back_free);
+    ("alloc.restart", `Quick, test_attach_after_restart);
+    ("alloc.attach-garbage", `Quick, test_attach_garbage_rejected);
+    ("alloc.random-invariants", `Quick, test_random_workload_invariants);
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the Camelot baseline model: it must be a functionally correct
+   recoverable-memory engine (commit, abort, recovery) with Camelot's cost
+   structure (IPC per operation, pinning, aggressive whole-page truncation). *)
+
+module Camelot = Camelot_sim.Camelot
+module Ipc = Camelot_sim.Ipc
+module Region = Rvm_core.Region
+module Mem_device = Rvm_disk.Mem_device
+module Crash_device = Rvm_disk.Crash_device
+module Log_manager = Rvm_log.Log_manager
+module Clock = Rvm_util.Clock
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let ps = 4096
+
+let make_world ?clock () =
+  let log_dev = Mem_device.create ~name:"clog" ~size:(256 * 1024) () in
+  Log_manager.format log_dev;
+  let seg_dev = Mem_device.create ~name:"cseg" ~size:(64 * 1024) () in
+  let cam = Camelot.initialize ?clock ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let r = Camelot.map cam ~seg:1 ~seg_off:0 ~len:(8 * ps) () in
+  (cam, seg_dev, r)
+
+let test_commit_and_truncate () =
+  let cam, seg_dev, r = make_world () in
+  let a = r.Region.vaddr in
+  let tid = Camelot.begin_transaction cam in
+  Camelot.set_range cam tid ~addr:a ~len:8;
+  Camelot.store cam ~addr:a (Bytes.of_string "cam-data");
+  Camelot.end_transaction cam tid;
+  check_int "one committed" 1 (Camelot.txns_committed cam);
+  Camelot.truncate cam;
+  check_str "whole page written to segment" "cam-data"
+    (Bytes.to_string (Rvm_disk.Device.read_bytes seg_dev ~off:0 ~len:8));
+  check_bool "pages written" true (Camelot.pages_written cam > 0);
+  check_bool "log reclaimed" true (Log_manager.is_empty (Camelot.log_manager cam))
+
+let test_abort_restores () =
+  let cam, _, r = make_world () in
+  let a = r.Region.vaddr in
+  let t1 = Camelot.begin_transaction cam in
+  Camelot.set_range cam t1 ~addr:a ~len:4;
+  Camelot.store cam ~addr:a (Bytes.of_string "good");
+  Camelot.end_transaction cam t1;
+  let t2 = Camelot.begin_transaction cam in
+  Camelot.set_range cam t2 ~addr:a ~len:4;
+  Camelot.store cam ~addr:a (Bytes.of_string "evil");
+  Camelot.abort_transaction cam t2;
+  check_str "restored" "good" (Bytes.to_string (Camelot.load cam ~addr:a ~len:4))
+
+let test_recovery () =
+  let log_crash = Crash_device.create ~name:"clog" ~size:(256 * 1024) () in
+  let seg_crash = Crash_device.create ~name:"cseg" ~size:(64 * 1024) () in
+  Log_manager.format (Crash_device.device log_crash);
+  let resolve _ = Crash_device.device seg_crash in
+  let cam = Camelot.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  let r = Camelot.map cam ~seg:1 ~seg_off:0 ~len:(4 * ps) () in
+  let a = r.Region.vaddr in
+  let tid = Camelot.begin_transaction cam in
+  Camelot.set_range cam tid ~addr:a ~len:7;
+  Camelot.store cam ~addr:a (Bytes.of_string "survive");
+  Camelot.end_transaction cam tid;
+  Crash_device.crash log_crash;
+  Crash_device.crash seg_crash;
+  let cam2 = Camelot.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  let r2 = Camelot.map cam2 ~seg:1 ~seg_off:0 ~len:(4 * ps) () in
+  check_str "recovered" "survive"
+    (Bytes.to_string (Camelot.load cam2 ~addr:r2.Region.vaddr ~len:7))
+
+let test_truncation_blocked_by_pin () =
+  let cam, _, r = make_world () in
+  let a = r.Region.vaddr in
+  let t1 = Camelot.begin_transaction cam in
+  Camelot.set_range cam t1 ~addr:a ~len:4;
+  Camelot.store cam ~addr:a (Bytes.of_string "done");
+  Camelot.end_transaction cam t1;
+  (* A second transaction pins the same page. *)
+  let t2 = Camelot.begin_transaction cam in
+  Camelot.set_range cam t2 ~addr:(a + 100) ~len:4;
+  Camelot.truncate cam;
+  check_bool "blocked while pinned" false
+    (Log_manager.is_empty (Camelot.log_manager cam));
+  Camelot.abort_transaction cam t2;
+  Camelot.truncate cam;
+  check_bool "proceeds after unpin" true
+    (Log_manager.is_empty (Camelot.log_manager cam))
+
+let test_ipc_accounting () =
+  let clock = Clock.simulated () in
+  let cam, _, r = make_world ~clock () in
+  let a = r.Region.vaddr in
+  let before = Ipc.total_calls (Camelot.ipc cam) in
+  let tid = Camelot.begin_transaction cam in
+  Camelot.set_range cam tid ~addr:a ~len:4;
+  Camelot.set_range cam tid ~addr:(a + 100) ~len:4;
+  Camelot.end_transaction cam tid;
+  let calls = Ipc.total_calls (Camelot.ipc cam) - before in
+  (* begin (TM) + 2 pins (DM) + commit (TM) + 2 async notifications. *)
+  check_int "ipc per transaction" 6 calls;
+  check_bool "ipc costs cpu" true (Clock.cpu_us clock > 0.);
+  check_bool "tm calls" true (Ipc.calls_to (Camelot.ipc cam) Ipc.Transaction_manager >= 2)
+
+let test_no_intra_coalescing () =
+  (* Camelot logs one range per pin call — no intra-transaction
+     optimization (that is RVM's edge in Table 2). *)
+  let cam, _, r = make_world () in
+  let a = r.Region.vaddr in
+  let tid = Camelot.begin_transaction cam in
+  Camelot.set_range cam tid ~addr:a ~len:64;
+  Camelot.set_range cam tid ~addr:a ~len:64;
+  Camelot.end_transaction cam tid;
+  let ranges = ref 0 in
+  Log_manager.iter_live (Camelot.log_manager cam) ~f:(fun ~off:_ rec_ ->
+      ranges := !ranges + List.length rec_.Rvm_log.Record.ranges);
+  check_int "duplicate ranges logged" 2 !ranges
+
+let suite =
+  [
+    ("camelot.commit-truncate", `Quick, test_commit_and_truncate);
+    ("camelot.abort", `Quick, test_abort_restores);
+    ("camelot.recovery", `Quick, test_recovery);
+    ("camelot.pin-blocks", `Quick, test_truncation_blocked_by_pin);
+    ("camelot.ipc", `Quick, test_ipc_accounting);
+    ("camelot.no-coalescing", `Quick, test_no_intra_coalescing);
+  ]

@@ -1,0 +1,203 @@
+(* Unit tests for Rvm_disk: device contract across the four implementations,
+   crash semantics, torn writes, fail-stop injection, simulated timing. *)
+
+open Rvm_disk
+module Rng = Rvm_util.Rng
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let read_str dev ~off ~len =
+  Bytes.to_string (Device.read_bytes dev ~off ~len)
+
+(* The basic contract every device must satisfy. *)
+let contract (dev : Device.t) =
+  Device.write_string dev ~off:10 "hello";
+  check_str "read back" "hello" (read_str dev ~off:10 ~len:5);
+  Device.write_string dev ~off:12 "LL";
+  check_str "partial overwrite" "heLLo" (read_str dev ~off:10 ~len:5);
+  dev.Device.sync ();
+  check_str "after sync" "heLLo" (read_str dev ~off:10 ~len:5);
+  (* Bounds checking. *)
+  let bad f = try f () ; false with Device.Io_error _ -> true in
+  check_bool "read past end" true
+    (bad (fun () -> ignore (Device.read_bytes dev ~off:(dev.Device.size - 2) ~len:4)));
+  check_bool "negative offset" true
+    (bad (fun () -> ignore (Device.read_bytes dev ~off:(-1) ~len:1)))
+
+let test_mem_contract () = contract (Mem_device.create ~size:4096 ())
+
+let test_file_contract () =
+  let path = Filename.temp_file "rvm_test" ".dev" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let dev = File_device.create ~path ~size:4096 () in
+      contract dev;
+      dev.Device.close ())
+
+let test_crash_contract () =
+  contract (Crash_device.device (Crash_device.create ~size:4096 ()))
+
+let test_sim_contract () =
+  let base = Mem_device.create ~size:4096 () in
+  let clock = Clock.simulated () in
+  let sim =
+    Sim_device.create ~base ~clock ~disk:Cost_model.dec5000.Cost_model.data_disk ()
+  in
+  contract (Sim_device.device sim)
+
+let test_file_persistence () =
+  let path = Filename.temp_file "rvm_test" ".dev" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let dev = File_device.create ~path ~size:1024 () in
+      Device.write_string dev ~off:100 "persist me";
+      dev.Device.sync ();
+      dev.Device.close ();
+      let dev2 = File_device.open_existing ~path in
+      check_int "size recovered" 1024 dev2.Device.size;
+      check_str "contents recovered" "persist me" (read_str dev2 ~off:100 ~len:10);
+      dev2.Device.close ())
+
+let test_crash_loses_unsynced () =
+  let c = Crash_device.create ~size:1024 () in
+  let dev = Crash_device.device c in
+  Device.write_string dev ~off:0 "durable";
+  dev.Device.sync ();
+  Device.write_string dev ~off:0 "volatil";
+  check_str "volatile visible before crash" "volatil" (read_str dev ~off:0 ~len:7);
+  Crash_device.crash c;
+  check_str "durable survives" "durable" (read_str dev ~off:0 ~len:7)
+
+let test_crash_pending_count () =
+  let c = Crash_device.create ~size:1024 () in
+  let dev = Crash_device.device c in
+  check_int "initially clean" 0 (Crash_device.pending_writes c);
+  Device.write_string dev ~off:0 "a";
+  Device.write_string dev ~off:1 "b";
+  check_int "two pending" 2 (Crash_device.pending_writes c);
+  dev.Device.sync ();
+  check_int "sync clears" 0 (Crash_device.pending_writes c)
+
+let test_crash_torn_prefix () =
+  (* A torn crash keeps a prefix of the pending writes: the surviving state
+     must always be one of the states the write sequence passed through,
+     possibly with the next write cut mid-way. *)
+  let rng = Rng.create ~seed:11L in
+  for _ = 1 to 50 do
+    let c = Crash_device.create ~size:64 () in
+    let dev = Crash_device.device c in
+    Device.write_string dev ~off:0 "AAAA";
+    dev.Device.sync ();
+    Device.write_string dev ~off:0 "BBBB";
+    Device.write_string dev ~off:0 "CCCC";
+    Crash_device.crash_torn c ~rng;
+    let s = read_str dev ~off:0 ~len:4 in
+    let valid =
+      (* Full states, or a torn boundary between consecutive states. *)
+      List.exists
+        (fun (prev, next) ->
+          List.exists
+            (fun k -> s = String.sub next 0 k ^ String.sub prev k (4 - k))
+            [ 0; 1; 2; 3; 4 ])
+        [ ("AAAA", "BBBB"); ("BBBB", "CCCC") ]
+    in
+    check_bool (Printf.sprintf "torn state %s valid" s) true valid
+  done
+
+let test_crash_torn_becomes_durable () =
+  let rng = Rng.create ~seed:3L in
+  let c = Crash_device.create ~size:16 () in
+  let dev = Crash_device.device c in
+  Device.write_string dev ~off:0 "XY";
+  Crash_device.crash_torn c ~rng;
+  let after_crash = read_str dev ~off:0 ~len:2 in
+  (* A second, clean crash must not change what the first crash left. *)
+  Crash_device.crash c;
+  check_str "stable across re-crash" after_crash (read_str dev ~off:0 ~len:2)
+
+let test_fail_stop () =
+  let c = Crash_device.create ~size:1024 () in
+  let dev = Crash_device.device c in
+  Crash_device.fail_after c ~ops:2;
+  Device.write_string dev ~off:0 "a";
+  Device.write_string dev ~off:1 "b";
+  Alcotest.check_raises "third op fails" (Device.Io_error "injected failure")
+    (fun () -> Device.write_string dev ~off:2 "c");
+  Crash_device.disarm c;
+  Device.write_string dev ~off:2 "c";
+  check_str "recovers after disarm" "abc" (read_str dev ~off:0 ~len:3)
+
+let test_sim_charges_reads () =
+  let base = Mem_device.create ~size:65536 () in
+  let clock = Clock.simulated () in
+  let disk = Cost_model.dec5000.Cost_model.data_disk in
+  let sim = Sim_device.create ~base ~clock ~disk () in
+  let dev = Sim_device.device sim in
+  let t0 = Clock.now_us clock in
+  ignore (Device.read_bytes dev ~off:0 ~len:4096);
+  let dt = Clock.now_us clock -. t0 in
+  let expect = Cost_model.disk_service_us disk ~bytes:4096 () in
+  Alcotest.(check (float 1e-6)) "read charged" expect dt;
+  check_int "one io" 1 (Sim_device.io_count sim)
+
+let test_sim_write_buffering () =
+  (* Writes cost nothing until sync; sync charges one force for all dirty
+     bytes; an empty sync charges nothing. *)
+  let base = Mem_device.create ~size:65536 () in
+  let clock = Clock.simulated () in
+  let disk = Cost_model.dec5000.Cost_model.log_disk in
+  let sim = Sim_device.create ~base ~clock ~disk () in
+  let dev = Sim_device.device sim in
+  Device.write_string dev ~off:0 (String.make 100 'x');
+  Device.write_string dev ~off:100 (String.make 200 'y');
+  Alcotest.(check (float 0.)) "writes free until sync" 0. (Clock.now_us clock);
+  dev.Device.sync ();
+  let expect = Cost_model.disk_service_us disk ~bytes:300 () in
+  Alcotest.(check (float 1e-6)) "sync pays accumulated" expect (Clock.now_us clock);
+  let t1 = Clock.now_us clock in
+  dev.Device.sync ();
+  Alcotest.(check (float 1e-6)) "clean sync free" t1 (Clock.now_us clock)
+
+let test_sim_background_routing () =
+  let base = Mem_device.create ~size:65536 () in
+  let clock = Clock.simulated () in
+  let disk = Cost_model.dec5000.Cost_model.data_disk in
+  let sim = Sim_device.create ~base ~clock ~disk () in
+  let dev = Sim_device.device sim in
+  Sim_device.set_background sim true;
+  ignore (Device.read_bytes dev ~off:0 ~len:4096);
+  Alcotest.(check (float 0.)) "background read does not block" 0.
+    (Clock.now_us clock);
+  check_bool "accrues backlog" true (Clock.backlog_us clock > 0.)
+
+let test_mem_snapshot () =
+  let dev = Mem_device.create ~size:32 () in
+  Device.write_string dev ~off:0 "snapshot";
+  let snap = Mem_device.snapshot dev in
+  Device.write_string dev ~off:0 "????????";
+  check_str "snapshot is a copy" "snapshot"
+    (Bytes.to_string (Bytes.sub snap 0 8))
+
+let suite =
+  [
+    ("mem.contract", `Quick, test_mem_contract);
+    ("file.contract", `Quick, test_file_contract);
+    ("crash.contract", `Quick, test_crash_contract);
+    ("sim.contract", `Quick, test_sim_contract);
+    ("file.persistence", `Quick, test_file_persistence);
+    ("crash.loses-unsynced", `Quick, test_crash_loses_unsynced);
+    ("crash.pending-count", `Quick, test_crash_pending_count);
+    ("crash.torn-prefix", `Quick, test_crash_torn_prefix);
+    ("crash.torn-durable", `Quick, test_crash_torn_becomes_durable);
+    ("crash.fail-stop", `Quick, test_fail_stop);
+    ("sim.charges-reads", `Quick, test_sim_charges_reads);
+    ("sim.write-buffering", `Quick, test_sim_write_buffering);
+    ("sim.background", `Quick, test_sim_background_routing);
+    ("mem.snapshot", `Quick, test_mem_snapshot);
+  ]

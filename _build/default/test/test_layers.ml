@@ -1,0 +1,281 @@
+(* Tests for the section-8 layers: nested transactions, two-phase commit,
+   and the 2PL lock manager. *)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Nested = Rvm_layers.Nested
+module Twopc = Rvm_layers.Twopc
+module Lock_mgr = Rvm_layers.Lock_mgr
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let ps = 4096
+
+let make_world () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(512 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(128 * 1024) () in
+  let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(4 * ps) () in
+  (rvm, r.Region.vaddr)
+
+let read rvm ~addr ~len = Bytes.to_string (Rvm.load rvm ~addr ~len)
+
+(* --- nested transactions --- *)
+
+let test_nested_commit_commits_all () =
+  let rvm, a = make_world () in
+  let n = Nested.create rvm in
+  let top = Nested.begin_top n in
+  Nested.modify n top ~addr:a (Bytes.of_string "top");
+  let child = Nested.begin_nested n ~parent:top in
+  check_int "depth" 1 (Nested.depth n child);
+  Nested.modify n child ~addr:(a + 10) (Bytes.of_string "child");
+  Nested.commit n child ();
+  Nested.commit n top ();
+  check_str "top data" "top" (read rvm ~addr:a ~len:3);
+  check_str "child data" "child" (read rvm ~addr:(a + 10) ~len:5);
+  check_int "none active" 0 (Nested.active n)
+
+let test_nested_abort_child_keeps_parent () =
+  let rvm, a = make_world () in
+  let n = Nested.create rvm in
+  let top = Nested.begin_top n in
+  Nested.modify n top ~addr:a (Bytes.of_string "parent!");
+  let child = Nested.begin_nested n ~parent:top in
+  Nested.modify n child ~addr:a (Bytes.of_string "CHILD!!");
+  Nested.modify n child ~addr:(a + 20) (Bytes.of_string "extra");
+  Nested.abort n child;
+  check_str "parent's value restored" "parent!" (read rvm ~addr:a ~len:7);
+  check_str "child-only range restored" "\000\000\000\000\000"
+    (read rvm ~addr:(a + 20) ~len:5);
+  Nested.commit n top ();
+  check_str "parent survives" "parent!" (read rvm ~addr:a ~len:7)
+
+let test_nested_parent_abort_undoes_committed_child () =
+  let rvm, a = make_world () in
+  let n = Nested.create rvm in
+  (* Baseline value. *)
+  let t0 = Nested.begin_top n in
+  Nested.modify n t0 ~addr:a (Bytes.of_string "base");
+  Nested.commit n t0 ();
+  let top = Nested.begin_top n in
+  let child = Nested.begin_nested n ~parent:top in
+  Nested.modify n child ~addr:a (Bytes.of_string "chld");
+  Nested.commit n child ();
+  (* The child committed into the parent; aborting the parent undoes it. *)
+  Nested.abort n top;
+  check_str "child's change undone by parent abort" "base" (read rvm ~addr:a ~len:4)
+
+let test_nested_deep () =
+  let rvm, a = make_world () in
+  let n = Nested.create rvm in
+  let top = Nested.begin_top n in
+  (* Build a five-deep chain, each level writing its own slot. *)
+  let rec go parent depth acc =
+    if depth = 5 then acc
+    else begin
+      let c = Nested.begin_nested n ~parent in
+      Nested.modify n c ~addr:(a + (depth * 8))
+        (Bytes.of_string (Printf.sprintf "lvl%d---" depth));
+      go c (depth + 1) (c :: acc)
+    end
+  in
+  let chain = go top 0 [] in
+  (match chain with
+  | deepest :: _ -> check_int "depth 5" 5 (Nested.depth n deepest)
+  | [] -> Alcotest.fail "empty chain");
+  (* Commit the two deepest levels, abort the rest: levels 3 and 4 merged
+     into level 2, which is then aborted — everything must vanish. *)
+  (match chain with
+  | c5 :: c4 :: rest ->
+    Nested.commit n c5 ();
+    Nested.commit n c4 ();
+    List.iter (fun c -> Nested.abort n c) rest
+  | _ -> Alcotest.fail "short chain");
+  Nested.abort n top;
+  check_str "all undone" (String.make 40 '\000') (read rvm ~addr:a ~len:40);
+  check_int "none active" 0 (Nested.active n)
+
+let test_nested_linear_rule () =
+  let rvm, _ = make_world () in
+  let n = Nested.create rvm in
+  let top = Nested.begin_top n in
+  let c1 = Nested.begin_nested n ~parent:top in
+  let raised =
+    try
+      ignore (Nested.begin_nested n ~parent:top);
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "second concurrent child rejected" true raised;
+  (* Parent cannot resolve while a child is open. *)
+  let raised =
+    try
+      Nested.commit n top ();
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "parent blocked by child" true raised;
+  Nested.commit n c1 ();
+  Nested.commit n top ()
+
+(* --- two-phase commit --- *)
+
+type site = { sub : Twopc.sub; rvm : Rvm.t; base : int }
+
+let make_site name =
+  let rvm, base = make_world () in
+  { sub = Twopc.sub_create ~name rvm; rvm; base }
+
+let make_coordinator () =
+  let rvm, base = make_world () in
+  let region =
+    match Rvm.region_of_addr rvm ~addr:base with
+    | Some r -> r
+    | None -> Alcotest.fail "no region"
+  in
+  Twopc.coordinator_create rvm ~decision_region:region
+
+let test_2pc_commit () =
+  let s1 = make_site "alpha" and s2 = make_site "beta" in
+  let c = make_coordinator () in
+  let d =
+    Twopc.run c "gid-1"
+      ~participants:[ s1.sub; s2.sub ]
+      ~work:(fun sub ->
+        let site = if Twopc.sub_name sub = "alpha" then s1 else s2 in
+        Twopc.sub_modify sub "gid-1" ~addr:site.base
+          (Bytes.of_string ("data@" ^ Twopc.sub_name sub)))
+      ()
+  in
+  check_bool "committed" true (d = Twopc.Committed);
+  check_str "alpha applied" "data@alpha" (read s1.rvm ~addr:s1.base ~len:10);
+  check_str "beta applied" "data@beta" (read s2.rvm ~addr:s2.base ~len:9);
+  check_bool "decision recorded" true
+    (Twopc.lookup_decision c "gid-1" = Some Twopc.Committed)
+
+let test_2pc_abort_compensates () =
+  let s1 = make_site "alpha" and s2 = make_site "beta" in
+  let c = make_coordinator () in
+  (* Baseline committed state at both sites. *)
+  List.iter
+    (fun site ->
+      let tid = Rvm.begin_transaction site.rvm ~mode:Types.Restore in
+      Rvm.modify site.rvm tid ~addr:site.base (Bytes.of_string "original--");
+      Rvm.end_transaction site.rvm tid ~mode:Types.Flush)
+    [ s1; s2 ];
+  let d =
+    Twopc.run c "gid-2"
+      ~participants:[ s1.sub; s2.sub ]
+      ~work:(fun sub ->
+        let site = if Twopc.sub_name sub = "alpha" then s1 else s2 in
+        Twopc.sub_modify sub "gid-2" ~addr:site.base
+          (Bytes.of_string "poisoned!!"))
+      ~fail_vote:(fun name -> name = "beta")
+      ()
+  in
+  check_bool "aborted" true (d = Twopc.Aborted);
+  (* alpha prepared (its branch committed locally) and was then compensated;
+     beta refused and aborted locally. Both must show the original data. *)
+  check_str "alpha compensated" "original--" (read s1.rvm ~addr:s1.base ~len:10);
+  check_str "beta rolled back" "original--" (read s2.rvm ~addr:s2.base ~len:10);
+  check_bool "decision recorded" true
+    (Twopc.lookup_decision c "gid-2" = Some Twopc.Aborted)
+
+let test_2pc_in_doubt_listing () =
+  let s1 = make_site "alpha" in
+  Twopc.sub_begin s1.sub "gid-3";
+  Twopc.sub_modify s1.sub "gid-3" ~addr:s1.base (Bytes.of_string "x");
+  check_bool "not in doubt before prepare" true (Twopc.sub_in_doubt s1.sub = []);
+  (match Twopc.sub_prepare s1.sub "gid-3" with
+  | `Prepared -> ()
+  | `Refused -> Alcotest.fail "prepare refused");
+  Alcotest.(check (list string)) "in doubt" [ "gid-3" ] (Twopc.sub_in_doubt s1.sub);
+  Twopc.sub_commit s1.sub "gid-3";
+  check_bool "resolved" true (Twopc.sub_in_doubt s1.sub = [])
+
+let test_2pc_decision_durable () =
+  (* The decision lookup must come from recoverable memory. *)
+  let c = make_coordinator () in
+  let s1 = make_site "alpha" in
+  ignore
+    (Twopc.run c "gid-4" ~participants:[ s1.sub ]
+       ~work:(fun sub -> Twopc.sub_modify sub "gid-4" ~addr:s1.base (Bytes.of_string "z"))
+       ());
+  check_bool "found" true (Twopc.lookup_decision c "gid-4" = Some Twopc.Committed);
+  check_bool "unknown gid" true (Twopc.lookup_decision c "gid-404" = None)
+
+(* --- lock manager --- *)
+
+let test_locks_shared_compatible () =
+  let lm = Lock_mgr.create () in
+  check_bool "s1" true (Lock_mgr.try_acquire lm ~owner:1 ~key:"a" Lock_mgr.Shared = `Granted);
+  check_bool "s2" true (Lock_mgr.try_acquire lm ~owner:2 ~key:"a" Lock_mgr.Shared = `Granted);
+  (match Lock_mgr.try_acquire lm ~owner:3 ~key:"a" Lock_mgr.Exclusive with
+  | `Conflict blockers -> Alcotest.(check (list int)) "blockers" [ 1; 2 ] blockers
+  | `Granted -> Alcotest.fail "X granted over S")
+
+let test_locks_exclusive_blocks () =
+  let lm = Lock_mgr.create () in
+  check_bool "x" true (Lock_mgr.try_acquire lm ~owner:1 ~key:"a" Lock_mgr.Exclusive = `Granted);
+  check_bool "s blocked" true
+    (Lock_mgr.try_acquire lm ~owner:2 ~key:"a" Lock_mgr.Shared <> `Granted);
+  check_bool "reentrant" true
+    (Lock_mgr.try_acquire lm ~owner:1 ~key:"a" Lock_mgr.Shared = `Granted)
+
+let test_locks_upgrade () =
+  let lm = Lock_mgr.create () in
+  ignore (Lock_mgr.try_acquire lm ~owner:1 ~key:"a" Lock_mgr.Shared);
+  check_bool "sole holder upgrades" true
+    (Lock_mgr.try_acquire lm ~owner:1 ~key:"a" Lock_mgr.Exclusive = `Granted);
+  ignore (Lock_mgr.try_acquire lm ~owner:2 ~key:"b" Lock_mgr.Shared);
+  ignore (Lock_mgr.try_acquire lm ~owner:3 ~key:"b" Lock_mgr.Shared);
+  check_bool "shared holder cannot upgrade" true
+    (Lock_mgr.try_acquire lm ~owner:2 ~key:"b" Lock_mgr.Exclusive <> `Granted)
+
+let test_locks_release_all () =
+  let lm = Lock_mgr.create () in
+  ignore (Lock_mgr.try_acquire lm ~owner:1 ~key:"a" Lock_mgr.Exclusive);
+  ignore (Lock_mgr.try_acquire lm ~owner:1 ~key:"b" Lock_mgr.Shared);
+  Alcotest.(check (list string)) "held" [ "a"; "b" ] (Lock_mgr.held_keys lm ~owner:1);
+  Lock_mgr.release_all lm ~owner:1;
+  check_int "all released" 0 (Lock_mgr.lock_count lm);
+  check_bool "now free" true
+    (Lock_mgr.try_acquire lm ~owner:2 ~key:"a" Lock_mgr.Exclusive = `Granted)
+
+let test_locks_deadlock_detection () =
+  let lm = Lock_mgr.create () in
+  ignore (Lock_mgr.try_acquire lm ~owner:1 ~key:"a" Lock_mgr.Exclusive);
+  ignore (Lock_mgr.try_acquire lm ~owner:2 ~key:"b" Lock_mgr.Exclusive);
+  (* 1 waits for b (held by 2). *)
+  (match Lock_mgr.wait_for lm ~owner:1 ~key:"b" Lock_mgr.Exclusive with
+  | `Wait [ 2 ] -> ()
+  | _ -> Alcotest.fail "expected wait on 2");
+  (* 2 waiting for a (held by 1) closes the cycle. *)
+  (match Lock_mgr.wait_for lm ~owner:2 ~key:"a" Lock_mgr.Exclusive with
+  | `Deadlock -> ()
+  | _ -> Alcotest.fail "expected deadlock");
+  (* Victim releases; the survivor proceeds. *)
+  Lock_mgr.release_all lm ~owner:2;
+  check_bool "survivor proceeds" true
+    (Lock_mgr.wait_for lm ~owner:1 ~key:"b" Lock_mgr.Exclusive = `Granted)
+
+let suite =
+  [
+    ("nested.commit", `Quick, test_nested_commit_commits_all);
+    ("nested.child-abort", `Quick, test_nested_abort_child_keeps_parent);
+    ("nested.parent-abort", `Quick, test_nested_parent_abort_undoes_committed_child);
+    ("nested.deep", `Quick, test_nested_deep);
+    ("nested.linear", `Quick, test_nested_linear_rule);
+    ("2pc.commit", `Quick, test_2pc_commit);
+    ("2pc.abort", `Quick, test_2pc_abort_compensates);
+    ("2pc.in-doubt", `Quick, test_2pc_in_doubt_listing);
+    ("2pc.decision-durable", `Quick, test_2pc_decision_durable);
+    ("locks.shared", `Quick, test_locks_shared_compatible);
+    ("locks.exclusive", `Quick, test_locks_exclusive_blocks);
+    ("locks.upgrade", `Quick, test_locks_upgrade);
+    ("locks.release-all", `Quick, test_locks_release_all);
+    ("locks.deadlock", `Quick, test_locks_deadlock_detection);
+  ]

@@ -1,0 +1,277 @@
+(* Unit tests for Rvm_log: record wire format (Figure 5), status block,
+   circular log manager (append, scan, wrap, head movement, torn tails). *)
+
+open Rvm_log
+module Device = Rvm_disk.Device
+module Mem_device = Rvm_disk.Mem_device
+module Crash_device = Rvm_disk.Crash_device
+module Rng = Rvm_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let range seg off s =
+  { Record.seg; off; data = Bytes.of_string s }
+
+let mk_commit ?(seqno = 0) ?(tid = 1) ?(flags = 0) ranges =
+  Record.commit ~seqno ~tid ~flags ranges
+
+(* --- Record format --- *)
+
+let test_record_roundtrip () =
+  let r =
+    mk_commit ~seqno:7 ~tid:42 ~flags:Record.Flags.no_flush
+      [ range 1 100 "alpha"; range 2 0 "beta!"; range 1 4096 "" ]
+  in
+  let enc = Record.encode r in
+  check_int "encoded size" (Record.encoded_size r) (Bytes.length enc);
+  match Record.decode enc ~pos:0 with
+  | None -> Alcotest.fail "decode failed"
+  | Some (r', total) ->
+    check_int "total" (Bytes.length enc) total;
+    check_int "seqno" 7 r'.Record.seqno;
+    check_int "tid" 42 r'.Record.tid;
+    check_int "flags" Record.Flags.no_flush r'.Record.flags;
+    check_int "ranges" 3 (List.length r'.Record.ranges);
+    List.iter2
+      (fun a b ->
+        check_int "seg" a.Record.seg b.Record.seg;
+        check_int "off" a.Record.off b.Record.off;
+        Alcotest.(check string)
+          "data"
+          (Bytes.to_string a.Record.data)
+          (Bytes.to_string b.Record.data))
+      r.Record.ranges r'.Record.ranges
+
+let test_record_roundtrip_at_offset () =
+  let r = mk_commit [ range 3 9 "xyz" ] in
+  let enc = Record.encode r in
+  let buf = Bytes.make (Bytes.length enc + 64) '\xAA' in
+  Bytes.blit enc 0 buf 17 (Bytes.length enc);
+  match Record.decode buf ~pos:17 with
+  | Some (r', _) -> check_int "tid" 1 r'.Record.tid
+  | None -> Alcotest.fail "decode at offset failed"
+
+let test_record_backward () =
+  let r = mk_commit ~seqno:9 [ range 1 0 "abcdef" ] in
+  let enc = Record.encode r in
+  let buf = Bytes.make (Bytes.length enc + 10) '\x00' in
+  Bytes.blit enc 0 buf 10 (Bytes.length enc);
+  match Record.decode_backward buf ~end_pos:(Bytes.length buf) with
+  | Some (r', start) ->
+    check_int "start" 10 start;
+    check_int "seqno" 9 r'.Record.seqno
+  | None -> Alcotest.fail "backward decode failed"
+
+let test_record_corruption_detected () =
+  let r = mk_commit [ range 1 0 "payload bytes here" ] in
+  let enc = Record.encode r in
+  (* Flip each byte in turn; decode must never return a record that differs
+     from the original silently — CRC catches all single-byte flips. *)
+  for i = 0 to Bytes.length enc - 1 do
+    let b = Bytes.copy enc in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+    match Record.decode b ~pos:0 with
+    | None -> ()
+    | Some _ -> Alcotest.failf "flip at %d accepted" i
+  done
+
+let test_record_truncation_detected () =
+  let r = mk_commit [ range 1 0 "some payload" ] in
+  let enc = Record.encode r in
+  for keep = 0 to Bytes.length enc - 1 do
+    let b = Bytes.sub enc 0 keep in
+    check_bool "truncated rejected" true (Record.decode b ~pos:0 = None)
+  done
+
+let test_wrap_record () =
+  let w = Record.wrap ~seqno:3 ~pad:100 in
+  check_int "size" (Record.wrap_size + 100) (Record.encoded_size w);
+  let enc = Record.encode w in
+  match Record.decode enc ~pos:0 with
+  | Some (w', total) ->
+    check_bool "kind" true (w'.Record.kind = Record.Wrap);
+    check_int "pad" 100 w'.Record.pad;
+    check_int "total" (Record.wrap_size + 100) total
+  | None -> Alcotest.fail "wrap decode failed"
+
+(* --- Status block --- *)
+
+let test_status_roundtrip () =
+  let st =
+    { Status.log_size = 1 lsl 20; data_start = 512; head = 9999;
+      head_seqno = 123; truncations = 7 }
+  in
+  match Status.decode (Status.encode st) with
+  | Ok st' -> check_bool "equal" true (st = st')
+  | Error e -> Alcotest.fail e
+
+let test_status_corruption () =
+  let st = Status.initial ~log_size:4096 in
+  let b = Status.encode st in
+  Bytes.set b 20 '\xFF';
+  match Status.decode b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt status accepted"
+
+(* --- Log manager --- *)
+
+let fresh_log ?(size = 64 * 1024) () =
+  let dev = Mem_device.create ~size () in
+  Log_manager.format dev;
+  match Log_manager.open_log dev with
+  | Ok l -> l
+  | Error e -> Alcotest.fail e
+
+let test_log_append_and_scan () =
+  let l = fresh_log () in
+  check_bool "starts empty" true (Log_manager.is_empty l);
+  let _, s1 = Log_manager.append l ~tid:1 [ range 1 0 "one" ] in
+  let _, s2 = Log_manager.append l ~tid:2 [ range 1 10 "two" ] in
+  check_int "seqnos consecutive" (s1 + 1) s2;
+  Log_manager.force l;
+  let seen = ref [] in
+  Log_manager.iter_live l ~f:(fun ~off:_ r -> seen := r.Record.tid :: !seen);
+  Alcotest.(check (list int)) "scan order" [ 1; 2 ] (List.rev !seen);
+  check_int "record count" 2 (Log_manager.record_count l)
+
+let test_log_reopen_finds_tail () =
+  let dev = Mem_device.create ~size:(64 * 1024) () in
+  Log_manager.format dev;
+  let l = Result.get_ok (Log_manager.open_log dev) in
+  for i = 1 to 10 do
+    ignore (Log_manager.append l ~tid:i [ range 1 (i * 8) "datadata" ])
+  done;
+  Log_manager.force l;
+  let l2 = Result.get_ok (Log_manager.open_log dev) in
+  check_int "tail recovered" (Log_manager.tail l) (Log_manager.tail l2);
+  check_int "seqno recovered" (Log_manager.next_seqno l) (Log_manager.next_seqno l2);
+  check_int "used recovered" (Log_manager.used_bytes l) (Log_manager.used_bytes l2);
+  check_int "records recovered" 10 (Log_manager.record_count l2)
+
+let test_log_torn_tail_discarded () =
+  let c = Crash_device.create ~size:(64 * 1024) () in
+  let dev = Crash_device.device c in
+  Log_manager.format dev;
+  let l = Result.get_ok (Log_manager.open_log dev) in
+  ignore (Log_manager.append l ~tid:1 [ range 1 0 "committed" ]);
+  Log_manager.force l;
+  ignore (Log_manager.append l ~tid:2 [ range 1 50 "torn away" ]);
+  (* No force: the second record is lost by the crash. *)
+  Crash_device.crash c;
+  let l2 = Result.get_ok (Log_manager.open_log dev) in
+  check_int "only first survives" 1 (Log_manager.record_count l2);
+  let tids = ref [] in
+  Log_manager.iter_live l2 ~f:(fun ~off:_ r -> tids := r.Record.tid :: !tids);
+  Alcotest.(check (list int)) "tid 1 only" [ 1 ] !tids
+
+let test_log_wraparound () =
+  (* Small log; append until it wraps several times, truncating (move_head)
+     as we go. The live window must always scan correctly. *)
+  let l = fresh_log ~size:4096 () in
+  let live = ref [] in (* (seqno, tid) oldest-first *)
+  for i = 1 to 200 do
+    let data = String.make (50 + (i mod 37)) (Char.chr (65 + (i mod 26))) in
+    (* Keep the log under half full by reclaiming the oldest record when
+       needed. *)
+    let rec append () =
+      match Log_manager.append l ~tid:i [ range 1 0 data ] with
+      | _, s -> s
+      | exception Log_manager.Log_full ->
+        (match !live with
+        | [] -> Alcotest.fail "log full but nothing live"
+        | _ ->
+          (* Reclaim roughly half of the live records. *)
+          let n = (List.length !live + 1) / 2 in
+          let rec drop k = function
+            | l when k = 0 -> l
+            | _ :: tl -> drop (k - 1) tl
+            | [] -> []
+          in
+          live := drop n !live;
+          let offs = ref [] in
+          Log_manager.iter_live l ~f:(fun ~off r ->
+              offs := (r.Record.seqno, off) :: !offs);
+          (match !live with
+          | (s0, _) :: _ ->
+            let off0 = List.assoc s0 (List.rev !offs) in
+            Log_manager.move_head l ~new_head:off0 ~new_head_seqno:s0
+          | [] ->
+            Log_manager.reset_empty l);
+          append ())
+    in
+    let s = append () in
+    live := !live @ [ (s, i) ]
+  done;
+  (* Final scan must contain exactly the live records, wrap markers aside. *)
+  let seen = ref [] in
+  Log_manager.iter_live l ~f:(fun ~off:_ r ->
+      if r.Record.kind = Record.Commit then
+        seen := (r.Record.seqno, r.Record.tid) :: !seen);
+  Alcotest.(check (list (pair int int))) "live set" !live (List.rev !seen)
+
+let test_log_backward_iteration () =
+  let l = fresh_log () in
+  for i = 1 to 5 do
+    ignore (Log_manager.append l ~tid:i [ range 1 0 (string_of_int i) ])
+  done;
+  let fwd = ref [] and bwd = ref [] in
+  Log_manager.iter_live l ~f:(fun ~off:_ r -> fwd := r.Record.tid :: !fwd);
+  Log_manager.iter_live_backward l ~f:(fun ~off:_ r -> bwd := r.Record.tid :: !bwd);
+  Alcotest.(check (list int)) "backward = reverse forward" !fwd (List.rev !bwd)
+
+let test_log_backward_across_wrap () =
+  let l = fresh_log ~size:4096 () in
+  (* Fill, reclaim everything, keep appending to force a wrap. *)
+  let last_seq = ref 0 in
+  (try
+     while true do
+       last_seq := snd (Log_manager.append l ~tid:9 [ range 1 0 (String.make 200 'x') ])
+     done
+   with Log_manager.Log_full -> ());
+  Log_manager.reset_empty l;
+  for i = 1 to 6 do
+    ignore (Log_manager.append l ~tid:(100 + i) [ range 1 0 (String.make 200 'y') ])
+  done;
+  let bwd = ref [] in
+  Log_manager.iter_live_backward l ~f:(fun ~off:_ r ->
+      if r.Record.kind = Record.Commit then bwd := r.Record.tid :: !bwd);
+  Alcotest.(check (list int)) "wrapped backward scan"
+    [ 101; 102; 103; 104; 105; 106 ] !bwd
+
+let test_log_full () =
+  let l = fresh_log ~size:4096 () in
+  Alcotest.check_raises "oversized record" Log_manager.Log_full (fun () ->
+      ignore (Log_manager.append l ~tid:1 [ range 1 0 (String.make 8192 'z') ]))
+
+let test_log_free_space_accounting () =
+  let l = fresh_log ~size:8192 () in
+  let cap = Log_manager.capacity l in
+  check_int "initially free" cap (Log_manager.free_bytes l);
+  let r = mk_commit [ range 1 0 "0123456789" ] in
+  ignore (Log_manager.append_record l r);
+  check_int "free drops by record size"
+    (cap - Record.encoded_size r)
+    (Log_manager.free_bytes l);
+  Log_manager.reset_empty l;
+  check_int "reset restores space" cap (Log_manager.free_bytes l)
+
+let suite =
+  [
+    ("record.roundtrip", `Quick, test_record_roundtrip);
+    ("record.at-offset", `Quick, test_record_roundtrip_at_offset);
+    ("record.backward", `Quick, test_record_backward);
+    ("record.corruption", `Quick, test_record_corruption_detected);
+    ("record.truncation", `Quick, test_record_truncation_detected);
+    ("record.wrap", `Quick, test_wrap_record);
+    ("status.roundtrip", `Quick, test_status_roundtrip);
+    ("status.corruption", `Quick, test_status_corruption);
+    ("log.append-scan", `Quick, test_log_append_and_scan);
+    ("log.reopen", `Quick, test_log_reopen_finds_tail);
+    ("log.torn-tail", `Quick, test_log_torn_tail_discarded);
+    ("log.wraparound", `Quick, test_log_wraparound);
+    ("log.backward", `Quick, test_log_backward_iteration);
+    ("log.backward-wrap", `Quick, test_log_backward_across_wrap);
+    ("log.full", `Quick, test_log_full);
+    ("log.free-space", `Quick, test_log_free_space_accounting);
+  ]

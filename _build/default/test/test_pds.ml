@@ -1,0 +1,256 @@
+(* Tests for the persistent data structures (Rvm_pds): hash table and FIFO
+   queue in recoverable memory — basic semantics, abort rollback, crash
+   persistence, and model-checked random workloads. *)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Crash_device = Rvm_disk.Crash_device
+module Rds = Rvm_alloc.Rds
+module Phash = Rvm_pds.Phash
+module Pqueue = Rvm_pds.Pqueue
+module Rng = Rvm_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ps = 4096
+let heap_len = 32 * ps
+
+let make_world () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(2 * 1024 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(512 * 1024) () in
+  let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:heap_len () in
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let heap = Rds.init rvm tid ~base:r.Region.vaddr ~len:heap_len in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  (rvm, heap)
+
+let in_txn rvm f =
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let v = f tid in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  v
+
+(* --- hash table --- *)
+
+let test_phash_basic () =
+  let rvm, heap = make_world () in
+  let h = in_txn rvm (fun tid -> Phash.create rvm heap tid ~buckets:16) in
+  in_txn rvm (fun tid ->
+      Phash.put h tid ~key:"alpha" ~value:"1";
+      Phash.put h tid ~key:"beta" ~value:"2");
+  Alcotest.(check (option string)) "get alpha" (Some "1") (Phash.get h ~key:"alpha");
+  Alcotest.(check (option string)) "get beta" (Some "2") (Phash.get h ~key:"beta");
+  Alcotest.(check (option string)) "absent" None (Phash.get h ~key:"gamma");
+  check_int "length" 2 (Phash.length h);
+  check_bool "mem" true (Phash.mem h ~key:"alpha");
+  Phash.check h
+
+let test_phash_replace () =
+  let rvm, heap = make_world () in
+  let h = in_txn rvm (fun tid -> Phash.create rvm heap tid ~buckets:4) in
+  in_txn rvm (fun tid -> Phash.put h tid ~key:"k" ~value:"old");
+  in_txn rvm (fun tid -> Phash.put h tid ~key:"k" ~value:"a longer new value");
+  Alcotest.(check (option string)) "replaced" (Some "a longer new value")
+    (Phash.get h ~key:"k");
+  check_int "length unchanged" 1 (Phash.length h);
+  Phash.check h;
+  Rds.check heap
+
+let test_phash_remove () =
+  let rvm, heap = make_world () in
+  let h = in_txn rvm (fun tid -> Phash.create rvm heap tid ~buckets:4) in
+  in_txn rvm (fun tid ->
+      Phash.put h tid ~key:"a" ~value:"1";
+      Phash.put h tid ~key:"b" ~value:"2");
+  check_bool "removed" true (in_txn rvm (fun tid -> Phash.remove h tid ~key:"a"));
+  check_bool "absent remove" false
+    (in_txn rvm (fun tid -> Phash.remove h tid ~key:"a"));
+  Alcotest.(check (option string)) "gone" None (Phash.get h ~key:"a");
+  check_int "length" 1 (Phash.length h);
+  Phash.check h
+
+let test_phash_collisions () =
+  (* One bucket: everything chains. *)
+  let rvm, heap = make_world () in
+  let h = in_txn rvm (fun tid -> Phash.create rvm heap tid ~buckets:1) in
+  in_txn rvm (fun tid ->
+      for i = 0 to 30 do
+        Phash.put h tid ~key:(Printf.sprintf "key%d" i)
+          ~value:(string_of_int (i * i))
+      done);
+  for i = 0 to 30 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "key%d" i)
+      (Some (string_of_int (i * i)))
+      (Phash.get h ~key:(Printf.sprintf "key%d" i))
+  done;
+  (* Remove from the middle of the chain. *)
+  ignore (in_txn rvm (fun tid -> Phash.remove h tid ~key:"key15"));
+  Alcotest.(check (option string)) "middle gone" None (Phash.get h ~key:"key15");
+  Alcotest.(check (option string)) "neighbours intact" (Some "196")
+    (Phash.get h ~key:"key14");
+  check_int "length" 30 (Phash.length h);
+  Phash.check h
+
+let test_phash_abort () =
+  let rvm, heap = make_world () in
+  let h = in_txn rvm (fun tid -> Phash.create rvm heap tid ~buckets:8) in
+  in_txn rvm (fun tid -> Phash.put h tid ~key:"keep" ~value:"me");
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Phash.put h tid ~key:"doomed" ~value:"x";
+  ignore (Phash.remove h tid ~key:"keep");
+  Rvm.abort_transaction rvm tid;
+  Alcotest.(check (option string)) "keep survived" (Some "me")
+    (Phash.get h ~key:"keep");
+  Alcotest.(check (option string)) "doomed gone" None (Phash.get h ~key:"doomed");
+  check_int "length" 1 (Phash.length h);
+  Phash.check h;
+  Rds.check heap
+
+let test_phash_crash_recovery () =
+  let log_crash = Crash_device.create ~name:"log" ~size:(2 * 1024 * 1024) () in
+  let seg_crash = Crash_device.create ~name:"seg" ~size:(512 * 1024) () in
+  Rvm.create_log (Crash_device.device log_crash);
+  let resolve _ = Crash_device.device seg_crash in
+  let rvm = Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:heap_len () in
+  let base = r.Region.vaddr in
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let heap = Rds.init rvm tid ~base ~len:heap_len in
+  let h = Phash.create rvm heap tid ~buckets:8 in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  let haddr = Phash.address h in
+  in_txn rvm (fun tid -> Phash.put h tid ~key:"durable" ~value:"yes");
+  (* Uncommitted update, then crash. *)
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Phash.put h tid ~key:"durable" ~value:"NO";
+  Crash_device.crash log_crash;
+  Crash_device.crash seg_crash;
+  let rvm2 = Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  ignore (Rvm.map rvm2 ~vaddr:base ~seg:1 ~seg_off:0 ~len:heap_len ());
+  let heap2 = Rds.attach rvm2 ~base in
+  let h2 = Phash.attach rvm2 heap2 ~addr:haddr in
+  Phash.check h2;
+  Alcotest.(check (option string)) "committed value recovered" (Some "yes")
+    (Phash.get h2 ~key:"durable")
+
+let test_phash_model () =
+  let rvm, heap = make_world () in
+  let h = in_txn rvm (fun tid -> Phash.create rvm heap tid ~buckets:7) in
+  let model = Hashtbl.create 64 in
+  let rng = Rng.create ~seed:77L in
+  for _ = 1 to 400 do
+    let key = Printf.sprintf "k%d" (Rng.int rng 50) in
+    match Rng.int rng 3 with
+    | 0 | 1 ->
+      let value = Printf.sprintf "v%d" (Rng.int rng 1000) in
+      in_txn rvm (fun tid -> Phash.put h tid ~key ~value);
+      Hashtbl.replace model key value
+    | _ ->
+      let got = in_txn rvm (fun tid -> Phash.remove h tid ~key) in
+      check_bool "remove agrees" (Hashtbl.mem model key) got;
+      Hashtbl.remove model key
+  done;
+  Phash.check h;
+  Rds.check heap;
+  check_int "sizes agree" (Hashtbl.length model) (Phash.length h);
+  Hashtbl.iter
+    (fun key value ->
+      Alcotest.(check (option string)) key (Some value) (Phash.get h ~key))
+    model;
+  (* And nothing extra. *)
+  Phash.iter h ~f:(fun ~key ~value ->
+      Alcotest.(check (option string)) ("extra " ^ key)
+        (Some value)
+        (Hashtbl.find_opt model key))
+
+(* --- queue --- *)
+
+let test_pqueue_fifo () =
+  let rvm, heap = make_world () in
+  let q = in_txn rvm (fun tid -> Pqueue.create rvm heap tid) in
+  in_txn rvm (fun tid ->
+      List.iter (Pqueue.push q tid) [ "one"; "two"; "three" ]);
+  check_int "length" 3 (Pqueue.length q);
+  Alcotest.(check (option string)) "peek" (Some "one") (Pqueue.peek q);
+  Alcotest.(check (option string)) "pop 1" (Some "one")
+    (in_txn rvm (fun tid -> Pqueue.pop q tid));
+  Alcotest.(check (option string)) "pop 2" (Some "two")
+    (in_txn rvm (fun tid -> Pqueue.pop q tid));
+  in_txn rvm (fun tid -> Pqueue.push q tid "four");
+  Alcotest.(check (option string)) "pop 3" (Some "three")
+    (in_txn rvm (fun tid -> Pqueue.pop q tid));
+  Alcotest.(check (option string)) "pop 4" (Some "four")
+    (in_txn rvm (fun tid -> Pqueue.pop q tid));
+  Alcotest.(check (option string)) "empty" None
+    (in_txn rvm (fun tid -> Pqueue.pop q tid));
+  check_bool "is_empty" true (Pqueue.is_empty q);
+  Pqueue.check q;
+  Rds.check heap
+
+let test_pqueue_pop_abort_requeues () =
+  (* The consume-atomically pattern: pop inside a transaction that aborts
+     puts the record back. *)
+  let rvm, heap = make_world () in
+  let q = in_txn rvm (fun tid -> Pqueue.create rvm heap tid) in
+  in_txn rvm (fun tid -> Pqueue.push q tid "job-1");
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Alcotest.(check (option string)) "popped" (Some "job-1") (Pqueue.pop q tid);
+  Rvm.abort_transaction rvm tid;
+  Alcotest.(check (option string)) "back on queue" (Some "job-1") (Pqueue.peek q);
+  check_int "length restored" 1 (Pqueue.length q);
+  Pqueue.check q
+
+let test_pqueue_interleaved_model () =
+  let rvm, heap = make_world () in
+  let q = in_txn rvm (fun tid -> Pqueue.create rvm heap tid) in
+  let model = Queue.create () in
+  let rng = Rng.create ~seed:5L in
+  for i = 1 to 300 do
+    if Rng.int rng 2 = 0 then begin
+      let v = Printf.sprintf "item%d" i in
+      in_txn rvm (fun tid -> Pqueue.push q tid v);
+      Queue.add v model
+    end
+    else begin
+      let got = in_txn rvm (fun tid -> Pqueue.pop q tid) in
+      let expect = Queue.take_opt model in
+      Alcotest.(check (option string)) "pop order" expect got
+    end
+  done;
+  check_int "final lengths" (Queue.length model) (Pqueue.length q);
+  Pqueue.check q;
+  Rds.check heap
+
+let test_pds_share_heap () =
+  (* A table and a queue allocated from the same heap coexist. *)
+  let rvm, heap = make_world () in
+  let h, q =
+    in_txn rvm (fun tid ->
+        (Phash.create rvm heap tid ~buckets:8, Pqueue.create rvm heap tid))
+  in
+  in_txn rvm (fun tid ->
+      Phash.put h tid ~key:"x" ~value:"1";
+      Pqueue.push q tid "y");
+  Alcotest.(check (option string)) "hash" (Some "1") (Phash.get h ~key:"x");
+  Alcotest.(check (option string)) "queue" (Some "y") (Pqueue.peek q);
+  Phash.check h;
+  Pqueue.check q;
+  Rds.check heap
+
+let suite =
+  [
+    ("phash.basic", `Quick, test_phash_basic);
+    ("phash.replace", `Quick, test_phash_replace);
+    ("phash.remove", `Quick, test_phash_remove);
+    ("phash.collisions", `Quick, test_phash_collisions);
+    ("phash.abort", `Quick, test_phash_abort);
+    ("phash.crash", `Quick, test_phash_crash_recovery);
+    ("phash.model", `Quick, test_phash_model);
+    ("pqueue.fifo", `Quick, test_pqueue_fifo);
+    ("pqueue.abort-requeues", `Quick, test_pqueue_pop_abort_requeues);
+    ("pqueue.model", `Quick, test_pqueue_interleaved_model);
+    ("pds.shared-heap", `Quick, test_pds_share_heap);
+  ]

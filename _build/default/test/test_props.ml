@@ -1,0 +1,434 @@
+(* Property-based tests (qcheck, run under alcotest).
+
+   The central property is the recovery contract: after an arbitrary
+   sequence of transactions (mixed modes, aborts, flushes, truncations)
+   followed by a crash — possibly tearing the last unsynced writes — the
+   recovered state equals the state produced by some whole-transaction
+   prefix of the commit order that includes every explicitly durable
+   commit. That single statement covers atomicity (no torn transactions),
+   permanence (flushed commits survive) and bounded persistence (no-flush
+   commits may or may not survive, but only in commit order). *)
+
+open Rvm_core
+module Crash_device = Rvm_disk.Crash_device
+module Mem_device = Rvm_disk.Mem_device
+module Record = Rvm_log.Record
+module Intervals = Rvm_util.Intervals
+module Rng = Rvm_util.Rng
+
+let region_len = 2 * 4096
+
+(* --- generators --- *)
+
+type op =
+  | Commit of (int * int * char) list * Types.commit_mode
+  | Abort of (int * int * char) list
+  | Flush
+  | Truncate
+
+let gen_range =
+  QCheck.Gen.(
+    map3
+      (fun off len c -> (off, len, c))
+      (int_bound (region_len - 65))
+      (int_range 1 64)
+      (map Char.chr (int_range 65 90)))
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 6,
+          map2
+            (fun rs flush ->
+              Commit (rs, if flush then Types.Flush else Types.No_flush))
+            (list_size (int_range 1 4) gen_range)
+            bool );
+        (2, map (fun rs -> Abort rs) (list_size (int_range 1 3) gen_range));
+        (1, return Flush);
+        (1, return Truncate);
+      ])
+
+let gen_ops = QCheck.Gen.(list_size (int_range 1 40) gen_op)
+
+let show_op = function
+  | Commit (rs, m) ->
+    Printf.sprintf "Commit[%s]%s"
+      (String.concat ";"
+         (List.map (fun (o, l, c) -> Printf.sprintf "%d+%d'%c'" o l c) rs))
+      (match m with Types.Flush -> "!" | Types.No_flush -> "~")
+  | Abort rs -> Printf.sprintf "Abort[%d ranges]" (List.length rs)
+  | Flush -> "Flush"
+  | Truncate -> "Truncate"
+
+let arb_ops =
+  QCheck.make gen_ops ~print:(fun ops -> String.concat " " (List.map show_op ops))
+
+(* --- the recovery property --- *)
+
+type model_txn = { writes : (int * Bytes.t) list }
+
+let apply_model base_state txns k =
+  let st = Bytes.copy base_state in
+  List.iteri
+    (fun i txn ->
+      if i < k then
+        List.iter
+          (fun (off, data) -> Bytes.blit data 0 st off (Bytes.length data))
+          txn.writes)
+    txns;
+  st
+
+let run_recovery_scenario ~torn ~truncation_mode ops seed =
+  let rng = Rng.create ~seed:(Int64.of_int seed) in
+  let log_crash = Crash_device.create ~name:"plog" ~size:(64 * 1024) () in
+  let seg_crash = Crash_device.create ~name:"pseg" ~size:(4 * region_len) () in
+  Rvm.create_log (Crash_device.device log_crash);
+  let resolve _ = Crash_device.device seg_crash in
+  let options =
+    { Options.default with Options.truncation_mode; truncation_threshold = 0.4 }
+  in
+  let rvm =
+    Rvm.initialize ~options ~log:(Crash_device.device log_crash) ~resolve ()
+  in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:region_len () in
+  let base = region.Region.vaddr in
+  (* Committed transactions in order, and the durable prefix length. *)
+  let committed = ref [] in
+  let durable = ref 0 in
+  let mark_all_durable () = durable := List.length !committed in
+  List.iter
+    (fun op ->
+      match op with
+      | Commit (ranges, mode) ->
+        let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+        let writes =
+          List.map
+            (fun (off, len, c) ->
+              let data = Bytes.make len c in
+              Rvm.modify rvm tid ~addr:(base + off) data;
+              (off, data))
+            ranges
+        in
+        Rvm.end_transaction rvm tid ~mode;
+        committed := !committed @ [ { writes } ];
+        if mode = Types.Flush then mark_all_durable ()
+      | Abort ranges ->
+        let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+        List.iter
+          (fun (off, len, c) ->
+            Rvm.modify rvm tid ~addr:(base + off) (Bytes.make len c))
+          ranges;
+        Rvm.abort_transaction rvm tid
+      | Flush ->
+        Rvm.flush rvm;
+        mark_all_durable ()
+      | Truncate -> Rvm.truncate rvm)
+    ops;
+  (* Crash. *)
+  if torn then begin
+    Crash_device.crash_torn log_crash ~rng;
+    Crash_device.crash_torn seg_crash ~rng
+  end
+  else begin
+    Crash_device.crash log_crash;
+    Crash_device.crash seg_crash
+  end;
+  let rvm2 =
+    Rvm.initialize ~options ~log:(Crash_device.device log_crash) ~resolve ()
+  in
+  let region2 = Rvm.map rvm2 ~seg:1 ~seg_off:0 ~len:region_len () in
+  let recovered = Rvm.load rvm2 ~addr:region2.Region.vaddr ~len:region_len in
+  let blank = Bytes.make region_len '\000' in
+  let txns = !committed in
+  let n = List.length txns in
+  let matches = ref None in
+  for k = n downto !durable do
+    if !matches = None && Bytes.equal recovered (apply_model blank txns k) then
+      matches := Some k
+  done;
+  match !matches with
+  | Some _ -> true
+  | None ->
+    QCheck.Test.fail_reportf
+      "recovered state matches no prefix >= %d of %d committed transactions"
+      !durable n
+
+let prop_recovery_epoch =
+  QCheck.Test.make ~name:"recovery matches a committed prefix (epoch)"
+    ~count:60 arb_ops (fun ops ->
+      run_recovery_scenario ~torn:false ~truncation_mode:Types.Epoch ops 1)
+
+let prop_recovery_torn =
+  QCheck.Test.make ~name:"recovery matches a committed prefix (torn crash)"
+    ~count:60 arb_ops (fun ops ->
+      run_recovery_scenario ~torn:true ~truncation_mode:Types.Epoch ops 2)
+
+let prop_recovery_incremental =
+  QCheck.Test.make
+    ~name:"recovery matches a committed prefix (incremental truncation)"
+    ~count:60 arb_ops (fun ops ->
+      run_recovery_scenario ~torn:false ~truncation_mode:Types.Incremental ops 3)
+
+(* --- intervals vs a bitmap model --- *)
+
+let prop_intervals =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (map2 (fun lo len -> (lo, len)) (int_bound 199) (int_range 0 60)))
+  in
+  QCheck.Test.make ~name:"interval set agrees with bitmap model" ~count:200
+    (QCheck.make gen) (fun ops ->
+      let n = 300 in
+      let bitmap = Array.make n false in
+      let iv = ref Intervals.empty in
+      List.for_all
+        (fun (lo, len) ->
+          let len = min len (n - lo) in
+          (* model gaps *)
+          let model_gaps = ref [] in
+          let cur = ref None in
+          for x = lo to lo + len - 1 do
+            if not bitmap.(x) then begin
+              (match !cur with
+              | None -> cur := Some (x, 1)
+              | Some (s, l) when s + l = x -> cur := Some (s, l + 1)
+              | Some g ->
+                model_gaps := g :: !model_gaps;
+                cur := Some (x, 1));
+              bitmap.(x) <- true
+            end
+            else
+              match !cur with
+              | Some g ->
+                model_gaps := g :: !model_gaps;
+                cur := None
+              | None -> ()
+          done;
+          (match !cur with Some g -> model_gaps := g :: !model_gaps | None -> ());
+          let gaps, iv' = Intervals.add_uncovered !iv ~lo ~len in
+          iv := iv';
+          gaps = List.rev !model_gaps
+          && Intervals.byte_count !iv
+             = Array.fold_left (fun a b -> if b then a + 1 else a) 0 bitmap)
+        ops)
+
+(* --- log record round-trip --- *)
+
+let gen_record =
+  QCheck.Gen.(
+    let gen_rrange =
+      map3
+        (fun seg off data -> { Record.seg; off; data = Bytes.of_string data })
+        (int_range 0 5) (int_bound 100_000) (string_size (int_bound 200))
+    in
+    map3
+      (fun tid flags ranges ->
+        Record.commit ~seqno:(tid * 7) ~tid ~flags ranges)
+      (int_bound 1_000_000)
+      (int_bound 3)
+      (list_size (int_bound 6) gen_rrange))
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~name:"log record encode/decode round-trip" ~count:300
+    (QCheck.make gen_record) (fun r ->
+      let enc = Record.encode r in
+      match Record.decode enc ~pos:0 with
+      | Some (r', total) ->
+        total = Bytes.length enc
+        && r'.Record.tid = r.Record.tid
+        && r'.Record.seqno = r.Record.seqno
+        && r'.Record.flags = r.Record.flags
+        && List.length r'.Record.ranges = List.length r.Record.ranges
+        && List.for_all2
+             (fun (a : Record.range) (b : Record.range) ->
+               a.Record.seg = b.Record.seg
+               && a.Record.off = b.Record.off
+               && Bytes.equal a.Record.data b.Record.data)
+             r.Record.ranges r'.Record.ranges
+        && (match Record.decode_backward enc ~end_pos:(Bytes.length enc) with
+           | Some (_, start) -> start = 0
+           | None -> false)
+      | None -> false)
+
+(* --- optimization equivalence: same recovered state with and without
+   the intra-transaction optimization --- *)
+
+let run_with_options ~intra ops =
+  let log_dev = Mem_device.create ~name:"olog" ~size:(256 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"oseg" ~size:(4 * region_len) () in
+  let options = { Options.default with Options.intra_optimization = intra } in
+  let rvm = Rvm.initialize ~options ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:region_len () in
+  let base = region.Region.vaddr in
+  List.iter
+    (fun op ->
+      match op with
+      | Commit (ranges, mode) ->
+        let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+        List.iter
+          (fun (off, len, c) ->
+            Rvm.modify rvm tid ~addr:(base + off) (Bytes.make len c))
+          ranges;
+        Rvm.end_transaction rvm tid ~mode
+      | Abort ranges ->
+        let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+        List.iter
+          (fun (off, len, c) ->
+            Rvm.modify rvm tid ~addr:(base + off) (Bytes.make len c))
+          ranges;
+        Rvm.abort_transaction rvm tid
+      | Flush -> Rvm.flush rvm
+      | Truncate -> Rvm.truncate rvm)
+    ops;
+  Rvm.flush rvm;
+  Rvm.truncate rvm;
+  Mem_device.snapshot seg_dev
+
+let prop_intra_equivalence =
+  QCheck.Test.make
+    ~name:"intra optimization does not change durable state" ~count:40 arb_ops
+    (fun ops ->
+      Bytes.equal (run_with_options ~intra:true ops)
+        (run_with_options ~intra:false ops))
+
+(* --- allocator: arbitrary op sequences keep invariants and never hand out
+   overlapping blocks --- *)
+
+let prop_allocator =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 60)
+        (frequency
+           [ (3, map (fun s -> `Alloc (1 + s)) (int_bound 500)); (2, return `Free) ]))
+  in
+  QCheck.Test.make ~name:"allocator invariants under random ops" ~count:50
+    (QCheck.make gen) (fun ops ->
+      let log_dev = Mem_device.create ~name:"alog" ~size:(512 * 1024) () in
+      Rvm.create_log log_dev;
+      let seg_dev = Mem_device.create ~name:"aseg" ~size:(128 * 1024) () in
+      let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+      let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(16 * 4096) () in
+      let base = region.Region.vaddr in
+      let tid0 = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      let h = Rvm_alloc.Rds.init rvm tid0 ~base ~len:(16 * 4096) in
+      Rvm.end_transaction rvm tid0 ~mode:Types.Flush;
+      let live = ref [] in
+      List.iter
+        (fun op ->
+          let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+          (match op with
+          | `Alloc size -> (
+            match Rvm_alloc.Rds.alloc h tid ~size with
+            | p -> live := (p, size) :: !live
+            | exception Types.Rvm_error _ -> ())
+          | `Free -> (
+            match !live with
+            | (p, _) :: rest ->
+              Rvm_alloc.Rds.free h tid p;
+              live := rest
+            | [] -> ()));
+          Rvm.end_transaction rvm tid ~mode:Types.Flush)
+        ops;
+      Rvm_alloc.Rds.check h;
+      (* No two live blocks overlap. *)
+      let sorted = List.sort compare !live in
+      let rec no_overlap = function
+        | (p1, s1) :: ((p2, _) :: _ as rest) ->
+          p1 + s1 <= p2 && no_overlap rest
+        | _ -> true
+      in
+      no_overlap sorted)
+
+(* --- circular log manager: random appends and head movements keep the
+   live window consistent, and reopening the device agrees exactly --- *)
+
+let prop_log_manager =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 80)
+        (frequency
+           [
+             (5, map (fun n -> `Append (1 + n)) (int_bound 300));
+             (2, map (fun k -> `Reclaim k) (int_bound 10));
+             (1, return `Reopen);
+           ]))
+  in
+  QCheck.Test.make ~name:"circular log: model, wrap, reopen agreement"
+    ~count:80 (QCheck.make gen) (fun ops ->
+      let module LM = Rvm_log.Log_manager in
+      let dev = Mem_device.create ~name:"qlog" ~size:8192 () in
+      LM.format dev;
+      let lm = ref (Result.get_ok (LM.open_log dev)) in
+      (* Model: live commit records as (seqno, tid, size). *)
+      let live = ref [] in
+      let next_tid = ref 1 in
+      let reclaim k =
+        (* Drop the k oldest live commits by moving the head to the
+           (k+1)-th one (or emptying the log). *)
+        let keep = ref [] in
+        let dropped = ref 0 in
+        List.iter
+          (fun e -> if !dropped < k then incr dropped else keep := e :: !keep)
+          !live;
+        let kept = List.rev !keep in
+        (match kept with
+        | (s0, _) :: _ ->
+          let off0 = ref None in
+          LM.iter_live !lm ~f:(fun ~off r ->
+              if r.Record.seqno = s0 then off0 := Some off);
+          LM.move_head !lm ~new_head:(Option.get !off0) ~new_head_seqno:s0
+        | [] -> LM.reset_empty !lm);
+        live := kept
+      in
+      let check_agreement () =
+        let tids = ref [] in
+        LM.iter_live !lm ~f:(fun ~off:_ r ->
+            if r.Record.kind = Record.Commit then tids := r.Record.tid :: !tids);
+        List.rev !tids = List.map (fun (_, tid) -> tid) !live
+      in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Append size ->
+            let tid = !next_tid in
+            incr next_tid;
+            let data = Bytes.make size (Char.chr (65 + (tid mod 26))) in
+            let rec try_append attempts =
+              if attempts > 20 then ()
+              else
+                match
+                  LM.append !lm ~tid [ { Record.seg = 1; off = 0; data } ]
+                with
+                | _, seqno -> live := !live @ [ (seqno, tid) ]
+                | exception LM.Log_full ->
+                  (* Reclaim half the live records and retry; a record
+                     bigger than the whole log is simply skipped. *)
+                  if !live = [] then ()
+                  else begin
+                    reclaim ((List.length !live + 1) / 2);
+                    try_append (attempts + 1)
+                  end
+            in
+            try_append 0
+          | `Reclaim k -> reclaim (min k (List.length !live))
+          | `Reopen ->
+            LM.force !lm;
+            lm := Result.get_ok (LM.open_log dev));
+          check_agreement ())
+        ops)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_recovery_epoch;
+      prop_recovery_torn;
+      prop_recovery_incremental;
+      prop_intervals;
+      prop_record_roundtrip;
+      prop_intra_equivalence;
+      prop_allocator;
+      prop_log_manager;
+    ]

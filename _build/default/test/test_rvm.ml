@@ -1,0 +1,437 @@
+(* Engine tests: mapping rules, transaction semantics (commit/abort,
+   restore modes, flush modes), memory accessors, query, termination. *)
+
+open Rvm_core
+module Device = Rvm_disk.Device
+module Mem_device = Rvm_disk.Mem_device
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* A small world: a log and a couple of memory-backed segments. *)
+type world = {
+  rvm : Rvm.t;
+  seg_devs : (int, Device.t) Hashtbl.t;
+}
+
+let make_world ?options ?(segs = [ (1, 256 * 1024) ]) ?(log_size = 256 * 1024)
+    () =
+  let log_dev = Mem_device.create ~name:"log" ~size:log_size () in
+  Rvm.create_log log_dev;
+  let seg_devs = Hashtbl.create 4 in
+  List.iter
+    (fun (id, size) ->
+      Hashtbl.replace seg_devs id
+        (Mem_device.create ~name:(Printf.sprintf "seg%d" id) ~size ()))
+    segs;
+  let resolve id =
+    match Hashtbl.find_opt seg_devs id with
+    | Some d -> d
+    | None -> Alcotest.failf "unknown segment %d" id
+  in
+  let rvm = Rvm.initialize ?options ~log:log_dev ~resolve () in
+  { rvm; seg_devs }
+
+let ps = 4096
+
+let test_map_basic () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:(4 * ps) () in
+  check_int "length" (4 * ps) r.Region.length;
+  check_bool "mapped" true r.Region.mapped;
+  check_int "one region" 1 (List.length (Rvm.regions w.rvm))
+
+let test_map_loads_committed_image () =
+  let w = make_world () in
+  let seg_dev = Hashtbl.find w.seg_devs 1 in
+  Device.write_string seg_dev ~off:100 "pre-existing";
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  check_str "segment contents visible" "pre-existing"
+    (Bytes.to_string (Rvm.load w.rvm ~addr:(r.Region.vaddr + 100) ~len:12))
+
+let test_map_rejects_overlap () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:(2 * ps) () in
+  (* Virtual overlap. *)
+  Alcotest.check_raises "vaddr overlap"
+    (Types.Rvm_error
+       (Format.asprintf
+          "map: [%#x, %#x) overlaps existing mapping at %#x" r.Region.vaddr
+          (r.Region.vaddr + ps) r.Region.vaddr))
+    (fun () ->
+      ignore
+        (Rvm.map w.rvm ~vaddr:r.Region.vaddr ~seg:1 ~seg_off:(8 * ps) ~len:ps ()));
+  (* Same segment range mapped twice (the aliasing rule). *)
+  let raised =
+    try
+      ignore (Rvm.map w.rvm ~seg:1 ~seg_off:ps ~len:ps ());
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "segment alias rejected" true raised
+
+let test_map_alignment_rules () =
+  let w = make_world () in
+  let misaligned f = try f (); false with Types.Rvm_error _ -> true in
+  check_bool "vaddr alignment" true
+    (misaligned (fun () ->
+         ignore (Rvm.map w.rvm ~vaddr:100 ~seg:1 ~seg_off:0 ~len:ps ())));
+  check_bool "length multiple" true
+    (misaligned (fun () ->
+         ignore (Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:(ps + 1) ())));
+  check_bool "seg_off alignment" true
+    (misaligned (fun () ->
+         ignore (Rvm.map w.rvm ~seg:1 ~seg_off:3 ~len:ps ())))
+
+let test_map_beyond_segment () =
+  let w = make_world ~segs:[ (1, 2 * ps) ] () in
+  let raised =
+    try
+      ignore (Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:(4 * ps) ());
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "rejected" true raised
+
+let test_commit_durable () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let a = r.Region.vaddr in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.set_range w.rvm tid ~addr:a ~len:5;
+  Rvm.store_string w.rvm ~addr:a "hello";
+  Rvm.end_transaction w.rvm tid ~mode:Types.Flush;
+  check_str "in memory" "hello" (Bytes.to_string (Rvm.load w.rvm ~addr:a ~len:5));
+  (* The log, not the segment, holds the change until truncation. *)
+  check_bool "log non-empty" false
+    (Rvm_log.Log_manager.is_empty (Rvm.log_manager w.rvm));
+  Rvm.truncate w.rvm;
+  let seg_dev = Hashtbl.find w.seg_devs 1 in
+  check_str "segment updated after truncation" "hello"
+    (Bytes.to_string (Device.read_bytes seg_dev ~off:0 ~len:5))
+
+let test_abort_restores () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let a = r.Region.vaddr in
+  let tid0 = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid0 ~addr:a (Bytes.of_string "original!");
+  Rvm.end_transaction w.rvm tid0 ~mode:Types.Flush;
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.set_range w.rvm tid ~addr:a ~len:9;
+  Rvm.store_string w.rvm ~addr:a "clobbered";
+  (* Duplicate set_range must not re-save the now-dirty value. *)
+  Rvm.set_range w.rvm tid ~addr:a ~len:9;
+  Rvm.store_string w.rvm ~addr:a "clobber2!";
+  Rvm.abort_transaction w.rvm tid;
+  check_str "restored" "original!"
+    (Bytes.to_string (Rvm.load w.rvm ~addr:a ~len:9))
+
+let test_abort_partial_overlap () =
+  (* Overlapping set_ranges: each byte must restore to its value at first
+     coverage. *)
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let a = r.Region.vaddr in
+  let tid0 = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid0 ~addr:a (Bytes.of_string "AAAABBBBCCCC");
+  Rvm.end_transaction w.rvm tid0 ~mode:Types.Flush;
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.set_range w.rvm tid ~addr:(a + 4) ~len:4;
+  Rvm.store_string w.rvm ~addr:(a + 4) "XXXX";
+  Rvm.set_range w.rvm tid ~addr:a ~len:12;
+  Rvm.store_string w.rvm ~addr:a "YYYYYYYYYYYY";
+  Rvm.abort_transaction w.rvm tid;
+  check_str "all restored" "AAAABBBBCCCC"
+    (Bytes.to_string (Rvm.load w.rvm ~addr:a ~len:12))
+
+let test_no_restore_cannot_abort () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.No_restore in
+  Rvm.set_range w.rvm tid ~addr:r.Region.vaddr ~len:4;
+  let raised =
+    try
+      Rvm.abort_transaction w.rvm tid;
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "abort rejected" true raised;
+  (* The transaction is still active and can commit. *)
+  Rvm.end_transaction w.rvm tid ~mode:Types.Flush
+
+let test_empty_transaction () =
+  let w = make_world () in
+  ignore (Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps ());
+  let lm = Rvm.log_manager w.rvm in
+  let before = Rvm_log.Log_manager.record_count lm in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.end_transaction w.rvm tid ~mode:Types.Flush;
+  check_int "no record logged" before (Rvm_log.Log_manager.record_count lm)
+
+let test_unknown_tid () =
+  let w = make_world () in
+  ignore (Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps ());
+  Alcotest.check_raises "unknown" (Types.Rvm_error "unknown transaction 999")
+    (fun () -> Rvm.set_range w.rvm 999 ~addr:0 ~len:1)
+
+let test_commit_twice_rejected () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.set_range w.rvm tid ~addr:r.Region.vaddr ~len:1;
+  Rvm.end_transaction w.rvm tid ~mode:Types.Flush;
+  let raised =
+    try
+      Rvm.end_transaction w.rvm tid ~mode:Types.Flush;
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "double commit rejected" true raised
+
+let test_set_range_outside_region () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  let raised =
+    try
+      Rvm.set_range w.rvm tid ~addr:(r.Region.vaddr + ps - 2) ~len:8;
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "straddling range rejected" true raised;
+  Rvm.abort_transaction w.rvm tid
+
+let test_no_flush_commit_is_spooled () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let a = r.Region.vaddr in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid ~addr:a (Bytes.of_string "lazy");
+  Rvm.end_transaction w.rvm tid ~mode:Types.No_flush;
+  let q = Rvm.query w.rvm in
+  check_int "spooled" 1 q.Rvm.spool_records;
+  check_bool "not yet in log" true
+    (Rvm_log.Log_manager.is_empty (Rvm.log_manager w.rvm));
+  Rvm.flush w.rvm;
+  let q = Rvm.query w.rvm in
+  check_int "spool drained" 0 q.Rvm.spool_records;
+  check_bool "now in log" false
+    (Rvm_log.Log_manager.is_empty (Rvm.log_manager w.rvm))
+
+let test_flush_commit_drains_spool_in_order () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let a = r.Region.vaddr in
+  let t1 = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm t1 ~addr:a (Bytes.of_string "first");
+  Rvm.end_transaction w.rvm t1 ~mode:Types.No_flush;
+  let t2 = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm t2 ~addr:(a + 100) (Bytes.of_string "second");
+  Rvm.end_transaction w.rvm t2 ~mode:Types.Flush;
+  (* Both records must be in the log, spooled one first. *)
+  let tids = ref [] in
+  Rvm_log.Log_manager.iter_live (Rvm.log_manager w.rvm) ~f:(fun ~off:_ rec_ ->
+      tids := rec_.Rvm_log.Record.tid :: !tids);
+  Alcotest.(check (list int)) "commit order" [ t1; t2 ] (List.rev !tids)
+
+let test_spool_overflow_autoflushes () =
+  let options =
+    { Options.default with Options.spool_max_bytes = 1024 }
+  in
+  let w = make_world ~options () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:(4 * ps) () in
+  let a = r.Region.vaddr in
+  for i = 0 to 9 do
+    let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+    Rvm.modify w.rvm tid ~addr:(a + (i * 300)) (Bytes.make 200 'x');
+    Rvm.end_transaction w.rvm tid ~mode:Types.No_flush
+  done;
+  let q = Rvm.query w.rvm in
+  check_bool "spool bounded" true (q.Rvm.spool_bytes <= 1024)
+
+let test_multi_region_transaction () =
+  let w = make_world ~segs:[ (1, 64 * 1024); (2, 64 * 1024) ] () in
+  let r1 = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let r2 = Rvm.map w.rvm ~seg:2 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid ~addr:r1.Region.vaddr (Bytes.of_string "seg-one");
+  Rvm.modify w.rvm tid ~addr:r2.Region.vaddr (Bytes.of_string "seg-two");
+  Rvm.end_transaction w.rvm tid ~mode:Types.Flush;
+  Rvm.truncate w.rvm;
+  check_str "segment 1" "seg-one"
+    (Bytes.to_string
+       (Device.read_bytes (Hashtbl.find w.seg_devs 1) ~off:0 ~len:7));
+  check_str "segment 2" "seg-two"
+    (Bytes.to_string
+       (Device.read_bytes (Hashtbl.find w.seg_devs 2) ~off:0 ~len:7))
+
+let test_accessors () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let a = r.Region.vaddr in
+  Rvm.set_u8 w.rvm ~addr:a 200;
+  check_int "u8" 200 (Rvm.get_u8 w.rvm ~addr:a);
+  Rvm.set_i32 w.rvm ~addr:(a + 8) (-77l);
+  Alcotest.(check int32) "i32" (-77l) (Rvm.get_i32 w.rvm ~addr:(a + 8));
+  Rvm.set_i64 w.rvm ~addr:(a + 16) 1234567890123L;
+  Alcotest.(check int64) "i64" 1234567890123L (Rvm.get_i64 w.rvm ~addr:(a + 16));
+  (match Rvm.region_of_addr w.rvm ~addr:(a + 100) with
+  | Some r' -> check_int "region_of_addr" r.Region.vaddr r'.Region.vaddr
+  | None -> Alcotest.fail "region_of_addr returned None");
+  check_bool "unmapped addr" true
+    (Option.is_none (Rvm.region_of_addr w.rvm ~addr:1))
+
+let test_unmap_quiescent_only () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.set_range w.rvm tid ~addr:r.Region.vaddr ~len:4;
+  let raised =
+    try
+      Rvm.unmap w.rvm r;
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "busy region can't unmap" true raised;
+  Rvm.abort_transaction w.rvm tid;
+  Rvm.unmap w.rvm r;
+  check_bool "unmapped" false r.Region.mapped
+
+let test_unmap_remap_roundtrip () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid ~addr:r.Region.vaddr (Bytes.of_string "survives unmap");
+  Rvm.end_transaction w.rvm tid ~mode:Types.No_flush;
+  Rvm.unmap w.rvm r;
+  (* Remap elsewhere: committed (even no-flush) data must be there. *)
+  let r2 = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  check_str "committed image" "survives unmap"
+    (Bytes.to_string (Rvm.load w.rvm ~addr:r2.Region.vaddr ~len:14))
+
+let test_terminate () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid ~addr:r.Region.vaddr (Bytes.of_string "bye");
+  Rvm.end_transaction w.rvm tid ~mode:Types.No_flush;
+  Rvm.terminate w.rvm;
+  (* Spool was flushed on terminate. *)
+  let raised =
+    try
+      ignore (Rvm.query w.rvm);
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "terminated instance rejects calls" true raised
+
+let test_terminate_with_active_txn_rejected () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.set_range w.rvm tid ~addr:r.Region.vaddr ~len:1;
+  let raised =
+    try
+      Rvm.terminate w.rvm;
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "rejected" true raised;
+  Rvm.abort_transaction w.rvm tid;
+  Rvm.terminate w.rvm
+
+let test_query () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:ps () in
+  let t1 = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  let t2 = Rvm.begin_transaction w.rvm ~mode:Types.No_restore in
+  let q = Rvm.query w.rvm in
+  check_int "two active" 2 (List.length q.Rvm.active_tids);
+  check_bool "tids listed" true
+    (List.mem t1 q.Rvm.active_tids && List.mem t2 q.Rvm.active_tids);
+  check_int "regions" 1 q.Rvm.mapped_regions;
+  Rvm.set_range w.rvm t1 ~addr:r.Region.vaddr ~len:1;
+  Rvm.end_transaction w.rvm t1 ~mode:Types.Flush;
+  Rvm.end_transaction w.rvm t2 ~mode:Types.Flush;
+  check_int "none active" 0 (List.length (Rvm.query w.rvm).Rvm.active_tids)
+
+let test_demand_map_mode () =
+  (* The planned external-pager option: map charges nothing, contents are
+     still the committed image, and first touches fault. *)
+  let clock = Rvm_util.Clock.simulated () in
+  let model = Rvm_util.Cost_model.dec5000 in
+  let vm =
+    Rvm_vm.Vm_sim.create ~clock ~model
+      {
+        Rvm_vm.Vm_sim.physical_pages = 64;
+        page_size = ps;
+        fault_disk = model.Rvm_util.Cost_model.data_disk;
+        evict_disk = model.Rvm_util.Cost_model.data_disk;
+        evict_in_background = true;
+      }
+  in
+  let log_dev = Mem_device.create ~name:"log" ~size:(256 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(64 * 1024) () in
+  Device.write_string seg_dev ~off:0 "lazy image";
+  let options = { Options.default with Options.map_mode = Options.Demand } in
+  let rvm =
+    Rvm.initialize ~options ~clock ~model ~vm ~log:log_dev
+      ~resolve:(fun _ -> seg_dev)
+      ()
+  in
+  let t0 = Rvm_util.Clock.now_us clock in
+  let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(8 * ps) () in
+  Alcotest.(check (float 0.)) "map is free" t0 (Rvm_util.Clock.now_us clock);
+  check_int "nothing resident" 0 (Rvm_vm.Vm_sim.resident_pages vm);
+  check_str "committed image available" "lazy image"
+    (Bytes.to_string (Rvm.load rvm ~addr:r.Region.vaddr ~len:10));
+  check_int "first touch faulted" 1 (Rvm_vm.Vm_sim.faults vm);
+  check_bool "fault charged" true (Rvm_util.Clock.now_us clock > t0)
+
+let test_set_options () =
+  let w = make_world () in
+  Rvm.set_options w.rvm (fun o ->
+      { o with Options.truncation_threshold = 0.25 });
+  Alcotest.(check (float 0.))
+    "updated" 0.25
+    (Rvm.options w.rvm).Options.truncation_threshold;
+  let raised =
+    try
+      Rvm.set_options w.rvm (fun o ->
+          { o with Options.truncation_threshold = 5.0 });
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "invalid rejected" true raised
+
+let suite =
+  [
+    ("map.basic", `Quick, test_map_basic);
+    ("map.committed-image", `Quick, test_map_loads_committed_image);
+    ("map.overlap", `Quick, test_map_rejects_overlap);
+    ("map.alignment", `Quick, test_map_alignment_rules);
+    ("map.beyond-segment", `Quick, test_map_beyond_segment);
+    ("txn.commit-durable", `Quick, test_commit_durable);
+    ("txn.abort-restores", `Quick, test_abort_restores);
+    ("txn.abort-overlap", `Quick, test_abort_partial_overlap);
+    ("txn.no-restore", `Quick, test_no_restore_cannot_abort);
+    ("txn.empty", `Quick, test_empty_transaction);
+    ("txn.unknown-tid", `Quick, test_unknown_tid);
+    ("txn.double-commit", `Quick, test_commit_twice_rejected);
+    ("txn.range-bounds", `Quick, test_set_range_outside_region);
+    ("txn.no-flush-spool", `Quick, test_no_flush_commit_is_spooled);
+    ("txn.commit-order", `Quick, test_flush_commit_drains_spool_in_order);
+    ("txn.spool-overflow", `Quick, test_spool_overflow_autoflushes);
+    ("txn.multi-region", `Quick, test_multi_region_transaction);
+    ("mem.accessors", `Quick, test_accessors);
+    ("region.unmap-quiescent", `Quick, test_unmap_quiescent_only);
+    ("region.unmap-remap", `Quick, test_unmap_remap_roundtrip);
+    ("lifecycle.terminate", `Quick, test_terminate);
+    ("lifecycle.terminate-active", `Quick, test_terminate_with_active_txn_rejected);
+    ("misc.query", `Quick, test_query);
+    ("misc.set-options", `Quick, test_set_options);
+    ("map.demand-mode", `Quick, test_demand_map_mode);
+  ]

@@ -1,0 +1,161 @@
+(* Tests for the segment loader: stable base addresses across map/unmap and
+   process restarts, transactional load-map updates, absolute pointers. *)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Crash_device = Rvm_disk.Crash_device
+module Loader = Rvm_seg.Loader
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ps = 4096
+
+let make_world () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(512 * 1024) () in
+  Rvm.create_log log_dev;
+  let segs = Hashtbl.create 4 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace segs id
+        (Mem_device.create ~name:(Printf.sprintf "seg%d" id) ~size:(128 * 1024) ()))
+    [ 1; 2; 3 ];
+  let rvm =
+    Rvm.initialize ~log:log_dev ~resolve:(fun id -> Hashtbl.find segs id) ()
+  in
+  rvm
+
+let test_attach_initializes () =
+  let rvm = make_world () in
+  let l = Loader.attach rvm ~map_seg:1 in
+  check_int "empty map" 0 (List.length (Loader.entries l));
+  check_bool "capacity positive" true (Loader.capacity l > 0)
+
+let test_load_records_entry () =
+  let rvm = make_world () in
+  let l = Loader.attach rvm ~map_seg:1 in
+  let r = Loader.load l ~seg:2 ~seg_off:0 ~len:(2 * ps) in
+  check_int "one entry" 1 (List.length (Loader.entries l));
+  (match Loader.lookup l ~seg:2 ~seg_off:0 with
+  | Some e ->
+    check_int "base recorded" r.Region.vaddr e.Loader.base;
+    check_int "length recorded" (2 * ps) e.Loader.length
+  | None -> Alcotest.fail "entry missing")
+
+let test_same_base_after_unload () =
+  let rvm = make_world () in
+  let l = Loader.attach rvm ~map_seg:1 in
+  let r = Loader.load l ~seg:2 ~seg_off:0 ~len:(2 * ps) in
+  let base1 = r.Region.vaddr in
+  (* Store an absolute pointer into recoverable memory: it must stay valid
+     across unload/reload. *)
+  let target = base1 + ps + 100 in
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Rvm.set_range rvm tid ~addr:base1 ~len:8;
+  Rvm.set_i64 rvm ~addr:base1 (Int64.of_int target);
+  Rvm.set_range rvm tid ~addr:target ~len:7;
+  Rvm.store_string rvm ~addr:target "pointee";
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  Loader.unload l r;
+  let r2 = Loader.load l ~seg:2 ~seg_off:0 ~len:(2 * ps) in
+  check_int "same base" base1 r2.Region.vaddr;
+  let ptr = Int64.to_int (Rvm.get_i64 rvm ~addr:base1) in
+  Alcotest.(check string)
+    "absolute pointer still valid" "pointee"
+    (Bytes.to_string (Rvm.load rvm ~addr:ptr ~len:7))
+
+let test_same_base_after_restart () =
+  let log_crash = Crash_device.create ~name:"log" ~size:(512 * 1024) () in
+  let seg1 = Crash_device.create ~name:"seg1" ~size:(128 * 1024) () in
+  let seg2 = Crash_device.create ~name:"seg2" ~size:(128 * 1024) () in
+  Rvm.create_log (Crash_device.device log_crash);
+  let resolve = function
+    | 1 -> Crash_device.device seg1
+    | _ -> Crash_device.device seg2
+  in
+  let rvm = Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  let l = Loader.attach rvm ~map_seg:1 in
+  let r = Loader.load l ~seg:2 ~seg_off:0 ~len:ps in
+  let base1 = r.Region.vaddr in
+  Crash_device.crash log_crash;
+  Crash_device.crash seg1;
+  Crash_device.crash seg2;
+  let rvm2 = Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  let l2 = Loader.attach rvm2 ~map_seg:1 in
+  check_int "map survived" 1 (List.length (Loader.entries l2));
+  let r2 = Loader.load l2 ~seg:2 ~seg_off:0 ~len:ps in
+  check_int "same base across restart" base1 r2.Region.vaddr
+
+let test_length_mismatch_rejected () =
+  let rvm = make_world () in
+  let l = Loader.attach rvm ~map_seg:1 in
+  let r = Loader.load l ~seg:2 ~seg_off:0 ~len:ps in
+  Loader.unload l r;
+  let raised =
+    try
+      ignore (Loader.load l ~seg:2 ~seg_off:0 ~len:(2 * ps));
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "length mismatch" true raised
+
+let test_distinct_ranges_distinct_bases () =
+  let rvm = make_world () in
+  let l = Loader.attach rvm ~map_seg:1 in
+  let r1 = Loader.load l ~seg:2 ~seg_off:0 ~len:ps in
+  let r2 = Loader.load l ~seg:2 ~seg_off:ps ~len:ps in
+  let r3 = Loader.load l ~seg:3 ~seg_off:0 ~len:ps in
+  let bases = [ r1.Region.vaddr; r2.Region.vaddr; r3.Region.vaddr ] in
+  check_int "three distinct bases" 3 (List.length (List.sort_uniq compare bases))
+
+let test_forget () =
+  let rvm = make_world () in
+  let l = Loader.attach rvm ~map_seg:1 in
+  let r = Loader.load l ~seg:2 ~seg_off:0 ~len:ps in
+  (* Mapped: forget must refuse. *)
+  let raised =
+    try
+      Loader.forget l ~seg:2 ~seg_off:0;
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "mapped refuses forget" true raised;
+  Loader.unload l r;
+  Loader.forget l ~seg:2 ~seg_off:0;
+  check_bool "entry gone" true (Loader.lookup l ~seg:2 ~seg_off:0 = None);
+  (* Unknown entry. *)
+  let raised =
+    try
+      Loader.forget l ~seg:2 ~seg_off:0;
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "unknown entry" true raised
+
+let test_reattach_rejects_garbage () =
+  let rvm = make_world () in
+  (* Write junk into segment 3's header area, then try attaching to it. *)
+  let r = Rvm.map rvm ~seg:3 ~seg_off:0 ~len:ps () in
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Rvm.set_range rvm tid ~addr:r.Region.vaddr ~len:8;
+  Rvm.set_i64 rvm ~addr:r.Region.vaddr 0x4242424242424242L;
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  Rvm.unmap rvm r;
+  let raised =
+    try
+      ignore (Loader.attach rvm ~map_seg:3);
+      false
+    with Types.Rvm_error _ -> true
+  in
+  check_bool "garbage rejected" true raised
+
+let suite =
+  [
+    ("loader.attach", `Quick, test_attach_initializes);
+    ("loader.records", `Quick, test_load_records_entry);
+    ("loader.stable-base", `Quick, test_same_base_after_unload);
+    ("loader.restart", `Quick, test_same_base_after_restart);
+    ("loader.length-mismatch", `Quick, test_length_mismatch_rejected);
+    ("loader.distinct-bases", `Quick, test_distinct_ranges_distinct_bases);
+    ("loader.forget", `Quick, test_forget);
+    ("loader.garbage", `Quick, test_reattach_rejects_garbage);
+  ]

@@ -1,0 +1,175 @@
+(* Truncation tests: epoch truncation (Figure 6), incremental truncation
+   (Figure 7), automatic triggering, blocking, and the epoch fallback. *)
+
+open Rvm_core
+module Device = Rvm_disk.Device
+module Mem_device = Rvm_disk.Mem_device
+module Log_manager = Rvm_log.Log_manager
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let ps = 4096
+
+type world = { rvm : Rvm.t; seg_dev : Device.t; region : Region.t }
+
+let make ?(mode = Types.Epoch) ?(auto = false) ?(log_size = 64 * 1024)
+    ?(threshold = 0.5) () =
+  let log_dev = Mem_device.create ~name:"log" ~size:log_size () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(64 * 1024) () in
+  let options =
+    {
+      Options.default with
+      Options.truncation_mode = mode;
+      auto_truncate = auto;
+      truncation_threshold = threshold;
+    }
+  in
+  let rvm = Rvm.initialize ~options ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(8 * ps) () in
+  { rvm; seg_dev; region }
+
+let commit w ~addr s =
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid ~addr (Bytes.of_string s);
+  Rvm.end_transaction w.rvm tid ~mode:Types.Flush
+
+let seg_str w ~off ~len =
+  Bytes.to_string (Device.read_bytes w.seg_dev ~off ~len)
+
+let test_epoch_applies_and_empties () =
+  let w = make ~mode:Types.Epoch () in
+  let a = w.region.Region.vaddr in
+  commit w ~addr:a "epoch-data";
+  commit w ~addr:(a + ps) "page-two";
+  check_bool "log has records" false (Log_manager.is_empty (Rvm.log_manager w.rvm));
+  Rvm.truncate w.rvm;
+  check_bool "log empty" true (Log_manager.is_empty (Rvm.log_manager w.rvm));
+  check_str "segment page 0" "epoch-data" (seg_str w ~off:0 ~len:10);
+  check_str "segment page 1" "page-two" (seg_str w ~off:ps ~len:8);
+  check_int "one epoch truncation" 1
+    (Rvm.stats w.rvm).Statistics.epoch_truncations
+
+let test_epoch_latest_value_wins () =
+  let w = make ~mode:Types.Epoch () in
+  let a = w.region.Region.vaddr in
+  commit w ~addr:a "old-old-old";
+  commit w ~addr:a "new-new-new";
+  Rvm.truncate w.rvm;
+  check_str "latest committed value" "new-new-new" (seg_str w ~off:0 ~len:11)
+
+let test_incremental_applies_and_moves_head () =
+  let w = make ~mode:Types.Incremental () in
+  let a = w.region.Region.vaddr in
+  commit w ~addr:a "inc-one";
+  commit w ~addr:(a + ps) "inc-two";
+  Rvm.truncate w.rvm;
+  check_bool "log empty after steps" true
+    (Log_manager.is_empty (Rvm.log_manager w.rvm));
+  check_str "page 0 written" "inc-one" (seg_str w ~off:0 ~len:7);
+  check_str "page 1 written" "inc-two" (seg_str w ~off:ps ~len:7);
+  check_bool "steps happened" true
+    ((Rvm.stats w.rvm).Statistics.incremental_steps >= 2);
+  check_int "no epoch fallback" 0 (Rvm.stats w.rvm).Statistics.epoch_truncations
+
+let test_incremental_blocked_by_active_txn () =
+  let w = make ~mode:Types.Incremental () in
+  let a = w.region.Region.vaddr in
+  commit w ~addr:a "committed";
+  (* An active transaction holds an uncommitted reference on page 0. *)
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.set_range w.rvm tid ~addr:(a + 10) ~len:4;
+  Rvm.truncate w.rvm;
+  check_bool "log not emptied (blocked)" false
+    (Log_manager.is_empty (Rvm.log_manager w.rvm));
+  check_bool "blocked counted" true
+    ((Rvm.stats w.rvm).Statistics.incremental_blocked > 0);
+  Rvm.abort_transaction w.rvm tid;
+  Rvm.truncate w.rvm;
+  check_bool "unblocked after abort" true
+    (Log_manager.is_empty (Rvm.log_manager w.rvm));
+  check_str "applied" "committed" (seg_str w ~off:0 ~len:9)
+
+let test_incremental_blocked_by_unflushed_spool () =
+  (* A no-flush commit's pages must not be written to the segment before
+     its record reaches the log — otherwise a crash could expose half a
+     transaction. *)
+  let w = make ~mode:Types.Incremental () in
+  let a = w.region.Region.vaddr in
+  commit w ~addr:a "flushed-txn";
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid ~addr:(a + 4000) (Bytes.of_string "spooled");
+  Rvm.end_transaction w.rvm tid ~mode:Types.No_flush;
+  (* Page 0 is referenced by both the flushed record and (a + 4000 is still
+     page 0) the spooled one. *)
+  Rvm.truncate w.rvm;
+  check_bool "blocked while spooled" false
+    (Log_manager.is_empty (Rvm.log_manager w.rvm));
+  Rvm.flush w.rvm;
+  Rvm.truncate w.rvm;
+  check_bool "proceeds after flush" true
+    (Log_manager.is_empty (Rvm.log_manager w.rvm));
+  check_str "both applied" "spooled" (seg_str w ~off:4000 ~len:7)
+
+let test_auto_truncation_threshold () =
+  let w = make ~mode:Types.Epoch ~auto:true ~log_size:(16 * 1024) ~threshold:0.3 () in
+  let a = w.region.Region.vaddr in
+  for i = 0 to 50 do
+    commit w ~addr:(a + (i mod 8 * 256)) (String.make 200 'q')
+  done;
+  check_bool "auto-truncated" true
+    ((Rvm.stats w.rvm).Statistics.epoch_truncations > 0);
+  let lm = Rvm.log_manager w.rvm in
+  check_bool "stayed below capacity" true
+    (Log_manager.used_bytes lm < Log_manager.capacity lm)
+
+let test_incremental_critical_fallback () =
+  (* Incremental truncation blocked by a long-running transaction while the
+     log fills: the engine must revert to epoch truncation (section 5.1.2)
+     and survive. *)
+  let w =
+    make ~mode:Types.Incremental ~auto:true ~log_size:(16 * 1024)
+      ~threshold:0.3 ()
+  in
+  let a = w.region.Region.vaddr in
+  (* Long-running transaction pins page 7 forever. *)
+  let long = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.set_range w.rvm long ~addr:(a + (7 * ps)) ~len:16;
+  commit w ~addr:(a + (7 * ps) + 100) "shares-page-7";
+  for i = 0 to 60 do
+    commit w ~addr:(a + (i mod 8 * 256)) (String.make 150 'w')
+  done;
+  check_bool "survived with epoch fallback" true
+    ((Rvm.stats w.rvm).Statistics.epoch_truncations > 0);
+  Rvm.end_transaction w.rvm long ~mode:Types.Flush
+
+let test_truncation_counter_in_status () =
+  let w = make ~mode:Types.Epoch () in
+  let a = w.region.Region.vaddr in
+  commit w ~addr:a "x";
+  Rvm.truncate w.rvm;
+  commit w ~addr:a "y";
+  Rvm.truncate w.rvm;
+  let st = Log_manager.status (Rvm.log_manager w.rvm) in
+  check_bool "status counts truncations" true
+    (st.Rvm_log.Status.truncations >= 2)
+
+let test_truncate_empty_log_is_noop () =
+  let w = make ~mode:Types.Epoch () in
+  Rvm.truncate w.rvm;
+  check_int "no epoch truncation of empty log" 0
+    (Rvm.stats w.rvm).Statistics.epoch_truncations
+
+let suite =
+  [
+    ("epoch.applies", `Quick, test_epoch_applies_and_empties);
+    ("epoch.latest-wins", `Quick, test_epoch_latest_value_wins);
+    ("incremental.applies", `Quick, test_incremental_applies_and_moves_head);
+    ("incremental.blocked-txn", `Quick, test_incremental_blocked_by_active_txn);
+    ("incremental.blocked-spool", `Quick, test_incremental_blocked_by_unflushed_spool);
+    ("auto.threshold", `Quick, test_auto_truncation_threshold);
+    ("incremental.critical-fallback", `Quick, test_incremental_critical_fallback);
+    ("status.counter", `Quick, test_truncation_counter_in_status);
+    ("truncate.empty", `Quick, test_truncate_empty_log_is_noop);
+  ]

@@ -1,0 +1,224 @@
+(* Unit tests for Rvm_util: checksums, byte buffers, intervals, RNG, stats. *)
+
+open Rvm_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* CRC-32 test vectors (IEEE): crc32("123456789") = 0xCBF43926. *)
+let test_crc_vector () =
+  Alcotest.(check int32) "crc32(123456789)" 0xCBF43926l
+    (Checksum.string "123456789");
+  Alcotest.(check int32) "crc32(empty)" 0l (Checksum.string "")
+
+let test_crc_incremental () =
+  let whole = Checksum.string "hello world" in
+  let part = Checksum.update_string (Checksum.string "hello ") "world" in
+  Alcotest.(check int32) "incremental = one-shot" whole part
+
+let test_crc_detects_flip () =
+  let b = Bytes.of_string "some log record payload" in
+  let c1 = Checksum.bytes b ~pos:0 ~len:(Bytes.length b) in
+  Bytes.set b 5 'X';
+  let c2 = Checksum.bytes b ~pos:0 ~len:(Bytes.length b) in
+  check_bool "flip changes crc" true (c1 <> c2)
+
+let test_bytebuf_roundtrip () =
+  let b = Bytebuf.create () in
+  Bytebuf.u8 b 0xAB;
+  Bytebuf.u16 b 0xCDEF;
+  Bytebuf.u32 b 0xDEADBEEF;
+  Bytebuf.i32 b (-42l);
+  Bytebuf.u64 b 0x0123456789ABCDEFL;
+  Bytebuf.uint b max_int;
+  Bytebuf.lstring b "payload";
+  let c = Bytebuf.Cursor.of_buf b in
+  check_int "u8" 0xAB (Bytebuf.Cursor.u8 c);
+  check_int "u16" 0xCDEF (Bytebuf.Cursor.u16 c);
+  check_int "u32" 0xDEADBEEF (Bytebuf.Cursor.u32 c);
+  Alcotest.(check int32) "i32" (-42l) (Bytebuf.Cursor.i32 c);
+  Alcotest.(check int64) "u64" 0x0123456789ABCDEFL (Bytebuf.Cursor.u64 c);
+  check_int "uint" max_int (Bytebuf.Cursor.uint c);
+  Alcotest.(check string) "lstring" "payload" (Bytebuf.Cursor.lstring c);
+  check_int "exhausted" 0 (Bytebuf.Cursor.remaining c)
+
+let test_bytebuf_underflow () =
+  let b = Bytebuf.create () in
+  Bytebuf.u16 b 7;
+  let c = Bytebuf.Cursor.of_buf b in
+  Alcotest.check_raises "underflow" Bytebuf.Underflow (fun () ->
+      ignore (Bytebuf.Cursor.u32 c))
+
+let test_bytebuf_growth () =
+  let b = Bytebuf.create ~capacity:4 () in
+  for i = 0 to 9999 do
+    Bytebuf.u32 b i
+  done;
+  check_int "length" 40000 (Bytebuf.length b);
+  let c = Bytebuf.Cursor.of_buf b in
+  for i = 0 to 9999 do
+    check_int "value" i (Bytebuf.Cursor.u32 c)
+  done
+
+let intervals_list t = Intervals.to_list t
+
+let test_intervals_coalesce () =
+  let t = Intervals.empty in
+  let t = Intervals.add t ~lo:10 ~len:5 in
+  let t = Intervals.add t ~lo:20 ~len:5 in
+  Alcotest.(check (list (pair int int)))
+    "disjoint" [ (10, 5); (20, 5) ] (intervals_list t);
+  (* Adjacent on the left coalesces. *)
+  let t = Intervals.add t ~lo:15 ~len:5 in
+  Alcotest.(check (list (pair int int))) "merged" [ (10, 15) ] (intervals_list t)
+
+let test_intervals_overlap_merge () =
+  let t = Intervals.add Intervals.empty ~lo:0 ~len:10 in
+  let t = Intervals.add t ~lo:5 ~len:20 in
+  Alcotest.(check (list (pair int int))) "overlap" [ (0, 25) ] (intervals_list t);
+  let t = Intervals.add t ~lo:100 ~len:1 in
+  let t = Intervals.add t ~lo:0 ~len:200 in
+  Alcotest.(check (list (pair int int))) "swallow" [ (0, 200) ] (intervals_list t)
+
+let test_intervals_uncovered () =
+  let t = Intervals.add Intervals.empty ~lo:10 ~len:10 in
+  let t = Intervals.add t ~lo:30 ~len:10 in
+  let gaps, t' = Intervals.add_uncovered t ~lo:5 ~len:40 in
+  Alcotest.(check (list (pair int int)))
+    "gaps" [ (5, 5); (20, 10); (40, 5) ] gaps;
+  Alcotest.(check (list (pair int int))) "merged" [ (5, 40) ] (intervals_list t');
+  (* Fully covered: no gaps. *)
+  let gaps, _ = Intervals.add_uncovered t' ~lo:10 ~len:20 in
+  Alcotest.(check (list (pair int int))) "no gaps" [] gaps
+
+let test_intervals_covers () =
+  let t = Intervals.add Intervals.empty ~lo:10 ~len:10 in
+  check_bool "inside" true (Intervals.covers t ~lo:12 ~len:5);
+  check_bool "exact" true (Intervals.covers t ~lo:10 ~len:10);
+  check_bool "past end" false (Intervals.covers t ~lo:12 ~len:10);
+  check_bool "before" false (Intervals.covers t ~lo:5 ~len:3);
+  check_bool "empty always covered" true (Intervals.covers t ~lo:999 ~len:0);
+  check_bool "mem" true (Intervals.mem t 19);
+  check_bool "not mem" false (Intervals.mem t 20)
+
+let test_intervals_subsumes () =
+  let a = Intervals.add (Intervals.add Intervals.empty ~lo:0 ~len:50) ~lo:100 ~len:50 in
+  let b = Intervals.add (Intervals.add Intervals.empty ~lo:10 ~len:10) ~lo:120 ~len:5 in
+  check_bool "a subsumes b" true (Intervals.subsumes a b);
+  check_bool "b does not subsume a" false (Intervals.subsumes b a);
+  let c = Intervals.add Intervals.empty ~lo:40 ~len:20 in
+  check_bool "straddles gap" false (Intervals.subsumes a c)
+
+let test_intervals_intersect () =
+  let t = Intervals.add Intervals.empty ~lo:10 ~len:10 in
+  check_bool "overlap" true (Intervals.inter_nonempty t ~lo:15 ~len:10);
+  check_bool "adjacent is empty" false (Intervals.inter_nonempty t ~lo:20 ~len:5);
+  check_bool "before" false (Intervals.inter_nonempty t ~lo:0 ~len:10);
+  check_bool "spanning" true (Intervals.inter_nonempty t ~lo:0 ~len:100)
+
+let test_intervals_counts () =
+  let t = Intervals.add (Intervals.add Intervals.empty ~lo:0 ~len:3) ~lo:10 ~len:4 in
+  check_int "bytes" 7 (Intervals.byte_count t);
+  check_int "intervals" 2 (Intervals.interval_count t)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17);
+    let f = Rng.float r 2.5 in
+    check_bool "float range" true (f >= 0. && f < 2.5)
+  done
+
+let test_rng_distribution () =
+  (* Rough uniformity: each of 8 buckets within 3x of expectation. *)
+  let r = Rng.create ~seed:99L in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Rng.int r 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "bucket sane" true (c > n / 8 / 2 && c < n / 8 * 2))
+    counts
+
+let test_rng_split_independent () =
+  let r = Rng.create ~seed:5L in
+  let s = Rng.split r in
+  let a = Rng.next r and b = Rng.next s in
+  check_bool "streams differ" true (a <> b)
+
+let test_stats () =
+  let s = Stats.of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  check_int "count" 8 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-6)) "stddev" 2.13809 (Stats.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s)
+
+let test_stats_degenerate () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.)) "stddev of empty" 0. (Stats.stddev s);
+  Stats.add s 3.;
+  Alcotest.(check (float 0.)) "stddev of one" 0. (Stats.stddev s);
+  Alcotest.(check (float 0.)) "mean of one" 3. (Stats.mean s)
+
+let test_clock_null () =
+  let c = Clock.null in
+  Clock.charge_cpu c 100.;
+  Clock.charge_io c 100.;
+  Alcotest.(check (float 0.)) "null stays at 0" 0. (Clock.now_us c)
+
+let test_clock_accounting () =
+  let c = Clock.simulated () in
+  Clock.charge_cpu c 10.;
+  Clock.charge_background c 50.;
+  Alcotest.(check (float 1e-9)) "bg does not advance wall" 10. (Clock.now_us c);
+  Alcotest.(check (float 1e-9)) "cpu counts bg" 60. (Clock.cpu_us c);
+  Clock.charge_io c 30.;
+  Alcotest.(check (float 1e-9)) "io advances wall" 40. (Clock.now_us c);
+  Alcotest.(check (float 1e-9)) "io drains backlog" 20. (Clock.backlog_us c);
+  Clock.drain_backlog c;
+  Alcotest.(check (float 1e-9)) "drain pays backlog" 60. (Clock.now_us c)
+
+let test_cost_model_force () =
+  (* The paper's measured mean log force is 17.4 ms; our calibrated model
+     must land within 5% for typical benchmark record sizes. *)
+  let us = Cost_model.log_force_us Cost_model.dec5000 ~bytes:500 in
+  check_bool
+    (Printf.sprintf "force ~17.4ms (got %.1f us)" us)
+    true
+    (us > 16_500. && us < 18_300.)
+
+let suite =
+  [
+    ("crc.vector", `Quick, test_crc_vector);
+    ("crc.incremental", `Quick, test_crc_incremental);
+    ("crc.detects-flip", `Quick, test_crc_detects_flip);
+    ("bytebuf.roundtrip", `Quick, test_bytebuf_roundtrip);
+    ("bytebuf.underflow", `Quick, test_bytebuf_underflow);
+    ("bytebuf.growth", `Quick, test_bytebuf_growth);
+    ("intervals.coalesce", `Quick, test_intervals_coalesce);
+    ("intervals.overlap", `Quick, test_intervals_overlap_merge);
+    ("intervals.uncovered", `Quick, test_intervals_uncovered);
+    ("intervals.covers", `Quick, test_intervals_covers);
+    ("intervals.subsumes", `Quick, test_intervals_subsumes);
+    ("intervals.intersect", `Quick, test_intervals_intersect);
+    ("intervals.counts", `Quick, test_intervals_counts);
+    ("rng.deterministic", `Quick, test_rng_deterministic);
+    ("rng.bounds", `Quick, test_rng_bounds);
+    ("rng.distribution", `Quick, test_rng_distribution);
+    ("rng.split", `Quick, test_rng_split_independent);
+    ("stats.summary", `Quick, test_stats);
+    ("stats.degenerate", `Quick, test_stats_degenerate);
+    ("clock.null", `Quick, test_clock_null);
+    ("clock.accounting", `Quick, test_clock_accounting);
+    ("cost-model.log-force", `Quick, test_cost_model_force);
+  ]

@@ -1,0 +1,187 @@
+(* Tests for the workload generators (TPC-A variant, Coda profiles) and the
+   engine driver. *)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Tpca = Rvm_workload.Tpca
+module Coda = Rvm_workload.Coda
+module Driver = Rvm_workload.Driver
+module Rng = Rvm_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let ps = 4096
+
+let test_layout_geometry () =
+  let l = Tpca.layout ~accounts:4096 ~base:(16 * ps) ~page_size:ps in
+  check_int "accounts" 4096 l.Tpca.accounts;
+  (* Accounts and audit trail each close to half the total (paper 7.1.1):
+     128 B x N vs 64 B x 2N. *)
+  let accounts_bytes = 4096 * Tpca.account_size in
+  let audit_bytes = l.Tpca.audit_entries * Tpca.audit_size in
+  check_int "audit half" accounts_bytes audit_bytes;
+  check_bool "total covers both" true
+    (l.Tpca.total_len >= accounts_bytes + audit_bytes);
+  check_bool "audit aligned" true (l.Tpca.audit_base mod ps = 0);
+  check_bool "ordering" true
+    (l.Tpca.base < l.Tpca.tellers_base
+    && l.Tpca.tellers_base < l.Tpca.branches_base
+    && l.Tpca.branches_base < l.Tpca.audit_base)
+
+let test_patterns_distinct () =
+  let l = Tpca.layout ~accounts:8192 ~base:0 ~page_size:ps in
+  let pages pattern =
+    let s = Tpca.create l pattern ~seed:3L in
+    (* Drive the picker without an engine by reflecting over the state via
+       transactions against a real engine below; here just check the
+       page-touch statistics after a run. *)
+    s
+  in
+  ignore pages;
+  (* Localized concentrates accesses: run both against a real engine and
+     compare distinct account pages touched. *)
+  let run pattern =
+    let log_dev = Mem_device.create ~name:"log" ~size:(1024 * 1024) () in
+    Rvm.create_log log_dev;
+    let seg_dev =
+      Mem_device.create ~name:"seg" ~size:(l.Tpca.total_len + ps) ()
+    in
+    let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+    let base = 16 * ps in
+    let l = Tpca.layout ~accounts:8192 ~base ~page_size:ps in
+    ignore (Rvm.map rvm ~vaddr:base ~seg:1 ~seg_off:0 ~len:l.Tpca.total_len ());
+    let state = Tpca.create l pattern ~seed:3L in
+    let drv = Driver.of_rvm rvm in
+    for _ = 1 to 500 do
+      Tpca.transaction state drv
+    done;
+    (Tpca.account_pages_touched state, Tpca.transactions_run state)
+  in
+  let seq_pages, n1 = run Tpca.Sequential in
+  let rnd_pages, n2 = run Tpca.Random in
+  let loc_pages, _ = run Tpca.Localized in
+  check_int "all ran" n1 n2;
+  check_bool
+    (Printf.sprintf "sequential dense (%d pages)" seq_pages)
+    true
+    (seq_pages <= 500 / (ps / Tpca.account_size) + 1);
+  check_bool
+    (Printf.sprintf "random spreads (%d) more than localized (%d)" rnd_pages
+       loc_pages)
+    true
+    (rnd_pages > loc_pages)
+
+let test_tpca_transaction_effects () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(1024 * 1024) () in
+  Rvm.create_log log_dev;
+  let base = 16 * ps in
+  let l = Tpca.layout ~accounts:1024 ~base ~page_size:ps in
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(l.Tpca.total_len + ps) () in
+  let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  ignore (Rvm.map rvm ~vaddr:base ~seg:1 ~seg_off:0 ~len:l.Tpca.total_len ());
+  let state = Tpca.create l Tpca.Sequential ~seed:9L in
+  let drv = Driver.of_rvm rvm in
+  for _ = 1 to 10 do
+    Tpca.transaction state drv
+  done;
+  (* Sequential: accounts 0..9 updated; audit has 10 entries. *)
+  check_int "txns" 10 (Tpca.transactions_run state);
+  let stamp8 =
+    Rvm.get_i64 rvm ~addr:(base + (8 * Tpca.account_size) + 8)
+  in
+  Alcotest.(check int64) "stamp of 9th txn" 8L stamp8;
+  (* Audit entry 3 describes account 3. *)
+  let audit3 = Rvm.get_i64 rvm ~addr:(l.Tpca.audit_base + (3 * Tpca.audit_size)) in
+  Alcotest.(check int64) "audit account id" 3L audit3;
+  (* Everything was committed durably. *)
+  check_int "no active txns" 0 (List.length (Rvm.query rvm).Rvm.active_tids)
+
+let test_coda_profiles_well_formed () =
+  check_int "nine machines" 9 (List.length Coda.machines);
+  List.iter
+    (fun (p : Coda.profile) ->
+      check_bool (p.Coda.name ^ " txns positive") true (p.Coda.txns > 0);
+      check_bool (p.Coda.name ^ " range positive") true (p.Coda.range_bytes >= 48);
+      match p.Coda.kind with
+      | Coda.Server ->
+        check_bool (p.Coda.name ^ " server burst=1") true (p.Coda.burst_mean = 1.0)
+      | Coda.Client ->
+        check_bool (p.Coda.name ^ " client bursts") true (p.Coda.burst_mean > 1.0))
+    Coda.machines;
+  check_bool "find works" true ((Coda.find "grieg").Coda.kind = Coda.Server)
+
+let run_coda name =
+  let profile = Coda.find name in
+  let log_dev = Mem_device.create ~name:"log" ~size:(16 * 1024 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(2 * 1024 * 1024) () in
+  let options =
+    { Options.default with Options.spool_max_bytes = 4 * 1024 * 1024 }
+  in
+  let rvm = Rvm.initialize ~options ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let base = 16 * ps in
+  ignore (Rvm.map rvm ~vaddr:base ~seg:1 ~seg_off:0 ~len:(1024 * 1024) ());
+  Coda.run profile rvm ~base ~len:(1024 * 1024) ~seed:8L
+
+let test_coda_server_rates () =
+  let r = run_coda "grieg" in
+  let p = (Coda.find "grieg").Coda.paper in
+  check_bool
+    (Printf.sprintf "intra %.1f ~ %.1f" r.Coda.intra_pct p.Coda.p_intra_pct)
+    true
+    (Float.abs (r.Coda.intra_pct -. p.Coda.p_intra_pct) < 3.0);
+  check_bool "server inter zero" true (r.Coda.inter_pct = 0.0)
+
+let test_coda_client_rates () =
+  let r = run_coda "berlioz" in
+  let p = (Coda.find "berlioz").Coda.paper in
+  check_bool
+    (Printf.sprintf "intra %.1f ~ %.1f" r.Coda.intra_pct p.Coda.p_intra_pct)
+    true
+    (Float.abs (r.Coda.intra_pct -. p.Coda.p_intra_pct) < 5.0);
+  check_bool
+    (Printf.sprintf "inter %.1f ~ %.1f" r.Coda.inter_pct p.Coda.p_inter_pct)
+    true
+    (Float.abs (r.Coda.inter_pct -. p.Coda.p_inter_pct) < 8.0);
+  check_bool
+    (Printf.sprintf "total %.1f ~ %.1f" r.Coda.total_pct p.Coda.p_total_pct)
+    true
+    (Float.abs (r.Coda.total_pct -. p.Coda.p_total_pct) < 6.0)
+
+let test_driver_adapters () =
+  (* The same generic transaction must work through both adapters. *)
+  let log1 = Mem_device.create ~name:"log1" ~size:(512 * 1024) () in
+  Rvm.create_log log1;
+  let seg1 = Mem_device.create ~name:"seg1" ~size:(64 * 1024) () in
+  let rvm = Rvm.initialize ~log:log1 ~resolve:(fun _ -> seg1) () in
+  let r1 = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(2 * ps) () in
+  let log2 = Mem_device.create ~name:"log2" ~size:(512 * 1024) () in
+  Rvm_log.Log_manager.format log2;
+  let seg2 = Mem_device.create ~name:"seg2" ~size:(64 * 1024) () in
+  let cam = Camelot_sim.Camelot.initialize ~log:log2 ~resolve:(fun _ -> seg2) () in
+  let r2 = Camelot_sim.Camelot.map cam ~seg:1 ~seg_off:0 ~len:(2 * ps) () in
+  List.iter
+    (fun ((drv : Driver.engine), base) ->
+      let tid = drv.Driver.begin_txn () in
+      drv.Driver.set_range tid ~addr:base ~len:5;
+      drv.Driver.store ~addr:base (Bytes.of_string "hello");
+      drv.Driver.commit tid;
+      Alcotest.(check string)
+        (drv.Driver.name ^ " roundtrip")
+        "hello"
+        (Bytes.to_string (drv.Driver.load ~addr:base ~len:5)))
+    [
+      (Driver.of_rvm rvm, r1.Region.vaddr);
+      (Driver.of_camelot cam, r2.Region.vaddr);
+    ]
+
+let suite =
+  [
+    ("tpca.layout", `Quick, test_layout_geometry);
+    ("tpca.patterns", `Quick, test_patterns_distinct);
+    ("tpca.effects", `Quick, test_tpca_transaction_effects);
+    ("coda.profiles", `Quick, test_coda_profiles_well_formed);
+    ("coda.server-rates", `Quick, test_coda_server_rates);
+    ("coda.client-rates", `Quick, test_coda_client_rates);
+    ("driver.adapters", `Quick, test_driver_adapters);
+  ]
