@@ -1,0 +1,264 @@
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Trace_device = Rvm_disk.Trace_device
+
+type config = {
+  region_len : int;
+  log_size : int;
+  sector : int;
+  exhaustive : bool;
+  max_torn_per_write : int;
+  truncation_mode : Types.truncation_mode;
+}
+
+let default_config =
+  {
+    region_len = 2 * 4096;
+    log_size = 64 * 1024;
+    sector = 512;
+    exhaustive = false;
+    max_torn_per_write = 12;
+    truncation_mode = Types.Epoch;
+  }
+
+type crash_point = { upto : int; torn : int option }
+
+type violation = {
+  crash : crash_point;
+  required : int;
+  commits : int;
+  reason : string;
+}
+
+type write_point = {
+  event : int;
+  dev : string;
+  off : int;
+  len : int;
+  variants : int;
+}
+
+type outcome = {
+  ops : Workload.op list;
+  events : int;
+  writes : int;
+  syncs : int;
+  boundaries : int;
+  torn_variants : int;
+  recoveries : int;
+  commits : int;
+  durable : int;
+  write_points : write_point list;
+  violations : violation list;
+}
+
+(* Torn prefixes for a write of [len] bytes at device offset [off]. A write
+   that does not cross an aligned sector boundary is atomic. *)
+let torn_positions ~sector ~exhaustive ~max_per_write ~off ~len =
+  let first_boundary = ((off / sector) + 1) * sector in
+  if off + len <= first_boundary then []
+  else begin
+    (* Interior sector boundaries, as write-relative positions. *)
+    let bounds = ref [] in
+    let b = ref first_boundary in
+    while !b < off + len do
+      bounds := (!b - off) :: !bounds;
+      b := !b + sector
+    done;
+    let bounds = List.rev !bounds in
+    (* Top up small straddling writes so every tearable write of >= 5
+       bytes gets at least 4 variants. *)
+    let extra =
+      if List.length bounds >= 4 then []
+      else
+        List.filter
+          (fun p -> p > 0 && p < len)
+          (List.init 4 (fun i -> len * (i + 1) / 5))
+    in
+    let all = List.sort_uniq compare (bounds @ extra) in
+    let cap = max 2 max_per_write in
+    if exhaustive || List.length all <= cap then all
+    else begin
+      (* Evenly subsample down to the cap. *)
+      let arr = Array.of_list all in
+      let n = Array.length arr in
+      List.sort_uniq compare
+        (List.init cap (fun i -> arr.(i * (n - 1) / (cap - 1))))
+    end
+  end
+
+(* Run the workload against traced devices, returning the trace handles,
+   the reference model and the durability checkpoints
+   [(events_recorded, commits_durable)]. *)
+let run_workload config ops =
+  let log_mem =
+    Mem_device.create ~name:"check-log" ~size:config.log_size ()
+  in
+  let seg_mem =
+    Mem_device.create ~name:"check-seg" ~size:config.region_len ()
+  in
+  Rvm.create_log log_mem;
+  (* Wrap after formatting: crash point zero is the freshly formatted,
+     empty state, which must recover to the blank region. *)
+  let recorder = Trace_device.create_recorder () in
+  let tlog = Trace_device.wrap recorder log_mem in
+  let tseg = Trace_device.wrap recorder seg_mem in
+  let options =
+    {
+      Options.default with
+      Options.truncation_mode = config.truncation_mode;
+      truncation_threshold = 0.4;
+    }
+  in
+  let rvm =
+    Rvm.reinitialize ~options ~log:(Trace_device.device tlog)
+      ~resolve:(fun _ -> Trace_device.device tseg)
+      ()
+  in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:config.region_len () in
+  let base = region.Region.vaddr in
+  let model = Model.create ~region_len:config.region_len in
+  let checkpoints = ref [ (0, 0) ] in
+  let note_durable () =
+    Model.mark_durable model;
+    checkpoints :=
+      (Trace_device.event_count recorder, Model.durable_count model)
+      :: !checkpoints
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Workload.Commit { ranges; mode } ->
+        let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+        let writes =
+          List.map
+            (fun (off, len, c) ->
+              let data = Bytes.make len c in
+              Rvm.modify rvm tid ~addr:(base + off) data;
+              (off, data))
+            ranges
+        in
+        Rvm.end_transaction rvm tid ~mode;
+        Model.commit model writes;
+        (* A flush-mode commit drains the spool first, so every commit so
+           far is durable once its force returns. Forces the engine takes
+           on its own (spool overflow, truncation) are deliberately not
+           counted: under-approximating the required durable prefix is
+           sound — it can never produce a false violation. *)
+        if mode = Types.Flush then note_durable ()
+      | Workload.Abort ranges ->
+        let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+        List.iter
+          (fun (off, len, c) ->
+            Rvm.modify rvm tid ~addr:(base + off) (Bytes.make len c))
+          ranges;
+        Rvm.abort_transaction rvm tid
+      | Workload.Flush ->
+        Rvm.flush rvm;
+        note_durable ()
+      | Workload.Truncate -> Rvm.truncate rvm)
+    ops;
+  (recorder, tlog, tseg, model, !checkpoints)
+
+(* Mount the two reconstructed images, run recovery, and read back the
+   region bytes. *)
+let recover_image config ~log_img ~seg_img =
+  let log_dev = Mem_device.of_bytes ~name:"check-replay-log" log_img in
+  let seg_dev = Mem_device.of_bytes ~name:"check-replay-seg" seg_img in
+  let options =
+    {
+      Options.default with
+      Options.truncation_mode = config.truncation_mode;
+      truncation_threshold = 0.4;
+    }
+  in
+  let rvm =
+    Rvm.reinitialize ~options ~log:log_dev ~resolve:(fun _ -> seg_dev) ()
+  in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:config.region_len () in
+  Rvm.load rvm ~addr:region.Region.vaddr ~len:config.region_len
+
+let run ?(config = default_config) ops =
+  if config.sector <= 0 then invalid_arg "Explorer.run: sector must be positive";
+  let recorder, tlog, tseg, model, checkpoints = run_workload config ops in
+  let events = Trace_device.events recorder in
+  let n = Array.length events in
+  let required_at k =
+    List.fold_left
+      (fun acc (e, d) -> if e <= k then max acc d else acc)
+      0 checkpoints
+  in
+  let commits = Model.commit_count model in
+  let violations = ref [] in
+  let recoveries = ref 0 in
+  let torn_total = ref 0 in
+  let write_points = ref [] in
+  let check crash =
+    incr recoveries;
+    let torn = crash.torn in
+    let log_img =
+      Trace_device.image tlog ~events ~upto:crash.upto ?torn ()
+    in
+    let seg_img =
+      Trace_device.image tseg ~events ~upto:crash.upto ?torn ()
+    in
+    let required = required_at crash.upto in
+    match recover_image config ~log_img ~seg_img with
+    | exception e ->
+      violations :=
+        {
+          crash;
+          required;
+          commits;
+          reason = "recovery raised: " ^ Printexc.to_string e;
+        }
+        :: !violations
+    | recovered -> (
+      match Model.matching_prefix model ~min:required recovered with
+      | Some _ -> ()
+      | None ->
+        violations :=
+          {
+            crash;
+            required;
+            commits;
+            reason = Model.describe_mismatch model ~min:required recovered;
+          }
+          :: !violations)
+  in
+  check { upto = 0; torn = None };
+  for k = 0 to n - 1 do
+    (match events.(k).Trace_device.kind with
+    | Trace_device.Write { off; data } ->
+      let len = Bytes.length data in
+      let positions =
+        torn_positions ~sector:config.sector ~exhaustive:config.exhaustive
+          ~max_per_write:config.max_torn_per_write ~off ~len
+      in
+      List.iter (fun p -> check { upto = k; torn = Some p }) positions;
+      let dev =
+        if events.(k).Trace_device.dev_id = Trace_device.dev_id tlog then
+          "log"
+        else "seg"
+      in
+      let variants = List.length positions in
+      torn_total := !torn_total + variants;
+      write_points := { event = k; dev; off; len; variants } :: !write_points
+    | Trace_device.Sync -> ());
+    check { upto = k + 1; torn = None }
+  done;
+  {
+    ops;
+    events = n;
+    writes = Trace_device.write_count recorder;
+    syncs = Trace_device.sync_count recorder;
+    boundaries = n + 1;
+    torn_variants = !torn_total;
+    recoveries = !recoveries;
+    commits;
+    durable = Model.durable_count model;
+    write_points = List.rev !write_points;
+    violations = List.rev !violations;
+  }
+
+let violates ?config ops = (run ?config ops).violations <> []

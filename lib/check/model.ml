@@ -1,0 +1,78 @@
+type txn = { writes : (int * Bytes.t) list }
+
+type t = {
+  region_len : int;
+  mutable txns : txn list;  (* newest first *)
+  mutable durable : int;
+}
+
+let create ~region_len = { region_len; txns = []; durable = 0 }
+
+let commit t writes = t.txns <- { writes } :: t.txns
+
+let commit_count t = List.length t.txns
+let durable_count t = t.durable
+let mark_durable t = t.durable <- commit_count t
+
+let state t ~k =
+  let img = Bytes.make t.region_len '\000' in
+  List.iteri
+    (fun i txn ->
+      if i < k then
+        List.iter
+          (fun (off, data) -> Bytes.blit data 0 img off (Bytes.length data))
+          txn.writes)
+    (List.rev t.txns);
+  img
+
+let matching_prefix t ~min img =
+  let n = commit_count t in
+  let rec search k =
+    if k < min then None
+    else if Bytes.equal (state t ~k) img then Some k
+    else search (k - 1)
+  in
+  if Bytes.length img <> t.region_len then None else search n
+
+let first_diff a b =
+  let n = min (Bytes.length a) (Bytes.length b) in
+  let rec go i =
+    if i >= n then None
+    else if Bytes.get a i <> Bytes.get b i then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let hamming a b =
+  let n = min (Bytes.length a) (Bytes.length b) in
+  let d = ref (abs (Bytes.length a - Bytes.length b)) in
+  for i = 0 to n - 1 do
+    if Bytes.get a i <> Bytes.get b i then incr d
+  done;
+  !d
+
+let describe_mismatch t ~min img =
+  if Bytes.length img <> t.region_len then
+    Printf.sprintf "recovered image is %d bytes, region is %d"
+      (Bytes.length img) t.region_len
+  else begin
+    let n = commit_count t in
+    (* Report against the closest candidate prefix, which is the most
+       useful starting point for debugging. *)
+    let best = ref (n, hamming (state t ~k:n) img) in
+    for k = min to n - 1 do
+      let d = hamming (state t ~k) img in
+      if d < snd !best then best := (k, d)
+    done;
+    let k, d = !best in
+    match first_diff (state t ~k) img with
+    | None -> "no differing byte found (internal error)"
+    | Some off ->
+      Printf.sprintf
+        "matches no commit prefix in [%d, %d]; closest is prefix %d (%d \
+         byte(s) differ), first at offset %d: expected 0x%02x, recovered \
+         0x%02x"
+        min n k d off
+        (Char.code (Bytes.get (state t ~k) off))
+        (Char.code (Bytes.get img off))
+  end

@@ -1,0 +1,47 @@
+(** Pure in-memory reference model of the recovery contract.
+
+    The model tracks the committed transactions of one mapped region in
+    commit order, plus how many of them the implementation has promised are
+    durable (everything up to the latest log force). The contract checked
+    against a recovered image is the paper's permanence/atomicity guarantee
+    restated over commit prefixes:
+
+    - every commit known durable at the crash point is present;
+    - no-flush commits may survive or vanish, but only as a {e prefix} of
+      commit order (bounded persistence, section 5.1.1);
+    - no transaction is ever partially present (atomicity).
+
+    Equivalently: the recovered region bytes must equal the state after
+    the first [k] commits, for some [k] between the durable count and the
+    total commit count. *)
+
+type t
+
+val create : region_len:int -> t
+(** Fresh model of a region of [region_len] bytes, initially zeroed (the
+    image of a freshly created external data segment). *)
+
+val commit : t -> (int * Bytes.t) list -> unit
+(** Record a committed transaction as its region-relative writes, applied
+    in list order. *)
+
+val mark_durable : t -> unit
+(** Every commit recorded so far is now guaranteed durable (called after a
+    log force). *)
+
+val commit_count : t -> int
+val durable_count : t -> int
+
+val state : t -> k:int -> Bytes.t
+(** Region bytes after applying the first [k] commits to the zeroed
+    initial image. *)
+
+val matching_prefix : t -> min:int -> Bytes.t -> int option
+(** [matching_prefix t ~min img] is the largest [k] with
+    [min <= k <= commit_count t] such that [state t ~k] equals [img], if
+    any — the witness that [img] satisfies the contract with at least
+    [min] commits durable. *)
+
+val describe_mismatch : t -> min:int -> Bytes.t -> string
+(** Human-readable account of why no prefix matched: for the closest
+    prefix, the first differing offset and byte values. *)

@@ -1,0 +1,37 @@
+let pp_crash_point ppf (c : Explorer.crash_point) =
+  match c.Explorer.torn with
+  | None -> Format.fprintf ppf "after event %d" c.Explorer.upto
+  | Some keep ->
+    Format.fprintf ppf "event %d torn after %d byte(s)" c.Explorer.upto keep
+
+let pp_violation ppf (v : Explorer.violation) =
+  Format.fprintf ppf "@[<v 2>violation at crash point %a:@ %s@ (required %d of %d commits durable)@]"
+    pp_crash_point v.Explorer.crash v.Explorer.reason v.Explorer.required
+    v.Explorer.commits
+
+let pp_outcome ppf (o : Explorer.outcome) =
+  Format.fprintf ppf
+    "@[<v>trace: %d events (%d writes, %d syncs); %d commits (%d known durable)@ \
+     explored: %d boundaries + %d torn variants = %d recoveries@ "
+    o.Explorer.events o.Explorer.writes o.Explorer.syncs o.Explorer.commits
+    o.Explorer.durable o.Explorer.boundaries o.Explorer.torn_variants
+    o.Explorer.recoveries;
+  (match o.Explorer.violations with
+  | [] ->
+    Format.fprintf ppf
+      "contract: OK — every crash point recovers to a committed prefix"
+  | vs ->
+    Format.fprintf ppf "contract: %d VIOLATION(S)@ " (List.length vs);
+    List.iteri
+      (fun i v ->
+        if i < 5 then Format.fprintf ppf "%a@ " pp_violation v)
+      vs;
+    if List.length vs > 5 then
+      Format.fprintf ppf "... and %d more" (List.length vs - 5));
+  Format.fprintf ppf "@]"
+
+let pp_counterexample ppf ops =
+  Format.fprintf ppf "@[<v>minimal counterexample (%d op(s)):@ %a@ replay: %s@]"
+    (List.length ops) Workload.pp ops (Workload.to_string ops)
+
+let summary o = Format.asprintf "%a" pp_outcome o

@@ -1,0 +1,13 @@
+(** Human-readable rendering of explorer outcomes, violations and shrunk
+    counterexamples — shared by [rvmutl check] and the test suite's
+    failure messages. *)
+
+val pp_crash_point : Format.formatter -> Explorer.crash_point -> unit
+val pp_violation : Format.formatter -> Explorer.violation -> unit
+val pp_outcome : Format.formatter -> Explorer.outcome -> unit
+
+val pp_counterexample : Format.formatter -> Workload.op list -> unit
+(** Numbered op listing plus a one-line replayable form. *)
+
+val summary : Explorer.outcome -> string
+(** One-paragraph summary, as printed by [rvmutl check]. *)

@@ -1,0 +1,74 @@
+(* Replace the element at [i] with the ops [subst] (possibly empty). *)
+let splice ops i subst =
+  List.concat (List.mapi (fun j op -> if j = i then subst else [ op ]) ops)
+
+(* One pass of a transformation over op positions: at each position, try
+   the candidates in order and keep the first that still violates. *)
+let pass ~check ~candidates ops =
+  let rec go i ops =
+    if i >= List.length ops then ops
+    else begin
+      let op = List.nth ops i in
+      let rec try_cands = function
+        | [] -> go (i + 1) ops
+        | subst :: rest ->
+          let ops' = splice ops i subst in
+          if check ops' then
+            (* The list may have shrunk; revisit position [i]. *)
+            go (if subst = [] then i else i + 1) ops'
+          else try_cands rest
+      in
+      try_cands (candidates op)
+    end
+  in
+  go 0 ops
+
+(* Candidates that drop the whole op. *)
+let drop_op _op = [ [] ]
+
+(* Candidates that drop one range of a commit/abort. *)
+let drop_ranges op =
+  let without ranges =
+    List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) ranges) ranges
+  in
+  match op with
+  | Workload.Commit { ranges; mode } when List.length ranges > 1 ->
+    List.map (fun rs -> [ Workload.Commit { ranges = rs; mode } ]) (without ranges)
+  | Workload.Abort ranges when List.length ranges > 1 ->
+    List.map (fun rs -> [ Workload.Abort rs ]) (without ranges)
+  | _ -> []
+
+(* Candidates that shrink range lengths (halving, then to 1). *)
+let shrink_lens op =
+  let shrink_range (off, len, c) =
+    List.filter_map
+      (fun len' -> if len' > 0 && len' < len then Some (off, len', c) else None)
+      [ len / 2; 1 ]
+  in
+  let variants ranges rebuild =
+    List.concat
+      (List.mapi
+         (fun i r ->
+           List.map
+             (fun r' ->
+               [ rebuild (List.mapi (fun j x -> if j = i then r' else x) ranges) ])
+             (shrink_range r))
+         ranges)
+  in
+  match op with
+  | Workload.Commit { ranges; mode } ->
+    variants ranges (fun rs -> Workload.Commit { ranges = rs; mode })
+  | Workload.Abort ranges -> variants ranges (fun rs -> Workload.Abort rs)
+  | _ -> []
+
+let minimize ~check ops =
+  let step ops =
+    let ops = pass ~check ~candidates:drop_op ops in
+    let ops = pass ~check ~candidates:drop_ranges ops in
+    pass ~check ~candidates:shrink_lens ops
+  in
+  let rec fix ops =
+    let ops' = step ops in
+    if ops' = ops then ops else fix ops'
+  in
+  fix ops

@@ -1,0 +1,13 @@
+(** Minimal-counterexample shrinking for violating workloads.
+
+    Greedy delta-debugging over the first-order workload representation:
+    drop whole ops, drop individual ranges, then shrink range lengths,
+    re-running the explorer after each candidate edit and keeping it only
+    while the violation still reproduces. Deterministic: the result
+    depends only on the input workload and the [check] predicate. *)
+
+val minimize :
+  check:(Workload.op list -> bool) -> Workload.op list -> Workload.op list
+(** [minimize ~check ops] assumes [check ops = true] (a violation
+    reproduces) and returns a local minimum: no single op removal, range
+    removal or length shrink preserves the violation. *)

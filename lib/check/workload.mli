@@ -1,0 +1,26 @@
+(** Scripted transactional workloads for the crash-point explorer.
+
+    An op list drives one RVM instance over a single mapped region. The
+    representation is deliberately first-order — plain offsets, lengths and
+    fill characters — so workloads print compactly in counterexamples and
+    shrink structurally. *)
+
+type range = int * int * char
+(** [(region_off, len, fill)] — write [len] copies of [fill] at
+    [region_off]. *)
+
+type op =
+  | Commit of { ranges : range list; mode : Rvm_core.Types.commit_mode }
+  | Abort of range list
+  | Flush
+  | Truncate
+
+val generate : rng:Rvm_util.Rng.t -> ops:int -> region_len:int -> op list
+(** Deterministic workload of [ops] operations: mostly commits (both
+    modes), some aborts, explicit flushes and truncations. Range lengths
+    go up to several hundred bytes so that commit records regularly span
+    multiple disk sectors and exercise torn-write enumeration. *)
+
+val op_to_string : op -> string
+val to_string : op list -> string
+val pp : Format.formatter -> op list -> unit

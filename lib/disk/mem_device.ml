@@ -36,6 +36,35 @@ let create ?name ~size () =
   in
   t
 
+let of_bytes ?(name = "mem-image") bytes =
+  (* Unregistered (no snapshot support): replayed crash images are created
+     by the thousand and must not accumulate in the registry. *)
+  let data = Bytes.copy bytes in
+  let size = Bytes.length data in
+  let stats = Device.fresh_stats () in
+  let rec t =
+    {
+      Device.name;
+      size;
+      read =
+        (fun ~off ~buf ~pos ~len ->
+          Device.check_range t ~off ~len;
+          Bytes.blit data off buf pos len;
+          stats.reads <- stats.reads + 1;
+          stats.bytes_read <- stats.bytes_read + len);
+      write =
+        (fun ~off ~buf ~pos ~len ->
+          Device.check_range t ~off ~len;
+          Bytes.blit buf pos data off len;
+          stats.writes <- stats.writes + 1;
+          stats.bytes_written <- stats.bytes_written + len);
+      sync = (fun () -> stats.syncs <- stats.syncs + 1);
+      close = (fun () -> ());
+      stats;
+    }
+  in
+  t
+
 let snapshot (d : Device.t) =
   match Hashtbl.find_opt backing d.name with
   | Some data -> Bytes.copy data

@@ -3,5 +3,9 @@
 
 val create : ?name:string -> size:int -> unit -> Device.t
 
+val of_bytes : ?name:string -> Bytes.t -> Device.t
+(** Device over a private copy of [bytes] — used to mount reconstructed
+    crash images. Not registered for {!snapshot}. *)
+
 val snapshot : Device.t -> Bytes.t
 (** Copy of the device contents; only valid on devices made by [create]. *)

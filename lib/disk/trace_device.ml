@@ -1,0 +1,95 @@
+type kind =
+  | Write of { off : int; data : Bytes.t }
+  | Sync
+
+type event = { dev_id : int; kind : kind }
+
+type recorder = {
+  mutable rev_events : event list;  (* newest first *)
+  mutable count : int;
+  mutable writes : int;
+  mutable syncs : int;
+  mutable next_id : int;
+}
+
+type t = {
+  recorder : recorder;
+  id : int;
+  initial : Bytes.t;
+  dev : Device.t;
+}
+
+let create_recorder () =
+  { rev_events = []; count = 0; writes = 0; syncs = 0; next_id = 0 }
+
+let record r ev =
+  r.rev_events <- ev :: r.rev_events;
+  r.count <- r.count + 1;
+  match ev.kind with
+  | Write _ -> r.writes <- r.writes + 1
+  | Sync -> r.syncs <- r.syncs + 1
+
+let wrap recorder (inner : Device.t) =
+  let id = recorder.next_id in
+  recorder.next_id <- id + 1;
+  let initial = Device.read_bytes inner ~off:0 ~len:inner.Device.size in
+  let stats = Device.fresh_stats () in
+  let dev =
+    {
+      Device.name = inner.Device.name ^ ":trace";
+      size = inner.Device.size;
+      read =
+        (fun ~off ~buf ~pos ~len ->
+          inner.Device.read ~off ~buf ~pos ~len;
+          stats.reads <- stats.reads + 1;
+          stats.bytes_read <- stats.bytes_read + len);
+      write =
+        (fun ~off ~buf ~pos ~len ->
+          record recorder
+            { dev_id = id; kind = Write { off; data = Bytes.sub buf pos len } };
+          inner.Device.write ~off ~buf ~pos ~len;
+          stats.writes <- stats.writes + 1;
+          stats.bytes_written <- stats.bytes_written + len);
+      sync =
+        (fun () ->
+          record recorder { dev_id = id; kind = Sync };
+          inner.Device.sync ();
+          stats.syncs <- stats.syncs + 1);
+      close = (fun () -> inner.Device.close ());
+      stats;
+    }
+  in
+  { recorder; id; initial; dev }
+
+let device t = t.dev
+let dev_id t = t.id
+
+let events r = Array.of_list (List.rev r.rev_events)
+let event_count r = r.count
+let write_count r = r.writes
+let sync_count r = r.syncs
+
+let initial_image t = Bytes.copy t.initial
+
+let image t ~events ~upto ?torn () =
+  if upto < 0 || upto > Array.length events then
+    invalid_arg "Trace_device.image: upto outside the trace";
+  let img = Bytes.copy t.initial in
+  for i = 0 to upto - 1 do
+    let ev = events.(i) in
+    if ev.dev_id = t.id then
+      match ev.kind with
+      | Write { off; data } -> Bytes.blit data 0 img off (Bytes.length data)
+      | Sync -> ()
+  done;
+  (match torn with
+  | Some keep when upto < Array.length events -> (
+    let ev = events.(upto) in
+    if ev.dev_id = t.id then
+      match ev.kind with
+      | Write { off; data } ->
+        let keep = max 0 (min keep (Bytes.length data)) in
+        Bytes.blit data 0 img off keep
+      | Sync -> ())
+  | _ -> ());
+  img

@@ -34,6 +34,8 @@ let header_size = 39
 let range_header_size = 32
 let trailer_size = 20
 
+let unsafe_skip_verification = ref false
+
 let kind_code = function Commit -> 1 | Wrap -> 2
 let kind_of_code = function 1 -> Some Commit | 2 -> Some Wrap | _ -> None
 
@@ -127,10 +129,20 @@ let decode bytes ~pos =
               let total = B.Cursor.u32 c in
               let seqno' = Int64.to_int (B.Cursor.u64 c) in
               let magic_end = B.Cursor.u32 c in
+              (* The fault-injection flag disables the trailer and checksum
+                 checks, trusting the structural parse alone and recomputing
+                 the total from it — exactly the recovery bug the crash-point
+                 explorer's mutation test must catch. *)
+              let total =
+                if !unsafe_skip_verification then
+                  body_end - pos + trailer_size
+                else total
+              in
               if
-                magic_end <> end_magic || seqno' <> seqno
-                || total <> body_end - pos + trailer_size
-                || crc <> Checksum.bytes bytes ~pos ~len:(body_end - pos)
+                (not !unsafe_skip_verification)
+                && (magic_end <> end_magic || seqno' <> seqno
+                   || total <> body_end - pos + trailer_size
+                   || crc <> Checksum.bytes bytes ~pos ~len:(body_end - pos))
               then None
               else
                 Some

@@ -60,6 +60,13 @@ val data_bytes : t -> int
 
 val encode : t -> Bytes.t
 
+val unsafe_skip_verification : bool ref
+(** Test-only fault injection: when set, {!decode} accepts any record whose
+    structure parses, skipping the checksum and trailer verification that
+    makes torn appends vanish. This deliberately reintroduces the classic
+    recovery bug so the crash-point explorer's mutation-detection test can
+    prove it would be caught. Never set outside tests. *)
+
 val decode : Bytes.t -> pos:int -> (t * int) option
 (** [decode b ~pos] parses the record starting at [pos], returning it with
     its total length, or [None] if the bytes do not form a valid record

@@ -385,6 +385,14 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
   end;
   t
 
+let reinitialize ?options ~log ~resolve () =
+  (* A simulated clock (never the null one) keeps [now_us] off the wall
+     clock, so replaying the same durable image always produces the same
+     instance state, log contents and trace — the property the crash-point
+     explorer's exhaustive enumeration rests on. *)
+  initialize ?options ~clock:(Clock.simulated ()) ~model:Cost_model.dec5000
+    ~log ~resolve ()
+
 let active_transactions t = Hashtbl.length t.txns
 
 let terminate t =

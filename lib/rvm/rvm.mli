@@ -42,6 +42,18 @@ val initialize :
     committed images. [clock]/[model]/[vm] instrument the instance for the
     simulated performance evaluation; omit them for production use. *)
 
+val reinitialize :
+  ?options:Options.t ->
+  log:Rvm_disk.Device.t ->
+  resolve:(int -> Rvm_disk.Device.t) ->
+  unit ->
+  t
+(** Deterministic {!initialize} for replayed crash images: runs on a fresh
+    simulated clock so no code path consults wall-clock time, making
+    recovery of the same durable image bit-for-bit reproducible. The
+    crash-point explorer ({!Rvm_check.Explorer}) re-initializes thousands
+    of reconstructed images through this hook. *)
+
 val terminate : t -> unit
 (** Flush spooled commits, force the log, release the instance. Raises if
     transactions are still active. *)

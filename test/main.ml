@@ -15,6 +15,7 @@ let () =
       ("camelot", Test_camelot.suite);
       ("workload", Test_workload.suite);
       ("props", Test_props.suite);
+      ("check", Test_check.suite);
       ("harness", Test_harness.suite);
       ("pds", Test_pds.suite);
     ]

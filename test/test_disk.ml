@@ -121,6 +121,97 @@ let test_crash_torn_becomes_durable () =
   Crash_device.crash c;
   check_str "stable across re-crash" after_crash (read_str dev ~off:0 ~len:2)
 
+(* Regression: crash_torn is a pure function of the RNG stream — the same
+   seed over the same write sequence must yield the identical durable
+   image. The crash-point explorer's reproducibility (same --seed, same
+   counterexample) depends on this. *)
+let test_crash_torn_deterministic () =
+  let run seed =
+    let rng = Rng.create ~seed in
+    let c = Crash_device.create ~size:256 () in
+    let dev = Crash_device.device c in
+    Device.write_string dev ~off:0 (String.make 64 'a');
+    dev.Device.sync ();
+    for i = 0 to 9 do
+      Device.write_string dev ~off:(i * 20) (String.make 40 (Char.chr (Char.code 'A' + i)))
+    done;
+    Crash_device.crash_torn c ~rng;
+    read_str dev ~off:0 ~len:256
+  in
+  List.iter
+    (fun seed ->
+      check_str
+        (Printf.sprintf "seed %Ld reproducible" seed)
+        (run seed) (run seed))
+    [ 0L; 1L; 17L; 123456789L ];
+  check_bool "different seeds eventually differ" true
+    (run 1L <> run 2L || run 1L <> run 17L)
+
+(* Regression: a torn write keeps an in-order prefix — no byte past the
+   kept prefix of the torn write, and no later pending write, may reach
+   the durable image. *)
+let test_crash_torn_prefix_only () =
+  let size = 128 in
+  for seed = 1 to 100 do
+    let rng = Rng.create ~seed:(Int64.of_int seed) in
+    let c = Crash_device.create ~size () in
+    let dev = Crash_device.device c in
+    let background = String.make size '.' in
+    Device.write_string dev ~off:0 background;
+    dev.Device.sync ();
+    (* Three overlapping pending writes with distinct fill bytes. *)
+    let writes = [ (10, String.make 50 'A'); (40, String.make 50 'B'); (5, String.make 30 'C') ] in
+    List.iter (fun (off, s) -> Device.write_string dev ~off s) writes;
+    Crash_device.crash_torn c ~rng;
+    let img = read_str dev ~off:0 ~len:size in
+    (* Enumerate every legal outcome: k full writes plus 0..len bytes of
+       write k, applied to the durable background. *)
+    let legal = ref [] in
+    let base = Bytes.of_string background in
+    let states = ref [ Bytes.copy base ] in
+    List.iteri
+      (fun k (off, s) ->
+        let prev = List.nth !states k in
+        for keep = 0 to String.length s do
+          let b = Bytes.copy prev in
+          Bytes.blit_string s 0 b off keep;
+          legal := Bytes.to_string b :: !legal
+        done;
+        let full = Bytes.copy prev in
+        Bytes.blit_string s 0 full off (String.length s);
+        states := !states @ [ full ])
+      writes;
+    check_bool
+      (Printf.sprintf "seed %d produced a legal prefix state" seed)
+      true
+      (List.mem img !legal)
+  done
+
+let test_trace_device_replay () =
+  let rec_ = Trace_device.create_recorder () in
+  let inner = Mem_device.create ~size:64 () in
+  Device.write_string inner ~off:0 "base";
+  let t = Trace_device.wrap rec_ inner in
+  let dev = Trace_device.device t in
+  Device.write_string dev ~off:0 "AAAA";
+  dev.Device.sync ();
+  Device.write_string dev ~off:2 "BBBB";
+  let events = Trace_device.events rec_ in
+  check_int "three events" 3 (Array.length events);
+  check_int "two writes" 2 (Trace_device.write_count rec_);
+  check_int "one sync" 1 (Trace_device.sync_count rec_);
+  let img ?torn upto =
+    Bytes.to_string
+      (Bytes.sub (Trace_device.image t ~events ~upto ?torn ()) 0 8)
+  in
+  check_str "initial image predates wrapping writes" "base\000\000\000\000" (img 0);
+  check_str "after first write" "AAAA\000\000\000\000" (img 1);
+  check_str "sync changes nothing" "AAAA\000\000\000\000" (img 2);
+  check_str "after second write" "AABBBB\000\000" (img 3);
+  check_str "torn second write" "AABB\000\000\000\000" (img 2 ~torn:2);
+  (* The live inner device is not disturbed by replay. *)
+  check_str "live device untouched" "AABBBB" (read_str dev ~off:0 ~len:6)
+
 let test_fail_stop () =
   let c = Crash_device.create ~size:1024 () in
   let dev = Crash_device.device c in
@@ -195,6 +286,9 @@ let suite =
     ("crash.pending-count", `Quick, test_crash_pending_count);
     ("crash.torn-prefix", `Quick, test_crash_torn_prefix);
     ("crash.torn-durable", `Quick, test_crash_torn_becomes_durable);
+    ("crash.torn-deterministic", `Quick, test_crash_torn_deterministic);
+    ("crash.torn-prefix-only", `Quick, test_crash_torn_prefix_only);
+    ("trace.replay", `Quick, test_trace_device_replay);
     ("crash.fail-stop", `Quick, test_fail_stop);
     ("sim.charges-reads", `Quick, test_sim_charges_reads);
     ("sim.write-buffering", `Quick, test_sim_write_buffering);

@@ -60,6 +60,54 @@ let test_bytebuf_growth () =
     check_int "value" i (Bytebuf.Cursor.u32 c)
   done
 
+(* Growth across the initial capacity boundary must preserve already
+   written bytes, and the raw-bytes/blit/cursor paths must agree at the
+   boundaries. *)
+let test_bytebuf_boundaries () =
+  let b = Bytebuf.create ~capacity:1 () in
+  (* Append a chunk that forces repeated doubling mid-append. *)
+  let chunk = Bytes.init 100 (fun i -> Char.chr (i mod 256)) in
+  Bytebuf.bytes b chunk ~pos:0 ~len:100;
+  Bytebuf.bytes b chunk ~pos:90 ~len:10;
+  Bytebuf.string b "tail";
+  check_int "length" 114 (Bytebuf.length b);
+  let out = Bytebuf.contents b in
+  Alcotest.(check string) "prefix preserved across growth"
+    (Bytes.to_string chunk)
+    (Bytes.sub_string out 0 100);
+  Alcotest.(check string) "sub-range append"
+    (Bytes.sub_string chunk 90 10)
+    (Bytes.sub_string out 100 10);
+  Alcotest.(check string) "tail" "tail" (Bytes.sub_string out 110 4);
+  (* blit_into at a non-zero position, surrounded by sentinels. *)
+  let dst = Bytes.make 120 '\xff' in
+  Bytebuf.blit_into b dst ~pos:3;
+  Alcotest.(check char) "sentinel before" '\xff' (Bytes.get dst 0);
+  Alcotest.(check string) "blit contents"
+    (Bytes.to_string out)
+    (Bytes.sub_string dst 3 114);
+  Alcotest.(check char) "sentinel after" '\xff' (Bytes.get dst 117);
+  (* checksum over a range of the buffer equals checksum of the copy. *)
+  Alcotest.(check int32) "checksum range"
+    (Checksum.bytes out ~pos:50 ~len:60)
+    (Bytebuf.checksum b ~pos:50 ~len:60);
+  (* clear resets length but the buffer stays usable. *)
+  Bytebuf.clear b;
+  check_int "cleared" 0 (Bytebuf.length b);
+  Bytebuf.u32 b 7;
+  check_int "reusable" 4 (Bytebuf.length b);
+  (* Cursor seek/skip boundary behavior: consuming exactly to the end is
+     fine, one past raises. *)
+  let c = Bytebuf.Cursor.of_buf b in
+  Bytebuf.Cursor.skip c 4;
+  check_int "at end" 0 (Bytebuf.Cursor.remaining c);
+  Alcotest.check_raises "skip past end" Bytebuf.Underflow (fun () ->
+      Bytebuf.Cursor.skip c 1);
+  Bytebuf.Cursor.seek c 0;
+  check_int "seek rewinds" 4 (Bytebuf.Cursor.remaining c);
+  Alcotest.check_raises "empty window" Bytebuf.Underflow (fun () ->
+      ignore (Bytebuf.Cursor.u8 (Bytebuf.Cursor.of_bytes ~pos:2 ~len:0 out)))
+
 let intervals_list t = Intervals.to_list t
 
 let test_intervals_coalesce () =
@@ -90,6 +138,88 @@ let test_intervals_uncovered () =
   (* Fully covered: no gaps. *)
   let gaps, _ = Intervals.add_uncovered t' ~lo:10 ~len:20 in
   Alcotest.(check (list (pair int int))) "no gaps" [] gaps
+
+(* Adversarial add_uncovered sequences: duplicate, nested, adjacent and
+   overlapping ranges — the exact shapes the intra-transaction optimization
+   feeds it when set_range calls repeat and overlap. *)
+let test_intervals_uncovered_adversarial () =
+  let t = Intervals.empty in
+  let gaps, t = Intervals.add_uncovered t ~lo:10 ~len:10 in
+  Alcotest.(check (list (pair int int))) "fresh is all gap" [ (10, 10) ] gaps;
+  (* Exact duplicate: nothing new. *)
+  let gaps, t = Intervals.add_uncovered t ~lo:10 ~len:10 in
+  Alcotest.(check (list (pair int int))) "duplicate" [] gaps;
+  (* Nested strictly inside: nothing new. *)
+  let gaps, t = Intervals.add_uncovered t ~lo:13 ~len:4 in
+  Alcotest.(check (list (pair int int))) "nested" [] gaps;
+  (* Adjacent on the right: entirely new, and coalesces. *)
+  let gaps, t = Intervals.add_uncovered t ~lo:20 ~len:5 in
+  Alcotest.(check (list (pair int int))) "adjacent right" [ (20, 5) ] gaps;
+  Alcotest.(check (list (pair int int)))
+    "coalesced" [ (10, 15) ] (intervals_list t);
+  (* Adjacent on the left. *)
+  let gaps, t = Intervals.add_uncovered t ~lo:5 ~len:5 in
+  Alcotest.(check (list (pair int int))) "adjacent left" [ (5, 5) ] gaps;
+  (* Overlapping both ends of the covered block. *)
+  let gaps, t = Intervals.add_uncovered t ~lo:0 ~len:40 in
+  Alcotest.(check (list (pair int int)))
+    "overhangs both sides" [ (0, 5); (25, 15) ] gaps;
+  Alcotest.(check (list (pair int int))) "one block" [ (0, 40) ] (intervals_list t);
+  (* Spanning several disjoint blocks at once. *)
+  let t = Intervals.add t ~lo:50 ~len:10 in
+  let t = Intervals.add t ~lo:70 ~len:10 in
+  let gaps, t = Intervals.add_uncovered t ~lo:35 ~len:55 in
+  Alcotest.(check (list (pair int int)))
+    "multi-gap" [ (40, 10); (60, 10); (80, 10) ] gaps;
+  Alcotest.(check (list (pair int int))) "all merged" [ (0, 90) ] (intervals_list t);
+  (* Zero-length is a no-op with no gaps. *)
+  let gaps, t' = Intervals.add_uncovered t ~lo:1000 ~len:0 in
+  Alcotest.(check (list (pair int int))) "empty range" [] gaps;
+  Alcotest.(check (list (pair int int)))
+    "set unchanged" (intervals_list t) (intervals_list t')
+
+(* Randomized cross-check of add/add_uncovered/covers/byte_count against a
+   naive bitmap model. *)
+let test_intervals_vs_bitmap () =
+  let universe = 256 in
+  let bitmap = Array.make universe false in
+  let rng = Rng.create ~seed:2026L in
+  let t = ref Intervals.empty in
+  for _ = 1 to 500 do
+    let lo = Rng.int rng universe in
+    let len = Rng.int rng (universe - lo + 1) in
+    let gaps, t' = Intervals.add_uncovered !t ~lo ~len in
+    (* Gaps are disjoint, in-range, sorted, and exactly the uncovered bytes. *)
+    let gap_bytes = List.fold_left (fun a (_, l) -> a + l) 0 gaps in
+    let expect_gap_bytes = ref 0 in
+    for i = lo to lo + len - 1 do
+      if not bitmap.(i) then incr expect_gap_bytes
+    done;
+    check_int "gap bytes match bitmap" !expect_gap_bytes gap_bytes;
+    List.iter
+      (fun (glo, glen) ->
+        check_bool "gap inside request" true (glo >= lo && glo + glen <= lo + len);
+        for i = glo to glo + glen - 1 do
+          check_bool "gap byte was uncovered" false bitmap.(i)
+        done)
+      gaps;
+    for i = lo to lo + len - 1 do
+      bitmap.(i) <- true
+    done;
+    t := t';
+    check_int "byte_count" (Array.fold_left (fun a b -> if b then a + 1 else a) 0 bitmap)
+      (Intervals.byte_count !t)
+  done;
+  (* Final structural check: to_list intervals are disjoint, sorted, non-adjacent. *)
+  let rec well_formed = function
+    | (lo1, len1) :: ((lo2, _) :: _ as rest) ->
+      check_bool "positive" true (len1 > 0);
+      check_bool "gap between intervals" true (lo1 + len1 < lo2);
+      well_formed rest
+    | [ (_, len) ] -> check_bool "positive" true (len > 0)
+    | [] -> ()
+  in
+  well_formed (intervals_list !t)
 
 let test_intervals_covers () =
   let t = Intervals.add Intervals.empty ~lo:10 ~len:10 in
@@ -205,9 +335,12 @@ let suite =
     ("bytebuf.roundtrip", `Quick, test_bytebuf_roundtrip);
     ("bytebuf.underflow", `Quick, test_bytebuf_underflow);
     ("bytebuf.growth", `Quick, test_bytebuf_growth);
+    ("bytebuf.boundaries", `Quick, test_bytebuf_boundaries);
     ("intervals.coalesce", `Quick, test_intervals_coalesce);
     ("intervals.overlap", `Quick, test_intervals_overlap_merge);
     ("intervals.uncovered", `Quick, test_intervals_uncovered);
+    ("intervals.uncovered-adversarial", `Quick, test_intervals_uncovered_adversarial);
+    ("intervals.vs-bitmap", `Quick, test_intervals_vs_bitmap);
     ("intervals.covers", `Quick, test_intervals_covers);
     ("intervals.subsumes", `Quick, test_intervals_subsumes);
     ("intervals.intersect", `Quick, test_intervals_intersect);
