@@ -15,7 +15,10 @@ let run_table1_family ~trials ~measure =
   let data = Harness.Table1.run ~trials ~measure () in
   Harness.Table1.print_table1 data;
   Harness.Table1.print_figure8 data;
-  Harness.Table1.print_figure9 data
+  Harness.Table1.print_figure9 data;
+  let path = "BENCH_table1.json" in
+  Rvm_obs.Json.write_file ~path (Harness.Table1.to_json data);
+  Printf.printf "wrote %s\n%!" path
 
 let run_table2 () = Harness.Table2.print (Harness.Table2.run ())
 
@@ -117,17 +120,43 @@ let micro () =
     List.map (fun instance -> Analyze.all ols instance raw_results) instances
   in
   let results = Analyze.merge ols instances results in
+  let estimates = ref [] in
   print_endline "\n== Micro-benchmarks (host time per operation) ==";
   Hashtbl.iter
     (fun _ per_instance ->
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-28s %10.1f ns/op\n" name est
-          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+          | Some [ est ] ->
+            estimates := (name, Some est) :: !estimates;
+            Printf.printf "  %-28s %10.1f ns/op\n" name est
+          | Some _ | None ->
+            estimates := (name, None) :: !estimates;
+            Printf.printf "  %-28s (no estimate)\n" name)
         per_instance)
     results;
-  flush stdout
+  flush stdout;
+  let module J = Rvm_obs.Json in
+  let entries =
+    List.map
+      (fun (name, est) ->
+        J.Obj
+          [
+            ("name", J.String name);
+            ( "ns_per_op",
+              match est with None -> J.Null | Some v -> J.Float v );
+          ])
+      (List.sort compare !estimates)
+  in
+  let path = "BENCH_micro.json" in
+  J.write_file ~path
+    (J.Obj
+       [
+         ("artifact", J.String "micro");
+         ("unit", J.String "ns/op");
+         ("results", J.List entries);
+       ]);
+  Printf.printf "wrote %s\n%!" path
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in

@@ -169,6 +169,33 @@ let recover path maps =
     outcome.Rvm_core.Recovery.bytes_applied
     (List.length outcome.Rvm_core.Recovery.segments_touched)
 
+(* --- stats: observability snapshot --- *)
+
+let stats path json =
+  let obs = Rvm_obs.Registry.create () in
+  let file = File_device.open_existing ~path in
+  let dev = Rvm_disk.Stack.with_stats ~obs ~prefix:"disk.log" () file in
+  let lm =
+    match Log_manager.open_log ~obs dev with
+    | Ok lm -> lm
+    | Error e ->
+      Printf.eprintf "rvmutl: %s: %s\n" path e;
+      exit 1
+  in
+  (* Walk the live window so the disk.log.* layer accounts a full scan. *)
+  Log_manager.iter_live lm ~f:(fun ~off:_ _ -> ());
+  (* Publish the log's own state alongside the traffic counters. *)
+  let gauge name v = Rvm_obs.Counter.add (Rvm_obs.Registry.counter obs name) v in
+  gauge "log.live.records" (Log_manager.record_count lm);
+  gauge "log.live.bytes" (Log_manager.used_bytes lm);
+  gauge "log.capacity.bytes" (Log_manager.capacity lm);
+  gauge "log.truncations.total"
+    (Log_manager.status lm).Status.truncations;
+  dev.Device.close ();
+  if json then
+    print_string (Rvm_obs.Json.to_string_pretty (Rvm_obs.Registry.to_json obs))
+  else Format.printf "%a@." Rvm_obs.Registry.pp obs
+
 (* --- check: the deterministic crash-point explorer --- *)
 
 let check ops_n seed exhaustive sector incremental =
@@ -284,6 +311,20 @@ let recover_cmd =
        ~doc:"Apply the log to its external data segments and empty it.")
     Term.(const recover $ log_arg $ maps)
 
+let stats_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the snapshot as JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Open a log through the instrumented device stack and dump the \
+          observability snapshot: per-layer disk traffic, append/scan \
+          accounting and log occupancy.")
+    Term.(const stats $ log_arg $ json)
+
 let check_cmd =
   let ops =
     Arg.(
@@ -335,5 +376,5 @@ let () =
        (Cmd.group info
           [
             create_log_cmd; create_seg_cmd; status_cmd; dump_cmd; history_cmd;
-            recover_cmd; check_cmd;
+            recover_cmd; stats_cmd; check_cmd;
           ]))

@@ -12,7 +12,13 @@
 
 type t
 
-val create : ?name:string -> size:int -> unit -> t
+val create : ?name:string -> ?base:Device.t -> size:int -> unit -> t
+(** Without [base], volatile contents live in a private in-memory store.
+    With [base] (which must have exactly [size] bytes), the base device
+    holds the volatile image and its contents at create time seed the
+    durable image — and closing the crash device closes the base, so a
+    crash layer stacked over a {!File_device} releases its fd. *)
+
 val device : t -> Device.t
 
 val crash : t -> unit

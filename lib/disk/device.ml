@@ -42,3 +42,57 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "reads=%d (%d B) writes=%d (%d B) syncs=%d" s.reads s.bytes_read s.writes
     s.bytes_written s.syncs
+
+(* --- constructors ---
+
+   Every device in the tree is built by [make] (a base device over real
+   storage) or [layer] (middleware over another device). Range checking and
+   per-device stat accounting live here, once: implementations supply only
+   the transport, so no wrapper hand-rolls its own counters — and [layer]
+   forwards [close] to the base by construction, which is what keeps a
+   stacked [File_device]'s fd from leaking. *)
+
+let make ~name ~size ?(sync = fun () -> ()) ?(close = fun () -> ()) ~read
+    ~write () =
+  let stats = fresh_stats () in
+  let rec t =
+    {
+      name;
+      size;
+      read =
+        (fun ~off ~buf ~pos ~len ->
+          check_range t ~off ~len;
+          read ~off ~buf ~pos ~len;
+          stats.reads <- stats.reads + 1;
+          stats.bytes_read <- stats.bytes_read + len);
+      write =
+        (fun ~off ~buf ~pos ~len ->
+          check_range t ~off ~len;
+          write ~off ~buf ~pos ~len;
+          stats.writes <- stats.writes + 1;
+          stats.bytes_written <- stats.bytes_written + len);
+      sync =
+        (fun () ->
+          sync ();
+          stats.syncs <- stats.syncs + 1);
+      close;
+      stats;
+    }
+  in
+  t
+
+let layer ?name ?read ?write ?sync ?close base =
+  let name = Option.value name ~default:base.name in
+  let read =
+    match read with Some f -> f base | None -> base.read
+  in
+  let write =
+    match write with Some f -> f base | None -> base.write
+  in
+  let sync =
+    match sync with Some f -> fun () -> f base | None -> base.sync
+  in
+  let close =
+    match close with Some f -> fun () -> f base | None -> base.close
+  in
+  make ~name ~size:base.size ~sync ~close ~read ~write ()

@@ -40,3 +40,36 @@ val write_bytes : t -> off:int -> Bytes.t -> unit
 val write_string : t -> off:int -> string -> unit
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Constructors}
+
+    Build every device through these: range checking ([Io_error] outside
+    [0, size)) and the per-device {!stats} accounting happen here exactly
+    once, so implementations supply only the transport. *)
+
+val make :
+  name:string ->
+  size:int ->
+  ?sync:(unit -> unit) ->
+  ?close:(unit -> unit) ->
+  read:(off:int -> buf:Bytes.t -> pos:int -> len:int -> unit) ->
+  write:(off:int -> buf:Bytes.t -> pos:int -> len:int -> unit) ->
+  unit ->
+  t
+(** A base device over real storage. [sync] defaults to a no-op, [close]
+    to a no-op. *)
+
+val layer :
+  ?name:string ->
+  ?read:(t -> off:int -> buf:Bytes.t -> pos:int -> len:int -> unit) ->
+  ?write:(t -> off:int -> buf:Bytes.t -> pos:int -> len:int -> unit) ->
+  ?sync:(t -> unit) ->
+  ?close:(t -> unit) ->
+  t ->
+  t
+(** Middleware over [base]: each override receives the base device and
+    decides how (or whether) to forward; omitted operations forward
+    unchanged. The wrapper has the base's size, its own fresh {!stats},
+    and — crucially — forwards [close] to the base unless overridden, so
+    no layer can silently drop the base's teardown. [name] defaults to the
+    base's name (keeping name-keyed registries working through wrappers). *)

@@ -21,32 +21,14 @@ let wrap_unix name f =
          (Printf.sprintf "%s: %s: %s" name fn (Unix.error_message e)))
 
 let make ~path ~size fd =
-  let stats = Device.fresh_stats () in
-  let rec t =
-    {
-      Device.name = path;
-      size;
-      read =
-        (fun ~off ~buf ~pos ~len ->
-          Device.check_range t ~off ~len;
-          wrap_unix path (fun () -> really_pread fd buf pos len off);
-          stats.reads <- stats.reads + 1;
-          stats.bytes_read <- stats.bytes_read + len);
-      write =
-        (fun ~off ~buf ~pos ~len ->
-          Device.check_range t ~off ~len;
-          wrap_unix path (fun () -> really_pwrite fd buf pos len off);
-          stats.writes <- stats.writes + 1;
-          stats.bytes_written <- stats.bytes_written + len);
-      sync =
-        (fun () ->
-          wrap_unix path (fun () -> Unix.fsync fd);
-          stats.syncs <- stats.syncs + 1);
-      close = (fun () -> wrap_unix path (fun () -> Unix.close fd));
-      stats;
-    }
-  in
-  t
+  Device.make ~name:path ~size
+    ~read:(fun ~off ~buf ~pos ~len ->
+      wrap_unix path (fun () -> really_pread fd buf pos len off))
+    ~write:(fun ~off ~buf ~pos ~len ->
+      wrap_unix path (fun () -> really_pwrite fd buf pos len off))
+    ~sync:(fun () -> wrap_unix path (fun () -> Unix.fsync fd))
+    ~close:(fun () -> wrap_unix path (fun () -> Unix.close fd))
+    ()
 
 let create ?(truncate = false) ~path ~size () =
   wrap_unix path (fun () ->

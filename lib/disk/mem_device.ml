@@ -3,6 +3,14 @@
 let backing : (string, Bytes.t) Hashtbl.t = Hashtbl.create 8
 let counter = ref 0
 
+let of_data ~register ~name data =
+  if register then Hashtbl.replace backing name data;
+  Device.make ~name ~size:(Bytes.length data)
+    ~read:(fun ~off ~buf ~pos ~len -> Bytes.blit data off buf pos len)
+    ~write:(fun ~off ~buf ~pos ~len -> Bytes.blit buf pos data off len)
+    ~close:(fun () -> if register then Hashtbl.remove backing name)
+    ()
+
 let create ?name ~size () =
   incr counter;
   let name =
@@ -10,62 +18,14 @@ let create ?name ~size () =
     | Some n -> Printf.sprintf "%s#%d" n !counter
     | None -> Printf.sprintf "mem#%d" !counter
   in
-  let data = Bytes.make size '\000' in
-  Hashtbl.replace backing name data;
-  let stats = Device.fresh_stats () in
-  let rec t =
-    {
-      Device.name;
-      size;
-      read =
-        (fun ~off ~buf ~pos ~len ->
-          Device.check_range t ~off ~len;
-          Bytes.blit data off buf pos len;
-          stats.reads <- stats.reads + 1;
-          stats.bytes_read <- stats.bytes_read + len);
-      write =
-        (fun ~off ~buf ~pos ~len ->
-          Device.check_range t ~off ~len;
-          Bytes.blit buf pos data off len;
-          stats.writes <- stats.writes + 1;
-          stats.bytes_written <- stats.bytes_written + len);
-      sync = (fun () -> stats.syncs <- stats.syncs + 1);
-      close = (fun () -> Hashtbl.remove backing name);
-      stats;
-    }
-  in
-  t
+  of_data ~register:true ~name (Bytes.make size '\000')
 
 let of_bytes ?(name = "mem-image") bytes =
   (* Unregistered (no snapshot support): replayed crash images are created
      by the thousand and must not accumulate in the registry. *)
-  let data = Bytes.copy bytes in
-  let size = Bytes.length data in
-  let stats = Device.fresh_stats () in
-  let rec t =
-    {
-      Device.name;
-      size;
-      read =
-        (fun ~off ~buf ~pos ~len ->
-          Device.check_range t ~off ~len;
-          Bytes.blit data off buf pos len;
-          stats.reads <- stats.reads + 1;
-          stats.bytes_read <- stats.bytes_read + len);
-      write =
-        (fun ~off ~buf ~pos ~len ->
-          Device.check_range t ~off ~len;
-          Bytes.blit buf pos data off len;
-          stats.writes <- stats.writes + 1;
-          stats.bytes_written <- stats.bytes_written + len);
-      sync = (fun () -> stats.syncs <- stats.syncs + 1);
-      close = (fun () -> ());
-      stats;
-    }
-  in
-  t
+  of_data ~register:false ~name (Bytes.copy bytes)
 
 let snapshot (d : Device.t) =
-  match Hashtbl.find_opt backing d.name with
+  match Hashtbl.find_opt backing d.Device.name with
   | Some data -> Bytes.copy data
   | None -> invalid_arg "Mem_device.snapshot: not a memory device"

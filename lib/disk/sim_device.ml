@@ -2,7 +2,6 @@ module Clock = Rvm_util.Clock
 module Cost_model = Rvm_util.Cost_model
 
 type t = {
-  base : Device.t;
   clock : Clock.t;
   disk : Cost_model.disk;
   seek_fraction : float;
@@ -15,7 +14,7 @@ type t = {
   mutable background : bool;
   mutable ios : int;
   mutable busy : float;
-  dev : Device.t;
+  mutable dev : Device.t;
 }
 
 let charge t us =
@@ -38,11 +37,12 @@ let sweep_extents t =
   in
   runs [] 0 0 sectors
 
+(* A latency-charging combinator instance over [base]: forwards every
+   operation, then charges the simulated clock what a 1993 disk would
+   take. Stats and close-forwarding come from [Device.layer]. *)
 let create ?(seek_fraction = 1.0) ?(sector = 1) ~base ~clock ~disk () =
-  let stats = Device.fresh_stats () in
-  let rec t =
+  let t =
     {
-      base;
       clock;
       disk;
       seek_fraction;
@@ -51,46 +51,36 @@ let create ?(seek_fraction = 1.0) ?(sector = 1) ~base ~clock ~disk () =
       background = false;
       ios = 0;
       busy = 0.;
-      dev =
-        {
-          Device.name = base.Device.name ^ "+sim";
-          size = base.Device.size;
-          read =
-            (fun ~off ~buf ~pos ~len ->
-              base.Device.read ~off ~buf ~pos ~len;
-              t.ios <- t.ios + 1;
-              charge t
-                (Cost_model.disk_service_us t.disk
-                   ~seek_fraction:t.seek_fraction ~bytes:len ());
-              stats.reads <- stats.reads + 1;
-              stats.bytes_read <- stats.bytes_read + len);
-          write =
-            (fun ~off ~buf ~pos ~len ->
-              base.Device.write ~off ~buf ~pos ~len;
-              if len > 0 then
-                for s = off / t.sector to (off + len - 1) / t.sector do
-                  Hashtbl.replace t.dirty s ()
-                done;
-              stats.writes <- stats.writes + 1;
-              stats.bytes_written <- stats.bytes_written + len);
-          sync =
-            (fun () ->
-              base.Device.sync ();
-              List.iter
-                (fun (_, slen) ->
-                  t.ios <- t.ios + 1;
-                  charge t
-                    (Cost_model.disk_service_us t.disk
-                       ~seek_fraction:t.seek_fraction
-                       ~bytes:(slen * t.sector) ()))
-                (sweep_extents t);
-              Hashtbl.reset t.dirty;
-              stats.syncs <- stats.syncs + 1);
-          close = (fun () -> base.Device.close ());
-          stats;
-        };
+      dev = base;
     }
   in
+  t.dev <-
+    Device.layer
+      ~name:(base.Device.name ^ "+sim")
+      ~read:(fun b ~off ~buf ~pos ~len ->
+        b.Device.read ~off ~buf ~pos ~len;
+        t.ios <- t.ios + 1;
+        charge t
+          (Cost_model.disk_service_us t.disk ~seek_fraction:t.seek_fraction
+             ~bytes:len ()))
+      ~write:(fun b ~off ~buf ~pos ~len ->
+        b.Device.write ~off ~buf ~pos ~len;
+        if len > 0 then
+          for s = off / t.sector to (off + len - 1) / t.sector do
+            Hashtbl.replace t.dirty s ()
+          done)
+      ~sync:(fun b ->
+        b.Device.sync ();
+        List.iter
+          (fun (_, slen) ->
+            t.ios <- t.ios + 1;
+            charge t
+              (Cost_model.disk_service_us t.disk
+                 ~seek_fraction:t.seek_fraction
+                 ~bytes:(slen * t.sector) ()))
+          (sweep_extents t);
+        Hashtbl.reset t.dirty)
+      base;
   t
 
 let device t = t.dev

@@ -29,35 +29,24 @@ let record r ev =
   | Write _ -> r.writes <- r.writes + 1
   | Sync -> r.syncs <- r.syncs + 1
 
+(* A thin combinator instance: only write and sync are intercepted (to
+   record the event before it reaches the base); reads, close and stat
+   accounting come from [Device.layer]. *)
 let wrap recorder (inner : Device.t) =
   let id = recorder.next_id in
   recorder.next_id <- id + 1;
   let initial = Device.read_bytes inner ~off:0 ~len:inner.Device.size in
-  let stats = Device.fresh_stats () in
   let dev =
-    {
-      Device.name = inner.Device.name ^ ":trace";
-      size = inner.Device.size;
-      read =
-        (fun ~off ~buf ~pos ~len ->
-          inner.Device.read ~off ~buf ~pos ~len;
-          stats.reads <- stats.reads + 1;
-          stats.bytes_read <- stats.bytes_read + len);
-      write =
-        (fun ~off ~buf ~pos ~len ->
-          record recorder
-            { dev_id = id; kind = Write { off; data = Bytes.sub buf pos len } };
-          inner.Device.write ~off ~buf ~pos ~len;
-          stats.writes <- stats.writes + 1;
-          stats.bytes_written <- stats.bytes_written + len);
-      sync =
-        (fun () ->
-          record recorder { dev_id = id; kind = Sync };
-          inner.Device.sync ();
-          stats.syncs <- stats.syncs + 1);
-      close = (fun () -> inner.Device.close ());
-      stats;
-    }
+    Device.layer
+      ~name:(inner.Device.name ^ ":trace")
+      ~write:(fun base ~off ~buf ~pos ~len ->
+        record recorder
+          { dev_id = id; kind = Write { off; data = Bytes.sub buf pos len } };
+        base.Device.write ~off ~buf ~pos ~len)
+      ~sync:(fun base ->
+        record recorder { dev_id = id; kind = Sync };
+        base.Device.sync ())
+      inner
   in
   { recorder; id; initial; dev }
 

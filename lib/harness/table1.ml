@@ -154,6 +154,44 @@ let print_figure8 data =
       ("Camelot localized", series_of data ~metric:tps ~engine:Experiment.Camelot ~pattern:Tpca.Localized);
     ]
 
+let to_json data =
+  let module J = Rvm_obs.Json in
+  let stats_json (s : Stats.t) =
+    J.Obj
+      [
+        ("mean", J.Float (Stats.mean s));
+        ("stddev", J.Float (Stats.stddev s));
+        ("min", J.Float (Stats.min s));
+        ("max", J.Float (Stats.max s));
+        ("trials", J.Int (Stats.count s));
+      ]
+  in
+  let cell_json ((engine, pattern), c) =
+    J.Obj
+      [
+        ("engine", J.String (Experiment.engine_name engine));
+        ("pattern", J.String (Tpca.pattern_name pattern));
+        ("tps", stats_json c.tps);
+        ("cpu_ms_per_txn", stats_json c.cpu);
+        ( "paper_tps",
+          match c.paper_tps with None -> J.Null | Some v -> J.Float v );
+      ]
+  in
+  let row_json row =
+    J.Obj
+      [
+        ("accounts", J.Int row.accounts);
+        ("rmem_pmem_pct", J.Float row.ratio_pct);
+        ("cells", J.List (List.map cell_json row.cells));
+      ]
+  in
+  J.Obj
+    [
+      ("artifact", J.String "table1");
+      ("unit", J.String "transactions/s");
+      ("rows", J.List (List.map row_json data));
+    ]
+
 let print_figure9 data =
   let cpu c = Stats.mean c.cpu in
   Report.series

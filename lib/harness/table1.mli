@@ -29,6 +29,10 @@ val run :
   unit ->
   data
 
+val to_json : data -> Rvm_obs.Json.t
+(** Machine-readable form of the whole grid (each cell carries measured
+    mean/stddev and the paper's value), for [BENCH_table1.json]. *)
+
 val print_table1 : data -> unit
 val print_figure8 : data -> unit
 (** Throughput series: (a) sequential + random, (b) localized. *)

@@ -13,7 +13,15 @@ type t = {
   mutable next_seqno : int;
   mutable used : int;  (* live bytes (records + wrap filler) *)
   mutable records : int;  (* live record count *)
+  obs : Rvm_obs.Registry.t;
+  (* Pre-resolved handles: appends and forces are the hot path. *)
+  c_appends : Rvm_obs.Counter.t;
+  c_append_bytes : Rvm_obs.Counter.t;
+  c_truncations : Rvm_obs.Counter.t;
+  h_append_bytes : Rvm_obs.Histogram.t;
 }
+
+let obs t = t.obs
 
 let device t = t.dev
 let status t = t.status
@@ -82,7 +90,7 @@ let scan area (st : Status.t) ~f =
   in
   go st.Status.head st.Status.head_seqno 0 0
 
-let open_log dev =
+let open_log ?obs dev =
   match Status.read dev with
   | Error _ as e -> e
   | Ok st ->
@@ -95,7 +103,23 @@ let open_log dev =
       let tail, next_seqno, used, records =
         scan area st ~f:(fun ~off:_ _ -> ())
       in
-      Ok { dev; status = st; tail; next_seqno; used; records }
+      let obs =
+        match obs with Some o -> o | None -> Rvm_obs.Registry.create ()
+      in
+      Ok
+        {
+          dev;
+          status = st;
+          tail;
+          next_seqno;
+          used;
+          records;
+          obs;
+          c_appends = Rvm_obs.Registry.counter obs "log.append.records";
+          c_append_bytes = Rvm_obs.Registry.counter obs "log.append.bytes";
+          c_truncations = Rvm_obs.Registry.counter obs "log.truncations";
+          h_append_bytes = Rvm_obs.Registry.histogram obs "log.append.bytes.hist";
+        }
     end
 
 let append_record t record =
@@ -140,12 +164,16 @@ let append_record t record =
   t.used <- t.used + size;
   t.next_seqno <- t.next_seqno + 1;
   t.records <- t.records + 1;
+  Rvm_obs.Counter.incr t.c_appends;
+  Rvm_obs.Counter.add t.c_append_bytes size;
+  Rvm_obs.Histogram.observe t.h_append_bytes (float_of_int size);
   (off, seqno)
 
 let append t ~tid ?timestamp_us ?flags ranges =
   append_record t (Record.commit ~seqno:0 ~tid ?timestamp_us ?flags ranges)
 
-let force t = t.dev.Device.sync ()
+let force t =
+  Rvm_obs.Registry.span t.obs "log.force" (fun () -> t.dev.Device.sync ())
 
 let iter_live t ~f =
   let area = read_live t in
@@ -200,6 +228,7 @@ let move_head t ~new_head ~new_head_seqno =
     }
   in
   Status.write t.dev status;
-  t.status <- status
+  t.status <- status;
+  Rvm_obs.Counter.incr t.c_truncations
 
 let reset_empty t = move_head t ~new_head:t.tail ~new_head_seqno:t.next_seqno

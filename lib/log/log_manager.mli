@@ -21,8 +21,15 @@ val format : Rvm_disk.Device.t -> unit
 (** Initialize a device as an empty log (writes and syncs the status
     block). Raises [Invalid_argument] if the device is too small. *)
 
-val open_log : Rvm_disk.Device.t -> (t, string) result
-(** Open a formatted log, scanning to locate the tail. *)
+val open_log :
+  ?obs:Rvm_obs.Registry.t -> Rvm_disk.Device.t -> (t, string) result
+(** Open a formatted log, scanning to locate the tail. With [obs], appends
+    publish [log.append.records] / [log.append.bytes] (plus the
+    [log.append.bytes.hist] size histogram), {!force} runs under a
+    [log.force] span and {!move_head} bumps [log.truncations]. Without it a
+    private registry is created (reachable via {!obs}). *)
+
+val obs : t -> Rvm_obs.Registry.t
 
 val device : t -> Rvm_disk.Device.t
 val status : t -> Status.t

@@ -1,0 +1,8 @@
+type t = { name : string; mutable value : int }
+
+let v name = { name; value = 0 }
+let name t = t.name
+let incr t = t.value <- t.value + 1
+let add t n = t.value <- t.value + n
+let get t = t.value
+let reset t = t.value <- 0

@@ -1,0 +1,14 @@
+(** A named monotonic counter. Obtain instances through
+    {!Registry.counter} so snapshots and resets see them; the handle itself
+    is a plain mutable cell, cheap enough for per-I/O hot paths. *)
+
+type t
+
+val v : string -> t
+(** A free-standing counter (not attached to any registry). *)
+
+val name : t -> string
+val incr : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val reset : t -> unit

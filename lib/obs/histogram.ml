@@ -1,0 +1,81 @@
+let bucket_count = 64
+
+type t = {
+  name : string;
+  mutable count : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+  buckets : int array;
+}
+
+let v name =
+  {
+    name;
+    count = 0;
+    sum = 0.;
+    mn = infinity;
+    mx = neg_infinity;
+    buckets = Array.make bucket_count 0;
+  }
+
+let name t = t.name
+
+let bucket_index v =
+  if v <= 1. then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log2 v)) in
+    (* Guard the exact-power-of-two rounding edge: ceil(log2 v) can come out
+       one low when v is a hair above a representable power. *)
+    let i = if Float.of_int i < Float.log2 v then i + 1 else i in
+    if i < 0 then 0 else if i >= bucket_count then bucket_count - 1 else i
+
+let upper_bound i = Float.pow 2. (Float.of_int i)
+
+let observe t v =
+  let v = if v < 0. then 0. else v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.mn then t.mn <- v;
+  if v > t.mx then t.mx <- v;
+  let i = bucket_index v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let min_value t = t.mn
+let max_value t = t.mx
+
+let quantile t q =
+  if t.count = 0 then 0.
+  else begin
+    let target = Float.max 1. (q *. float_of_int t.count) in
+    let acc = ref 0 in
+    let result = ref (upper_bound (bucket_count - 1)) in
+    (try
+       for i = 0 to bucket_count - 1 do
+         acc := !acc + t.buckets.(i);
+         if float_of_int !acc >= target then begin
+           result := upper_bound i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* Never report a quantile beyond the observed maximum. *)
+    Float.min !result t.mx
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (upper_bound i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let reset t =
+  t.count <- 0;
+  t.sum <- 0.;
+  t.mn <- infinity;
+  t.mx <- neg_infinity;
+  Array.fill t.buckets 0 bucket_count 0

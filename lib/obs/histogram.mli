@@ -1,0 +1,30 @@
+(** Power-of-two-bucketed histogram for latencies and sizes.
+
+    Observations are non-negative floats (microseconds, bytes, ...).
+    Bucket [i] counts observations in [(2^(i-1), 2^i]] (bucket 0 covers
+    [[0, 1]]), which keeps the memory footprint constant and the relative
+    quantile error under 2x — plenty for attributing cost to layers. Exact
+    count / sum / min / max are tracked alongside. *)
+
+type t
+
+val v : string -> t
+val name : t -> string
+val observe : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+(** [neg_infinity] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] (0 <= q <= 1): upper bound of the bucket where the
+    cumulative count reaches [q]; 0 when empty. *)
+
+val buckets : t -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)], ascending. *)
+
+val reset : t -> unit

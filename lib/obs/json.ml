@@ -1,0 +1,88 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    (* Shortest representation that round-trips is overkill here; %.12g is
+       compact and JSON-valid for every finite double. *)
+    Printf.sprintf "%.12g" f
+
+let rec emit ~indent ~level buf t =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep () = Buffer.add_string buf (if indent then ",\n" else ",") in
+  match t with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_string buf (if indent then "[\n" else "[");
+    List.iteri
+      (fun i item ->
+        if i > 0 then sep ();
+        pad (level + 1);
+        emit ~indent ~level:(level + 1) buf item)
+      items;
+    if indent then Buffer.add_char buf '\n';
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj members ->
+    Buffer.add_string buf (if indent then "{\n" else "{");
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then sep ();
+        pad (level + 1);
+        escape buf k;
+        Buffer.add_string buf (if indent then ": " else ":");
+        emit ~indent ~level:(level + 1) buf v)
+      members;
+    if indent then Buffer.add_char buf '\n';
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  emit ~indent:false ~level:0 buf t;
+  Buffer.contents buf
+
+let to_string_pretty t =
+  let buf = Buffer.create 256 in
+  emit ~indent:true ~level:0 buf t;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let write_file ~path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string_pretty t));
+  Sys.rename tmp path

@@ -1,0 +1,24 @@
+(** Minimal JSON tree and printer.
+
+    Just enough JSON to emit machine-readable metrics snapshots and bench
+    results ([BENCH_*.json]) without an external dependency. Object member
+    order is preserved as given, so emission is deterministic and diffable
+    across runs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, trailing newline. *)
+
+val write_file : path:string -> t -> unit
+(** Write the pretty rendering atomically-ish (temp file + rename). *)

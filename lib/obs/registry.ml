@@ -1,0 +1,158 @@
+type span_event = { scope : string; start_us : float; dur_us : float }
+
+type t = {
+  counters : (string, Counter.t) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  mutable now_us : unit -> float;
+  mutable trace : span_event list;  (* newest first *)
+  mutable trace_len : int;
+  mutable trace_cap : int;
+}
+
+let default_now () = Unix.gettimeofday () *. 1e6
+
+let create ?(trace_capacity = 0) () =
+  {
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 16;
+    now_us = default_now;
+    trace = [];
+    trace_len = 0;
+    trace_cap = trace_capacity;
+  }
+
+let set_time_source t f = t.now_us <- f
+let set_trace_capacity t n = t.trace_cap <- n
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = Counter.v name in
+    Hashtbl.add t.counters name c;
+    c
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.v name in
+    Hashtbl.add t.histograms name h;
+    h
+
+let push_event t ev =
+  t.trace <- ev :: t.trace;
+  t.trace_len <- t.trace_len + 1;
+  if t.trace_len > t.trace_cap then begin
+    (* Drop the oldest. Trimming the list tail is O(n); cap overruns are
+       amortized by halving: keep the newest [cap] events. *)
+    let rec take n = function
+      | x :: rest when n > 0 -> x :: take (n - 1) rest
+      | _ -> []
+    in
+    t.trace <- take t.trace_cap t.trace;
+    t.trace_len <- t.trace_cap
+  end
+
+let span t name f =
+  let c = counter t (name ^ ".count") in
+  let h = histogram t (name ^ ".us") in
+  let start = t.now_us () in
+  let finish () =
+    let dur = t.now_us () -. start in
+    Counter.incr c;
+    Histogram.observe h dur;
+    if t.trace_cap > 0 then
+      push_event t { scope = name; start_us = start; dur_us = dur }
+  in
+  match f () with
+  | x ->
+    finish ();
+    x
+  | exception e ->
+    finish ();
+    raise e
+
+let events t = List.rev t.trace
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t =
+  List.map (fun (k, c) -> (k, Counter.get c)) (sorted_bindings t.counters)
+
+let histograms t = sorted_bindings t.histograms
+
+let reset t =
+  Hashtbl.iter (fun _ c -> Counter.reset c) t.counters;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms;
+  t.trace <- [];
+  t.trace_len <- 0
+
+let histogram_json h =
+  let open Json in
+  Obj
+    [
+      ("count", Int (Histogram.count h));
+      ("sum", Float (Histogram.sum h));
+      ("mean", Float (Histogram.mean h));
+      ( "min",
+        if Histogram.count h = 0 then Null else Float (Histogram.min_value h) );
+      ( "max",
+        if Histogram.count h = 0 then Null else Float (Histogram.max_value h) );
+      ("p50", Float (Histogram.quantile h 0.5));
+      ("p99", Float (Histogram.quantile h 0.99));
+    ]
+
+let to_json t =
+  let open Json in
+  let members =
+    [
+      ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) (counters t)));
+      ( "histograms",
+        Obj (List.map (fun (k, h) -> (k, histogram_json h)) (histograms t)) );
+    ]
+  in
+  let members =
+    match events t with
+    | [] -> members
+    | evs ->
+      members
+      @ [
+          ( "spans",
+            List
+              (List.map
+                 (fun ev ->
+                   Obj
+                     [
+                       ("scope", String ev.scope);
+                       ("start_us", Float ev.start_us);
+                       ("dur_us", Float ev.dur_us);
+                     ])
+                 evs) );
+        ]
+  in
+  Obj members
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  let cs = counters t in
+  if cs <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %-40s %d@," k v) cs
+  end;
+  let hs = List.filter (fun (_, h) -> Histogram.count h > 0) (histograms t) in
+  if hs <> [] then begin
+    Format.fprintf ppf "histograms:@,";
+    List.iter
+      (fun (k, h) ->
+        Format.fprintf ppf
+          "  %-40s n=%d mean=%.1f min=%.1f max=%.1f p50=%.1f p99=%.1f@," k
+          (Histogram.count h) (Histogram.mean h) (Histogram.min_value h)
+          (Histogram.max_value h) (Histogram.quantile h 0.5)
+          (Histogram.quantile h 0.99))
+      hs
+  end;
+  if cs = [] && hs = [] then Format.fprintf ppf "(empty)@,";
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** The observability spine: one registry per engine instance.
+
+    A registry is a get-or-create namespace of {!Counter}s and
+    {!Histogram}s plus a span tracer. Every layer — device, log, engine,
+    harness — reports through the registry it is handed, so a single
+    snapshot attributes cost across the whole stack.
+
+    {2 Naming scheme}
+
+    Dot-separated, layer first: [disk.log.writes], [log.bytes_logged],
+    [txn.committed], [truncation.epoch.count]. A span named [s] owns the
+    counter [s ^ ".count"] and the histogram [s ^ ".us"]; spans the engine
+    emits are [log.force], [truncation.epoch],
+    [truncation.incremental.step], [commit.no_flush], [segment.sync] and
+    [recovery]. *)
+
+type t
+
+type span_event = { scope : string; start_us : float; dur_us : float }
+
+val create : ?trace_capacity:int -> unit -> t
+(** [trace_capacity] (default 0 = tracing off) bounds the retained span
+    events; older events are dropped first. *)
+
+val set_time_source : t -> (unit -> float) -> unit
+(** Replace the wall clock (microseconds) used to time spans — e.g. with a
+    simulated {!Rvm_util.Clock}, so span histograms report simulated
+    rather than host time. *)
+
+val counter : t -> string -> Counter.t
+val histogram : t -> string -> Histogram.t
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span: bumps [name ^ ".count"], records
+    the duration in [name ^ ".us"], and appends a {!span_event} when
+    tracing is on. Exceptions propagate; the span still closes. *)
+
+val set_trace_capacity : t -> int -> unit
+val events : t -> span_event list
+(** Retained span events, oldest first. *)
+
+val counters : t -> (string * int) list
+(** Name-sorted. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** Name-sorted. *)
+
+val reset : t -> unit
+(** Zero every counter and histogram and drop retained events. Handles
+    stay valid. *)
+
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

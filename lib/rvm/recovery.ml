@@ -16,7 +16,7 @@ type outcome = {
 
 type seg_state = { seg : Segment.t; mutable covered : Intervals.t }
 
-let apply_live ?before_seqno ~resolve ~clock ~model log =
+let apply_live ?obs ?before_seqno ~resolve ~clock ~model log =
   let states : (int, seg_state) Hashtbl.t = Hashtbl.create 8 in
   let state_of seg_id =
     match Hashtbl.find_opt states seg_id with
@@ -57,7 +57,13 @@ let apply_live ?before_seqno ~resolve ~clock ~model log =
   let touched = Hashtbl.fold (fun _ s acc -> s.seg :: acc) states [] in
   (* Segment sync before the caller moves the head: the write ordering that
      makes head movement safe. *)
-  List.iter Segment.sync touched;
+  let sync_one seg =
+    match obs with
+    | Some reg ->
+      Rvm_obs.Registry.span reg "segment.sync" (fun () -> Segment.sync seg)
+    | None -> Segment.sync seg
+  in
+  List.iter sync_one touched;
   L.debug (fun m ->
       m "applied %d records, %d bytes, %d segments" !records_seen
         !bytes_applied (List.length touched));
@@ -67,7 +73,7 @@ let apply_live ?before_seqno ~resolve ~clock ~model log =
     segments_touched = touched;
   }
 
-let recover ~resolve ~clock ~model log =
-  let outcome = apply_live ~resolve ~clock ~model log in
+let recover ?obs ~resolve ~clock ~model log =
+  let outcome = apply_live ?obs ~resolve ~clock ~model log in
   Log_manager.reset_empty log;
   outcome

@@ -22,6 +22,7 @@ type outcome = {
 }
 
 val apply_live :
+  ?obs:Rvm_obs.Registry.t ->
   ?before_seqno:int ->
   resolve:(int -> Segment.t) ->
   clock:Rvm_util.Clock.t ->
@@ -35,6 +36,7 @@ val apply_live :
     smaller sequence number (the frozen epoch of a truncation). *)
 
 val recover :
+  ?obs:Rvm_obs.Registry.t ->
   resolve:(int -> Segment.t) ->
   clock:Rvm_util.Clock.t ->
   model:Rvm_util.Cost_model.t ->

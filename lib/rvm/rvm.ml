@@ -1,4 +1,5 @@
 module Device = Rvm_disk.Device
+module Stack = Rvm_disk.Stack
 module Log_manager = Rvm_log.Log_manager
 module Record = Rvm_log.Record
 module Intervals = Rvm_util.Intervals
@@ -7,6 +8,9 @@ module Cost_model = Rvm_util.Cost_model
 module Page = Rvm_vm.Page
 module Page_table = Rvm_vm.Page_table
 module Vm_sim = Rvm_vm.Vm_sim
+module Registry = Rvm_obs.Registry
+module C = Rvm_obs.Counter
+module Lv = Statistics.Live
 
 let src = Logs.Src.create "rvm" ~doc:"RVM engine"
 
@@ -50,7 +54,8 @@ type t = {
   mutable spool_bytes : int;
   queue : descriptor Queue.t;
   queued : (int * int, unit) Hashtbl.t;  (* (vaddr, page) in queue *)
-  stats : Statistics.t;
+  obs : Registry.t;
+  live : Lv.live;
   mutable terminated : bool;
   mutable in_truncation : bool;
 }
@@ -151,30 +156,30 @@ let note_logged_ranges t ~log_off ~seqno ranges =
    external data segments using the recovery scanner, then move the head
    past it. *)
 let epoch_truncate t =
-  if not (Log_manager.is_empty t.log) then begin
-    t.in_truncation <- true;
-    let freeze_tail = Log_manager.tail t.log in
-    let freeze_seqno = Log_manager.next_seqno t.log in
-    let _outcome =
-      Recovery.apply_live ~before_seqno:freeze_seqno ~resolve:(fun id ->
-          segment t id)
-        ~clock:t.clock ~model:t.model t.log
-    in
-    Log_manager.move_head t.log ~new_head:freeze_tail
-      ~new_head_seqno:freeze_seqno;
-    (* Every queued page belongs to the reclaimed epoch now. *)
-    Queue.clear t.queue;
-    Hashtbl.reset t.queued;
-    List.iter
-      (fun (r : Region.t) ->
+  if not (Log_manager.is_empty t.log) then
+    (* The span bumps [truncation.epoch.count] — the same counter behind
+       [Statistics.epoch_truncations]. *)
+    Registry.span t.obs "truncation.epoch" (fun () ->
+        t.in_truncation <- true;
+        let freeze_tail = Log_manager.tail t.log in
+        let freeze_seqno = Log_manager.next_seqno t.log in
+        let _outcome =
+          Recovery.apply_live ~obs:t.obs ~before_seqno:freeze_seqno
+            ~resolve:(fun id -> segment t id)
+            ~clock:t.clock ~model:t.model t.log
+        in
+        Log_manager.move_head t.log ~new_head:freeze_tail
+          ~new_head_seqno:freeze_seqno;
+        (* Every queued page belongs to the reclaimed epoch now. *)
+        Queue.clear t.queue;
+        Hashtbl.reset t.queued;
         List.iter
-          (fun p -> Page_table.set_dirty r.Region.pages p false)
-          (Page_table.dirty_pages r.Region.pages))
-      (Addr_space.regions t.space);
-    t.stats.Statistics.epoch_truncations <-
-      t.stats.Statistics.epoch_truncations + 1;
-    t.in_truncation <- false
-  end
+          (fun (r : Region.t) ->
+            List.iter
+              (fun p -> Page_table.set_dirty r.Region.pages p false)
+              (Page_table.dirty_pages r.Region.pages))
+          (Addr_space.regions t.space);
+        t.in_truncation <- false)
 
 let append_with_retry t record =
   let rec go retried =
@@ -199,7 +204,7 @@ let write_commit_record t ~txn_tid ~timestamp_us ~flags ~ranges ~pages =
   let size = Record.encoded_size record in
   let off, seqno = append_with_retry t record in
   cpu t (t.model.Cost_model.log_record_us +. checksum_cost t size);
-  t.stats.Statistics.bytes_logged <- t.stats.Statistics.bytes_logged + size;
+  C.add t.live.Lv.bytes_logged size;
   note_logged_ranges t ~log_off:off ~seqno ranges;
   release_page_refs pages;
   size
@@ -217,15 +222,17 @@ let drain_spool t =
     entries
 
 let force_log t =
+  (* [Log_manager.force] runs under a [log.force] span on the shared
+     registry, which bumps [log.force.count] — the counter behind
+     [Statistics.forces]. No separate increment here. *)
   Log_manager.force t.log;
-  cpu t t.model.Cost_model.syscall_us;
-  t.stats.Statistics.forces <- t.stats.Statistics.forces + 1
+  cpu t t.model.Cost_model.syscall_us
 
 let flush t =
   check_live t;
   drain_spool t;
   force_log t;
-  t.stats.Statistics.flushes <- t.stats.Statistics.flushes + 1
+  C.incr t.live.Lv.flushes
 
 (* --- incremental truncation (Figure 7) --- *)
 
@@ -254,16 +261,17 @@ let incremental_step t =
     if not d.d_region.Region.mapped then `Blocked
     else if Page_table.uncommitted pages d.d_page > 0 then `Blocked
     else if not (Page_table.reserve pages d.d_page) then `Blocked
-    else begin
-      ignore (Queue.pop t.queue);
-      Hashtbl.remove t.queued (d.d_region.Region.vaddr, d.d_page);
-      seg_write_page t d.d_region d.d_page;
-      Page_table.set_dirty pages d.d_page false;
-      Page_table.release pages d.d_page;
-      t.stats.Statistics.incremental_steps <-
-        t.stats.Statistics.incremental_steps + 1;
-      `Wrote d.d_region.Region.seg
-    end
+    else
+      (* Span only around an actual page write-out ([`Wrote]); blocked and
+         empty probes are not steps. Bumps
+         [truncation.incremental.step.count]. *)
+      Registry.span t.obs "truncation.incremental.step" (fun () ->
+          ignore (Queue.pop t.queue);
+          Hashtbl.remove t.queued (d.d_region.Region.vaddr, d.d_page);
+          seg_write_page t d.d_region d.d_page;
+          Page_table.set_dirty pages d.d_page false;
+          Page_table.release pages d.d_page;
+          `Wrote d.d_region.Region.seg)
 
 (* Run incremental steps until the log drops below [target] occupancy or
    the queue head is blocked. *)
@@ -283,14 +291,16 @@ let incremental_truncate t ~target =
            if the queue drained). *)
         run blocked
       | `Blocked ->
-        t.stats.Statistics.incremental_blocked <-
-          t.stats.Statistics.incremental_blocked + 1;
+        C.incr t.live.Lv.incremental_blocked;
         true
       | `Empty -> blocked
   in
   let blocked = run false in
   if Hashtbl.length touched > 0 || Queue.is_empty t.queue then begin
-    Hashtbl.iter (fun _ seg -> Segment.sync seg) touched;
+    Hashtbl.iter
+      (fun _ seg ->
+        Registry.span t.obs "segment.sync" (fun () -> Segment.sync seg))
+      touched;
     match Queue.peek_opt t.queue with
     | Some d ->
       if d.d_log_off <> Log_manager.head t.log then
@@ -344,10 +354,18 @@ let truncate t =
 let create_log dev = Log_manager.format dev
 
 let initialize ?(options = Options.default) ?(clock = Clock.null)
-    ?(model = Cost_model.dec5000) ?vm ~log ~resolve () =
+    ?(model = Cost_model.dec5000) ?obs ?vm ~log ~resolve () =
   Options.validate options;
+  let obs = match obs with Some o -> o | None -> Registry.create () in
+  (* Span durations follow the simulated clock when there is one, so traces
+     report simulated microseconds consistently with the cost model. *)
+  if not (Clock.is_null clock) then
+    Registry.set_time_source obs (fun () -> Clock.now_us clock);
+  (* Per-layer disk accounting at the engine's edges of the stack. *)
+  let log = Stack.with_stats ~obs ~prefix:"disk.log" () log in
+  let resolve id = Stack.with_stats ~obs ~prefix:"disk.seg" () (resolve id) in
   let lm =
-    match Log_manager.open_log log with
+    match Log_manager.open_log ~obs log with
     | Ok lm -> lm
     | Error e -> Types.error "initialize: %s" e
   in
@@ -367,22 +385,24 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
       spool_bytes = 0;
       queue = Queue.create ();
       queued = Hashtbl.create 64;
-      stats = Statistics.create ();
+      obs;
+      live = Lv.create obs;
       terminated = false;
       in_truncation = false;
     }
   in
   (* Crash recovery before anything is mapped: mapped data must be the
-     committed image. *)
-  if not (Log_manager.is_empty lm) then begin
-    let outcome =
-      Recovery.recover ~resolve:(fun id -> segment t id) ~clock ~model lm
-    in
-    t.stats.Statistics.recoveries <- 1;
-    L.info (fun m ->
-        m "recovery applied %d records (%d bytes)" outcome.Recovery.records_seen
-          outcome.Recovery.bytes_applied)
-  end;
+     committed image. The span bumps [recovery.count] — the counter behind
+     [Statistics.recoveries]. *)
+  if not (Log_manager.is_empty lm) then
+    Registry.span t.obs "recovery" (fun () ->
+        let outcome =
+          Recovery.recover ~obs ~resolve:(fun id -> segment t id) ~clock
+            ~model lm
+        in
+        L.info (fun m ->
+            m "recovery applied %d records (%d bytes)"
+              outcome.Recovery.records_seen outcome.Recovery.bytes_applied));
   t
 
 let reinitialize ?options ~log ~resolve () =
@@ -476,7 +496,7 @@ let set_range t tid ~addr ~len =
   check_live t;
   if len < 0 then Types.error "set_range: negative length";
   let txn = find_txn t tid in
-  t.stats.Statistics.set_ranges <- t.stats.Statistics.set_ranges + 1;
+  C.incr t.live.Lv.set_ranges;
   cpu t t.model.Cost_model.set_range_call_us;
   if len > 0 then begin
     let region = Addr_space.find t.space ~addr ~len in
@@ -619,8 +639,7 @@ let end_transaction t tid ~mode =
     | Types.No_restore -> Record.Flags.no_restore
     | Types.Restore -> 0
   in
-  t.stats.Statistics.intra_saved <-
-    t.stats.Statistics.intra_saved + (naive_bytes - logged_bytes);
+  C.add t.live.Lv.intra_saved (naive_bytes - logged_bytes);
   (match ranges with
   | [] ->
     (* Nothing modified: no record at all. *)
@@ -635,53 +654,53 @@ let end_transaction t tid ~mode =
            ~ranges ~pages);
       force_log t
     | Types.No_flush ->
-      let entry =
-        {
-          sp_tid = tid;
-          sp_timestamp_us = now_us t;
-          sp_flags = flags;
-          sp_ranges = ranges;
-          sp_covered = merge_covered (covered_by_seg txn);
-          sp_pages = pages;
-          sp_size =
-            Record.encoded_size
-              (Record.commit ~seqno:0 ~tid ~flags ranges);
-        }
-      in
-      (* Inter-transaction optimization (section 5.2): a no-flush commit
-         whose modifications subsume an earlier unflushed transaction's
-         makes the older spooled records redundant — recovery applies
-         newest-first. *)
-      if t.opts.Options.inter_optimization then begin
-        let kept, dropped =
-          List.partition
-            (fun old ->
-              not (subsumes_entry ~newer:entry.sp_covered ~older:old.sp_covered))
-            t.spool
-        in
-        List.iter
-          (fun old ->
-            t.spool_bytes <- t.spool_bytes - old.sp_size;
-            t.stats.Statistics.inter_saved <-
-              t.stats.Statistics.inter_saved + old.sp_size;
-            t.stats.Statistics.records_dropped <-
-              t.stats.Statistics.records_dropped + 1;
-            release_page_refs old.sp_pages)
-          dropped;
-        t.spool <- kept
-      end;
-      t.spool <- entry :: t.spool;
-      t.spool_bytes <- t.spool_bytes + entry.sp_size;
-      t.stats.Statistics.bytes_spooled <-
-        t.stats.Statistics.bytes_spooled + entry.sp_size;
-      if t.spool_bytes > t.opts.Options.spool_max_bytes then begin
-        drain_spool t;
-        force_log t;
-        t.stats.Statistics.flushes <- t.stats.Statistics.flushes + 1
-      end
+      Registry.span t.obs "commit.no_flush" (fun () ->
+          let entry =
+            {
+              sp_tid = tid;
+              sp_timestamp_us = now_us t;
+              sp_flags = flags;
+              sp_ranges = ranges;
+              sp_covered = merge_covered (covered_by_seg txn);
+              sp_pages = pages;
+              sp_size =
+                Record.encoded_size
+                  (Record.commit ~seqno:0 ~tid ~flags ranges);
+            }
+          in
+          (* Inter-transaction optimization (section 5.2): a no-flush commit
+             whose modifications subsume an earlier unflushed transaction's
+             makes the older spooled records redundant — recovery applies
+             newest-first. *)
+          if t.opts.Options.inter_optimization then begin
+            let kept, dropped =
+              List.partition
+                (fun old ->
+                  not
+                    (subsumes_entry ~newer:entry.sp_covered
+                       ~older:old.sp_covered))
+                t.spool
+            in
+            List.iter
+              (fun old ->
+                t.spool_bytes <- t.spool_bytes - old.sp_size;
+                C.add t.live.Lv.inter_saved old.sp_size;
+                C.incr t.live.Lv.records_dropped;
+                release_page_refs old.sp_pages)
+              dropped;
+            t.spool <- kept
+          end;
+          t.spool <- entry :: t.spool;
+          t.spool_bytes <- t.spool_bytes + entry.sp_size;
+          C.add t.live.Lv.bytes_spooled entry.sp_size;
+          if t.spool_bytes > t.opts.Options.spool_max_bytes then begin
+            drain_spool t;
+            force_log t;
+            C.incr t.live.Lv.flushes
+          end)
   end);
   finish_txn t txn Txn.Committed;
-  t.stats.Statistics.txns_committed <- t.stats.Statistics.txns_committed + 1;
+  C.incr t.live.Lv.txns_committed;
   maybe_truncate t
 
 let abort_transaction t tid =
@@ -702,7 +721,7 @@ let abort_transaction t tid =
     txn.Txn.saved;
   release_page_refs (txn_pages txn);
   finish_txn t txn Txn.Aborted;
-  t.stats.Statistics.txns_aborted <- t.stats.Statistics.txns_aborted + 1
+  C.incr t.live.Lv.txns_aborted
 
 (* --- memory access --- *)
 
@@ -782,7 +801,9 @@ let set_options t f =
   Options.validate opts;
   t.opts <- opts
 
-let stats t = t.stats
+let stats t = Lv.snapshot t.live
+let reset_stats t = Lv.reset t.live
+let obs t = t.obs
 let options t = t.opts
 let clock t = t.clock
 let log_manager t = t.log

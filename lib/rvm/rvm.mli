@@ -31,6 +31,7 @@ val initialize :
   ?options:Options.t ->
   ?clock:Rvm_util.Clock.t ->
   ?model:Rvm_util.Cost_model.t ->
+  ?obs:Rvm_obs.Registry.t ->
   ?vm:Rvm_vm.Vm_sim.t ->
   log:Rvm_disk.Device.t ->
   resolve:(int -> Rvm_disk.Device.t) ->
@@ -40,7 +41,11 @@ val initialize :
     log is applied to its external data segment (obtained through
     [resolve]) before this returns, so subsequent [map]s read pure
     committed images. [clock]/[model]/[vm] instrument the instance for the
-    simulated performance evaluation; omit them for production use. *)
+    simulated performance evaluation; omit them for production use. [obs]
+    supplies the metrics registry (a private one is created otherwise; see
+    {!obs}): engine counters, [log.force] / [truncation.*] / [recovery]
+    spans, and per-layer [disk.log.*] / [disk.seg.*] device accounting all
+    land there. *)
 
 val reinitialize :
   ?options:Options.t ->
@@ -143,6 +148,18 @@ val region_of_addr : t -> addr:int -> Region.t option
 (** {1 Introspection} *)
 
 val stats : t -> Statistics.t
+(** A materialized snapshot of the engine counters (the registry is the
+    source of truth; mutating the returned record affects nothing). *)
+
+val reset_stats : t -> unit
+(** Zero every engine counter (measurement-window bookkeeping). *)
+
+val obs : t -> Rvm_obs.Registry.t
+(** The instance's metrics registry: engine counters (see {!Statistics}),
+    span-backed scopes ([log.force], [commit.no_flush], [truncation.epoch],
+    [truncation.incremental.step], [segment.sync], [recovery]) and the
+    [disk.log.*] / [disk.seg.*] device-layer accounting. *)
+
 val options : t -> Options.t
 val clock : t -> Rvm_util.Clock.t
 val log_manager : t -> Rvm_log.Log_manager.t

@@ -113,7 +113,7 @@ let run profile rvm ~base ~len ~seed =
   let rng = Rng.create ~seed in
   let dir_size = profile.range_bytes in
   let dirs = max 1 (len / dir_size) in
-  Statistics.reset (Rvm.stats rvm);
+  Rvm.reset_stats rvm;
   let commit_mode =
     match profile.kind with Server -> Types.Flush | Client -> Types.No_flush
   in

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "rvm"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("disk", Test_disk.suite);
       ("log", Test_log.suite);
       ("vm", Test_vm.suite);

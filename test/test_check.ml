@@ -183,6 +183,50 @@ let test_deterministic () =
   check_int "violations" 0
     (List.length o1.Explorer.violations + List.length o2.Explorer.violations)
 
+(* The explorer's correctness rests on the recorded trace being a function
+   of the workload alone. Interposing extra combinator layers (a stats
+   pass-through and a disarmed fault layer) between the trace wrapper and
+   the store must leave the event sequence bit-for-bit identical. *)
+let test_trace_through_combinators () =
+  let module Mem_device = Rvm_disk.Mem_device in
+  let module Trace_device = Rvm_disk.Trace_device in
+  let module Stack = Rvm_disk.Stack in
+  let run_traced ~layers =
+    let log_mem = Mem_device.create ~name:"eq-log" ~size:(64 * 1024) () in
+    let seg_mem = Mem_device.create ~name:"eq-seg" ~size:8192 () in
+    Rvm.create_log log_mem;
+    let recorder = Trace_device.create_recorder () in
+    let tlog = Trace_device.wrap recorder (Stack.compose layers log_mem) in
+    let tseg = Trace_device.wrap recorder (Stack.compose layers seg_mem) in
+    let rvm =
+      Rvm.reinitialize ~log:(Trace_device.device tlog)
+        ~resolve:(fun _ -> Trace_device.device tseg)
+        ()
+    in
+    let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:8192 () in
+    let base = region.Region.vaddr in
+    for i = 0 to 5 do
+      let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+      Rvm.set_range rvm tid ~addr:(base + (i * 512)) ~len:64;
+      Rvm.store rvm ~addr:(base + (i * 512)) (Bytes.make 64 (Char.chr (65 + i)));
+      Rvm.end_transaction rvm tid
+        ~mode:(if i mod 2 = 0 then Types.Flush else Types.No_flush)
+    done;
+    Rvm.flush rvm;
+    Rvm.truncate rvm;
+    Trace_device.events recorder
+  in
+  let plain = run_traced ~layers:[] in
+  let stacked =
+    let obs = Rvm_obs.Registry.create () in
+    run_traced
+      ~layers:
+        [ Stack.with_faults (Stack.faults ()); Stack.with_stats ~obs () ]
+  in
+  check_int "same event count" (Array.length plain) (Array.length stacked);
+  check_bool "identical traces through combinator layers" true
+    (plain = stacked)
+
 let suite =
   [
     ("explorer.honest-epoch", `Quick, test_honest_epoch);
@@ -193,4 +237,5 @@ let suite =
     ("explorer.model-prefixes", `Quick, test_model_prefixes);
     ("explorer.mutation-detected", `Quick, test_mutation_detected);
     ("explorer.deterministic", `Quick, test_deterministic);
+    ("explorer.trace-through-combinators", `Quick, test_trace_through_combinators);
   ]

@@ -275,6 +275,92 @@ let test_mem_snapshot () =
   check_str "snapshot is a copy" "snapshot"
     (Bytes.to_string (Bytes.sub snap 0 8))
 
+(* Regression for the fd leak: the old hand-rolled Crash_device dropped
+   [close], so a crash layer over a File_device never released the fd. The
+   combinator rebuild forwards [close] by construction. *)
+let test_crash_forwards_close () =
+  let path = Filename.temp_file "rvm_test" ".dev" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let file = File_device.create ~path ~size:1024 () in
+      let c = Crash_device.create ~base:file ~size:1024 () in
+      let dev = Crash_device.device c in
+      Device.write_string dev ~off:0 "x";
+      dev.Device.sync ();
+      dev.Device.close ();
+      (* The fd is gone: the base device now fails. *)
+      let raised =
+        try
+          ignore (Device.read_bytes file ~off:0 ~len:1);
+          false
+        with Device.Io_error _ -> true
+      in
+      check_bool "close reached the file device" true raised)
+
+(* One stack, every layer's accounting checked independently:
+   trace ∘ faults ∘ stats ∘ latency ∘ mem. *)
+let test_stack_composition () =
+  let obs = Rvm_obs.Registry.create () in
+  let recorder = Trace_device.create_recorder () in
+  let clock = Clock.simulated () in
+  let faults = Stack.faults () in
+  let base = Mem_device.create ~size:4096 () in
+  let dev =
+    Stack.compose
+      [
+        Stack.with_trace recorder;
+        Stack.with_faults faults;
+        Stack.with_stats ~obs ~prefix:"mid" ();
+        Stack.with_latency ~clock
+          ~disk:Cost_model.dec5000.Cost_model.log_disk ();
+      ]
+      base
+  in
+  (* Wrapping for trace snapshots the initial image — one full read through
+     every layer below. Count from here. *)
+  Rvm_obs.Registry.reset obs;
+  let reads0 = base.Device.stats.Device.reads in
+  Device.write_string dev ~off:0 "abcd";
+  Device.write_string dev ~off:8 "efgh";
+  dev.Device.sync ();
+  ignore (Device.read_bytes dev ~off:0 ~len:4);
+  check_str "data lands in the base" "abcd" (read_str base ~off:0 ~len:4);
+  (* Innermost: the mem device's own stat record saw every op (the direct
+     [read_str] probe above adds one read). *)
+  check_int "base writes" 2 base.Device.stats.Device.writes;
+  check_int "base reads" 2 (base.Device.stats.Device.reads - reads0);
+  check_int "base syncs" 1 base.Device.stats.Device.syncs;
+  (* Latency layer: the sync charged simulated time. *)
+  check_bool "latency charged the clock" true (Clock.now_us clock > 0.);
+  (* Stats layer: registry counters. *)
+  let g name = Rvm_obs.Counter.get (Rvm_obs.Registry.counter obs name) in
+  check_int "mid.writes" 2 (g "mid.writes");
+  check_int "mid.reads" 1 (g "mid.reads");
+  check_int "mid.syncs" 1 (g "mid.syncs");
+  check_int "mid.bytes_written" 8 (g "mid.bytes_written");
+  check_int "mid.bytes_read" 4 (g "mid.bytes_read");
+  (* Trace layer: writes and syncs recorded, reads not. *)
+  check_int "trace writes" 2 (Trace_device.write_count recorder);
+  check_int "trace syncs" 1 (Trace_device.sync_count recorder);
+  (* Fault layer: arming makes the next op fail through the whole stack,
+     and nothing below it sees the op. *)
+  Stack.fail_after faults ~ops:0;
+  Alcotest.check_raises "fault fires" (Device.Io_error "injected failure")
+    (fun () -> Device.write_string dev ~off:0 "nope");
+  check_int "failed op never reached stats layer" 2 (g "mid.writes");
+  check_int "failed op never reached base" 2 base.Device.stats.Device.writes;
+  Stack.disarm faults;
+  Device.write_string dev ~off:0 "okay";
+  check_int "disarmed stack flows again" 3 (g "mid.writes")
+
+(* The layer default preserves the base name, so a Mem_device snapshot
+   keyed by name still resolves through a stack. *)
+let test_layer_preserves_name () =
+  let base = Mem_device.create ~size:64 () in
+  let dev = Stack.with_stats () base in
+  check_str "name forwarded" base.Device.name dev.Device.name
+
 let suite =
   [
     ("mem.contract", `Quick, test_mem_contract);
@@ -294,4 +380,7 @@ let suite =
     ("sim.write-buffering", `Quick, test_sim_write_buffering);
     ("sim.background", `Quick, test_sim_background_routing);
     ("mem.snapshot", `Quick, test_mem_snapshot);
+    ("crash.forwards-close", `Quick, test_crash_forwards_close);
+    ("stack.composition", `Quick, test_stack_composition);
+    ("stack.preserves-name", `Quick, test_layer_preserves_name);
   ]

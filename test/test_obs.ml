@@ -1,0 +1,151 @@
+(* Unit tests for Rvm_obs: counters, histograms, the span tracer and the
+   hand-rolled JSON printer behind the BENCH_* artifacts. *)
+
+open Rvm_obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_counter () =
+  let c = Counter.v "c" in
+  check_int "starts at zero" 0 (Counter.get c);
+  Counter.incr c;
+  Counter.add c 41;
+  check_int "incr + add" 42 (Counter.get c);
+  check_str "name" "c" (Counter.name c);
+  Counter.reset c;
+  check_int "reset" 0 (Counter.get c)
+
+let test_histogram () =
+  let h = Histogram.v "h" in
+  check_int "empty count" 0 (Histogram.count h);
+  List.iter (fun v -> Histogram.observe h v) [ 1.; 2.; 4.; 8.; 100. ];
+  check_int "count" 5 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 115. (Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 23. (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1. (Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 100. (Histogram.max_value h);
+  (* Quantiles are bucket upper bounds, clamped to the observed max. *)
+  check_bool "p50 within range" true
+    (Histogram.quantile h 0.5 >= 1. && Histogram.quantile h 0.5 <= 100.);
+  Alcotest.(check (float 1e-9)) "p100 clamps to max" 100.
+    (Histogram.quantile h 1.0);
+  Histogram.reset h;
+  check_int "reset drops samples" 0 (Histogram.count h)
+
+let test_registry_get_or_create () =
+  let reg = Registry.create () in
+  let a = Registry.counter reg "x" in
+  let b = Registry.counter reg "x" in
+  Counter.incr a;
+  check_int "same handle by name" 1 (Counter.get b);
+  let h1 = Registry.histogram reg "y" in
+  let h2 = Registry.histogram reg "y" in
+  Histogram.observe h1 3.;
+  check_int "same histogram by name" 1 (Histogram.count h2)
+
+let test_span () =
+  let reg = Registry.create ~trace_capacity:8 () in
+  (* Deterministic fake clock: every call advances 10us. *)
+  let now = ref 0. in
+  Registry.set_time_source reg (fun () ->
+      let v = !now in
+      now := v +. 10.;
+      v);
+  let r = Registry.span reg "op" (fun () -> 7) in
+  check_int "span returns the thunk's value" 7 r;
+  check_int "span bumps op.count" 1
+    (Counter.get (Registry.counter reg "op.count"));
+  let h = Registry.histogram reg "op.us" in
+  check_int "duration observed" 1 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "duration from time source" 10.
+    (Histogram.sum h);
+  (match Registry.events reg with
+  | [ e ] ->
+    check_str "event scope" "op" e.Registry.scope;
+    Alcotest.(check (float 1e-9)) "event duration" 10. e.Registry.dur_us
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es));
+  (* Exceptions propagate but the span still closes. *)
+  (try Registry.span reg "op" (fun () -> failwith "boom") with Failure _ -> ());
+  check_int "failed span still counted" 2
+    (Counter.get (Registry.counter reg "op.count"))
+
+let test_trace_ring_bound () =
+  let reg = Registry.create ~trace_capacity:3 () in
+  for i = 1 to 5 do
+    Registry.span reg (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let scopes = List.map (fun e -> e.Registry.scope) (Registry.events reg) in
+  Alcotest.(check (list string)) "oldest dropped first" [ "s3"; "s4"; "s5" ]
+    scopes
+
+let test_registry_reset () =
+  let reg = Registry.create ~trace_capacity:4 () in
+  let c = Registry.counter reg "n" in
+  Counter.add c 5;
+  Registry.span reg "sp" (fun () -> ());
+  Registry.reset reg;
+  check_int "counter zeroed" 0 (Counter.get c);
+  check_int "span count zeroed" 0
+    (Counter.get (Registry.counter reg "sp.count"));
+  check_int "events dropped" 0 (List.length (Registry.events reg));
+  (* Handles stay live after reset. *)
+  Counter.incr c;
+  check_int "handle still valid" 1 (Counter.get c)
+
+let test_json_printer () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\n");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 2.5);
+        ("whole", Json.Float 7.);
+        ("nan", Json.Float Float.nan);
+        ("l", Json.List [ Json.Bool true; Json.Null ]);
+      ]
+  in
+  check_str "compact form"
+    "{\"s\":\"a\\\"b\\\\c\\n\",\"i\":-3,\"f\":2.5,\"whole\":7,\"nan\":null,\
+     \"l\":[true,null]}"
+    (Json.to_string j)
+
+let test_json_write_file () =
+  let path = Filename.temp_file "rvm_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Json.write_file ~path (Json.Obj [ ("ok", Json.Bool true) ]);
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      check_bool "file holds the document" true
+        (String.length s > 0 && s.[0] = '{'))
+
+let test_registry_to_json () =
+  let reg = Registry.create () in
+  Counter.add (Registry.counter reg "a.b") 9;
+  Histogram.observe (Registry.histogram reg "h") 4.;
+  match Registry.to_json reg with
+  | Json.Obj fields ->
+    check_bool "has counters" true (List.mem_assoc "counters" fields);
+    check_bool "has histograms" true (List.mem_assoc "histograms" fields);
+    (match List.assoc "counters" fields with
+    | Json.Obj cs -> check_bool "counter present" true (List.mem_assoc "a.b" cs)
+    | _ -> Alcotest.fail "counters should be an object")
+  | _ -> Alcotest.fail "snapshot should be an object"
+
+let suite =
+  [
+    ("counter", `Quick, test_counter);
+    ("histogram", `Quick, test_histogram);
+    ("registry.get-or-create", `Quick, test_registry_get_or_create);
+    ("span", `Quick, test_span);
+    ("span.trace-ring", `Quick, test_trace_ring_bound);
+    ("registry.reset", `Quick, test_registry_reset);
+    ("json.printer", `Quick, test_json_printer);
+    ("json.write-file", `Quick, test_json_write_file);
+    ("registry.to-json", `Quick, test_registry_to_json);
+  ]

@@ -407,6 +407,69 @@ let test_set_options () =
   in
   check_bool "invalid rejected" true raised
 
+(* Every Statistics field is a view over a named registry counter: the
+   snapshot and a direct registry read must agree field by field, the
+   snapshot must be detached from the engine, and reset_stats must zero
+   both sides. *)
+let test_stats_match_registry () =
+  let w = make_world () in
+  let r = Rvm.map w.rvm ~seg:1 ~seg_off:0 ~len:(4 * ps) () in
+  let a = r.Region.vaddr in
+  let tid = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm tid ~addr:a (Bytes.of_string "abc");
+  Rvm.end_transaction w.rvm tid ~mode:Types.Flush;
+  (* Two no-flush commits where the later subsumes the earlier, so the
+     inter-transaction counters move too. *)
+  let t2 = Rvm.begin_transaction w.rvm ~mode:Types.No_restore in
+  Rvm.modify w.rvm t2 ~addr:(a + 64) (Bytes.of_string "xx");
+  Rvm.end_transaction w.rvm t2 ~mode:Types.No_flush;
+  let t3 = Rvm.begin_transaction w.rvm ~mode:Types.No_restore in
+  Rvm.modify w.rvm t3 ~addr:(a + 64) (Bytes.of_string "yyy");
+  Rvm.end_transaction w.rvm t3 ~mode:Types.No_flush;
+  let t4 = Rvm.begin_transaction w.rvm ~mode:Types.Restore in
+  Rvm.modify w.rvm t4 ~addr:(a + 128) (Bytes.of_string "zz");
+  Rvm.abort_transaction w.rvm t4;
+  Rvm.flush w.rvm;
+  Rvm.truncate w.rvm;
+  let s = Rvm.stats w.rvm in
+  let g name =
+    Rvm_obs.Counter.get (Rvm_obs.Registry.counter (Rvm.obs w.rvm) name)
+  in
+  check_int "txn.committed" s.Statistics.txns_committed (g "txn.committed");
+  check_int "txn.aborted" s.Statistics.txns_aborted (g "txn.aborted");
+  check_int "txn.set_range" s.Statistics.set_ranges (g "txn.set_range");
+  check_int "log.bytes_logged" s.Statistics.bytes_logged (g "log.bytes_logged");
+  check_int "log.bytes_spooled" s.Statistics.bytes_spooled
+    (g "log.bytes_spooled");
+  check_int "opt.intra.saved_bytes" s.Statistics.intra_saved
+    (g "opt.intra.saved_bytes");
+  check_int "opt.inter.saved_bytes" s.Statistics.inter_saved
+    (g "opt.inter.saved_bytes");
+  check_int "log.force.count" s.Statistics.forces (g "log.force.count");
+  check_int "log.flush" s.Statistics.flushes (g "log.flush");
+  check_int "truncation.epoch.count" s.Statistics.epoch_truncations
+    (g "truncation.epoch.count");
+  check_int "truncation.incremental.step.count" s.Statistics.incremental_steps
+    (g "truncation.incremental.step.count");
+  check_int "truncation.incremental.blocked" s.Statistics.incremental_blocked
+    (g "truncation.incremental.blocked");
+  check_int "recovery.count" s.Statistics.recoveries (g "recovery.count");
+  check_int "opt.inter.records_dropped" s.Statistics.records_dropped
+    (g "opt.inter.records_dropped");
+  (* The workload genuinely moved the interesting counters. *)
+  check_int "three commits" 3 s.Statistics.txns_committed;
+  check_int "one abort" 1 s.Statistics.txns_aborted;
+  check_bool "forced at least once" true (s.Statistics.forces > 0);
+  check_bool "inter-opt dropped the subsumed record" true
+    (s.Statistics.records_dropped >= 1);
+  (* The snapshot is detached: mutating it does not touch the engine. *)
+  s.Statistics.txns_committed <- 999;
+  check_int "snapshot detached" 3 (Rvm.stats w.rvm).Statistics.txns_committed;
+  Rvm.reset_stats w.rvm;
+  check_int "reset zeroes the snapshot" 0
+    (Rvm.stats w.rvm).Statistics.txns_committed;
+  check_int "reset zeroes the registry" 0 (g "txn.committed")
+
 let suite =
   [
     ("map.basic", `Quick, test_map_basic);
@@ -434,4 +497,5 @@ let suite =
     ("misc.query", `Quick, test_query);
     ("misc.set-options", `Quick, test_set_options);
     ("map.demand-mode", `Quick, test_demand_map_mode);
+    ("stats.match-registry", `Quick, test_stats_match_registry);
   ]

@@ -161,6 +161,42 @@ let test_truncate_empty_log_is_noop () =
   check_int "no epoch truncation of empty log" 0
     (Rvm.stats w.rvm).Statistics.epoch_truncations
 
+(* Truncation statistics are span-backed: the Statistics field, the
+   registry counter and the span histogram's sample count are all one
+   measurement and must agree. *)
+let test_truncation_counters_match_registry () =
+  let w = make ~mode:Types.Epoch () in
+  let a = w.region.Region.vaddr in
+  commit w ~addr:a "epoch-data";
+  Rvm.truncate w.rvm;
+  let s = Rvm.stats w.rvm in
+  let reg = Rvm.obs w.rvm in
+  let g name = Rvm_obs.Counter.get (Rvm_obs.Registry.counter reg name) in
+  check_int "epoch field = counter" s.Statistics.epoch_truncations
+    (g "truncation.epoch.count");
+  check_int "epoch field = span samples" s.Statistics.epoch_truncations
+    (Rvm_obs.Histogram.count (Rvm_obs.Registry.histogram reg "truncation.epoch.us"));
+  check_int "force field = counter" s.Statistics.forces (g "log.force.count");
+  let w2 = make ~mode:Types.Incremental () in
+  let a2 = w2.region.Region.vaddr in
+  commit w2 ~addr:a2 "inc-one";
+  commit w2 ~addr:(a2 + ps) "inc-two";
+  Rvm.truncate w2.rvm;
+  let s2 = Rvm.stats w2.rvm in
+  let reg2 = Rvm.obs w2.rvm in
+  let g2 name = Rvm_obs.Counter.get (Rvm_obs.Registry.counter reg2 name) in
+  check_bool "incremental steps happened" true
+    (s2.Statistics.incremental_steps >= 2);
+  check_int "step field = counter" s2.Statistics.incremental_steps
+    (g2 "truncation.incremental.step.count");
+  check_int "step field = span samples" s2.Statistics.incremental_steps
+    (Rvm_obs.Histogram.count
+       (Rvm_obs.Registry.histogram reg2 "truncation.incremental.step.us"));
+  check_int "segment syncs recorded" (g2 "segment.sync.count")
+    (Rvm_obs.Histogram.count
+       (Rvm_obs.Registry.histogram reg2 "segment.sync.us"));
+  check_bool "segment sync happened" true (g2 "segment.sync.count" > 0)
+
 let suite =
   [
     ("epoch.applies", `Quick, test_epoch_applies_and_empties);
@@ -172,4 +208,5 @@ let suite =
     ("incremental.critical-fallback", `Quick, test_incremental_critical_fallback);
     ("status.counter", `Quick, test_truncation_counter_in_status);
     ("truncate.empty", `Quick, test_truncate_empty_log_is_noop);
+    ("stats.span-backed", `Quick, test_truncation_counters_match_registry);
   ]
