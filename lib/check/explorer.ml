@@ -9,6 +9,7 @@ type config = {
   exhaustive : bool;
   max_torn_per_write : int;
   truncation_mode : Types.truncation_mode;
+  group_commit : bool;
 }
 
 let default_config =
@@ -19,6 +20,7 @@ let default_config =
     exhaustive = false;
     max_torn_per_write = 12;
     truncation_mode = Types.Epoch;
+    group_commit = true;
   }
 
 type crash_point = { upto : int; torn : int option }
@@ -108,6 +110,7 @@ let run_workload config ops =
       Options.default with
       Options.truncation_mode = config.truncation_mode;
       truncation_threshold = 0.4;
+      group_commit = config.group_commit;
     }
   in
   let rvm =
@@ -170,6 +173,7 @@ let recover_image config ~log_img ~seg_img =
       Options.default with
       Options.truncation_mode = config.truncation_mode;
       truncation_threshold = 0.4;
+      group_commit = config.group_commit;
     }
   in
   let rvm =

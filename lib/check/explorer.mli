@@ -25,6 +25,9 @@ type config = {
           variants per write at [max_torn_per_write] *)
   max_torn_per_write : int;
   truncation_mode : Rvm_core.Types.truncation_mode;
+  group_commit : bool;
+      (** run the workload with the buffered log tail (the default engine
+          configuration) or with per-record write-through *)
 }
 
 val default_config : config

@@ -11,14 +11,26 @@ type t = {
   mutable status : Status.t;
   mutable tail : int;
   mutable next_seqno : int;
-  mutable used : int;  (* live bytes (records + wrap filler) *)
+  mutable used : int;  (* live bytes (records + wrap filler), spool included *)
   mutable records : int;  (* live record count *)
+  (* The buffered tail (group commit): appends spool here and reach the
+     device as at most two sequential writes per drain. [None] = write
+     through per record (the ablation / group_commit:false path). *)
+  spool : Tail_buffer.t option;
+  max_spool_bytes : int;  (* watermark: drain early past this *)
+  mutable scratch : Bytes.t;  (* cached live-window image, sized on demand *)
+  mutable dirty : bool;  (* device writes issued since the last sync *)
+  mutable unforced_records : int;  (* appends since the last sync *)
   obs : Rvm_obs.Registry.t;
-  (* Pre-resolved handles: appends and forces are the hot path. *)
+  (* Pre-resolved handles: appends, drains and forces are the hot path. *)
   c_appends : Rvm_obs.Counter.t;
   c_append_bytes : Rvm_obs.Counter.t;
   c_truncations : Rvm_obs.Counter.t;
   h_append_bytes : Rvm_obs.Histogram.t;
+  c_spool_bytes : Rvm_obs.Counter.t;
+  c_drain_writes : Rvm_obs.Counter.t;
+  c_absorbed : Rvm_obs.Counter.t;
+  h_drain_bytes : Rvm_obs.Histogram.t;
 }
 
 let obs t = t.obs
@@ -34,6 +46,11 @@ let tail t = t.tail
 let next_seqno t = t.next_seqno
 let record_count t = t.records
 
+let spooled_bytes t =
+  match t.spool with None -> 0 | Some sp -> Tail_buffer.bytes sp
+
+let unflushed t = t.dirty || spooled_bytes t > 0
+
 let format dev =
   let size = dev.Device.size in
   if size < Status.size + (4 * Record.wrap_size) then
@@ -45,11 +62,18 @@ let format dev =
 let read_area dev =
   Device.read_bytes dev ~off:0 ~len:dev.Device.size
 
-(* Read only the live window [head, tail) (two spans when wrapped) into a
-   device-sized buffer, so iteration I/O cost is proportional to the live
-   log, not the device. *)
+(* Read only the live window [head, tail) (two spans when wrapped) into the
+   cached device-sized scratch buffer, so iteration costs I/O proportional
+   to the live log and allocates nothing after the first call. Spooled
+   records are overlaid on top, so scans observe appends that have not
+   reached the device yet. Reusing the scratch across calls is sound: any
+   stale record left beyond the live window carries a sequence number
+   strictly below [next_seqno], so the forward scan's continuity check
+   stops exactly at the tail. *)
 let read_live t =
-  let buf = Bytes.make t.dev.Device.size '\000' in
+  if Bytes.length t.scratch <> t.dev.Device.size then
+    t.scratch <- Bytes.make t.dev.Device.size '\000';
+  let buf = t.scratch in
   let head = t.status.Status.head in
   let data_start = t.status.Status.data_start in
   let log_size = t.status.Status.log_size in
@@ -63,6 +87,7 @@ let read_live t =
           ~len:(t.tail - data_start)
     end
   end;
+  (match t.spool with Some sp -> Tail_buffer.overlay sp buf | None -> ());
   buf
 
 (* Walk live records from [head] expecting consecutive sequence numbers.
@@ -90,7 +115,7 @@ let scan area (st : Status.t) ~f =
   in
   go st.Status.head st.Status.head_seqno 0 0
 
-let open_log ?obs dev =
+let open_log ?obs ?(group_commit = true) ?(max_spool_bytes = 256 * 1024) dev =
   match Status.read dev with
   | Error _ as e -> e
   | Ok st ->
@@ -114,17 +139,47 @@ let open_log ?obs dev =
           next_seqno;
           used;
           records;
+          spool =
+            (if group_commit then
+               Some
+                 (Tail_buffer.create ~data_start:st.Status.data_start
+                    ~log_size:st.Status.log_size)
+             else None);
+          max_spool_bytes;
+          scratch = Bytes.empty;
+          dirty = false;
+          unforced_records = 0;
           obs;
           c_appends = Rvm_obs.Registry.counter obs "log.append.records";
           c_append_bytes = Rvm_obs.Registry.counter obs "log.append.bytes";
           c_truncations = Rvm_obs.Registry.counter obs "log.truncations";
           h_append_bytes = Rvm_obs.Registry.histogram obs "log.append.bytes.hist";
+          c_spool_bytes = Rvm_obs.Registry.counter obs "log.spool.bytes";
+          c_drain_writes =
+            Rvm_obs.Registry.counter obs "log.spool.drain.writes";
+          c_absorbed = Rvm_obs.Registry.counter obs "log.force.absorbed";
+          h_drain_bytes =
+            Rvm_obs.Registry.histogram obs "log.drain.bytes.hist";
         }
     end
 
+let drain t =
+  match t.spool with
+  | None -> ()
+  | Some sp ->
+    if not (Tail_buffer.is_empty sp) then begin
+      let bytes = Tail_buffer.bytes sp in
+      Rvm_obs.Registry.span t.obs "log.drain" (fun () ->
+          let writes =
+            Tail_buffer.drain sp ~write:(fun ~off ~buf ~pos ~len ->
+                t.dev.Device.write ~off ~buf ~pos ~len)
+          in
+          Rvm_obs.Counter.add t.c_drain_writes writes);
+      Rvm_obs.Histogram.observe t.h_drain_bytes (float_of_int bytes);
+      t.dirty <- true
+    end
+
 let append_record t record =
-  let seqno = t.next_seqno in
-  let record = { record with Record.seqno } in
   let size = Record.encoded_size record in
   let log_size = t.status.Status.log_size in
   let data_start = t.status.Status.data_start in
@@ -142,38 +197,64 @@ let append_record t record =
   in
   let needed = if fits_in_place then size else room_to_end + size in
   if t.used + needed > capacity t then raise Log_full;
+  (match t.spool with
+  | Some sp -> Tail_buffer.begin_at sp ~off:t.tail
+  | None -> ());
   if not fits_in_place then begin
     (* Mark the jump explicitly when a marker fits; otherwise the reader
        wraps implicitly because the space cannot hold any record. *)
     if room_to_end >= Record.wrap_size then begin
       let marker =
-        Record.wrap ~seqno ~pad:(room_to_end - Record.wrap_size)
+        Record.wrap ~seqno:t.next_seqno ~pad:(room_to_end - Record.wrap_size)
       in
-      Device.write_bytes t.dev ~off:t.tail (Record.encode marker);
+      (match t.spool with
+      | Some sp -> Record.encode_into (Tail_buffer.buf sp) marker
+      | None ->
+        Device.write_bytes t.dev ~off:t.tail (Record.encode marker);
+        t.dirty <- true);
       t.next_seqno <- t.next_seqno + 1;
-      t.records <- t.records + 1
+      t.records <- t.records + 1;
+      t.unforced_records <- t.unforced_records + 1
     end;
+    (match t.spool with Some sp -> Tail_buffer.note_wrap sp | None -> ());
     t.used <- t.used + room_to_end;
     t.tail <- data_start
   end;
+  (* The sequence number is assigned exactly once, after any wrap marker
+     has consumed its own. *)
   let record = { record with Record.seqno = t.next_seqno } in
   let off = t.tail in
-  Device.write_bytes t.dev ~off (Record.encode record);
+  (match t.spool with
+  | Some sp ->
+    Record.encode_into (Tail_buffer.buf sp) record;
+    Rvm_obs.Counter.add t.c_spool_bytes size
+  | None ->
+    Device.write_bytes t.dev ~off (Record.encode record);
+    t.dirty <- true);
   let seqno = t.next_seqno in
   t.tail <- t.tail + size;
   t.used <- t.used + size;
   t.next_seqno <- t.next_seqno + 1;
   t.records <- t.records + 1;
+  t.unforced_records <- t.unforced_records + 1;
   Rvm_obs.Counter.incr t.c_appends;
   Rvm_obs.Counter.add t.c_append_bytes size;
   Rvm_obs.Histogram.observe t.h_append_bytes (float_of_int size);
+  if spooled_bytes t > t.max_spool_bytes then drain t;
   (off, seqno)
 
 let append t ~tid ?timestamp_us ?flags ranges =
   append_record t (Record.commit ~seqno:0 ~tid ?timestamp_us ?flags ranges)
 
 let force t =
-  Rvm_obs.Registry.span t.obs "log.force" (fun () -> t.dev.Device.sync ())
+  drain t;
+  Rvm_obs.Registry.span t.obs "log.force" (fun () -> t.dev.Device.sync ());
+  (* Every record beyond the first made durable by this sync absorbed a
+     force it would have paid on its own (the group-commit win). *)
+  if t.unforced_records > 1 then
+    Rvm_obs.Counter.add t.c_absorbed (t.unforced_records - 1);
+  t.unforced_records <- 0;
+  t.dirty <- false
 
 let iter_live t ~f =
   let area = read_live t in
@@ -205,6 +286,10 @@ let iter_live_backward t ~f =
   if t.records > 0 then go t.tail
 
 let move_head t ~new_head ~new_head_seqno =
+  (* Materialize the spool first: the status block must never point into a
+     region of the device the spooled records have not reached, and the
+     status sync below then makes both durable together. *)
+  drain t;
   let log_size = t.status.Status.log_size in
   let data_start = t.status.Status.data_start in
   let old_head = t.status.Status.head in
@@ -228,6 +313,9 @@ let move_head t ~new_head ~new_head_seqno =
     }
   in
   Status.write t.dev status;
+  (* Status.write syncs the device, so everything drained is durable. *)
+  t.dirty <- false;
+  t.unforced_records <- 0;
   t.status <- status;
   Rvm_obs.Counter.incr t.c_truncations
 

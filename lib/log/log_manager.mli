@@ -22,12 +22,33 @@ val format : Rvm_disk.Device.t -> unit
     block). Raises [Invalid_argument] if the device is too small. *)
 
 val open_log :
-  ?obs:Rvm_obs.Registry.t -> Rvm_disk.Device.t -> (t, string) result
-(** Open a formatted log, scanning to locate the tail. With [obs], appends
-    publish [log.append.records] / [log.append.bytes] (plus the
-    [log.append.bytes.hist] size histogram), {!force} runs under a
-    [log.force] span and {!move_head} bumps [log.truncations]. Without it a
-    private registry is created (reachable via {!obs}). *)
+  ?obs:Rvm_obs.Registry.t ->
+  ?group_commit:bool ->
+  ?max_spool_bytes:int ->
+  Rvm_disk.Device.t ->
+  (t, string) result
+(** Open a formatted log, scanning to locate the tail.
+
+    With [group_commit] (the default), appends encode into an in-memory
+    spool at the log tail instead of writing the device per record; the
+    spool reaches the device as at most two large sequential writes (one
+    per side of the circular area's wrap point) when the log is forced,
+    when the head moves, or when spooled bytes exceed [max_spool_bytes]
+    (default 256 KiB). A force then costs one drain plus one sync no
+    matter how many records accumulated — the group-commit absorption the
+    paper's no-flush commits exist to exploit. [~group_commit:false]
+    restores the write-through path (each append is one device write).
+    Durability is identical either way: records are guaranteed on the
+    device only after {!force} (or {!move_head}).
+
+    With [obs], appends publish [log.append.records] / [log.append.bytes]
+    (plus the [log.append.bytes.hist] size histogram) and
+    [log.spool.bytes]; drains run under a [log.drain] span and publish
+    [log.spool.drain.writes] and the [log.drain.bytes.hist] size
+    histogram; {!force} runs under a [log.force] span and counts
+    [log.force.absorbed] (records made durable beyond the first per sync);
+    {!move_head} bumps [log.truncations]. Without it a private registry is
+    created (reachable via {!obs}). *)
 
 val obs : t -> Rvm_obs.Registry.t
 
@@ -62,8 +83,21 @@ val append_record : t -> Record.t -> int * int
     with the next sequence number. Returns [(offset, seqno)]. *)
 
 val force : t -> unit
-(** Synchronously flush everything appended so far (the log force of a
-    flush-mode commit). *)
+(** Drain the spool and synchronously flush everything appended so far
+    (the log force of a flush-mode commit). *)
+
+val drain : t -> unit
+(** Write spooled records to the device without syncing. A no-op when the
+    spool is empty or group commit is off. *)
+
+val spooled_bytes : t -> int
+(** Bytes sitting in the tail spool, not yet written to the device. *)
+
+val unflushed : t -> bool
+(** Whether any appended record might not yet be durable — spooled bytes
+    exist or device writes were issued since the last sync. Truncation
+    uses this to force the log before applying records to segments,
+    preserving write-ahead ordering. *)
 
 val iter_live : t -> f:(off:int -> Record.t -> unit) -> unit
 (** Visit live records oldest-first. Wrap markers are included. *)

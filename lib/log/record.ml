@@ -36,6 +36,14 @@ let trailer_size = 20
 
 let unsafe_skip_verification = ref false
 
+(* Restores the flag even when the thunk raises, so one failing
+   fault-injection test cannot leak disabled verification into the suites
+   that run after it. *)
+let with_unverified f =
+  let saved = !unsafe_skip_verification in
+  unsafe_skip_verification := true;
+  Fun.protect ~finally:(fun () -> unsafe_skip_verification := saved) f
+
 let kind_code = function Commit -> 1 | Wrap -> 2
 let kind_of_code = function 1 -> Some Commit | 2 -> Some Wrap | _ -> None
 
@@ -49,9 +57,14 @@ let encoded_size t =
 let wrap_size = header_size + trailer_size
 let data_bytes t = List.fold_left (fun a r -> a + Bytes.length r.data) 0 t.ranges
 
-let encode t =
+(* Vectored encoding: append the wire image directly onto [b] (after
+   whatever it already holds), so a spooled append copies each range
+   exactly once — region buffer into the spool — with no intermediate
+   per-record [Bytes]. Positions in the record format are record-relative,
+   hence the [rec_start] rebasing. *)
+let encode_into b t =
+  let rec_start = B.length b in
   let total = encoded_size t in
-  let b = B.create ~capacity:total () in
   B.u32 b record_magic;
   B.u8 b (kind_code t.kind);
   B.u64 b (Int64.of_int t.seqno);
@@ -63,7 +76,7 @@ let encode t =
   let prev_start = ref 0 in
   List.iter
     (fun r ->
-      let start = B.length b in
+      let start = B.length b - rec_start in
       let len = Bytes.length r.data in
       B.u32 b range_magic;
       B.u32 b (range_header_size + len);
@@ -79,13 +92,17 @@ let encode t =
   for _ = 1 to t.pad do
     B.u8 b 0
   done;
-  let body_len = B.length b in
-  let crc = B.checksum b ~pos:0 ~len:body_len in
+  let body_len = B.length b - rec_start in
+  let crc = B.checksum b ~pos:rec_start ~len:body_len in
   B.i32 b crc;
   B.u32 b total;
   B.u64 b (Int64.of_int t.seqno);
   B.u32 b end_magic;
-  assert (B.length b = total);
+  assert (B.length b - rec_start = total)
+
+let encode t =
+  let b = B.create ~capacity:(encoded_size t) () in
+  encode_into b t;
   B.contents b
 
 let decode bytes ~pos =

@@ -59,13 +59,21 @@ val data_bytes : t -> int
 (** Sum of range lengths (the payload the optimizations try to shrink). *)
 
 val encode : t -> Bytes.t
+(** Freshly allocated wire image (a thin wrapper over {!encode_into}). *)
 
-val unsafe_skip_verification : bool ref
-(** Test-only fault injection: when set, {!decode} accepts any record whose
-    structure parses, skipping the checksum and trailer verification that
-    makes torn appends vanish. This deliberately reintroduces the classic
-    recovery bug so the crash-point explorer's mutation-detection test can
-    prove it would be caught. Never set outside tests. *)
+val encode_into : Rvm_util.Bytebuf.t -> t -> unit
+(** Append the wire image onto the buffer after whatever it already holds —
+    the vectored path the buffered log tail spools through, copying each
+    range exactly once with no intermediate per-record [Bytes]. *)
+
+val with_unverified : (unit -> 'a) -> 'a
+(** Test-only fault injection: run the thunk with {!decode} accepting any
+    record whose structure parses, skipping the checksum and trailer
+    verification that makes torn appends vanish. This deliberately
+    reintroduces the classic recovery bug so the crash-point explorer's
+    mutation-detection test can prove it would be caught. The flag is
+    restored even if the thunk raises, so a failing test cannot leak
+    disabled verification into later suites. Never use outside tests. *)
 
 val decode : Bytes.t -> pos:int -> (t * int) option
 (** [decode b ~pos] parses the record starting at [pos], returning it with

@@ -1,0 +1,76 @@
+module B = Rvm_util.Bytebuf
+
+type t = {
+  spool : B.t;
+  data_start : int;
+  log_size : int;
+  (* Device offset of the first spooled byte; meaningless when empty. *)
+  mutable base : int;
+  (* Spool bytes belonging before the wrap point ([base, base + split));
+     the remainder belongs at [data_start]. Equal to the spool length
+     until a wrap is noted. *)
+  mutable split : int;
+  mutable wrapped : bool;
+}
+
+let create ~data_start ~log_size =
+  {
+    spool = B.create ~capacity:4096 ();
+    data_start;
+    log_size;
+    base = 0;
+    split = 0;
+    wrapped = false;
+  }
+
+let is_empty t = B.length t.spool = 0 && not t.wrapped
+let bytes t = B.length t.spool
+let buf t = t.spool
+
+let begin_at t ~off = if is_empty t then t.base <- off
+
+let note_wrap t =
+  if t.wrapped then invalid_arg "Tail_buffer.note_wrap: wrap already pending";
+  (* An empty spool wrapping means the whole stream starts at data_start. *)
+  if B.length t.spool = 0 then begin
+    t.base <- t.data_start;
+    t.split <- 0
+  end
+  else begin
+    t.split <- B.length t.spool;
+    t.wrapped <- true;
+    assert (t.base + t.split <= t.log_size)
+  end
+
+(* The two contiguous device spans the spool currently covers. *)
+let spans t =
+  let len = B.length t.spool in
+  if not t.wrapped then [ (t.base, 0, len) ]
+  else [ (t.base, 0, t.split); (t.data_start, t.split, len - t.split) ]
+
+let overlay t dst =
+  List.iter
+    (fun (off, pos, len) ->
+      if len > 0 then B.blit_range t.spool ~src_pos:pos dst ~dst_pos:off ~len)
+    (spans t)
+
+let clear t =
+  B.clear t.spool;
+  t.split <- 0;
+  t.wrapped <- false
+
+let drain t ~write =
+  let data = B.unsafe_buffer t.spool in
+  let writes =
+    List.fold_left
+      (fun n (off, pos, len) ->
+        if len > 0 then begin
+          write ~off ~buf:data ~pos ~len;
+          n + 1
+        end
+        else n)
+      0 (spans t)
+  in
+  (* The next append re-establishes [base] via [begin_at]. *)
+  clear t;
+  writes

@@ -7,6 +7,8 @@ type t = {
   truncation_mode : Types.truncation_mode;
   auto_truncate : bool;
   spool_max_bytes : int;
+  group_commit : bool;
+  log_spool_max_bytes : int;
   intra_optimization : bool;
   inter_optimization : bool;
   map_mode : map_mode;
@@ -20,6 +22,8 @@ let default =
     truncation_mode = Types.Epoch;
     auto_truncate = true;
     spool_max_bytes = 1 lsl 20;
+    group_commit = true;
+    log_spool_max_bytes = 256 * 1024;
     intra_optimization = true;
     inter_optimization = true;
     map_mode = Copy;
@@ -40,4 +44,7 @@ let validate t =
     Types.error "options: truncation_critical %f outside [threshold, 1)"
       t.truncation_critical;
   if t.spool_max_bytes < 0 then
-    Types.error "options: spool_max_bytes %d negative" t.spool_max_bytes
+    Types.error "options: spool_max_bytes %d negative" t.spool_max_bytes;
+  if t.log_spool_max_bytes < 0 then
+    Types.error "options: log_spool_max_bytes %d negative"
+      t.log_spool_max_bytes

@@ -161,6 +161,11 @@ let epoch_truncate t =
        [Statistics.epoch_truncations]. *)
     Registry.span t.obs "truncation.epoch" (fun () ->
         t.in_truncation <- true;
+        (* Write-ahead ordering: spooled or unsynced records must be durable
+           before their new values reach the external data segments, or a
+           crash between the segment syncs below and the head movement
+           would leave segment data whose log records never survived. *)
+        if Log_manager.unflushed t.log then Log_manager.force t.log;
         let freeze_tail = Log_manager.tail t.log in
         let freeze_seqno = Log_manager.next_seqno t.log in
         let _outcome =
@@ -295,7 +300,16 @@ let incremental_truncate t ~target =
         true
       | `Empty -> blocked
   in
-  let blocked = run false in
+  let blocked =
+    if below_target () then false
+    else begin
+      (* Same write-ahead ordering as epoch truncation: page write-outs
+         below must not expose new values whose log records are still in
+         the tail spool (or unsynced on the device). *)
+      if Log_manager.unflushed t.log then Log_manager.force t.log;
+      run false
+    end
+  in
   if Hashtbl.length touched > 0 || Queue.is_empty t.queue then begin
     Hashtbl.iter
       (fun _ seg ->
@@ -365,7 +379,10 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
   let log = Stack.with_stats ~obs ~prefix:"disk.log" () log in
   let resolve id = Stack.with_stats ~obs ~prefix:"disk.seg" () (resolve id) in
   let lm =
-    match Log_manager.open_log ~obs log with
+    match
+      Log_manager.open_log ~obs ~group_commit:options.Options.group_commit
+        ~max_spool_bytes:options.Options.log_spool_max_bytes log
+    with
     | Ok lm -> lm
     | Error e -> Types.error "initialize: %s" e
   in

@@ -69,6 +69,13 @@ let lstring t s =
 let contents t = Bytes.sub t.data 0 t.len
 let blit_into t dst ~pos = Bytes.blit t.data 0 dst pos t.len
 
+let unsafe_buffer t = t.data
+
+let blit_range t ~src_pos dst ~dst_pos ~len =
+  if src_pos < 0 || len < 0 || src_pos + len > t.len then
+    invalid_arg "Bytebuf.blit_range";
+  Bytes.blit t.data src_pos dst dst_pos len
+
 let checksum t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > t.len then
     invalid_arg "Bytebuf.checksum";

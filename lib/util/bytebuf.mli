@@ -38,6 +38,14 @@ val contents : t -> Bytes.t
 val blit_into : t -> Bytes.t -> pos:int -> unit
 (** Copy the accumulated bytes into [dst] at [pos]. *)
 
+val unsafe_buffer : t -> Bytes.t
+(** The raw backing store, for zero-copy reads of [0, length t). The
+    reference is invalidated by the next append that grows the buffer;
+    never write through it. *)
+
+val blit_range : t -> src_pos:int -> Bytes.t -> dst_pos:int -> len:int -> unit
+(** Copy [len] accumulated bytes starting at [src_pos] into [dst]. *)
+
 val checksum : t -> pos:int -> len:int -> Checksum.t
 (** Checksum over a range of the accumulated bytes. *)
 

@@ -22,12 +22,13 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 let config ?(exhaustive = true) ?(sector = 512)
-    ?(mode = Types.Epoch) () =
+    ?(mode = Types.Epoch) ?(group_commit = true) () =
   {
     Explorer.default_config with
     Explorer.exhaustive;
     sector;
     truncation_mode = mode;
+    group_commit;
   }
 
 let gen ~seed ~ops =
@@ -62,6 +63,30 @@ let test_honest_small_sector () =
      rejection is exercised hard. *)
   let ops = gen ~seed:7L ~ops:20 in
   assert_clean (Explorer.run ~config:(config ~sector:64 ()) ops)
+
+(* The buffered tail turns many small appends into few big drain writes, so
+   tearing a drain write can cut several records at once — the crash shape
+   the write-through path never produces. Both configurations must hold the
+   commit-prefix contract, and the buffered run must actually batch (fewer
+   device writes than the ablation for the same workload). *)
+let test_honest_group_commit () =
+  List.iter
+    (fun seed ->
+      let ops = gen ~seed ~ops:20 in
+      let buffered =
+        Explorer.run ~config:(config ~sector:64 ~group_commit:true ()) ops
+      in
+      let through =
+        Explorer.run ~config:(config ~sector:64 ~group_commit:false ()) ops
+      in
+      assert_clean buffered;
+      assert_clean through;
+      check_bool
+        (Printf.sprintf "buffered %d writes < write-through %d"
+           buffered.Explorer.writes through.Explorer.writes)
+        true
+        (buffered.Explorer.writes <= through.Explorer.writes))
+    [ 11L; 12L ]
 
 (* Acceptance: for a 20-op generated workload the explorer enumerates every
    write/sync boundary, and every straddling write of at least 5 bytes gets
@@ -154,10 +179,7 @@ let test_mutation_detected () =
   in
   (* The real implementation passes this workload... *)
   assert_clean (Explorer.run ~config:cfg ops);
-  Fun.protect
-    ~finally:(fun () -> Record.unsafe_skip_verification := false)
-    (fun () ->
-      Record.unsafe_skip_verification := true;
+  Record.with_unverified (fun () ->
       (* ... and the mutant does not. *)
       let o = Explorer.run ~config:cfg ops in
       check_bool "mutation detected" true (o.Explorer.violations <> []);
@@ -232,6 +254,7 @@ let suite =
     ("explorer.honest-epoch", `Quick, test_honest_epoch);
     ("explorer.honest-incremental", `Quick, test_honest_incremental);
     ("explorer.honest-small-sector", `Quick, test_honest_small_sector);
+    ("explorer.honest-group-commit", `Quick, test_honest_group_commit);
     ("explorer.enumeration-coverage", `Quick, test_enumeration_coverage);
     ("explorer.torn-positions", `Quick, test_torn_positions);
     ("explorer.model-prefixes", `Quick, test_model_prefixes);

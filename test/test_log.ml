@@ -244,6 +244,123 @@ let test_log_full () =
   Alcotest.check_raises "oversized record" Log_manager.Log_full (fun () ->
       ignore (Log_manager.append l ~tid:1 [ range 1 0 (String.make 8192 'z') ]))
 
+(* --- buffered tail (group commit) --- *)
+
+(* [encode_into] must produce the exact wire image [encode] does even when
+   the spool already holds bytes — all displacements and the checksum are
+   record-relative. *)
+let test_record_encode_into_offset () =
+  let module B = Rvm_util.Bytebuf in
+  let r =
+    mk_commit ~seqno:3 ~tid:5
+      [ range 1 0 "hello"; range 2 64 (String.make 100 'q'); range 1 9 "" ]
+  in
+  let b = B.create ~capacity:8 () in
+  B.u32 b 0xabcdef01;
+  Record.encode_into b r;
+  let all = B.contents b in
+  let suffix = Bytes.sub all 4 (Bytes.length all - 4) in
+  Alcotest.(check string)
+    "identical wire image"
+    (Bytes.to_string (Record.encode r))
+    (Bytes.to_string suffix)
+
+let test_log_spool_defers_writes () =
+  let dev = Mem_device.create ~size:(64 * 1024) () in
+  Log_manager.format dev;
+  let l = Result.get_ok (Log_manager.open_log dev) in
+  let w0 = dev.Device.stats.Device.writes in
+  ignore (Log_manager.append l ~tid:1 [ range 1 0 "aaa" ]);
+  ignore (Log_manager.append l ~tid:2 [ range 1 8 "bbb" ]);
+  check_int "no device writes while spooling" w0 dev.Device.stats.Device.writes;
+  check_bool "unflushed" true (Log_manager.unflushed l);
+  check_bool "bytes spooled" true (Log_manager.spooled_bytes l > 0);
+  (* Scans must observe spooled records (the overlay). *)
+  let tids = ref [] in
+  Log_manager.iter_live l ~f:(fun ~off:_ r -> tids := r.Record.tid :: !tids);
+  Alcotest.(check (list int)) "spooled records visible" [ 1; 2 ] (List.rev !tids);
+  Log_manager.force l;
+  check_int "one sequential write per force" (w0 + 1)
+    dev.Device.stats.Device.writes;
+  check_int "spool empty after force" 0 (Log_manager.spooled_bytes l);
+  check_bool "flushed" false (Log_manager.unflushed l);
+  (* And the drained image reopens to the same records. *)
+  let l2 = Result.get_ok (Log_manager.open_log dev) in
+  check_int "records durable" 2 (Log_manager.record_count l2)
+
+let test_log_spool_wrap_two_writes () =
+  let dev = Mem_device.create ~size:4096 () in
+  Log_manager.format dev;
+  let l = Result.get_ok (Log_manager.open_log dev) in
+  (* Advance the tail near the end of the area, then reclaim everything so
+     the next batch of appends straddles the wrap point. *)
+  (try
+     while true do
+       ignore (Log_manager.append l ~tid:1 [ range 1 0 (String.make 200 'x') ])
+     done
+   with Log_manager.Log_full -> ());
+  Log_manager.reset_empty l;
+  let w0 = dev.Device.stats.Device.writes in
+  for i = 1 to 8 do
+    ignore (Log_manager.append l ~tid:i [ range 1 0 (String.make 200 'y') ])
+  done;
+  check_int "no writes before the force" w0 dev.Device.stats.Device.writes;
+  Log_manager.force l;
+  let writes = dev.Device.stats.Device.writes - w0 in
+  check_bool
+    (Printf.sprintf "wrapping drain used %d writes (1..2)" writes)
+    true
+    (writes >= 1 && writes <= 2);
+  let l2 = Result.get_ok (Log_manager.open_log dev) in
+  check_int "all records durable" (Log_manager.record_count l)
+    (Log_manager.record_count l2)
+
+let test_log_spool_watermark () =
+  let dev = Mem_device.create ~size:(64 * 1024) () in
+  Log_manager.format dev;
+  let l = Result.get_ok (Log_manager.open_log ~max_spool_bytes:512 dev) in
+  let w0 = dev.Device.stats.Device.writes in
+  let s0 = dev.Device.stats.Device.syncs in
+  for i = 1 to 10 do
+    ignore (Log_manager.append l ~tid:i [ range 1 0 (String.make 300 'w') ])
+  done;
+  check_bool "watermark drained early" true
+    (dev.Device.stats.Device.writes > w0);
+  check_bool "spool stays bounded" true (Log_manager.spooled_bytes l <= 1024);
+  check_int "draining never syncs" s0 dev.Device.stats.Device.syncs;
+  check_bool "drained but not durable" true (Log_manager.unflushed l);
+  Log_manager.force l;
+  check_int "force syncs once" (s0 + 1) dev.Device.stats.Device.syncs;
+  check_bool "durable after force" false (Log_manager.unflushed l)
+
+(* The spool is invisible in the bytes that reach the device: the same
+   append/force/reclaim history leaves a byte-identical image with group
+   commit on and off — across explicit wrap markers, pad-to-end records and
+   the unwritten implicit-wrap sliver. *)
+let test_log_spool_image_identical () =
+  let drive ~group_commit =
+    let dev = Mem_device.create ~size:4096 () in
+    Log_manager.format dev;
+    let l = Result.get_ok (Log_manager.open_log ~group_commit dev) in
+    for i = 1 to 120 do
+      let len = 30 + (i * 97 mod 331) in
+      let rec append () =
+        try ignore (Log_manager.append l ~tid:i [ range 1 0 (String.make len 'a') ])
+        with Log_manager.Log_full ->
+          Log_manager.reset_empty l;
+          append ()
+      in
+      append ();
+      if i mod 3 = 0 then Log_manager.force l
+    done;
+    Log_manager.force l;
+    Mem_device.snapshot dev
+  in
+  Alcotest.(check string)
+    "device images byte-identical"
+    (Bytes.to_string (drive ~group_commit:false))
+    (Bytes.to_string (drive ~group_commit:true))
+
 let test_log_free_space_accounting () =
   let l = fresh_log ~size:8192 () in
   let cap = Log_manager.capacity l in
@@ -273,5 +390,10 @@ let suite =
     ("log.backward", `Quick, test_log_backward_iteration);
     ("log.backward-wrap", `Quick, test_log_backward_across_wrap);
     ("log.full", `Quick, test_log_full);
+    ("record.encode-into", `Quick, test_record_encode_into_offset);
+    ("log.spool.defers-writes", `Quick, test_log_spool_defers_writes);
+    ("log.spool.wrap-two-writes", `Quick, test_log_spool_wrap_two_writes);
+    ("log.spool.watermark", `Quick, test_log_spool_watermark);
+    ("log.spool.image-identical", `Quick, test_log_spool_image_identical);
     ("log.free-space", `Quick, test_log_free_space_accounting);
   ]

@@ -420,6 +420,82 @@ let prop_log_manager =
           check_agreement ())
         ops)
 
+(* --- buffered log tail: the spool must be invisible in the bytes that
+   reach the device. Any append/force/reclaim history — including wraps,
+   pad-to-end records, the unwritten implicit-wrap sliver and watermark
+   drains mid-stream — leaves a byte-identical image with group commit on
+   and off once the log is forced. --- *)
+
+let prop_group_commit_image =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 60)
+        (frequency
+           [
+             (6, map (fun n -> `Append (1 + n)) (int_bound 300));
+             (2, return `Force);
+             (1, map (fun k -> `Reclaim k) (int_bound 6));
+           ]))
+  in
+  QCheck.Test.make
+    ~name:"buffered tail leaves a byte-identical device image" ~count:80
+    (QCheck.make gen) (fun ops ->
+      let module LM = Rvm_log.Log_manager in
+      let drive ~group_commit =
+        let dev = Mem_device.create ~name:"gclog" ~size:8192 () in
+        LM.format dev;
+        (* A small watermark so long runs also exercise early drains. *)
+        let lm =
+          Result.get_ok (LM.open_log ~group_commit ~max_spool_bytes:1024 dev)
+        in
+        let live = ref [] in
+        let next_tid = ref 1 in
+        let reclaim k =
+          let keep = ref [] in
+          let dropped = ref 0 in
+          List.iter
+            (fun e -> if !dropped < k then incr dropped else keep := e :: !keep)
+            !live;
+          let kept = List.rev !keep in
+          (match kept with
+          | s0 :: _ ->
+            let off0 = ref None in
+            LM.iter_live lm ~f:(fun ~off r ->
+                if r.Record.seqno = s0 then off0 := Some off);
+            LM.move_head lm ~new_head:(Option.get !off0) ~new_head_seqno:s0
+          | [] -> LM.reset_empty lm);
+          live := kept
+        in
+        List.iter
+          (fun op ->
+            match op with
+            | `Append size ->
+              let tid = !next_tid in
+              incr next_tid;
+              let data = Bytes.make size (Char.chr (65 + (tid mod 26))) in
+              let rec try_append attempts =
+                if attempts > 20 then ()
+                else
+                  match
+                    LM.append lm ~tid [ { Record.seg = 1; off = 0; data } ]
+                  with
+                  | _, seqno -> live := !live @ [ seqno ]
+                  | exception LM.Log_full ->
+                    if !live = [] then ()
+                    else begin
+                      reclaim ((List.length !live + 1) / 2);
+                      try_append (attempts + 1)
+                    end
+              in
+              try_append 0
+            | `Force -> LM.force lm
+            | `Reclaim k -> reclaim (min k (List.length !live)))
+          ops;
+        LM.force lm;
+        Mem_device.snapshot dev
+      in
+      Bytes.equal (drive ~group_commit:true) (drive ~group_commit:false))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -431,4 +507,5 @@ let suite =
       prop_intra_equivalence;
       prop_allocator;
       prop_log_manager;
+      prop_group_commit_image;
     ]
