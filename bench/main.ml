@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- full    — paper-scale trial counts
 
    Artifacts: table1, fig8, fig9, table2, ablation-truncation,
-   ablation-opt, ablation-modes, ablation-startup, groupcommit, micro. *)
+   ablation-opt, ablation-modes, ablation-startup, groupcommit, micro,
+   baseline (the CI metrics gate; `baseline write` regenerates
+   BENCH_baseline.json). *)
 
 module Harness = Rvm_harness
 
@@ -379,6 +381,141 @@ let groupcommit () =
        ]);
   Printf.printf "wrote %s\n%!" path
 
+(* --- baseline: the CI metrics gate ---
+
+   Deterministic device-efficiency metrics (writes and syncs per committed
+   transaction, on memory devices, so host speed is irrelevant) compared
+   against the checked-in BENCH_baseline.json. CI fails when a change makes
+   the engine issue more I/O per transaction than the baseline allows;
+   `baseline write` regenerates the file after an intentional change. *)
+
+let baseline () =
+  let module J = Rvm_obs.Json in
+  let write_mode = Array.length Sys.argv > 2 && Sys.argv.(2) = "write" in
+  let path = "BENCH_baseline.json" in
+  let txns = 2000 in
+  let run ~batch =
+    let log_dev = Rvm_disk.Mem_device.create ~size:(8 * 1024 * 1024) () in
+    Rvm_core.Rvm.create_log log_dev;
+    let seg_dev = Rvm_disk.Mem_device.create ~size:(1024 * 1024) () in
+    let rvm =
+      Rvm_core.Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) ()
+    in
+    let base = 16 * 4096 in
+    ignore
+      (Rvm_core.Rvm.map rvm ~vaddr:base ~seg:1 ~seg_off:0 ~len:(512 * 1024) ());
+    let payload = Bytes.make 256 'b' in
+    let st = log_dev.Rvm_disk.Device.stats in
+    let w0 = st.Rvm_disk.Device.writes and s0 = st.Rvm_disk.Device.syncs in
+    for i = 1 to txns do
+      let tid =
+        Rvm_core.Rvm.begin_transaction rvm ~mode:Rvm_core.Types.No_restore
+      in
+      let addr = base + (i mod 1000 * 320) in
+      Rvm_core.Rvm.set_range rvm tid ~addr ~len:256;
+      Rvm_core.Rvm.store rvm ~addr payload;
+      Rvm_core.Rvm.end_transaction rvm tid
+        ~mode:
+          (if batch > 1 && i mod batch <> 0 then Rvm_core.Types.No_flush
+           else Rvm_core.Types.Flush)
+    done;
+    (* Counters snapshot before terminate: shutdown's final force is not
+       per-transaction cost. *)
+    let writes = st.Rvm_disk.Device.writes - w0
+    and syncs = st.Rvm_disk.Device.syncs - s0 in
+    Rvm_core.Rvm.terminate rvm;
+    ( float_of_int writes /. float_of_int txns,
+      float_of_int syncs /. float_of_int txns )
+  in
+  let cases =
+    List.map
+      (fun (name, batch) ->
+        let wpt, spt = run ~batch in
+        Printf.printf "  %-8s %.4f writes/txn  %.4f syncs/txn\n%!" name wpt spt;
+        (name, wpt, spt))
+      [ ("flush", 1); ("grouped", 64) ]
+  in
+  let tolerance = 0.10 in
+  if write_mode then begin
+    J.write_file ~path
+      (J.Obj
+         [
+           ("artifact", J.String "baseline");
+           ("txns", J.Int txns);
+           ("tolerance", J.Float tolerance);
+           ( "metrics",
+             J.Obj
+               (List.map
+                  (fun (name, wpt, spt) ->
+                    ( name,
+                      J.Obj
+                        [
+                          ("device_writes_per_txn", J.Float wpt);
+                          ("device_syncs_per_txn", J.Float spt);
+                        ] ))
+                  cases) );
+         ]);
+    Printf.printf "wrote %s\n%!" path
+  end
+  else begin
+    let doc =
+      try J.read_file ~path
+      with Sys_error _ | J.Parse_error _ ->
+        Printf.eprintf
+          "baseline: cannot read %s — regenerate it with `bench baseline \
+           write`\n"
+          path;
+        exit 2
+    in
+    let tolerance =
+      match J.member "tolerance" doc with
+      | Some (J.Float f) -> f
+      | Some (J.Int i) -> float_of_int i
+      | _ -> tolerance
+    in
+    let number = function
+      | Some (J.Float f) -> f
+      | Some (J.Int i) -> float_of_int i
+      | _ ->
+        Printf.eprintf "baseline: %s is malformed\n" path;
+        exit 2
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (name, wpt, spt) ->
+        let case =
+          match Option.bind (J.member "metrics" doc) (J.member name) with
+          | Some c -> c
+          | None ->
+            Printf.eprintf "baseline: no %S entry in %s\n" name path;
+            exit 2
+        in
+        let gate metric current =
+          let allowed = number (J.member metric case) *. (1. +. tolerance) in
+          if current > allowed then begin
+            incr failures;
+            Printf.printf
+              "  REGRESSION %s.%s: %.4f exceeds baseline %.4f (+%.0f%% \
+               tolerance)\n%!"
+              name metric current
+              (number (J.member metric case))
+              (tolerance *. 100.)
+          end
+        in
+        gate "device_writes_per_txn" wpt;
+        gate "device_syncs_per_txn" spt)
+      cases;
+    if !failures > 0 then begin
+      Printf.printf
+        "baseline: %d metric(s) regressed — if intentional, regenerate with \
+         `bench baseline write`\n%!"
+        !failures;
+      exit 1
+    end
+    else Printf.printf "baseline: OK (within %.0f%% of %s)\n%!"
+        (tolerance *. 100.) path
+  end
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match what with
@@ -390,6 +527,7 @@ let () =
   | "ablation-startup" -> Harness.Ablation.startup_latency ()
   | "micro" -> micro ()
   | "groupcommit" -> groupcommit ()
+  | "baseline" -> baseline ()
   | "full" ->
     run_table1_family ~trials:5 ~measure:8000;
     run_table2 ();
@@ -412,6 +550,6 @@ let () =
     Printf.eprintf
       "unknown artifact %S (try: all, full, table1, fig8, fig9, table2, \
        ablation-truncation, ablation-opt, ablation-modes, ablation-startup, \
-       groupcommit, micro)\n"
+       groupcommit, micro, baseline)\n"
       other;
     exit 2

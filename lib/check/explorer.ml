@@ -1,6 +1,8 @@
 open Rvm_core
 module Mem_device = Rvm_disk.Mem_device
 module Trace_device = Rvm_disk.Trace_device
+module Device = Rvm_disk.Device
+module Registry = Rvm_obs.Registry
 
 type config = {
   region_len : int;
@@ -30,6 +32,7 @@ type violation = {
   required : int;
   commits : int;
   reason : string;
+  tail : Registry.span_event list;
 }
 
 type write_point = {
@@ -105,6 +108,27 @@ let run_workload config ops =
   let recorder = Trace_device.create_recorder () in
   let tlog = Trace_device.wrap recorder log_mem in
   let tseg = Trace_device.wrap recorder seg_mem in
+  (* The workload runs with its flight recorder on, and [seq_at] maps each
+     device event index to the engine-span cursor when that event was
+     issued — so a violation at any crash point can be reported together
+     with the spans the engine finished just before the crashed write. *)
+  let obs = Registry.create ~trace_capacity:8192 () in
+  let seq_at = Hashtbl.create 256 in
+  let note base =
+    let note_now () =
+      Hashtbl.replace seq_at
+        (Trace_device.event_count recorder)
+        (Registry.trace_seq obs)
+    in
+    Device.layer
+      ~write:(fun b ~off ~buf ~pos ~len ->
+        note_now ();
+        b.Device.write ~off ~buf ~pos ~len)
+      ~sync:(fun b ->
+        note_now ();
+        b.Device.sync ())
+      base
+  in
   let options =
     {
       Options.default with
@@ -114,8 +138,8 @@ let run_workload config ops =
     }
   in
   let rvm =
-    Rvm.reinitialize ~options ~log:(Trace_device.device tlog)
-      ~resolve:(fun _ -> Trace_device.device tseg)
+    Rvm.reinitialize ~options ~obs ~log:(note (Trace_device.device tlog))
+      ~resolve:(fun _ -> note (Trace_device.device tseg))
       ()
   in
   let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:config.region_len () in
@@ -161,7 +185,7 @@ let run_workload config ops =
         note_durable ()
       | Workload.Truncate -> Rvm.truncate rvm)
     ops;
-  (recorder, tlog, tseg, model, !checkpoints)
+  (recorder, tlog, tseg, model, !checkpoints, obs, seq_at)
 
 (* Mount the two reconstructed images, run recovery, and read back the
    region bytes. *)
@@ -182,15 +206,34 @@ let recover_image config ~log_img ~seg_img =
   let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:config.region_len () in
   Rvm.load rvm ~addr:region.Region.vaddr ~len:config.region_len
 
+let tail_length = 16
+
 let run ?(config = default_config) ops =
   if config.sector <= 0 then invalid_arg "Explorer.run: sector must be positive";
-  let recorder, tlog, tseg, model, checkpoints = run_workload config ops in
+  let recorder, tlog, tseg, model, checkpoints, obs, seq_at =
+    run_workload config ops
+  in
   let events = Trace_device.events recorder in
   let n = Array.length events in
   let required_at k =
     List.fold_left
       (fun acc (e, d) -> if e <= k then max acc d else acc)
       0 checkpoints
+  in
+  (* Flight-recorder tail: the last [tail_length] spans the engine closed
+     before the crash point's device event was issued. The workload is
+     over, so the span set is final. *)
+  let spans = Array.of_list (Registry.events obs) in
+  let final_seq = Registry.trace_seq obs in
+  let first_idx = final_seq - Array.length spans in
+  let tail_before (crash : crash_point) =
+    let s =
+      if crash.upto >= n then final_seq
+      else Option.value (Hashtbl.find_opt seq_at crash.upto) ~default:final_seq
+    in
+    let lo = max first_idx (s - tail_length) in
+    if s <= lo then []
+    else Array.to_list (Array.sub spans (lo - first_idx) (s - lo))
   in
   let commits = Model.commit_count model in
   let violations = ref [] in
@@ -215,6 +258,7 @@ let run ?(config = default_config) ops =
           required;
           commits;
           reason = "recovery raised: " ^ Printexc.to_string e;
+          tail = tail_before crash;
         }
         :: !violations
     | recovered -> (
@@ -227,6 +271,7 @@ let run ?(config = default_config) ops =
             required;
             commits;
             reason = Model.describe_mismatch model ~min:required recovered;
+            tail = tail_before crash;
           }
           :: !violations)
   in

@@ -42,6 +42,10 @@ type violation = {
   required : int;  (** commits that had to survive *)
   commits : int;  (** commits issued before the crash enumeration *)
   reason : string;
+  tail : Rvm_obs.Registry.span_event list;
+      (** flight-recorder tail: the last spans (up to 16) the engine
+          closed before the crashed device event was issued — what the
+          engine was doing when the injected crash hit *)
 }
 
 type write_point = {

@@ -5,9 +5,18 @@ let pp_crash_point ppf (c : Explorer.crash_point) =
     Format.fprintf ppf "event %d torn after %d byte(s)" c.Explorer.upto keep
 
 let pp_violation ppf (v : Explorer.violation) =
-  Format.fprintf ppf "@[<v 2>violation at crash point %a:@ %s@ (required %d of %d commits durable)@]"
+  Format.fprintf ppf "@[<v 2>violation at crash point %a:@ %s@ (required %d of %d commits durable)"
     pp_crash_point v.Explorer.crash v.Explorer.reason v.Explorer.required
-    v.Explorer.commits
+    v.Explorer.commits;
+  (match v.Explorer.tail with
+  | [] -> ()
+  | tail ->
+    Format.fprintf ppf "@ flight recorder (last %d span(s) before the crash):"
+      (List.length tail);
+    List.iter
+      (fun ev -> Format.fprintf ppf "@   %a" Rvm_obs.Trace.pp_span ev)
+      tail);
+  Format.fprintf ppf "@]"
 
 let pp_outcome ppf (o : Explorer.outcome) =
   Format.fprintf ppf

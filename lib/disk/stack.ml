@@ -46,18 +46,24 @@ let with_stats ?obs ?(prefix = "disk") () base =
     let bytes_read = R.counter reg (prefix ^ ".bytes_read") in
     let bytes_written = R.counter reg (prefix ^ ".bytes_written") in
     let write_sizes = R.histogram reg (prefix ^ ".write.bytes") in
+    (* Device ops are also spans, so a trace shows each write/sync under
+       the transaction (or truncation, or recovery) that issued it. *)
+    let write_scope = prefix ^ ".write" in
+    let sync_scope = prefix ^ ".sync" in
     Device.layer
       ~read:(fun b ~off ~buf ~pos ~len ->
         b.Device.read ~off ~buf ~pos ~len;
         C.incr reads;
         C.add bytes_read len)
       ~write:(fun b ~off ~buf ~pos ~len ->
-        b.Device.write ~off ~buf ~pos ~len;
+        R.span reg write_scope
+          ~attrs:[ ("off", Rvm_obs.Trace.Int off); ("bytes", Rvm_obs.Trace.Int len) ]
+          (fun () -> b.Device.write ~off ~buf ~pos ~len);
         C.incr writes;
         C.add bytes_written len;
         Rvm_obs.Histogram.observe write_sizes (float_of_int len))
       ~sync:(fun b ->
-        b.Device.sync ();
+        R.span reg sync_scope (fun () -> b.Device.sync ());
         C.incr syncs)
       base
 

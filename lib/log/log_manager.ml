@@ -169,11 +169,14 @@ let drain t =
   | Some sp ->
     if not (Tail_buffer.is_empty sp) then begin
       let bytes = Tail_buffer.bytes sp in
-      Rvm_obs.Registry.span t.obs "log.drain" (fun () ->
+      Rvm_obs.Registry.span t.obs "log.drain"
+        ~attrs:[ ("bytes", Rvm_obs.Trace.Int bytes) ]
+        (fun () ->
           let writes =
             Tail_buffer.drain sp ~write:(fun ~off ~buf ~pos ~len ->
                 t.dev.Device.write ~off ~buf ~pos ~len)
           in
+          Rvm_obs.Registry.add_attr t.obs "writes" (Rvm_obs.Trace.Int writes);
           Rvm_obs.Counter.add t.c_drain_writes writes);
       Rvm_obs.Histogram.observe t.h_drain_bytes (float_of_int bytes);
       t.dirty <- true
@@ -248,7 +251,9 @@ let append t ~tid ?timestamp_us ?flags ranges =
 
 let force t =
   drain t;
-  Rvm_obs.Registry.span t.obs "log.force" (fun () -> t.dev.Device.sync ());
+  Rvm_obs.Registry.span t.obs "log.force"
+    ~attrs:[ ("records", Rvm_obs.Trace.Int t.unforced_records) ]
+    (fun () -> t.dev.Device.sync ());
   (* Every record beyond the first made durable by this sync absorbed a
      force it would have paid on its own (the group-commit win). *)
   if t.unforced_records > 1 then

@@ -1,0 +1,249 @@
+let layer scope =
+  match String.index_opt scope '.' with
+  | Some i -> String.sub scope 0 i
+  | None -> scope
+
+let value_json = function
+  | Trace.Bool b -> Json.Bool b
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.String s -> Json.String s
+
+(* Tracks appear in Perfetto in tid order; put the causal top of the stack
+   (transactions) first and the device layer last so a trace reads
+   top-down the way the system is layered. *)
+let preferred_layers =
+  [ "txn"; "commit"; "recovery"; "log"; "truncation"; "segment"; "disk" ]
+
+let chrome_trace ?(process_name = "rvm") (spans : Registry.span_event list) =
+  let open Json in
+  let tid_of = Hashtbl.create 8 in
+  let tids_rev = ref [] in
+  let next = ref 0 in
+  let assign l =
+    if not (Hashtbl.mem tid_of l) then begin
+      incr next;
+      Hashtbl.add tid_of l !next;
+      tids_rev := (l, !next) :: !tids_rev
+    end
+  in
+  let present = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Registry.span_event) ->
+      Hashtbl.replace present (layer s.scope) ())
+    spans;
+  List.iter (fun l -> if Hashtbl.mem present l then assign l) preferred_layers;
+  List.iter (fun (s : Registry.span_event) -> assign (layer s.scope)) spans;
+  let meta ~tid name args =
+    Obj
+      [
+        ("name", String name);
+        ("ph", String "M");
+        ("pid", Int 1);
+        ("tid", Int tid);
+        ("args", Obj args);
+      ]
+  in
+  let metas =
+    meta ~tid:0 "process_name" [ ("name", String process_name) ]
+    :: List.concat_map
+         (fun (l, tid) ->
+           [
+             meta ~tid "thread_name" [ ("name", String l) ];
+             meta ~tid "thread_sort_index" [ ("sort_index", Int tid) ];
+           ])
+         (List.rev !tids_rev)
+  in
+  let event (s : Registry.span_event) =
+    let args =
+      ("id", Int s.id)
+      :: (match s.parent with Some p -> [ ("parent", Int p) ] | None -> [])
+      @ List.map (fun (k, v) -> (k, value_json v)) s.attrs
+    in
+    Obj
+      [
+        ("name", String s.scope);
+        ("cat", String (layer s.scope));
+        ("ph", String "X");
+        ("ts", Float s.start_us);
+        ("dur", Float s.dur_us);
+        ("pid", Int 1);
+        ("tid", Int (Hashtbl.find tid_of (layer s.scope)));
+        ("args", Obj args);
+      ]
+  in
+  Obj
+    [
+      ("traceEvents", List (metas @ List.map event spans));
+      ("displayTimeUnit", String "ms");
+    ]
+
+let write_chrome_trace ?process_name ~path spans =
+  Json.write_file ~path (chrome_trace ?process_name spans)
+
+(* --- per-transaction cost attribution --- *)
+
+type txn_cost = {
+  root : Registry.span_event;
+  txn_id : int option;
+  encode_us : float;
+  spool_us : float;
+  drain_us : float;
+  sync_us : float;
+}
+
+let is_txn_root (s : Registry.span_event) =
+  s.scope = "txn.commit" || s.scope = "txn.abort"
+
+let txn_root spans (s : Registry.span_event) =
+  let tbl = Hashtbl.create (List.length spans) in
+  List.iter
+    (fun (sp : Registry.span_event) -> Hashtbl.replace tbl sp.id sp)
+    spans;
+  let rec go (s : Registry.span_event) =
+    if is_txn_root s then Some s
+    else
+      match s.parent with
+      | None -> None
+      | Some p -> (
+        match Hashtbl.find_opt tbl p with None -> None | Some ps -> go ps)
+  in
+  go s
+
+type phase = Encode | Spool | Drain | Sync
+
+let phase_of_scope = function
+  | "commit.encode" -> Some Encode
+  | "commit.no_flush" -> Some Spool
+  | "log.drain" -> Some Drain
+  | "log.force" -> Some Sync
+  | _ -> None
+
+let txn_costs (spans : Registry.span_event list) =
+  let tbl = Hashtbl.create (List.length spans) in
+  List.iter
+    (fun (sp : Registry.span_event) -> Hashtbl.replace tbl sp.id sp)
+    spans;
+  let rec root_of (s : Registry.span_event) =
+    if is_txn_root s then Some s
+    else
+      match s.parent with
+      | None -> None
+      | Some p -> (
+        match Hashtbl.find_opt tbl p with None -> None | Some ps -> root_of ps)
+  in
+  let acc = Hashtbl.create 64 in
+  (* root id -> (encode, spool, drain, sync) refs *)
+  let bucket root_id =
+    match Hashtbl.find_opt acc root_id with
+    | Some b -> b
+    | None ->
+      let b = (ref 0., ref 0., ref 0., ref 0.) in
+      Hashtbl.add acc root_id b;
+      b
+  in
+  List.iter
+    (fun (s : Registry.span_event) ->
+      match phase_of_scope s.scope with
+      | None -> ()
+      | Some phase -> (
+        match root_of s with
+        | None -> ()
+        | Some root ->
+          let e, sp, d, sy = bucket root.id in
+          let r =
+            match phase with
+            | Encode -> e
+            | Spool -> sp
+            | Drain -> d
+            | Sync -> sy
+          in
+          r := !r +. s.dur_us))
+    spans;
+  List.filter_map
+    (fun (s : Registry.span_event) ->
+      if not (is_txn_root s) then None
+      else
+        let e, sp, d, sy =
+          match Hashtbl.find_opt acc s.id with
+          | Some (e, sp, d, sy) -> (!e, !sp, !d, !sy)
+          | None -> (0., 0., 0., 0.)
+        in
+        let txn_id =
+          match List.assoc_opt "txn_id" s.attrs with
+          | Some (Trace.Int i) -> Some i
+          | _ -> None
+        in
+        Some
+          {
+            root = s;
+            txn_id;
+            encode_us = e;
+            spool_us = sp;
+            drain_us = d;
+            sync_us = sy;
+          })
+    spans
+
+let pp_top ?(slowest = 5) ppf spans =
+  let costs = txn_costs spans in
+  let commits =
+    List.filter (fun c -> c.root.Trace.scope = "txn.commit") costs
+  in
+  let aborts = List.length costs - List.length commits in
+  Format.fprintf ppf "@[<v>transactions: %d committed, %d aborted@,"
+    (List.length commits) aborts;
+  if commits = [] then Format.fprintf ppf "(no committed transactions)@]"
+  else begin
+    let mk name = Histogram.v name in
+    let total = mk "total"
+    and encode = mk "encode"
+    and spool = mk "spool"
+    and drain = mk "drain"
+    and sync = mk "sync" in
+    List.iter
+      (fun c ->
+        Histogram.observe total c.root.Trace.dur_us;
+        Histogram.observe encode c.encode_us;
+        Histogram.observe spool c.spool_us;
+        Histogram.observe drain c.drain_us;
+        Histogram.observe sync c.sync_us)
+      commits;
+    Format.fprintf ppf "commit latency (us):%14s%10s%10s%10s%10s@," "p50" "p95"
+      "p99" "max" "mean";
+    let row name h =
+      Format.fprintf ppf "  %-16s%12.1f%10.1f%10.1f%10.1f%10.1f@," name
+        (Histogram.percentile h 50.)
+        (Histogram.percentile h 95.)
+        (Histogram.percentile h 99.)
+        (Histogram.max_value h) (Histogram.mean h)
+    in
+    row "total" total;
+    row "encode" encode;
+    row "spool" spool;
+    row "drain" drain;
+    row "sync" sync;
+    let sorted =
+      List.sort
+        (fun a b -> compare b.root.Trace.dur_us a.root.Trace.dur_us)
+        commits
+    in
+    let rec take k l =
+      if k <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (k - 1) r
+    in
+    let top = take slowest sorted in
+    if top <> [] then begin
+      Format.fprintf ppf "slowest commits:@,";
+      List.iter
+        (fun c ->
+          let id =
+            match c.txn_id with Some i -> string_of_int i | None -> "?"
+          in
+          Format.fprintf ppf
+            "  txn=%-8s total=%-10.1f encode=%-8.1f spool=%-8.1f \
+             drain=%-8.1f sync=%.1f@,"
+            id c.root.Trace.dur_us c.encode_us c.spool_us c.drain_us c.sync_us)
+        top
+    end;
+    Format.fprintf ppf "@]"
+  end

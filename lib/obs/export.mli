@@ -1,0 +1,46 @@
+(** Trace exporters: Chrome trace_event JSON and a [top]-style summary.
+
+    Consumes the spans retained by a {!Registry} flight recorder. The
+    Chrome export loads in Perfetto / [chrome://tracing]: one process,
+    one track (thread) per layer — the layer is the scope prefix before
+    the first dot, so [disk.log.sync] lands on the [disk] track and
+    [txn.commit] on the [txn] track — with span ids, parents and typed
+    attributes preserved under [args]. *)
+
+val layer : string -> string
+(** [layer "disk.log.sync"] is ["disk"]. *)
+
+val chrome_trace : ?process_name:string -> Registry.span_event list -> Json.t
+(** Chrome trace_event document: [{"traceEvents": [...]}] with ["M"]
+    metadata events naming the process and per-layer threads, then one
+    ["X"] (complete) event per span — [ts]/[dur] in microseconds, [args]
+    carrying [id], [parent] and the span attributes. *)
+
+val write_chrome_trace :
+  ?process_name:string -> path:string -> Registry.span_event list -> unit
+
+(** {2 Per-transaction cost attribution} *)
+
+type txn_cost = {
+  root : Registry.span_event;  (** the [txn.commit] / [txn.abort] span *)
+  txn_id : int option;  (** from the root's [txn_id] attribute *)
+  encode_us : float;  (** time in [commit.encode] descendants *)
+  spool_us : float;  (** time in [commit.no_flush] descendants *)
+  drain_us : float;  (** time in [log.drain] descendants *)
+  sync_us : float;  (** time in [log.force] descendants *)
+}
+
+val txn_root :
+  Registry.span_event list -> Registry.span_event -> Registry.span_event option
+(** Nearest enclosing transaction root ([txn.commit] or [txn.abort]) of a
+    span, walking parents within the given retained set; [None] when the
+    chain leaves the ring or hits a non-transaction root. *)
+
+val txn_costs : Registry.span_event list -> txn_cost list
+(** One entry per transaction root in the trace, in close order, with
+    descendant durations bucketed into encode / spool / drain / sync. *)
+
+val pp_top : ?slowest:int -> Format.formatter -> Registry.span_event list -> unit
+(** [top]-style report: committed/aborted counts, p50/p95/p99/max/mean
+    commit latency split into encode, spool, drain and sync, and the
+    [slowest] (default 5) commits with their per-phase breakdown. *)

@@ -66,6 +66,10 @@ let quantile t q =
     Float.min !result t.mx
   end
 
+let percentile t p =
+  let p = if p < 0. then 0. else if p > 100. then 100. else p in
+  quantile t (p /. 100.)
+
 let buckets t =
   let acc = ref [] in
   for i = bucket_count - 1 downto 0 do

@@ -24,6 +24,12 @@ val quantile : t -> float -> float
 (** [quantile t q] (0 <= q <= 1): upper bound of the bucket where the
     cumulative count reaches [q]; 0 when empty. *)
 
+val percentile : t -> float -> float
+(** [percentile t p] (0 <= p <= 100, clamped): [quantile t (p /. 100.)] —
+    the p50/p95/p99 convention used by {!Registry.pp} and the JSON
+    snapshots. Like {!quantile}, the result is a bucket upper bound
+    clamped to the observed maximum. *)
+
 val buckets : t -> (float * int) list
 (** Non-empty buckets as [(upper_bound, count)], ascending. *)
 

@@ -22,3 +22,15 @@ val to_string_pretty : t -> string
 
 val write_file : path:string -> t -> unit
 (** Write the pretty rendering atomically-ish (temp file + rename). *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a JSON document (whole string, surrogate pairs unsupported).
+    Numbers without [.]/[e] parse as [Int] when they fit, [Float]
+    otherwise. Raises {!Parse_error}. *)
+
+val read_file : path:string -> t
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects and missing keys. *)

@@ -1,12 +1,20 @@
-type span_event = { scope : string; start_us : float; dur_us : float }
+type span_event = Trace.span = {
+  id : int;
+  parent : int option;
+  scope : string;
+  start_us : float;
+  dur_us : float;
+  attrs : (string * Trace.value) list;
+}
 
 type t = {
   counters : (string, Counter.t) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
+  (* One lookup per span instead of two concats + two lookups: a span
+     scope resolves its [.count] / [.us] handles once. *)
+  span_handles : (string, Counter.t * Histogram.t) Hashtbl.t;
   mutable now_us : unit -> float;
-  mutable trace : span_event list;  (* newest first *)
-  mutable trace_len : int;
-  mutable trace_cap : int;
+  trace : Trace.t;
 }
 
 let default_now () = Unix.gettimeofday () *. 1e6
@@ -15,14 +23,14 @@ let create ?(trace_capacity = 0) () =
   {
     counters = Hashtbl.create 32;
     histograms = Hashtbl.create 16;
+    span_handles = Hashtbl.create 16;
     now_us = default_now;
-    trace = [];
-    trace_len = 0;
-    trace_cap = trace_capacity;
+    trace = Trace.create ~capacity:trace_capacity ();
   }
 
 let set_time_source t f = t.now_us <- f
-let set_trace_capacity t n = t.trace_cap <- n
+let set_trace_capacity t n = Trace.set_capacity t.trace n
+let trace_capacity t = Trace.capacity t.trace
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -40,30 +48,21 @@ let histogram t name =
     Hashtbl.add t.histograms name h;
     h
 
-let push_event t ev =
-  t.trace <- ev :: t.trace;
-  t.trace_len <- t.trace_len + 1;
-  if t.trace_len > t.trace_cap then begin
-    (* Drop the oldest. Trimming the list tail is O(n); cap overruns are
-       amortized by halving: keep the newest [cap] events. *)
-    let rec take n = function
-      | x :: rest when n > 0 -> x :: take (n - 1) rest
-      | _ -> []
-    in
-    t.trace <- take t.trace_cap t.trace;
-    t.trace_len <- t.trace_cap
-  end
+let span_handles t name =
+  match Hashtbl.find_opt t.span_handles name with
+  | Some ch -> ch
+  | None ->
+    let ch = (counter t (name ^ ".count"), histogram t (name ^ ".us")) in
+    Hashtbl.add t.span_handles name ch;
+    ch
 
-let span t name f =
-  let c = counter t (name ^ ".count") in
-  let h = histogram t (name ^ ".us") in
-  let start = t.now_us () in
+let span ?attrs t name f =
+  let c, h = span_handles t name in
+  Trace.enter t.trace ~now:(t.now_us ()) ?attrs name;
   let finish () =
-    let dur = t.now_us () -. start in
+    let sp = Trace.exit t.trace ~now:(t.now_us ()) in
     Counter.incr c;
-    Histogram.observe h dur;
-    if t.trace_cap > 0 then
-      push_event t { scope = name; start_us = start; dur_us = dur }
+    Histogram.observe h sp.Trace.dur_us
   in
   match f () with
   | x ->
@@ -73,7 +72,16 @@ let span t name f =
     finish ();
     raise e
 
-let events t = List.rev t.trace
+let add_attr t key v = Trace.add_attr t.trace key v
+
+let instant ?attrs t name =
+  Counter.incr (counter t (name ^ ".count"));
+  Trace.instant t.trace ~now:(t.now_us ()) ?attrs name
+
+let current_span t = Trace.current t.trace
+let events t = Trace.events t.trace
+let events_since t cursor = Trace.events_since t.trace cursor
+let trace_seq t = Trace.seq t.trace
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
@@ -87,8 +95,7 @@ let histograms t = sorted_bindings t.histograms
 let reset t =
   Hashtbl.iter (fun _ c -> Counter.reset c) t.counters;
   Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms;
-  t.trace <- [];
-  t.trace_len <- 0
+  Trace.clear t.trace
 
 let histogram_json h =
   let open Json in
@@ -101,9 +108,40 @@ let histogram_json h =
         if Histogram.count h = 0 then Null else Float (Histogram.min_value h) );
       ( "max",
         if Histogram.count h = 0 then Null else Float (Histogram.max_value h) );
-      ("p50", Float (Histogram.quantile h 0.5));
-      ("p99", Float (Histogram.quantile h 0.99));
+      ("p50", Float (Histogram.percentile h 50.));
+      ("p95", Float (Histogram.percentile h 95.));
+      ("p99", Float (Histogram.percentile h 99.));
     ]
+
+let value_json = function
+  | Trace.Bool b -> Json.Bool b
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.String s -> Json.String s
+
+let span_json (ev : span_event) =
+  let open Json in
+  let members =
+    [
+      ("id", Int ev.id);
+      ("scope", String ev.scope);
+      ("start_us", Float ev.start_us);
+      ("dur_us", Float ev.dur_us);
+    ]
+  in
+  let members =
+    match ev.parent with
+    | Some p -> members @ [ ("parent", Int p) ]
+    | None -> members
+  in
+  let members =
+    match ev.attrs with
+    | [] -> members
+    | attrs ->
+      members
+      @ [ ("attrs", Obj (List.map (fun (k, v) -> (k, value_json v)) attrs)) ]
+  in
+  Obj members
 
 let to_json t =
   let open Json in
@@ -117,21 +155,7 @@ let to_json t =
   let members =
     match events t with
     | [] -> members
-    | evs ->
-      members
-      @ [
-          ( "spans",
-            List
-              (List.map
-                 (fun ev ->
-                   Obj
-                     [
-                       ("scope", String ev.scope);
-                       ("start_us", Float ev.start_us);
-                       ("dur_us", Float ev.dur_us);
-                     ])
-                 evs) );
-        ]
+    | evs -> members @ [ ("spans", List (List.map span_json evs)) ]
   in
   Obj members
 
@@ -148,11 +172,24 @@ let pp ppf t =
     List.iter
       (fun (k, h) ->
         Format.fprintf ppf
-          "  %-40s n=%d mean=%.1f min=%.1f max=%.1f p50=%.1f p99=%.1f@," k
-          (Histogram.count h) (Histogram.mean h) (Histogram.min_value h)
-          (Histogram.max_value h) (Histogram.quantile h 0.5)
-          (Histogram.quantile h 0.99))
+          "  %-40s n=%d mean=%.1f min=%.1f max=%.1f p50=%.1f p95=%.1f \
+           p99=%.1f@,"
+          k (Histogram.count h) (Histogram.mean h) (Histogram.min_value h)
+          (Histogram.max_value h)
+          (Histogram.percentile h 50.)
+          (Histogram.percentile h 95.)
+          (Histogram.percentile h 99.))
       hs
   end;
   if cs = [] && hs = [] then Format.fprintf ppf "(empty)@,";
+  Format.fprintf ppf "@]"
+
+let pp_tail ?(n = 16) ppf t =
+  let evs = events t in
+  let len = List.length evs in
+  let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: r -> drop (k - 1) r in
+  let tail = drop (len - n) evs in
+  Format.fprintf ppf "@[<v>flight recorder: last %d of %d retained span(s)"
+    (List.length tail) len;
+  List.iter (fun ev -> Format.fprintf ppf "@,  %a" Trace.pp_span ev) tail;
   Format.fprintf ppf "@]"

@@ -1,0 +1,143 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type span = {
+  id : int;
+  parent : int option;
+  scope : string;
+  start_us : float;
+  dur_us : float;
+  attrs : (string * value) list;
+}
+
+type frame = {
+  f_id : int;
+  f_parent : int option;
+  f_scope : string;
+  f_start : float;
+  mutable f_attrs : (string * value) list;  (* newest first *)
+}
+
+(* Spans live in a power-agnostic circular array indexed by their global
+   sequence number: span [g] sits at slot [g mod cap], so the retained
+   window is always [seq - len, seq) in insertion order and readers never
+   re-sort or re-reverse anything. *)
+type t = {
+  mutable ring : span array;
+  mutable cap : int;
+  mutable len : int;  (* retained spans, <= cap *)
+  mutable seq : int;  (* spans ever finished (recorded or not) *)
+  mutable next_id : int;
+  mutable stack : frame list;  (* open spans, innermost first *)
+}
+
+let dummy =
+  { id = 0; parent = None; scope = ""; start_us = 0.; dur_us = 0.; attrs = [] }
+
+let create ?(capacity = 0) () =
+  let capacity = max capacity 0 in
+  {
+    ring = Array.make capacity dummy;
+    cap = capacity;
+    len = 0;
+    seq = 0;
+    next_id = 1;
+    stack = [];
+  }
+
+let capacity t = t.cap
+let seq t = t.seq
+let length t = t.len
+let depth t = List.length t.stack
+
+let set_capacity t n =
+  let n = max n 0 in
+  let keep = min t.len n in
+  let ring = Array.make n dummy in
+  for i = 0 to keep - 1 do
+    let g = t.seq - keep + i in
+    ring.(g mod n) <- t.ring.(g mod t.cap)
+  done;
+  t.ring <- ring;
+  t.cap <- n;
+  t.len <- keep
+
+let record t span =
+  if t.cap > 0 then begin
+    t.ring.(t.seq mod t.cap) <- span;
+    if t.len < t.cap then t.len <- t.len + 1
+  end;
+  t.seq <- t.seq + 1
+
+let current t = match t.stack with [] -> None | f :: _ -> Some f.f_id
+
+let enter t ~now ?(attrs = []) scope =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.stack <-
+    {
+      f_id = id;
+      f_parent = current t;
+      f_scope = scope;
+      f_start = now;
+      f_attrs = List.rev attrs;
+    }
+    :: t.stack
+
+let add_attr t key v =
+  match t.stack with
+  | [] -> ()
+  | f :: _ -> f.f_attrs <- (key, v) :: f.f_attrs
+
+let exit t ~now =
+  match t.stack with
+  | [] -> invalid_arg "Trace.exit: no open span"
+  | f :: rest ->
+    t.stack <- rest;
+    let span =
+      {
+        id = f.f_id;
+        parent = f.f_parent;
+        scope = f.f_scope;
+        start_us = f.f_start;
+        dur_us = now -. f.f_start;
+        attrs = List.rev f.f_attrs;
+      }
+    in
+    record t span;
+    span
+
+let instant t ~now ?(attrs = []) scope =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  record t
+    { id; parent = current t; scope; start_us = now; dur_us = 0.; attrs }
+
+let events_since t since =
+  let lo = max since (t.seq - t.len) in
+  let acc = ref [] in
+  for g = t.seq - 1 downto lo do
+    acc := t.ring.(g mod t.cap) :: !acc
+  done;
+  (!acc, t.seq)
+
+let events t = fst (events_since t 0)
+
+let clear t = t.len <- 0
+
+let pp_value ppf = function
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.pp_print_string ppf s
+
+let pp_span ppf s =
+  Format.fprintf ppf "#%d" s.id;
+  (match s.parent with
+  | Some p -> Format.fprintf ppf "<#%d" p
+  | None -> ());
+  Format.fprintf ppf " %s @%.1f +%.1fus" s.scope s.start_us s.dur_us;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) s.attrs

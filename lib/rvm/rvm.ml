@@ -9,6 +9,7 @@ module Page = Rvm_vm.Page
 module Page_table = Rvm_vm.Page_table
 module Vm_sim = Rvm_vm.Vm_sim
 module Registry = Rvm_obs.Registry
+module Trace = Rvm_obs.Trace
 module C = Rvm_obs.Counter
 module Lv = Statistics.Live
 
@@ -371,6 +372,10 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
     ?(model = Cost_model.dec5000) ?obs ?vm ~log ~resolve () =
   Options.validate options;
   let obs = match obs with Some o -> o | None -> Registry.create () in
+  (* The flight recorder is always on: if the caller did not size the
+     trace ring, keep the last 512 spans so post-mortems (abort, failed
+     recovery, crash counterexamples) always have a tail to show. *)
+  if Registry.trace_capacity obs = 0 then Registry.set_trace_capacity obs 512;
   (* Span durations follow the simulated clock when there is one, so traces
      report simulated microseconds consistently with the cost model. *)
   if not (Clock.is_null clock) then
@@ -413,21 +418,29 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
      [Statistics.recoveries]. *)
   if not (Log_manager.is_empty lm) then
     Registry.span t.obs "recovery" (fun () ->
-        let outcome =
+        match
           Recovery.recover ~obs ~resolve:(fun id -> segment t id) ~clock
             ~model lm
-        in
-        L.info (fun m ->
-            m "recovery applied %d records (%d bytes)"
-              outcome.Recovery.records_seen outcome.Recovery.bytes_applied));
+        with
+        | outcome ->
+          L.info (fun m ->
+              m "recovery applied %d records (%d bytes)"
+                outcome.Recovery.records_seen outcome.Recovery.bytes_applied)
+        | exception e ->
+          (* A failed recovery is exactly what the flight recorder is for:
+             dump what the engine did right up to the failure. *)
+          L.err (fun m ->
+              m "recovery failed: %s@,%a" (Printexc.to_string e)
+                (Registry.pp_tail ?n:None) t.obs);
+          raise e);
   t
 
-let reinitialize ?options ~log ~resolve () =
+let reinitialize ?options ?obs ~log ~resolve () =
   (* A simulated clock (never the null one) keeps [now_us] off the wall
      clock, so replaying the same durable image always produces the same
      instance state, log contents and trace — the property the crash-point
      explorer's exhaustive enumeration rests on. *)
-  initialize ?options ~clock:(Clock.simulated ()) ~model:Cost_model.dec5000
+  initialize ?options ?obs ~clock:(Clock.simulated ()) ~model:Cost_model.dec5000
     ~log ~resolve ()
 
 let active_transactions t = Hashtbl.length t.txns
@@ -502,11 +515,21 @@ let unmap t (region : Region.t) =
 
 (* --- transactions --- *)
 
+let mode_name = function
+  | Types.Restore -> "restore"
+  | Types.No_restore -> "no-restore"
+
 let begin_transaction t ~mode =
   check_live t;
   let tid = t.next_tid in
   t.next_tid <- t.next_tid + 1;
   Hashtbl.add t.txns tid (Txn.create ~tid ~mode ~started_us:(now_us t));
+  (* A point event, not a span: begin/end are separate API calls, so the
+     causal root for everything a transaction does is the [txn.commit]
+     span around [end_transaction]. *)
+  Registry.instant t.obs "txn.begin"
+    ~attrs:
+      [ ("txn_id", Trace.Int tid); ("mode", Trace.String (mode_name mode)) ];
   tid
 
 let set_range t tid ~addr ~len =
@@ -643,11 +666,15 @@ let finish_txn t (txn : Txn.t) status =
           pr.Txn.region.Region.active_txns - 1)
     (Txn.regions txn)
 
-let end_transaction t tid ~mode =
-  check_live t;
-  let txn = find_txn t tid in
+let end_transaction_inner t tid txn ~mode =
   cpu t t.model.Cost_model.txn_overhead_us;
-  let ranges, logged_bytes, naive_bytes = build_ranges t txn in
+  let ranges, logged_bytes, naive_bytes =
+    Registry.span t.obs "commit.encode" (fun () ->
+        let ((ranges, logged_bytes, _) as r) = build_ranges t txn in
+        Registry.add_attr t.obs "ranges" (Trace.Int (List.length ranges));
+        Registry.add_attr t.obs "bytes" (Trace.Int logged_bytes);
+        r)
+  in
   let pages = txn_pages txn in
   let flags =
     (match mode with Types.No_flush -> Record.Flags.no_flush | Types.Flush -> 0)
@@ -720,6 +747,26 @@ let end_transaction t tid ~mode =
   C.incr t.live.Lv.txns_committed;
   maybe_truncate t
 
+let end_transaction t tid ~mode =
+  check_live t;
+  let txn = find_txn t tid in
+  (* The transaction-rooted span: everything commit causes — encode,
+     spooling, log writes, forces, even truncation triggered by this
+     commit filling the log — happens inside it, so every device-level
+     span in a trace chains up to exactly one [txn.commit]. *)
+  Registry.span t.obs "txn.commit"
+    ~attrs:
+      [
+        ("txn_id", Trace.Int tid);
+        ("mode", Trace.String (mode_name txn.Txn.mode));
+        ( "commit",
+          Trace.String
+            (match mode with
+            | Types.Flush -> "flush"
+            | Types.No_flush -> "no-flush") );
+      ]
+    (fun () -> end_transaction_inner t tid txn ~mode)
+
 let abort_transaction t tid =
   check_live t;
   let txn = find_txn t tid in
@@ -728,17 +775,23 @@ let abort_transaction t tid =
       "abort: transaction %d was begun in no-restore mode (the application \
        promised never to abort)"
       tid;
-  (* Each byte was saved exactly once, at first coverage, so restoring in
-     any order yields the pre-transaction image. *)
-  List.iter
-    (fun { Txn.region; region_off; old_value } ->
-      Bytes.blit old_value 0 region.Region.buf region_off
-        (Bytes.length old_value);
-      cpu t (copy_cost t (Bytes.length old_value)))
-    txn.Txn.saved;
-  release_page_refs (txn_pages txn);
-  finish_txn t txn Txn.Aborted;
-  C.incr t.live.Lv.txns_aborted
+  Registry.span t.obs "txn.abort" ~attrs:[ ("txn_id", Trace.Int tid) ]
+    (fun () ->
+      (* Each byte was saved exactly once, at first coverage, so restoring
+         in any order yields the pre-transaction image. *)
+      List.iter
+        (fun { Txn.region; region_off; old_value } ->
+          Bytes.blit old_value 0 region.Region.buf region_off
+            (Bytes.length old_value);
+          cpu t (copy_cost t (Bytes.length old_value)))
+        txn.Txn.saved;
+      release_page_refs (txn_pages txn);
+      finish_txn t txn Txn.Aborted;
+      C.incr t.live.Lv.txns_aborted);
+  (* Aborts are rare and usually surprising: dump the flight recorder so
+     the last things the engine did are in the log next to the abort. *)
+  L.info (fun m ->
+      m "transaction %d aborted@,%a" tid (Registry.pp_tail ?n:None) t.obs)
 
 (* --- memory access --- *)
 

@@ -43,12 +43,16 @@ val initialize :
     committed images. [clock]/[model]/[vm] instrument the instance for the
     simulated performance evaluation; omit them for production use. [obs]
     supplies the metrics registry (a private one is created otherwise; see
-    {!obs}): engine counters, [log.force] / [truncation.*] / [recovery]
-    spans, and per-layer [disk.log.*] / [disk.seg.*] device accounting all
-    land there. *)
+    {!obs}): engine counters, causal [txn.*] / [commit.*] / [log.*] /
+    [truncation.*] / [recovery] spans, and per-layer [disk.log.*] /
+    [disk.seg.*] device accounting all land there. The registry's span
+    ring doubles as an always-on flight recorder: when the caller left it
+    unsized, the engine keeps the last 512 spans, and dumps the tail on
+    transaction abort and on failed recovery. *)
 
 val reinitialize :
   ?options:Options.t ->
+  ?obs:Rvm_obs.Registry.t ->
   log:Rvm_disk.Device.t ->
   resolve:(int -> Rvm_disk.Device.t) ->
   unit ->
@@ -57,7 +61,8 @@ val reinitialize :
     simulated clock so no code path consults wall-clock time, making
     recovery of the same durable image bit-for-bit reproducible. The
     crash-point explorer ({!Rvm_check.Explorer}) re-initializes thousands
-    of reconstructed images through this hook. *)
+    of reconstructed images through this hook, passing [obs] to collect
+    the recovery trace of a counterexample. *)
 
 val terminate : t -> unit
 (** Flush spooled commits, force the log, release the instance. Raises if

@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("disk", Test_disk.suite);
       ("log", Test_log.suite);
       ("vm", Test_vm.suite);

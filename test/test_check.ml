@@ -192,6 +192,52 @@ let test_mutation_detected () =
         true
         (List.length shrunk <= 5))
 
+(* A counterexample must arrive with its flight-recorder tail: the spans
+   the engine closed just before the fatal crash point, so the report shows
+   what the system was doing, not just which device event it died at. *)
+let test_violation_tail () =
+  let cfg = config ~sector:64 ()
+  and ops =
+    [
+      Workload.Commit { ranges = [ (0, 200, 'A') ]; mode = Types.Flush };
+      Workload.Commit { ranges = [ (64, 200, 'B') ]; mode = Types.Flush };
+      Workload.Commit { ranges = [ (32, 200, 'C') ]; mode = Types.Flush };
+      Workload.Commit { ranges = [ (96, 200, 'D') ]; mode = Types.Flush };
+    ]
+  in
+  Record.with_unverified (fun () ->
+      let o = Explorer.run ~config:cfg ops in
+      check_bool "violations found" true (o.Explorer.violations <> []);
+      check_bool "a violation carries a full 16-span tail" true
+        (List.exists
+           (fun v -> List.length v.Explorer.tail >= 16)
+           o.Explorer.violations);
+      let v =
+        List.hd
+          (List.sort
+             (fun a b ->
+               compare (List.length b.Explorer.tail)
+                 (List.length a.Explorer.tail))
+             o.Explorer.violations)
+      in
+      (* Tail spans come from the engine run that produced the crash
+         image: commit spans for the workload's transactions. *)
+      check_bool "tail includes engine spans" true
+        (List.exists
+           (fun s -> s.Rvm_obs.Trace.scope = "txn.commit")
+           v.Explorer.tail);
+      let rendered = Format.asprintf "%a" Report.pp_violation v in
+      let contains needle =
+        let nl = String.length needle and hl = String.length rendered in
+        let rec go i =
+          i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "report renders the flight recorder" true
+        (contains "flight recorder");
+      check_bool "report renders commit spans" true (contains "txn.commit"))
+
 (* The same workload explored twice yields the identical outcome — the
    determinism the seed-based CLI reproduction relies on. *)
 let test_deterministic () =
@@ -259,6 +305,7 @@ let suite =
     ("explorer.torn-positions", `Quick, test_torn_positions);
     ("explorer.model-prefixes", `Quick, test_model_prefixes);
     ("explorer.mutation-detected", `Quick, test_mutation_detected);
+    ("explorer.violation-tail", `Quick, test_violation_tail);
     ("explorer.deterministic", `Quick, test_deterministic);
     ("explorer.trace-through-combinators", `Quick, test_trace_through_combinators);
   ]

@@ -34,6 +34,59 @@ let test_histogram () =
   Histogram.reset h;
   check_int "reset drops samples" 0 (Histogram.count h)
 
+(* Percentile is quantile in the 0..100 convention; results are bucket
+   upper bounds (powers of two) clamped to the observed max, so the
+   boundary cases are exact and assertable. *)
+let test_percentile_buckets () =
+  let h = Histogram.v "p" in
+  (* One observation per bucket: upper bounds 1, 2, 4, 8. *)
+  List.iter (Histogram.observe h) [ 1.; 2.; 4.; 8. ];
+  let p = Histogram.percentile h in
+  Alcotest.(check (float 1e-9)) "p25 = first bucket bound" 1. (p 25.);
+  Alcotest.(check (float 1e-9)) "p50 = second bucket bound" 2. (p 50.);
+  Alcotest.(check (float 1e-9)) "p75 = third bucket bound" 4. (p 75.);
+  Alcotest.(check (float 1e-9)) "p100 clamps to max" 8. (p 100.);
+  Alcotest.(check (float 1e-9)) "p0 still needs one observation" 1. (p 0.);
+  Alcotest.(check (float 1e-9)) "negative percentile clamps to 0" (p 0.)
+    (p (-10.));
+  Alcotest.(check (float 1e-9)) "percentile beyond 100 clamps" (p 100.)
+    (p 1000.);
+  (* An interior value reports its bucket's upper bound, clamped to the
+     observed max when the bucket is the last occupied one. *)
+  let h2 = Histogram.v "p2" in
+  Histogram.observe h2 3.;
+  Alcotest.(check (float 1e-9)) "3.0 lands in (2,4] but clamps to max" 3.
+    (Histogram.percentile h2 50.);
+  let h3 = Histogram.v "p3" in
+  Alcotest.(check (float 1e-9)) "empty histogram reports 0" 0.
+    (Histogram.percentile h3 99.)
+
+let test_percentile_in_snapshots () =
+  let reg = Registry.create () in
+  Histogram.observe (Registry.histogram reg "lat.us") 5.;
+  let rendered = Format.asprintf "%a" Registry.pp reg in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "pp shows p50" true (contains rendered "p50");
+  check_bool "pp shows p95" true (contains rendered "p95");
+  check_bool "pp shows p99" true (contains rendered "p99");
+  match
+    Option.bind (Json.member "histograms" (Registry.to_json reg))
+      (Json.member "lat.us")
+  with
+  | Some h ->
+    List.iter
+      (fun q ->
+        match Json.member q h with
+        | Some (Json.Float v) ->
+          Alcotest.(check (float 1e-9)) (q ^ " in JSON snapshot") 5. v
+        | _ -> Alcotest.failf "histogram JSON lacks %s" q)
+      [ "p50"; "p95"; "p99" ]
+  | None -> Alcotest.fail "histogram missing from JSON snapshot"
+
 let test_registry_get_or_create () =
   let reg = Registry.create () in
   let a = Registry.counter reg "x" in
@@ -79,6 +132,73 @@ let test_trace_ring_bound () =
   let scopes = List.map (fun e -> e.Registry.scope) (Registry.events reg) in
   Alcotest.(check (list string)) "oldest dropped first" [ "s3"; "s4"; "s5" ]
     scopes
+
+(* The regression the insertion-ordered ring fixes: polling the recorder
+   repeatedly must return only what is new since the cursor, oldest first,
+   not re-walk (or re-reverse) everything retained. *)
+let test_events_since_incremental () =
+  let reg = Registry.create ~trace_capacity:16 () in
+  Registry.span reg "a" (fun () -> ());
+  Registry.span reg "b" (fun () -> ());
+  let batch1, cursor = Registry.events_since reg 0 in
+  Alcotest.(check (list string)) "first poll sees everything" [ "a"; "b" ]
+    (List.map (fun e -> e.Registry.scope) batch1);
+  check_int "cursor is the span count" 2 cursor;
+  let empty, cursor' = Registry.events_since reg cursor in
+  check_int "no new events, empty batch" 0 (List.length empty);
+  check_int "cursor unchanged" cursor cursor';
+  Registry.span reg "c" (fun () -> ());
+  Registry.span reg "d" (fun () -> ());
+  let batch2, cursor'' = Registry.events_since reg cursor' in
+  Alcotest.(check (list string)) "second poll sees only the new spans"
+    [ "c"; "d" ]
+    (List.map (fun e -> e.Registry.scope) batch2);
+  check_int "cursor advanced" 4 cursor'';
+  (* A cursor that fell behind the ring (events already overwritten) still
+     yields everything retained, oldest first. *)
+  let reg2 = Registry.create ~trace_capacity:2 () in
+  for i = 1 to 5 do
+    Registry.span reg2 (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let stale, c = Registry.events_since reg2 0 in
+  Alcotest.(check (list string)) "stale cursor returns the retained window"
+    [ "s4"; "s5" ]
+    (List.map (fun e -> e.Registry.scope) stale);
+  check_int "cursor catches up" 5 c
+
+let test_json_parser () =
+  let round_trip j =
+    Alcotest.(check string) "round trip" (Json.to_string j)
+      (Json.to_string (Json.of_string (Json.to_string j)))
+  in
+  round_trip
+    (Json.Obj
+       [
+         ("s", Json.String "a\"b\\c\n\t");
+         ("i", Json.Int (-3));
+         ("f", Json.Float 2.5);
+         ("l", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+         ("o", Json.Obj [ ("nested", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+       ]);
+  (match Json.of_string "  {\"a\": [1, 2.0, \"\\u00e9\"]}  " with
+  | Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.0; Json.String e ]) ]
+    -> Alcotest.(check string) "\\u escape decodes to UTF-8" "\xc3\xa9" e
+  | _ -> Alcotest.fail "parse shape mismatch");
+  check_bool "ints stay ints" true (Json.of_string "42" = Json.Int 42);
+  check_bool "exponent makes a float" true
+    (Json.of_string "1e2" = Json.Float 100.);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed input %S" bad)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 garbage" ];
+  Alcotest.(check (option string)) "member finds keys" (Some "v")
+    (match Json.member "k" (Json.Obj [ ("k", Json.String "v") ]) with
+    | Some (Json.String s) -> Some s
+    | _ -> None);
+  check_bool "member on non-objects is None" true
+    (Json.member "k" (Json.List []) = None)
 
 let test_registry_reset () =
   let reg = Registry.create ~trace_capacity:4 () in
@@ -141,11 +261,15 @@ let suite =
   [
     ("counter", `Quick, test_counter);
     ("histogram", `Quick, test_histogram);
+    ("histogram.percentile-buckets", `Quick, test_percentile_buckets);
+    ("histogram.percentile-snapshots", `Quick, test_percentile_in_snapshots);
     ("registry.get-or-create", `Quick, test_registry_get_or_create);
     ("span", `Quick, test_span);
     ("span.trace-ring", `Quick, test_trace_ring_bound);
+    ("span.events-since", `Quick, test_events_since_incremental);
     ("registry.reset", `Quick, test_registry_reset);
     ("json.printer", `Quick, test_json_printer);
+    ("json.parser", `Quick, test_json_parser);
     ("json.write-file", `Quick, test_json_write_file);
     ("registry.to-json", `Quick, test_registry_to_json);
   ]

@@ -1,0 +1,347 @@
+(* Causal structured tracing: the Trace ring itself, the engine's span
+   plumbing (every device op rooted under the transaction that caused it),
+   simulated-clock span durations, and the Chrome trace_event exporter. *)
+
+open Rvm_obs
+open Rvm_core
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+module Mem_device = Rvm_disk.Mem_device
+module Stack = Rvm_disk.Stack
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- the Trace ring --- *)
+
+let test_causality () =
+  let t = Trace.create ~capacity:16 () in
+  Trace.enter t ~now:0. "outer";
+  check_int "outer is open" 1 (Trace.depth t);
+  Trace.enter t ~now:10. ~attrs:[ ("k", Trace.Int 7) ] "inner";
+  Trace.add_attr t "late" (Trace.String "v");
+  let inner = Trace.exit t ~now:25. in
+  check_str "inner scope" "inner" inner.Trace.scope;
+  Alcotest.(check (float 1e-9)) "inner duration" 15. inner.Trace.dur_us;
+  check_bool "inner's parent is outer" true (inner.Trace.parent <> None);
+  Alcotest.(check (list (pair string bool)))
+    "attrs in call order"
+    [ ("k", true); ("late", true) ]
+    (List.map (fun (k, _) -> (k, true)) inner.Trace.attrs);
+  Trace.instant t ~now:30. "point";
+  let outer = Trace.exit t ~now:40. in
+  check_bool "outer is a root" true (outer.Trace.parent = None);
+  (* Children close (and are recorded) before parents. *)
+  let scopes = List.map (fun s -> s.Trace.scope) (Trace.events t) in
+  Alcotest.(check (list string)) "close order" [ "inner"; "point"; "outer" ]
+    scopes;
+  let by_scope n =
+    List.find (fun s -> s.Trace.scope = n) (Trace.events t)
+  in
+  check_bool "ids are unique" true
+    ((by_scope "inner").Trace.id <> (by_scope "outer").Trace.id);
+  Alcotest.(check (option int)) "inner points at outer"
+    (Some (by_scope "outer").Trace.id)
+    (by_scope "inner").Trace.parent;
+  Alcotest.(check (option int)) "instant points at outer"
+    (Some (by_scope "outer").Trace.id)
+    (by_scope "point").Trace.parent;
+  check_bool "exit with nothing open raises" true
+    (match Trace.exit t ~now:50. with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ring_resize () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.enter t ~now:(float_of_int i) (Printf.sprintf "s%d" i);
+    ignore (Trace.exit t ~now:(float_of_int i))
+  done;
+  let scopes () = List.map (fun s -> s.Trace.scope) (Trace.events t) in
+  Alcotest.(check (list string)) "newest 4 retained"
+    [ "s3"; "s4"; "s5"; "s6" ] (scopes ());
+  check_int "seq counts everything" 6 (Trace.seq t);
+  Trace.set_capacity t 2;
+  Alcotest.(check (list string)) "shrink keeps newest" [ "s5"; "s6" ]
+    (scopes ());
+  Trace.set_capacity t 8;
+  Alcotest.(check (list string)) "grow preserves contents" [ "s5"; "s6" ]
+    (scopes ());
+  Trace.enter t ~now:7. "s7";
+  ignore (Trace.exit t ~now:7.);
+  Alcotest.(check (list string)) "recording continues after resize"
+    [ "s5"; "s6"; "s7" ] (scopes ());
+  Trace.clear t;
+  check_int "clear drops retained" 0 (List.length (Trace.events t));
+  check_int "clear keeps the cursor" 7 (Trace.seq t)
+
+(* --- simulated-clock spans (Registry.set_time_source) --- *)
+
+let test_sim_clock_nested_spans () =
+  let clock = Clock.simulated () in
+  let reg = Registry.create ~trace_capacity:32 () in
+  Registry.set_time_source reg (fun () -> Clock.now_us clock);
+  Registry.span reg "outer" (fun () ->
+      Clock.charge_cpu clock 100.;
+      Registry.span reg "inner" (fun () -> Clock.charge_cpu clock 40.);
+      Clock.charge_cpu clock 10.);
+  let find n = List.find (fun s -> s.Trace.scope = n) (Registry.events reg) in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check (float 1e-9)) "inner spans 40 simulated us" 40.
+    inner.Trace.dur_us;
+  Alcotest.(check (float 1e-9)) "outer spans the sum" 150. outer.Trace.dur_us;
+  Alcotest.(check (float 1e-9)) "inner starts 100us in" 100.
+    inner.Trace.start_us;
+  Alcotest.(check (option int)) "causality under the simulated clock"
+    (Some outer.Trace.id) inner.Trace.parent;
+  (* The span histograms see the same simulated durations. *)
+  Alcotest.(check (float 1e-9)) "histogram in simulated us" 40.
+    (Histogram.sum (Registry.histogram reg "inner.us"))
+
+(* A full engine round with the simulated clock and a latency-modeled log
+   device: a group-commit drain advances simulated time mid-transaction,
+   and the spans both nest correctly and measure that simulated time. *)
+let test_sim_clock_across_drain () =
+  let clock = Clock.simulated () in
+  let model = Cost_model.dec5000 in
+  let log_mem = Mem_device.create ~size:(256 * 1024) () in
+  Rvm.create_log log_mem;
+  let log_dev =
+    Stack.with_latency ~clock ~disk:model.Cost_model.log_disk () log_mem
+  in
+  let seg_dev = Mem_device.create ~size:8192 () in
+  let obs = Registry.create ~trace_capacity:1024 () in
+  let rvm =
+    Rvm.initialize ~clock ~model ~obs ~log:log_dev
+      ~resolve:(fun _ -> seg_dev)
+      ()
+  in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:8192 () in
+  let base = region.Region.vaddr in
+  for i = 0 to 3 do
+    let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+    Rvm.modify rvm tid ~addr:(base + (i * 512)) (Bytes.make 200 'x');
+    Rvm.end_transaction rvm tid
+      ~mode:(if i < 3 then Types.No_flush else Types.Flush)
+  done;
+  let spans = Registry.events obs in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Trace.id s) spans;
+  let rec root s =
+    match s.Trace.parent with
+    | None -> s
+    | Some p -> (
+      match Hashtbl.find_opt by_id p with None -> s | Some ps -> root ps)
+  in
+  let drain =
+    List.find (fun s -> s.Trace.scope = "log.drain") spans
+  and force = List.find (fun s -> s.Trace.scope = "log.force") spans
+  and sync = List.find (fun s -> s.Trace.scope = "disk.log.sync") spans in
+  check_str "drain is caused by the closing commit" "txn.commit"
+    (root drain).Trace.scope;
+  check_str "force is caused by the closing commit" "txn.commit"
+    (root force).Trace.scope;
+  Alcotest.(check (option int)) "device sync nests under log.force"
+    (Some force.Trace.id) sync.Trace.parent;
+  (* The latency model charges the simulated clock for the sync, and the
+     clock advance is visible through every enclosing span. *)
+  check_bool "sync takes simulated time" true (sync.Trace.dur_us > 0.);
+  check_bool "force covers the sync" true
+    (force.Trace.dur_us >= sync.Trace.dur_us);
+  check_bool "commit covers the force" true
+    ((root force).Trace.dur_us >= force.Trace.dur_us);
+  (* The drain advanced simulated time before the force's sync began. *)
+  check_bool "time advances across the drain" true
+    (sync.Trace.start_us >= drain.Trace.start_us +. drain.Trace.dur_us);
+  Rvm.terminate rvm
+
+(* --- engine causality + the Chrome exporter --- *)
+
+(* Run a no-flush/flush batched workload plus an abort, snapshot the spans
+   (before terminate — shutdown's drain belongs to no transaction), and
+   check the paper-trail property end to end: in the exported Chrome JSON
+   every log.drain and disk.log.sync complete-event chains up to exactly
+   one transaction root. *)
+let traced_workload () =
+  let log_dev = Mem_device.create ~size:(512 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~size:(16 * 1024) () in
+  let obs = Registry.create ~trace_capacity:4096 () in
+  let rvm =
+    Rvm.initialize ~obs ~log:log_dev ~resolve:(fun _ -> seg_dev) ()
+  in
+  let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(16 * 1024) () in
+  let base = region.Region.vaddr in
+  for i = 1 to 12 do
+    let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+    Rvm.modify rvm tid ~addr:(base + (i * 1024)) (Bytes.make 300 'y');
+    Rvm.end_transaction rvm tid
+      ~mode:(if i mod 4 = 0 then Types.Flush else Types.No_flush)
+  done;
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Rvm.modify rvm tid ~addr:base (Bytes.make 64 'z');
+  Rvm.abort_transaction rvm tid;
+  let spans = Registry.events obs in
+  Rvm.terminate rvm;
+  spans
+
+let test_engine_causality () =
+  let spans = traced_workload () in
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Trace.id s) spans;
+  let rec txn_root s =
+    if s.Trace.scope = "txn.commit" || s.Trace.scope = "txn.abort" then Some s
+    else
+      match s.Trace.parent with
+      | None -> None
+      | Some p -> Option.bind (Hashtbl.find_opt by_id p) txn_root
+  in
+  let commits =
+    List.filter (fun s -> s.Trace.scope = "txn.commit") spans
+  in
+  check_int "one commit span per transaction" 12 (List.length commits);
+  check_int "one abort span" 1
+    (List.length (List.filter (fun s -> s.Trace.scope = "txn.abort") spans));
+  let rooted scope =
+    let all = List.filter (fun s -> s.Trace.scope = scope) spans in
+    check_bool (scope ^ " spans exist") true (all <> []);
+    List.iter
+      (fun s ->
+        match txn_root s with
+        | Some _ -> ()
+        | None -> Alcotest.failf "%s span #%d has no transaction root" scope
+                    s.Trace.id)
+      all
+  in
+  rooted "log.drain";
+  rooted "disk.log.sync";
+  rooted "log.force";
+  rooted "commit.encode";
+  (* txn_id attributes are on every commit root, and are all distinct. *)
+  let ids =
+    List.filter_map
+      (fun s ->
+        match List.assoc_opt "txn_id" s.Trace.attrs with
+        | Some (Trace.Int i) -> Some i
+        | _ -> None)
+      commits
+  in
+  check_int "every commit carries its txn_id" 12
+    (List.length (List.sort_uniq compare ids))
+
+let test_chrome_export () =
+  let spans = traced_workload () in
+  let doc = Export.chrome_trace ~process_name:"test" spans in
+  (* The exporter's output must survive our own parser — and the parse is
+     what the structural checks below run against, so the acceptance check
+     is on the actual JSON, not the in-memory spans. *)
+  let parsed = Json.of_string (Json.to_string doc) in
+  let events =
+    match Json.member "traceEvents" parsed with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  let str m e = match Json.member m e with Some (Json.String s) -> Some s | _ -> None in
+  let xs = List.filter (fun e -> str "ph" e = Some "X") events in
+  let metas = List.filter (fun e -> str "ph" e = Some "M") events in
+  check_int "one X event per span" (List.length spans) (List.length xs);
+  check_bool "process_name metadata present" true
+    (List.exists (fun e -> str "name" e = Some "process_name") metas);
+  check_bool "per-layer thread_name metadata present" true
+    (List.exists (fun e -> str "name" e = Some "thread_name") metas);
+  (* Every complete event has the trace_event essentials. *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun f ->
+          if Json.member f e = None then
+            Alcotest.failf "X event lacks %S: %s" f (Json.to_string e))
+        [ "name"; "cat"; "ts"; "dur"; "pid"; "tid"; "args" ])
+    xs;
+  (* Layers map to distinct tids; same layer, same tid. *)
+  let tid_of e = match Json.member "tid" e with Some (Json.Int t) -> t | _ -> -1 in
+  let tids = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let cat = Option.get (str "cat" e) in
+      match Hashtbl.find_opt tids cat with
+      | None -> Hashtbl.replace tids cat (tid_of e)
+      | Some t -> check_int ("stable tid for layer " ^ cat) t (tid_of e))
+    xs;
+  check_int "distinct tid per layer" (Hashtbl.length tids)
+    (List.length
+       (List.sort_uniq compare (Hashtbl.fold (fun _ t a -> t :: a) tids [])));
+  (* The acceptance property, checked in the export itself: every
+     log.drain / disk.log.sync event walks args.parent up to exactly one
+     transaction root. *)
+  let by_id = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      match Json.member "args" e |> Option.map (Json.member "id") with
+      | Some (Some (Json.Int id)) -> Hashtbl.replace by_id id e
+      | _ -> Alcotest.fail "X event without args.id")
+    xs;
+  let rec roots e acc =
+    let name = Option.get (str "name" e) in
+    let acc = if name = "txn.commit" || name = "txn.abort" then e :: acc else acc in
+    match Option.bind (Json.member "args" e) (Json.member "parent") with
+    | Some (Json.Int p) -> (
+      match Hashtbl.find_opt by_id p with
+      | Some pe -> roots pe acc
+      | None -> acc)
+    | _ -> acc
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun e ->
+      let name = Option.get (str "name" e) in
+      if name = "log.drain" || name = "disk.log.sync" then begin
+        incr checked;
+        check_int
+          (Printf.sprintf "%s descends from exactly one txn root" name)
+          1
+          (List.length (roots e []))
+      end)
+    xs;
+  check_bool "drain/sync events were present" true (!checked > 0)
+
+let test_txn_costs_and_top () =
+  let spans = traced_workload () in
+  let costs = Export.txn_costs spans in
+  check_int "one cost row per transaction" 13 (List.length costs);
+  let commits =
+    List.filter (fun c -> c.Export.root.Trace.scope = "txn.commit") costs
+  in
+  check_int "commit rows" 12 (List.length commits);
+  List.iter
+    (fun c -> check_bool "txn_id extracted" true (c.Export.txn_id <> None))
+    costs;
+  (* Flush commits carry the drain+sync cost of their whole batch;
+     no-flush commits only spool. *)
+  check_bool "some commit paid for a sync" true
+    (List.exists (fun c -> c.Export.root.Trace.dur_us >= c.Export.sync_us)
+       commits);
+  let rendered = Format.asprintf "%a" (Export.pp_top ~slowest:3) spans in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec go i =
+      i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "top shows the txn count" true
+    (contains "12 committed, 1 aborted");
+  check_bool "top shows the latency table" true (contains "commit latency");
+  check_bool "top shows the slowest list" true (contains "slowest commits")
+
+let suite =
+  [
+    ("trace.causality", `Quick, test_causality);
+    ("trace.ring-resize", `Quick, test_ring_resize);
+    ("trace.sim-clock-nested", `Quick, test_sim_clock_nested_spans);
+    ("trace.sim-clock-across-drain", `Quick, test_sim_clock_across_drain);
+    ("trace.engine-causality", `Quick, test_engine_causality);
+    ("trace.chrome-export", `Quick, test_chrome_export);
+    ("trace.txn-costs-top", `Quick, test_txn_costs_and_top);
+  ]
