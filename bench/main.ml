@@ -7,8 +7,8 @@
      dune exec bench/main.exe -- full    — paper-scale trial counts
 
    Artifacts: table1, fig8, fig9, table2, ablation-truncation,
-   ablation-opt, ablation-modes, ablation-startup, groupcommit, micro,
-   baseline (the CI metrics gate; `baseline write` regenerates
+   ablation-opt, ablation-modes, ablation-startup, groupcommit, server,
+   micro, baseline (the CI metrics gate; `baseline write` regenerates
    BENCH_baseline.json). *)
 
 module Harness = Rvm_harness
@@ -381,6 +381,37 @@ let groupcommit () =
        ]);
   Printf.printf "wrote %s\n%!" path
 
+(* --- server: the transaction-server saturation sweep ---
+
+   Offered load crossed with commit batching, everything on the simulated
+   clock: a seeded run is byte-reproducible, so the JSON artifact is
+   diffable across machines. The interesting shape: batched rows show
+   strictly fewer device syncs per committed transaction than unbatched
+   rows at equal load, and shedding appears only beyond the admission
+   limit. *)
+
+let server () =
+  let module S = Rvm_server.Server in
+  let module J = Rvm_obs.Json in
+  let base = { S.default_config with S.requests = 400 } in
+  let loads = List.map (fun t -> S.Open_loop t) [ 10.; 20.; 40.; 80.; 160. ] in
+  let results = S.sweep ~base ~loads ~batch_sizes:[ 1; 8 ] in
+  print_endline "\n== Transaction server saturation sweep ==";
+  Format.printf "%a@?" S.pp_table results;
+  let path = "BENCH_server.json" in
+  J.write_file ~path
+    (J.Obj
+       [
+         ("artifact", J.String "server");
+         ("accounts", J.Int base.S.accounts);
+         ("zipf_s", J.Float base.S.zipf_s);
+         ("transfer_pct", J.Int base.S.transfer_pct);
+         ("requests", J.Int base.S.requests);
+         ("seed", J.Int (Int64.to_int base.S.seed));
+         ("results", J.List (List.map S.result_to_json results));
+       ]);
+  Printf.printf "wrote %s\n%!" path
+
 (* --- baseline: the CI metrics gate ---
 
    Deterministic device-efficiency metrics (writes and syncs per committed
@@ -435,6 +466,23 @@ let baseline () =
         (name, wpt, spt))
       [ ("flush", 1); ("grouped", 64) ]
   in
+  (* The server path: same metrics through the scheduler, admission and
+     batcher at a fixed offered load — a regression here means batching
+     stopped absorbing forces even though the engine path still does. *)
+  let server_cases =
+    let module S = Rvm_server.Server in
+    List.map
+      (fun (name, batch_max) ->
+        let r =
+          S.run { S.default_config with S.requests = 300; S.batch_max }
+        in
+        let wpt = r.S.writes_per_commit and spt = r.S.syncs_per_commit in
+        Printf.printf "  %-14s %.4f writes/txn  %.4f syncs/txn\n%!" name wpt
+          spt;
+        (name, wpt, spt))
+      [ ("server_flush", 1); ("server_batched", 8) ]
+  in
+  let cases = cases @ server_cases in
   let tolerance = 0.10 in
   if write_mode then begin
     J.write_file ~path
@@ -527,6 +575,7 @@ let () =
   | "ablation-startup" -> Harness.Ablation.startup_latency ()
   | "micro" -> micro ()
   | "groupcommit" -> groupcommit ()
+  | "server" -> server ()
   | "baseline" -> baseline ()
   | "full" ->
     run_table1_family ~trials:5 ~measure:8000;
@@ -536,6 +585,7 @@ let () =
     Harness.Ablation.commit_modes ();
     Harness.Ablation.startup_latency ();
     groupcommit ();
+    server ();
     micro ()
   | "all" ->
     run_table1_family ~trials:2 ~measure:2500;
@@ -545,11 +595,12 @@ let () =
     Harness.Ablation.commit_modes ();
     Harness.Ablation.startup_latency ();
     groupcommit ();
+    server ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown artifact %S (try: all, full, table1, fig8, fig9, table2, \
        ablation-truncation, ablation-opt, ablation-modes, ablation-startup, \
-       groupcommit, micro, baseline)\n"
+       groupcommit, server, micro, baseline)\n"
       other;
     exit 2

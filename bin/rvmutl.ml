@@ -16,6 +16,9 @@
                         [--incremental]
      rvmutl trace       LOG --out t.json [--txns N] [--accounts N]
                         [--batch B] [--seed S] [--top N]
+     rvmutl serve       [--requests N] [--accounts N] [--seed S]
+                        [--load TPS]... [--batch B]...
+                        [--sessions N --think-ms MS]
 *)
 
 module Device = Rvm_disk.Device
@@ -301,6 +304,34 @@ let trace path out txns accounts batch seed top_n =
     txns accounts batch seed (List.length spans) out;
   Format.printf "%a@." (Rvm_obs.Export.pp_top ~slowest:top_n) spans
 
+(* --- serve: the transaction server's saturation table --- *)
+
+let serve requests accounts seed loads batches sessions think_ms =
+  if requests <= 0 then begin
+    Printf.eprintf "rvmutl: --requests must be positive (got %d)\n" requests;
+    exit 2
+  end;
+  let module S = Rvm_server.Server in
+  let loads = if loads = [] then [ 10.; 20.; 40.; 80.; 160. ] else loads in
+  let batches = if batches = [] then [ 1; 8 ] else batches in
+  let base =
+    { S.default_config with S.requests; accounts; seed = Int64.of_int seed }
+  in
+  let rows =
+    S.sweep ~base
+      ~loads:(List.map (fun t -> S.Open_loop t) loads)
+      ~batch_sizes:batches
+  in
+  let closed_rows =
+    match sessions with
+    | Some n ->
+      S.sweep ~base
+        ~loads:[ S.Closed_loop { sessions = n; think_us = think_ms *. 1e3 } ]
+        ~batch_sizes:batches
+    | None -> []
+  in
+  Format.printf "%a@?" S.pp_table (rows @ closed_rows)
+
 (* --- command line --- *)
 
 let log_arg =
@@ -478,6 +509,64 @@ let trace_cmd =
           into encode, spool, drain and sync.")
     Term.(const trace $ log_arg $ out $ txns $ accounts $ batch $ seed $ top)
 
+let serve_cmd =
+  let requests =
+    Arg.(
+      value & opt int 400
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per sweep cell.")
+  in
+  let accounts =
+    Arg.(
+      value & opt int 1000
+      & info [ "accounts" ] ~docv:"N" ~doc:"TPC-A account records.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Master seed (the whole table is deterministic per seed).")
+  in
+  let loads =
+    Arg.(
+      value & opt_all float []
+      & info [ "load" ] ~docv:"TPS"
+          ~doc:
+            "Open-loop offered load in transactions per simulated second; \
+             repeatable. Default sweep: 10, 20, 40, 80, 160.")
+  in
+  let batches =
+    Arg.(
+      value & opt_all int []
+      & info [ "batch" ] ~docv:"B"
+          ~doc:
+            "Commit batch bound; repeatable. 1 forces the log on every \
+             commit. Default: 1 and 8.")
+  in
+  let sessions =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Also run a closed-loop row with $(docv) client sessions.")
+  in
+  let think_ms =
+    Arg.(
+      value & opt float 100.
+      & info [ "think-ms" ] ~docv:"MS"
+          ~doc:"Mean think time for the closed-loop row.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the simulated transaction server (Zipf-skewed TPC-A requests \
+          through the cooperative scheduler, admission control and commit \
+          batcher) across a load sweep and print the saturation table: \
+          throughput, shed and abort counts, latency percentiles, and \
+          device syncs per committed transaction.")
+    Term.(
+      const serve $ requests $ accounts $ seed $ loads $ batches $ sessions
+      $ think_ms)
+
 let () =
   let info =
     Cmd.info "rvmutl" ~version:"1.0"
@@ -488,5 +577,5 @@ let () =
        (Cmd.group info
           [
             create_log_cmd; create_seg_cmd; status_cmd; dump_cmd; history_cmd;
-            recover_cmd; stats_cmd; check_cmd; trace_cmd;
+            recover_cmd; stats_cmd; check_cmd; trace_cmd; serve_cmd;
           ]))

@@ -74,10 +74,27 @@ let release_all t ~owner =
     (fun _ c -> c := List.filter (fun (o, _) -> o <> owner) !c)
     t.locks;
   Hashtbl.remove t.waits owner;
-  Hashtbl.iter
-    (fun o blockers ->
-      Hashtbl.replace t.waits o (List.filter (fun b -> b <> owner) blockers))
-    t.waits
+  (* Drop the reverse edges too — waiters blocked on the released owner.
+     Collect first: replacing/removing inside Hashtbl.iter over the same
+     table is unspecified behavior. *)
+  let updates =
+    Hashtbl.fold
+      (fun o blockers acc ->
+        if List.mem owner blockers then
+          (o, List.filter (fun b -> b <> owner) blockers) :: acc
+        else acc)
+      t.waits []
+  in
+  List.iter
+    (fun (o, blockers) ->
+      if blockers = [] then Hashtbl.remove t.waits o
+      else Hashtbl.replace t.waits o blockers)
+    updates
+
+let wait_edges t =
+  Hashtbl.fold (fun o blockers acc -> (o, List.sort compare blockers) :: acc)
+    t.waits []
+  |> List.sort compare
 
 let holders t ~key =
   match Hashtbl.find_opt t.locks key with Some c -> !c | None -> []

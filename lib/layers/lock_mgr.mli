@@ -30,8 +30,13 @@ val wait_for :
     blockers release — no real blocking, the engine is single-threaded). *)
 
 val release_all : t -> owner:int -> unit
-(** Drop every lock and wait edge of [owner] — the phase-two release at
-    commit or abort. *)
+(** Drop every lock and wait edge of [owner] — both directions: edges the
+    owner recorded and edges other waiters hold toward it — the phase-two
+    release at commit or abort. *)
+
+val wait_edges : t -> (int * int list) list
+(** The wait-for graph as sorted [(waiter, blockers)] pairs — for
+    scheduler introspection and tests. Empty blocker lists never appear. *)
 
 val holders : t -> key:string -> (int * mode) list
 val held_keys : t -> owner:int -> string list

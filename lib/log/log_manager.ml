@@ -49,6 +49,8 @@ let record_count t = t.records
 let spooled_bytes t =
   match t.spool with None -> 0 | Some sp -> Tail_buffer.bytes sp
 
+let spool_capacity t = t.max_spool_bytes
+
 let unflushed t = t.dirty || spooled_bytes t > 0
 
 let format dev =

@@ -93,6 +93,11 @@ val drain : t -> unit
 val spooled_bytes : t -> int
 (** Bytes sitting in the tail spool, not yet written to the device. *)
 
+val spool_capacity : t -> int
+(** The [max_spool_bytes] watermark the tail spool drains at — with
+    {!spooled_bytes}, the fill fraction admission control keys
+    backpressure off. *)
+
 val unflushed : t -> bool
 (** Whether any appended record might not yet be durable — spooled bytes
     exist or device writes were issued since the last sync. Truncation

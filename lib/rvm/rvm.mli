@@ -130,6 +130,13 @@ val set_options : t -> (Options.t -> Options.t) -> unit
 (** Adjust tuning knobs (truncation threshold, spool size, optimization
     switches) on a live instance. *)
 
+val spool_pressure : t -> float
+(** Fill fraction of the unflushed-commit backlog: bytes spooled in the
+    engine's no-flush record spool plus the log's buffered tail, over
+    their combined watermarks. 0 means everything appended has reached the
+    device; values approaching 1 mean a drain is imminent. The admission
+    controller of [Rvm_server] uses this as its backpressure signal. *)
+
 (** {1 Recoverable memory access}
 
     Mapped memory is ordinary memory: reads require no RVM intervention

@@ -1,0 +1,53 @@
+type config = {
+  max_inflight : int;
+  max_queue : int;
+  backpressure : float;
+}
+
+let default = { max_inflight = 8; max_queue = 16; backpressure = 0.9 }
+
+let validate c =
+  if c.max_inflight <= 0 then invalid_arg "Admission: max_inflight";
+  if c.max_queue < 0 then invalid_arg "Admission: max_queue";
+  if c.backpressure <= 0. then invalid_arg "Admission: backpressure"
+
+type 'a t = {
+  cfg : config;
+  queue : 'a Queue.t;
+  mutable inflight : int;
+}
+
+let create cfg =
+  validate cfg;
+  { cfg; queue = Queue.create (); inflight = 0 }
+
+let config t = t.cfg
+let inflight t = t.inflight
+let queued t = Queue.length t.queue
+
+let has_capacity t ~pressure =
+  t.inflight < t.cfg.max_inflight && pressure < t.cfg.backpressure
+
+let submit t ~pressure x =
+  if Queue.is_empty t.queue && has_capacity t ~pressure then begin
+    t.inflight <- t.inflight + 1;
+    `Admitted
+  end
+  else if Queue.length t.queue < t.cfg.max_queue then begin
+    Queue.push x t.queue;
+    `Queued
+  end
+  else `Overload
+
+let pop_ready t ~pressure =
+  if Queue.is_empty t.queue then `Empty
+  else if t.inflight >= t.cfg.max_inflight then `At_capacity
+  else if pressure >= t.cfg.backpressure then `Backpressure
+  else begin
+    t.inflight <- t.inflight + 1;
+    `Admit (Queue.pop t.queue)
+  end
+
+let release t =
+  if t.inflight <= 0 then invalid_arg "Admission.release: nothing in flight";
+  t.inflight <- t.inflight - 1

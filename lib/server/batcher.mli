@@ -1,0 +1,23 @@
+(** The commit batcher: ready-to-commit transactions accumulate here so
+    one no-flush + flush cycle — one log drain, one device sync through
+    the group-commit path — absorbs the whole batch.
+
+    The batcher holds at most [max] entries; the scheduler fires a batch
+    when it fills, or as soon as no other request can make progress
+    (partial batches never wait on a timer, so an idle server commits a
+    lone transaction immediately). With [max = 1] the server degenerates
+    to the unbatched configuration: every commit forces the log itself. *)
+
+type 'a t
+
+val create : max:int -> 'a t
+val max_size : 'a t -> int
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val full : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if full — the scheduler must fire first. *)
+
+val take : 'a t -> 'a list
+(** The batch in ready order (FIFO), leaving the batcher empty. *)

@@ -1,0 +1,105 @@
+module Rng = Rvm_util.Rng
+module Tpca = Rvm_workload.Tpca
+
+type kind = Payment | Transfer
+
+let kind_name = function Payment -> "payment" | Transfer -> "transfer"
+
+type spec = {
+  id : int;
+  kind : kind;
+  account : int;
+  account2 : int;
+  teller : int;
+  delta : int64;
+}
+
+type gen = {
+  accounts : int;
+  zipf : Rng.zipf;
+  rng : Rng.t;
+  transfer_pct : int;
+  mutable next_id : int;
+}
+
+let make_gen ~accounts ~zipf_s ~transfer_pct ~rng =
+  if accounts <= 0 then invalid_arg "Request.make_gen: accounts";
+  if transfer_pct < 0 || transfer_pct > 100 then
+    invalid_arg "Request.make_gen: transfer_pct";
+  {
+    accounts;
+    zipf = Rng.zipf_make ~n:accounts ~s:zipf_s;
+    rng;
+    transfer_pct;
+    next_id = 0;
+  }
+
+let fresh g =
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  let account = Rng.zipf g.rng g.zipf in
+  let kind =
+    if g.accounts > 1 && Rng.int g.rng 100 < g.transfer_pct then Transfer
+    else Payment
+  in
+  (* Transfers keep the two accounts in draw order — NOT sorted — so two
+     concurrent transfers over the same hot pair can lock in opposite
+     orders and deadlock; that is the scheduler path under test. *)
+  let account2 =
+    match kind with
+    | Payment -> account
+    | Transfer ->
+      let rec draw () =
+        let a = Rng.zipf g.rng g.zipf in
+        if a = account then draw () else a
+      in
+      draw ()
+  in
+  let teller = Rng.int g.rng Tpca.tellers in
+  let delta = Int64.of_int (Rng.int g.rng 1000 - 500) in
+  { id; kind; account; account2; teller; delta }
+
+type status =
+  | Queued
+  | Running
+  | Parked of string
+  | Backoff
+  | Ready
+  | Committed
+  | Shed
+
+type t = {
+  spec : spec;
+  mutable status : status;
+  mutable tid : int option;
+  mutable attempts : int;
+  arrival_us : float;
+  mutable admitted_us : float;
+  mutable done_us : float;
+}
+
+let make spec ~arrival_us =
+  {
+    spec;
+    status = Queued;
+    tid = None;
+    attempts = 0;
+    arrival_us;
+    admitted_us = nan;
+    done_us = nan;
+  }
+
+(* Serial reference model: the ops are per-cell additions, so any
+   serializable execution of a request set lands on the same balances as
+   applying the specs in any order — what the interleaving property
+   checks the scheduler against. *)
+let apply_model spec ~accounts ~tellers ~branches =
+  let add arr i d = arr.(i) <- Int64.add arr.(i) d in
+  match spec.kind with
+  | Payment ->
+    add accounts spec.account spec.delta;
+    add tellers spec.teller spec.delta;
+    add branches (spec.teller mod Tpca.branches) spec.delta
+  | Transfer ->
+    add accounts spec.account spec.delta;
+    add accounts spec.account2 (Int64.neg spec.delta)

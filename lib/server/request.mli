@@ -1,0 +1,64 @@
+(** Client transaction requests: TPC-A-style operations over Zipf-skewed
+    account keys.
+
+    A {e payment} is the classic TPC-A profile (account, teller, branch,
+    audit record); a {e transfer} moves a delta between two skew-drawn
+    accounts, locking them in draw order — the deliberate source of
+    lock-order inversions that exercises the scheduler's deadlock
+    abort-and-retry path. All updates are per-cell additions, so any
+    serializable schedule produces the balances of the serial reference
+    ({!apply_model}). *)
+
+type kind = Payment | Transfer
+
+val kind_name : kind -> string
+
+type spec = {
+  id : int;  (** request id; doubles as the lock-manager owner *)
+  kind : kind;
+  account : int;
+  account2 : int;  (** transfer credit side; [= account] for payments *)
+  teller : int;
+  delta : int64;
+}
+
+type gen
+(** A deterministic request source (Zipf account sampler + uniform
+    teller/delta draws) over one {!Rvm_util.Rng.t} stream. *)
+
+val make_gen :
+  accounts:int -> zipf_s:float -> transfer_pct:int -> rng:Rvm_util.Rng.t -> gen
+
+val fresh : gen -> spec
+
+(** {1 Per-request runtime state} *)
+
+type status =
+  | Queued  (** in the admission queue *)
+  | Running  (** scheduled, executing steps *)
+  | Parked of string  (** waiting for a lock key *)
+  | Backoff  (** aborted on deadlock, retry timer pending *)
+  | Ready  (** executed, waiting in the commit batch *)
+  | Committed
+  | Shed  (** refused by admission control: the [`Overload] outcome *)
+
+type t = {
+  spec : spec;
+  mutable status : status;
+  mutable tid : int option;  (** live engine transaction, when running *)
+  mutable attempts : int;  (** deadlock aborts suffered so far *)
+  arrival_us : float;
+  mutable admitted_us : float;
+  mutable done_us : float;
+}
+
+val make : spec -> arrival_us:float -> t
+
+val apply_model :
+  spec ->
+  accounts:int64 array ->
+  tellers:int64 array ->
+  branches:int64 array ->
+  unit
+(** Apply the request to plain in-memory balance arrays — the serial
+    reference execution the scheduler's results are checked against. *)

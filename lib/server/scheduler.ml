@@ -1,0 +1,484 @@
+module Rvm = Rvm_core.Rvm
+module Types = Rvm_core.Types
+module Clock = Rvm_util.Clock
+module Rng = Rvm_util.Rng
+module Lock_mgr = Rvm_layers.Lock_mgr
+module Tpca = Rvm_workload.Tpca
+module Registry = Rvm_obs.Registry
+module Trace = Rvm_obs.Trace
+module Counter = Rvm_obs.Counter
+module Histogram = Rvm_obs.Histogram
+
+exception Stuck of string
+
+type config = {
+  batch_max : int;
+  backoff_base_us : float;
+  backoff_cap : int;
+  cpu_per_op_us : float;
+  max_iterations : int;
+}
+
+let default_config =
+  {
+    batch_max = 8;
+    backoff_base_us = 1_000.;
+    backoff_cap = 6;
+    cpu_per_op_us = 25.;
+    max_iterations = 20_000_000;
+  }
+
+let validate_config c =
+  if c.batch_max <= 0 then invalid_arg "Scheduler: batch_max";
+  if c.backoff_base_us <= 0. then invalid_arg "Scheduler: backoff_base_us";
+  if c.backoff_cap < 0 then invalid_arg "Scheduler: backoff_cap";
+  if c.cpu_per_op_us < 0. then invalid_arg "Scheduler: cpu_per_op_us";
+  if c.max_iterations <= 0 then invalid_arg "Scheduler: max_iterations"
+
+(* The executable form of a request: exclusive locks interleaved with the
+   recoverable-memory updates they cover, consumed front to back. *)
+type update =
+  | Upd_account of int * int64
+  | Upd_teller of int * int64
+  | Upd_branch of int * int64
+  | Upd_audit
+
+type step = Lock of string | Update of update
+
+let acct_key i = "a:" ^ string_of_int i
+let teller_key i = "t:" ^ string_of_int i
+let branch_key i = "b:" ^ string_of_int i
+
+let steps_of (s : Request.spec) =
+  match s.kind with
+  | Request.Payment ->
+    let branch = s.teller mod Tpca.branches in
+    [
+      Lock (acct_key s.account);
+      Update (Upd_account (s.account, s.delta));
+      Lock (teller_key s.teller);
+      Update (Upd_teller (s.teller, s.delta));
+      Lock (branch_key branch);
+      Update (Upd_branch (branch, s.delta));
+      Update Upd_audit;
+    ]
+  | Request.Transfer ->
+    [
+      Lock (acct_key s.account);
+      Update (Upd_account (s.account, s.delta));
+      Lock (acct_key s.account2);
+      Update (Upd_account (s.account2, Int64.neg s.delta));
+      Update Upd_audit;
+    ]
+
+type tally = {
+  committed : int;
+  shed : int;
+  aborts : int;
+  batches : int;
+  backpressure_deferrals : int;
+  latencies_us : float array;  (** one per committed request, commit order *)
+  end_us : float;
+  iterations : int;
+}
+
+type t = {
+  cfg : config;
+  rvm : Rvm.t;
+  clock : Clock.t;
+  obs : Registry.t;
+  lm : Lock_mgr.t;
+  layout : Tpca.layout;
+  adm : Request.t Admission.t;
+  arr : Arrivals.t;
+  gen : Request.gen;
+  rng : Rng.t;  (* backoff jitter stream *)
+  runnable : Request.t Queue.t;
+  mutable parked : Request.t list;
+  mutable retries : (float * Request.t) list;  (* sorted by (due, id) *)
+  batch : Request.t Batcher.t;
+  steps : (int, step list) Hashtbl.t;
+  mutable audit_cursor : int;
+  (* tallies *)
+  mutable committed : int;
+  mutable shed : int;
+  mutable aborts : int;
+  mutable batches : int;
+  mutable backpressure_deferrals : int;
+  mutable latencies : float list;  (* newest first *)
+  mutable iterations : int;
+  (* observability handles *)
+  c_committed : Counter.t;
+  c_shed : Counter.t;
+  c_retry : Counter.t;
+  c_admitted : Counter.t;
+  c_backpressure : Counter.t;
+  h_latency : Histogram.t;
+  h_queue_wait : Histogram.t;
+  h_batch_size : Histogram.t;
+}
+
+let create ~cfg ~rvm ~clock ~obs ~lock_mgr ~layout ~admission ~arrivals ~gen
+    ~rng =
+  validate_config cfg;
+  {
+    cfg;
+    rvm;
+    clock;
+    obs;
+    lm = lock_mgr;
+    layout;
+    adm = admission;
+    arr = arrivals;
+    gen;
+    rng;
+    runnable = Queue.create ();
+    parked = [];
+    retries = [];
+    batch = Batcher.create ~max:cfg.batch_max;
+    steps = Hashtbl.create 64;
+    audit_cursor = 0;
+    committed = 0;
+    shed = 0;
+    aborts = 0;
+    batches = 0;
+    backpressure_deferrals = 0;
+    latencies = [];
+    iterations = 0;
+    c_committed = Registry.counter obs "server.committed";
+    c_shed = Registry.counter obs "server.shed";
+    c_retry = Registry.counter obs "server.retry";
+    c_admitted = Registry.counter obs "server.admitted";
+    c_backpressure = Registry.counter obs "server.backpressure.defer";
+    h_latency = Registry.histogram obs "server.latency.us";
+    h_queue_wait = Registry.histogram obs "server.queue.wait.us";
+    h_batch_size = Registry.histogram obs "server.batch.size";
+  }
+
+let now t = Clock.now_us t.clock
+let charge t = Clock.charge_cpu t.clock t.cfg.cpu_per_op_us
+
+(* --- recoverable-memory updates (addresses per Tpca.layout) --- *)
+
+let read_i64 t ~addr = Bytes.get_int64_le (Rvm.load t.rvm ~addr ~len:8) 0
+
+let write_i64 t ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  Rvm.store t.rvm ~addr b
+
+let do_update t (r : Request.t) tid u =
+  let l = t.layout in
+  match u with
+  | Upd_account (i, d) ->
+    let addr = Tpca.account_addr l i in
+    Rvm.set_range t.rvm tid ~addr ~len:Tpca.account_size;
+    write_i64 t ~addr (Int64.add (read_i64 t ~addr) d);
+    write_i64 t ~addr:(addr + 8) (Int64.of_int r.Request.spec.Request.id)
+  | Upd_teller (i, d) ->
+    let addr = Tpca.teller_addr l i in
+    Rvm.set_range t.rvm tid ~addr ~len:Tpca.balance_size;
+    write_i64 t ~addr (Int64.add (read_i64 t ~addr) d)
+  | Upd_branch (i, d) ->
+    let addr = Tpca.branch_addr l i in
+    Rvm.set_range t.rvm tid ~addr ~len:Tpca.balance_size;
+    write_i64 t ~addr (Int64.add (read_i64 t ~addr) d)
+  | Upd_audit ->
+    (* The slot is drawn at write time and the write is followed by the
+       commit within the same scheduler turn, so no two live transactions
+       ever hold set_ranges over one slot, even after wrap-around. *)
+    let slot = t.audit_cursor in
+    t.audit_cursor <- (slot + 1) mod l.Tpca.audit_entries;
+    let addr = Tpca.audit_addr l slot in
+    Rvm.set_range t.rvm tid ~addr ~len:Tpca.audit_size;
+    let s = r.Request.spec in
+    let e = Bytes.create Tpca.audit_size in
+    Bytes.set_int64_le e 0 (Int64.of_int s.Request.account);
+    Bytes.set_int64_le e 8 (Int64.of_int s.Request.teller);
+    Bytes.set_int64_le e 16 s.Request.delta;
+    Bytes.set_int64_le e 24 (Int64.of_int s.Request.id);
+    Rvm.store t.rvm ~addr e
+
+(* --- lifecycle --- *)
+
+let wake_parked t =
+  let ps =
+    List.sort
+      (fun (a : Request.t) (b : Request.t) ->
+        compare a.Request.spec.Request.id b.Request.spec.Request.id)
+      t.parked
+  in
+  t.parked <- [];
+  List.iter
+    (fun (r : Request.t) ->
+      r.Request.status <- Request.Running;
+      Queue.push r t.runnable)
+    ps
+
+let req_attrs (r : Request.t) =
+  [
+    ("req", Trace.Int r.Request.spec.Request.id);
+    ("kind", Trace.String (Request.kind_name r.Request.spec.Request.kind));
+    ("attempts", Trace.Int r.Request.attempts);
+  ]
+
+(* A request's commit is durable: account its latency, let a closed-loop
+   session move on. The admission slot was already freed at the commit
+   point — in-flight counts transactions that are executing, not ones
+   parked in the batcher awaiting the force. *)
+let finish t (r : Request.t) =
+  let tnow = now t in
+  r.Request.status <- Request.Committed;
+  r.Request.done_us <- tnow;
+  Hashtbl.remove t.steps r.Request.spec.Request.id;
+  Arrivals.complete t.arr ~now:tnow;
+  t.committed <- t.committed + 1;
+  Counter.incr t.c_committed;
+  let lat = tnow -. r.Request.arrival_us in
+  t.latencies <- lat :: t.latencies;
+  Histogram.observe t.h_latency lat
+
+(* Commit a request whose steps are exhausted. Batched configurations
+   commit no-flush immediately (releasing locks — the record is in the
+   spool, ordered) and park the request in the batcher until the closing
+   force; unbatched ones force the log right here. *)
+let commit_ready t (r : Request.t) =
+  let tid =
+    match r.Request.tid with
+    | Some tid -> tid
+    | None -> invalid_arg "commit_ready: no live transaction"
+  in
+  if t.cfg.batch_max = 1 then begin
+    Registry.span t.obs "req.root" ~attrs:(req_attrs r) (fun () ->
+        Rvm.end_transaction t.rvm tid ~mode:Types.Flush);
+    r.Request.tid <- None;
+    Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
+    Admission.release t.adm;
+    t.batches <- t.batches + 1;
+    Histogram.observe t.h_batch_size 1.;
+    finish t r;
+    wake_parked t
+  end
+  else begin
+    Registry.span t.obs "req.root" ~attrs:(req_attrs r) (fun () ->
+        Rvm.end_transaction t.rvm tid ~mode:Types.No_flush);
+    r.Request.tid <- None;
+    r.Request.status <- Request.Ready;
+    Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
+    Admission.release t.adm;
+    Batcher.add t.batch r;
+    wake_parked t
+  end
+
+(* Close the open batch: one force makes every no-flush commit in it
+   durable, then the requests finish together. *)
+let flush_batch t =
+  let reqs = Batcher.take t.batch in
+  if reqs <> [] then begin
+    let size = List.length reqs in
+    t.batches <- t.batches + 1;
+    Histogram.observe t.h_batch_size (float_of_int size);
+    Registry.span t.obs "server.batch.flush"
+      ~attrs:[ ("size", Trace.Int size) ]
+      (fun () -> Rvm.flush t.rvm);
+    List.iter (finish t) reqs
+  end
+
+let insert_retry t due (r : Request.t) =
+  let key = (due, r.Request.spec.Request.id) in
+  let rec ins = function
+    | [] -> [ (due, r) ]
+    | ((d, (x : Request.t)) :: _) as rest
+      when compare key (d, x.Request.spec.Request.id) < 0 ->
+      (due, r) :: rest
+    | e :: rest -> e :: ins rest
+  in
+  t.retries <- ins t.retries
+
+(* Deadlock victim: roll the engine transaction back, drop every lock,
+   and come back after a seeded, jittered exponential backoff. *)
+let abort_retry t (r : Request.t) =
+  (match r.Request.tid with
+  | Some tid -> Rvm.abort_transaction t.rvm tid
+  | None -> ());
+  r.Request.tid <- None;
+  Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
+  r.Request.attempts <- r.Request.attempts + 1;
+  t.aborts <- t.aborts + 1;
+  Counter.incr t.c_retry;
+  Hashtbl.replace t.steps r.Request.spec.Request.id (steps_of r.Request.spec);
+  let exp = min (r.Request.attempts - 1) t.cfg.backoff_cap in
+  let jitter = 0.5 +. Rng.float t.rng 1.0 in
+  let delay = t.cfg.backoff_base_us *. float_of_int (1 lsl exp) *. jitter in
+  r.Request.status <- Request.Backoff;
+  insert_retry t (now t +. delay) r;
+  wake_parked t
+
+(* One cooperative scheduling quantum: a single lock or update step.
+   Requests that can continue go back to the tail of the run queue, so
+   in-flight transactions interleave round-robin — which is what makes
+   lock conflicts (and transfer-order deadlocks) reachable at all. A
+   transaction that ran to commit in one quantum could never be caught
+   holding a lock. *)
+let exec t (r : Request.t) =
+  let id = r.Request.spec.Request.id in
+  (match r.Request.tid with
+  | None ->
+    r.Request.tid <- Some (Rvm.begin_transaction t.rvm ~mode:Types.Restore)
+  | Some _ -> ());
+  match Hashtbl.find_opt t.steps id with
+  | None | Some [] -> commit_ready t r
+  | Some (step :: rest) -> (
+    let tid = Option.get r.Request.tid in
+    match step with
+    | Lock key -> (
+      charge t;
+      match Lock_mgr.wait_for t.lm ~owner:id ~key Lock_mgr.Exclusive with
+      | `Granted ->
+        Hashtbl.replace t.steps id rest;
+        Queue.push r t.runnable
+      | `Wait _ ->
+        r.Request.status <- Request.Parked key;
+        t.parked <- r :: t.parked;
+        Registry.instant t.obs "server.park"
+          ~attrs:[ ("req", Trace.Int id); ("key", Trace.String key) ]
+      | `Deadlock -> abort_retry t r)
+    | Update u ->
+      charge t;
+      do_update t r tid u;
+      Hashtbl.replace t.steps id rest;
+      Queue.push r t.runnable)
+
+(* --- arrivals, admission, retries --- *)
+
+let start t (r : Request.t) =
+  r.Request.status <- Request.Running;
+  r.Request.admitted_us <- now t;
+  Histogram.observe t.h_queue_wait
+    (r.Request.admitted_us -. r.Request.arrival_us);
+  Counter.incr t.c_admitted;
+  Hashtbl.replace t.steps r.Request.spec.Request.id
+    (steps_of r.Request.spec);
+  Queue.push r t.runnable
+
+let shed t (r : Request.t) =
+  r.Request.status <- Request.Shed;
+  r.Request.done_us <- now t;
+  t.shed <- t.shed + 1;
+  Counter.incr t.c_shed;
+  Registry.instant t.obs "server.overload"
+    ~attrs:[ ("req", Trace.Int r.Request.spec.Request.id) ];
+  Arrivals.complete t.arr ~now:(now t)
+
+let process_due t =
+  let rec arrivals () =
+    match Arrivals.next_at t.arr with
+    | Some at when at <= now t ->
+      ignore (Arrivals.pop t.arr);
+      let spec = Request.fresh t.gen in
+      let r = Request.make spec ~arrival_us:at in
+      let pressure = Rvm.spool_pressure t.rvm in
+      (match Admission.submit t.adm ~pressure r with
+      | `Admitted -> start t r
+      | `Queued -> ()
+      | `Overload -> shed t r);
+      arrivals ()
+    | _ -> ()
+  in
+  arrivals ();
+  let rec retries () =
+    match t.retries with
+    | (due, r) :: rest when due <= now t ->
+      t.retries <- rest;
+      r.Request.status <- Request.Running;
+      Queue.push r t.runnable;
+      retries ()
+    | _ -> ()
+  in
+  retries ()
+
+let admit_from_queue t =
+  let rec go () =
+    let pressure = Rvm.spool_pressure t.rvm in
+    match Admission.pop_ready t.adm ~pressure with
+    | `Admit r ->
+      start t r;
+      go ()
+    | `Backpressure ->
+      t.backpressure_deferrals <- t.backpressure_deferrals + 1;
+      Counter.incr t.c_backpressure
+    | `Empty | `At_capacity -> ()
+  in
+  go ()
+
+let diagnose t reason =
+  Format.asprintf
+    "scheduler stuck (%s): iter=%d now=%.0fus runnable=%d parked=%d \
+     retries=%d batch=%d inflight=%d queued=%d committed=%d shed=%d \
+     aborts=%d wait_edges=%s"
+    reason t.iterations (now t)
+    (Queue.length t.runnable)
+    (List.length t.parked)
+    (List.length t.retries) (Batcher.size t.batch) (Admission.inflight t.adm)
+    (Admission.queued t.adm) t.committed t.shed t.aborts
+    (String.concat ";"
+       (List.map
+          (fun (o, bs) ->
+            Printf.sprintf "%d->[%s]" o
+              (String.concat "," (List.map string_of_int bs)))
+          (Lock_mgr.wait_edges t.lm)))
+
+let next_event_at t =
+  match (Arrivals.next_at t.arr, t.retries) with
+  | Some a, (d, _) :: _ -> Some (Float.min a d)
+  | Some a, [] -> Some a
+  | None, (d, _) :: _ -> Some d
+  | None, [] -> None
+
+let run t =
+  let rec loop () =
+    t.iterations <- t.iterations + 1;
+    if t.iterations > t.cfg.max_iterations then
+      raise (Stuck (diagnose t "iteration budget exhausted"));
+    process_due t;
+    admit_from_queue t;
+    if Batcher.full t.batch then begin
+      flush_batch t;
+      loop ()
+    end
+    else if not (Queue.is_empty t.runnable) then begin
+      let r = Queue.pop t.runnable in
+      (match r.Request.status with
+      | Request.Running -> exec t r
+      | _ -> raise (Stuck (diagnose t "non-running request in run queue")));
+      loop ()
+    end
+    else if not (Batcher.is_empty t.batch) then begin
+      (* No request can advance before the next timed event: close the
+         partial batch now rather than letting latency ride on arrivals. *)
+      flush_batch t;
+      loop ()
+    end
+    else
+      match next_event_at t with
+      | Some at ->
+        if at > now t then Clock.advance_to t.clock at;
+        loop ()
+      | None ->
+        if
+          Queue.is_empty t.runnable && t.parked = []
+          && Admission.queued t.adm = 0
+        then () (* drained: every request committed or shed *)
+        else raise (Stuck (diagnose t "no timed event and no runnable work"))
+  in
+  loop ();
+  {
+    committed = t.committed;
+    shed = t.shed;
+    aborts = t.aborts;
+    batches = t.batches;
+    backpressure_deferrals = t.backpressure_deferrals;
+    latencies_us = Array.of_list (List.rev t.latencies);
+    end_us = now t;
+    iterations = t.iterations;
+  }

@@ -1,0 +1,73 @@
+(** The cooperative transaction scheduler — the server's core loop.
+
+    Requests execute as step lists (exclusive lock acquisitions
+    interleaved with the recoverable-memory updates they protect) under
+    the engine's [Restore]-mode transactions. A request runs until it
+    commits, parks on a lock ({!Rvm_layers.Lock_mgr.wait_for} returning
+    [`Wait]), or loses a deadlock ([`Deadlock] → abort, release all
+    locks, retry after seeded jittered exponential backoff). Parked
+    requests wake whenever any lock is released; wake order is by request
+    id, so a seeded run schedules identically every time.
+
+    Commits route through the {!Batcher}: with [batch_max = 1] each
+    commit forces the log itself; otherwise ready transactions commit
+    [No_flush] immediately (releasing their locks — commit order is fixed
+    by the spool) and the closing {!Rvm_core.Rvm.flush} fires when the
+    batch fills or no other request can make progress. Each request's
+    life is wrapped in a [req.root] span, so the engine's [txn.commit]
+    spans nest under the request that caused them.
+
+    Everything advances the simulated clock: lock and update steps charge
+    [cpu_per_op_us] each, device time comes from the engine's cost model,
+    and idle gaps skip to the next arrival or retry deadline via
+    {!Rvm_util.Clock.advance_to}. *)
+
+exception Stuck of string
+(** The loop proved it can make no progress (or exceeded its iteration
+    budget): the message carries a full state dump including the wait-for
+    graph. Raised rather than hung — the no-hang property test depends on
+    it. *)
+
+type config = {
+  batch_max : int;  (** commit batch bound; 1 = unbatched *)
+  backoff_base_us : float;  (** first-retry backoff before jitter *)
+  backoff_cap : int;  (** max doublings of the backoff base *)
+  cpu_per_op_us : float;  (** CPU charge per lock/update step *)
+  max_iterations : int;  (** hang guard for property tests *)
+}
+
+val default_config : config
+
+type tally = {
+  committed : int;
+  shed : int;
+  aborts : int;  (** deadlock aborts (every one is retried) *)
+  batches : int;  (** log forces issued for commits *)
+  backpressure_deferrals : int;
+  latencies_us : float array;  (** per committed request, commit order *)
+  end_us : float;  (** simulated completion time *)
+  iterations : int;
+}
+
+type t
+
+val create :
+  cfg:config ->
+  rvm:Rvm_core.Rvm.t ->
+  clock:Rvm_util.Clock.t ->
+  obs:Rvm_obs.Registry.t ->
+  lock_mgr:Rvm_layers.Lock_mgr.t ->
+  layout:Rvm_workload.Tpca.layout ->
+  admission:Request.t Admission.t ->
+  arrivals:Arrivals.t ->
+  gen:Request.gen ->
+  rng:Rvm_util.Rng.t ->
+  t
+(** [rng] is the backoff-jitter stream; keep it distinct from the
+    request-generator and arrival streams so the three draws never
+    interleave nondeterministically. *)
+
+val run : t -> tally
+(** Drive the loop until the arrival process is exhausted and every
+    request has committed or been shed. Raises {!Stuck} if the loop
+    wedges. *)

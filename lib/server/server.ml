@@ -1,0 +1,275 @@
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+module Rng = Rvm_util.Rng
+module Mem_device = Rvm_disk.Mem_device
+module Device = Rvm_disk.Device
+module Stack = Rvm_disk.Stack
+module Rvm = Rvm_core.Rvm
+module Options = Rvm_core.Options
+module Lock_mgr = Rvm_layers.Lock_mgr
+module Tpca = Rvm_workload.Tpca
+module Registry = Rvm_obs.Registry
+module Json = Rvm_obs.Json
+
+type load = Open_loop of float | Closed_loop of { sessions : int; think_us : float }
+
+let load_name = function
+  | Open_loop tps -> Printf.sprintf "open:%.6gtps" tps
+  | Closed_loop { sessions; think_us } ->
+    Printf.sprintf "closed:%dx%.6gus" sessions think_us
+
+type config = {
+  accounts : int;
+  zipf_s : float;
+  transfer_pct : int;
+  requests : int;
+  seed : int64;
+  load : load;
+  batch_max : int;
+  max_inflight : int;
+  max_queue : int;
+  backpressure : float;
+  backoff_base_us : float;
+  cpu_per_op_us : float;
+  log_size : int;
+  trace_capacity : int;
+  spool_max_bytes : int option;
+  log_spool_max_bytes : int option;
+}
+
+let default_config =
+  {
+    accounts = 1_000;
+    zipf_s = 0.8;
+    transfer_pct = 25;
+    requests = 400;
+    seed = 42L;
+    load = Open_loop 40.;
+    batch_max = Scheduler.default_config.Scheduler.batch_max;
+    max_inflight = Admission.default.Admission.max_inflight;
+    max_queue = Admission.default.Admission.max_queue;
+    backpressure = Admission.default.Admission.backpressure;
+    backoff_base_us = Scheduler.default_config.Scheduler.backoff_base_us;
+    cpu_per_op_us = Scheduler.default_config.Scheduler.cpu_per_op_us;
+    log_size = 4 * 1024 * 1024;
+    trace_capacity = 0;
+    spool_max_bytes = None;
+    log_spool_max_bytes = None;
+  }
+
+type result = {
+  cfg : config;
+  committed : int;
+  shed : int;
+  aborts : int;
+  batches : int;
+  backpressure_deferrals : int;
+  duration_us : float;
+  throughput_tps : float;
+  mean_latency_us : float;
+  p50_latency_us : float;
+  p95_latency_us : float;
+  p99_latency_us : float;
+  log_writes : int;
+  log_syncs : int;
+  syncs_per_commit : float;
+  writes_per_commit : float;
+}
+
+(* Exact percentile over the raw latency samples (nearest-rank), not the
+   histogram's power-of-two buckets — sweeps compare configurations, so
+   bucket-quantization noise matters. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let page_size = 4096
+
+type world = {
+  rvm : Rvm.t;
+  clock : Clock.t;
+  obs : Registry.t;
+  layout : Tpca.layout;
+  log_outer : Device.t;  (* stats at the physical-device layer *)
+}
+
+let build_world cfg =
+  let clock = Clock.simulated () in
+  let model = Cost_model.dec5000 in
+  let obs = Registry.create ~trace_capacity:cfg.trace_capacity () in
+  let base_vaddr = 16 * page_size in
+  let layout = Tpca.layout ~accounts:cfg.accounts ~base:base_vaddr ~page_size in
+  let seg_size = layout.Tpca.total_len + page_size in
+  let log_outer =
+    Stack.compose
+      [ Stack.with_latency ~clock ~disk:model.Cost_model.log_disk () ]
+      (Mem_device.create ~name:"log" ~size:cfg.log_size ())
+  in
+  let seg_dev =
+    Stack.compose
+      [ Stack.with_latency ~seek_fraction:0.08 ~sector:page_size ~clock
+          ~disk:model.Cost_model.data_disk () ]
+      (Mem_device.create ~name:"seg" ~size:seg_size ())
+  in
+  Rvm.create_log log_outer;
+  let options =
+    let o = Options.default in
+    let o =
+      match cfg.spool_max_bytes with
+      | Some v -> { o with Options.spool_max_bytes = v }
+      | None -> o
+    in
+    match cfg.log_spool_max_bytes with
+    | Some v -> { o with Options.log_spool_max_bytes = v }
+    | None -> o
+  in
+  let rvm =
+    Rvm.initialize ~options ~clock ~model ~obs ~log:log_outer
+      ~resolve:(fun _ -> seg_dev)
+      ()
+  in
+  ignore (Rvm.map rvm ~vaddr:base_vaddr ~seg:1 ~seg_off:0 ~len:layout.Tpca.total_len ());
+  { rvm; clock; obs; layout; log_outer }
+
+let scheduler_of cfg w =
+  let rng = Rng.create ~seed:cfg.seed in
+  let gen_rng = Rng.split rng in
+  let arrival_rng = Rng.split rng in
+  let backoff_rng = Rng.split rng in
+  let gen =
+    Request.make_gen ~accounts:cfg.accounts ~zipf_s:cfg.zipf_s
+      ~transfer_pct:cfg.transfer_pct ~rng:gen_rng
+  in
+  let start_us = Clock.now_us w.clock in
+  let arrivals =
+    match cfg.load with
+    | Open_loop rate_tps ->
+      Arrivals.open_loop ~start_us ~rate_tps ~requests:cfg.requests
+        ~rng:arrival_rng ()
+    | Closed_loop { sessions; think_us } ->
+      Arrivals.closed_loop ~start_us ~sessions ~think_us
+        ~requests:cfg.requests ~rng:arrival_rng ()
+  in
+  let admission =
+    Admission.create
+      {
+        Admission.max_inflight = cfg.max_inflight;
+        max_queue = cfg.max_queue;
+        backpressure = cfg.backpressure;
+      }
+  in
+  let scfg =
+    {
+      Scheduler.default_config with
+      Scheduler.batch_max = cfg.batch_max;
+      backoff_base_us = cfg.backoff_base_us;
+      cpu_per_op_us = cfg.cpu_per_op_us;
+    }
+  in
+  Scheduler.create ~cfg:scfg ~rvm:w.rvm ~clock:w.clock ~obs:w.obs
+    ~lock_mgr:(Lock_mgr.create ()) ~layout:w.layout ~admission ~arrivals ~gen
+    ~rng:backoff_rng
+
+let run cfg =
+  let w = build_world cfg in
+  let sched = scheduler_of cfg w in
+  let stats0 = w.log_outer.Device.stats in
+  let writes0 = stats0.Device.writes and syncs0 = stats0.Device.syncs in
+  let tally = Scheduler.run sched in
+  (* Leave any final no-flush residue where the run left it: syncs are
+     attributed per committed request, and the scheduler always closes its
+     last batch before the arrival process drains. *)
+  let stats = w.log_outer.Device.stats in
+  let log_writes = stats.Device.writes - writes0 in
+  let log_syncs = stats.Device.syncs - syncs0 in
+  let lat = Array.copy tally.Scheduler.latencies_us in
+  Array.sort compare lat;
+  let n = Array.length lat in
+  let committed = tally.Scheduler.committed in
+  let per c = if committed = 0 then 0. else float_of_int c /. float_of_int committed in
+  {
+    cfg;
+    committed;
+    shed = tally.Scheduler.shed;
+    aborts = tally.Scheduler.aborts;
+    batches = tally.Scheduler.batches;
+    backpressure_deferrals = tally.Scheduler.backpressure_deferrals;
+    duration_us = tally.Scheduler.end_us;
+    throughput_tps =
+      (if tally.Scheduler.end_us > 0. then
+         float_of_int committed /. (tally.Scheduler.end_us /. 1e6)
+       else 0.);
+    mean_latency_us =
+      (if n = 0 then 0. else Array.fold_left ( +. ) 0. lat /. float_of_int n);
+    p50_latency_us = percentile lat 50.;
+    p95_latency_us = percentile lat 95.;
+    p99_latency_us = percentile lat 99.;
+    log_writes;
+    log_syncs;
+    syncs_per_commit = per log_syncs;
+    writes_per_commit = per log_writes;
+  }
+
+let run_with_world cfg =
+  let w = build_world cfg in
+  let sched = scheduler_of cfg w in
+  let tally = Scheduler.run sched in
+  (w, tally)
+
+let sweep ~base ~loads ~batch_sizes =
+  List.concat_map
+    (fun load ->
+      List.map
+        (fun batch_max -> run { base with load; batch_max })
+        batch_sizes)
+    loads
+
+let result_to_json r =
+  let c = r.cfg in
+  Json.Obj
+    [
+      ("load", Json.String (load_name c.load));
+      ( "offered_tps",
+        match c.load with
+        | Open_loop tps -> Json.Float tps
+        | Closed_loop _ -> Json.Null );
+      ("batch_max", Json.Int c.batch_max);
+      ("requests", Json.Int c.requests);
+      ("seed", Json.Int (Int64.to_int c.seed));
+      ("committed", Json.Int r.committed);
+      ("shed", Json.Int r.shed);
+      ("aborts", Json.Int r.aborts);
+      ("batches", Json.Int r.batches);
+      ("backpressure_deferrals", Json.Int r.backpressure_deferrals);
+      ("duration_us", Json.Float r.duration_us);
+      ("throughput_tps", Json.Float r.throughput_tps);
+      ("mean_latency_us", Json.Float r.mean_latency_us);
+      ("p50_latency_us", Json.Float r.p50_latency_us);
+      ("p95_latency_us", Json.Float r.p95_latency_us);
+      ("p99_latency_us", Json.Float r.p99_latency_us);
+      ("log_writes", Json.Int r.log_writes);
+      ("log_syncs", Json.Int r.log_syncs);
+      ("syncs_per_commit", Json.Float r.syncs_per_commit);
+      ("writes_per_commit", Json.Float r.writes_per_commit);
+    ]
+
+let pp_table fmt results =
+  Format.fprintf fmt
+    "%-18s %5s | %9s %9s %6s %6s %7s | %9s %9s %9s | %9s@\n" "load" "batch"
+    "committed" "tps" "shed" "abort" "defer" "p50(ms)" "p95(ms)" "p99(ms)"
+    "syncs/txn";
+  Format.fprintf fmt "%s@\n" (String.make 110 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "%-18s %5d | %9d %9.1f %6d %6d %7d | %9.2f %9.2f %9.2f | %9.3f@\n"
+        (load_name r.cfg.load) r.cfg.batch_max r.committed r.throughput_tps
+        r.shed r.aborts r.backpressure_deferrals
+        (r.p50_latency_us /. 1e3)
+        (r.p95_latency_us /. 1e3)
+        (r.p99_latency_us /. 1e3)
+        r.syncs_per_commit)
+    results

@@ -1,0 +1,87 @@
+(** The transaction server harness: one call builds a complete simulated
+    world — dec5000 cost model, latency-wrapped log and segment devices,
+    an engine instance, a TPC-A layout, the lock manager, admission
+    control and the scheduler — runs a seeded load against it, and
+    reduces the outcome to a {!result} row. Two results from equal
+    configs are byte-identical: every stochastic choice (request mix,
+    Zipf keys, arrival times, backoff jitter) flows from [seed] through
+    split {!Rvm_util.Rng} streams, and all timing is simulated. *)
+
+type load =
+  | Open_loop of float  (** Poisson arrivals at this offered tps *)
+  | Closed_loop of { sessions : int; think_us : float }
+
+val load_name : load -> string
+
+type config = {
+  accounts : int;
+  zipf_s : float;  (** account-key skew exponent *)
+  transfer_pct : int;  (** % of requests that are two-account transfers *)
+  requests : int;
+  seed : int64;
+  load : load;
+  batch_max : int;  (** 1 = unbatched: every commit forces the log *)
+  max_inflight : int;
+  max_queue : int;
+  backpressure : float;  (** spool-pressure admission threshold *)
+  backoff_base_us : float;
+  cpu_per_op_us : float;
+  log_size : int;
+  trace_capacity : int;  (** 0 = tracing off *)
+  spool_max_bytes : int option;  (** engine spool watermark override *)
+  log_spool_max_bytes : int option;  (** log tail watermark override *)
+}
+
+val default_config : config
+(** 1000 accounts, Zipf s=0.8, 25% transfers, 400 requests, open loop at
+    40 tps, batch 8, admission 8/16 with backpressure at 0.9. *)
+
+type result = {
+  cfg : config;
+  committed : int;
+  shed : int;
+  aborts : int;
+  batches : int;
+  backpressure_deferrals : int;
+  duration_us : float;
+  throughput_tps : float;
+  mean_latency_us : float;
+  p50_latency_us : float;  (** exact (nearest-rank over raw samples) *)
+  p95_latency_us : float;
+  p99_latency_us : float;
+  log_writes : int;  (** at the physical log device *)
+  log_syncs : int;
+  syncs_per_commit : float;  (** the group-commit payoff metric *)
+  writes_per_commit : float;
+}
+
+val run : config -> result
+
+(** {1 Open-world entry points}
+
+    Tests need the pieces: the registry (to check [req.root] parents
+    [txn.commit]), the engine and layout (to check final balances against
+    the serial reference), the raw tally. *)
+
+type world = {
+  rvm : Rvm_core.Rvm.t;
+  clock : Rvm_util.Clock.t;
+  obs : Rvm_obs.Registry.t;
+  layout : Rvm_workload.Tpca.layout;
+  log_outer : Rvm_disk.Device.t;
+      (** outermost log device — its [stats] count physical writes/syncs *)
+}
+
+val build_world : config -> world
+val scheduler_of : config -> world -> Scheduler.t
+
+val run_with_world : config -> world * Scheduler.tally
+(** {!run} without the reduction: build, run, hand everything back. *)
+
+val sweep :
+  base:config -> loads:load list -> batch_sizes:int list -> result list
+(** The saturation grid: every load crossed with every batch size, rows
+    in [loads]-major order. *)
+
+val result_to_json : result -> Rvm_obs.Json.t
+val pp_table : Format.formatter -> result list -> unit

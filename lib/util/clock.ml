@@ -45,6 +45,13 @@ let charge_io t us =
     t.backlog <- Float.max 0. (t.backlog -. us)
   end
 
+let advance_to t target =
+  if t.enabled && (not t.suspended) && target > t.now then begin
+    let d = target -. t.now in
+    t.now <- target;
+    t.backlog <- Float.max 0. (t.backlog -. d)
+  end
+
 let drain_backlog t =
   if t.enabled then begin
     t.now <- t.now +. t.backlog;

@@ -39,6 +39,13 @@ val charge_cpu : t -> float -> unit
 val charge_background : t -> float -> unit
 val charge_io : t -> float -> unit
 
+val advance_to : t -> float -> unit
+(** Idle wait: move wall time forward to an absolute microsecond timestamp
+    without charging CPU or I/O. Background backlog drains for free while
+    idling, as during an I/O wait. A no-op when the target is in the past
+    — the discrete-event loops of the transaction server sleep to the next
+    arrival or retry deadline with this. *)
+
 val drain_backlog : t -> unit
 (** Pay any remaining background backlog as wall time (end of a run). *)
 

@@ -47,3 +47,37 @@ let bytes t n =
   b
 
 let split t = { state = mix (next t) }
+
+(* Bounded Zipf(s) over ranks 0..n-1: P(rank i) ∝ 1/(i+1)^s. The
+   normalized CDF is materialized once (the server's key universe is
+   thousands of accounts, not billions), so sampling is one uniform draw
+   plus a binary search — deterministic and O(log n). *)
+type zipf = { n : int; cdf : float array }
+
+let zipf_make ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf_make: n must be positive";
+  if s < 0. then invalid_arg "Rng.zipf_make: s must be non-negative";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. (float_of_int (i + 1) ** -.s);
+    cdf.(i) <- !total
+  done;
+  let z = !total in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. z
+  done;
+  cdf.(n - 1) <- 1.;  (* guard against rounding leaving a gap at the top *)
+  { n; cdf }
+
+let zipf_n z = z.n
+
+let zipf t z =
+  let u = float t 1.0 in
+  (* Smallest rank whose cumulative probability exceeds u. *)
+  let lo = ref 0 and hi = ref (z.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

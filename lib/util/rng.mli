@@ -31,3 +31,19 @@ val bytes : t -> int -> Bytes.t
 
 val split : t -> t
 (** An independent stream derived from the current state. *)
+
+type zipf
+(** A bounded Zipf distribution over ranks [0, n): precomputed CDF, so
+    {!zipf} is one uniform draw plus a binary search. *)
+
+val zipf_make : n:int -> s:float -> zipf
+(** [zipf_make ~n ~s] gives rank [i] probability proportional to
+    [1/(i+1)^s]. [s = 0] is uniform; larger [s] concentrates mass on low
+    ranks (the skewed-key workloads of the transaction server). [n] must
+    be positive, [s] non-negative. *)
+
+val zipf_n : zipf -> int
+(** The rank bound [n]. *)
+
+val zipf : t -> zipf -> int
+(** Sample a rank in [0, n). *)

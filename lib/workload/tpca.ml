@@ -45,6 +45,11 @@ let layout ~accounts ~base ~page_size =
     total_len;
   }
 
+let account_addr l i = l.base + (i * account_size)
+let teller_addr l i = l.tellers_base + (i * balance_size)
+let branch_addr l i = l.branches_base + (i * balance_size)
+let audit_addr l i = l.audit_base + (i * audit_size)
+
 type state = {
   l : layout;
   pattern : pattern;
@@ -108,23 +113,23 @@ let transaction t (e : Driver.engine) =
   let tid = e.begin_txn () in
   (* Account record: declare the whole record, update the balance in its
      first word and a modification stamp after it. *)
-  let acct_addr = l.base + (account * account_size) in
+  let acct_addr = account_addr l account in
   Hashtbl.replace t.pages_touched (acct_addr / 4096) ();
   e.set_range tid ~addr:acct_addr ~len:account_size;
   let old_balance = Bytes.get_int64_le (e.load ~addr:acct_addr ~len:8) 0 in
   write_i64 e ~addr:acct_addr (Int64.add old_balance delta);
   write_i64 e ~addr:(acct_addr + 8) (Int64.of_int t.count);
   (* Teller and branch balances. *)
-  let teller_addr = l.tellers_base + (teller * balance_size) in
+  let teller_addr = teller_addr l teller in
   e.set_range tid ~addr:teller_addr ~len:balance_size;
   let old_teller = Bytes.get_int64_le (e.load ~addr:teller_addr ~len:8) 0 in
   write_i64 e ~addr:teller_addr (Int64.add old_teller delta);
-  let branch_addr = l.branches_base + (branch * balance_size) in
+  let branch_addr = branch_addr l branch in
   e.set_range tid ~addr:branch_addr ~len:balance_size;
   let old_branch = Bytes.get_int64_le (e.load ~addr:branch_addr ~len:8) 0 in
   write_i64 e ~addr:branch_addr (Int64.add old_branch delta);
   (* Audit trail: sequential append with wrap-around. *)
-  let audit_addr = l.audit_base + (t.audit_cursor * audit_size) in
+  let audit_addr = audit_addr l t.audit_cursor in
   t.audit_cursor <- (t.audit_cursor + 1) mod l.audit_entries;
   e.set_range tid ~addr:audit_addr ~len:audit_size;
   let entry = Bytes.create audit_size in

@@ -36,6 +36,9 @@ val account_size : int
 val audit_size : int
 (** 64 bytes. *)
 
+val balance_size : int
+(** 16 bytes — one teller or branch balance record. *)
+
 val tellers : int
 val branches : int
 
@@ -43,6 +46,15 @@ val layout : accounts:int -> base:int -> page_size:int -> layout
 (** Compute the memory layout for a given account count. The audit trail
     gets two entries per account so that both arrays occupy close to half
     of recoverable memory, as in the paper. *)
+
+val account_addr : layout -> int -> int
+(** vaddr of account record [i]. *)
+
+val teller_addr : layout -> int -> int
+val branch_addr : layout -> int -> int
+
+val audit_addr : layout -> int -> int
+(** vaddr of audit-trail slot [i] (callers wrap modulo [audit_entries]). *)
 
 type state
 

@@ -20,4 +20,5 @@ let () =
       ("check", Test_check.suite);
       ("harness", Test_harness.suite);
       ("pds", Test_pds.suite);
+      ("server", Test_server.suite);
     ]

@@ -262,6 +262,89 @@ let test_locks_deadlock_detection () =
   check_bool "survivor proceeds" true
     (Lock_mgr.wait_for lm ~owner:1 ~key:"b" Lock_mgr.Exclusive = `Granted)
 
+(* --- lock manager hardening (PR 5 regressions) --- *)
+
+let test_locks_release_all_clears_wait_edges () =
+  let lm = Lock_mgr.create () in
+  (* 1 holds a, 2 holds b; 1 waits for b, 3 waits for a. *)
+  ignore (Lock_mgr.try_acquire lm ~owner:1 ~key:"a" Lock_mgr.Exclusive);
+  ignore (Lock_mgr.try_acquire lm ~owner:2 ~key:"b" Lock_mgr.Exclusive);
+  (match Lock_mgr.wait_for lm ~owner:1 ~key:"b" Lock_mgr.Exclusive with
+  | `Wait [ 2 ] -> ()
+  | _ -> Alcotest.fail "1 should wait on 2");
+  (match Lock_mgr.wait_for lm ~owner:3 ~key:"a" Lock_mgr.Exclusive with
+  | `Wait [ 1 ] -> ()
+  | _ -> Alcotest.fail "3 should wait on 1");
+  Alcotest.(check (list (pair int (list int))))
+    "both edges present" [ (1, [ 2 ]); (3, [ 1 ]) ] (Lock_mgr.wait_edges lm);
+  (* Releasing 1 must drop its outgoing edge AND 3's edge toward it. *)
+  Lock_mgr.release_all lm ~owner:1;
+  Alcotest.(check (list (pair int (list int))))
+    "no edge mentions 1" [] (Lock_mgr.wait_edges lm);
+  (* A stale reverse edge 3->1 would let a later wait by 1 on a key of 3
+     report a phantom deadlock; after the release it must be a plain wait. *)
+  ignore (Lock_mgr.try_acquire lm ~owner:3 ~key:"a" Lock_mgr.Exclusive);
+  (match Lock_mgr.wait_for lm ~owner:1 ~key:"a" Lock_mgr.Exclusive with
+  | `Wait [ 3 ] -> ()
+  | `Deadlock -> Alcotest.fail "phantom deadlock from a stale wait edge"
+  | _ -> Alcotest.fail "expected wait on 3")
+
+let test_locks_upgrade_with_other_sharers_waits () =
+  let lm = Lock_mgr.create () in
+  ignore (Lock_mgr.try_acquire lm ~owner:1 ~key:"k" Lock_mgr.Shared);
+  ignore (Lock_mgr.try_acquire lm ~owner:2 ~key:"k" Lock_mgr.Shared);
+  (* try_acquire: the upgrade attempt must report the other sharer, not
+     silently grant exclusivity over a live shared holder. *)
+  (match Lock_mgr.try_acquire lm ~owner:1 ~key:"k" Lock_mgr.Exclusive with
+  | `Conflict [ 2 ] -> ()
+  | `Conflict other ->
+    Alcotest.failf "wrong blockers %s"
+      (String.concat "," (List.map string_of_int other))
+  | `Granted -> Alcotest.fail "upgrade granted over a shared holder");
+  (* 1 still holds plain Shared — the failed upgrade must not have
+     promoted it. *)
+  (match List.assoc_opt 1 (Lock_mgr.holders lm ~key:"k") with
+  | Some Lock_mgr.Shared -> ()
+  | _ -> Alcotest.fail "failed upgrade corrupted 1's hold");
+  (* wait_for: the same attempt parks; the symmetric upgrade by 2 then
+     closes the classic upgrade-deadlock cycle. *)
+  (match Lock_mgr.wait_for lm ~owner:1 ~key:"k" Lock_mgr.Exclusive with
+  | `Wait [ 2 ] -> ()
+  | _ -> Alcotest.fail "upgrade should wait on the other sharer");
+  (match Lock_mgr.wait_for lm ~owner:2 ~key:"k" Lock_mgr.Exclusive with
+  | `Deadlock -> ()
+  | _ -> Alcotest.fail "symmetric upgrades should deadlock");
+  (* Victim aborts; the survivor's upgrade is now grantable. *)
+  Lock_mgr.release_all lm ~owner:2;
+  (match Lock_mgr.wait_for lm ~owner:1 ~key:"k" Lock_mgr.Exclusive with
+  | `Granted -> ()
+  | _ -> Alcotest.fail "survivor should upgrade after victim release");
+  (match Lock_mgr.holders lm ~key:"k" with
+  | [ (1, Lock_mgr.Exclusive) ] -> ()
+  | _ -> Alcotest.fail "upgrade did not leave a sole exclusive holder")
+
+let test_locks_release_during_many_waiters () =
+  (* Many waiters all blocked on one owner: the bulk reverse-edge cleanup
+     path (a Hashtbl mutated while being traversed, before the fix). *)
+  let lm = Lock_mgr.create () in
+  ignore (Lock_mgr.try_acquire lm ~owner:0 ~key:"hot" Lock_mgr.Exclusive);
+  for o = 1 to 16 do
+    match Lock_mgr.wait_for lm ~owner:o ~key:"hot" Lock_mgr.Exclusive with
+    | `Wait [ 0 ] -> ()
+    | _ -> Alcotest.fail "expected wait on 0"
+  done;
+  check_int "16 edges" 16 (List.length (Lock_mgr.wait_edges lm));
+  Lock_mgr.release_all lm ~owner:0;
+  Alcotest.(check (list (pair int (list int))))
+    "all edges cleared" [] (Lock_mgr.wait_edges lm);
+  (* Every former waiter can now be granted in turn. *)
+  for o = 1 to 16 do
+    (match Lock_mgr.wait_for lm ~owner:o ~key:"hot" Lock_mgr.Exclusive with
+    | `Granted -> ()
+    | _ -> Alcotest.fail "waiter not grantable after release");
+    Lock_mgr.release_all lm ~owner:o
+  done
+
 let suite =
   [
     ("nested.commit", `Quick, test_nested_commit_commits_all);
@@ -278,4 +361,13 @@ let suite =
     ("locks.upgrade", `Quick, test_locks_upgrade);
     ("locks.release-all", `Quick, test_locks_release_all);
     ("locks.deadlock", `Quick, test_locks_deadlock_detection);
+    ( "locks.release-all-clears-wait-edges",
+      `Quick,
+      test_locks_release_all_clears_wait_edges );
+    ( "locks.upgrade-with-sharers-waits",
+      `Quick,
+      test_locks_upgrade_with_other_sharers_waits );
+    ( "locks.release-under-many-waiters",
+      `Quick,
+      test_locks_release_during_many_waiters );
   ]

@@ -1,0 +1,383 @@
+(* Tests for the transaction server: scheduler, admission control, commit
+   batching, arrival processes — and the end-to-end properties the PR
+   promises: bit-reproducible seeded runs, strictly fewer device syncs
+   per committed transaction when batching, shedding only beyond the
+   admission limit, a live deadlock-abort-retry path, and final balances
+   equal to the serial reference execution. *)
+
+module S = Rvm_server.Server
+module Scheduler = Rvm_server.Scheduler
+module Request = Rvm_server.Request
+module Admission = Rvm_server.Admission
+module Batcher = Rvm_server.Batcher
+module Arrivals = Rvm_server.Arrivals
+module Rvm = Rvm_core.Rvm
+module Tpca = Rvm_workload.Tpca
+module Registry = Rvm_obs.Registry
+module Rng = Rvm_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- unit: admission state machine --- *)
+
+let test_admission_caps () =
+  let adm =
+    Admission.create
+      { Admission.max_inflight = 2; max_queue = 2; backpressure = 0.9 }
+  in
+  let submit x = Admission.submit adm ~pressure:0. x in
+  check_bool "1st admitted" true (submit 1 = `Admitted);
+  check_bool "2nd admitted" true (submit 2 = `Admitted);
+  check_bool "3rd queued" true (submit 3 = `Queued);
+  check_bool "4th queued" true (submit 4 = `Queued);
+  check_bool "5th overload" true (submit 5 = `Overload);
+  check_int "inflight" 2 (Admission.inflight adm);
+  check_int "queued" 2 (Admission.queued adm);
+  check_bool "at capacity" true
+    (Admission.pop_ready adm ~pressure:0. = `At_capacity);
+  Admission.release adm;
+  (* high pressure holds queued work back even with a free slot *)
+  check_bool "backpressure" true
+    (Admission.pop_ready adm ~pressure:0.95 = `Backpressure);
+  check_bool "fifo admit" true (Admission.pop_ready adm ~pressure:0. = `Admit 3);
+  Admission.release adm;
+  check_bool "fifo order" true (Admission.pop_ready adm ~pressure:0. = `Admit 4);
+  Admission.release adm;
+  Admission.release adm;
+  check_bool "empty queue" true (Admission.pop_ready adm ~pressure:0. = `Empty);
+  (* a queued request means arrivals never bypass the FIFO *)
+  check_bool "queue first" true (submit 6 = `Admitted)
+
+let test_admission_pressure_sheds_nothing_below_cap () =
+  (* pressure defers queued work but never sheds an arrival the queue can
+     hold *)
+  let adm =
+    Admission.create
+      { Admission.max_inflight = 1; max_queue = 4; backpressure = 0.5 }
+  in
+  check_bool "admitted" true (Admission.submit adm ~pressure:0.99 1 = `Queued || Admission.submit adm ~pressure:0.99 1 = `Admitted);
+  check_bool "queued under pressure" true
+    (Admission.submit adm ~pressure:0.99 2 <> `Overload)
+
+(* --- unit: batcher --- *)
+
+let test_batcher_fifo () =
+  let b = Batcher.create ~max:3 in
+  check_bool "empty" true (Batcher.is_empty b);
+  Batcher.add b 'a';
+  Batcher.add b 'b';
+  check_bool "not full" false (Batcher.full b);
+  Batcher.add b 'c';
+  check_bool "full" true (Batcher.full b);
+  Alcotest.check_raises "overfull add raises"
+    (Invalid_argument "Batcher.add: batch full") (fun () -> Batcher.add b 'd');
+  Alcotest.(check (list char)) "fifo take" [ 'a'; 'b'; 'c' ] (Batcher.take b);
+  check_bool "empty after take" true (Batcher.is_empty b);
+  check_int "max" 3 (Batcher.max_size b)
+
+(* --- unit: arrival processes --- *)
+
+let test_arrivals_deterministic () =
+  let schedule () =
+    let a =
+      Arrivals.open_loop ~rate_tps:50. ~requests:20
+        ~rng:(Rng.create ~seed:9L) ()
+    in
+    let rec go acc =
+      match Arrivals.pop a with None -> List.rev acc | Some at -> go (at :: acc)
+    in
+    go []
+  in
+  let s1 = schedule () and s2 = schedule () in
+  check_bool "same schedule" true (s1 = s2);
+  check_int "all arrivals" 20 (List.length s1);
+  check_bool "ascending" true (List.sort compare s1 = s1);
+  (* mean inter-arrival should be in the ballpark of 1/rate = 20ms *)
+  let total = List.nth s1 19 in
+  check_bool "plausible horizon" true (total > 100_000. && total < 1_500_000.)
+
+let test_arrivals_closed_loop_think () =
+  let a =
+    Arrivals.closed_loop ~sessions:2 ~think_us:1000. ~requests:5
+      ~rng:(Rng.create ~seed:4L) ()
+  in
+  (* two sessions pending initially *)
+  let first = Arrivals.pop a in
+  check_bool "has first" true (first <> None);
+  ignore (Arrivals.pop a);
+  check_bool "no third before a completion" true (Arrivals.next_at a = None);
+  Arrivals.complete a ~now:5000.;
+  (match Arrivals.next_at a with
+  | Some at -> check_bool "thinks after completion" true (at > 5000.)
+  | None -> Alcotest.fail "completion should schedule next arrival");
+  ignore (Arrivals.pop a);
+  Arrivals.complete a ~now:9000.;
+  ignore (Arrivals.pop a);
+  Arrivals.complete a ~now:12000.;
+  ignore (Arrivals.pop a);
+  check_bool "exhausted after 5" true (Arrivals.exhausted a)
+
+(* --- end-to-end: determinism --- *)
+
+let quick_cfg =
+  { S.default_config with S.requests = 120; S.load = S.Open_loop 30. }
+
+let test_run_deterministic () =
+  let r1 = S.run quick_cfg and r2 = S.run quick_cfg in
+  check_bool "identical results" true (r1 = r2);
+  check_bool "identical json" true
+    (Rvm_obs.Json.to_string (S.result_to_json r1)
+    = Rvm_obs.Json.to_string (S.result_to_json r2));
+  (* a different seed produces a different run *)
+  let r3 = S.run { quick_cfg with S.seed = 43L } in
+  check_bool "seed matters" true (r1.S.duration_us <> r3.S.duration_us)
+
+(* --- end-to-end: batching strictly reduces syncs per commit --- *)
+
+let test_batched_fewer_syncs () =
+  let base = { S.default_config with S.requests = 200 } in
+  List.iter
+    (fun tps ->
+      let r1 = S.run { base with S.load = S.Open_loop tps; S.batch_max = 1 } in
+      let r8 = S.run { base with S.load = S.Open_loop tps; S.batch_max = 8 } in
+      check_bool
+        (Printf.sprintf "unbatched forces every commit at %.0f tps" tps)
+        true
+        (r1.S.log_syncs >= r1.S.committed);
+      check_bool
+        (Printf.sprintf "batched strictly fewer syncs/commit at %.0f tps" tps)
+        true
+        (r8.S.syncs_per_commit < r1.S.syncs_per_commit);
+      check_bool "batched commits no fewer requests" true
+        (r8.S.committed >= r1.S.committed))
+    [ 20.; 80. ]
+
+(* --- end-to-end: shedding appears only beyond the admission limit --- *)
+
+let test_shed_only_beyond_limit () =
+  let base = { S.default_config with S.requests = 200; S.batch_max = 1 } in
+  let light = S.run { base with S.load = S.Open_loop 10. } in
+  check_int "no shed at light load" 0 light.S.shed;
+  check_int "all commit at light load" 200 light.S.committed;
+  let heavy = S.run { base with S.load = S.Open_loop 160. } in
+  check_bool "overload sheds" true (heavy.S.shed > 0);
+  check_int "every request committed or shed" 200
+    (heavy.S.committed + heavy.S.shed);
+  (* a deeper queue (larger admission limit) absorbs the same load *)
+  let deep =
+    S.run
+      { base with S.load = S.Open_loop 160.; S.max_inflight = 8; S.max_queue = 400 }
+  in
+  check_int "no shed below the admission limit" 0 deep.S.shed
+
+(* --- end-to-end: backpressure defers admission off the spool watermark --- *)
+
+let bp_cfg =
+  {
+    S.default_config with
+    S.requests = 200;
+    S.load = S.Open_loop 400.;
+    S.batch_max = 32;
+    S.max_inflight = 4;
+    S.max_queue = 48;
+    S.spool_max_bytes = Some 65536;
+    S.log_spool_max_bytes = Some 65536;
+    S.backpressure = 0.01;
+  }
+
+let test_backpressure_defers () =
+  let r = S.run bp_cfg in
+  check_bool "low threshold defers admission" true
+    (r.S.backpressure_deferrals > 0);
+  let r' = S.run { bp_cfg with S.backpressure = 1.0 } in
+  check_int "threshold 1.0 never defers" 0 r'.S.backpressure_deferrals
+
+(* --- end-to-end: the deadlock abort-and-retry path runs --- *)
+
+let hot_cfg =
+  (* tiny hot account set, pure transfers locking in draw order: AB/BA
+     inversions guaranteed under concurrency *)
+  {
+    S.default_config with
+    S.accounts = 8;
+    S.zipf_s = 1.2;
+    S.transfer_pct = 100;
+    S.requests = 200;
+    S.load = S.Open_loop 120.;
+    S.batch_max = 4;
+    S.max_queue = 400;
+  }
+
+let test_deadlock_abort_retry () =
+  let r = S.run hot_cfg in
+  check_bool "deadlocks happen" true (r.S.aborts > 0);
+  check_int "every request still commits" 200 r.S.committed;
+  check_int "nothing shed" 0 r.S.shed
+
+(* --- end-to-end: final balances equal the serial reference --- *)
+
+(* Regenerate the request stream exactly as [S.scheduler_of] draws it:
+   the master seed splits into (gen, arrival, backoff) streams in that
+   order, and each arrival consumes one [Request.fresh]. *)
+let replay_specs cfg =
+  let rng = Rng.create ~seed:cfg.S.seed in
+  let gen_rng = Rng.split rng in
+  let _arrival = Rng.split rng in
+  let _backoff = Rng.split rng in
+  let gen =
+    Request.make_gen ~accounts:cfg.S.accounts ~zipf_s:cfg.S.zipf_s
+      ~transfer_pct:cfg.S.transfer_pct ~rng:gen_rng
+  in
+  List.init cfg.S.requests (fun _ -> Request.fresh gen)
+
+let read_i64 rvm ~addr = Bytes.get_int64_le (Rvm.load rvm ~addr ~len:8) 0
+
+let check_balances cfg (w : S.world) =
+  let l = w.S.layout in
+  let accounts = Array.make cfg.S.accounts 0L in
+  let tellers = Array.make Tpca.tellers 0L in
+  let branches = Array.make Tpca.branches 0L in
+  List.iter
+    (fun spec -> Request.apply_model spec ~accounts ~tellers ~branches)
+    (replay_specs cfg);
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check int64)
+        (Printf.sprintf "account %d" i)
+        expected
+        (read_i64 w.S.rvm ~addr:(Tpca.account_addr l i)))
+    accounts;
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check int64)
+        (Printf.sprintf "teller %d" i)
+        expected
+        (read_i64 w.S.rvm ~addr:(Tpca.teller_addr l i)))
+    tellers;
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check int64)
+        (Printf.sprintf "branch %d" i)
+        expected
+        (read_i64 w.S.rvm ~addr:(Tpca.branch_addr l i)))
+    branches
+
+let test_balances_match_serial_reference () =
+  (* [hot_cfg] maximizes interleaving, parking and deadlock retries — if
+     two-phase locking or abort-restore were broken, commutative addition
+     would not save us from lost updates on the per-request audit stamps
+     colliding; here we check the balances the model predicts. *)
+  let w, tally = S.run_with_world hot_cfg in
+  check_int "all committed" hot_cfg.S.requests tally.Scheduler.committed;
+  check_balances hot_cfg w
+
+(* --- end-to-end: req.root parents txn.commit in the trace --- *)
+
+let test_trace_parenting () =
+  let cfg =
+    { quick_cfg with S.requests = 40; S.trace_capacity = 65536 }
+  in
+  let w, tally = S.run_with_world cfg in
+  check_int "all committed" 40 tally.Scheduler.committed;
+  let events = Registry.events w.S.obs in
+  let by_id = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Registry.span_event) -> Hashtbl.replace by_id e.id e)
+    events;
+  let roots = List.filter (fun (e : Registry.span_event) -> e.scope = "req.root") events in
+  let commits =
+    List.filter (fun (e : Registry.span_event) -> e.scope = "txn.commit") events
+  in
+  check_int "one req.root per request" 40 (List.length roots);
+  check_int "one txn.commit per request" 40 (List.length commits);
+  List.iter
+    (fun (c : Registry.span_event) ->
+      match c.parent with
+      | None -> Alcotest.fail "txn.commit has no parent span"
+      | Some pid -> (
+        match Hashtbl.find_opt by_id pid with
+        | Some (p : Registry.span_event) ->
+          Alcotest.(check string) "txn.commit parented by req.root" "req.root"
+            p.scope
+        | None -> Alcotest.fail "txn.commit parent span not retained"))
+    commits
+
+(* --- property: random arrival orders neither hang nor corrupt --- *)
+
+let gen_cfg =
+  QCheck.Gen.(
+    int_range 1 10_000 >>= fun seed ->
+    int_range 4 64 >>= fun accounts ->
+    int_range 0 100 >>= fun transfer_pct ->
+    int_range 0 15 >>= fun zipf_tenths ->
+    frequency [ (1, return 1); (3, int_range 2 16) ] >>= fun batch_max ->
+    int_range 1 12 >>= fun max_inflight ->
+    int_range 10 60 >>= fun requests ->
+    frequency
+      [
+        (3, map (fun t -> S.Open_loop (float_of_int t)) (int_range 5 300));
+        ( 1,
+          map
+            (fun s -> S.Closed_loop { sessions = s; think_us = 20_000. })
+            (int_range 1 8) );
+      ]
+    >>= fun load ->
+    return
+      {
+        S.default_config with
+        S.seed = Int64.of_int seed;
+        accounts;
+        transfer_pct;
+        zipf_s = float_of_int zipf_tenths /. 10.;
+        batch_max;
+        max_inflight;
+        requests;
+        load;
+        (* deep queue: nothing sheds, so the serial reference covers
+           every generated request *)
+        max_queue = 1000;
+      })
+
+let print_cfg (c : S.config) =
+  Printf.sprintf
+    "{seed=%Ld accounts=%d transfer=%d%% zipf=%.1f batch=%d inflight=%d \
+     requests=%d load=%s}"
+    c.S.seed c.S.accounts c.S.transfer_pct c.S.zipf_s c.S.batch_max
+    c.S.max_inflight c.S.requests (S.load_name c.S.load)
+
+let prop_no_hang_and_serial_balances =
+  QCheck.Test.make
+    ~name:"server: random arrival orders terminate and match serial reference"
+    ~count:40
+    (QCheck.make ~print:print_cfg gen_cfg)
+    (fun cfg ->
+      let w, tally = S.run_with_world cfg in
+      (* no hang: run returned within the scheduler's iteration budget
+         (Scheduler.Stuck would have raised), and everything committed *)
+      if tally.Scheduler.committed <> cfg.S.requests then
+        QCheck.Test.fail_reportf "committed %d of %d (shed %d)"
+          tally.Scheduler.committed cfg.S.requests tally.Scheduler.shed;
+      check_balances cfg w;
+      true)
+
+let suite =
+  [
+    ("admission.caps", `Quick, test_admission_caps);
+    ( "admission.pressure-never-sheds-queueable",
+      `Quick,
+      test_admission_pressure_sheds_nothing_below_cap );
+    ("batcher.fifo", `Quick, test_batcher_fifo);
+    ("arrivals.open-loop-deterministic", `Quick, test_arrivals_deterministic);
+    ("arrivals.closed-loop-think", `Quick, test_arrivals_closed_loop_think);
+    ("server.run-deterministic", `Quick, test_run_deterministic);
+    ("server.batched-fewer-syncs", `Quick, test_batched_fewer_syncs);
+    ("server.shed-only-beyond-limit", `Quick, test_shed_only_beyond_limit);
+    ("server.backpressure-defers", `Quick, test_backpressure_defers);
+    ("server.deadlock-abort-retry", `Quick, test_deadlock_abort_retry);
+    ( "server.balances-match-serial-reference",
+      `Quick,
+      test_balances_match_serial_reference );
+    ("server.trace-parents-commits", `Quick, test_trace_parenting);
+    QCheck_alcotest.to_alcotest prop_no_hang_and_serial_balances;
+  ]

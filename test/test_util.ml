@@ -318,6 +318,71 @@ let test_clock_accounting () =
   Clock.drain_backlog c;
   Alcotest.(check (float 1e-9)) "drain pays backlog" 60. (Clock.now_us c)
 
+(* Chi-square goodness-of-fit of the Zipf sampler against its own CDF.
+   n=50 ranks → 49 degrees of freedom; the 99.9% critical value is
+   ~85.4, so a correct sampler fails this (seeded, deterministic) test
+   with probability ~0.001 — and a rank-off-by-one or unnormalized CDF
+   fails it spectacularly. *)
+let test_zipf_chi_square () =
+  let n = 50 and s = 1.0 and draws = 100_000 in
+  let z = Rng.zipf_make ~n ~s in
+  let rng = Rng.create ~seed:7L in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let k = Rng.zipf rng z in
+    check_bool "in range" true (k >= 0 && k < n);
+    counts.(k) <- counts.(k) + 1
+  done;
+  let h = ref 0. in
+  for i = 1 to n do
+    h := !h +. (1. /. (float_of_int i ** s))
+  done;
+  let chi2 = ref 0. in
+  for i = 0 to n - 1 do
+    let expected = float_of_int draws /. (float_of_int (i + 1) ** s) /. !h in
+    let d = float_of_int counts.(i) -. expected in
+    chi2 := !chi2 +. (d *. d /. expected)
+  done;
+  check_bool
+    (Printf.sprintf "chi2 %.1f < 85.4 (49 dof, p=0.999)" !chi2)
+    true (!chi2 < 85.4);
+  (* skew sanity: rank 0 must dominate rank n-1 roughly by n^s *)
+  check_bool "head dominates tail" true (counts.(0) > 20 * counts.(n - 1))
+
+let test_zipf_degenerate () =
+  (* s = 0 is uniform; a single-rank sampler always returns 0. *)
+  let z0 = Rng.zipf_make ~n:4 ~s:0. in
+  let rng = Rng.create ~seed:3L in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8000 do
+    counts.(Rng.zipf rng z0) <- counts.(Rng.zipf rng z0) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (c > 1600 && c < 2400))
+    counts;
+  let z1 = Rng.zipf_make ~n:1 ~s:2.5 in
+  for _ = 1 to 100 do
+    check_int "single rank" 0 (Rng.zipf rng z1)
+  done;
+  Alcotest.check_raises "n must be positive"
+    (Invalid_argument "Rng.zipf_make: n must be positive") (fun () ->
+      ignore (Rng.zipf_make ~n:0 ~s:1.))
+
+let test_clock_advance_to () =
+  let c = Clock.simulated () in
+  Clock.charge_cpu c 10.;
+  Clock.advance_to c 100.;
+  Alcotest.(check (float 1e-9)) "idle wait advances wall" 100. (Clock.now_us c);
+  Clock.advance_to c 50.;
+  Alcotest.(check (float 1e-9)) "past target is a no-op" 100. (Clock.now_us c);
+  Alcotest.(check (float 1e-9)) "idling charges no cpu" 10. (Clock.cpu_us c);
+  (* background backlog drains for free while idling *)
+  Clock.charge_background c 30.;
+  Clock.advance_to c 200.;
+  Alcotest.(check (float 1e-9)) "backlog drained" 0. (Clock.backlog_us c);
+  Clock.drain_backlog c;
+  Alcotest.(check (float 1e-9)) "nothing left to pay" 200. (Clock.now_us c)
+
 let test_cost_model_force () =
   (* The paper's measured mean log force is 17.4 ms; our calibrated model
      must land within 5% for typical benchmark record sizes. *)
@@ -349,9 +414,12 @@ let suite =
     ("rng.bounds", `Quick, test_rng_bounds);
     ("rng.distribution", `Quick, test_rng_distribution);
     ("rng.split", `Quick, test_rng_split_independent);
+    ("rng.zipf-chi-square", `Quick, test_zipf_chi_square);
+    ("rng.zipf-degenerate", `Quick, test_zipf_degenerate);
     ("stats.summary", `Quick, test_stats);
     ("stats.degenerate", `Quick, test_stats_degenerate);
     ("clock.null", `Quick, test_clock_null);
     ("clock.accounting", `Quick, test_clock_accounting);
+    ("clock.advance-to", `Quick, test_clock_advance_to);
     ("cost-model.log-force", `Quick, test_cost_model_force);
   ]
