@@ -13,7 +13,7 @@
      rvmutl history     LOG --seg ID --off OFF [--len LEN]
      rvmutl recover     LOG --map ID=PATH [--map ID=PATH ...]
      rvmutl check       --ops N --seed S [--exhaustive] [--sector B]
-                        [--incremental]
+                        [--incremental] [--shards N]
      rvmutl trace       LOG --out t.json [--txns N] [--accounts N]
                         [--batch B] [--seed S] [--top N]
      rvmutl serve       [--requests N] [--accounts N] [--seed S]
@@ -203,7 +203,37 @@ let stats path json =
 
 (* --- check: the deterministic crash-point explorer --- *)
 
-let check ops_n seed exhaustive sector incremental =
+let check_sharded ops_n seed exhaustive sector incremental shards =
+  let module Sc = Rvm_check.Shard_check in
+  let config =
+    {
+      Sc.default_config with
+      Sc.shards;
+      sector;
+      exhaustive;
+      truncation_mode =
+        (if incremental then Rvm_core.Types.Incremental
+         else Rvm_core.Types.Epoch);
+    }
+  in
+  let rng = Rvm_util.Rng.create ~seed:(Int64.of_int seed) in
+  let ops =
+    Sc.generate ~rng ~ops:ops_n ~shards ~region_len:config.Sc.region_len
+  in
+  Printf.printf "sharded workload (%d ops, %d shards, seed %d): %s\n\n" ops_n
+    shards seed (Sc.to_string ops);
+  let outcome = Sc.run ~config ops in
+  Format.printf "%a@." Sc.pp_outcome outcome;
+  if outcome.Sc.violations <> [] then begin
+    Format.printf "@.shrinking...@.";
+    let shrunk = Sc.minimize ~check:(Sc.violates ~config) ops in
+    Format.printf "minimal workload: %s@." (Sc.to_string shrunk);
+    let o = Sc.run ~config shrunk in
+    List.iter (Format.printf "%a@." Sc.pp_violation) o.Sc.violations;
+    exit 1
+  end
+
+let check ops_n seed exhaustive sector incremental shards =
   if sector <= 0 then begin
     Printf.eprintf "rvmutl: --sector must be positive (got %d)\n" sector;
     exit 2
@@ -212,6 +242,12 @@ let check ops_n seed exhaustive sector incremental =
     Printf.eprintf "rvmutl: --ops must be non-negative (got %d)\n" ops_n;
     exit 2
   end;
+  if shards < 1 then begin
+    Printf.eprintf "rvmutl: --shards must be at least 1 (got %d)\n" shards;
+    exit 2
+  end;
+  if shards > 1 then check_sharded ops_n seed exhaustive sector incremental shards
+  else
   let config =
     {
       Rvm_check.Explorer.default_config with
@@ -451,15 +487,30 @@ let check_cmd =
       & info [ "incremental" ]
           ~doc:"Run the workload with incremental (Figure 7) truncation.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Explore the sharded multi-log engine with $(docv) shards: \
+             workloads mix single-shard and cross-shard (parallel-commit) \
+             transactions, and crash points are boundaries in the global \
+             write/sync order across every shard's devices — including the \
+             inter-shard boundaries of each commit round. 1 (the default) \
+             checks the single-log engine.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Deterministic crash-point explorer: run a generated workload, \
           re-crash it at every recorded write/sync boundary (plus torn \
           variants of the straddling write), recover each image and check \
-          the recovered bytes against the commit-prefix contract. Exits \
-          non-zero with a shrunk counterexample on violation.")
-    Term.(const check $ ops $ seed $ exhaustive $ sector $ incremental)
+          the recovered bytes against the commit-prefix contract. With \
+          --shards N, the sharded engine's cross-shard atomicity contract \
+          is checked instead. Exits non-zero with a shrunk counterexample \
+          on violation.")
+    Term.(
+      const check $ ops $ seed $ exhaustive $ sector $ incremental $ shards)
 
 let trace_cmd =
   let out =

@@ -1,0 +1,591 @@
+module Types = Rvm_core.Types
+module Options = Rvm_core.Options
+module Region = Rvm_core.Region
+module Rng = Rvm_util.Rng
+module Mem_device = Rvm_disk.Mem_device
+module Trace_device = Rvm_disk.Trace_device
+module Device = Rvm_disk.Device
+module Registry = Rvm_obs.Registry
+module Routing = Rvm_shard.Routing
+module Multi = Rvm_shard.Multi
+
+type range = int * int * char
+
+type op =
+  | Local of { shard : int; ranges : range list; mode : Types.commit_mode }
+  | Cross of { parts : (int * range list) list; mode : Types.commit_mode }
+  | Flush
+  | Truncate
+
+type config = {
+  shards : int;
+  region_len : int;
+  log_size : int;
+  sector : int;
+  exhaustive : bool;
+  max_torn_per_write : int;
+  truncation_mode : Types.truncation_mode;
+  group_commit : bool;
+}
+
+let default_config =
+  {
+    shards = 2;
+    region_len = 2 * 4096;
+    log_size = 64 * 1024;
+    sector = 512;
+    exhaustive = false;
+    max_torn_per_write = 8;
+    truncation_mode = Types.Epoch;
+    group_commit = true;
+  }
+
+(* --- workload generation --- *)
+
+let gen_ranges ~rng ~region_len ~n =
+  List.init
+    (1 + Rng.int rng n)
+    (fun _ ->
+      let len = 1 + Rng.int rng 120 in
+      let off = Rng.int rng (region_len - len) in
+      (off, len, Char.chr (65 + Rng.int rng 26)))
+
+let max_cross_per_workload = 6
+
+let generate ~rng ~ops ~shards ~region_len =
+  if region_len <= 128 then invalid_arg "Shard_check.generate: region too small";
+  let crosses = ref 0 in
+  List.init ops (fun _ ->
+      let roll = Rng.int rng 10 in
+      if roll <= 2 then
+        Local
+          {
+            shard = Rng.int rng shards;
+            ranges = gen_ranges ~rng ~region_len ~n:3;
+            mode = (if Rng.bool rng then Types.Flush else Types.No_flush);
+          }
+      else if roll <= 6 && shards >= 2 && !crosses < max_cross_per_workload
+      then begin
+        incr crosses;
+        let k = 2 + Rng.int rng (shards - 1) in
+        let all = Array.init shards Fun.id in
+        Rng.shuffle rng all;
+        let parts =
+          List.sort compare
+            (List.init k (fun i ->
+                 (all.(i), gen_ranges ~rng ~region_len ~n:2)))
+        in
+        Cross
+          {
+            parts;
+            mode = (if Rng.bool rng then Types.Flush else Types.No_flush);
+          }
+      end
+      else if roll <= 8 then Flush
+      else Truncate)
+
+let range_to_string (off, len, c) = Printf.sprintf "%d+%d'%c'" off len c
+
+let op_to_string = function
+  | Local { shard; ranges; mode } ->
+    Printf.sprintf "Local@%d[%s]%s" shard
+      (String.concat ";" (List.map range_to_string ranges))
+      (match mode with Types.Flush -> "!" | Types.No_flush -> "~")
+  | Cross { parts; mode } ->
+    Printf.sprintf "Cross{%s}%s"
+      (String.concat "|"
+         (List.map
+            (fun (s, ranges) ->
+              Printf.sprintf "%d:[%s]" s
+                (String.concat ";" (List.map range_to_string ranges)))
+            parts))
+      (match mode with Types.Flush -> "!" | Types.No_flush -> "~")
+  | Flush -> "Flush"
+  | Truncate -> "Truncate"
+
+let to_string ops = String.concat " " (List.map op_to_string ops)
+
+(* --- per-shard reference model --- *)
+
+(* One entry per commit that touched the shard, oldest first once
+   reversed. A cross-shard transaction contributes one entry per
+   participant shard, all sharing the transaction's [id]. *)
+type entry =
+  | E_local of (int * Bytes.t) list
+  | E_cross of { id : int; writes : (int * Bytes.t) list }
+
+type model = {
+  m_shards : int;
+  m_region_len : int;
+  mutable entries : entry list array;  (* per shard, newest first *)
+  cross_parts : (int, int list) Hashtbl.t;  (* id -> participant shards *)
+  mutable next_cross : int;
+}
+
+let model_create ~shards ~region_len =
+  {
+    m_shards = shards;
+    m_region_len = region_len;
+    entries = Array.make shards [];
+    cross_parts = Hashtbl.create 16;
+    next_cross = 0;
+  }
+
+let model_local m ~shard writes =
+  m.entries.(shard) <- E_local writes :: m.entries.(shard)
+
+let model_cross m parts =
+  let id = m.next_cross in
+  m.next_cross <- id + 1;
+  Hashtbl.replace m.cross_parts id (List.map fst parts);
+  List.iter
+    (fun (shard, writes) ->
+      m.entries.(shard) <- E_cross { id; writes } :: m.entries.(shard))
+    parts;
+  id
+
+let entry_count m shard = List.length m.entries.(shard)
+
+(* Shard [s] after its oldest [k] entries, applying a cross entry only
+   when its transaction is in the decided-committed set. *)
+let model_state m ~shard ~k ~decided =
+  let img = Bytes.make m.m_region_len '\000' in
+  let apply writes =
+    List.iter
+      (fun (off, data) -> Bytes.blit data 0 img off (Bytes.length data))
+      writes
+  in
+  List.iteri
+    (fun i e ->
+      if i < k then
+        match e with
+        | E_local writes -> apply writes
+        | E_cross { id; writes } -> if List.mem id decided then apply writes)
+    (List.rev m.entries.(shard));
+  img
+
+(* Oldest-first index of cross transaction [id] in shard [s]'s entries,
+   if it touched that shard. *)
+let cross_index m ~shard ~id =
+  let n = entry_count m shard in
+  let rec go i = function
+    | [] -> None
+    | E_cross { id = id'; _ } :: _ when id' = id -> Some (n - 1 - i)
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 m.entries.(shard)
+
+(* --- matching: does some (per-shard prefix, decision set) pair explain
+   the recovered images? --- *)
+
+type requirement = {
+  req_counts : int array;  (* per-shard entries that must survive *)
+  req_ids : int list;  (* cross txns that must be committed *)
+}
+
+let subsets ids =
+  List.fold_left
+    (fun acc id -> acc @ List.map (fun s -> id :: s) acc)
+    [ [] ] ids
+
+(* All-or-none is enforced structurally: a decided-committed transaction
+   must fall inside the surviving prefix of EVERY participant shard (the
+   prefix lower bound below), and an undecided one is applied on none. *)
+let matches m ~requirement ~images =
+  let all_ids = List.init m.next_cross Fun.id in
+  let optional =
+    List.filter (fun id -> not (List.mem id requirement.req_ids)) all_ids
+  in
+  if List.length optional > 16 then
+    Types.error "shard_check: too many undecided cross transactions (%d)"
+      (List.length optional);
+  let try_decision decided =
+    let ok_shard s =
+      let n = entry_count m s in
+      let lower =
+        List.fold_left
+          (fun acc id ->
+            match cross_index m ~shard:s ~id with
+            | Some i -> max acc (i + 1)
+            | None -> acc)
+          requirement.req_counts.(s) decided
+      in
+      let rec search k =
+        if k < lower then false
+        else if Bytes.equal (model_state m ~shard:s ~k ~decided) images.(s)
+        then true
+        else search (k - 1)
+      in
+      search n
+    in
+    let rec all s = s >= m.m_shards || (ok_shard s && all (s + 1)) in
+    all 0
+  in
+  List.exists
+    (fun extra -> try_decision (requirement.req_ids @ extra))
+    (subsets optional)
+
+let describe_mismatch m ~requirement ~images =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    "no (per-shard prefixes, cross decisions) explain the recovered images";
+  for s = 0 to m.m_shards - 1 do
+    let full =
+      model_state m ~shard:s ~k:(entry_count m s)
+        ~decided:(List.init m.next_cross Fun.id)
+    in
+    let first_diff =
+      let rec go i =
+        if i >= Bytes.length full then None
+        else if Bytes.get full i <> Bytes.get images.(s) i then Some i
+        else go (i + 1)
+      in
+      go 0
+    in
+    match first_diff with
+    | None ->
+      Buffer.add_string buf
+        (Printf.sprintf "; shard %d matches the all-committed state" s)
+    | Some off ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "; shard %d (required prefix %d/%d) first differs from the \
+            all-committed state at offset %d: expected 0x%02x, recovered \
+            0x%02x"
+           s requirement.req_counts.(s) (entry_count m s) off
+           (Char.code (Bytes.get full off))
+           (Char.code (Bytes.get images.(s) off)))
+  done;
+  Buffer.contents buf
+
+(* --- crash exploration --- *)
+
+type crash_point = { upto : int; torn : int option }
+
+type violation = {
+  crash : crash_point;
+  reason : string;
+  tail : Registry.span_event list;
+}
+
+type outcome = {
+  ops : op list;
+  events : int;
+  writes : int;
+  syncs : int;
+  boundaries : int;
+  torn_variants : int;
+  recoveries : int;
+  commits : int;  (* total commit entries across shards *)
+  cross : int;  (* cross-shard transactions issued *)
+  violations : violation list;
+}
+
+(* Segment id for shard [s]: control records use the reserved negative
+   sentinel, data segments here are 1..N routed one-per-shard. *)
+let seg_of_shard s = s + 1
+
+let make_routing shards =
+  Routing.of_table ~shards (List.init shards (fun s -> (seg_of_shard s, s)))
+
+let make_options config =
+  {
+    Options.default with
+    Options.truncation_mode = config.truncation_mode;
+    truncation_threshold = 0.4;
+    group_commit = config.group_commit;
+  }
+
+let run_workload config ops =
+  let shards = config.shards in
+  let log_mems =
+    Array.init shards (fun s ->
+        Mem_device.create
+          ~name:(Printf.sprintf "check-log%d" s)
+          ~size:config.log_size ())
+  in
+  let seg_mems =
+    Array.init shards (fun s ->
+        Mem_device.create
+          ~name:(Printf.sprintf "check-seg%d" s)
+          ~size:config.region_len ())
+  in
+  Multi.create_logs log_mems;
+  (* One shared recorder across every device: a crash is a moment in the
+     global write order, and the inter-shard boundaries of the parallel
+     commit round are exactly the event boundaries between one shard's
+     force and the next. Wrap after formatting. *)
+  let recorder = Trace_device.create_recorder () in
+  let tlogs = Array.map (Trace_device.wrap recorder) log_mems in
+  let tsegs = Array.map (Trace_device.wrap recorder) seg_mems in
+  let obs = Registry.create ~trace_capacity:8192 () in
+  let seq_at = Hashtbl.create 256 in
+  let note base =
+    let note_now () =
+      Hashtbl.replace seq_at
+        (Trace_device.event_count recorder)
+        (Registry.trace_seq obs)
+    in
+    Device.layer
+      ~write:(fun b ~off ~buf ~pos ~len ->
+        note_now ();
+        b.Device.write ~off ~buf ~pos ~len)
+      ~sync:(fun b ->
+        note_now ();
+        b.Device.sync ())
+      base
+  in
+  let routing = make_routing shards in
+  let m =
+    Multi.reinitialize ~options:(make_options config) ~obs ~routing
+      ~logs:(Array.map (fun t -> note (Trace_device.device t)) tlogs)
+      ~resolve:(fun seg ->
+        note (Trace_device.device tsegs.(Routing.shard_of routing ~seg)))
+      ()
+  in
+  let regions =
+    Array.init shards (fun s ->
+        Multi.map m ~seg:(seg_of_shard s) ~seg_off:0 ~len:config.region_len ())
+  in
+  let model = model_create ~shards ~region_len:config.region_len in
+  (* Durability checkpoints, oldest last: at [event_count], the entries in
+     [counts] and the cross transactions in [ids] must survive any later
+     crash. Under-approximating (forces the engine takes on its own are
+     not counted) is sound. *)
+  let checkpoints = ref [ (0, Array.make shards 0, []) ] in
+  let committed_ids = ref [] in
+  let note_checkpoint ~shards_durable ~ids =
+    let counts =
+      Array.init shards (fun s ->
+          if List.mem s shards_durable then entry_count model s
+          else
+            match !checkpoints with
+            | (_, prev, _) :: _ -> prev.(s)
+            | [] -> 0)
+    in
+    checkpoints :=
+      (Trace_device.event_count recorder, counts, ids) :: !checkpoints
+  in
+  let write_ranges tid base ranges =
+    List.map
+      (fun (off, len, c) ->
+        let data = Bytes.make len c in
+        Multi.modify m tid ~addr:(base + off) data;
+        (off, data))
+      ranges
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Local { shard; ranges; mode } ->
+        let tid = Multi.begin_transaction m ~mode:Types.Restore in
+        let writes =
+          write_ranges tid regions.(shard).Region.vaddr ranges
+        in
+        Multi.end_transaction m tid ~mode;
+        model_local model ~shard writes;
+        if mode = Types.Flush then
+          (* The commit's force drains shard [shard]'s tail, so every
+             earlier entry on that shard is durable too. *)
+          note_checkpoint ~shards_durable:[ shard ] ~ids:!committed_ids
+      | Cross { parts; mode } ->
+        let tid = Multi.begin_transaction m ~mode:Types.Restore in
+        let writes =
+          List.map
+            (fun (shard, ranges) ->
+              (shard, write_ranges tid regions.(shard).Region.vaddr ranges))
+            parts
+        in
+        Multi.end_transaction m tid ~mode;
+        let id = model_cross model writes in
+        if mode = Types.Flush then begin
+          (* The parallel-commit round forced every participant's log:
+             the transaction is implicitly committed from here on, and
+             each participant's earlier entries are durable. *)
+          committed_ids := id :: !committed_ids;
+          note_checkpoint ~shards_durable:(List.map fst parts)
+            ~ids:!committed_ids
+        end
+      | Flush ->
+        Multi.flush m;
+        (* Global flush: every shard's tail forced, every pending
+           cross-shard commit resolved. *)
+        committed_ids := List.init model.next_cross Fun.id;
+        note_checkpoint
+          ~shards_durable:(List.init shards Fun.id)
+          ~ids:!committed_ids
+      | Truncate -> Multi.truncate m)
+    ops;
+  (recorder, tlogs, tsegs, model, !checkpoints, obs, seq_at)
+
+let recover_images config ~log_imgs ~seg_imgs =
+  let shards = config.shards in
+  let log_devs =
+    Array.mapi
+      (fun s img ->
+        Mem_device.of_bytes ~name:(Printf.sprintf "replay-log%d" s) img)
+      log_imgs
+  in
+  let seg_devs =
+    Array.mapi
+      (fun s img ->
+        Mem_device.of_bytes ~name:(Printf.sprintf "replay-seg%d" s) img)
+      seg_imgs
+  in
+  let routing = make_routing shards in
+  let m =
+    Multi.reinitialize ~options:(make_options config) ~routing ~logs:log_devs
+      ~resolve:(fun seg -> seg_devs.(Routing.shard_of routing ~seg))
+      ()
+  in
+  Array.init shards (fun s ->
+      let r =
+        Multi.map m ~seg:(seg_of_shard s) ~seg_off:0 ~len:config.region_len ()
+      in
+      Multi.load m ~addr:r.Region.vaddr ~len:config.region_len)
+
+let tail_length = 16
+
+let run ?(config = default_config) ops =
+  if config.shards < 1 then invalid_arg "Shard_check.run: shards must be >= 1";
+  let recorder, tlogs, tsegs, model, checkpoints, obs, seq_at =
+    run_workload config ops
+  in
+  let events = Trace_device.events recorder in
+  let n = Array.length events in
+  let requirement_at k =
+    let counts = Array.make config.shards 0 in
+    let ids = ref [] in
+    List.iter
+      (fun (e, c, i) ->
+        if e <= k then begin
+          Array.iteri (fun s v -> if v > counts.(s) then counts.(s) <- v) c;
+          List.iter
+            (fun id -> if not (List.mem id !ids) then ids := id :: !ids)
+            i
+        end)
+      checkpoints;
+    { req_counts = counts; req_ids = !ids }
+  in
+  let spans = Array.of_list (Registry.events obs) in
+  let final_seq = Registry.trace_seq obs in
+  let first_idx = final_seq - Array.length spans in
+  let tail_before (crash : crash_point) =
+    let s =
+      if crash.upto >= n then final_seq
+      else Option.value (Hashtbl.find_opt seq_at crash.upto) ~default:final_seq
+    in
+    let lo = max first_idx (s - tail_length) in
+    if s <= lo then []
+    else Array.to_list (Array.sub spans (lo - first_idx) (s - lo))
+  in
+  let violations = ref [] in
+  let recoveries = ref 0 in
+  let torn_total = ref 0 in
+  let check crash =
+    incr recoveries;
+    let torn = crash.torn in
+    let image t = Trace_device.image t ~events ~upto:crash.upto ?torn () in
+    let log_imgs = Array.map image tlogs in
+    let seg_imgs = Array.map image tsegs in
+    let requirement = requirement_at crash.upto in
+    match recover_images config ~log_imgs ~seg_imgs with
+    | exception e ->
+      violations :=
+        {
+          crash;
+          reason = "recovery raised: " ^ Printexc.to_string e;
+          tail = tail_before crash;
+        }
+        :: !violations
+    | images ->
+      if not (matches model ~requirement ~images) then
+        violations :=
+          {
+            crash;
+            reason = describe_mismatch model ~requirement ~images;
+            tail = tail_before crash;
+          }
+          :: !violations
+  in
+  check { upto = 0; torn = None };
+  for k = 0 to n - 1 do
+    (match events.(k).Trace_device.kind with
+    | Trace_device.Write { off; data } ->
+      let len = Bytes.length data in
+      let positions =
+        Explorer.torn_positions ~sector:config.sector
+          ~exhaustive:config.exhaustive
+          ~max_per_write:config.max_torn_per_write ~off ~len
+      in
+      List.iter (fun p -> check { upto = k; torn = Some p }) positions;
+      torn_total := !torn_total + List.length positions
+    | Trace_device.Sync -> ());
+    check { upto = k + 1; torn = None }
+  done;
+  {
+    ops;
+    events = n;
+    writes = Trace_device.write_count recorder;
+    syncs = Trace_device.sync_count recorder;
+    boundaries = n + 1;
+    torn_variants = !torn_total;
+    recoveries = !recoveries;
+    commits = Array.to_list model.entries |> List.map List.length
+              |> List.fold_left ( + ) 0;
+    cross = model.next_cross;
+    violations = List.rev !violations;
+  }
+
+let violates ?config ops = (run ?config ops).violations <> []
+
+(* Greedy op-drop shrinking; ranges inside ops are left alone (the
+   all-or-none property depends on which shards an op touches, so range
+   surgery rarely helps and often un-reproduces). *)
+let minimize ~check ops =
+  let rec pass ops =
+    let n = List.length ops in
+    let rec try_drop i =
+      if i >= n then None
+      else begin
+        let candidate = List.filteri (fun j _ -> j <> i) ops in
+        if check candidate then Some candidate else try_drop (i + 1)
+      end
+    in
+    match try_drop 0 with Some smaller -> pass smaller | None -> ops
+  in
+  pass ops
+
+(* --- reporting --- *)
+
+let pp_crash_point ppf { upto; torn } =
+  match torn with
+  | None -> Format.fprintf ppf "after event %d" upto
+  | Some keep ->
+    Format.fprintf ppf "event %d torn after %d byte(s)" upto keep
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<v 2>violation at crash point %a:@ %s" pp_crash_point
+    v.crash v.reason;
+  (match v.tail with
+  | [] -> ()
+  | tail ->
+    Format.fprintf ppf "@ flight recorder (last %d span(s) before the crash):"
+      (List.length tail);
+    List.iter
+      (fun ev -> Format.fprintf ppf "@   %a" Rvm_obs.Trace.pp_span ev)
+      tail);
+  Format.fprintf ppf "@]"
+
+let summary o =
+  Printf.sprintf
+    "%d ops (%d commits, %d cross-shard) -> %d device events (%d writes, %d \
+     syncs); %d crash boundaries + %d torn variants = %d recoveries; %d \
+     violation(s)"
+    (List.length o.ops) o.commits o.cross o.events o.writes o.syncs
+    o.boundaries o.torn_variants o.recoveries
+    (List.length o.violations)
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s@." (summary o);
+  List.iter (fun v -> Format.fprintf ppf "%a@." pp_violation v) o.violations

@@ -18,12 +18,22 @@ type branch = {
 
 type sub = {
   s_name : string;
-  s_rvm : Rvm.t;
+  mutable s_rvm : Rvm.t;
   branches : (gid, branch) Hashtbl.t;
 }
 
 let sub_create ~name rvm = { s_name = name; s_rvm = rvm; branches = Hashtbl.create 8 }
 let sub_name s = s.s_name
+
+(* After a crash-recovery of the underlying instance, every branch of the
+   previous incarnation is dead: its tid belongs to a terminated engine and
+   its compensation data describes buffers that no longer exist. Rebind the
+   subordinate to the recovered instance and drop the volatile state —
+   without this, a second recovery in one process finds ghost branches
+   ("branch already active", phantom in-doubt gids). *)
+let sub_reset ?rvm s =
+  (match rvm with Some r -> s.s_rvm <- r | None -> ());
+  Hashtbl.reset s.branches
 
 let branch s gid =
   match Hashtbl.find_opt s.branches gid with
@@ -97,7 +107,7 @@ let sub_in_doubt s =
 (* Decision records live in recoverable memory: 40-byte entries of
    zero-padded gid (32 bytes) + decision byte, preceded by a count. *)
 
-type coordinator = { c_rvm : Rvm.t; region : Region.t }
+type coordinator = { mutable c_rvm : Rvm.t; mutable region : Region.t }
 
 type decision = Committed | Aborted
 
@@ -106,6 +116,14 @@ let entry_size = gid_bytes + 8
 
 let coordinator_create rvm ~decision_region =
   { c_rvm = rvm; region = decision_region }
+
+(* The coordinator's durable state is the decision region; its in-process
+   handles (engine, region descriptor) die with recovery. Rebind them —
+   the re-mapped region again holds every decision ever persisted, so
+   in-doubt queries keep working across any number of recoveries. *)
+let coordinator_reset c rvm ~decision_region =
+  c.c_rvm <- rvm;
+  c.region <- decision_region
 
 let decision_count c =
   Int64.to_int (Rvm.get_i64 c.c_rvm ~addr:c.region.Region.vaddr)
@@ -148,6 +166,85 @@ let persist_decision c gid d =
   (* The decision must be durable before any announcement: this is the
      commit point of the whole distributed transaction. *)
   Rvm.end_transaction c.c_rvm tid ~mode:Types.Flush
+
+(* --- parallel commit (CockroachDB's ParallelCommits.tla; DESIGN.md §10) --- *)
+
+module Parallel = struct
+  module Pcommit = Rvm_log.Pcommit
+
+  type evidence = {
+    staged : int list option;
+    intents : int list;
+    resolutions : Pcommit.decision list;
+  }
+
+  let no_evidence = { staged = None; intents = []; resolutions = [] }
+
+  let resolve e =
+    match e.resolutions with
+    | d :: rest ->
+      (* Resolutions are only ever written after the decision is fixed
+         (implicit commit reached, or orphan abort declared), so two
+         contradicting ones mean a corrupted image — refuse to guess. *)
+      if List.exists (fun d' -> d' <> d) rest then
+        Types.error "parallel commit: contradictory resolution records";
+      d
+    | [] -> (
+      match e.staged with
+      | Some participants
+        when participants <> []
+             && List.for_all (fun s -> List.mem s e.intents) participants ->
+        (* The implicit-commit condition: the staged record plus every
+           named participant's intent survived. *)
+        Pcommit.Committed
+      | Some _ | None ->
+        (* Orphan: the staged record is missing, or names a participant
+           whose intent did not survive (torn away, or its checksum —
+           hence the whole record — failed to verify). *)
+        Pcommit.Aborted)
+
+  type state =
+    | Pending
+    | Staged_in_flight
+    | Implicit
+    | Explicit of Pcommit.decision
+
+  type event =
+    | Write_round  (** intents + staged record appended, one round *)
+    | All_durable  (** every participant's force returned *)
+    | Resolve of Pcommit.decision  (** explicit resolution written *)
+
+  let state_name = function
+    | Pending -> "pending"
+    | Staged_in_flight -> "staged-in-flight"
+    | Implicit -> "implicit"
+    | Explicit d -> "explicit-" ^ Pcommit.decision_to_string d
+
+  let event_name = function
+    | Write_round -> "write-round"
+    | All_durable -> "all-durable"
+    | Resolve d -> "resolve-" ^ Pcommit.decision_to_string d
+
+  let step state event =
+    match (state, event) with
+    | Pending, Write_round -> Ok Staged_in_flight
+    | Staged_in_flight, All_durable -> Ok Implicit
+    | Implicit, Resolve Pcommit.Committed -> Ok (Explicit Pcommit.Committed)
+    | Staged_in_flight, Resolve Pcommit.Aborted
+    | Pending, Resolve Pcommit.Aborted ->
+      (* Orphan abort: resolution before the implicit-commit point is only
+         ever an abort — committing without full durable evidence is the
+         protocol's one forbidden move. *)
+      Ok (Explicit Pcommit.Aborted)
+    | (Explicit _ as s), Resolve d when s = Explicit d ->
+      (* Re-resolving with the same decision is idempotent (several
+         participant logs each get a resolution record). *)
+      Ok s
+    | s, e ->
+      Error
+        (Printf.sprintf "illegal transition: %s on %s" (state_name s)
+           (event_name e))
+end
 
 let run c gid ~participants ~work ?(fail_vote = fun _ -> false) () =
   List.iter (fun s -> sub_begin s gid) participants;

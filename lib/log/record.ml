@@ -17,6 +17,9 @@ type t = {
 module Flags = struct
   let no_flush = 1
   let no_restore = 2
+  let intent = 4
+  let stage = 8
+  let resolution = 16
   let has flags f = flags land f <> 0
 end
 

@@ -39,6 +39,22 @@ type t = {
 module Flags : sig
   val no_flush : int
   val no_restore : int
+
+  val intent : int
+  (** Parallel-commit intent: the new-value ranges of one cross-shard
+      transaction's branch on this shard. Applied at recovery only if the
+      transaction's status resolves to committed (see {!Pcommit}). *)
+
+  val stage : int
+  (** Parallel-commit staged transaction record: names the participant
+      shards. The transaction is implicitly committed once this record and
+      every participant's intent are durable. *)
+
+  val resolution : int
+  (** Parallel-commit status resolution: records the explicit
+      commit-or-abort decision for a transaction id, superseding the
+      implicit-commit evaluation. *)
+
   val has : int -> int -> bool
 end
 

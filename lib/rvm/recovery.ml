@@ -1,5 +1,6 @@
 module Log_manager = Rvm_log.Log_manager
 module Record = Rvm_log.Record
+module Pcommit = Rvm_log.Pcommit
 module Intervals = Rvm_util.Intervals
 module Clock = Rvm_util.Clock
 module Cost_model = Rvm_util.Cost_model
@@ -12,11 +13,36 @@ type outcome = {
   records_seen : int;
   bytes_applied : int;
   segments_touched : Segment.t list;
+  preserved : Record.t list;
 }
 
 type seg_state = { seg : Segment.t; mutable covered : Intervals.t }
 
-let apply_live ?obs ?before_seqno ~resolve ~clock ~model log =
+let apply_live ?obs ?before_seqno ?(intent_decision = fun _ -> `Abort)
+    ~resolve ~clock ~model log =
+  (* Pass 1: collect explicit resolution records over the whole log (not
+     just the frozen epoch — a resolution appended after the epoch boundary
+     still tells the truth about an intent inside it). In-log resolutions
+     take precedence over the caller's callback. *)
+  let resolutions : (string, Pcommit.decision) Hashtbl.t = Hashtbl.create 4 in
+  Log_manager.iter_live_backward log ~f:(fun ~off:_ r ->
+      if
+        r.Record.kind = Record.Commit
+        && Record.Flags.(has r.Record.flags resolution)
+      then
+        match Pcommit.classify r with
+        | `Control (Pcommit.Resolution { gid; decision }) ->
+          (* Backward scan: the newest resolution for a gid wins (they never
+             disagree when written by this engine, but be deterministic). *)
+          if not (Hashtbl.mem resolutions gid) then
+            Hashtbl.add resolutions gid decision
+        | _ -> ());
+  let decide gid =
+    match Hashtbl.find_opt resolutions gid with
+    | Some Pcommit.Committed -> `Commit
+    | Some Pcommit.Aborted -> `Abort
+    | None -> intent_decision gid
+  in
   let states : (int, seg_state) Hashtbl.t = Hashtbl.create 8 in
   let state_of seg_id =
     match Hashtbl.find_opt states seg_id with
@@ -28,31 +54,55 @@ let apply_live ?obs ?before_seqno ~resolve ~clock ~model log =
   in
   let records_seen = ref 0 in
   let bytes_applied = ref 0 in
+  let preserved = ref [] in
   let wanted (r : Record.t) =
     r.Record.kind = Record.Commit
     && match before_seqno with None -> true | Some b -> r.Record.seqno < b
   in
+  let apply_ranges ranges =
+    List.iter
+      (fun (range : Record.range) ->
+        if not (Pcommit.is_control range) then begin
+          let len = Bytes.length range.Record.data in
+          let st = state_of range.Record.seg in
+          let gaps, covered =
+            Intervals.add_uncovered st.covered ~lo:range.Record.off ~len
+          in
+          st.covered <- covered;
+          List.iter
+            (fun (lo, glen) ->
+              Segment.write st.seg ~off:lo ~buf:range.Record.data
+                ~pos:(lo - range.Record.off) ~len:glen;
+              bytes_applied := !bytes_applied + glen;
+              Clock.charge_cpu clock
+                (float_of_int glen *. model.Cost_model.cpu_per_byte_copy_us))
+            gaps
+        end)
+      ranges
+  in
   Log_manager.iter_live_backward log ~f:(fun ~off:_ r ->
       if wanted r then begin
         incr records_seen;
-        List.iter
-          (fun (range : Record.range) ->
-            let len = Bytes.length range.Record.data in
-            let st = state_of range.Record.seg in
-            let gaps, covered =
-              Intervals.add_uncovered st.covered ~lo:range.Record.off ~len
-            in
-            st.covered <- covered;
-            List.iter
-              (fun (lo, glen) ->
-                Segment.write st.seg ~off:lo ~buf:range.Record.data
-                  ~pos:(lo - range.Record.off) ~len:glen;
-                bytes_applied := !bytes_applied + glen;
-                Clock.charge_cpu clock
-                  (float_of_int glen
-                  *. model.Cost_model.cpu_per_byte_copy_us))
-              gaps)
-          r.Record.ranges
+        match Pcommit.classify r with
+        | `Plain -> apply_ranges r.Record.ranges
+        | `Control (Pcommit.Stage _) | `Control (Pcommit.Resolution _) ->
+          (* Control-only records; nothing to apply. *)
+          ()
+        | `Control (Pcommit.Intent { gid; _ }) -> (
+          match decide gid with
+          | `Commit -> apply_ranges r.Record.ranges
+          | `Abort -> ()
+          | `Pending ->
+            (* Mid-protocol intent: neither committed nor orphaned. The
+               caller must re-append it past the truncation point so the
+               eventual resolution still finds its evidence. *)
+            preserved := r :: !preserved)
+        | `Malformed ->
+          (* A parallel-commit flag with missing or corrupt evidence: treat
+             as unresolvable, toward abort — never apply its ranges. *)
+          L.warn (fun m ->
+              m "malformed parallel-commit record seqno=%d dropped"
+                r.Record.seqno)
       end);
   let touched = Hashtbl.fold (fun _ s acc -> s.seg :: acc) states [] in
   (* Segment sync before the caller moves the head: the write ordering that
@@ -65,15 +115,17 @@ let apply_live ?obs ?before_seqno ~resolve ~clock ~model log =
   in
   List.iter sync_one touched;
   L.debug (fun m ->
-      m "applied %d records, %d bytes, %d segments" !records_seen
-        !bytes_applied (List.length touched));
+      m "applied %d records, %d bytes, %d segments, %d preserved"
+        !records_seen !bytes_applied (List.length touched)
+        (List.length !preserved));
   {
     records_seen = !records_seen;
     bytes_applied = !bytes_applied;
     segments_touched = touched;
+    preserved = List.rev !preserved (* oldest first, ready to re-append *);
   }
 
-let recover ?obs ~resolve ~clock ~model log =
-  let outcome = apply_live ?obs ~resolve ~clock ~model log in
+let recover ?obs ?intent_decision ~resolve ~clock ~model log =
+  let outcome = apply_live ?obs ?intent_decision ~resolve ~clock ~model log in
   Log_manager.reset_empty log;
   outcome

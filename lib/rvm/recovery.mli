@@ -13,17 +13,32 @@
     gaps, so each byte is written once with its latest committed value —
     the same effect as the paper's trees. Epoch truncation (Figure 6)
     reuses exactly this scanner on a frozen prefix of the log, which is how
-    the original implementation minimized effort too. *)
+    the original implementation minimized effort too.
+
+    Parallel commit (DESIGN.md section 10) adds a status-resolution wrinkle:
+    {e intent} records carry a cross-shard transaction's ranges but apply
+    only if the transaction's status is commit. Status comes from, in
+    precedence order, an in-log resolution record, the caller's
+    [intent_decision] callback, or the orphan default ([`Abort]). A
+    [`Pending] answer (the transaction is mid-protocol in this process)
+    neither applies nor discards: the record is returned in [preserved] for
+    the caller to re-append past the truncation point. *)
 
 type outcome = {
   records_seen : int;
   bytes_applied : int;
   segments_touched : Segment.t list;
+  preserved : Rvm_log.Record.t list;
+      (** Intent records still pending at scan time, oldest first — the
+          caller must re-append them (fresh seqnos) after moving the head,
+          or their evidence is lost. Always empty without a callback that
+          answers [`Pending]. *)
 }
 
 val apply_live :
   ?obs:Rvm_obs.Registry.t ->
   ?before_seqno:int ->
+  ?intent_decision:(string -> [ `Commit | `Abort | `Pending ]) ->
   resolve:(int -> Segment.t) ->
   clock:Rvm_util.Clock.t ->
   model:Rvm_util.Cost_model.t ->
@@ -33,10 +48,14 @@ val apply_live :
     external data segments and sync those segments. Does {e not} move the
     log head — the caller does, as its own last, idempotency-preserving
     step. [before_seqno] restricts application to records with a strictly
-    smaller sequence number (the frozen epoch of a truncation). *)
+    smaller sequence number (the frozen epoch of a truncation); resolution
+    records are still collected from the whole log. [intent_decision]
+    answers for intents with no in-log resolution; default [`Abort]
+    (orphans). *)
 
 val recover :
   ?obs:Rvm_obs.Registry.t ->
+  ?intent_decision:(string -> [ `Commit | `Abort | `Pending ]) ->
   resolve:(int -> Segment.t) ->
   clock:Rvm_util.Clock.t ->
   model:Rvm_util.Cost_model.t ->

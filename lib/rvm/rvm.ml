@@ -2,6 +2,7 @@ module Device = Rvm_disk.Device
 module Stack = Rvm_disk.Stack
 module Log_manager = Rvm_log.Log_manager
 module Record = Rvm_log.Record
+module Pcommit = Rvm_log.Pcommit
 module Intervals = Rvm_util.Intervals
 module Clock = Rvm_util.Clock
 module Cost_model = Rvm_util.Cost_model
@@ -59,6 +60,23 @@ type t = {
   live : Lv.live;
   mutable terminated : bool;
   mutable in_truncation : bool;
+  intent_decision : (string -> [ `Commit | `Abort | `Pending ]) option;
+      (* Status oracle for parallel-commit intents with no in-log
+         resolution: the shard layer answers [`Pending] for transactions
+         mid-protocol in this process. [None] = single-log engine, every
+         unresolved intent is an orphan. *)
+  pending_pages : (string, (Region.t * int) list) Hashtbl.t;
+      (* gid -> uncommitted page refs held by that transaction's intent on
+         this shard, released when the resolution record is appended. While
+         held they block incremental truncation from writing those pages
+         out, which is what keeps the intent's evidence in the log. *)
+  live_resolutions : (string, Pcommit.decision) Hashtbl.t;
+      (* Resolutions appended on this shard but not yet known durable on
+         every participant. Truncation must keep them in the log — other
+         shards' recoveries may depend on this copy of the decision once
+         the intent and staged evidence have been truncated away — so they
+         are re-appended past every head movement until the shard layer
+         retires them ({!retire_resolution}). *)
 }
 
 type query_result = {
@@ -153,6 +171,23 @@ let note_logged_ranges t ~log_off ~seqno ranges =
           regions)
     ranges
 
+(* Re-append every unretired resolution record past the current head. A
+   truncation that reclaims a cross-shard transaction's intent and staged
+   records destroys the evidence other participants' recoveries may need
+   to re-derive the decision; the explicit resolution must therefore stay
+   in some log until the shard layer has made every participant's own
+   copy durable and retired it. Caller forces afterwards. *)
+let reappend_live_resolutions t =
+  Hashtbl.iter
+    (fun gid decision ->
+      let record =
+        Record.commit ~seqno:0 ~tid:0 ~timestamp_us:(now_us t)
+          ~flags:Record.Flags.resolution
+          [ Pcommit.control_range (Pcommit.Resolution { gid; decision }) ]
+      in
+      ignore (Log_manager.append_record t.log record))
+    t.live_resolutions
+
 (* Epoch truncation (Figure 6): apply the frozen live window to the
    external data segments using the recovery scanner, then move the head
    past it. *)
@@ -169,13 +204,12 @@ let epoch_truncate t =
         if Log_manager.unflushed t.log then Log_manager.force t.log;
         let freeze_tail = Log_manager.tail t.log in
         let freeze_seqno = Log_manager.next_seqno t.log in
-        let _outcome =
+        let outcome =
           Recovery.apply_live ~obs:t.obs ~before_seqno:freeze_seqno
+            ?intent_decision:t.intent_decision
             ~resolve:(fun id -> segment t id)
             ~clock:t.clock ~model:t.model t.log
         in
-        Log_manager.move_head t.log ~new_head:freeze_tail
-          ~new_head_seqno:freeze_seqno;
         (* Every queued page belongs to the reclaimed epoch now. *)
         Queue.clear t.queue;
         Hashtbl.reset t.queued;
@@ -185,6 +219,33 @@ let epoch_truncate t =
               (fun p -> Page_table.set_dirty r.Region.pages p false)
               (Page_table.dirty_pages r.Region.pages))
           (Addr_space.regions t.space);
+        (* Unretired resolutions must stay continuously durable: the
+           truncation above applied their intents, so a recovery that finds
+           another participant's intent may have no other evidence of the
+           decision. Append the carried copies at the tail — past
+           [freeze_tail], so the head move below keeps them live — and
+           force them while the status block still points at the old
+           copies. Either area is durable at every crash point. *)
+        if Hashtbl.length t.live_resolutions > 0 then begin
+          reappend_live_resolutions t;
+          Log_manager.force t.log
+        end;
+        Log_manager.move_head t.log ~new_head:freeze_tail
+          ~new_head_seqno:freeze_seqno;
+        (* Pending parallel-commit intents were neither applied nor
+           resolved: re-append them past the new head (fresh seqnos) so the
+           eventual resolution still finds its evidence. Undecided, so a
+           crash before the force merely orphan-aborts them on every
+           shard — safe to write after the head move. *)
+        (match outcome.Recovery.preserved with
+        | [] -> ()
+        | records ->
+          List.iter
+            (fun (r : Record.t) ->
+              let off, seqno = Log_manager.append_record t.log r in
+              note_logged_ranges t ~log_off:off ~seqno r.Record.ranges)
+            records;
+          Log_manager.force t.log);
         t.in_truncation <- false)
 
 let append_with_retry t record =
@@ -316,13 +377,32 @@ let incremental_truncate t ~target =
       (fun _ seg ->
         Registry.span t.obs "segment.sync" (fun () -> Segment.sync seg))
       touched;
-    match Queue.peek_opt t.queue with
-    | Some d ->
-      if d.d_log_off <> Log_manager.head t.log then
-        Log_manager.move_head t.log ~new_head:d.d_log_off
-          ~new_head_seqno:d.d_seqno
-    | None ->
-      if not (Log_manager.is_empty t.log) then Log_manager.reset_empty t.log
+    let new_head =
+      match Queue.peek_opt t.queue with
+      | Some d ->
+        if d.d_log_off <> Log_manager.head t.log then
+          Some (d.d_log_off, d.d_seqno)
+        else None
+      | None ->
+        if not (Log_manager.is_empty t.log) then
+          (* Captured before the re-append below so the fresh resolution
+             copies land past the new head and stay live. *)
+          Some (Log_manager.tail t.log, Log_manager.next_seqno t.log)
+        else None
+    in
+    match new_head with
+    | None -> ()
+    | Some (new_head, new_head_seqno) ->
+      (* The head move reclaims cross-shard commit evidence whose decision
+         other shards still depend on: append fresh copies of the
+         unretired resolutions at the tail (past [new_head]) and force
+         them while the old copies are still inside the live window, so
+         some copy is durable at every crash point. *)
+      if Hashtbl.length t.live_resolutions > 0 then begin
+        reappend_live_resolutions t;
+        Log_manager.force t.log
+      end;
+      Log_manager.move_head t.log ~new_head ~new_head_seqno
   end;
   blocked
 
@@ -369,7 +449,7 @@ let truncate t =
 let create_log dev = Log_manager.format dev
 
 let initialize ?(options = Options.default) ?(clock = Clock.null)
-    ?(model = Cost_model.dec5000) ?obs ?vm ~log ~resolve () =
+    ?(model = Cost_model.dec5000) ?obs ?vm ?intent_decision ~log ~resolve () =
   Options.validate options;
   let obs = match obs with Some o -> o | None -> Registry.create () in
   (* The flight recorder is always on: if the caller did not size the
@@ -411,6 +491,9 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
       live = Lv.create obs;
       terminated = false;
       in_truncation = false;
+      intent_decision;
+      pending_pages = Hashtbl.create 4;
+      live_resolutions = Hashtbl.create 4;
     }
   in
   (* Crash recovery before anything is mapped: mapped data must be the
@@ -419,10 +502,17 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
   if not (Log_manager.is_empty lm) then
     Registry.span t.obs "recovery" (fun () ->
         match
-          Recovery.recover ~obs ~resolve:(fun id -> segment t id) ~clock
-            ~model lm
+          Recovery.recover ~obs ?intent_decision
+            ~resolve:(fun id -> segment t id) ~clock ~model lm
         with
         | outcome ->
+          (* Intents still pending at initialize time (only possible when
+             the caller's oracle says so) go back into the emptied log. *)
+          List.iter
+            (fun (r : Record.t) ->
+              ignore (Log_manager.append_record lm r))
+            outcome.Recovery.preserved;
+          if outcome.Recovery.preserved <> [] then Log_manager.force lm;
           L.info (fun m ->
               m "recovery applied %d records (%d bytes)"
                 outcome.Recovery.records_seen outcome.Recovery.bytes_applied)
@@ -435,13 +525,13 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
           raise e);
   t
 
-let reinitialize ?options ?obs ~log ~resolve () =
+let reinitialize ?options ?obs ?intent_decision ~log ~resolve () =
   (* A simulated clock (never the null one) keeps [now_us] off the wall
      clock, so replaying the same durable image always produces the same
      instance state, log contents and trace — the property the crash-point
      explorer's exhaustive enumeration rests on. *)
-  initialize ?options ?obs ~clock:(Clock.simulated ()) ~model:Cost_model.dec5000
-    ~log ~resolve ()
+  initialize ?options ?obs ?intent_decision ~clock:(Clock.simulated ())
+    ~model:Cost_model.dec5000 ~log ~resolve ()
 
 let active_transactions t = Hashtbl.length t.txns
 
@@ -767,6 +857,114 @@ let end_transaction t tid ~mode =
       ]
     (fun () -> end_transaction_inner t tid txn ~mode)
 
+(* --- parallel commit (DESIGN.md section 10) --- *)
+
+(* Commit this shard's branch of a cross-shard transaction: one intent
+   record carrying the branch's new-value ranges plus the control payload.
+   Not forced — the shard layer forces all participants in one concurrent
+   round. The branch's uncommitted page refs are NOT released here: they
+   are held under [gid] until {!append_resolution}, which keeps incremental
+   truncation from writing the pages out (and the head from moving past the
+   intent) while the transaction's fate is still open. *)
+let end_transaction_intent t tid ~gid ~shard =
+  check_live t;
+  let txn = find_txn t tid in
+  Registry.span t.obs "txn.intent"
+    ~attrs:[ ("txn_id", Trace.Int tid); ("gid", Trace.String gid) ]
+    (fun () ->
+      cpu t t.model.Cost_model.txn_overhead_us;
+      let ranges, logged_bytes, naive_bytes =
+        Registry.span t.obs "commit.encode" (fun () ->
+            let ((ranges, logged_bytes, _) as r) = build_ranges t txn in
+            Registry.add_attr t.obs "ranges" (Trace.Int (List.length ranges));
+            Registry.add_attr t.obs "bytes" (Trace.Int logged_bytes);
+            r)
+      in
+      let pages = txn_pages txn in
+      let flags =
+        Record.Flags.intent
+        lor
+        match txn.Txn.mode with
+        | Types.No_restore -> Record.Flags.no_restore
+        | Types.Restore -> 0
+      in
+      C.add t.live.Lv.intra_saved (naive_bytes - logged_bytes);
+      (* Spooled no-flush records precede the intent in commit order. An
+         intent is written even when the branch modified nothing: status
+         resolution counts evidence per participant. *)
+      drain_spool t;
+      let all_ranges =
+        Pcommit.control_range (Pcommit.Intent { gid; shard }) :: ranges
+      in
+      let record =
+        Record.commit ~seqno:0 ~tid ~timestamp_us:(now_us t) ~flags all_ranges
+      in
+      let size = Record.encoded_size record in
+      let off, seqno = append_with_retry t record in
+      cpu t (t.model.Cost_model.log_record_us +. checksum_cost t size);
+      C.add t.live.Lv.bytes_logged size;
+      note_logged_ranges t ~log_off:off ~seqno ranges;
+      (match pages with
+      | [] -> ()
+      | _ ->
+        let held =
+          Option.value (Hashtbl.find_opt t.pending_pages gid) ~default:[]
+        in
+        Hashtbl.replace t.pending_pages gid (pages @ held));
+      finish_txn t txn Txn.Committed;
+      C.incr t.live.Lv.txns_committed)
+
+(* The staged transaction record, written to the coordinating shard's log:
+   names the participants so status resolution knows whose intents to
+   look for. Control payload only; not forced. *)
+let append_stage t ~gid ~participants =
+  check_live t;
+  let record =
+    Record.commit ~seqno:0 ~tid:0 ~timestamp_us:(now_us t)
+      ~flags:Record.Flags.stage
+      [ Pcommit.control_range (Pcommit.Stage { gid; participants }) ]
+  in
+  let size = Record.encoded_size record in
+  ignore (append_with_retry t record);
+  cpu t (t.model.Cost_model.log_record_us +. checksum_cost t size);
+  C.add t.live.Lv.bytes_logged size
+
+(* The explicit commit-or-abort decision, converting an implicit commit to
+   an explicit one (or recording an orphan abort). Releases the pages the
+   gid's intent held on this shard. Not forced: the decision is
+   recomputable from the intents and staged record, so losing an
+   unforced resolution is safe. The resolution stays "live" — re-appended
+   past every truncation — until {!retire_resolution}, because once a
+   truncation applies the intent and reclaims the staged evidence, this
+   record may be the only durable copy of the decision any participant's
+   recovery can find. *)
+let append_resolution t ~gid ~decision =
+  check_live t;
+  Hashtbl.replace t.live_resolutions gid decision;
+  let record =
+    Record.commit ~seqno:0 ~tid:0 ~timestamp_us:(now_us t)
+      ~flags:Record.Flags.resolution
+      [ Pcommit.control_range (Pcommit.Resolution { gid; decision }) ]
+  in
+  let size = Record.encoded_size record in
+  ignore (append_with_retry t record);
+  cpu t (t.model.Cost_model.log_record_us +. checksum_cost t size);
+  C.add t.live.Lv.bytes_logged size;
+  (match Hashtbl.find_opt t.pending_pages gid with
+  | Some pages ->
+    Hashtbl.remove t.pending_pages gid;
+    release_page_refs pages
+  | None -> ());
+  maybe_truncate t
+
+(* The shard layer calls this once every participant's own resolution
+   record for [gid] is durable: from then on each shard's recovery finds
+   its local copy (or none is needed once all logs are truncated past the
+   transaction), so this shard no longer carries it across truncations. *)
+let retire_resolution t ~gid =
+  check_live t;
+  Hashtbl.remove t.live_resolutions gid
+
 let abort_transaction t tid =
   check_live t;
   let txn = find_txn t tid in
@@ -870,6 +1068,9 @@ let set_options t f =
   let opts = f t.opts in
   Options.validate opts;
   t.opts <- opts
+
+let unflushed (t : t) =
+  t.spool_bytes > 0 || Log_manager.unflushed t.log
 
 let spool_pressure (t : t) =
   (* Commit bytes not yet on the device sit in two places: the engine's

@@ -33,6 +33,7 @@ val initialize :
   ?model:Rvm_util.Cost_model.t ->
   ?obs:Rvm_obs.Registry.t ->
   ?vm:Rvm_vm.Vm_sim.t ->
+  ?intent_decision:(string -> [ `Commit | `Abort | `Pending ]) ->
   log:Rvm_disk.Device.t ->
   resolve:(int -> Rvm_disk.Device.t) ->
   unit ->
@@ -48,11 +49,19 @@ val initialize :
     [disk.seg.*] device accounting all land there. The registry's span
     ring doubles as an always-on flight recorder: when the caller left it
     unsized, the engine keeps the last 512 spans, and dumps the tail on
-    transaction abort and on failed recovery. *)
+    transaction abort and on failed recovery.
+
+    [intent_decision] is the status oracle for parallel-commit intent
+    records found in the log with no in-log resolution (see
+    {!end_transaction_intent} and {!Rvm_log.Pcommit}): the shard layer
+    answers [`Pending] for transactions mid-protocol in this process.
+    Omitted (the single-log engine), every unresolved intent is an orphan
+    and aborts. *)
 
 val reinitialize :
   ?options:Options.t ->
   ?obs:Rvm_obs.Registry.t ->
+  ?intent_decision:(string -> [ `Commit | `Abort | `Pending ]) ->
   log:Rvm_disk.Device.t ->
   resolve:(int -> Rvm_disk.Device.t) ->
   unit ->
@@ -103,6 +112,43 @@ val abort_transaction : t -> tid -> unit
 (** Restore every byte declared via [set_range] to its value at
     declaration time. Raises for no-restore transactions. *)
 
+(** {1 Parallel commit — the per-shard half (DESIGN.md section 10)}
+
+    A cross-shard transaction is committed by the shard layer
+    ({!Rvm_shard.Multi}) in one concurrent round: an {e intent} on every
+    participant shard plus a {e staged} record on the coordinator, all
+    forced together, commit implicit once everything is durable, then
+    converted to explicit by appending {e resolution} records. These calls
+    are the per-shard building blocks; they never force — the caller owns
+    the force schedule. *)
+
+val end_transaction_intent : t -> tid -> gid:string -> shard:int -> unit
+(** Commit transaction [tid]'s branch on this shard as an intent record for
+    cross-shard transaction [gid]: new-value ranges plus the control
+    payload, written (not forced) to this shard's log. The branch's page
+    refs stay held under [gid] until {!append_resolution}, blocking
+    incremental truncation from discarding the intent's evidence. An
+    intent is written even if the branch modified nothing. *)
+
+val append_stage : t -> gid:string -> participants:int list -> unit
+(** Write the staged transaction record naming [gid]'s participant shards
+    (to the coordinating shard's log). Not forced. *)
+
+val append_resolution :
+  t -> gid:string -> decision:Rvm_log.Pcommit.decision -> unit
+(** Write the explicit status-resolution record for [gid] and release the
+    pages its intent held on this shard. Not forced: the decision is
+    recomputable from the surviving intents and staged record. The
+    resolution is kept {e live} — re-appended past every truncation, since
+    a truncation that applies the intent and reclaims the staged record
+    may leave this copy as the only durable evidence of the decision any
+    participant's recovery can find — until {!retire_resolution}. *)
+
+val retire_resolution : t -> gid:string -> unit
+(** Stop carrying [gid]'s resolution across truncations. Call only once
+    every participant's own resolution record is durable (the shard layer
+    forces all logs and then retires). Idempotent. *)
+
 (** {1 Log control — Figure 4(c)} *)
 
 val flush : t -> unit
@@ -129,6 +175,13 @@ val query : t -> query_result
 val set_options : t -> (Options.t -> Options.t) -> unit
 (** Adjust tuning knobs (truncation threshold, spool size, optimization
     switches) on a live instance. *)
+
+val unflushed : t -> bool
+(** True when some committed work is not yet durable: records in the
+    no-flush spool, bytes in the log's buffered tail, or device writes
+    issued since the last sync. A {!flush} on a clean instance is a no-op
+    force — the shard layer uses this to skip clean shards in its
+    overlapped force rounds. *)
 
 val spool_pressure : t -> float
 (** Fill fraction of the unflushed-commit backlog: bytes spooled in the

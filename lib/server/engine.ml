@@ -1,0 +1,45 @@
+module Rvm = Rvm_core.Rvm
+module Multi = Rvm_shard.Multi
+module Types = Rvm_core.Types
+
+type t = {
+  name : string;
+  begin_txn : mode:Types.restore_mode -> int;
+  set_range : int -> addr:int -> len:int -> unit;
+  load : addr:int -> len:int -> Bytes.t;
+  store : addr:int -> Bytes.t -> unit;
+  end_txn : int -> mode:Types.commit_mode -> unit;
+  abort : int -> unit;
+  flush : unit -> unit;
+  spool_pressure : unit -> float;
+}
+
+let of_rvm rvm =
+  {
+    name = "rvm";
+    begin_txn = (fun ~mode -> Rvm.begin_transaction rvm ~mode);
+    set_range = (fun tid ~addr ~len -> Rvm.set_range rvm tid ~addr ~len);
+    load = (fun ~addr ~len -> Rvm.load rvm ~addr ~len);
+    store = (fun ~addr b -> Rvm.store rvm ~addr b);
+    end_txn = (fun tid ~mode -> Rvm.end_transaction rvm tid ~mode);
+    abort = (fun tid -> Rvm.abort_transaction rvm tid);
+    flush = (fun () -> Rvm.flush rvm);
+    spool_pressure = (fun () -> Rvm.spool_pressure rvm);
+  }
+
+(* The sharded engine already models one simulated worker core per shard
+   (see {!Multi}): per-shard work runs on that shard's {!Clock.lane} and
+   callers only block where the protocol demands — so this wrapper is
+   plain delegation, like [of_rvm]. *)
+let of_multi m =
+  {
+    name = Printf.sprintf "multi:%d" (Multi.shard_count m);
+    begin_txn = (fun ~mode -> Multi.begin_transaction m ~mode);
+    set_range = (fun tid ~addr ~len -> Multi.set_range m tid ~addr ~len);
+    load = (fun ~addr ~len -> Multi.load m ~addr ~len);
+    store = (fun ~addr b -> Multi.store m ~addr b);
+    end_txn = (fun tid ~mode -> Multi.end_transaction m tid ~mode);
+    abort = (fun tid -> Multi.abort_transaction m tid);
+    flush = (fun () -> Multi.flush m);
+    spool_pressure = (fun () -> Multi.spool_pressure m);
+  }

@@ -1,0 +1,26 @@
+(** The scheduler's view of a transaction engine.
+
+    The server loop is engine-agnostic: it runs the same step lists over
+    the single-log engine ({!Rvm_core.Rvm}) or the sharded multi-log
+    engine ({!Rvm_shard.Multi}), whose transaction interfaces coincide —
+    a [gtid] is an [int] like a [tid], a cross-shard commit is still one
+    [end_txn]. [flush] is the batch-closing force: one log force on the
+    single engine, one overlapped round of per-shard forces (plus
+    resolution of the cross-shard commits it made durable) on the sharded
+    one. [spool_pressure] feeds admission control; the sharded engine
+    reports the hottest shard. *)
+
+type t = {
+  name : string;
+  begin_txn : mode:Rvm_core.Types.restore_mode -> int;
+  set_range : int -> addr:int -> len:int -> unit;
+  load : addr:int -> len:int -> Bytes.t;
+  store : addr:int -> Bytes.t -> unit;
+  end_txn : int -> mode:Rvm_core.Types.commit_mode -> unit;
+  abort : int -> unit;
+  flush : unit -> unit;
+  spool_pressure : unit -> float;
+}
+
+val of_rvm : Rvm_core.Rvm.t -> t
+val of_multi : Rvm_shard.Multi.t -> t

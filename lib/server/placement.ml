@@ -1,0 +1,35 @@
+module Tpca = Rvm_workload.Tpca
+
+type t = {
+  shards : int;
+  layouts : Tpca.layout array;
+  audit_cursors : int array;
+}
+
+let make ~layouts =
+  let shards = Array.length layouts in
+  if shards <= 0 then invalid_arg "Placement.make: no layouts";
+  { shards; layouts; audit_cursors = Array.make shards 0 }
+
+let shards t = t.shards
+let layout t s = t.layouts.(s)
+let account_shard t i = i mod t.shards
+
+let account_addr t i =
+  Tpca.account_addr t.layouts.(account_shard t i) (i / t.shards)
+
+let teller_addr t ~anchor teller =
+  Tpca.teller_addr t.layouts.(account_shard t anchor) teller
+
+let branch_addr t ~anchor branch =
+  Tpca.branch_addr t.layouts.(account_shard t anchor) branch
+
+let teller_id t ~anchor teller = (account_shard t anchor * Tpca.tellers) + teller
+let branch_id t ~anchor branch = (account_shard t anchor * Tpca.branches) + branch
+
+let audit_next t ~anchor =
+  let s = account_shard t anchor in
+  let l = t.layouts.(s) in
+  let slot = t.audit_cursors.(s) in
+  t.audit_cursors.(s) <- (slot + 1) mod l.Tpca.audit_entries;
+  Tpca.audit_addr l slot

@@ -1,4 +1,3 @@
-module Rvm = Rvm_core.Rvm
 module Types = Rvm_core.Types
 module Clock = Rvm_util.Clock
 module Rng = Rvm_util.Rng
@@ -49,16 +48,20 @@ let acct_key i = "a:" ^ string_of_int i
 let teller_key i = "t:" ^ string_of_int i
 let branch_key i = "b:" ^ string_of_int i
 
-let steps_of (s : Request.spec) =
+(* Lock identities come from the placement: on a sharded world teller 3 of
+   shard 0 and teller 3 of shard 1 are distinct records and must not
+   serialize against each other. *)
+let steps_of pl (s : Request.spec) =
   match s.kind with
   | Request.Payment ->
     let branch = s.teller mod Tpca.branches in
+    let anchor = s.account in
     [
       Lock (acct_key s.account);
       Update (Upd_account (s.account, s.delta));
-      Lock (teller_key s.teller);
+      Lock (teller_key (Placement.teller_id pl ~anchor s.teller));
       Update (Upd_teller (s.teller, s.delta));
-      Lock (branch_key branch);
+      Lock (branch_key (Placement.branch_id pl ~anchor branch));
       Update (Upd_branch (branch, s.delta));
       Update Upd_audit;
     ]
@@ -84,11 +87,11 @@ type tally = {
 
 type t = {
   cfg : config;
-  rvm : Rvm.t;
+  eng : Engine.t;
   clock : Clock.t;
   obs : Registry.t;
   lm : Lock_mgr.t;
-  layout : Tpca.layout;
+  pl : Placement.t;
   adm : Request.t Admission.t;
   arr : Arrivals.t;
   gen : Request.gen;
@@ -98,7 +101,6 @@ type t = {
   mutable retries : (float * Request.t) list;  (* sorted by (due, id) *)
   batch : Request.t Batcher.t;
   steps : (int, step list) Hashtbl.t;
-  mutable audit_cursor : int;
   (* tallies *)
   mutable committed : int;
   mutable shed : int;
@@ -118,16 +120,16 @@ type t = {
   h_batch_size : Histogram.t;
 }
 
-let create ~cfg ~rvm ~clock ~obs ~lock_mgr ~layout ~admission ~arrivals ~gen
-    ~rng =
+let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
+    ~gen ~rng =
   validate_config cfg;
   {
     cfg;
-    rvm;
+    eng = engine;
     clock;
     obs;
     lm = lock_mgr;
-    layout;
+    pl = placement;
     adm = admission;
     arr = arrivals;
     gen;
@@ -137,7 +139,6 @@ let create ~cfg ~rvm ~clock ~obs ~lock_mgr ~layout ~admission ~arrivals ~gen
     retries = [];
     batch = Batcher.create ~max:cfg.batch_max;
     steps = Hashtbl.create 64;
-    audit_cursor = 0;
     committed = 0;
     shed = 0;
     aborts = 0;
@@ -158,46 +159,47 @@ let create ~cfg ~rvm ~clock ~obs ~lock_mgr ~layout ~admission ~arrivals ~gen
 let now t = Clock.now_us t.clock
 let charge t = Clock.charge_cpu t.clock t.cfg.cpu_per_op_us
 
-(* --- recoverable-memory updates (addresses per Tpca.layout) --- *)
+(* --- recoverable-memory updates (addresses per Placement) --- *)
 
-let read_i64 t ~addr = Bytes.get_int64_le (Rvm.load t.rvm ~addr ~len:8) 0
+let read_i64 t ~addr = Bytes.get_int64_le (t.eng.Engine.load ~addr ~len:8) 0
 
 let write_i64 t ~addr v =
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 v;
-  Rvm.store t.rvm ~addr b
+  t.eng.Engine.store ~addr b
 
+(* Teller, branch and audit structures are placed on the shard of the
+   request's primary account (its "anchor"), so Payments stay single-shard
+   and only a Transfer whose accounts route to different shards crosses. *)
 let do_update t (r : Request.t) tid u =
-  let l = t.layout in
+  let anchor = r.Request.spec.Request.account in
   match u with
   | Upd_account (i, d) ->
-    let addr = Tpca.account_addr l i in
-    Rvm.set_range t.rvm tid ~addr ~len:Tpca.account_size;
+    let addr = Placement.account_addr t.pl i in
+    t.eng.Engine.set_range tid ~addr ~len:Tpca.account_size;
     write_i64 t ~addr (Int64.add (read_i64 t ~addr) d);
     write_i64 t ~addr:(addr + 8) (Int64.of_int r.Request.spec.Request.id)
   | Upd_teller (i, d) ->
-    let addr = Tpca.teller_addr l i in
-    Rvm.set_range t.rvm tid ~addr ~len:Tpca.balance_size;
+    let addr = Placement.teller_addr t.pl ~anchor i in
+    t.eng.Engine.set_range tid ~addr ~len:Tpca.balance_size;
     write_i64 t ~addr (Int64.add (read_i64 t ~addr) d)
   | Upd_branch (i, d) ->
-    let addr = Tpca.branch_addr l i in
-    Rvm.set_range t.rvm tid ~addr ~len:Tpca.balance_size;
+    let addr = Placement.branch_addr t.pl ~anchor i in
+    t.eng.Engine.set_range tid ~addr ~len:Tpca.balance_size;
     write_i64 t ~addr (Int64.add (read_i64 t ~addr) d)
   | Upd_audit ->
     (* The slot is drawn at write time and the write is followed by the
        commit within the same scheduler turn, so no two live transactions
        ever hold set_ranges over one slot, even after wrap-around. *)
-    let slot = t.audit_cursor in
-    t.audit_cursor <- (slot + 1) mod l.Tpca.audit_entries;
-    let addr = Tpca.audit_addr l slot in
-    Rvm.set_range t.rvm tid ~addr ~len:Tpca.audit_size;
+    let addr = Placement.audit_next t.pl ~anchor in
+    t.eng.Engine.set_range tid ~addr ~len:Tpca.audit_size;
     let s = r.Request.spec in
     let e = Bytes.create Tpca.audit_size in
     Bytes.set_int64_le e 0 (Int64.of_int s.Request.account);
     Bytes.set_int64_le e 8 (Int64.of_int s.Request.teller);
     Bytes.set_int64_le e 16 s.Request.delta;
     Bytes.set_int64_le e 24 (Int64.of_int s.Request.id);
-    Rvm.store t.rvm ~addr e
+    t.eng.Engine.store ~addr e
 
 (* --- lifecycle --- *)
 
@@ -250,7 +252,7 @@ let commit_ready t (r : Request.t) =
   in
   if t.cfg.batch_max = 1 then begin
     Registry.span t.obs "req.root" ~attrs:(req_attrs r) (fun () ->
-        Rvm.end_transaction t.rvm tid ~mode:Types.Flush);
+        t.eng.Engine.end_txn tid ~mode:Types.Flush);
     r.Request.tid <- None;
     Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
     Admission.release t.adm;
@@ -261,7 +263,7 @@ let commit_ready t (r : Request.t) =
   end
   else begin
     Registry.span t.obs "req.root" ~attrs:(req_attrs r) (fun () ->
-        Rvm.end_transaction t.rvm tid ~mode:Types.No_flush);
+        t.eng.Engine.end_txn tid ~mode:Types.No_flush);
     r.Request.tid <- None;
     r.Request.status <- Request.Ready;
     Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
@@ -280,7 +282,7 @@ let flush_batch t =
     Histogram.observe t.h_batch_size (float_of_int size);
     Registry.span t.obs "server.batch.flush"
       ~attrs:[ ("size", Trace.Int size) ]
-      (fun () -> Rvm.flush t.rvm);
+      (fun () -> t.eng.Engine.flush ());
     List.iter (finish t) reqs
   end
 
@@ -299,14 +301,15 @@ let insert_retry t due (r : Request.t) =
    and come back after a seeded, jittered exponential backoff. *)
 let abort_retry t (r : Request.t) =
   (match r.Request.tid with
-  | Some tid -> Rvm.abort_transaction t.rvm tid
+  | Some tid -> t.eng.Engine.abort tid
   | None -> ());
   r.Request.tid <- None;
   Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
   r.Request.attempts <- r.Request.attempts + 1;
   t.aborts <- t.aborts + 1;
   Counter.incr t.c_retry;
-  Hashtbl.replace t.steps r.Request.spec.Request.id (steps_of r.Request.spec);
+  Hashtbl.replace t.steps r.Request.spec.Request.id
+    (steps_of t.pl r.Request.spec);
   let exp = min (r.Request.attempts - 1) t.cfg.backoff_cap in
   let jitter = 0.5 +. Rng.float t.rng 1.0 in
   let delay = t.cfg.backoff_base_us *. float_of_int (1 lsl exp) *. jitter in
@@ -323,8 +326,7 @@ let abort_retry t (r : Request.t) =
 let exec t (r : Request.t) =
   let id = r.Request.spec.Request.id in
   (match r.Request.tid with
-  | None ->
-    r.Request.tid <- Some (Rvm.begin_transaction t.rvm ~mode:Types.Restore)
+  | None -> r.Request.tid <- Some (t.eng.Engine.begin_txn ~mode:Types.Restore)
   | Some _ -> ());
   match Hashtbl.find_opt t.steps id with
   | None | Some [] -> commit_ready t r
@@ -358,7 +360,7 @@ let start t (r : Request.t) =
     (r.Request.admitted_us -. r.Request.arrival_us);
   Counter.incr t.c_admitted;
   Hashtbl.replace t.steps r.Request.spec.Request.id
-    (steps_of r.Request.spec);
+    (steps_of t.pl r.Request.spec);
   Queue.push r t.runnable
 
 let shed t (r : Request.t) =
@@ -377,7 +379,7 @@ let process_due t =
       ignore (Arrivals.pop t.arr);
       let spec = Request.fresh t.gen in
       let r = Request.make spec ~arrival_us:at in
-      let pressure = Rvm.spool_pressure t.rvm in
+      let pressure = t.eng.Engine.spool_pressure () in
       (match Admission.submit t.adm ~pressure r with
       | `Admitted -> start t r
       | `Queued -> ()
@@ -399,7 +401,7 @@ let process_due t =
 
 let admit_from_queue t =
   let rec go () =
-    let pressure = Rvm.spool_pressure t.rvm in
+    let pressure = t.eng.Engine.spool_pressure () in
     match Admission.pop_ready t.adm ~pressure with
     | `Admit r ->
       start t r;

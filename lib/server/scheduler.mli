@@ -12,7 +12,7 @@
     Commits route through the {!Batcher}: with [batch_max = 1] each
     commit forces the log itself; otherwise ready transactions commit
     [No_flush] immediately (releasing their locks — commit order is fixed
-    by the spool) and the closing {!Rvm_core.Rvm.flush} fires when the
+    by the spool) and the closing {!Engine.t.flush} fires when the
     batch fills or no other request can make progress. Each request's
     life is wrapped in a [req.root] span, so the engine's [txn.commit]
     spans nest under the request that caused them.
@@ -53,11 +53,11 @@ type t
 
 val create :
   cfg:config ->
-  rvm:Rvm_core.Rvm.t ->
+  engine:Engine.t ->
   clock:Rvm_util.Clock.t ->
   obs:Rvm_obs.Registry.t ->
   lock_mgr:Rvm_layers.Lock_mgr.t ->
-  layout:Rvm_workload.Tpca.layout ->
+  placement:Placement.t ->
   admission:Request.t Admission.t ->
   arrivals:Arrivals.t ->
   gen:Request.gen ->

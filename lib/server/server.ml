@@ -6,6 +6,8 @@ module Device = Rvm_disk.Device
 module Stack = Rvm_disk.Stack
 module Rvm = Rvm_core.Rvm
 module Options = Rvm_core.Options
+module Multi = Rvm_shard.Multi
+module Routing = Rvm_shard.Routing
 module Lock_mgr = Rvm_layers.Lock_mgr
 module Tpca = Rvm_workload.Tpca
 module Registry = Rvm_obs.Registry
@@ -20,6 +22,7 @@ let load_name = function
 
 type config = {
   accounts : int;
+  shards : int;
   zipf_s : float;
   transfer_pct : int;
   requests : int;
@@ -40,6 +43,7 @@ type config = {
 let default_config =
   {
     accounts = 1_000;
+    shards = 1;
     zipf_s = 0.8;
     transfer_pct = 25;
     requests = 400;
@@ -74,6 +78,9 @@ type result = {
   log_syncs : int;
   syncs_per_commit : float;
   writes_per_commit : float;
+  cross_committed : int;
+  cross_aborted : int;
+  cross_abort_rate : float;
 }
 
 (* Exact percentile over the raw latency samples (nearest-rank), not the
@@ -88,51 +95,135 @@ let percentile sorted p =
 
 let page_size = 4096
 
+type backend = Single of Rvm.t | Sharded of Multi.t
+
 type world = {
-  rvm : Rvm.t;
+  engine : Engine.t;
+  backend : backend;
   clock : Clock.t;
   obs : Registry.t;
-  layout : Tpca.layout;
-  log_outer : Device.t;  (* stats at the physical-device layer *)
+  placement : Placement.t;
+  log_devs : Device.t array;  (* stats at the physical-device layer *)
 }
 
+let options_of cfg =
+  let o = Options.default in
+  let o =
+    match cfg.spool_max_bytes with
+    | Some v -> { o with Options.spool_max_bytes = v }
+    | None -> o
+  in
+  match cfg.log_spool_max_bytes with
+  | Some v -> { o with Options.log_spool_max_bytes = v }
+  | None -> o
+
+(* Shard s holds the accounts with index ≡ s (mod shards) plus its own
+   teller array, branch array and audit trail, in its own segment on its
+   own data disk — so a Payment is always single-shard and a Transfer
+   crosses exactly when its two accounts interleave onto different
+   shards. *)
+let shard_layouts cfg =
+  let n = cfg.shards in
+  let next_base = ref (16 * page_size) in
+  Array.init n (fun s ->
+      let accts = (cfg.accounts + n - 1 - s) / n in
+      let l = Tpca.layout ~accounts:accts ~base:!next_base ~page_size in
+      next_base := !next_base + l.Tpca.total_len + (16 * page_size);
+      l)
+
 let build_world cfg =
+  if cfg.shards < 1 then invalid_arg "Server: shards must be positive";
+  if cfg.shards > cfg.accounts then
+    invalid_arg "Server: more shards than accounts";
   let clock = Clock.simulated () in
   let model = Cost_model.dec5000 in
   let obs = Registry.create ~trace_capacity:cfg.trace_capacity () in
-  let base_vaddr = 16 * page_size in
-  let layout = Tpca.layout ~accounts:cfg.accounts ~base:base_vaddr ~page_size in
-  let seg_size = layout.Tpca.total_len + page_size in
-  let log_outer =
-    Stack.compose
-      [ Stack.with_latency ~clock ~disk:model.Cost_model.log_disk () ]
-      (Mem_device.create ~name:"log" ~size:cfg.log_size ())
-  in
-  let seg_dev =
+  let options = options_of cfg in
+  let seg_stack dev =
     Stack.compose
       [ Stack.with_latency ~seek_fraction:0.08 ~sector:page_size ~clock
           ~disk:model.Cost_model.data_disk () ]
-      (Mem_device.create ~name:"seg" ~size:seg_size ())
+      dev
   in
-  Rvm.create_log log_outer;
-  let options =
-    let o = Options.default in
-    let o =
-      match cfg.spool_max_bytes with
-      | Some v -> { o with Options.spool_max_bytes = v }
-      | None -> o
+  (* World construction — formatting the logs, cold recovery scans,
+     mapping the segments in — is setup, not served load: suspend the
+     clock so the sweep measures steady-state serving from t=0 and the
+     per-shard recovery reads don't bill the sharded configurations for
+     scanning [shards] times as many log devices. *)
+  Clock.suspend clock @@ fun () ->
+  if cfg.shards = 1 then begin
+    let base_vaddr = 16 * page_size in
+    let layout =
+      Tpca.layout ~accounts:cfg.accounts ~base:base_vaddr ~page_size
     in
-    match cfg.log_spool_max_bytes with
-    | Some v -> { o with Options.log_spool_max_bytes = v }
-    | None -> o
-  in
-  let rvm =
-    Rvm.initialize ~options ~clock ~model ~obs ~log:log_outer
-      ~resolve:(fun _ -> seg_dev)
-      ()
-  in
-  ignore (Rvm.map rvm ~vaddr:base_vaddr ~seg:1 ~seg_off:0 ~len:layout.Tpca.total_len ());
-  { rvm; clock; obs; layout; log_outer }
+    let seg_size = layout.Tpca.total_len + page_size in
+    let log_outer =
+      Stack.compose
+        [ Stack.with_latency ~clock ~disk:model.Cost_model.log_disk () ]
+        (Mem_device.create ~name:"log" ~size:cfg.log_size ())
+    in
+    let seg_dev = seg_stack (Mem_device.create ~name:"seg" ~size:seg_size ()) in
+    Rvm.create_log log_outer;
+    let rvm =
+      Rvm.initialize ~options ~clock ~model ~obs ~log:log_outer
+        ~resolve:(fun _ -> seg_dev)
+        ()
+    in
+    ignore
+      (Rvm.map rvm ~vaddr:base_vaddr ~seg:1 ~seg_off:0
+         ~len:layout.Tpca.total_len ());
+    {
+      engine = Engine.of_rvm rvm;
+      backend = Single rvm;
+      clock;
+      obs;
+      placement = Placement.make ~layouts:[| layout |];
+      log_devs = [| log_outer |];
+    }
+  end
+  else begin
+    let n = cfg.shards in
+    let layouts = shard_layouts cfg in
+    let logs =
+      Array.init n (fun s ->
+          Stack.compose
+            [ Stack.with_latency ~clock ~disk:model.Cost_model.log_disk () ]
+            (Mem_device.create
+               ~name:("log" ^ string_of_int s)
+               ~size:cfg.log_size ()))
+    in
+    let segs =
+      Array.init n (fun s ->
+          seg_stack
+            (Mem_device.create
+               ~name:("seg" ^ string_of_int s)
+               ~size:(layouts.(s).Tpca.total_len + page_size)
+               ()))
+    in
+    let routing =
+      Routing.of_table ~shards:n (List.init n (fun s -> (s + 1, s)))
+    in
+    Multi.create_logs logs;
+    let m =
+      Multi.initialize ~options ~clock ~model ~obs ~routing ~logs
+        ~resolve:(fun seg -> segs.(seg - 1))
+        ()
+    in
+    Array.iteri
+      (fun s (l : Tpca.layout) ->
+        ignore
+          (Multi.map m ~vaddr:l.Tpca.base ~seg:(s + 1) ~seg_off:0
+             ~len:l.Tpca.total_len ()))
+      layouts;
+    {
+      engine = Engine.of_multi m;
+      backend = Sharded m;
+      clock;
+      obs;
+      placement = Placement.make ~layouts;
+      log_devs = logs;
+    }
+  end
 
 let scheduler_of cfg w =
   let rng = Rng.create ~seed:cfg.seed in
@@ -169,22 +260,32 @@ let scheduler_of cfg w =
       cpu_per_op_us = cfg.cpu_per_op_us;
     }
   in
-  Scheduler.create ~cfg:scfg ~rvm:w.rvm ~clock:w.clock ~obs:w.obs
-    ~lock_mgr:(Lock_mgr.create ()) ~layout:w.layout ~admission ~arrivals ~gen
-    ~rng:backoff_rng
+  Scheduler.create ~cfg:scfg ~engine:w.engine ~clock:w.clock ~obs:w.obs
+    ~lock_mgr:(Lock_mgr.create ()) ~placement:w.placement ~admission ~arrivals
+    ~gen ~rng:backoff_rng
+
+let log_totals w =
+  Array.fold_left
+    (fun (ws, ss) (d : Device.t) ->
+      (ws + d.Device.stats.Device.writes, ss + d.Device.stats.Device.syncs))
+    (0, 0) w.log_devs
 
 let run cfg =
   let w = build_world cfg in
   let sched = scheduler_of cfg w in
-  let stats0 = w.log_outer.Device.stats in
-  let writes0 = stats0.Device.writes and syncs0 = stats0.Device.syncs in
+  let writes0, syncs0 = log_totals w in
   let tally = Scheduler.run sched in
   (* Leave any final no-flush residue where the run left it: syncs are
      attributed per committed request, and the scheduler always closes its
      last batch before the arrival process drains. *)
-  let stats = w.log_outer.Device.stats in
-  let log_writes = stats.Device.writes - writes0 in
-  let log_syncs = stats.Device.syncs - syncs0 in
+  let writes1, syncs1 = log_totals w in
+  let log_writes = writes1 - writes0 in
+  let log_syncs = syncs1 - syncs0 in
+  let cross_committed, cross_aborted =
+    match w.backend with
+    | Single _ -> (0, 0)
+    | Sharded m -> (Multi.cross_committed m, Multi.cross_aborted m)
+  in
   let lat = Array.copy tally.Scheduler.latencies_us in
   Array.sort compare lat;
   let n = Array.length lat in
@@ -211,6 +312,12 @@ let run cfg =
     log_syncs;
     syncs_per_commit = per log_syncs;
     writes_per_commit = per log_writes;
+    cross_committed;
+    cross_aborted;
+    cross_abort_rate =
+      (let total = cross_committed + cross_aborted in
+       if total = 0 then 0.
+       else float_of_int cross_aborted /. float_of_int total);
   }
 
 let run_with_world cfg =
@@ -236,6 +343,7 @@ let result_to_json r =
         match c.load with
         | Open_loop tps -> Json.Float tps
         | Closed_loop _ -> Json.Null );
+      ("shards", Json.Int c.shards);
       ("batch_max", Json.Int c.batch_max);
       ("requests", Json.Int c.requests);
       ("seed", Json.Int (Int64.to_int c.seed));
@@ -254,22 +362,26 @@ let result_to_json r =
       ("log_syncs", Json.Int r.log_syncs);
       ("syncs_per_commit", Json.Float r.syncs_per_commit);
       ("writes_per_commit", Json.Float r.writes_per_commit);
+      ("cross_committed", Json.Int r.cross_committed);
+      ("cross_aborted", Json.Int r.cross_aborted);
+      ("cross_abort_rate", Json.Float r.cross_abort_rate);
     ]
 
 let pp_table fmt results =
   Format.fprintf fmt
-    "%-18s %5s | %9s %9s %6s %6s %7s | %9s %9s %9s | %9s@\n" "load" "batch"
-    "committed" "tps" "shed" "abort" "defer" "p50(ms)" "p95(ms)" "p99(ms)"
-    "syncs/txn";
-  Format.fprintf fmt "%s@\n" (String.make 110 '-');
+    "%-18s %6s %5s | %9s %9s %6s %6s %7s | %9s %9s %9s | %9s %5s@\n" "load"
+    "shards" "batch" "committed" "tps" "shed" "abort" "defer" "p50(ms)"
+    "p95(ms)" "p99(ms)" "syncs/txn" "cross";
+  Format.fprintf fmt "%s@\n" (String.make 124 '-');
   List.iter
     (fun r ->
       Format.fprintf fmt
-        "%-18s %5d | %9d %9.1f %6d %6d %7d | %9.2f %9.2f %9.2f | %9.3f@\n"
-        (load_name r.cfg.load) r.cfg.batch_max r.committed r.throughput_tps
-        r.shed r.aborts r.backpressure_deferrals
+        "%-18s %6d %5d | %9d %9.1f %6d %6d %7d | %9.2f %9.2f %9.2f | %9.3f \
+         %5d@\n"
+        (load_name r.cfg.load) r.cfg.shards r.cfg.batch_max r.committed
+        r.throughput_tps r.shed r.aborts r.backpressure_deferrals
         (r.p50_latency_us /. 1e3)
         (r.p95_latency_us /. 1e3)
         (r.p99_latency_us /. 1e3)
-        r.syncs_per_commit)
+        r.syncs_per_commit r.cross_committed)
     results

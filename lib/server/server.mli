@@ -15,6 +15,12 @@ val load_name : load -> string
 
 type config = {
   accounts : int;
+  shards : int;
+      (** 1 = the single-log engine (byte-identical to the pre-shard
+          server); N > 1 = the sharded multi-log engine with account [i]
+          on shard [i mod N], tellers/branches/audit co-located with their
+          account (Payments single-shard, Transfers cross-shard when their
+          accounts land on different shards) *)
   zipf_s : float;  (** account-key skew exponent *)
   transfer_pct : int;  (** % of requests that are two-account transfers *)
   requests : int;
@@ -49,10 +55,13 @@ type result = {
   p50_latency_us : float;  (** exact (nearest-rank over raw samples) *)
   p95_latency_us : float;
   p99_latency_us : float;
-  log_writes : int;  (** at the physical log device *)
+  log_writes : int;  (** summed over the physical log devices *)
   log_syncs : int;
   syncs_per_commit : float;  (** the group-commit payoff metric *)
   writes_per_commit : float;
+  cross_committed : int;  (** parallel-commit transactions (0 unsharded) *)
+  cross_aborted : int;  (** cross-shard deadlock/early aborts *)
+  cross_abort_rate : float;  (** aborted / (committed + aborted), 0 if none *)
 }
 
 val run : config -> result
@@ -60,16 +69,20 @@ val run : config -> result
 (** {1 Open-world entry points}
 
     Tests need the pieces: the registry (to check [req.root] parents
-    [txn.commit]), the engine and layout (to check final balances against
-    the serial reference), the raw tally. *)
+    [txn.commit]), the engine and placement (to check final balances
+    against the serial reference), the raw tally. *)
+
+type backend = Single of Rvm_core.Rvm.t | Sharded of Rvm_shard.Multi.t
 
 type world = {
-  rvm : Rvm_core.Rvm.t;
+  engine : Engine.t;
+  backend : backend;
   clock : Rvm_util.Clock.t;
   obs : Rvm_obs.Registry.t;
-  layout : Rvm_workload.Tpca.layout;
-  log_outer : Rvm_disk.Device.t;
-      (** outermost log device — its [stats] count physical writes/syncs *)
+  placement : Placement.t;
+  log_devs : Rvm_disk.Device.t array;
+      (** outermost log devices — their [stats] count physical
+          writes/syncs; one element per shard *)
 }
 
 val build_world : config -> world

@@ -1,0 +1,521 @@
+module Device = Rvm_disk.Device
+module Log_manager = Rvm_log.Log_manager
+module Record = Rvm_log.Record
+module Pcommit = Rvm_log.Pcommit
+module Rvm = Rvm_core.Rvm
+module Region = Rvm_core.Region
+module Options = Rvm_core.Options
+module Types = Rvm_core.Types
+module Statistics = Rvm_core.Statistics
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+module Registry = Rvm_obs.Registry
+module Twopc = Rvm_layers.Twopc
+
+let src = Logs.Src.create "rvm.shard" ~doc:"Sharded multi-log RVM"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+type gtid = int
+
+type txn = {
+  g_mode : Types.restore_mode;
+  locals : (int, Rvm.tid) Hashtbl.t;  (* shard -> local tid *)
+  mutable order : int list;  (* shards in first-touch order, newest first *)
+}
+
+type mapping = { m_lo : int; m_hi : int; m_shard : int; m_region : Region.t }
+
+type t = {
+  routing : Routing.t;
+  shards : Rvm.t array;
+  clock : Clock.t;
+  obs : Registry.t;
+  page_size : int;
+  mutable mappings : mapping list;
+  mutable next_vaddr : int;
+  txns : (gtid, txn) Hashtbl.t;
+  mutable next_gtid : int;
+  incarnation : int;
+  in_flight : (string, unit) Hashtbl.t;
+      (* gids mid-protocol: intents appended, resolutions not yet. The
+         per-shard engines consult this through their [intent_decision]
+         callback when a truncation runs mid-protocol. *)
+  mutable unresolved : (string * int list) list;
+      (* no-flush cross-shard commits awaiting a global flush (newest
+         first): (gid, participants). Implicit commit happens at the flush;
+         resolutions are appended right after it. *)
+  mutable retirable : (string * (int * int) list) list;
+      (* resolved gids whose resolution records have been appended to every
+         participant but not yet forced everywhere: (gid, per-participant
+         (shard, force-epoch at append)). The per-shard engines keep those
+         records live across truncations; once every participant has been
+         forced past its append epoch the copies are all durable and
+         {!flush} retires them on each engine — lazily, without ever
+         issuing a force of its own for retirement. *)
+  force_epoch : int array;
+      (* per-shard count of the forces this layer has issued (engine-
+         internal forces are invisible here, which only delays
+         retirement — never unsound) *)
+  lanes : Clock.lane array;
+      (* one simulated worker core per shard: engine work addressed to a
+         shard runs on its lane, so per-shard CPU and log waits overlap
+         across shards. Callers only block on a lane at the points where
+         the protocol says they must — a Flush-mode commit, a global
+         force. No-ops on a null clock. *)
+  mutable cross_committed : int;
+  mutable cross_aborted : int;
+  mutable terminated : bool;
+}
+
+let check_live t =
+  if t.terminated then Types.error "shard instance has been terminated"
+
+let shard_count t = Array.length t.shards
+let shard t i = t.shards.(i)
+let routing t = t.routing
+let obs t = t.obs
+let clock t = t.clock
+let stats t = Rvm.stats t.shards.(0)  (* shared registry: merged totals *)
+let cross_committed t = t.cross_committed
+let cross_aborted t = t.cross_aborted
+
+let create_logs devices = Array.iter Rvm.create_log devices
+
+(* --- recovery-time status resolution (the ParallelCommits.tla recovery
+   action). Runs on the raw devices BEFORE any per-shard engine recovers:
+   collect every gid's surviving evidence across all logs, judge it with
+   the pure protocol core, and append + force an explicit resolution
+   record to every log holding evidence. Only then may the per-shard
+   recoveries apply and empty their logs — once a shard's log is emptied
+   its intents are gone, so the cross-shard decision must already be
+   durable everywhere else. Crashing anywhere inside this pass is safe:
+   the judgment is deterministic in the surviving evidence, and in-log
+   resolutions take precedence on the next attempt. *)
+
+type ev = {
+  mutable e_staged : int list option;
+  mutable e_intents : int list;
+  mutable e_resolutions : Pcommit.decision list;
+  mutable e_holders : int list;  (* shards with any evidence for the gid *)
+  mutable e_resolved_on : int list;  (* shards already holding a resolution *)
+}
+
+let resolve_statuses logs =
+  let evidence : (string, ev) Hashtbl.t = Hashtbl.create 8 in
+  let ev gid =
+    match Hashtbl.find_opt evidence gid with
+    | Some e -> e
+    | None ->
+      let e =
+        { e_staged = None; e_intents = []; e_resolutions = [];
+          e_holders = []; e_resolved_on = [] }
+      in
+      Hashtbl.add evidence gid e;
+      e
+  in
+  let add_holder e s = if not (List.mem s e.e_holders) then
+      e.e_holders <- s :: e.e_holders
+  in
+  let managers =
+    Array.mapi
+      (fun i dev ->
+        match Log_manager.open_log dev with
+        | Error e -> Types.error "shard %d: open_log: %s" i e
+        | Ok lm ->
+          Log_manager.iter_live lm ~f:(fun ~off:_ r ->
+              match Pcommit.classify r with
+              | `Control (Pcommit.Intent { gid; shard }) ->
+                let e = ev gid in
+                if not (List.mem shard e.e_intents) then
+                  e.e_intents <- shard :: e.e_intents;
+                add_holder e i
+              | `Control (Pcommit.Stage { gid; participants }) ->
+                let e = ev gid in
+                e.e_staged <- Some participants;
+                add_holder e i
+              | `Control (Pcommit.Resolution { gid; decision }) ->
+                let e = ev gid in
+                e.e_resolutions <- decision :: e.e_resolutions;
+                e.e_resolved_on <- i :: e.e_resolved_on;
+                add_holder e i
+              | `Plain | `Malformed -> ());
+          lm)
+      logs
+  in
+  let to_force = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun gid e ->
+      let decision =
+        Twopc.Parallel.resolve
+          {
+            Twopc.Parallel.staged = e.e_staged;
+            intents = e.e_intents;
+            resolutions = e.e_resolutions;
+          }
+      in
+      L.info (fun m ->
+          m "status resolution: %s -> %s (intents on %d shards, staged %b)"
+            gid
+            (Pcommit.decision_to_string decision)
+            (List.length e.e_intents)
+            (e.e_staged <> None));
+      List.iter
+        (fun s ->
+          if not (List.mem s e.e_resolved_on) then begin
+            ignore
+              (Log_manager.append_record managers.(s)
+                 (Record.commit ~seqno:0 ~tid:0
+                    ~flags:Record.Flags.resolution
+                    [
+                      Pcommit.control_range
+                        (Pcommit.Resolution { gid; decision });
+                    ]));
+            Hashtbl.replace to_force s ()
+          end)
+        e.e_holders)
+    evidence;
+  Hashtbl.iter (fun s () -> Log_manager.force managers.(s)) to_force
+
+(* --- initialization --- *)
+
+let initialize ?(options = Options.default) ?(clock = Clock.null)
+    ?(model = Cost_model.dec5000) ?obs ~routing ~logs ~resolve () =
+  let n = Routing.shards routing in
+  if Array.length logs <> n then
+    Types.error "initialize: %d log devices for %d shards" (Array.length logs)
+      n;
+  let obs = match obs with Some o -> o | None -> Registry.create () in
+  let in_flight = Hashtbl.create 8 in
+  let intent_decision gid =
+    if Hashtbl.mem in_flight gid then `Pending else `Abort
+  in
+  (* Cross-shard status resolution strictly before any shard recovers. *)
+  resolve_statuses logs;
+  let shards =
+    Array.map
+      (fun log ->
+        Rvm.initialize ~options ~clock ~model ~obs ~intent_decision ~log
+          ~resolve ())
+      logs
+  in
+  (* Seqnos only grow across recoveries of the same image, so folding them
+     into the gid makes every incarnation's gids distinct from whatever an
+     earlier run left in the logs — without consulting wall-clock time
+     (gids must be deterministic under crash-image replay). *)
+  let incarnation =
+    Array.fold_left
+      (fun acc r -> acc + Log_manager.next_seqno (Rvm.log_manager r))
+      0 shards
+  in
+  {
+    routing;
+    shards;
+    clock;
+    obs;
+    page_size = options.Options.page_size;
+    mappings = [];
+    next_vaddr = options.Options.page_size;
+    txns = Hashtbl.create 16;
+    next_gtid = 1;
+    incarnation;
+    in_flight;
+    unresolved = [];
+    retirable = [];
+    force_epoch = Array.make (Array.length shards) 0;
+    lanes = Array.init (Array.length shards) (fun _ -> Clock.lane ());
+    cross_committed = 0;
+    cross_aborted = 0;
+    terminated = false;
+  }
+
+let reinitialize ?options ?obs ~routing ~logs ~resolve () =
+  initialize ?options ~clock:(Clock.simulated ()) ~model:Cost_model.dec5000
+    ?obs ~routing ~logs ~resolve ()
+
+(* --- mapping and memory access --- *)
+
+let shard_of_seg t seg = Routing.shard_of t.routing ~seg
+
+let map t ?vaddr ~seg ~seg_off ~len () =
+  check_live t;
+  let shard = shard_of_seg t seg in
+  let vaddr =
+    match vaddr with
+    | Some v -> v
+    | None ->
+      let v = t.next_vaddr in
+      let pages = (len + t.page_size - 1) / t.page_size in
+      (* One guard page between regions, as Addr_space.suggest_vaddr does. *)
+      t.next_vaddr <- v + ((pages + 1) * t.page_size);
+      v
+  in
+  let region = Rvm.map t.shards.(shard) ~vaddr ~seg ~seg_off ~len () in
+  t.mappings <-
+    { m_lo = vaddr; m_hi = vaddr + len; m_shard = shard; m_region = region }
+    :: t.mappings;
+  if vaddr + len > t.next_vaddr then
+    t.next_vaddr <-
+      (vaddr + len + (2 * t.page_size) - 1) / t.page_size * t.page_size;
+  region
+
+let mapping_of_addr t ~addr ~len =
+  match
+    List.find_opt (fun m -> addr >= m.m_lo && addr + len <= m.m_hi) t.mappings
+  with
+  | Some m -> m
+  | None -> Types.error "shard: [%#x, %#x) is not mapped" addr (addr + len)
+
+let shard_of_addr t ~addr = (mapping_of_addr t ~addr ~len:1).m_shard
+
+let unmap t region =
+  check_live t;
+  let shard =
+    match
+      List.find_opt (fun m -> m.m_region == region) t.mappings
+    with
+    | Some m -> m.m_shard
+    | None -> Types.error "shard: unmap of unknown region"
+  in
+  Rvm.unmap t.shards.(shard) region;
+  t.mappings <- List.filter (fun m -> m.m_region != region) t.mappings
+
+let load t ~addr ~len =
+  let m = mapping_of_addr t ~addr ~len in
+  Clock.on_lane t.clock t.lanes.(m.m_shard) (fun () ->
+      Rvm.load t.shards.(m.m_shard) ~addr ~len)
+
+let store t ~addr bytes =
+  let m = mapping_of_addr t ~addr ~len:(Bytes.length bytes) in
+  Clock.on_lane t.clock t.lanes.(m.m_shard) (fun () ->
+      Rvm.store t.shards.(m.m_shard) ~addr bytes)
+
+let get_i64 t ~addr =
+  let m = mapping_of_addr t ~addr ~len:8 in
+  Clock.on_lane t.clock t.lanes.(m.m_shard) (fun () ->
+      Rvm.get_i64 t.shards.(m.m_shard) ~addr)
+
+let set_i64 t ~addr v =
+  let m = mapping_of_addr t ~addr ~len:8 in
+  Clock.on_lane t.clock t.lanes.(m.m_shard) (fun () ->
+      Rvm.set_i64 t.shards.(m.m_shard) ~addr v)
+
+(* --- transactions --- *)
+
+let begin_transaction t ~mode =
+  check_live t;
+  let gtid = t.next_gtid in
+  t.next_gtid <- gtid + 1;
+  Hashtbl.add t.txns gtid
+    { g_mode = mode; locals = Hashtbl.create 2; order = [] };
+  gtid
+
+let find_txn t gtid =
+  match Hashtbl.find_opt t.txns gtid with
+  | Some txn -> txn
+  | None -> Types.error "shard: unknown transaction %d" gtid
+
+let local_tid t txn shard =
+  match Hashtbl.find_opt txn.locals shard with
+  | Some tid -> tid
+  | None ->
+    let tid = Rvm.begin_transaction t.shards.(shard) ~mode:txn.g_mode in
+    Hashtbl.add txn.locals shard tid;
+    txn.order <- shard :: txn.order;
+    tid
+
+let set_range t gtid ~addr ~len =
+  check_live t;
+  let txn = find_txn t gtid in
+  let m = mapping_of_addr t ~addr ~len in
+  Clock.on_lane t.clock t.lanes.(m.m_shard) (fun () ->
+      let tid = local_tid t txn m.m_shard in
+      Rvm.set_range t.shards.(m.m_shard) tid ~addr ~len)
+
+let modify t gtid ~addr bytes =
+  set_range t gtid ~addr ~len:(Bytes.length bytes);
+  store t ~addr bytes
+
+let touched_shards t gtid =
+  let txn = find_txn t gtid in
+  List.sort compare
+    (Hashtbl.fold (fun shard _ acc -> shard :: acc) txn.locals [])
+
+let gid_of t gtid = Printf.sprintf "p%d.%d" t.incarnation gtid
+
+(* Append every unresolved no-flush cross-shard commit's resolutions: call
+   only right after a global flush made everything durable (the implicit
+   commits just became real). *)
+let mark_retirable t gid participants =
+  t.retirable <-
+    (gid, List.map (fun s -> (s, t.force_epoch.(s))) participants)
+    :: t.retirable
+
+let resolve_unresolved t =
+  List.iter
+    (fun (gid, participants) ->
+      List.iter
+        (fun s ->
+          Rvm.append_resolution t.shards.(s) ~gid
+            ~decision:Pcommit.Committed)
+        participants;
+      Hashtbl.remove t.in_flight gid;
+      mark_retirable t gid participants;
+      t.cross_committed <- t.cross_committed + 1)
+    (List.rev t.unresolved);
+  t.unresolved <- []
+
+(* One overlapped force round over the shards that actually hold
+   undurable state. Skipping clean shards keeps the sharded group-commit
+   cost proportional to the work batched — a singleton batch on one shard
+   costs one sync, not one per shard. *)
+let force_unflushed t =
+  let dirty =
+    Array.to_list t.shards
+    |> List.mapi (fun s r -> (s, r))
+    |> List.filter (fun (_, r) -> Rvm.unflushed r)
+  in
+  if dirty <> [] then begin
+    Clock.fork_join t.clock
+      (List.map (fun (_, r) () -> Rvm.flush r) dirty);
+    List.iter (fun (s, _) -> t.force_epoch.(s) <- t.force_epoch.(s) + 1) dirty
+  end
+
+(* Retire every resolved gid whose resolution copies are all durable: a
+   participant forced past its append epoch has the record on the device.
+   Purely bookkeeping — retirement never issues a force; copies not yet
+   durable simply ride along (re-appended across truncations) until an
+   ordinary force round covers them. *)
+let retire_durable t =
+  let pending, ready =
+    List.partition
+      (fun (_, parts) ->
+        List.exists (fun (s, epoch) -> t.force_epoch.(s) <= epoch) parts)
+      t.retirable
+  in
+  List.iter
+    (fun (gid, parts) ->
+      List.iter (fun (s, _) -> Rvm.retire_resolution t.shards.(s) ~gid) parts)
+    ready;
+  t.retirable <- pending
+
+let flush t =
+  check_live t;
+  (* The global force is a synchronization point: wait for every worker
+     to drain, then run the overlapped force round with them quiesced. *)
+  Clock.join_lanes t.clock (Array.to_list t.lanes);
+  force_unflushed t;
+  Array.iter (fun l -> l := Clock.now_us t.clock) t.lanes;
+  retire_durable t;
+  (* Resolutions appended below are deliberately not forced here: the
+     decision is recomputable from the intents and staged record the
+     round above just made durable, so they ride in the tails until the
+     next ordinary force — at which point [retire_durable] drops them. *)
+  resolve_unresolved t
+
+(* The parallel-commit write round for one cross-shard transaction. *)
+let end_cross t gtid txn ~mode participants =
+  let gid = gid_of t gtid in
+  Registry.span t.obs "txn.parallel_commit"
+    ~attrs:
+      [
+        ("gid", Rvm_obs.Trace.String gid);
+        ("shards", Rvm_obs.Trace.Int (List.length participants));
+      ]
+    (fun () ->
+      let coordinator = List.hd participants in
+      Hashtbl.replace t.in_flight gid ();
+      (* The one concurrent round: every participant's intent plus the
+         staged record on the coordinator, each appended by that shard's
+         own worker — the lanes advance independently, nothing
+         synchronizes yet. *)
+      List.iter
+        (fun s ->
+          Clock.on_lane t.clock t.lanes.(s) (fun () ->
+              let tid = Hashtbl.find txn.locals s in
+              Rvm.end_transaction_intent t.shards.(s) tid ~gid ~shard:s))
+        participants;
+      Clock.on_lane t.clock t.lanes.(coordinator) (fun () ->
+          Rvm.append_stage t.shards.(coordinator) ~gid ~participants);
+      match mode with
+      | Types.Flush ->
+        (* Parallel flush round: each participant forces on its own lane,
+           and the caller blocks until the slowest returns — the implicit
+           commit point. Convert to explicit before returning. *)
+        List.iter
+          (fun s ->
+            Clock.on_lane t.clock t.lanes.(s) (fun () ->
+                Rvm.flush t.shards.(s)))
+          participants;
+        Clock.join_lanes t.clock
+          (List.map (fun s -> t.lanes.(s)) participants);
+        List.iter
+          (fun s -> t.force_epoch.(s) <- t.force_epoch.(s) + 1)
+          participants;
+        List.iter
+          (fun s ->
+            Rvm.append_resolution t.shards.(s) ~gid
+              ~decision:Pcommit.Committed)
+          participants;
+        Hashtbl.remove t.in_flight gid;
+        mark_retirable t gid participants;
+        t.cross_committed <- t.cross_committed + 1
+      | Types.No_flush ->
+        (* Bounded persistence: the round sits in the per-shard tails
+           until a global {!flush} makes it durable and resolves it. *)
+        t.unresolved <- (gid, participants) :: t.unresolved)
+
+let end_transaction t gtid ~mode =
+  check_live t;
+  let txn = find_txn t gtid in
+  (match touched_shards t gtid with
+  | [] -> ()
+  | [ s ] ->
+    (* Single-shard: exactly the single-log commit path, on the shard's
+       worker. A Flush-mode caller blocks until the force returns; a
+       no-flush commit leaves the worker to drain on its own. *)
+    Clock.on_lane t.clock t.lanes.(s) (fun () ->
+        Rvm.end_transaction t.shards.(s) (Hashtbl.find txn.locals s) ~mode);
+    if mode = Types.Flush then Clock.join_lanes t.clock [ t.lanes.(s) ]
+  | participants -> end_cross t gtid txn ~mode participants);
+  Hashtbl.remove t.txns gtid
+
+let abort_transaction t gtid =
+  check_live t;
+  let txn = find_txn t gtid in
+  (* Only ever before the write round: once intents are appended the
+     protocol always commits (there is no in-process abort-after-intent
+     path), so aborting is plain local aborts shard by shard. *)
+  Hashtbl.iter
+    (fun shard tid ->
+      Clock.on_lane t.clock t.lanes.(shard) (fun () ->
+          Rvm.abort_transaction t.shards.(shard) tid))
+    txn.locals;
+  (* The caller owns the restored memory image before it continues. *)
+  Clock.join_lanes t.clock
+    (Hashtbl.fold (fun shard _ acc -> t.lanes.(shard) :: acc) txn.locals []);
+  if Hashtbl.length txn.locals > 1 then
+    t.cross_aborted <- t.cross_aborted + 1;
+  Hashtbl.remove t.txns gtid
+
+(* --- log control / lifecycle --- *)
+
+let truncate t =
+  check_live t;
+  flush t;
+  Array.iter Rvm.truncate t.shards
+
+let spool_pressure t =
+  Array.fold_left (fun acc r -> Float.max acc (Rvm.spool_pressure r)) 0.
+    t.shards
+
+let active_transactions t = Hashtbl.length t.txns
+
+let terminate t =
+  check_live t;
+  if active_transactions t > 0 then
+    Types.error "terminate: %d transactions still active"
+      (active_transactions t);
+  flush t;
+  Array.iter Rvm.terminate t.shards;
+  t.terminated <- true

@@ -1,0 +1,39 @@
+module Types = Rvm_core.Types
+
+type t = { shards : int; table : (int, int) Hashtbl.t option }
+
+let validate_shards shards =
+  if shards < 1 then Types.error "routing: shard count %d < 1" shards
+
+let modulo ~shards =
+  validate_shards shards;
+  { shards; table = None }
+
+let of_table ~shards assignments =
+  validate_shards shards;
+  let table = Hashtbl.create (List.length assignments) in
+  List.iter
+    (fun (seg, shard) ->
+      if seg < 0 then Types.error "routing: negative segment id %d" seg;
+      if shard < 0 || shard >= shards then
+        Types.error "routing: segment %d -> shard %d out of [0, %d)" seg shard
+          shards;
+      (match Hashtbl.find_opt table seg with
+      | Some other when other <> shard ->
+        Types.error "routing: segment %d assigned to both %d and %d" seg other
+          shard
+      | _ -> ());
+      Hashtbl.replace table seg shard)
+    assignments;
+  { shards; table = Some table }
+
+let shards t = t.shards
+
+let shard_of t ~seg =
+  if seg < 0 then Types.error "routing: negative segment id %d" seg;
+  match t.table with
+  | None -> seg mod t.shards
+  | Some table -> (
+    match Hashtbl.find_opt table seg with
+    | Some s -> s
+    | None -> seg mod t.shards)

@@ -1,0 +1,20 @@
+(** Segment-to-shard routing for the multi-log engine.
+
+    Every segment belongs to exactly one shard (one log device, one
+    truncation schedule); a transaction whose segments all route to one
+    shard commits exactly as the single-log engine does, and anything else
+    goes through parallel commit ({!Multi}). The map is static for an
+    instance's lifetime — it must be: log records name segments, so a
+    segment's records must keep landing in the same log across recoveries. *)
+
+type t
+
+val modulo : shards:int -> t
+(** Segment [s] lives on shard [s mod shards]. *)
+
+val of_table : shards:int -> (int * int) list -> t
+(** Explicit [(segment, shard)] assignments; unlisted segments fall back to
+    modulo. Rejects out-of-range shards and conflicting duplicates. *)
+
+val shards : t -> int
+val shard_of : t -> seg:int -> int

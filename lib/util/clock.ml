@@ -58,6 +58,47 @@ let drain_backlog t =
     t.backlog <- 0.
   end
 
+type lane = float ref
+
+let lane () = ref 0.
+
+let on_lane t lane f =
+  if not t.enabled then f ()
+  else begin
+    (* The dispatching thread hands the work to the lane's worker and
+       continues: its own time is unchanged. The work starts when the
+       worker is free and the dispatch has happened, whichever is later. *)
+    let dispatch = t.now in
+    t.now <- Float.max dispatch !lane;
+    Fun.protect
+      ~finally:(fun () ->
+        lane := t.now;
+        t.now <- dispatch)
+      f
+  end
+
+let join_lanes t lanes =
+  if t.enabled then begin
+    (* The dispatching thread blocks until every worker has drained. *)
+    let finish = List.fold_left (fun acc l -> Float.max acc !l) t.now lanes in
+    t.now <- finish;
+    List.iter (fun l -> l := finish) lanes
+  end
+
+let fork_join t branches =
+  if not t.enabled then List.iter (fun f -> f ()) branches
+  else begin
+    let start = t.now in
+    let finish = ref start in
+    List.iter
+      (fun f ->
+        t.now <- start;
+        f ();
+        if t.now > !finish then finish := t.now)
+      branches;
+    t.now <- !finish
+  end
+
 let cpu_us t = t.cpu
 let io_us t = t.io
 let backlog_us t = t.backlog

@@ -18,6 +18,8 @@ let () =
       ("workload", Test_workload.suite);
       ("props", Test_props.suite);
       ("check", Test_check.suite);
+      ("shard", Test_shard.suite);
+      ("shard-check", Test_shard_check.suite);
       ("harness", Test_harness.suite);
       ("pds", Test_pds.suite);
       ("server", Test_server.suite);

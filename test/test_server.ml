@@ -11,7 +11,9 @@ module Request = Rvm_server.Request
 module Admission = Rvm_server.Admission
 module Batcher = Rvm_server.Batcher
 module Arrivals = Rvm_server.Arrivals
-module Rvm = Rvm_core.Rvm
+module Engine = Rvm_server.Engine
+module Placement = Rvm_server.Placement
+module Multi = Rvm_shard.Multi
 module Tpca = Rvm_workload.Tpca
 module Registry = Rvm_obs.Registry
 module Rng = Rvm_util.Rng
@@ -231,36 +233,60 @@ let replay_specs cfg =
   in
   List.init cfg.S.requests (fun _ -> Request.fresh gen)
 
-let read_i64 rvm ~addr = Bytes.get_int64_le (Rvm.load rvm ~addr ~len:8) 0
+(* Serial reference generalized over placement: teller and branch records
+   are per-shard (the Payment's updates land on its account's shard), so
+   the reference keys them by (shard, index). With shards = 1 this is
+   exactly [Request.apply_model]. *)
+let apply_sharded spec ~shards ~accounts ~tellers ~branches =
+  let add arr i d = arr.(i) <- Int64.add arr.(i) d in
+  match spec.Request.kind with
+  | Request.Payment ->
+    let s = spec.Request.account mod shards in
+    add accounts spec.Request.account spec.Request.delta;
+    add tellers ((s * Tpca.tellers) + spec.Request.teller) spec.Request.delta;
+    add branches
+      ((s * Tpca.branches) + (spec.Request.teller mod Tpca.branches))
+      spec.Request.delta
+  | Request.Transfer ->
+    add accounts spec.Request.account spec.Request.delta;
+    add accounts spec.Request.account2 (Int64.neg spec.Request.delta)
 
 let check_balances cfg (w : S.world) =
-  let l = w.S.layout in
+  let pl = w.S.placement in
+  let n = cfg.S.shards in
+  let read_i64 ~addr =
+    Bytes.get_int64_le (w.S.engine.Engine.load ~addr ~len:8) 0
+  in
   let accounts = Array.make cfg.S.accounts 0L in
-  let tellers = Array.make Tpca.tellers 0L in
-  let branches = Array.make Tpca.branches 0L in
+  let tellers = Array.make (n * Tpca.tellers) 0L in
+  let branches = Array.make (n * Tpca.branches) 0L in
   List.iter
-    (fun spec -> Request.apply_model spec ~accounts ~tellers ~branches)
+    (fun spec -> apply_sharded spec ~shards:n ~accounts ~tellers ~branches)
     (replay_specs cfg);
   Array.iteri
     (fun i expected ->
       Alcotest.(check int64)
         (Printf.sprintf "account %d" i)
         expected
-        (read_i64 w.S.rvm ~addr:(Tpca.account_addr l i)))
+        (read_i64 ~addr:(Placement.account_addr pl i)))
     accounts;
+  (* account index s lives on shard s (s < shards <= accounts), so it
+     anchors reads of shard s's teller and branch records *)
   Array.iteri
-    (fun i expected ->
+    (fun id expected ->
+      let s = id / Tpca.tellers and i = id mod Tpca.tellers in
       Alcotest.(check int64)
-        (Printf.sprintf "teller %d" i)
+        (Printf.sprintf "teller %d of shard %d" i s)
         expected
-        (read_i64 w.S.rvm ~addr:(Tpca.teller_addr l i)))
+        (read_i64 ~addr:(Placement.teller_addr pl ~anchor:s i)))
     tellers;
   Array.iteri
-    (fun i expected ->
+    (fun id expected ->
+      let s = id / Tpca.branches and i = id mod Tpca.branches in
       Alcotest.(check int64)
-        (Printf.sprintf "branch %d" i)
+        (Printf.sprintf "branch %d of shard %d" i s)
         expected
-        (read_i64 w.S.rvm ~addr:(Tpca.branch_addr l i)))
+        (read_i64 ~addr:(Placement.branch_addr pl ~anchor:s i)))
     branches
 
 let test_balances_match_serial_reference () =
@@ -271,6 +297,69 @@ let test_balances_match_serial_reference () =
   let w, tally = S.run_with_world hot_cfg in
   check_int "all committed" hot_cfg.S.requests tally.Scheduler.committed;
   check_balances hot_cfg w
+
+(* --- end-to-end: the sharded server --- *)
+
+let sharded_cfg =
+  (* enough transfer traffic over interleaved accounts that many requests
+     cross shards, and hot enough that some deadlock and retry *)
+  {
+    S.default_config with
+    S.accounts = 16;
+    S.shards = 2;
+    S.zipf_s = 0.9;
+    S.transfer_pct = 60;
+    S.requests = 150;
+    S.load = S.Open_loop 80.;
+    S.batch_max = 4;
+    S.max_queue = 400;
+  }
+
+let test_sharded_balances_and_cross_commits () =
+  let w, tally = S.run_with_world sharded_cfg in
+  check_int "all committed" sharded_cfg.S.requests tally.Scheduler.committed;
+  check_balances sharded_cfg w;
+  match w.S.backend with
+  | S.Single _ -> Alcotest.fail "expected a sharded backend"
+  | S.Sharded m ->
+    check_int "two shards" 2 (Multi.shard_count m);
+    check_bool "cross-shard transactions committed" true
+      (Multi.cross_committed m > 0)
+
+let test_sharded_deterministic () =
+  let r1 = S.run sharded_cfg and r2 = S.run sharded_cfg in
+  check_bool "identical results" true (r1 = r2);
+  check_bool "cross commits counted" true (r1.S.cross_committed > 0)
+
+let test_sharded_payments_never_cross () =
+  (* co-location at work: with no transfers, every request is a Payment
+     and commits single-shard even on a 4-shard world *)
+  let cfg =
+    {
+      sharded_cfg with
+      S.shards = 4;
+      S.transfer_pct = 0;
+      S.accounts = 32;
+      S.requests = 120;
+    }
+  in
+  let w, tally = S.run_with_world cfg in
+  check_int "all committed" cfg.S.requests tally.Scheduler.committed;
+  check_balances cfg w;
+  match w.S.backend with
+  | S.Single _ -> Alcotest.fail "expected a sharded backend"
+  | S.Sharded m ->
+    check_int "no cross-shard traffic" 0
+      (Multi.cross_committed m + Multi.cross_aborted m)
+
+let test_sharded_batching_fewer_syncs () =
+  let base = { sharded_cfg with S.load = S.Open_loop 40. } in
+  let r1 = S.run { base with S.batch_max = 1 } in
+  let r8 = S.run { base with S.batch_max = 8 } in
+  check_bool "batched strictly fewer syncs/commit on shards" true
+    (r8.S.syncs_per_commit < r1.S.syncs_per_commit);
+  check_bool "batched commits no fewer requests" true
+    (r8.S.committed >= r1.S.committed)
 
 (* --- end-to-end: req.root parents txn.commit in the trace --- *)
 
@@ -309,6 +398,7 @@ let gen_cfg =
   QCheck.Gen.(
     int_range 1 10_000 >>= fun seed ->
     int_range 4 64 >>= fun accounts ->
+    frequency [ (2, return 1); (2, return 2); (1, return 3) ] >>= fun shards ->
     int_range 0 100 >>= fun transfer_pct ->
     int_range 0 15 >>= fun zipf_tenths ->
     frequency [ (1, return 1); (3, int_range 2 16) ] >>= fun batch_max ->
@@ -328,6 +418,7 @@ let gen_cfg =
         S.default_config with
         S.seed = Int64.of_int seed;
         accounts;
+        shards;
         transfer_pct;
         zipf_s = float_of_int zipf_tenths /. 10.;
         batch_max;
@@ -341,9 +432,9 @@ let gen_cfg =
 
 let print_cfg (c : S.config) =
   Printf.sprintf
-    "{seed=%Ld accounts=%d transfer=%d%% zipf=%.1f batch=%d inflight=%d \
-     requests=%d load=%s}"
-    c.S.seed c.S.accounts c.S.transfer_pct c.S.zipf_s c.S.batch_max
+    "{seed=%Ld accounts=%d shards=%d transfer=%d%% zipf=%.1f batch=%d \
+     inflight=%d requests=%d load=%s}"
+    c.S.seed c.S.accounts c.S.shards c.S.transfer_pct c.S.zipf_s c.S.batch_max
     c.S.max_inflight c.S.requests (S.load_name c.S.load)
 
 let prop_no_hang_and_serial_balances =
@@ -378,6 +469,16 @@ let suite =
     ( "server.balances-match-serial-reference",
       `Quick,
       test_balances_match_serial_reference );
+    ( "server.sharded-balances-and-cross-commits",
+      `Quick,
+      test_sharded_balances_and_cross_commits );
+    ("server.sharded-deterministic", `Quick, test_sharded_deterministic);
+    ( "server.sharded-payments-never-cross",
+      `Quick,
+      test_sharded_payments_never_cross );
+    ( "server.sharded-batching-fewer-syncs",
+      `Quick,
+      test_sharded_batching_fewer_syncs );
     ("server.trace-parents-commits", `Quick, test_trace_parenting);
     QCheck_alcotest.to_alcotest prop_no_hang_and_serial_balances;
   ]

@@ -1,0 +1,508 @@
+(* Tests for the sharded multi-log engine and its parallel-commit
+   protocol: routing, single-shard equivalence, cross-shard atomicity
+   through crashes, the pure state machine, and recovery hygiene. *)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Device = Rvm_disk.Device
+module Record = Rvm_log.Record
+module Pcommit = Rvm_log.Pcommit
+module Log_manager = Rvm_log.Log_manager
+module Clock = Rvm_util.Clock
+module Routing = Rvm_shard.Routing
+module Multi = Rvm_shard.Multi
+module Twopc = Rvm_layers.Twopc
+module Parallel = Twopc.Parallel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let ps = 4096
+
+(* One world: [shards] log devices, segments 1..[segs] (seg s -> shard
+   s mod shards), each mapped for two pages. Returns the instance, the
+   per-segment base vaddrs, and a reopen function that mounts the same
+   devices again (simulating a crash: nothing is terminated first). *)
+let make_world ?(shards = 2) ?(segs = 0) () =
+  let segs = if segs = 0 then shards else segs in
+  let logs =
+    Array.init shards (fun i ->
+        Mem_device.create ~name:(Printf.sprintf "log%d" i)
+          ~size:(512 * 1024) ())
+  in
+  Multi.create_logs logs;
+  let seg_devs = Hashtbl.create 4 in
+  let resolve id =
+    match Hashtbl.find_opt seg_devs id with
+    | Some d -> d
+    | None ->
+      let d =
+        Mem_device.create ~name:(Printf.sprintf "seg%d" id)
+          ~size:(64 * 1024) ()
+      in
+      Hashtbl.add seg_devs id d;
+      d
+  in
+  let routing = Routing.modulo ~shards in
+  let open_world () =
+    let m = Multi.initialize ~routing ~logs ~resolve () in
+    let vaddrs =
+      Array.init segs (fun i ->
+          let r = Multi.map m ~seg:(i + 1) ~seg_off:0 ~len:(2 * ps) () in
+          r.Region.vaddr)
+    in
+    (m, vaddrs)
+  in
+  let m, vaddrs = open_world () in
+  (m, vaddrs, open_world)
+
+let read m ~addr ~len = Bytes.to_string (Multi.load m ~addr ~len)
+
+let expect_error name f =
+  match f () with
+  | exception _ -> ()
+  | _ -> Alcotest.failf "%s: expected an exception" name
+
+let write_all m gtid vaddrs value =
+  Array.iter
+    (fun a -> Multi.modify m gtid ~addr:a (Bytes.of_string value))
+    vaddrs
+
+(* --- routing --- *)
+
+let test_routing_modulo () =
+  let r = Routing.modulo ~shards:3 in
+  check_int "shards" 3 (Routing.shards r);
+  check_int "seg 4" 1 (Routing.shard_of r ~seg:4);
+  check_int "seg 9" 0 (Routing.shard_of r ~seg:9)
+
+let test_routing_table () =
+  let r = Routing.of_table ~shards:2 [ (5, 1); (6, 1) ] in
+  check_int "explicit" 1 (Routing.shard_of r ~seg:5);
+  check_int "fallback modulo" 0 (Routing.shard_of r ~seg:4)
+
+let test_routing_rejects_bad () =
+  let bad f = expect_error "rejected" f in
+  bad (fun () -> ignore (Routing.modulo ~shards:0));
+  bad (fun () -> ignore (Routing.of_table ~shards:2 [ (1, 2) ]));
+  bad (fun () -> ignore (Routing.of_table ~shards:2 [ (1, 0); (1, 1) ]));
+  bad (fun () -> ignore (Routing.shard_of (Routing.modulo ~shards:2) ~seg:(-1)))
+
+(* --- single-shard equivalence --- *)
+
+let test_single_shard_commit () =
+  let m, v, _ = make_world ~shards:2 () in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  Multi.modify m g ~addr:v.(0) (Bytes.of_string "only-one");
+  check_int "one shard touched" 1 (List.length (Multi.touched_shards m g));
+  Multi.end_transaction m g ~mode:Types.Flush;
+  check_str "visible" "only-one" (read m ~addr:v.(0) ~len:8);
+  check_int "no cross-shard commit" 0 (Multi.cross_committed m);
+  Multi.terminate m
+
+let test_single_shard_durable () =
+  let m, v, reopen = make_world ~shards:2 () in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  Multi.modify m g ~addr:v.(1) (Bytes.of_string "durable!");
+  Multi.end_transaction m g ~mode:Types.Flush;
+  (* Crash: reopen the same devices without terminating. *)
+  let m2, v2 = reopen () in
+  check_str "recovered" "durable!" (read m2 ~addr:v2.(1) ~len:8)
+
+let test_single_shard_abort () =
+  let m, v, _ = make_world ~shards:2 () in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  Multi.modify m g ~addr:v.(0) (Bytes.of_string "gone");
+  Multi.abort_transaction m g;
+  check_str "restored" "\000\000\000\000" (read m ~addr:v.(0) ~len:4);
+  check_int "not a cross abort" 0 (Multi.cross_aborted m)
+
+(* --- cross-shard commit --- *)
+
+let test_cross_shard_commit () =
+  let m, v, _ = make_world ~shards:2 () in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  write_all m g v "both!";
+  check_int "two shards" 2 (List.length (Multi.touched_shards m g));
+  Multi.end_transaction m g ~mode:Types.Flush;
+  check_str "shard 0 visible" "both!" (read m ~addr:v.(1) ~len:5);
+  check_str "shard 1 visible" "both!" (read m ~addr:v.(0) ~len:5);
+  check_int "one cross-shard commit" 1 (Multi.cross_committed m);
+  Multi.terminate m
+
+let test_cross_shard_durable_without_resolutions () =
+  (* A flush-mode parallel commit acks at the implicit-commit point; the
+     explicit resolutions are appended unforced. Crashing right then must
+     still recover the transaction on every shard — that is the whole
+     point of the status-resolution pass. *)
+  let m, v, reopen = make_world ~shards:3 ~segs:3 () in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  write_all m g v "3-way";
+  Multi.end_transaction m g ~mode:Types.Flush;
+  let m2, v2 = reopen () in
+  Array.iter
+    (fun a -> check_str "recovered everywhere" "3-way" (read m2 ~addr:a ~len:5))
+    v2
+
+let test_cross_shard_recover_twice () =
+  let m, v, reopen = make_world ~shards:2 () in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  write_all m g v "twice";
+  Multi.end_transaction m g ~mode:Types.Flush;
+  let m2, _ = reopen () in
+  ignore m2;
+  (* Second recovery of the same devices in the same process: the first
+     one's status resolution and log emptying must leave a state that
+     recovers again cleanly. *)
+  let m3, v3 = reopen () in
+  Array.iter
+    (fun a -> check_str "still there" "twice" (read m3 ~addr:a ~len:5))
+    v3;
+  ignore (m, v)
+
+let test_cross_shard_no_flush_then_flush () =
+  let m, v, reopen = make_world ~shards:2 () in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  write_all m g v "spool";
+  Multi.end_transaction m g ~mode:Types.No_flush;
+  Multi.flush m;
+  let m2, v2 = reopen () in
+  Array.iter
+    (fun a -> check_str "durable after flush" "spool" (read m2 ~addr:a ~len:5))
+    v2
+
+let test_cross_shard_abort_before_round () =
+  let m, v, _ = make_world ~shards:2 () in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  write_all m g v "nope!";
+  Multi.abort_transaction m g;
+  Array.iter
+    (fun a -> check_str "restored" "\000\000\000\000\000" (read m ~addr:a ~len:5))
+    v;
+  check_int "counted as cross abort" 1 (Multi.cross_aborted m);
+  Multi.terminate m
+
+let test_interleaved_single_and_cross () =
+  let m, v, reopen = make_world ~shards:2 () in
+  for i = 1 to 5 do
+    let g = Multi.begin_transaction m ~mode:Types.Restore in
+    let value = Printf.sprintf "c%04d" i in
+    if i mod 2 = 0 then write_all m g v value
+    else Multi.modify m g ~addr:v.(i mod 2) (Bytes.of_string value);
+    Multi.end_transaction m g ~mode:Types.Flush
+  done;
+  let m2, v2 = reopen () in
+  (* Odd iterations (last: 5) wrote only v.(1); even ones (last: 4) both. *)
+  check_str "seg1 latest" "c0004" (read m2 ~addr:v2.(0) ~len:5);
+  check_str "seg2 latest" "c0005" (read m2 ~addr:v2.(1) ~len:5)
+
+(* --- crash images: partial evidence must abort, full must commit --- *)
+
+(* Run a cross-shard commit but snapshot the log devices at a chosen point
+   by copying their bytes; then mount the copies and recover. *)
+let crash_copy devs =
+  Array.map (fun d -> Mem_device.of_bytes (Device.read_bytes d ~off:0 ~len:d.Device.size)) devs
+
+let make_cross_image () =
+  let shards = 2 in
+  let logs =
+    Array.init shards (fun i ->
+        Mem_device.create ~name:(Printf.sprintf "log%d" i)
+          ~size:(512 * 1024) ())
+  in
+  Multi.create_logs logs;
+  let seg_devs = Hashtbl.create 4 in
+  let resolve id =
+    match Hashtbl.find_opt seg_devs id with
+    | Some d -> d
+    | None ->
+      let d =
+        Mem_device.create ~name:(Printf.sprintf "seg%d" id)
+          ~size:(64 * 1024) ()
+      in
+      Hashtbl.add seg_devs id d;
+      d
+  in
+  let routing = Routing.modulo ~shards in
+  let m = Multi.initialize ~routing ~logs ~resolve () in
+  let v =
+    Array.init 2 (fun i ->
+        (Multi.map m ~seg:(i + 1) ~seg_off:0 ~len:(2 * ps) ()).Region.vaddr)
+  in
+  let g = Multi.begin_transaction m ~mode:Types.Restore in
+  write_all m g v "XSHRD";
+  Multi.end_transaction m g ~mode:Types.Flush;
+  (* Crash image: both intents + staged record durable, resolutions not
+     forced (they are sitting in the tail spools of [m], which we drop). *)
+  let log_copy = crash_copy logs in
+  (log_copy, resolve, routing, v)
+
+let recover_image (logs, resolve, routing) =
+  Multi.reinitialize ~routing ~logs ~resolve ()
+
+let test_image_full_evidence_commits () =
+  let logs, resolve, routing, v = make_cross_image () in
+  let m = recover_image (logs, resolve, routing) in
+  Array.iteri
+    (fun i a ->
+      let r = Multi.map m ~vaddr:a ~seg:(i + 1) ~seg_off:0 ~len:(2 * ps) () in
+      ignore r)
+    v;
+  Array.iter
+    (fun a -> check_str "implicit commit honored" "XSHRD" (read m ~addr:a ~len:5))
+    v
+
+let test_image_corrupt_intent_aborts () =
+  (* Mutation detection (ISSUE satellite): flip one byte inside shard 1's
+     intent record. Its checksum now fails, the record is invisible to the
+     scanner, the implicit-commit condition is unprovable, and recovery
+     must refuse the commit on EVERY shard. *)
+  let logs, resolve, routing, v = make_cross_image () in
+  (* Find shard 1's intent record offset by scanning the raw log. *)
+  let lm =
+    match Log_manager.open_log logs.(1) with
+    | Ok lm -> lm
+    | Error e -> Alcotest.failf "open_log: %s" e
+  in
+  let intent_off = ref (-1) in
+  Log_manager.iter_live lm ~f:(fun ~off r ->
+      match Pcommit.classify r with
+      | `Control (Pcommit.Intent _) -> intent_off := off
+      | _ -> ());
+  check_bool "found the intent" true (!intent_off >= 0);
+  (* Corrupt one payload byte mid-record (well past the 39-byte header). *)
+  let b = Device.read_bytes logs.(1) ~off:(!intent_off + 45) ~len:1 in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  Device.write_bytes logs.(1) ~off:(!intent_off + 45) b;
+  let m = recover_image (logs, resolve, routing) in
+  Array.iteri
+    (fun i a ->
+      ignore (Multi.map m ~vaddr:a ~seg:(i + 1) ~seg_off:0 ~len:(2 * ps) ()))
+    v;
+  Array.iter
+    (fun a ->
+      check_str "refused on every shard" "\000\000\000\000\000"
+        (read m ~addr:a ~len:5))
+    v
+
+let test_image_missing_stage_aborts () =
+  (* Orphan abort: wipe the coordinator's log (shard 0 holds the staged
+     record). Without it the implicit commit is unprovable even though
+     shard 1's intent survived intact. Zero the whole device before
+     formatting — a bare reformat leaves the old record bytes in place and
+     the forward scan would adopt them again. *)
+  let logs, resolve, routing, v = make_cross_image () in
+  Device.write_bytes logs.(0) ~off:0
+    (Bytes.make logs.(0).Device.size '\000');
+  Rvm.create_log logs.(0);
+  let m = recover_image (logs, resolve, routing) in
+  Array.iteri
+    (fun i a ->
+      ignore (Multi.map m ~vaddr:a ~seg:(i + 1) ~seg_off:0 ~len:(2 * ps) ()))
+    v;
+  Array.iter
+    (fun a ->
+      check_str "orphan aborted" "\000\000\000\000\000" (read m ~addr:a ~len:5))
+    v
+
+(* --- the pure protocol core --- *)
+
+let test_resolve_implicit_commit () =
+  let e =
+    { Parallel.staged = Some [ 0; 1; 2 ]; intents = [ 2; 0; 1 ];
+      resolutions = [] }
+  in
+  check_bool "implicit commit" true (Parallel.resolve e = Pcommit.Committed)
+
+let test_resolve_orphan_missing_stage () =
+  let e = { Parallel.staged = None; intents = [ 0; 1 ]; resolutions = [] } in
+  check_bool "orphan aborts" true (Parallel.resolve e = Pcommit.Aborted)
+
+let test_resolve_orphan_missing_intent () =
+  let e =
+    { Parallel.staged = Some [ 0; 1 ]; intents = [ 0 ]; resolutions = [] }
+  in
+  check_bool "missing intent aborts" true (Parallel.resolve e = Pcommit.Aborted)
+
+let test_resolve_explicit_wins () =
+  (* An explicit resolution outranks the implicit evidence — even when the
+     evidence alone would say the opposite. *)
+  let e =
+    { Parallel.staged = Some [ 0; 1 ]; intents = [ 0 ];
+      resolutions = [ Pcommit.Committed ] }
+  in
+  check_bool "explicit commit wins" true (Parallel.resolve e = Pcommit.Committed);
+  let e =
+    { Parallel.staged = Some [ 0; 1 ]; intents = [ 0; 1 ];
+      resolutions = [ Pcommit.Aborted ] }
+  in
+  check_bool "explicit abort wins" true (Parallel.resolve e = Pcommit.Aborted)
+
+let test_resolve_contradiction_refuses () =
+  let e =
+    { Parallel.staged = None; intents = [];
+      resolutions = [ Pcommit.Committed; Pcommit.Aborted ] }
+  in
+  expect_error "contradiction" (fun () -> ignore (Parallel.resolve e))
+
+let test_state_machine_happy_path () =
+  let open Parallel in
+  let s = Pending in
+  let s = Result.get_ok (step s Write_round) in
+  let s = Result.get_ok (step s All_durable) in
+  let s = Result.get_ok (step s (Resolve Pcommit.Committed)) in
+  check_str "explicit" "explicit-commit" (state_name s);
+  (* Idempotent re-resolution (one record per participant log). *)
+  let s = Result.get_ok (step s (Resolve Pcommit.Committed)) in
+  check_str "still explicit" "explicit-commit" (state_name s)
+
+let test_state_machine_orphan_abort () =
+  let open Parallel in
+  let s = Result.get_ok (step Pending Write_round) in
+  let s = Result.get_ok (step s (Resolve Pcommit.Aborted)) in
+  check_str "aborted" "explicit-abort" (state_name s)
+
+let test_state_machine_illegal_moves () =
+  let open Parallel in
+  let illegal s e = check_bool "illegal" true (Result.is_error (step s e)) in
+  (* Committing before full durability is the protocol's forbidden move. *)
+  illegal Staged_in_flight (Resolve Pcommit.Committed);
+  illegal Pending (Resolve Pcommit.Committed);
+  (* And aborting after the implicit-commit point is lost money. *)
+  illegal Implicit (Resolve Pcommit.Aborted);
+  illegal (Explicit Pcommit.Committed) (Resolve Pcommit.Aborted);
+  illegal Pending All_durable
+
+(* --- clock fork/join --- *)
+
+let test_fork_join_overlaps () =
+  let c = Clock.simulated () in
+  Clock.charge_cpu c 10.;
+  Clock.fork_join c
+    [
+      (fun () -> Clock.charge_io c 100.);
+      (fun () -> Clock.charge_io c 40.);
+      (fun () -> Clock.charge_io c 70.);
+    ];
+  (* Wall time = start + max branch; io = sum of branches. *)
+  check_int "wall" 110 (int_of_float (Clock.now_us c));
+  check_int "io total" 210 (int_of_float (Clock.io_us c))
+
+let test_fork_join_null_clock () =
+  let hits = ref 0 in
+  Clock.fork_join Clock.null [ (fun () -> incr hits); (fun () -> incr hits) ];
+  check_int "branches ran" 2 !hits
+
+(* --- twopc recovery hygiene (recover twice in one process) --- *)
+
+let test_twopc_recover_twice_no_leak () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(512 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(128 * 1024) () in
+  let open_rvm () =
+    let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+    let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(4 * ps) () in
+    (rvm, r)
+  in
+  let rvm, region = open_rvm () in
+  let sub = Twopc.sub_create ~name:"site" rvm in
+  let coord = Twopc.coordinator_create rvm ~decision_region:region in
+  (* Leave a branch mid-flight, then "crash" and recover. *)
+  Twopc.sub_begin sub "gid-1";
+  Twopc.sub_modify sub "gid-1" ~addr:(region.Region.vaddr + 1024)
+    (Bytes.of_string "half");
+  let rvm2, region2 = open_rvm () in
+  Twopc.sub_reset ~rvm:rvm2 sub;
+  Twopc.coordinator_reset coord rvm2 ~decision_region:region2;
+  check_int "no ghost branches" 0 (List.length (Twopc.sub_in_doubt sub));
+  (* The same gid must be usable again — before the reset fix this raised
+     "branch already active". *)
+  Twopc.sub_begin sub "gid-1";
+  Twopc.sub_modify sub "gid-1" ~addr:(region2.Region.vaddr + 1024)
+    (Bytes.of_string "full");
+  ignore (Twopc.sub_prepare sub "gid-1");
+  Twopc.sub_commit sub "gid-1";
+  (* Second recovery in the same process, same drill. *)
+  let rvm3, region3 = open_rvm () in
+  Twopc.sub_reset ~rvm:rvm3 sub;
+  Twopc.coordinator_reset coord rvm3 ~decision_region:region3;
+  check_int "still no ghosts" 0 (List.length (Twopc.sub_in_doubt sub));
+  Twopc.sub_begin sub "gid-1";
+  ignore (Twopc.sub_prepare sub "gid-1");
+  Twopc.sub_commit sub "gid-1";
+  ignore rvm
+
+let test_twopc_decisions_survive_reset () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(512 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(128 * 1024) () in
+  let open_rvm () =
+    let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+    let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(4 * ps) () in
+    (rvm, r)
+  in
+  let rvm, region = open_rvm () in
+  let subs = [ Twopc.sub_create ~name:"a" rvm ] in
+  let coord = Twopc.coordinator_create rvm ~decision_region:region in
+  let d =
+    Twopc.run coord "gid-keep" ~participants:subs
+      ~work:(fun s ->
+        Twopc.sub_modify s "gid-keep" ~addr:(region.Region.vaddr + 2048)
+          (Bytes.of_string "kept"))
+      ()
+  in
+  check_bool "committed" true (d = Twopc.Committed);
+  let rvm2, region2 = open_rvm () in
+  Twopc.coordinator_reset coord rvm2 ~decision_region:region2;
+  check_bool "decision durable across reset" true
+    (Twopc.lookup_decision coord "gid-keep" = Some Twopc.Committed)
+
+let suite =
+  [
+    Alcotest.test_case "routing: modulo" `Quick test_routing_modulo;
+    Alcotest.test_case "routing: table" `Quick test_routing_table;
+    Alcotest.test_case "routing: validation" `Quick test_routing_rejects_bad;
+    Alcotest.test_case "single-shard commit" `Quick test_single_shard_commit;
+    Alcotest.test_case "single-shard durable" `Quick test_single_shard_durable;
+    Alcotest.test_case "single-shard abort" `Quick test_single_shard_abort;
+    Alcotest.test_case "cross-shard commit" `Quick test_cross_shard_commit;
+    Alcotest.test_case "cross-shard durable before resolutions" `Quick
+      test_cross_shard_durable_without_resolutions;
+    Alcotest.test_case "cross-shard recover twice" `Quick
+      test_cross_shard_recover_twice;
+    Alcotest.test_case "cross-shard no-flush + flush" `Quick
+      test_cross_shard_no_flush_then_flush;
+    Alcotest.test_case "cross-shard abort before round" `Quick
+      test_cross_shard_abort_before_round;
+    Alcotest.test_case "interleaved single and cross" `Quick
+      test_interleaved_single_and_cross;
+    Alcotest.test_case "image: full evidence commits" `Quick
+      test_image_full_evidence_commits;
+    Alcotest.test_case "image: corrupt intent refuses commit" `Quick
+      test_image_corrupt_intent_aborts;
+    Alcotest.test_case "image: missing staged record aborts" `Quick
+      test_image_missing_stage_aborts;
+    Alcotest.test_case "resolve: implicit commit" `Quick
+      test_resolve_implicit_commit;
+    Alcotest.test_case "resolve: orphan, no staged record" `Quick
+      test_resolve_orphan_missing_stage;
+    Alcotest.test_case "resolve: orphan, missing intent" `Quick
+      test_resolve_orphan_missing_intent;
+    Alcotest.test_case "resolve: explicit wins" `Quick
+      test_resolve_explicit_wins;
+    Alcotest.test_case "resolve: contradiction refuses" `Quick
+      test_resolve_contradiction_refuses;
+    Alcotest.test_case "state machine: happy path" `Quick
+      test_state_machine_happy_path;
+    Alcotest.test_case "state machine: orphan abort" `Quick
+      test_state_machine_orphan_abort;
+    Alcotest.test_case "state machine: illegal moves" `Quick
+      test_state_machine_illegal_moves;
+    Alcotest.test_case "clock: fork_join overlaps" `Quick
+      test_fork_join_overlaps;
+    Alcotest.test_case "clock: fork_join null" `Quick test_fork_join_null_clock;
+    Alcotest.test_case "twopc: recover twice, no leak" `Quick
+      test_twopc_recover_twice_no_leak;
+    Alcotest.test_case "twopc: decisions survive reset" `Quick
+      test_twopc_decisions_survive_reset;
+  ]
