@@ -485,6 +485,169 @@ let shards () =
        ]);
   Printf.printf "wrote %s\n%!" path
 
+(* --- truncation: background reclamation vs. the pause pathology ---
+
+   One long TPC-A run per arm, all timing simulated, log small enough to
+   wrap many times. Three arms: "background" (the scheduler's quantum-loop
+   truncator slot — the point of the refactor), "inline" (the classic
+   commit-path trigger: the crossing transaction pays the whole sweep, the
+   Camelot pathology the paper attacks), and "disabled" (a log so large
+   occupancy never reaches the threshold — the no-truncation floor the
+   headline gate compares against). *)
+
+let truncation_arm ~requests ~load ~log_size ~background () =
+  let module S = Rvm_server.Server in
+  let cfg =
+    {
+      S.default_config with
+      S.requests;
+      S.load = S.Open_loop load;
+      S.batch_max = 8;
+      S.max_inflight = 16;
+      S.max_queue = 200;
+      S.log_size;
+      S.background_truncation = background;
+    }
+  in
+  let w, tally = S.run_with_world cfg in
+  let module Sch = Rvm_server.Scheduler in
+  let p99 =
+    let lats = tally.Sch.latencies_us in
+    let n = Array.length lats in
+    if n = 0 then 0.
+    else begin
+      let a = Array.copy lats in
+      Array.sort compare a;
+      a.(max 0 (int_of_float (ceil (0.99 *. float_of_int n)) - 1))
+    end
+  in
+  let bytes =
+    Array.fold_left
+      (fun acc d ->
+        acc + d.Rvm_disk.Device.stats.Rvm_disk.Device.bytes_written)
+      0 w.S.log_devs
+  in
+  let wraps = float_of_int bytes /. float_of_int log_size in
+  let hist name =
+    List.assoc_opt name (Rvm_obs.Registry.histograms w.S.obs)
+  in
+  let module H = Rvm_obs.Histogram in
+  let pauses, pause_max_us, pause_p99_us =
+    match hist "truncation.pause.us" with
+    | Some h when H.count h > 0 ->
+      (H.count h, H.max_value h, H.percentile h 99.)
+    | _ -> (0, 0., 0.)
+  in
+  let steps =
+    match hist "truncation.steps.per.quantum" with
+    | Some h -> int_of_float (H.sum h)
+    | None -> 0
+  in
+  (match Sys.getenv_opt "BENCH_TRUNCATION_DIAG" with
+  | Some _ ->
+    List.iter
+      (fun n ->
+        match hist n with
+        | Some h when H.count h > 0 ->
+          Printf.printf "      %-28s count %6d  max %10.0f  mean %8.0f\n%!"
+            n (H.count h) (H.max_value h) (H.mean h)
+        | _ -> ())
+      [
+        "truncation.emergency.us"; "truncation.epoch.us"; "segment.sync.us";
+        "truncation.pause.us"; "log.force.us";
+      ]
+  | None -> ());
+  (tally.Sch.committed, tally.Sch.shed, p99, wraps, pauses, pause_max_us,
+   pause_p99_us, steps)
+
+let truncation () =
+  let module J = Rvm_obs.Json in
+  let requests =
+    match Sys.getenv_opt "BENCH_TRUNCATION_REQUESTS" with
+    | Some s -> int_of_string s
+    | None -> 100_000
+  in
+  let load = 160. in
+  let small_log = 4 * 1024 * 1024 in
+  let huge_log = 256 * 1024 * 1024 in
+  print_endline "\n== Background truncation: p99 vs. the pause pathology ==";
+  let arms =
+    List.map
+      (fun (name, log_size, background) ->
+        let ( committed, shed, p99, wraps, pauses, pause_max_us, pause_p99_us,
+              steps ) =
+          truncation_arm ~requests ~load ~log_size ~background ()
+        in
+        Printf.printf
+          "  %-10s %6d committed %4d shed  p99 %8.0f us  wraps %5.1f  \
+           pauses %4d (max %.0f us)  steps %d\n%!"
+          name committed shed p99 wraps pauses pause_max_us steps;
+        ( name,
+          ( p99, wraps,
+            J.Obj
+              [
+                ("arm", J.String name);
+                ("log_size", J.Int log_size);
+                ("background_truncation", J.Bool background);
+                ("committed", J.Int committed);
+                ("shed", J.Int shed);
+                ("p99_latency_us", J.Float p99);
+                ("log_wraps", J.Float wraps);
+                ("truncation_pauses", J.Int pauses);
+                ("truncation_pause_max_us", J.Float pause_max_us);
+                ("truncation_pause_p99_us", J.Float pause_p99_us);
+                ("truncation_steps", J.Int steps);
+              ] ) ))
+      [
+        ("background", small_log, true);
+        ("inline", small_log, false);
+        ("disabled", huge_log, true);
+      ]
+  in
+  let arm name = List.assoc name arms in
+  let p99_on, wraps_on, _ = arm "background" in
+  let p99_off, wraps_off, _ = arm "disabled" in
+  let ratio = if p99_off > 0. then p99_on /. p99_off else nan in
+  Printf.printf "  p99 background/disabled ratio %.3f (gate: <= 2.0)\n%!"
+    ratio;
+  let path = "BENCH_truncation.json" in
+  J.write_file ~path
+    (J.Obj
+       [
+         ("artifact", J.String "truncation");
+         ("requests", J.Int requests);
+         ("offered_tps", J.Float load);
+         ("arms", J.List (List.map (fun (_, (_, _, j)) -> j) arms));
+         ("p99_ratio_background_over_disabled", J.Float ratio);
+         ("gate_max_ratio", J.Float 2.0);
+       ]);
+  Printf.printf "wrote %s\n%!" path;
+  let failed = ref false in
+  if wraps_on < 3. then begin
+    failed := true;
+    Printf.printf
+      "truncation: FAIL — log wrapped only %.1fx (< 3x); the run does not \
+       exercise reclamation\n%!"
+      wraps_on
+  end;
+  if wraps_off >= 1. then begin
+    failed := true;
+    Printf.printf
+      "truncation: FAIL — the disabled arm wrapped its log (%.1fx); it is \
+       not a truncation-free baseline\n%!"
+      wraps_off
+  end;
+  if not (ratio <= 2.0) then begin
+    failed := true;
+    Printf.printf
+      "truncation: FAIL — background p99 is %.2fx the truncation-disabled \
+       p99 (gate: 2.0x)\n%!"
+      ratio
+  end;
+  if !failed then exit 1;
+  Printf.printf "truncation: OK (p99 ratio %.3f <= 2.0, %.1f wraps)\n%!"
+    ratio wraps_on
+
 (* --- baseline: the CI metrics gate ---
 
    Deterministic device-efficiency metrics (writes and syncs per committed
@@ -567,7 +730,24 @@ let baseline () =
         ("server_sharded", 8, 4);
       ]
   in
-  let cases = cases @ server_cases in
+  (* The truncation row: same ratio as `bench truncation` but on a short
+     deterministic run (all timing simulated, so the number is exact and
+     seed-stable). Gates the headline property — background reclamation
+     must not inflate tail latency relative to a truncation-free log. *)
+  let truncation_cases =
+    let p99_of ~log_size ~background =
+      let _, _, p99, _, _, _, _, _ =
+        truncation_arm ~requests:5000 ~load:160. ~log_size ~background ()
+      in
+      p99
+    in
+    let on = p99_of ~log_size:(512 * 1024) ~background:true in
+    let off = p99_of ~log_size:(64 * 1024 * 1024) ~background:true in
+    let ratio = if off > 0. then on /. off else nan in
+    Printf.printf "  %-14s %.4f p99 on/off ratio\n%!" "truncation" ratio;
+    [ ("truncation", [ ("p99_on_over_off", ratio) ]) ]
+  in
+  let cases = cases @ server_cases @ truncation_cases in
   let tolerance = 0.10 in
   if write_mode then begin
     J.write_file ~path
@@ -659,6 +839,7 @@ let () =
   | "groupcommit" -> groupcommit ()
   | "server" -> server ()
   | "shards" -> shards ()
+  | "truncation" -> truncation ()
   | "baseline" -> baseline ()
   | "full" ->
     run_table1_family ~trials:5 ~measure:8000;

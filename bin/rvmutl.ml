@@ -203,7 +203,8 @@ let stats path json =
 
 (* --- check: the deterministic crash-point explorer --- *)
 
-let check_sharded ops_n seed exhaustive sector incremental shards =
+let check_sharded ops_n seed exhaustive sector incremental shards
+    mid_truncation =
   let module Sc = Rvm_check.Shard_check in
   let config =
     {
@@ -214,11 +215,17 @@ let check_sharded ops_n seed exhaustive sector incremental shards =
       truncation_mode =
         (if incremental then Rvm_core.Types.Incremental
          else Rvm_core.Types.Epoch);
+      mid_truncation;
+      (* A small log keeps the per-shard truncators due from the first
+         commits, so the Step ops in the workload really advance runs. *)
+      log_size =
+        (if mid_truncation then 16 * 1024 else Sc.default_config.Sc.log_size);
     }
   in
   let rng = Rvm_util.Rng.create ~seed:(Int64.of_int seed) in
   let ops =
-    Sc.generate ~rng ~ops:ops_n ~shards ~region_len:config.Sc.region_len
+    Sc.generate ~mid_truncation ~rng ~ops:ops_n ~shards
+      ~region_len:config.Sc.region_len ()
   in
   Printf.printf "sharded workload (%d ops, %d shards, seed %d): %s\n\n" ops_n
     shards seed (Sc.to_string ops);
@@ -233,7 +240,7 @@ let check_sharded ops_n seed exhaustive sector incremental shards =
     exit 1
   end
 
-let check ops_n seed exhaustive sector incremental shards =
+let check ops_n seed exhaustive sector incremental shards mid_truncation =
   if sector <= 0 then begin
     Printf.eprintf "rvmutl: --sector must be positive (got %d)\n" sector;
     exit 2
@@ -246,7 +253,9 @@ let check ops_n seed exhaustive sector incremental shards =
     Printf.eprintf "rvmutl: --shards must be at least 1 (got %d)\n" shards;
     exit 2
   end;
-  if shards > 1 then check_sharded ops_n seed exhaustive sector incremental shards
+  if shards > 1 then
+    check_sharded ops_n seed exhaustive sector incremental shards
+      mid_truncation
   else
   let config =
     {
@@ -256,12 +265,18 @@ let check ops_n seed exhaustive sector incremental shards =
       truncation_mode =
         (if incremental then Rvm_core.Types.Incremental
          else Rvm_core.Types.Epoch);
+      mid_truncation;
+      (* A small log keeps the truncator due from the first commits, so
+         the Step ops in the workload really advance runs. *)
+      log_size =
+        (if mid_truncation then 16 * 1024
+         else Rvm_check.Explorer.default_config.Rvm_check.Explorer.log_size);
     }
   in
   let rng = Rvm_util.Rng.create ~seed:(Int64.of_int seed) in
   let ops =
-    Rvm_check.Workload.generate ~rng ~ops:ops_n
-      ~region_len:config.Rvm_check.Explorer.region_len
+    Rvm_check.Workload.generate ~mid_truncation ~rng ~ops:ops_n
+      ~region_len:config.Rvm_check.Explorer.region_len ()
   in
   Printf.printf "workload (%d ops, seed %d): %s\n\n" ops_n seed
     (Rvm_check.Workload.to_string ops);
@@ -342,12 +357,43 @@ let trace path out txns accounts batch seed top_n =
 
 (* --- serve: the transaction server's saturation table --- *)
 
-let serve requests accounts seed loads batches sessions think_ms =
+let serve requests accounts seed loads batches sessions think_ms trace_out
+    log_size =
   if requests <= 0 then begin
     Printf.eprintf "rvmutl: --requests must be positive (got %d)\n" requests;
     exit 2
   end;
   let module S = Rvm_server.Server in
+  (* --trace: one run (first load x first batch) with the span ring
+     sized to hold everything, exported as Chrome trace_event JSON —
+     the background truncator's steps show up interleaved with the
+     commit batches that triggered them. *)
+  (match trace_out with
+  | None -> ()
+  | Some out ->
+    let load = match loads with t :: _ -> t | [] -> 40. in
+    let batch = match batches with b :: _ -> b | [] -> 8 in
+    let cfg =
+      {
+        S.default_config with
+        S.requests;
+        accounts;
+        seed = Int64.of_int seed;
+        load = S.Open_loop load;
+        batch_max = batch;
+        log_size;
+        trace_capacity = max 16384 (requests * 24);
+      }
+    in
+    let world, tally = S.run_with_world cfg in
+    let spans = Rvm_obs.Registry.events world.S.obs in
+    Rvm_obs.Export.write_chrome_trace ~process_name:"rvm-server" ~path:out
+      spans;
+    Printf.printf
+      "traced %d request(s) (load %.0f tps, batch %d, log %d B, seed %d): \
+       %d span(s)\nwrote %s (load in Perfetto or chrome://tracing)\n\n"
+      tally.Rvm_server.Scheduler.committed load batch log_size seed
+      (List.length spans) out);
   let loads = if loads = [] then [ 10.; 20.; 40.; 80.; 160. ] else loads in
   let batches = if batches = [] then [ 1; 8 ] else batches in
   let base =
@@ -499,6 +545,17 @@ let check_cmd =
              inter-shard boundaries of each commit round. 1 (the default) \
              checks the single-log engine.")
   in
+  let mid_truncation =
+    Arg.(
+      value & flag
+      & info [ "mid-truncation" ]
+          ~doc:
+            "Generate workloads that drive the background truncator in \
+             bounded steps (leaving runs suspended between them) instead of \
+             whole truncations, with the inline commit-path trigger \
+             disabled — so crash points land at every truncator step \
+             boundary, interleaved with concurrent commits.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -510,7 +567,8 @@ let check_cmd =
           is checked instead. Exits non-zero with a shrunk counterexample \
           on violation.")
     Term.(
-      const check $ ops $ seed $ exhaustive $ sector $ incremental $ shards)
+      const check $ ops $ seed $ exhaustive $ sector $ incremental $ shards
+      $ mid_truncation)
 
 let trace_cmd =
   let out =
@@ -606,6 +664,26 @@ let serve_cmd =
       & info [ "think-ms" ] ~docv:"MS"
           ~doc:"Mean think time for the closed-loop row.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Before the sweep, run one cell (first load x first batch) \
+             with causal tracing on and export Chrome trace_event JSON to \
+             $(docv) — background truncation steps appear interleaved \
+             with the commit batches on their own track.")
+  in
+  let log_size =
+    Arg.(
+      value
+      & opt int (4 * 1024 * 1024)
+      & info [ "log-size" ] ~docv:"BYTES"
+          ~doc:
+            "Log capacity for the traced run; small enough that the \
+             workload wraps it and background truncation fires.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -616,7 +694,7 @@ let serve_cmd =
           device syncs per committed transaction.")
     Term.(
       const serve $ requests $ accounts $ seed $ loads $ batches $ sessions
-      $ think_ms)
+      $ think_ms $ trace_out $ log_size)
 
 let () =
   let info =

@@ -12,6 +12,7 @@ type config = {
   max_torn_per_write : int;
   truncation_mode : Types.truncation_mode;
   group_commit : bool;
+  mid_truncation : bool;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     max_torn_per_write = 12;
     truncation_mode = Types.Epoch;
     group_commit = true;
+    mid_truncation = false;
   }
 
 type crash_point = { upto : int; torn : int option }
@@ -133,8 +135,14 @@ let run_workload config ops =
     {
       Options.default with
       Options.truncation_mode = config.truncation_mode;
-      truncation_threshold = 0.4;
+      (* Mid-truncation exploration needs the truncator due after the
+         first couple of commits so [Step] ops actually advance a run. *)
+      truncation_threshold = (if config.mid_truncation then 0.05 else 0.4);
       group_commit = config.group_commit;
+      (* Mid-truncation exploration drives the truncator from [Step] ops
+         and needs the run left suspended between them, so the inline
+         commit-path trigger (which would run it to completion) is off. *)
+      auto_truncate = not config.mid_truncation;
     }
   in
   let rvm =
@@ -183,7 +191,11 @@ let run_workload config ops =
       | Workload.Flush ->
         Rvm.flush rvm;
         note_durable ()
-      | Workload.Truncate -> Rvm.truncate rvm)
+      | Workload.Truncate -> Rvm.truncate rvm
+      | Workload.Step n ->
+        for _ = 1 to n do
+          ignore (Rvm.truncation_step rvm)
+        done)
     ops;
   (recorder, tlog, tseg, model, !checkpoints, obs, seq_at)
 
@@ -196,8 +208,9 @@ let recover_image config ~log_img ~seg_img =
     {
       Options.default with
       Options.truncation_mode = config.truncation_mode;
-      truncation_threshold = 0.4;
+      truncation_threshold = (if config.mid_truncation then 0.05 else 0.4);
       group_commit = config.group_commit;
+      auto_truncate = not config.mid_truncation;
     }
   in
   let rvm =

@@ -28,6 +28,12 @@ type config = {
   group_commit : bool;
       (** run the workload with the buffered log tail (the default engine
           configuration) or with per-record write-through *)
+  mid_truncation : bool;
+      (** disable the inline commit-path truncation trigger so [Step] ops
+          leave the background truncator suspended between bounded steps;
+          the enumeration then crashes at every truncator step boundary
+          (and torn variants of each step's writes) with later commits
+          interleaved into the same log *)
 }
 
 val default_config : config

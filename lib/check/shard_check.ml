@@ -16,6 +16,7 @@ type op =
   | Cross of { parts : (int * range list) list; mode : Types.commit_mode }
   | Flush
   | Truncate
+  | Step of int
 
 type config = {
   shards : int;
@@ -26,6 +27,7 @@ type config = {
   max_torn_per_write : int;
   truncation_mode : Types.truncation_mode;
   group_commit : bool;
+  mid_truncation : bool;
 }
 
 let default_config =
@@ -38,6 +40,7 @@ let default_config =
     max_torn_per_write = 8;
     truncation_mode = Types.Epoch;
     group_commit = true;
+    mid_truncation = false;
   }
 
 (* --- workload generation --- *)
@@ -52,7 +55,7 @@ let gen_ranges ~rng ~region_len ~n =
 
 let max_cross_per_workload = 6
 
-let generate ~rng ~ops ~shards ~region_len =
+let generate ?(mid_truncation = false) ~rng ~ops ~shards ~region_len () =
   if region_len <= 128 then invalid_arg "Shard_check.generate: region too small";
   let crosses = ref 0 in
   List.init ops (fun _ ->
@@ -82,6 +85,7 @@ let generate ~rng ~ops ~shards ~region_len =
           }
       end
       else if roll <= 8 then Flush
+      else if mid_truncation && Rng.int rng 4 > 0 then Step (1 + Rng.int rng 3)
       else Truncate)
 
 let range_to_string (off, len, c) = Printf.sprintf "%d+%d'%c'" off len c
@@ -102,6 +106,7 @@ let op_to_string = function
       (match mode with Types.Flush -> "!" | Types.No_flush -> "~")
   | Flush -> "Flush"
   | Truncate -> "Truncate"
+  | Step n -> Printf.sprintf "Step%d" n
 
 let to_string ops = String.concat " " (List.map op_to_string ops)
 
@@ -292,8 +297,14 @@ let make_options config =
   {
     Options.default with
     Options.truncation_mode = config.truncation_mode;
-    truncation_threshold = 0.4;
+    (* Mid-truncation exploration drops the threshold so per-shard
+       truncators come due after a couple of commits and [Step] ops
+       actually advance suspended runs. *)
+    truncation_threshold = (if config.mid_truncation then 0.05 else 0.4);
     group_commit = config.group_commit;
+    (* [Step] ops drive the per-shard truncators and rely on runs staying
+       suspended between steps — keep the inline trigger quiet. *)
+    auto_truncate = not config.mid_truncation;
   }
 
 let run_workload config ops =
@@ -414,7 +425,11 @@ let run_workload config ops =
         note_checkpoint
           ~shards_durable:(List.init shards Fun.id)
           ~ids:!committed_ids
-      | Truncate -> Multi.truncate m)
+      | Truncate -> Multi.truncate m
+      | Step n ->
+        for _ = 1 to n do
+          ignore (Multi.truncation_step m)
+        done)
     ops;
   (recorder, tlogs, tsegs, model, !checkpoints, obs, seq_at)
 

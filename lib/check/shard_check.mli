@@ -37,6 +37,9 @@ type op =
     }
   | Flush  (** global [Multi.flush]: all shards forced, pendings resolved *)
   | Truncate
+  | Step of int
+      (** [n] rounds of {!Rvm_shard.Multi.truncation_step} — one bounded
+          background step on every due shard's truncator per round *)
 
 type config = {
   shards : int;
@@ -47,15 +50,27 @@ type config = {
   max_torn_per_write : int;
   truncation_mode : Rvm_core.Types.truncation_mode;
   group_commit : bool;
+  mid_truncation : bool;
+      (** disable the inline commit-path trigger so [Step] ops leave
+          per-shard truncation runs suspended between bounded steps; the
+          global crash enumeration then covers every step boundary of
+          every shard's truncator, interleaved with parallel-commit rounds *)
 }
 
 val default_config : config
 (** Two shards, epoch truncation, group commit on. *)
 
 val generate :
-  rng:Rvm_util.Rng.t -> ops:int -> shards:int -> region_len:int -> op list
+  ?mid_truncation:bool ->
+  rng:Rvm_util.Rng.t ->
+  ops:int ->
+  shards:int ->
+  region_len:int ->
+  unit ->
+  op list
 (** Random workload biased toward cross-shard commits (capped at 6 per
-    workload to keep decision-set enumeration cheap). *)
+    workload to keep decision-set enumeration cheap). [mid_truncation]
+    trades most [Truncate] ops for short [Step] bursts. *)
 
 val to_string : op list -> string
 val op_to_string : op -> string

@@ -8,6 +8,7 @@ type op =
   | Abort of range list
   | Flush
   | Truncate
+  | Step of int
 
 let max_range_len = 300
 
@@ -20,7 +21,7 @@ let gen_range ~rng ~region_len =
 let gen_ranges ~rng ~region_len ~n =
   List.init (1 + Rng.int rng n) (fun _ -> gen_range ~rng ~region_len)
 
-let generate ~rng ~ops ~region_len =
+let generate ?(mid_truncation = false) ~rng ~ops ~region_len () =
   if region_len <= max_range_len then
     invalid_arg "Workload.generate: region too small";
   List.init ops (fun _ ->
@@ -35,7 +36,12 @@ let generate ~rng ~ops ~region_len =
         Commit { ranges = gen_ranges ~rng ~region_len ~n:4; mode = Types.Flush }
       | 6 | 7 -> Abort (gen_ranges ~rng ~region_len ~n:3)
       | 8 -> Flush
-      | _ -> Truncate)
+      | _ ->
+        (* Mid-truncation workloads mostly spend a few bounded background
+           steps instead of a full truncation, leaving the state machine
+           suspended so the next commits interleave with a live run. *)
+        if mid_truncation && Rng.int rng 4 > 0 then Step (1 + Rng.int rng 3)
+        else Truncate)
 
 let range_to_string (off, len, c) = Printf.sprintf "%d+%d'%c'" off len c
 
@@ -48,6 +54,7 @@ let op_to_string = function
     Printf.sprintf "Abort[%s]" (String.concat ";" (List.map range_to_string ranges))
   | Flush -> "Flush"
   | Truncate -> "Truncate"
+  | Step n -> Printf.sprintf "Step%d" n
 
 let to_string ops = String.concat " " (List.map op_to_string ops)
 

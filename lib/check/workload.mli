@@ -14,12 +14,23 @@ type op =
   | Abort of range list
   | Flush
   | Truncate
+  | Step of int  (** drive [n] background truncator steps *)
 
-val generate : rng:Rvm_util.Rng.t -> ops:int -> region_len:int -> op list
+val generate :
+  ?mid_truncation:bool ->
+  rng:Rvm_util.Rng.t ->
+  ops:int ->
+  region_len:int ->
+  unit ->
+  op list
 (** Deterministic workload of [ops] operations: mostly commits (both
     modes), some aborts, explicit flushes and truncations. Range lengths
     go up to several hundred bytes so that commit records regularly span
-    multiple disk sectors and exercise torn-write enumeration. *)
+    multiple disk sectors and exercise torn-write enumeration.
+    [mid_truncation] trades most [Truncate] ops for short [Step] bursts,
+    so truncation runs are left suspended between steps while later
+    commits append — the crash explorer then enumerates crash points at
+    every truncator step boundary. *)
 
 val op_to_string : op -> string
 val to_string : op list -> string

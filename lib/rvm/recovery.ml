@@ -125,6 +125,90 @@ let apply_live ?obs ?before_seqno ?(intent_decision = fun _ -> `Abort)
     preserved = List.rev !preserved (* oldest first, ready to re-append *);
   }
 
+type plan = {
+  plan_writes : (int * int * Bytes.t) list;
+  plan_preserved : Record.t list;
+  plan_records_seen : int;
+}
+
+let plan_live ?before_seqno ?(intent_decision = fun _ -> `Abort) log =
+  (* Same two passes as {!apply_live} — resolutions over the whole log,
+     then a newest-first scan with per-segment covered intervals — but the
+     gap writes are returned instead of performed, so a resumable epoch
+     truncation can execute them one bounded step at a time. The plan's
+     data is copied out of the decoded records: it stays valid while new
+     commits append past the frozen window. *)
+  let resolutions : (string, Pcommit.decision) Hashtbl.t = Hashtbl.create 4 in
+  Log_manager.iter_live_backward log ~f:(fun ~off:_ r ->
+      if
+        r.Record.kind = Record.Commit
+        && Record.Flags.(has r.Record.flags resolution)
+      then
+        match Pcommit.classify r with
+        | `Control (Pcommit.Resolution { gid; decision }) ->
+          if not (Hashtbl.mem resolutions gid) then
+            Hashtbl.add resolutions gid decision
+        | _ -> ());
+  let decide gid =
+    match Hashtbl.find_opt resolutions gid with
+    | Some Pcommit.Committed -> `Commit
+    | Some Pcommit.Aborted -> `Abort
+    | None -> intent_decision gid
+  in
+  let covered : (int, Intervals.t) Hashtbl.t = Hashtbl.create 8 in
+  let records_seen = ref 0 in
+  let writes = ref [] in
+  let preserved = ref [] in
+  let wanted (r : Record.t) =
+    r.Record.kind = Record.Commit
+    && match before_seqno with None -> true | Some b -> r.Record.seqno < b
+  in
+  let plan_ranges ranges =
+    List.iter
+      (fun (range : Record.range) ->
+        if not (Pcommit.is_control range) then begin
+          let len = Bytes.length range.Record.data in
+          let cur =
+            Option.value
+              (Hashtbl.find_opt covered range.Record.seg)
+              ~default:Intervals.empty
+          in
+          let gaps, cov =
+            Intervals.add_uncovered cur ~lo:range.Record.off ~len
+          in
+          Hashtbl.replace covered range.Record.seg cov;
+          List.iter
+            (fun (lo, glen) ->
+              let data =
+                Bytes.sub range.Record.data (lo - range.Record.off) glen
+              in
+              writes := (range.Record.seg, lo, data) :: !writes)
+            gaps
+        end)
+      ranges
+  in
+  Log_manager.iter_live_backward log ~f:(fun ~off:_ r ->
+      if wanted r then begin
+        incr records_seen;
+        match Pcommit.classify r with
+        | `Plain -> plan_ranges r.Record.ranges
+        | `Control (Pcommit.Stage _) | `Control (Pcommit.Resolution _) -> ()
+        | `Control (Pcommit.Intent { gid; _ }) -> (
+          match decide gid with
+          | `Commit -> plan_ranges r.Record.ranges
+          | `Abort -> ()
+          | `Pending -> preserved := r :: !preserved)
+        | `Malformed ->
+          L.warn (fun m ->
+              m "malformed parallel-commit record seqno=%d dropped"
+                r.Record.seqno)
+      end);
+  {
+    plan_writes = List.rev !writes;
+    plan_preserved = List.rev !preserved;
+    plan_records_seen = !records_seen;
+  }
+
 let recover ?obs ?intent_decision ~resolve ~clock ~model log =
   let outcome = apply_live ?obs ?intent_decision ~resolve ~clock ~model log in
   Log_manager.reset_empty log;

@@ -53,6 +53,27 @@ val apply_live :
     answers for intents with no in-log resolution; default [`Abort]
     (orphans). *)
 
+type plan = {
+  plan_writes : (int * int * Bytes.t) list;
+      (** [(seg id, seg offset, final bytes)], disjoint per segment — the
+          newest committed value of every live byte in the frozen window. *)
+  plan_preserved : Rvm_log.Record.t list;
+      (** As {!outcome.preserved}: pending intents, oldest first. *)
+  plan_records_seen : int;
+}
+
+val plan_live :
+  ?before_seqno:int ->
+  ?intent_decision:(string -> [ `Commit | `Abort | `Pending ]) ->
+  Rvm_log.Log_manager.t ->
+  plan
+(** The planning half of {!apply_live}: the same newest-first scan and
+    latest-value-wins gap computation, but the segment writes are returned
+    rather than performed and nothing is synced. {!Truncator} freezes an
+    epoch by taking a plan, then executes one write per resumable step —
+    the plan stays valid while new commits append past [before_seqno],
+    because its data was copied out of the frozen records. *)
+
 val recover :
   ?obs:Rvm_obs.Registry.t ->
   ?intent_decision:(string -> [ `Commit | `Abort | `Pending ]) ->

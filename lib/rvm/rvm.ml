@@ -32,15 +32,6 @@ type spool_entry = {
   sp_size : int;  (* encoded record size *)
 }
 
-(* Incremental truncation page queue descriptor (Figure 7): the page and
-   the log offset/seqno of the earliest record referencing it. *)
-type descriptor = {
-  d_region : Region.t;
-  d_page : int;
-  d_log_off : int;
-  d_seqno : int;
-}
-
 type t = {
   mutable opts : Options.t;
   clock : Clock.t;
@@ -54,12 +45,14 @@ type t = {
   mutable next_tid : int;
   mutable spool : spool_entry list;  (* newest first *)
   mutable spool_bytes : int;
-  queue : descriptor Queue.t;
-  queued : (int * int, unit) Hashtbl.t;  (* (vaddr, page) in queue *)
+  mutable trunc : Truncator.t option;
+      (* The truncation state machine ({!Truncator}) — owns the
+         incremental page queue and all epoch/incremental dispatch.
+         [Some] from construction on; an option only because it closes
+         over [t]. *)
   obs : Registry.t;
   live : Lv.live;
   mutable terminated : bool;
-  mutable in_truncation : bool;
   intent_decision : (string -> [ `Commit | `Abort | `Pending ]) option;
       (* Status oracle for parallel-commit intents with no in-log
          resolution: the shard layer answers [`Pending] for transactions
@@ -131,122 +124,35 @@ let release_page_refs pages =
       Page_table.decr_uncommitted region.Region.pages page)
     pages
 
+let truncator t =
+  match t.trunc with Some tr -> tr | None -> assert false
+
 (* --- log writing --- *)
 
-(* Mark the pages covered by freshly logged ranges dirty and enqueue them
-   for incremental truncation, each at the earliest record that references
-   it (Figure 7's "no duplicate page references" rule). Ranges are
-   segment-relative; each is projected onto the mapped regions it
-   intersects. *)
 let note_logged_ranges t ~log_off ~seqno ranges =
-  let regions = Addr_space.regions t.space in
-  List.iter
-    (fun (range : Record.range) ->
-      let len = Bytes.length range.Record.data in
-      if len > 0 then
-        List.iter
-          (fun (r : Region.t) ->
-            if
-              Segment.id r.Region.seg = range.Record.seg
-              && range.Record.off < r.Region.seg_off + r.Region.length
-              && range.Record.off + len > r.Region.seg_off
-            then begin
-              let lo = max range.Record.off r.Region.seg_off in
-              let hi =
-                min (range.Record.off + len)
-                  (r.Region.seg_off + r.Region.length)
-              in
-              Page.iter_pages ~page_size:r.Region.page_size
-                ~off:(lo - r.Region.seg_off) ~len:(hi - lo) ~f:(fun p ->
-                  Page_table.set_dirty r.Region.pages p true;
-                  let key = (r.Region.vaddr, p) in
-                  if not (Hashtbl.mem t.queued key) then begin
-                    Hashtbl.add t.queued key ();
-                    Queue.add
-                      { d_region = r; d_page = p; d_log_off = log_off;
-                        d_seqno = seqno }
-                      t.queue
-                  end)
-            end)
-          regions)
-    ranges
+  Truncator.note_logged_ranges (truncator t) ~log_off ~seqno ranges
 
 (* Re-append every unretired resolution record past the current head. A
    truncation that reclaims a cross-shard transaction's intent and staged
    records destroys the evidence other participants' recoveries may need
    to re-derive the decision; the explicit resolution must therefore stay
    in some log until the shard layer has made every participant's own
-   copy durable and retired it. Caller forces afterwards. *)
+   copy durable and retired it. Returns whether any were appended — the
+   truncator forces them before moving the head. *)
 let reappend_live_resolutions t =
-  Hashtbl.iter
-    (fun gid decision ->
-      let record =
-        Record.commit ~seqno:0 ~tid:0 ~timestamp_us:(now_us t)
-          ~flags:Record.Flags.resolution
-          [ Pcommit.control_range (Pcommit.Resolution { gid; decision }) ]
-      in
-      ignore (Log_manager.append_record t.log record))
-    t.live_resolutions
-
-(* Epoch truncation (Figure 6): apply the frozen live window to the
-   external data segments using the recovery scanner, then move the head
-   past it. *)
-let epoch_truncate t =
-  if not (Log_manager.is_empty t.log) then
-    (* The span bumps [truncation.epoch.count] — the same counter behind
-       [Statistics.epoch_truncations]. *)
-    Registry.span t.obs "truncation.epoch" (fun () ->
-        t.in_truncation <- true;
-        (* Write-ahead ordering: spooled or unsynced records must be durable
-           before their new values reach the external data segments, or a
-           crash between the segment syncs below and the head movement
-           would leave segment data whose log records never survived. *)
-        if Log_manager.unflushed t.log then Log_manager.force t.log;
-        let freeze_tail = Log_manager.tail t.log in
-        let freeze_seqno = Log_manager.next_seqno t.log in
-        let outcome =
-          Recovery.apply_live ~obs:t.obs ~before_seqno:freeze_seqno
-            ?intent_decision:t.intent_decision
-            ~resolve:(fun id -> segment t id)
-            ~clock:t.clock ~model:t.model t.log
+  if Hashtbl.length t.live_resolutions = 0 then false
+  else begin
+    Hashtbl.iter
+      (fun gid decision ->
+        let record =
+          Record.commit ~seqno:0 ~tid:0 ~timestamp_us:(now_us t)
+            ~flags:Record.Flags.resolution
+            [ Pcommit.control_range (Pcommit.Resolution { gid; decision }) ]
         in
-        (* Every queued page belongs to the reclaimed epoch now. *)
-        Queue.clear t.queue;
-        Hashtbl.reset t.queued;
-        List.iter
-          (fun (r : Region.t) ->
-            List.iter
-              (fun p -> Page_table.set_dirty r.Region.pages p false)
-              (Page_table.dirty_pages r.Region.pages))
-          (Addr_space.regions t.space);
-        (* Unretired resolutions must stay continuously durable: the
-           truncation above applied their intents, so a recovery that finds
-           another participant's intent may have no other evidence of the
-           decision. Append the carried copies at the tail — past
-           [freeze_tail], so the head move below keeps them live — and
-           force them while the status block still points at the old
-           copies. Either area is durable at every crash point. *)
-        if Hashtbl.length t.live_resolutions > 0 then begin
-          reappend_live_resolutions t;
-          Log_manager.force t.log
-        end;
-        Log_manager.move_head t.log ~new_head:freeze_tail
-          ~new_head_seqno:freeze_seqno;
-        (* Pending parallel-commit intents were neither applied nor
-           resolved: re-append them past the new head (fresh seqnos) so the
-           eventual resolution still finds its evidence. Undecided, so a
-           crash before the force merely orphan-aborts them on every
-           shard — safe to write after the head move. *)
-        (match outcome.Recovery.preserved with
-        | [] -> ()
-        | records ->
-          List.iter
-            (fun (r : Record.t) ->
-              let off, seqno = Log_manager.append_record t.log r in
-              note_logged_ranges t ~log_off:off ~seqno r.Record.ranges)
-            records;
-          Log_manager.force t.log);
-        t.in_truncation <- false)
+        ignore (Log_manager.append_record t.log record))
+      t.live_resolutions;
+    true
+  end
 
 let append_with_retry t record =
   let rec go retried =
@@ -257,8 +163,9 @@ let append_with_retry t record =
           "log full: a single transaction exceeds the log capacity (%d bytes)"
           (Log_manager.capacity t.log)
       else begin
-        (* Reclaim space synchronously and retry once. *)
-        epoch_truncate t;
+        (* Reclaim space synchronously and retry once — completing any
+           suspended background run first, then a full epoch. *)
+        Truncator.sync_epoch (truncator t);
         go true
       end
   in
@@ -301,148 +208,21 @@ let flush t =
   force_log t;
   C.incr t.live.Lv.flushes
 
-(* --- incremental truncation (Figure 7) --- *)
+(* --- truncation (delegated to the state machine in {!Truncator}) --- *)
 
-let seg_write_page t (region : Region.t) page =
-  let page_size = region.Region.page_size in
-  let off = page * page_size in
-  let len = min page_size (region.Region.length - off) in
-  (match t.vm with
-  | Some vm ->
-    Vm_sim.ensure_resident vm ~page:(Region.vm_page region ~region_page:page);
-    Vm_sim.mark_clean vm ~page:(Region.vm_page region ~region_page:page)
-  | None -> ());
-  Segment.write region.Region.seg
-    ~off:(Region.to_seg_off region ~region_off:off)
-    ~buf:region.Region.buf ~pos:off ~len;
-  cpu t (copy_cost t len)
-
-(* One incremental step: write out the queue-head page if nothing
-   uncommitted or unflushed references it. Returns [`Wrote seg], [`Blocked]
-   or [`Empty]. The caller batches segment syncs and head movement. *)
-let incremental_step t =
-  match Queue.peek_opt t.queue with
-  | None -> `Empty
-  | Some d ->
-    let pages = d.d_region.Region.pages in
-    if not d.d_region.Region.mapped then `Blocked
-    else if Page_table.uncommitted pages d.d_page > 0 then `Blocked
-    else if not (Page_table.reserve pages d.d_page) then `Blocked
-    else
-      (* Span only around an actual page write-out ([`Wrote]); blocked and
-         empty probes are not steps. Bumps
-         [truncation.incremental.step.count]. *)
-      Registry.span t.obs "truncation.incremental.step" (fun () ->
-          ignore (Queue.pop t.queue);
-          Hashtbl.remove t.queued (d.d_region.Region.vaddr, d.d_page);
-          seg_write_page t d.d_region d.d_page;
-          Page_table.set_dirty pages d.d_page false;
-          Page_table.release pages d.d_page;
-          `Wrote d.d_region.Region.seg)
-
-(* Run incremental steps until the log drops below [target] occupancy or
-   the queue head is blocked. *)
-let incremental_truncate t ~target =
-  let touched = Hashtbl.create 4 in
-  let below_target () =
-    float_of_int (Log_manager.used_bytes t.log)
-    <= target *. float_of_int (Log_manager.capacity t.log)
-  in
-  let rec run blocked =
-    if below_target () then blocked
-    else
-      match incremental_step t with
-      | `Wrote seg ->
-        Hashtbl.replace touched (Segment.id seg) seg;
-        (* The head can move to the next descriptor's offset (or the tail
-           if the queue drained). *)
-        run blocked
-      | `Blocked ->
-        C.incr t.live.Lv.incremental_blocked;
-        true
-      | `Empty -> blocked
-  in
-  let blocked =
-    if below_target () then false
-    else begin
-      (* Same write-ahead ordering as epoch truncation: page write-outs
-         below must not expose new values whose log records are still in
-         the tail spool (or unsynced on the device). *)
-      if Log_manager.unflushed t.log then Log_manager.force t.log;
-      run false
-    end
-  in
-  if Hashtbl.length touched > 0 || Queue.is_empty t.queue then begin
-    Hashtbl.iter
-      (fun _ seg ->
-        Registry.span t.obs "segment.sync" (fun () -> Segment.sync seg))
-      touched;
-    let new_head =
-      match Queue.peek_opt t.queue with
-      | Some d ->
-        if d.d_log_off <> Log_manager.head t.log then
-          Some (d.d_log_off, d.d_seqno)
-        else None
-      | None ->
-        if not (Log_manager.is_empty t.log) then
-          (* Captured before the re-append below so the fresh resolution
-             copies land past the new head and stay live. *)
-          Some (Log_manager.tail t.log, Log_manager.next_seqno t.log)
-        else None
-    in
-    match new_head with
-    | None -> ()
-    | Some (new_head, new_head_seqno) ->
-      (* The head move reclaims cross-shard commit evidence whose decision
-         other shards still depend on: append fresh copies of the
-         unretired resolutions at the tail (past [new_head]) and force
-         them while the old copies are still inside the live window, so
-         some copy is durable at every crash point. *)
-      if Hashtbl.length t.live_resolutions > 0 then begin
-        reappend_live_resolutions t;
-        Log_manager.force t.log
-      end;
-      Log_manager.move_head t.log ~new_head ~new_head_seqno
-  end;
-  blocked
-
-let truncate_now t =
-  match t.opts.Options.truncation_mode with
-  | Types.Epoch -> epoch_truncate t
-  | Types.Incremental ->
-    let blocked = incremental_truncate t ~target:0.0 in
-    let used_fraction =
-      float_of_int (Log_manager.used_bytes t.log)
-      /. float_of_int (Log_manager.capacity t.log)
-    in
-    (* Long-running transactions can block incremental truncation with the
-       log critically full: revert to epoch truncation (section 5.1.2). *)
-    if blocked && used_fraction >= t.opts.Options.truncation_critical then
-      epoch_truncate t
-
-let maybe_truncate t =
-  if t.opts.Options.auto_truncate && not t.in_truncation then begin
-    let used_fraction =
-      float_of_int (Log_manager.used_bytes t.log)
-      /. float_of_int (Log_manager.capacity t.log)
-    in
-    if used_fraction >= t.opts.Options.truncation_threshold then
-      match t.opts.Options.truncation_mode with
-      | Types.Epoch -> epoch_truncate t
-      | Types.Incremental ->
-        let target = t.opts.Options.truncation_threshold /. 2. in
-        let blocked = incremental_truncate t ~target in
-        let used_fraction =
-          float_of_int (Log_manager.used_bytes t.log)
-          /. float_of_int (Log_manager.capacity t.log)
-        in
-        if blocked && used_fraction >= t.opts.Options.truncation_critical
-        then epoch_truncate t
-  end
+let maybe_truncate t = Truncator.maybe_truncate (truncator t)
 
 let truncate t =
   check_live t;
-  truncate_now t
+  Truncator.truncate_now (truncator t)
+
+let truncation_step t =
+  check_live t;
+  Truncator.step (truncator t)
+
+let truncation_due t = Truncator.due (truncator t)
+let truncation_urgent t = Truncator.urgent (truncator t)
+let truncation_active t = Truncator.active (truncator t)
 
 (* --- initialization / termination / mapping --- *)
 
@@ -485,17 +265,31 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
       next_tid = 1;
       spool = [];
       spool_bytes = 0;
-      queue = Queue.create ();
-      queued = Hashtbl.create 64;
+      trunc = None;
       obs;
       live = Lv.create obs;
       terminated = false;
-      in_truncation = false;
       intent_decision;
       pending_pages = Hashtbl.create 4;
       live_resolutions = Hashtbl.create 4;
     }
   in
+  t.trunc <-
+    Some
+      (Truncator.create
+         {
+           Truncator.log = lm;
+           obs;
+           clock;
+           model;
+           vm;
+           live = t.live;
+           options = (fun () -> t.opts);
+           regions = (fun () -> Addr_space.regions t.space);
+           segment = (fun id -> segment t id);
+           intent_decision;
+           reappend_live_resolutions = (fun () -> reappend_live_resolutions t);
+         });
   (* Crash recovery before anything is mapped: mapped data must be the
      committed image. The span bumps [recovery.count] — the counter behind
      [Statistics.recoveries]. *)
@@ -593,7 +387,7 @@ let unmap t (region : Region.t) =
      image for a future map. *)
   drain_spool t;
   force_log t;
-  epoch_truncate t;
+  Truncator.sync_epoch (truncator t);
   (match t.vm with
   | Some vm ->
     for p = 0 to Region.page_count region - 1 do

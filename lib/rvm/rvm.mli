@@ -155,9 +155,35 @@ val flush : t -> unit
 (** Write all spooled no-flush commits to the log and force it. *)
 
 val truncate : t -> unit
-(** Blocking truncation: reflect committed log records to their segments
-    and reclaim the log space. Uses the configured mode (epoch or
-    incremental; incremental falls back to epoch when blocked). *)
+(** Blocking truncation: complete any suspended background run, then
+    reflect committed log records to their segments and reclaim the log
+    space. Uses the configured mode (epoch or incremental; incremental
+    falls back to epoch when blocked at [truncation_critical]). *)
+
+val truncation_step : t -> [ `Progress | `Blocked | `Idle ]
+(** Advance the background truncation state machine ({!Truncator}) by one
+    bounded unit of work — freeze the live window, write one page, sync
+    one segment, re-append live 2PC resolutions, or move the log head —
+    starting a run if occupancy has crossed the threshold. New commits may
+    append freely between steps; WAL ordering is re-established per step.
+    [`Blocked]: the run ended stalled on an uncommitted page with the log
+    still over target (stepping again before a transaction resolves will
+    stall again). [`Idle]: nothing to do. The transaction server drives
+    this from a background slot on its scheduler's quantum loop, with
+    [auto_truncate] turned off so the inline commit-path trigger stays
+    quiet. *)
+
+val truncation_due : t -> bool
+(** A truncation run is in flight or log occupancy has reached the
+    truncation threshold — a background driver should spend steps. *)
+
+val truncation_urgent : t -> bool
+(** Log occupancy has reached [truncation_critical]: background pacing is
+    losing the race and the driver should fall back to a synchronous
+    {!truncate}. *)
+
+val truncation_active : t -> bool
+(** A truncation run is suspended mid-flight. *)
 
 (** {1 Miscellaneous — Figure 4(d)} *)
 

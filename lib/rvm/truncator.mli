@@ -1,0 +1,91 @@
+(** Log reclamation as a resumable state machine (sections 5.1.2, Figures
+    6 and 7).
+
+    One instance owns the incremental-truncation page queue and all
+    epoch/incremental mode dispatch for a single-log engine. A {e run} —
+    one epoch truncation or one incremental sweep — is an explicit state
+    machine advanced by {!step}: each step performs one bounded unit of
+    work (freeze the live window, write one page-sized chunk, sync one
+    segment, re-append the live parallel-commit resolutions, move the log
+    head) and the machine can be suspended between any two steps while new
+    commits keep appending to the log tail. WAL ordering is re-established
+    per step: a page write-out spends its step forcing the tail instead
+    whenever suspended commits left unflushed records, an epoch freezes by
+    planning against data copied out of the frozen records, and the
+    resolution re-append + force precedes every head move.
+
+    The engine drives it two ways: the pre-refactor synchronous entries
+    ({!maybe_truncate} on the commit path, {!truncate_now},
+    {!sync_epoch}) run a whole machine to completion in place, and the
+    transaction server's scheduler calls {!step} from a background slot on
+    its quantum loop, checking {!due} / {!urgent} to pace it. *)
+
+type t
+
+type env = {
+  log : Rvm_log.Log_manager.t;
+  obs : Rvm_obs.Registry.t;
+  clock : Rvm_util.Clock.t;
+  model : Rvm_util.Cost_model.t;
+  vm : Rvm_vm.Vm_sim.t option;
+  live : Statistics.Live.live;
+  options : unit -> Options.t;  (** current engine options (mutable). *)
+  regions : unit -> Region.t list;  (** currently mapped regions. *)
+  segment : int -> Segment.t;
+  intent_decision : (string -> [ `Commit | `Abort | `Pending ]) option;
+  reappend_live_resolutions : unit -> bool;
+      (** Append (unforced) a fresh copy of every unretired parallel-commit
+          resolution; [true] if any were appended — the truncator then
+          forces them before moving the head. *)
+}
+
+val create : env -> t
+
+val note_logged_ranges :
+  t -> log_off:int -> seqno:int -> Rvm_log.Record.range list -> unit
+(** The engine calls this for every freshly logged record's data ranges:
+    marks the covered pages dirty and enqueues each for incremental
+    truncation at the earliest record referencing it (Figure 7's
+    no-duplicate rule). *)
+
+val active : t -> bool
+(** A run is in flight (suspended between steps or executing). The commit
+    path's re-entrancy guard: {!maybe_truncate} is a no-op while active —
+    the [in_truncation] semantics of the inline implementation. *)
+
+val occupancy : t -> float
+(** Log used bytes over capacity. *)
+
+val due : t -> bool
+(** A run is in flight, or occupancy has reached the truncation threshold
+    — the background driver should spend steps. Ignores
+    [auto_truncate]: that flag gates only the inline commit path. *)
+
+val urgent : t -> bool
+(** Occupancy at or past [truncation_critical] — background pacing is
+    losing; the driver should fall back to a synchronous truncation. *)
+
+val step : t -> [ `Progress | `Blocked | `Idle ]
+(** Advance one step: continue the in-flight run, or when idle and over
+    the threshold, start one (epoch or incremental per the engine
+    options; incremental runs target [threshold / 2], and a blocked run
+    chains into an epoch at [truncation_critical] exactly like the
+    synchronous fallback). [`Blocked] means the run ended stalled on its
+    queue head with the log still over target — stepping again before a
+    transaction resolves will just stall again. [`Idle] means there is
+    nothing to do. *)
+
+val maybe_truncate : t -> unit
+(** The inline commit-path trigger: when [auto_truncate] is on, no run is
+    active and occupancy is at or past the threshold, run a whole machine
+    to completion synchronously (incremental target [threshold / 2], with
+    the epoch fallback at [truncation_critical]). *)
+
+val truncate_now : t -> unit
+(** Explicit truncation: complete any suspended run, then run a full
+    truncation in the configured mode (incremental target 0, same epoch
+    fallback) to completion. *)
+
+val sync_epoch : t -> unit
+(** Complete any suspended run, then run a full epoch truncation to
+    completion regardless of mode — the log-full retry and unmap path. *)

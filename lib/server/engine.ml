@@ -12,6 +12,10 @@ type t = {
   abort : int -> unit;
   flush : unit -> unit;
   spool_pressure : unit -> float;
+  truncation_step : unit -> [ `Progress | `Blocked | `Idle ];
+  truncation_due : unit -> bool;
+  truncation_urgent : unit -> bool;
+  truncate : unit -> unit;
 }
 
 let of_rvm rvm =
@@ -25,6 +29,10 @@ let of_rvm rvm =
     abort = (fun tid -> Rvm.abort_transaction rvm tid);
     flush = (fun () -> Rvm.flush rvm);
     spool_pressure = (fun () -> Rvm.spool_pressure rvm);
+    truncation_step = (fun () -> Rvm.truncation_step rvm);
+    truncation_due = (fun () -> Rvm.truncation_due rvm);
+    truncation_urgent = (fun () -> Rvm.truncation_urgent rvm);
+    truncate = (fun () -> Rvm.truncate rvm);
   }
 
 (* The sharded engine already models one simulated worker core per shard
@@ -42,4 +50,8 @@ let of_multi m =
     abort = (fun tid -> Multi.abort_transaction m tid);
     flush = (fun () -> Multi.flush m);
     spool_pressure = (fun () -> Multi.spool_pressure m);
+    truncation_step = (fun () -> Multi.truncation_step m);
+    truncation_due = (fun () -> Multi.truncation_due m);
+    truncation_urgent = (fun () -> Multi.truncation_urgent m);
+    truncate = (fun () -> Multi.truncate m);
   }

@@ -8,7 +8,14 @@
     single engine, one overlapped round of per-shard forces (plus
     resolution of the cross-shard commits it made durable) on the sharded
     one. [spool_pressure] feeds admission control; the sharded engine
-    reports the hottest shard. *)
+    reports the hottest shard.
+
+    The truncation quartet is the scheduler's background-task slot:
+    [truncation_step] advances the engine's resumable truncation state
+    machine by one bounded unit of work (per due shard, on its lane, for
+    the sharded engine), [truncation_due] / [truncation_urgent] are its
+    pacing and emergency triggers, and [truncate] is the synchronous
+    fallback when occupancy reaches [truncation_critical]. *)
 
 type t = {
   name : string;
@@ -20,6 +27,10 @@ type t = {
   abort : int -> unit;
   flush : unit -> unit;
   spool_pressure : unit -> float;
+  truncation_step : unit -> [ `Progress | `Blocked | `Idle ];
+  truncation_due : unit -> bool;
+  truncation_urgent : unit -> bool;
+  truncate : unit -> unit;
 }
 
 val of_rvm : Rvm_core.Rvm.t -> t

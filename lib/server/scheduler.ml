@@ -16,6 +16,10 @@ type config = {
   backoff_cap : int;
   cpu_per_op_us : float;
   max_iterations : int;
+  truncation_steps_per_quantum : int;
+  truncation_spool_trigger : float;
+  truncation_min_gap_us : float;
+  background_truncation : bool;
 }
 
 let default_config =
@@ -25,6 +29,10 @@ let default_config =
     backoff_cap = 6;
     cpu_per_op_us = 25.;
     max_iterations = 20_000_000;
+    truncation_steps_per_quantum = 1;
+    truncation_spool_trigger = 0.5;
+    truncation_min_gap_us = 200_000.;
+    background_truncation = true;
   }
 
 let validate_config c =
@@ -32,7 +40,13 @@ let validate_config c =
   if c.backoff_base_us <= 0. then invalid_arg "Scheduler: backoff_base_us";
   if c.backoff_cap < 0 then invalid_arg "Scheduler: backoff_cap";
   if c.cpu_per_op_us < 0. then invalid_arg "Scheduler: cpu_per_op_us";
-  if c.max_iterations <= 0 then invalid_arg "Scheduler: max_iterations"
+  if c.max_iterations <= 0 then invalid_arg "Scheduler: max_iterations";
+  if c.truncation_steps_per_quantum <= 0 then
+    invalid_arg "Scheduler: truncation_steps_per_quantum";
+  if c.truncation_spool_trigger <= 0. then
+    invalid_arg "Scheduler: truncation_spool_trigger";
+  if c.truncation_min_gap_us < 0. then
+    invalid_arg "Scheduler: truncation_min_gap_us"
 
 (* The executable form of a request: exclusive locks interleaved with the
    recoverable-memory updates they cover, consumed front to back. *)
@@ -109,6 +123,14 @@ type t = {
   mutable backpressure_deferrals : int;
   mutable latencies : float list;  (* newest first *)
   mutable iterations : int;
+  mutable trunc_blocked_at : int option;
+  mutable trunc_last_pause_us : float;
+      (* when the slot last charged device time: pausing bursts are spread
+         at least [truncation_min_gap_us] apart so one reclaim cycle's
+         syncs and forces don't cluster into a single effective stall *)
+      (* [committed] tally when the truncator last reported [`Blocked]:
+         stepping again before another commit resolves would stall on the
+         same pinned page, so the slot stays quiet until the tally moves. *)
   (* observability handles *)
   c_committed : Counter.t;
   c_shed : Counter.t;
@@ -118,6 +140,8 @@ type t = {
   h_latency : Histogram.t;
   h_queue_wait : Histogram.t;
   h_batch_size : Histogram.t;
+  h_trunc_pause : Histogram.t;
+  h_trunc_steps : Histogram.t;
 }
 
 let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
@@ -146,6 +170,8 @@ let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
     backpressure_deferrals = 0;
     latencies = [];
     iterations = 0;
+    trunc_blocked_at = None;
+    trunc_last_pause_us = neg_infinity;
     c_committed = Registry.counter obs "server.committed";
     c_shed = Registry.counter obs "server.shed";
     c_retry = Registry.counter obs "server.retry";
@@ -154,6 +180,8 @@ let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
     h_latency = Registry.histogram obs "server.latency.us";
     h_queue_wait = Registry.histogram obs "server.queue.wait.us";
     h_batch_size = Registry.histogram obs "server.batch.size";
+    h_trunc_pause = Registry.histogram obs "truncation.pause.us";
+    h_trunc_steps = Registry.histogram obs "truncation.steps.per.quantum";
   }
 
 let now t = Clock.now_us t.clock
@@ -413,6 +441,87 @@ let admit_from_queue t =
   in
   go ()
 
+(* The background-task slot: spend a bounded amount of truncation work
+   between scheduling decisions. Step CPU is charged via the clock's
+   background lane ({!Clock.background}) so it rides the dispatcher's
+   idle capacity, but device time the steps force — segment syncs,
+   WAL-ordering log forces — still advances the simulated clock; that
+   wall-clock delta is the honest per-quantum commit-path pause and
+   lands in [truncation.pause.us]. The step budget doubles when spool
+   pressure crosses [truncation_spool_trigger] (a loaded spool means the
+   next drain will append a burst, so reclaim harder while it builds).
+   If occupancy has already reached [truncation_critical], background
+   pacing lost the race: fall back to one synchronous truncation — the
+   exact stall the paper charges to Camelot — recorded under the
+   [truncation.emergency] span and the same pause histogram. *)
+let background_truncation t =
+  if not t.cfg.background_truncation then ()
+  else if t.eng.Engine.truncation_urgent () then begin
+    let t0 = now t in
+    Registry.span t.obs "truncation.emergency" (fun () ->
+        t.eng.Engine.truncate ());
+    Histogram.observe t.h_trunc_pause (now t -. t0);
+    t.trunc_blocked_at <- None
+  end
+  else begin
+    let blocked_fresh =
+      match t.trunc_blocked_at with
+      | Some c -> c = t.committed
+      | None -> false
+    in
+    let pressured =
+      t.eng.Engine.spool_pressure () >= t.cfg.truncation_spool_trigger
+    in
+    let gap =
+      if pressured then t.cfg.truncation_min_gap_us /. 2.
+      else t.cfg.truncation_min_gap_us
+    in
+    let gap_open = now t -. t.trunc_last_pause_us >= gap in
+    if
+      (not blocked_fresh) && gap_open && t.eng.Engine.truncation_due ()
+    then begin
+      (* The budget counts *device-pausing* steps — steps that advanced
+         the simulated clock (a segment sync, a WAL-ordering log force).
+         Steps that charge nothing foreground (truncator page writes land
+         in write-back device caches and their CPU rides the background
+         lane) are nearly free, and a plan can hold thousands of them;
+         metering those at the same rate as syncs starves reclamation
+         until the emergency fallback fires, which is the exact pause
+         this slot exists to avoid. Free steps still get a cap so one
+         quantum cannot spin unboundedly. *)
+      let budget =
+        if pressured then 2 * t.cfg.truncation_steps_per_quantum
+        else t.cfg.truncation_steps_per_quantum
+      in
+      let free_cap = 16 * budget in
+      let t0 = now t in
+      let steps = ref 0 in
+      let pauses = ref 0 in
+      let continue = ref true in
+      while !continue && !pauses < budget && !steps - !pauses < free_cap do
+        let before = now t in
+        (match
+           Clock.background t.clock (fun () ->
+               t.eng.Engine.truncation_step ())
+         with
+        | `Progress ->
+          incr steps;
+          t.trunc_blocked_at <- None
+        | `Blocked ->
+          incr steps;
+          t.trunc_blocked_at <- Some t.committed;
+          continue := false
+        | `Idle -> continue := false);
+        if now t > before then incr pauses
+      done;
+      if !pauses > 0 then t.trunc_last_pause_us <- now t;
+      if !steps > 0 then begin
+        Histogram.observe t.h_trunc_pause (now t -. t0);
+        Histogram.observe t.h_trunc_steps (float_of_int !steps)
+      end
+    end
+  end
+
 let diagnose t reason =
   Format.asprintf
     "scheduler stuck (%s): iter=%d now=%.0fus runnable=%d parked=%d \
@@ -444,6 +553,7 @@ let run t =
       raise (Stuck (diagnose t "iteration budget exhausted"));
     process_due t;
     admit_from_queue t;
+    background_truncation t;
     if Batcher.full t.batch then begin
       flush_batch t;
       loop ()

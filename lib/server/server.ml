@@ -38,6 +38,7 @@ type config = {
   trace_capacity : int;
   spool_max_bytes : int option;
   log_spool_max_bytes : int option;
+  background_truncation : bool;
 }
 
 let default_config =
@@ -59,6 +60,7 @@ let default_config =
     trace_capacity = 0;
     spool_max_bytes = None;
     log_spool_max_bytes = None;
+    background_truncation = true;
   }
 
 type result = {
@@ -108,6 +110,20 @@ type world = {
 
 let options_of cfg =
   let o = Options.default in
+  (* With the scheduler driving truncation from its background slot, the
+     inline commit-path trigger must stay quiet — otherwise a commit that
+     tips occupancy over the threshold pays a full synchronous truncation
+     instead of letting the slot amortize it. *)
+  let o = { o with Options.auto_truncate = not cfg.background_truncation } in
+  (* Incremental mode (Figure 7), not epoch: the server's reclamation
+     must be pausable. An epoch run's freeze re-reads the whole live
+     window through the log device (the recovery scanner) in one step —
+     seconds of charged reads at 1993 transfer rates, unsplittable from
+     the scheduler's point of view. The incremental page queue is
+     maintained online at commit time, so its steps only write pages
+     already in memory; epoch remains the blocked-queue critical
+     fallback. *)
+  let o = { o with Options.truncation_mode = Rvm_core.Types.Incremental } in
   let o =
     match cfg.spool_max_bytes with
     | Some v -> { o with Options.spool_max_bytes = v }
@@ -258,6 +274,7 @@ let scheduler_of cfg w =
       Scheduler.batch_max = cfg.batch_max;
       backoff_base_us = cfg.backoff_base_us;
       cpu_per_op_us = cfg.cpu_per_op_us;
+      background_truncation = cfg.background_truncation;
     }
   in
   Scheduler.create ~cfg:scfg ~engine:w.engine ~clock:w.clock ~obs:w.obs

@@ -36,6 +36,12 @@ type config = {
   trace_capacity : int;  (** 0 = tracing off *)
   spool_max_bytes : int option;  (** engine spool watermark override *)
   log_spool_max_bytes : int option;  (** log tail watermark override *)
+  background_truncation : bool;
+      (** true (default): the engine's inline commit-path truncation
+          trigger is disabled and the scheduler reclaims the log from its
+          background slot, a few resumable steps per quantum; false:
+          classic inline behavior — the commit that crosses the threshold
+          pays the whole truncation synchronously *)
 }
 
 val default_config : config

@@ -505,6 +505,28 @@ let truncate t =
   flush t;
   Array.iter Rvm.truncate t.shards
 
+(* One background truncation step on every shard whose truncator is due,
+   each dispatched to that shard's worker lane so concurrent steps overlap
+   on the simulated clock and commits on other shards never wait. The
+   per-shard state machine keeps the live-resolution re-append + force
+   invariant at each of its head moves ({!Rvm_core.Truncator}). *)
+let truncation_step t =
+  check_live t;
+  let result = ref `Idle in
+  Array.iteri
+    (fun s sh ->
+      if Rvm.truncation_due sh then
+        Clock.on_lane t.clock t.lanes.(s) (fun () ->
+            match Rvm.truncation_step sh with
+            | `Progress -> result := `Progress
+            | `Blocked -> if !result = `Idle then result := `Blocked
+            | `Idle -> ()))
+    t.shards;
+  !result
+
+let truncation_due t = Array.exists Rvm.truncation_due t.shards
+let truncation_urgent t = Array.exists Rvm.truncation_urgent t.shards
+
 let spool_pressure t =
   Array.fold_left (fun acc r -> Float.max acc (Rvm.spool_pressure r)) 0.
     t.shards

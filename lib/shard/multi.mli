@@ -95,6 +95,19 @@ val flush : t -> unit
 
 val truncate : t -> unit
 
+val truncation_step : t -> [ `Progress | `Blocked | `Idle ]
+(** One background truncation step on every shard whose truncator is due
+    ({!Rvm_core.Rvm.truncation_step}), each on its own worker lane so
+    concurrent steps overlap on the simulated clock. [`Progress] if any
+    shard advanced; [`Blocked] if at least one shard's run ended stalled
+    and none advanced; [`Idle] when no shard had work. *)
+
+val truncation_due : t -> bool
+(** Some shard's truncator is due. *)
+
+val truncation_urgent : t -> bool
+(** Some shard's log is at [truncation_critical]. *)
+
 val load : t -> addr:int -> len:int -> Bytes.t
 val store : t -> addr:int -> Bytes.t -> unit
 val get_i64 : t -> addr:int -> int64

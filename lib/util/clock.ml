@@ -1,6 +1,7 @@
 type t = {
   enabled : bool;
   mutable suspended : bool;
+  mutable in_background : bool;
   mutable now : float;
   mutable backlog : float;
   mutable cpu : float;
@@ -8,12 +9,12 @@ type t = {
 }
 
 let null =
-  { enabled = false; suspended = false; now = 0.; backlog = 0.; cpu = 0.;
-    io = 0. }
+  { enabled = false; suspended = false; in_background = false; now = 0.;
+    backlog = 0.; cpu = 0.; io = 0. }
 
 let simulated () =
-  { enabled = true; suspended = false; now = 0.; backlog = 0.; cpu = 0.;
-    io = 0. }
+  { enabled = true; suspended = false; in_background = false; now = 0.;
+    backlog = 0.; cpu = 0.; io = 0. }
 
 let is_null t = not t.enabled
 let now_us t = t.now
@@ -27,15 +28,28 @@ let suspend t f =
   end
 
 let charge_cpu t us =
-  if t.enabled && (not t.suspended) && us > 0. then begin
-    t.now <- t.now +. us;
-    t.cpu <- t.cpu +. us
-  end
+  if t.enabled && (not t.suspended) && us > 0. then
+    if t.in_background then begin
+      t.backlog <- t.backlog +. us;
+      t.cpu <- t.cpu +. us
+    end
+    else begin
+      t.now <- t.now +. us;
+      t.cpu <- t.cpu +. us
+    end
 
 let charge_background t us =
   if t.enabled && (not t.suspended) && us > 0. then begin
     t.backlog <- t.backlog +. us;
     t.cpu <- t.cpu +. us
+  end
+
+let background t f =
+  if not t.enabled then f ()
+  else begin
+    let prev = t.in_background in
+    t.in_background <- true;
+    Fun.protect ~finally:(fun () -> t.in_background <- prev) f
   end
 
 let charge_io t us =

@@ -39,6 +39,14 @@ val charge_cpu : t -> float -> unit
 val charge_background : t -> float -> unit
 val charge_io : t -> float -> unit
 
+val background : t -> (unit -> 'a) -> 'a
+(** Run [f] as a background task: every {!charge_cpu} inside is rerouted to
+    {!charge_background} (accrues in the backlog instead of blocking wall
+    time), while I/O waits still advance the wall clock — a daemon doing a
+    disk write really does occupy the device. The scheduler wraps each
+    background truncation step in this, so truncation CPU is paid from
+    otherwise-idle time and only its device traffic shows up as pause. *)
+
 val advance_to : t -> float -> unit
 (** Idle wait: move wall time forward to an absolute microsecond timestamp
     without charging CPU or I/O. Background backlog drains for free while

@@ -34,7 +34,7 @@ let config ?(exhaustive = true) ?(sector = 512)
 let gen ~seed ~ops =
   Workload.generate
     ~rng:(Rng.create ~seed)
-    ~ops ~region_len:Explorer.default_config.Explorer.region_len
+    ~ops ~region_len:Explorer.default_config.Explorer.region_len ()
 
 let assert_clean outcome =
   if outcome.Explorer.violations <> [] then
@@ -87,6 +87,86 @@ let test_honest_group_commit () =
         true
         (buffered.Explorer.writes <= through.Explorer.writes))
     [ 11L; 12L ]
+
+(* Mid-truncation exploration: workloads carry [Step] ops that advance the
+   background truncator one bounded unit at a time, with commits landing
+   between steps while a reclamation run is suspended. The explorer then
+   crashes at every device event those steps issue (torn variants
+   included) — every truncator step boundary is a crash point. Both modes
+   must hold the commit-prefix contract, and the run must prove the steps
+   actually did device work: with [auto_truncate] off, the only segment
+   writes in the workload run come from truncation applying pages. *)
+let test_honest_mid_truncation () =
+  List.iter
+    (fun (mode, seed) ->
+      let cfg =
+        {
+          (config ~mode ()) with
+          Explorer.mid_truncation = true;
+          log_size = 16 * 1024;
+        }
+      in
+      let ops =
+        Workload.generate ~mid_truncation:true
+          ~rng:(Rng.create ~seed)
+          ~ops:20 ~region_len:cfg.Explorer.region_len ()
+      in
+      check_bool "generator emitted Step ops" true
+        (List.exists
+           (function Workload.Step _ -> true | _ -> false)
+           ops);
+      let o = Explorer.run ~config:cfg ops in
+      assert_clean o;
+      check_bool "truncation steps wrote segment pages" true
+        (List.exists
+           (fun (w : Explorer.write_point) -> w.Explorer.dev = "seg")
+           o.Explorer.write_points))
+    [
+      (Types.Epoch, 3L);
+      (Types.Epoch, 5L);
+      (Types.Incremental, 3L);
+      (Types.Incremental, 7L);
+    ]
+
+(* Crafted mid-truncation workload: fill past the (tiny) threshold, then
+   alternate single truncator steps with fresh flush-mode commits so every
+   commit after the first Step lands inside a suspended reclamation run.
+   Crashing anywhere — including torn inside the pages the truncator
+   writes — must still recover every flushed commit. *)
+let test_mid_truncation_interleaved_commits () =
+  let commit off c =
+    Workload.Commit { ranges = [ (off, 300, c) ]; mode = Types.Flush }
+  in
+  let ops =
+    [
+      commit 0 'A';
+      commit 512 'B';
+      Workload.Step 1;
+      commit 1024 'C';
+      Workload.Step 1;
+      commit 1536 'D';
+      Workload.Step 2;
+      commit 0 'E';
+      Workload.Step 3;
+      Workload.Flush;
+    ]
+  in
+  List.iter
+    (fun mode ->
+      let cfg =
+        {
+          (config ~mode ()) with
+          Explorer.mid_truncation = true;
+          log_size = 16 * 1024;
+        }
+      in
+      let o = Explorer.run ~config:cfg ops in
+      assert_clean o;
+      check_bool "steps performed segment writes" true
+        (List.exists
+           (fun (w : Explorer.write_point) -> w.Explorer.dev = "seg")
+           o.Explorer.write_points))
+    [ Types.Epoch; Types.Incremental ]
 
 (* Acceptance: for a 20-op generated workload the explorer enumerates every
    write/sync boundary, and every straddling write of at least 5 bytes gets
@@ -301,6 +381,10 @@ let suite =
     ("explorer.honest-incremental", `Quick, test_honest_incremental);
     ("explorer.honest-small-sector", `Quick, test_honest_small_sector);
     ("explorer.honest-group-commit", `Quick, test_honest_group_commit);
+    ("explorer.honest-mid-truncation", `Quick, test_honest_mid_truncation);
+    ( "explorer.mid-truncation-interleaved-commits",
+      `Quick,
+      test_mid_truncation_interleaved_commits );
     ("explorer.enumeration-coverage", `Quick, test_enumeration_coverage);
     ("explorer.torn-positions", `Quick, test_torn_positions);
     ("explorer.model-prefixes", `Quick, test_model_prefixes);

@@ -361,6 +361,56 @@ let test_sharded_batching_fewer_syncs () =
   check_bool "batched commits no fewer requests" true
     (r8.S.committed >= r1.S.committed)
 
+(* --- end-to-end: background truncation on the scheduler's quantum loop --- *)
+
+(* A log small enough that 200 requests wrap it several times over: with
+   [background_truncation] on (the default), reclamation happens in bounded
+   truncator steps from the scheduler's background slot, observable in the
+   [truncation.steps.per.quantum] and [truncation.pause.us] histograms —
+   and the run must still commit everything and match the serial
+   reference. With it off, the engine's inline commit-path trigger does
+   the reclaiming (classic behavior), the background histograms stay
+   empty, and the balances agree. *)
+let trunc_cfg =
+  {
+    S.default_config with
+    S.requests = 200;
+    S.load = S.Open_loop 80.;
+    S.log_size = 16 * 1024;
+    S.batch_max = 4;
+    S.max_queue = 400;
+  }
+
+let test_background_truncation_run () =
+  let module Histogram = Rvm_obs.Histogram in
+  let steps_hist w =
+    match
+      List.assoc_opt "truncation.steps.per.quantum"
+        (Registry.histograms w.S.obs)
+    with
+    | Some h -> Histogram.count h
+    | None -> 0
+  in
+  let w_bg, tally_bg = S.run_with_world trunc_cfg in
+  check_int "all committed with background truncation" trunc_cfg.S.requests
+    tally_bg.Scheduler.committed;
+  check_balances trunc_cfg w_bg;
+  check_bool "background steps observed" true (steps_hist w_bg > 0);
+  let pause_count =
+    match
+      List.assoc_opt "truncation.pause.us" (Registry.histograms w_bg.S.obs)
+    with
+    | Some h -> Histogram.count h
+    | None -> 0
+  in
+  check_bool "pause histogram populated" true (pause_count > 0);
+  let off = { trunc_cfg with S.background_truncation = false } in
+  let w_off, tally_off = S.run_with_world off in
+  check_int "all committed with inline truncation" off.S.requests
+    tally_off.Scheduler.committed;
+  check_balances off w_off;
+  check_int "no background steps when disabled" 0 (steps_hist w_off)
+
 (* --- end-to-end: req.root parents txn.commit in the trace --- *)
 
 let test_trace_parenting () =
@@ -479,6 +529,9 @@ let suite =
     ( "server.sharded-batching-fewer-syncs",
       `Quick,
       test_sharded_batching_fewer_syncs );
+    ( "server.background-truncation-run",
+      `Quick,
+      test_background_truncation_run );
     ("server.trace-parents-commits", `Quick, test_trace_parenting);
     QCheck_alcotest.to_alcotest prop_no_hang_and_serial_balances;
   ]

@@ -144,6 +144,74 @@ let test_incremental_critical_fallback () =
     ((Rvm.stats w.rvm).Statistics.epoch_truncations > 0);
   Rvm.end_transaction w.rvm long ~mode:Types.Flush
 
+(* ISSUE 7 satellite: incremental truncation driven from the background
+   slot, blocked at the queue head by a long-running transaction while the
+   log is at truncation_critical, must fall back to an epoch run chained
+   onto the same background stepping — reclaiming the log without
+   violating WAL ordering (checked by crash-recovering to the exact
+   committed image afterwards). *)
+let test_background_fallback_pinned_head () =
+  let log_dev = Mem_device.create ~name:"bg-log" ~size:(16 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"bg-seg" ~size:(64 * 1024) () in
+  let options =
+    {
+      Options.default with
+      Options.truncation_mode = Types.Incremental;
+      auto_truncate = false;
+      truncation_threshold = 0.3;
+      truncation_critical = 0.5;
+    }
+  in
+  let open_world () =
+    let rvm =
+      Rvm.initialize ~options ~log:log_dev ~resolve:(fun _ -> seg_dev) ()
+    in
+    let region = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:(8 * ps) () in
+    (rvm, region.Region.vaddr)
+  in
+  let rvm, a = open_world () in
+  let commit_at ~addr s =
+    let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+    Rvm.modify rvm tid ~addr (Bytes.of_string s);
+    Rvm.end_transaction rvm tid ~mode:Types.Flush
+  in
+  (* The long-running transaction holds an uncommitted reference on page 7,
+     and the oldest committed record shares that page — so the incremental
+     queue head is pinned for as long as the transaction lives. *)
+  let long = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  Rvm.set_range rvm long ~addr:(a + (7 * ps)) ~len:16;
+  commit_at ~addr:(a + (7 * ps) + 100) "pins-the-head";
+  let i = ref 0 in
+  while not (Rvm.truncation_urgent rvm) do
+    commit_at ~addr:(a + (!i mod 7 * ps)) (String.make 200 'w');
+    incr i;
+    if !i > 500 then Alcotest.fail "log never reached truncation_critical"
+  done;
+  check_bool "due at critical" true (Rvm.truncation_due rvm);
+  let rec drive n =
+    if n > 10_000 then Alcotest.fail "background truncation did not converge"
+    else
+      match Rvm.truncation_step rvm with
+      | `Progress -> drive (n + 1)
+      | `Blocked | `Idle -> ()
+  in
+  drive 0;
+  let s = Rvm.stats rvm in
+  check_bool "incremental run blocked" true
+    (s.Statistics.incremental_blocked > 0);
+  check_bool "epoch fallback chained" true
+    (s.Statistics.epoch_truncations > 0);
+  check_bool "log reclaimed below critical" false (Rvm.truncation_urgent rvm);
+  (* WAL ordering held through the fallback: resolve the pin, then crash
+     (reopen without terminating) and demand the exact committed image. *)
+  Rvm.set_i64 rvm ~addr:(a + (7 * ps)) 424242L;
+  Rvm.end_transaction rvm long ~mode:Types.Flush;
+  let live = Bytes.to_string (Rvm.load rvm ~addr:a ~len:(8 * ps)) in
+  let rvm2, a2 = open_world () in
+  let recovered = Bytes.to_string (Rvm.load rvm2 ~addr:a2 ~len:(8 * ps)) in
+  check_bool "crash recovery byte-identical" true (String.equal live recovered)
+
 let test_truncation_counter_in_status () =
   let w = make ~mode:Types.Epoch () in
   let a = w.region.Region.vaddr in
@@ -206,6 +274,9 @@ let suite =
     ("incremental.blocked-spool", `Quick, test_incremental_blocked_by_unflushed_spool);
     ("auto.threshold", `Quick, test_auto_truncation_threshold);
     ("incremental.critical-fallback", `Quick, test_incremental_critical_fallback);
+    ( "background.fallback-pinned-head",
+      `Quick,
+      test_background_fallback_pinned_head );
     ("status.counter", `Quick, test_truncation_counter_in_status);
     ("truncate.empty", `Quick, test_truncate_empty_log_is_noop);
     ("stats.span-backed", `Quick, test_truncation_counters_match_registry);
