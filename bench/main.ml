@@ -485,6 +485,122 @@ let shards () =
        ]);
   Printf.printf "wrote %s\n%!" path
 
+(* --- contention: early lock release under hot-key skew ---
+
+   The tentpole sweep for the ELR commit pipeline: account-key skew
+   crossed with {ELR off, ELR on}, closed-loop load so throughput is
+   contention-bound rather than arrival-bound, 20% snapshot lookups in
+   the mix. ELR-off is the classic pipeline (locks ride until the batch
+   force — every hot-key successor stalls for a device sync); ELR-on
+   releases at commit-spool and defers only the ack. The artifact gates
+   the headline claims at the contention point (s >= 0.99): strictly
+   fewer deadlock aborts, >= 1.5x committed throughput, and read-only
+   p99 below write p99. *)
+
+let contention () =
+  let module S = Rvm_server.Server in
+  let module J = Rvm_obs.Json in
+  let base =
+    {
+      S.default_config with
+      (* 50 accounts under deep batching is the regime the pipeline was
+         built for: the hot keys are hot enough that lock-hold time —
+         not arrival rate — is the throughput ceiling, and the baseline's
+         force-released herd (a whole batch of waiters waking into their
+         upgrade steps at once) is what drives its deadlock rate. *)
+      S.accounts = 50;
+      requests = 600;
+      (* Closed loop: sessions re-issue as soon as their previous request
+         acks, so faster commits turn directly into more throughput —
+         an open loop would just drain the same arrival schedule early. *)
+      load = S.Closed_loop { sessions = 24; think_us = 500. };
+      batch_max = 16;
+      transfer_pct = 30;
+      read_pct = 20;
+      max_inflight = 24;
+      max_queue = 1000;
+    }
+  in
+  let skews = [ 0.6; 0.8; 0.99; 1.2 ] in
+  let results =
+    List.concat_map
+      (fun zipf_s ->
+        List.map
+          (fun elr -> S.run { base with S.zipf_s; S.elr })
+          [ false; true ])
+      skews
+  in
+  print_endline "\n== Contention sweep: early lock release vs. skew ==";
+  Format.printf "%a@?" S.pp_table results;
+  let cell ~zipf_s ~elr =
+    List.find
+      (fun r -> r.S.cfg.S.zipf_s = zipf_s && r.S.cfg.S.elr = elr)
+      results
+  in
+  List.iter
+    (fun s ->
+      let off = cell ~zipf_s:s ~elr:false and on = cell ~zipf_s:s ~elr:true in
+      Printf.printf
+        "  s=%-4g  tps %6.0f -> %6.0f (%.2fx)  abort-rate %.3f -> %.3f  \
+         read-p99 %6.0f us vs write-p99 %6.0f us\n%!"
+        s off.S.throughput_tps on.S.throughput_tps
+        (on.S.throughput_tps /. off.S.throughput_tps)
+        off.S.abort_rate on.S.abort_rate on.S.read_p99_latency_us
+        on.S.p99_latency_us)
+    skews;
+  let path = "BENCH_contention.json" in
+  J.write_file ~path
+    (J.Obj
+       [
+         ("artifact", J.String "contention");
+         ("accounts", J.Int base.S.accounts);
+         ("requests", J.Int base.S.requests);
+         ("transfer_pct", J.Int base.S.transfer_pct);
+         ("read_pct", J.Int base.S.read_pct);
+         ("batch_max", J.Int base.S.batch_max);
+         ( "sessions",
+           J.Int
+             (match base.S.load with
+             | S.Closed_loop { sessions; _ } -> sessions
+             | S.Open_loop _ -> 0) );
+         ("seed", J.Int (Int64.to_int base.S.seed));
+         ("results", J.List (List.map S.result_to_json results));
+       ]);
+  Printf.printf "wrote %s\n%!" path;
+  (* Self-gates at the contention points: the whole point of ELR is to
+     win exactly where the lock-hold time is the bottleneck. *)
+  let failed = ref false in
+  List.iter
+    (fun s ->
+      let off = cell ~zipf_s:s ~elr:false and on = cell ~zipf_s:s ~elr:true in
+      let speedup = on.S.throughput_tps /. off.S.throughput_tps in
+      if not (on.S.abort_rate < off.S.abort_rate) then begin
+        failed := true;
+        Printf.printf
+          "contention: FAIL — at s=%g ELR abort rate %.3f is not strictly \
+           below the lock-held baseline %.3f\n%!"
+          s on.S.abort_rate off.S.abort_rate
+      end;
+      if not (speedup >= 1.5) then begin
+        failed := true;
+        Printf.printf
+          "contention: FAIL — at s=%g ELR throughput is only %.2fx the \
+           baseline (gate: >= 1.5x)\n%!"
+          s speedup
+      end;
+      if not (on.S.read_p99_latency_us < on.S.p99_latency_us) then begin
+        failed := true;
+        Printf.printf
+          "contention: FAIL — at s=%g snapshot-read p99 %.0f us is not \
+           below write p99 %.0f us\n%!"
+          s on.S.read_p99_latency_us on.S.p99_latency_us
+      end)
+    (List.filter (fun s -> s >= 0.99) skews);
+  if !failed then exit 1;
+  Printf.printf
+    "contention: OK (ELR strictly fewer deadlock aborts, >= 1.5x tps, \
+     read p99 < write p99 at every s >= 0.99)\n%!"
+
 (* --- truncation: background reclamation vs. the pause pathology ---
 
    One long TPC-A run per arm, all timing simulated, log small enough to
@@ -730,6 +846,39 @@ let baseline () =
         ("server_sharded", 8, 4);
       ]
   in
+  (* The contention row: the ELR pipeline at the hot-key point. The abort
+     rate is a direct upper gate; the snapshot-read fraction is gated via
+     its complement (miss fraction), so the lookup fast path silently
+     degrading — reads leaking back into the locked write path — shows up
+     as a regression even though throughput metrics would survive it. *)
+  let contention_cases =
+    let module S = Rvm_server.Server in
+    let r =
+      S.run
+        {
+          S.default_config with
+          S.accounts = 50;
+          requests = 300;
+          zipf_s = 0.99;
+          read_pct = 20;
+          transfer_pct = 30;
+          batch_max = 16;
+          load = S.Closed_loop { sessions = 24; think_us = 500. };
+          max_inflight = 24;
+          max_queue = 1000;
+        }
+    in
+    Printf.printf
+      "  %-14s %.4f abort rate  %.4f snapshot-read fraction\n%!"
+      "contention" r.S.abort_rate r.S.snapshot_read_fraction;
+    [
+      ( "server_contention",
+        [
+          ("deadlock_abort_rate", r.S.abort_rate);
+          ("snapshot_read_miss_fraction", 1. -. r.S.snapshot_read_fraction);
+        ] );
+    ]
+  in
   (* The truncation row: same ratio as `bench truncation` but on a short
      deterministic run (all timing simulated, so the number is exact and
      seed-stable). Gates the headline property — background reclamation
@@ -747,7 +896,7 @@ let baseline () =
     Printf.printf "  %-14s %.4f p99 on/off ratio\n%!" "truncation" ratio;
     [ ("truncation", [ ("p99_on_over_off", ratio) ]) ]
   in
-  let cases = cases @ server_cases @ truncation_cases in
+  let cases = cases @ server_cases @ contention_cases @ truncation_cases in
   let tolerance = 0.10 in
   if write_mode then begin
     J.write_file ~path
@@ -839,6 +988,7 @@ let () =
   | "groupcommit" -> groupcommit ()
   | "server" -> server ()
   | "shards" -> shards ()
+  | "contention" -> contention ()
   | "truncation" -> truncation ()
   | "baseline" -> baseline ()
   | "full" ->
@@ -851,6 +1001,7 @@ let () =
     groupcommit ();
     server ();
     shards ();
+    contention ();
     micro ()
   | "all" ->
     run_table1_family ~trials:2 ~measure:2500;
@@ -862,11 +1013,12 @@ let () =
     groupcommit ();
     server ();
     shards ();
+    contention ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown artifact %S (try: all, full, table1, fig8, fig9, table2, \
        ablation-truncation, ablation-opt, ablation-modes, ablation-startup, \
-       groupcommit, server, shards, micro, baseline)\n"
+       groupcommit, server, shards, contention, micro, baseline)\n"
       other;
     exit 2

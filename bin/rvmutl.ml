@@ -203,6 +203,24 @@ let stats path json =
 
 (* --- check: the deterministic crash-point explorer --- *)
 
+let check_elr seed exhaustive sector shards =
+  let module Ec = Rvm_check.Elr_check in
+  let config =
+    {
+      Ec.default_config with
+      Ec.shards;
+      seed = Int64.of_int seed;
+      sector;
+      exhaustive;
+    }
+  in
+  Printf.printf
+    "ELR pipeline explorer (%d shards, %d requests, %d%% lookups, seed %d)\n\n"
+    shards config.Ec.requests config.Ec.read_pct seed;
+  let outcome = Ec.run ~config () in
+  Format.printf "%a@." Ec.pp_outcome outcome;
+  if outcome.Ec.violations <> [] then exit 1
+
 let check_sharded ops_n seed exhaustive sector incremental shards
     mid_truncation =
   let module Sc = Rvm_check.Shard_check in
@@ -240,7 +258,7 @@ let check_sharded ops_n seed exhaustive sector incremental shards
     exit 1
   end
 
-let check ops_n seed exhaustive sector incremental shards mid_truncation =
+let check ops_n seed exhaustive sector incremental shards mid_truncation elr =
   if sector <= 0 then begin
     Printf.eprintf "rvmutl: --sector must be positive (got %d)\n" sector;
     exit 2
@@ -253,7 +271,8 @@ let check ops_n seed exhaustive sector incremental shards mid_truncation =
     Printf.eprintf "rvmutl: --shards must be at least 1 (got %d)\n" shards;
     exit 2
   end;
-  if shards > 1 then
+  if elr then check_elr seed exhaustive sector shards
+  else if shards > 1 then
     check_sharded ops_n seed exhaustive sector incremental shards
       mid_truncation
   else
@@ -358,9 +377,14 @@ let trace path out txns accounts batch seed top_n =
 (* --- serve: the transaction server's saturation table --- *)
 
 let serve requests accounts seed loads batches sessions think_ms trace_out
-    log_size =
+    log_size zipf_s read_pct =
   if requests <= 0 then begin
     Printf.eprintf "rvmutl: --requests must be positive (got %d)\n" requests;
+    exit 2
+  end;
+  if read_pct < 0 || read_pct > 100 then begin
+    Printf.eprintf "rvmutl: --read-pct must be in [0, 100] (got %d)\n"
+      read_pct;
     exit 2
   end;
   let module S = Rvm_server.Server in
@@ -382,6 +406,8 @@ let serve requests accounts seed loads batches sessions think_ms trace_out
         load = S.Open_loop load;
         batch_max = batch;
         log_size;
+        zipf_s;
+        read_pct;
         trace_capacity = max 16384 (requests * 24);
       }
     in
@@ -397,7 +423,14 @@ let serve requests accounts seed loads batches sessions think_ms trace_out
   let loads = if loads = [] then [ 10.; 20.; 40.; 80.; 160. ] else loads in
   let batches = if batches = [] then [ 1; 8 ] else batches in
   let base =
-    { S.default_config with S.requests; accounts; seed = Int64.of_int seed }
+    {
+      S.default_config with
+      S.requests;
+      accounts;
+      seed = Int64.of_int seed;
+      zipf_s;
+      read_pct;
+    }
   in
   let rows =
     S.sweep ~base
@@ -556,6 +589,21 @@ let check_cmd =
              disabled — so crash points land at every truncator step \
              boundary, interleaved with concurrent commits.")
   in
+  let elr =
+    Arg.(
+      value & flag
+      & info [ "elr" ]
+          ~doc:
+            "Explore the early-lock-release commit pipeline instead: a real \
+             server run (ELR scheduler, lock manager, version-cache \
+             lookups) over recorder-wrapped devices, re-crashed at every \
+             write/sync boundary and torn variant, checking that no write \
+             ack or lookup ack ever preceded the durability of the state \
+             it vouches for, that survivors form per-shard spool-order \
+             prefixes, and that recovered balances match the serial \
+             reference over exactly the surviving set. Combines with \
+             --shards, --seed, --sector, --exhaustive; ignores --ops.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -564,11 +612,12 @@ let check_cmd =
           variants of the straddling write), recover each image and check \
           the recovered bytes against the commit-prefix contract. With \
           --shards N, the sharded engine's cross-shard atomicity contract \
-          is checked instead. Exits non-zero with a shrunk counterexample \
-          on violation.")
+          is checked instead; with --elr, the early-lock-release commit \
+          pipeline's ack-durability contract. Exits non-zero with a shrunk \
+          counterexample on violation.")
     Term.(
       const check $ ops $ seed $ exhaustive $ sector $ incremental $ shards
-      $ mid_truncation)
+      $ mid_truncation $ elr)
 
 let trace_cmd =
   let out =
@@ -684,6 +733,24 @@ let serve_cmd =
             "Log capacity for the traced run; small enough that the \
              workload wraps it and background truncation fires.")
   in
+  let zipf_s =
+    Arg.(
+      value
+      & opt float Rvm_server.Server.default_config.Rvm_server.Server.zipf_s
+      & info [ "zipf-s" ] ~docv:"S"
+          ~doc:
+            "Account-key skew exponent; 0 is uniform, 0.99 is the classic \
+             hot-key contention point, above 1 a handful of accounts take \
+             most of the traffic.")
+  in
+  let read_pct =
+    Arg.(
+      value & opt int 0
+      & info [ "read-pct" ] ~docv:"PCT"
+          ~doc:
+            "Percentage of requests issued as read-only balance lookups, \
+             served lock-free from the multi-version snapshot path.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -694,7 +761,7 @@ let serve_cmd =
           device syncs per committed transaction.")
     Term.(
       const serve $ requests $ accounts $ seed $ loads $ batches $ sessions
-      $ think_ms $ trace_out $ log_size)
+      $ think_ms $ trace_out $ log_size $ zipf_s $ read_pct)
 
 let () =
   let info =

@@ -1,0 +1,91 @@
+(** Crash explorer for the early-lock-release commit pipeline.
+
+    The recorded run is a {e real server world} — the sharded engine
+    behind {!Rvm_server.Engine}, the lock manager, admission control and
+    the ELR scheduler — driving a seeded TPC-A mix (payments, transfers,
+    lookups) over recorder-wrapped memory devices. Scheduler hooks log
+    two orders the checks need:
+
+    - {e commit-spool order}: each write request the moment its commit
+      record reaches the log spool (the instant ELR drops its locks),
+      with the address of the audit slot it wrote;
+    - {e ack order}: each outcome released to a client, tagged with the
+      exact device-event index at which it left the server — for lookups,
+      together with the writer ids whose early-released state they
+      observed.
+
+    Then every crash point (each boundary in the global device-write
+    order, plus torn variants of every write) is replayed through
+    recovery and checked:
+
+    + {b No ack precedes durability} — a write acked before the crash
+      must be recovered; a lookup acked before the crash must only have
+      exposed writers that were recovered. This is exactly the
+      commit-LSN ack-dependency rule ELR introduces; a scheduler that
+      acked at spool time fails here at the first crash inside an open
+      batch.
+    + {b Prefix closure} — per shard, the surviving commits are a prefix
+      of spool order; the only legal holes are cross-shard transactions
+      whose intents recovery resolved to aborted.
+    + {b Serial equivalence} — recovered balances equal the commutative
+      serial reference applied to exactly the survivor set (membership
+      read back from the per-commit audit slots). Atomicity of
+      cross-shard transfers is implied: a half-applied transfer moves one
+      account away from the reference.
+
+    Membership detection relies on two workload invariants the scheduler
+    guarantees: every write request's last step writes [id + 1] into a
+    fresh audit slot (so the slot word survives iff the commit did, and a
+    zeroed slot is never mistaken for request 0), and audit draws happen
+    at most once per request (aborts can only happen at lock steps, all
+    of which precede the draw). [run] rejects configurations whose
+    request count could wrap a shard's audit trail. *)
+
+type config = {
+  shards : int;
+  accounts : int;
+  requests : int;  (** must be [<= accounts] (audit-wrap guard) *)
+  seed : int64;
+  batch_max : int;  (** > 1, or ELR never engages *)
+  zipf_s : float;
+  read_pct : int;
+  transfer_pct : int;
+  rate_tps : float;
+  log_size : int;
+  sector : int;
+  exhaustive : bool;  (** all torn positions, not a sample *)
+  max_torn_per_write : int;
+}
+
+val default_config : config
+(** 1 shard, 32 accounts, 24 requests, batch 4, zipf 0.99, 25% lookups,
+    30% transfers — small enough to explore in well under a second,
+    contended enough to exercise stamps, dependencies and parked reads. *)
+
+type crash_point = { upto : int; torn : int option }
+
+type violation = {
+  crash : crash_point;
+  reason : string;
+  tail : Rvm_obs.Registry.span_event list;  (** flight-recorder tail *)
+}
+
+type outcome = {
+  events : int;
+  writes : int;
+  syncs : int;
+  boundaries : int;
+  torn_variants : int;
+  recoveries : int;
+  commits : int;  (** write requests committed by the recorded run *)
+  cross : int;  (** of which cross-shard parallel commits *)
+  reads : int;  (** lookups acked by the recorded run *)
+  elr_released : int;  (** early releases the recorded run performed *)
+  violations : violation list;
+}
+
+val run : ?config:config -> unit -> outcome
+
+val pp_violation : Format.formatter -> violation -> unit
+val summary : outcome -> string
+val pp_outcome : Format.formatter -> outcome -> unit

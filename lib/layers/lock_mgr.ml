@@ -3,9 +3,19 @@ type mode = Shared | Exclusive
 type t = {
   locks : (string, (int * mode) list ref) Hashtbl.t;
   waits : (int, int list) Hashtbl.t;  (* owner -> owners it waits for *)
+  stamps : (string, int * int) Hashtbl.t;
+      (* key -> (commit LSN, writer) of the last early-released holder.
+         The early-lock-release dependency rule: the next owner to touch
+         the key inherits the stamp as an ack dependency — it must not
+         acknowledge before the stamped commit is durable. *)
 }
 
-let create () = { locks = Hashtbl.create 64; waits = Hashtbl.create 16 }
+let create () =
+  {
+    locks = Hashtbl.create 64;
+    waits = Hashtbl.create 16;
+    stamps = Hashtbl.create 64;
+  }
 
 let cell t key =
   match Hashtbl.find_opt t.locks key with
@@ -69,7 +79,16 @@ let wait_for t ~owner ~key mode =
       `Wait blockers
     end
 
-let release_all t ~owner =
+let release_all ?stamp t ~owner =
+  (match stamp with
+  | None -> ()
+  | Some (lsn, writer) ->
+    (* Stamp every key the owner still holds: LSNs are assigned in commit
+       order, so a plain replace keeps each key's stamp monotone. *)
+    Hashtbl.iter
+      (fun key c ->
+        if List.mem_assoc owner !c then Hashtbl.replace t.stamps key (lsn, writer))
+      t.locks);
   Hashtbl.iter
     (fun _ c -> c := List.filter (fun (o, _) -> o <> owner) !c)
     t.locks;
@@ -90,6 +109,8 @@ let release_all t ~owner =
       if blockers = [] then Hashtbl.remove t.waits o
       else Hashtbl.replace t.waits o blockers)
     updates
+
+let stamp t ~key = Hashtbl.find_opt t.stamps key
 
 let wait_edges t =
   Hashtbl.fold (fun o blockers acc -> (o, List.sort compare blockers) :: acc)

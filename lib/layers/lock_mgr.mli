@@ -29,10 +29,18 @@ val wait_for :
     transaction), [`Wait blockers] otherwise (the caller retries after the
     blockers release — no real blocking, the engine is single-threaded). *)
 
-val release_all : t -> owner:int -> unit
+val release_all : ?stamp:int * int -> t -> owner:int -> unit
 (** Drop every lock and wait edge of [owner] — both directions: edges the
     owner recorded and edges other waiters hold toward it — the phase-two
-    release at commit or abort. *)
+    release at commit or abort. With [~stamp:(lsn, writer)] this is the
+    {e early} release at commit-record-spool time: every key the owner
+    held is stamped with its commit LSN, and later owners of those keys
+    inherit the stamp ({!stamp}) as an acknowledgement dependency — they
+    must not ack before LSN [lsn] is durable. *)
+
+val stamp : t -> key:string -> (int * int) option
+(** The [(commit_lsn, writer)] stamp of the last early-released holder of
+    [key], if any holder was ever released with [~stamp]. *)
 
 val wait_edges : t -> (int * int list) list
 (** The wait-for graph as sorted [(waiter, blockers)] pairs — for

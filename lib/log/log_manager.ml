@@ -21,6 +21,12 @@ type t = {
   mutable scratch : Bytes.t;  (* cached live-window image, sized on demand *)
   mutable dirty : bool;  (* device writes issued since the last sync *)
   mutable unforced_records : int;  (* appends since the last sync *)
+  mutable forced_seqno : int;
+      (* highest record sequence number known durable on the device: every
+         record with seqno <= this survives any crash. Everything found at
+         open time was read from the device, so it starts at
+         [next_seqno - 1] and advances at each sync ([force], and
+         [move_head]'s status write). *)
   obs : Rvm_obs.Registry.t;
   (* Pre-resolved handles: appends, drains and forces are the hot path. *)
   c_appends : Rvm_obs.Counter.t;
@@ -45,6 +51,7 @@ let head t = t.status.Status.head
 let tail t = t.tail
 let next_seqno t = t.next_seqno
 let record_count t = t.records
+let forced_seqno t = t.forced_seqno
 
 let spooled_bytes t =
   match t.spool with None -> 0 | Some sp -> Tail_buffer.bytes sp
@@ -151,6 +158,7 @@ let open_log ?obs ?(group_commit = true) ?(max_spool_bytes = 256 * 1024) dev =
           scratch = Bytes.empty;
           dirty = false;
           unforced_records = 0;
+          forced_seqno = next_seqno - 1;
           obs;
           c_appends = Rvm_obs.Registry.counter obs "log.append.records";
           c_append_bytes = Rvm_obs.Registry.counter obs "log.append.bytes";
@@ -261,6 +269,7 @@ let force t =
   if t.unforced_records > 1 then
     Rvm_obs.Counter.add t.c_absorbed (t.unforced_records - 1);
   t.unforced_records <- 0;
+  t.forced_seqno <- t.next_seqno - 1;
   t.dirty <- false
 
 let iter_live t ~f =
@@ -323,6 +332,7 @@ let move_head t ~new_head ~new_head_seqno =
   (* Status.write syncs the device, so everything drained is durable. *)
   t.dirty <- false;
   t.unforced_records <- 0;
+  t.forced_seqno <- t.next_seqno - 1;
   t.status <- status;
   Rvm_obs.Counter.incr t.c_truncations
 

@@ -65,6 +65,13 @@ val head : t -> int
 val tail : t -> int
 val next_seqno : t -> int
 
+val forced_seqno : t -> int
+(** Highest sequence number known durable: every record with
+    [seqno <= forced_seqno] survives any crash. Advances at {!force} and
+    at {!move_head} (whose status write syncs the drained tail). The gap
+    [forced_seqno + 1 .. next_seqno - 1] is the spooled-or-written but
+    unforced window — logically committed, not yet durable. *)
+
 val record_count : t -> int
 (** Live records (including wrap markers). *)
 

@@ -23,6 +23,7 @@ type tid = int
 (* A committed-but-unwritten no-flush transaction (section 5.1.1: "new-value
    and commit records can be spooled rather than forced to the log"). *)
 type spool_entry = {
+  sp_lsn : int;  (* logical commit LSN assigned at spool time *)
   sp_tid : int;
   sp_timestamp_us : int;
   sp_flags : int;
@@ -45,6 +46,21 @@ type t = {
   mutable next_tid : int;
   mutable spool : spool_entry list;  (* newest first *)
   mutable spool_bytes : int;
+  mutable commit_lsn : int;
+      (* Logical commit counter: one per committed transaction that wrote
+         anything (including cross-shard intents), assigned the moment the
+         commit is spooled — the "logically committed" point early lock
+         release keys on. *)
+  mutable durable_lsn : int;
+      (* Horizon below which every assigned LSN's record is known forced.
+         Maintained lazily by {!durable_lsn} off [lsn_pending] and the
+         log's forced seqno. *)
+  lsn_pending : (int * int) Queue.t;
+      (* (lsn, record seqno) in commit order for every commit record that
+         has reached the log manager but may not be forced yet. Spooled
+         entries enter when the spool drains assigns their seqno; a
+         subsumption-dropped entry never enters (its effects ride the
+         newer record that subsumed it). *)
   mutable trunc : Truncator.t option;
       (* The truncation state machine ({!Truncator}) — owns the
          incremental page queue and all epoch/incremental dispatch.
@@ -172,7 +188,7 @@ let append_with_retry t record =
   go false
 
 (* Write one commit record to the log (no force) and do the page-vector
-   bookkeeping. Returns the encoded size. *)
+   bookkeeping. Returns the record's sequence number. *)
 let write_commit_record t ~txn_tid ~timestamp_us ~flags ~ranges ~pages =
   let record = Record.commit ~seqno:0 ~tid:txn_tid ~timestamp_us ~flags ranges in
   let size = Record.encoded_size record in
@@ -181,7 +197,7 @@ let write_commit_record t ~txn_tid ~timestamp_us ~flags ~ranges ~pages =
   C.add t.live.Lv.bytes_logged size;
   note_logged_ranges t ~log_off:off ~seqno ranges;
   release_page_refs pages;
-  size
+  seqno
 
 (* Write every spooled record (commit order) without forcing. *)
 let drain_spool t =
@@ -190,9 +206,11 @@ let drain_spool t =
   t.spool_bytes <- 0;
   List.iter
     (fun e ->
-      ignore
-        (write_commit_record t ~txn_tid:e.sp_tid ~timestamp_us:e.sp_timestamp_us
-           ~flags:e.sp_flags ~ranges:e.sp_ranges ~pages:e.sp_pages))
+      let seqno =
+        write_commit_record t ~txn_tid:e.sp_tid ~timestamp_us:e.sp_timestamp_us
+          ~flags:e.sp_flags ~ranges:e.sp_ranges ~pages:e.sp_pages
+      in
+      Queue.push (e.sp_lsn, seqno) t.lsn_pending)
     entries
 
 let force_log t =
@@ -265,6 +283,9 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
       next_tid = 1;
       spool = [];
       spool_bytes = 0;
+      commit_lsn = 0;
+      durable_lsn = 0;
+      lsn_pending = Queue.create ();
       trunc = None;
       obs;
       live = Lv.create obs;
@@ -573,18 +594,23 @@ let end_transaction_inner t tid txn ~mode =
     (* Nothing modified: no record at all. *)
     release_page_refs pages
   | _ -> begin
+    t.commit_lsn <- t.commit_lsn + 1;
+    let lsn = t.commit_lsn in
     match mode with
     | Types.Flush ->
       (* Spooled records precede this one in commit order. *)
       drain_spool t;
-      ignore
-        (write_commit_record t ~txn_tid:tid ~timestamp_us:(now_us t) ~flags
-           ~ranges ~pages);
+      let seqno =
+        write_commit_record t ~txn_tid:tid ~timestamp_us:(now_us t) ~flags
+          ~ranges ~pages
+      in
+      Queue.push (lsn, seqno) t.lsn_pending;
       force_log t
     | Types.No_flush ->
       Registry.span t.obs "commit.no_flush" (fun () ->
           let entry =
             {
+              sp_lsn = lsn;
               sp_tid = tid;
               sp_timestamp_us = now_us t;
               sp_flags = flags;
@@ -695,6 +721,8 @@ let end_transaction_intent t tid ~gid ~shard =
       in
       let size = Record.encoded_size record in
       let off, seqno = append_with_retry t record in
+      t.commit_lsn <- t.commit_lsn + 1;
+      Queue.push (t.commit_lsn, seqno) t.lsn_pending;
       cpu t (t.model.Cost_model.log_record_us +. checksum_cost t size);
       C.add t.live.Lv.bytes_logged size;
       note_logged_ranges t ~log_off:off ~seqno ranges;
@@ -865,6 +893,26 @@ let set_options t f =
 
 let unflushed (t : t) =
   t.spool_bytes > 0 || Log_manager.unflushed t.log
+
+let commit_lsn (t : t) = t.commit_lsn
+
+let durable_lsn (t : t) =
+  (* Advance the horizon over every pending record the log has since
+     forced. The queue is in commit order and LSNs are monotone, so the
+     scan stops at the first unforced record; LSNs that never entered the
+     queue (subsumption-dropped spool entries) are strictly older than
+     the record that subsumed them and are covered by its durability. *)
+  let forced = Log_manager.forced_seqno t.log in
+  let rec drain () =
+    match Queue.peek_opt t.lsn_pending with
+    | Some (lsn, seqno) when seqno <= forced ->
+      ignore (Queue.pop t.lsn_pending);
+      t.durable_lsn <- lsn;
+      drain ()
+    | _ -> ()
+  in
+  drain ();
+  t.durable_lsn
 
 let spool_pressure (t : t) =
   (* Commit bytes not yet on the device sit in two places: the engine's

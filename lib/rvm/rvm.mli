@@ -216,6 +216,20 @@ val spool_pressure : t -> float
     device; values approaching 1 mean a drain is imminent. The admission
     controller of [Rvm_server] uses this as its backpressure signal. *)
 
+val commit_lsn : t -> int
+(** The logical commit counter: incremented once per committed transaction
+    at the moment its commit record is spooled (or appended), i.e. at
+    logical-commit time, before any force. LSN [n] is the [n]-th commit in
+    serialization order; 0 means no commits yet this run. *)
+
+val durable_lsn : t -> int
+(** The durable horizon: every commit with LSN [<= durable_lsn] has its
+    record forced to the device and survives any crash. Advances lazily by
+    comparing each spooled commit's log sequence number against the log's
+    forced horizon. The gap [durable_lsn + 1 .. commit_lsn] is the
+    logically-committed-but-unacknowledgeable window early lock release
+    exposes: locks are free, acks must wait. *)
+
 (** {1 Recoverable memory access}
 
     Mapped memory is ordinary memory: reads require no RVM intervention

@@ -14,16 +14,19 @@ let validate c =
 type 'a t = {
   cfg : config;
   queue : 'a Queue.t;
+  obs : Rvm_obs.Registry.t option;
   mutable inflight : int;
+  mutable double_releases : int;
 }
 
-let create cfg =
+let create ?obs cfg =
   validate cfg;
-  { cfg; queue = Queue.create (); inflight = 0 }
+  { cfg; queue = Queue.create (); obs; inflight = 0; double_releases = 0 }
 
 let config t = t.cfg
 let inflight t = t.inflight
 let queued t = Queue.length t.queue
+let double_releases t = t.double_releases
 
 let has_capacity t ~pressure =
   t.inflight < t.cfg.max_inflight && pressure < t.cfg.backpressure
@@ -48,6 +51,17 @@ let pop_ready t ~pressure =
     `Admit (Queue.pop t.queue)
   end
 
+(* Shed and abort paths can both try to return the same slot (a request
+   shed after its abort already released). Releasing a drained pipeline is
+   therefore a countable event, not a crash: raising here took the whole
+   server loop down. *)
 let release t =
-  if t.inflight <= 0 then invalid_arg "Admission.release: nothing in flight";
-  t.inflight <- t.inflight - 1
+  if t.inflight <= 0 then begin
+    t.double_releases <- t.double_releases + 1;
+    Option.iter
+      (fun obs ->
+        Rvm_obs.Counter.incr
+          (Rvm_obs.Registry.counter obs "admission.double_release"))
+      t.obs
+  end
+  else t.inflight <- t.inflight - 1

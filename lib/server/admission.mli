@@ -22,12 +22,18 @@ val default : config
 
 type 'a t
 
-val create : config -> 'a t
-(** Raises [Invalid_argument] on a nonsensical config. *)
+val create : ?obs:Rvm_obs.Registry.t -> config -> 'a t
+(** Raises [Invalid_argument] on a nonsensical config. With [obs],
+    double releases bump the [admission.double_release] counter. *)
 
 val config : 'a t -> config
 val inflight : 'a t -> int
 val queued : 'a t -> int
+
+val double_releases : 'a t -> int
+(** Times {!release} was called on a drained pipeline (no slot in
+    flight). Shed/abort races make this reachable; it is counted, not
+    fatal. *)
 
 val submit : 'a t -> pressure:float -> 'a -> [ `Admitted | `Queued | `Overload ]
 (** Offer an arriving request. [`Admitted] takes an in-flight slot
@@ -41,4 +47,6 @@ val pop_ready :
     is counted by the server as a deferral. *)
 
 val release : 'a t -> unit
-(** Return an in-flight slot (request committed or aborted for good). *)
+(** Return an in-flight slot (request committed or aborted for good).
+    Idempotent on a drained pipeline: a release with nothing in flight is
+    counted (see {!double_releases}) rather than raised. *)

@@ -11,6 +11,8 @@ type t = {
   end_txn : int -> mode:Types.commit_mode -> unit;
   abort : int -> unit;
   flush : unit -> unit;
+  commit_lsn : unit -> int;
+  durable_lsn : unit -> int;
   spool_pressure : unit -> float;
   truncation_step : unit -> [ `Progress | `Blocked | `Idle ];
   truncation_due : unit -> bool;
@@ -28,6 +30,8 @@ let of_rvm rvm =
     end_txn = (fun tid ~mode -> Rvm.end_transaction rvm tid ~mode);
     abort = (fun tid -> Rvm.abort_transaction rvm tid);
     flush = (fun () -> Rvm.flush rvm);
+    commit_lsn = (fun () -> Rvm.commit_lsn rvm);
+    durable_lsn = (fun () -> Rvm.durable_lsn rvm);
     spool_pressure = (fun () -> Rvm.spool_pressure rvm);
     truncation_step = (fun () -> Rvm.truncation_step rvm);
     truncation_due = (fun () -> Rvm.truncation_due rvm);
@@ -49,6 +53,8 @@ let of_multi m =
     end_txn = (fun tid ~mode -> Multi.end_transaction m tid ~mode);
     abort = (fun tid -> Multi.abort_transaction m tid);
     flush = (fun () -> Multi.flush m);
+    commit_lsn = (fun () -> Multi.commit_lsn m);
+    durable_lsn = (fun () -> Multi.durable_lsn m);
     spool_pressure = (fun () -> Multi.spool_pressure m);
     truncation_step = (fun () -> Multi.truncation_step m);
     truncation_due = (fun () -> Multi.truncation_due m);

@@ -8,7 +8,9 @@
     single engine, one overlapped round of per-shard forces (plus
     resolution of the cross-shard commits it made durable) on the sharded
     one. [spool_pressure] feeds admission control; the sharded engine
-    reports the hottest shard.
+    reports the hottest shard. [commit_lsn] / [durable_lsn] expose the
+    engine's logical-commit counter and durable horizon — the gap between
+    them is the early-lock-release window: locks released, acks pending.
 
     The truncation quartet is the scheduler's background-task slot:
     [truncation_step] advances the engine's resumable truncation state
@@ -26,6 +28,8 @@ type t = {
   end_txn : int -> mode:Rvm_core.Types.commit_mode -> unit;
   abort : int -> unit;
   flush : unit -> unit;
+  commit_lsn : unit -> int;
+  durable_lsn : unit -> int;
   spool_pressure : unit -> float;
   truncation_step : unit -> [ `Progress | `Blocked | `Idle ];
   truncation_due : unit -> bool;

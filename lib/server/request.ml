@@ -1,9 +1,12 @@
 module Rng = Rvm_util.Rng
 module Tpca = Rvm_workload.Tpca
 
-type kind = Payment | Transfer
+type kind = Payment | Transfer | Lookup
 
-let kind_name = function Payment -> "payment" | Transfer -> "transfer"
+let kind_name = function
+  | Payment -> "payment"
+  | Transfer -> "transfer"
+  | Lookup -> "lookup"
 
 type spec = {
   id : int;
@@ -19,18 +22,22 @@ type gen = {
   zipf : Rng.zipf;
   rng : Rng.t;
   transfer_pct : int;
+  read_pct : int;
   mutable next_id : int;
 }
 
-let make_gen ~accounts ~zipf_s ~transfer_pct ~rng =
+let make_gen ?(read_pct = 0) ~accounts ~zipf_s ~transfer_pct ~rng () =
   if accounts <= 0 then invalid_arg "Request.make_gen: accounts";
   if transfer_pct < 0 || transfer_pct > 100 then
     invalid_arg "Request.make_gen: transfer_pct";
+  if read_pct < 0 || read_pct > 100 then
+    invalid_arg "Request.make_gen: read_pct";
   {
     accounts;
     zipf = Rng.zipf_make ~n:accounts ~s:zipf_s;
     rng;
     transfer_pct;
+    read_pct;
     next_id = 0;
   }
 
@@ -38,8 +45,12 @@ let fresh g =
   let id = g.next_id in
   g.next_id <- id + 1;
   let account = Rng.zipf g.rng g.zipf in
+  (* Draw order is fixed (account, read roll, kind roll, ...) so a stream
+     with [read_pct = 0] is byte-identical to one generated before lookups
+     existed — the serial-reference replay in the tests depends on it. *)
   let kind =
-    if g.accounts > 1 && Rng.int g.rng 100 < g.transfer_pct then Transfer
+    if g.read_pct > 0 && Rng.int g.rng 100 < g.read_pct then Lookup
+    else if g.accounts > 1 && Rng.int g.rng 100 < g.transfer_pct then Transfer
     else Payment
   in
   (* Transfers keep the two accounts in draw order — NOT sorted — so two
@@ -47,7 +58,7 @@ let fresh g =
      orders and deadlock; that is the scheduler path under test. *)
   let account2 =
     match kind with
-    | Payment -> account
+    | Payment | Lookup -> account
     | Transfer ->
       let rec draw () =
         let a = Rng.zipf g.rng g.zipf in
@@ -76,6 +87,10 @@ type t = {
   arrival_us : float;
   mutable admitted_us : float;
   mutable done_us : float;
+  mutable commit_lsn : int;
+  mutable dep_lsn : int;
+  mutable dep_writers : int list;
+  mutable audit_addr : int;
 }
 
 let make spec ~arrival_us =
@@ -87,6 +102,10 @@ let make spec ~arrival_us =
     arrival_us;
     admitted_us = nan;
     done_us = nan;
+    commit_lsn = 0;
+    dep_lsn = 0;
+    dep_writers = [];
+    audit_addr = -1;
   }
 
 (* Serial reference model: the ops are per-cell additions, so any
@@ -103,3 +122,4 @@ let apply_model spec ~accounts ~tellers ~branches =
   | Transfer ->
     add accounts spec.account spec.delta;
     add accounts spec.account2 (Int64.neg spec.delta)
+  | Lookup -> ()

@@ -7,9 +7,12 @@
     lock-order inversions that exercises the scheduler's deadlock
     abort-and-retry path. All updates are per-cell additions, so any
     serializable schedule produces the balances of the serial reference
-    ({!apply_model}). *)
+    ({!apply_model}). A {e lookup} is the read-only class (balance lookup
+    on the skew-drawn account plus its teller's branch): it writes
+    nothing, takes no locks on the multi-version fast path, and is a
+    no-op in the serial reference. *)
 
-type kind = Payment | Transfer
+type kind = Payment | Transfer | Lookup
 
 val kind_name : kind -> string
 
@@ -27,7 +30,17 @@ type gen
     teller/delta draws) over one {!Rvm_util.Rng.t} stream. *)
 
 val make_gen :
-  accounts:int -> zipf_s:float -> transfer_pct:int -> rng:Rvm_util.Rng.t -> gen
+  ?read_pct:int ->
+  accounts:int ->
+  zipf_s:float ->
+  transfer_pct:int ->
+  rng:Rvm_util.Rng.t ->
+  unit ->
+  gen
+(** [read_pct] (default 0) is the percentage of requests drawn as
+    lookups; the read roll happens before the transfer roll, and with
+    [read_pct = 0] the generated stream is identical to the pre-lookup
+    generator on the same seed. *)
 
 val fresh : gen -> spec
 
@@ -50,6 +63,20 @@ type t = {
   arrival_us : float;
   mutable admitted_us : float;
   mutable done_us : float;
+  mutable commit_lsn : int;
+      (** logical commit LSN assigned when this request's commit record
+          spooled; 0 until then *)
+  mutable dep_lsn : int;
+      (** ack dependency: the highest commit LSN of early-released state
+          this request observed (through a lock it inherited or a version
+          it read) — the ack must wait until the engine's durable horizon
+          covers it *)
+  mutable dep_writers : int list;
+      (** request ids behind [dep_lsn] — the writers whose durability this
+          request's ack vouches for (what the crash explorer checks) *)
+  mutable audit_addr : int;
+      (** address of the audit slot this request wrote, [-1] if none (set
+          at execution; lets the explorer test recovered membership) *)
 }
 
 val make : spec -> arrival_us:float -> t

@@ -20,6 +20,7 @@ type config = {
   truncation_spool_trigger : float;
   truncation_min_gap_us : float;
   background_truncation : bool;
+  elr : bool;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     truncation_spool_trigger = 0.5;
     truncation_min_gap_us = 200_000.;
     background_truncation = true;
+    elr = true;
   }
 
 let validate_config c =
@@ -48,15 +50,15 @@ let validate_config c =
   if c.truncation_min_gap_us < 0. then
     invalid_arg "Scheduler: truncation_min_gap_us"
 
-(* The executable form of a request: exclusive locks interleaved with the
-   recoverable-memory updates they cover, consumed front to back. *)
+(* The executable form of a request: lock acquisitions interleaved with
+   the recoverable-memory updates they cover, consumed front to back. *)
 type update =
   | Upd_account of int * int64
   | Upd_teller of int * int64
   | Upd_branch of int * int64
   | Upd_audit
 
-type step = Lock of string | Update of update
+type step = Lock of Lock_mgr.mode * string | Update of update
 
 let acct_key i = "a:" ^ string_of_int i
 let teller_key i = "t:" ^ string_of_int i
@@ -68,33 +70,68 @@ let branch_key i = "b:" ^ string_of_int i
 let steps_of pl (s : Request.spec) =
   match s.kind with
   | Request.Payment ->
+    (* TPC-A reads the teller and branch rows (the balance fetch precedes
+       the update) before writing them: those read steps take Shared mode
+       and upgrade to Exclusive only at the write — two payments on one
+       hot teller overlap their read phases instead of serializing from
+       the first touch. The upgrade is where the two-shared-holders
+       deadlock lives; the lock manager hands the second upgrader
+       [`Deadlock] and the retry path resolves it. *)
     let branch = s.teller mod Tpca.branches in
     let anchor = s.account in
+    let tk = teller_key (Placement.teller_id pl ~anchor s.teller) in
+    let bk = branch_key (Placement.branch_id pl ~anchor branch) in
     [
-      Lock (acct_key s.account);
+      Lock (Lock_mgr.Exclusive, acct_key s.account);
       Update (Upd_account (s.account, s.delta));
-      Lock (teller_key (Placement.teller_id pl ~anchor s.teller));
+      Lock (Lock_mgr.Shared, tk);
+      Lock (Lock_mgr.Shared, bk);
+      Lock (Lock_mgr.Exclusive, tk);
       Update (Upd_teller (s.teller, s.delta));
-      Lock (branch_key (Placement.branch_id pl ~anchor branch));
+      Lock (Lock_mgr.Exclusive, bk);
       Update (Upd_branch (branch, s.delta));
       Update Upd_audit;
     ]
   | Request.Transfer ->
     [
-      Lock (acct_key s.account);
+      Lock (Lock_mgr.Exclusive, acct_key s.account);
       Update (Upd_account (s.account, s.delta));
-      Lock (acct_key s.account2);
+      Lock (Lock_mgr.Exclusive, acct_key s.account2);
       Update (Upd_account (s.account2, Int64.neg s.delta));
       Update Upd_audit;
     ]
+  | Request.Lookup -> []  (* read-only fast path: never enters the step loop *)
+
+(* The balance cells a request writes, as (lock key, address) pairs — the
+   entries the version cache publishes at commit-spool time. *)
+let written_cells pl (s : Request.spec) =
+  match s.kind with
+  | Request.Payment ->
+    let branch = s.teller mod Tpca.branches in
+    let anchor = s.account in
+    [
+      (acct_key s.account, Placement.account_addr pl s.account);
+      ( teller_key (Placement.teller_id pl ~anchor s.teller),
+        Placement.teller_addr pl ~anchor s.teller );
+      ( branch_key (Placement.branch_id pl ~anchor branch),
+        Placement.branch_addr pl ~anchor branch );
+    ]
+  | Request.Transfer ->
+    [
+      (acct_key s.account, Placement.account_addr pl s.account);
+      (acct_key s.account2, Placement.account_addr pl s.account2);
+    ]
+  | Request.Lookup -> []
 
 type tally = {
   committed : int;
+  reads : int;
   shed : int;
   aborts : int;
   batches : int;
   backpressure_deferrals : int;
   latencies_us : float array;  (** one per committed request, commit order *)
+  read_latencies_us : float array;  (** one per completed lookup, ack order *)
   end_us : float;
   iterations : int;
 }
@@ -110,18 +147,31 @@ type t = {
   arr : Arrivals.t;
   gen : Request.gen;
   rng : Rng.t;  (* backoff jitter stream *)
+  vc : Version_cache.t;
   runnable : Request.t Queue.t;
   mutable parked : Request.t list;
   mutable retries : (float * Request.t) list;  (* sorted by (due, id) *)
+  mutable pending_reads : Request.t list;
+      (* lookups whose snapshot observed a spooled-but-unforced commit:
+         the ack-dependency rule holds their completion until the
+         engine's durable horizon covers [dep_lsn] (newest first) *)
   batch : Request.t Batcher.t;
   steps : (int, step list) Hashtbl.t;
+  mutable on_spool : Request.t -> unit;
+      (* fired when a commit record reaches the spool (logical commit);
+         the crash explorer hangs its commit-order recorder here *)
+  mutable on_ack : Request.t -> unit;
+      (* fired when a request's outcome is released to the client — after
+         durability for writes, after the dependency check for reads *)
   (* tallies *)
   mutable committed : int;
+  mutable reads : int;
   mutable shed : int;
   mutable aborts : int;
   mutable batches : int;
   mutable backpressure_deferrals : int;
   mutable latencies : float list;  (* newest first *)
+  mutable read_latencies : float list;  (* newest first *)
   mutable iterations : int;
   mutable trunc_blocked_at : int option;
   mutable trunc_last_pause_us : float;
@@ -137,7 +187,10 @@ type t = {
   c_retry : Counter.t;
   c_admitted : Counter.t;
   c_backpressure : Counter.t;
+  c_elr : Counter.t;
+  c_snapshot : Counter.t;
   h_latency : Histogram.t;
+  h_read_latency : Histogram.t;
   h_queue_wait : Histogram.t;
   h_batch_size : Histogram.t;
   h_trunc_pause : Histogram.t;
@@ -158,17 +211,23 @@ let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
     arr = arrivals;
     gen;
     rng;
+    vc = Version_cache.create ();
     runnable = Queue.create ();
     parked = [];
     retries = [];
+    pending_reads = [];
     batch = Batcher.create ~max:cfg.batch_max;
     steps = Hashtbl.create 64;
+    on_spool = ignore;
+    on_ack = ignore;
     committed = 0;
+    reads = 0;
     shed = 0;
     aborts = 0;
     batches = 0;
     backpressure_deferrals = 0;
     latencies = [];
+    read_latencies = [];
     iterations = 0;
     trunc_blocked_at = None;
     trunc_last_pause_us = neg_infinity;
@@ -177,12 +236,19 @@ let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
     c_retry = Registry.counter obs "server.retry";
     c_admitted = Registry.counter obs "server.admitted";
     c_backpressure = Registry.counter obs "server.backpressure.defer";
+    c_elr = Registry.counter obs "elr.released_early";
+    c_snapshot = Registry.counter obs "mvcc.snapshot_reads";
     h_latency = Registry.histogram obs "server.latency.us";
+    h_read_latency = Registry.histogram obs "server.read.latency.us";
     h_queue_wait = Registry.histogram obs "server.queue.wait.us";
     h_batch_size = Registry.histogram obs "server.batch.size";
     h_trunc_pause = Registry.histogram obs "truncation.pause.us";
     h_trunc_steps = Registry.histogram obs "truncation.steps.per.quantum";
   }
+
+let set_hooks t ~on_spool ~on_ack =
+  t.on_spool <- on_spool;
+  t.on_ack <- on_ack
 
 let now t = Clock.now_us t.clock
 let charge t = Clock.charge_cpu t.clock t.cfg.cpu_per_op_us
@@ -198,35 +264,55 @@ let write_i64 t ~addr v =
 
 (* Teller, branch and audit structures are placed on the shard of the
    request's primary account (its "anchor"), so Payments stay single-shard
-   and only a Transfer whose accounts route to different shards crosses. *)
+   and only a Transfer whose accounts route to different shards crosses.
+
+   Each balance write first primes the version cache with the cell's
+   pre-image: under 2PL the writer holds the exclusive lock, so the value
+   read here is the last committed one — a lock-free reader arriving
+   mid-transaction finds that committed version, never the in-place
+   uncommitted bytes. *)
 let do_update t (r : Request.t) tid u =
   let anchor = r.Request.spec.Request.account in
   match u with
   | Upd_account (i, d) ->
     let addr = Placement.account_addr t.pl i in
     t.eng.Engine.set_range tid ~addr ~len:Tpca.account_size;
-    write_i64 t ~addr (Int64.add (read_i64 t ~addr) d);
+    let v = read_i64 t ~addr in
+    Version_cache.prime t.vc ~key:(acct_key i) ~value:v;
+    write_i64 t ~addr (Int64.add v d);
     write_i64 t ~addr:(addr + 8) (Int64.of_int r.Request.spec.Request.id)
   | Upd_teller (i, d) ->
     let addr = Placement.teller_addr t.pl ~anchor i in
     t.eng.Engine.set_range tid ~addr ~len:Tpca.balance_size;
-    write_i64 t ~addr (Int64.add (read_i64 t ~addr) d)
+    let v = read_i64 t ~addr in
+    Version_cache.prime t.vc
+      ~key:(teller_key (Placement.teller_id t.pl ~anchor i))
+      ~value:v;
+    write_i64 t ~addr (Int64.add v d)
   | Upd_branch (i, d) ->
     let addr = Placement.branch_addr t.pl ~anchor i in
     t.eng.Engine.set_range tid ~addr ~len:Tpca.balance_size;
-    write_i64 t ~addr (Int64.add (read_i64 t ~addr) d)
+    let v = read_i64 t ~addr in
+    Version_cache.prime t.vc
+      ~key:(branch_key (Placement.branch_id t.pl ~anchor i))
+      ~value:v;
+    write_i64 t ~addr (Int64.add v d)
   | Upd_audit ->
     (* The slot is drawn at write time and the write is followed by the
        commit within the same scheduler turn, so no two live transactions
        ever hold set_ranges over one slot, even after wrap-around. *)
     let addr = Placement.audit_next t.pl ~anchor in
     t.eng.Engine.set_range tid ~addr ~len:Tpca.audit_size;
+    r.Request.audit_addr <- addr;
     let s = r.Request.spec in
     let e = Bytes.create Tpca.audit_size in
     Bytes.set_int64_le e 0 (Int64.of_int s.Request.account);
     Bytes.set_int64_le e 8 (Int64.of_int s.Request.teller);
     Bytes.set_int64_le e 16 s.Request.delta;
-    Bytes.set_int64_le e 24 (Int64.of_int s.Request.id);
+    (* id + 1, so a zeroed (never-written) slot is distinguishable from
+       request 0's entry — the crash explorer tests recovered membership
+       by reading this word back *)
+    Bytes.set_int64_le e 24 (Int64.of_int (s.Request.id + 1));
     t.eng.Engine.store ~addr e
 
 (* --- lifecycle --- *)
@@ -266,42 +352,102 @@ let finish t (r : Request.t) =
   Counter.incr t.c_committed;
   let lat = tnow -. r.Request.arrival_us in
   t.latencies <- lat :: t.latencies;
-  Histogram.observe t.h_latency lat
+  Histogram.observe t.h_latency lat;
+  t.on_ack r
+
+(* A lookup's snapshot is covered by the durable horizon: its values can
+   no longer be lost to a crash, so the answer may leave the server. *)
+let finish_read t (r : Request.t) =
+  let tnow = now t in
+  r.Request.status <- Request.Committed;
+  r.Request.done_us <- tnow;
+  Arrivals.complete t.arr ~now:tnow;
+  t.reads <- t.reads + 1;
+  let lat = tnow -. r.Request.arrival_us in
+  t.read_latencies <- lat :: t.read_latencies;
+  Histogram.observe t.h_read_latency lat;
+  t.on_ack r
+
+let complete_reads t =
+  if t.pending_reads <> [] then begin
+    let d = t.eng.Engine.durable_lsn () in
+    let ready, waiting =
+      List.partition
+        (fun (r : Request.t) -> r.Request.dep_lsn <= d)
+        t.pending_reads
+    in
+    t.pending_reads <- waiting;
+    List.iter (finish_read t) (List.rev ready)
+  end
+
+(* Publish the committed values of every cell the request wrote, under
+   its commit LSN. Runs at commit-spool time, before the locks release —
+   so the cache always holds the latest committed version and a lock-free
+   reader can never observe a gap. *)
+let publish_versions t (r : Request.t) =
+  let id = r.Request.spec.Request.id in
+  List.iter
+    (fun (key, addr) ->
+      Version_cache.put t.vc ~key ~value:(read_i64 t ~addr)
+        ~lsn:r.Request.commit_lsn ~writer:id)
+    (written_cells t.pl r.Request.spec)
 
 (* Commit a request whose steps are exhausted. Batched configurations
-   commit no-flush immediately (releasing locks — the record is in the
-   spool, ordered) and park the request in the batcher until the closing
-   force; unbatched ones force the log right here. *)
+   commit no-flush immediately and park the request in the batcher until
+   the closing force; unbatched ones force the log right here.
+
+   Early lock release: the commit record is in the spool, so commit order
+   is fixed and — redo-only logging, no undo ever — nothing can roll it
+   back except a crash, which rolls back every later conflicting
+   transaction with it. The locks therefore drop now, stamped with this
+   commit's LSN: a successor touching the same keys inherits the stamp as
+   an ack dependency ([dep_lsn]) and cannot acknowledge before this
+   record is forced. With [elr = false] the locks ride until
+   {!flush_batch} — the contention the optimization removes. *)
 let commit_ready t (r : Request.t) =
   let tid =
     match r.Request.tid with
     | Some tid -> tid
     | None -> invalid_arg "commit_ready: no live transaction"
   in
+  let id = r.Request.spec.Request.id in
   if t.cfg.batch_max = 1 then begin
     Registry.span t.obs "req.root" ~attrs:(req_attrs r) (fun () ->
         t.eng.Engine.end_txn tid ~mode:Types.Flush);
     r.Request.tid <- None;
-    Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
+    r.Request.commit_lsn <- t.eng.Engine.commit_lsn ();
+    publish_versions t r;
+    t.on_spool r;
+    Lock_mgr.release_all t.lm ~owner:id;
     Admission.release t.adm;
     t.batches <- t.batches + 1;
     Histogram.observe t.h_batch_size 1.;
     finish t r;
-    wake_parked t
+    wake_parked t;
+    complete_reads t
   end
   else begin
     Registry.span t.obs "req.root" ~attrs:(req_attrs r) (fun () ->
         t.eng.Engine.end_txn tid ~mode:Types.No_flush);
     r.Request.tid <- None;
+    r.Request.commit_lsn <- t.eng.Engine.commit_lsn ();
+    publish_versions t r;
     r.Request.status <- Request.Ready;
-    Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
+    t.on_spool r;
+    if t.cfg.elr then begin
+      Counter.incr t.c_elr;
+      Lock_mgr.release_all t.lm ~stamp:(r.Request.commit_lsn, id) ~owner:id
+    end;
     Admission.release t.adm;
     Batcher.add t.batch r;
-    wake_parked t
+    if t.cfg.elr then wake_parked t
   end
 
 (* Close the open batch: one force makes every no-flush commit in it
-   durable, then the requests finish together. *)
+   durable, then the requests finish together. The force is also the ack
+   barrier: nothing in the batch (nor any pending lookup) is released to
+   its client before the durable horizon covers its commit and every
+   dependency it inherited through an early-released lock. *)
 let flush_batch t =
   let reqs = Batcher.take t.batch in
   if reqs <> [] then begin
@@ -311,8 +457,24 @@ let flush_batch t =
     Registry.span t.obs "server.batch.flush"
       ~attrs:[ ("size", Trace.Int size) ]
       (fun () -> t.eng.Engine.flush ());
-    List.iter (finish t) reqs
-  end
+    let d = t.eng.Engine.durable_lsn () in
+    List.iter
+      (fun (r : Request.t) ->
+        if not t.cfg.elr then
+          Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
+        if r.Request.commit_lsn > d || r.Request.dep_lsn > d then
+          raise
+            (Stuck
+               (Printf.sprintf
+                  "ack-dependency violated: req %d (lsn %d dep %d) past \
+                   durable horizon %d"
+                  r.Request.spec.Request.id r.Request.commit_lsn
+                  r.Request.dep_lsn d));
+        finish t r)
+      reqs;
+    if not t.cfg.elr then wake_parked t
+  end;
+  complete_reads t
 
 let insert_retry t due (r : Request.t) =
   let key = (due, r.Request.spec.Request.id) in
@@ -332,7 +494,11 @@ let abort_retry t (r : Request.t) =
   | Some tid -> t.eng.Engine.abort tid
   | None -> ());
   r.Request.tid <- None;
+  (* No stamp: an aborted transaction published nothing, so its locks
+     carry no dependency. Deps inherited during the attempt die with it. *)
   Lock_mgr.release_all t.lm ~owner:r.Request.spec.Request.id;
+  r.Request.dep_lsn <- 0;
+  r.Request.dep_writers <- [];
   r.Request.attempts <- r.Request.attempts + 1;
   t.aborts <- t.aborts + 1;
   Counter.incr t.c_retry;
@@ -345,6 +511,46 @@ let abort_retry t (r : Request.t) =
   insert_retry t (now t +. delay) r;
   wake_parked t
 
+(* The lock-free read-only fast path: one quantum, no engine transaction,
+   no wait-for graph. Each cell resolves through the version cache — the
+   last committed value even while a writer holds the lock mid-update —
+   and the read's ack dependency is the max of the observed commit LSNs:
+   if any of them sits above the durable horizon (an early-released,
+   not-yet-forced commit), the answer parks in [pending_reads] until a
+   force covers it. A cell with no version was never written; its durable
+   image is read directly. *)
+let exec_read t (r : Request.t) =
+  charge t;
+  let s = r.Request.spec in
+  let anchor = s.Request.account in
+  let branch = s.Request.teller mod Tpca.branches in
+  let cells =
+    [
+      (acct_key s.Request.account, Placement.account_addr t.pl s.Request.account);
+      ( branch_key (Placement.branch_id t.pl ~anchor branch),
+        Placement.branch_addr t.pl ~anchor branch );
+    ]
+  in
+  List.iter
+    (fun (key, addr) ->
+      match Version_cache.find t.vc ~key with
+      | Some v ->
+        if v.Version_cache.lsn > r.Request.dep_lsn then
+          r.Request.dep_lsn <- v.Version_cache.lsn;
+        if
+          v.Version_cache.writer >= 0
+          && not (List.mem v.Version_cache.writer r.Request.dep_writers)
+        then r.Request.dep_writers <- v.Version_cache.writer :: r.Request.dep_writers
+      | None -> ignore (read_i64 t ~addr))
+    cells;
+  Counter.incr t.c_snapshot;
+  Admission.release t.adm;
+  if r.Request.dep_lsn <= t.eng.Engine.durable_lsn () then finish_read t r
+  else begin
+    r.Request.status <- Request.Ready;
+    t.pending_reads <- r :: t.pending_reads
+  end
+
 (* One cooperative scheduling quantum: a single lock or update step.
    Requests that can continue go back to the tail of the run queue, so
    in-flight transactions interleave round-robin — which is what makes
@@ -352,32 +558,44 @@ let abort_retry t (r : Request.t) =
    transaction that ran to commit in one quantum could never be caught
    holding a lock. *)
 let exec t (r : Request.t) =
-  let id = r.Request.spec.Request.id in
-  (match r.Request.tid with
-  | None -> r.Request.tid <- Some (t.eng.Engine.begin_txn ~mode:Types.Restore)
-  | Some _ -> ());
-  match Hashtbl.find_opt t.steps id with
-  | None | Some [] -> commit_ready t r
-  | Some (step :: rest) -> (
-    let tid = Option.get r.Request.tid in
-    match step with
-    | Lock key -> (
-      charge t;
-      match Lock_mgr.wait_for t.lm ~owner:id ~key Lock_mgr.Exclusive with
-      | `Granted ->
+  if r.Request.spec.Request.kind = Request.Lookup then exec_read t r
+  else begin
+    let id = r.Request.spec.Request.id in
+    (match r.Request.tid with
+    | None -> r.Request.tid <- Some (t.eng.Engine.begin_txn ~mode:Types.Restore)
+    | Some _ -> ());
+    match Hashtbl.find_opt t.steps id with
+    | None | Some [] -> commit_ready t r
+    | Some (step :: rest) -> (
+      match step with
+      | Lock (mode, key) -> (
+        charge t;
+        match Lock_mgr.wait_for t.lm ~owner:id ~key mode with
+        | `Granted ->
+          (* Inherit the key's early-release stamp: if the last writer of
+             this cell released at spool time, our ack now waits for its
+             force too (the commit-LSN dependency rule). *)
+          (match Lock_mgr.stamp t.lm ~key with
+          | Some (lsn, writer) when writer <> id ->
+            if lsn > r.Request.dep_lsn then r.Request.dep_lsn <- lsn;
+            if writer >= 0 && not (List.mem writer r.Request.dep_writers)
+            then r.Request.dep_writers <- writer :: r.Request.dep_writers
+          | _ -> ());
+          Hashtbl.replace t.steps id rest;
+          Queue.push r t.runnable
+        | `Wait _ ->
+          r.Request.status <- Request.Parked key;
+          t.parked <- r :: t.parked;
+          Registry.instant t.obs "server.park"
+            ~attrs:[ ("req", Trace.Int id); ("key", Trace.String key) ]
+        | `Deadlock -> abort_retry t r)
+      | Update u ->
+        let tid = Option.get r.Request.tid in
+        charge t;
+        do_update t r tid u;
         Hashtbl.replace t.steps id rest;
-        Queue.push r t.runnable
-      | `Wait _ ->
-        r.Request.status <- Request.Parked key;
-        t.parked <- r :: t.parked;
-        Registry.instant t.obs "server.park"
-          ~attrs:[ ("req", Trace.Int id); ("key", Trace.String key) ]
-      | `Deadlock -> abort_retry t r)
-    | Update u ->
-      charge t;
-      do_update t r tid u;
-      Hashtbl.replace t.steps id rest;
-      Queue.push r t.runnable)
+        Queue.push r t.runnable)
+  end
 
 (* --- arrivals, admission, retries --- *)
 
@@ -525,13 +743,15 @@ let background_truncation t =
 let diagnose t reason =
   Format.asprintf
     "scheduler stuck (%s): iter=%d now=%.0fus runnable=%d parked=%d \
-     retries=%d batch=%d inflight=%d queued=%d committed=%d shed=%d \
-     aborts=%d wait_edges=%s"
+     retries=%d pending_reads=%d batch=%d inflight=%d queued=%d \
+     committed=%d reads=%d shed=%d aborts=%d wait_edges=%s"
     reason t.iterations (now t)
     (Queue.length t.runnable)
     (List.length t.parked)
-    (List.length t.retries) (Batcher.size t.batch) (Admission.inflight t.adm)
-    (Admission.queued t.adm) t.committed t.shed t.aborts
+    (List.length t.retries)
+    (List.length t.pending_reads)
+    (Batcher.size t.batch) (Admission.inflight t.adm) (Admission.queued t.adm)
+    t.committed t.reads t.shed t.aborts
     (String.concat ";"
        (List.map
           (fun (o, bs) ->
@@ -571,6 +791,16 @@ let run t =
       flush_batch t;
       loop ()
     end
+    else if t.pending_reads <> [] then begin
+      (* Only parked lookups remain: their dependencies are spooled
+         commits with no batch left to close, so force the engine and
+         release them. *)
+      t.eng.Engine.flush ();
+      complete_reads t;
+      if t.pending_reads <> [] then
+        raise (Stuck (diagnose t "pending reads survived a force"));
+      loop ()
+    end
     else
       match next_event_at t with
       | Some at ->
@@ -586,11 +816,13 @@ let run t =
   loop ();
   {
     committed = t.committed;
+    reads = t.reads;
     shed = t.shed;
     aborts = t.aborts;
     batches = t.batches;
     backpressure_deferrals = t.backpressure_deferrals;
     latencies_us = Array.of_list (List.rev t.latencies);
+    read_latencies_us = Array.of_list (List.rev t.read_latencies);
     end_us = now t;
     iterations = t.iterations;
   }

@@ -11,11 +11,29 @@
 
     Commits route through the {!Batcher}: with [batch_max = 1] each
     commit forces the log itself; otherwise ready transactions commit
-    [No_flush] immediately (releasing their locks — commit order is fixed
-    by the spool) and the closing {!Engine.t.flush} fires when the
-    batch fills or no other request can make progress. Each request's
+    [No_flush] immediately and the closing {!Engine.t.flush} fires when
+    the batch fills or no other request can make progress. Each request's
     life is wrapped in a [req.root] span, so the engine's [txn.commit]
     spans nest under the request that caused them.
+
+    {b Early lock release} ([elr], on by default): a batched commit drops
+    its locks the moment its record reaches the log spool — redo-only
+    logging has no cascading undo, so commit order is fixed there — and
+    only the {e acknowledgement} waits for the batch force. Released
+    locks carry a (commit LSN, writer) stamp; a successor acquiring a
+    stamped key inherits it as an ack dependency, and {!run} enforces
+    that no request finishes while its own commit LSN or any inherited
+    dependency sits above the engine's durable horizon. With
+    [elr = false] locks ride until the force, which is the contended
+    baseline `bench contention` measures against.
+
+    {b Snapshot reads}: [Lookup] requests never enter the step loop or
+    the wait-for graph. They resolve each cell through the per-key
+    version cache (pre-image primed before a cell's first write,
+    committed values published at commit-spool under their LSN), take the
+    max observed LSN as their ack dependency, and complete immediately if
+    the durable horizon covers it — otherwise they park in a pending-read
+    list that drains at every force.
 
     Everything advances the simulated clock: lock and update steps charge
     [cpu_per_op_us] each, device time comes from the engine's cost model,
@@ -59,17 +77,22 @@ type config = {
   background_truncation : bool;
       (** false disables the background slot entirely (the engine's
           inline commit-path trigger is then expected to reclaim) *)
+  elr : bool;
+      (** release locks at commit-spool time (stamped, ack-deferred)
+          instead of at the batch force; no effect when [batch_max = 1] *)
 }
 
 val default_config : config
 
 type tally = {
-  committed : int;
+  committed : int;  (** write requests committed (lookups not included) *)
+  reads : int;  (** lookups answered *)
   shed : int;
   aborts : int;  (** deadlock aborts (every one is retried) *)
   batches : int;  (** log forces issued for commits *)
   backpressure_deferrals : int;
   latencies_us : float array;  (** per committed request, commit order *)
+  read_latencies_us : float array;  (** per answered lookup, ack order *)
   end_us : float;  (** simulated completion time *)
   iterations : int;
 }
@@ -91,6 +114,14 @@ val create :
 (** [rng] is the backoff-jitter stream; keep it distinct from the
     request-generator and arrival streams so the three draws never
     interleave nondeterministically. *)
+
+val set_hooks :
+  t -> on_spool:(Request.t -> unit) -> on_ack:(Request.t -> unit) -> unit
+(** Instrumentation taps for the crash explorer. [on_spool] fires when a
+    request's commit record reaches the spool (logical commit, locks
+    about to release under ELR); [on_ack] fires when its outcome is
+    released to the client — after durability for writes, after the
+    dependency check for lookups. Defaults are no-ops. *)
 
 val run : t -> tally
 (** Drive the loop until the arrival process is exhausted and every

@@ -39,6 +39,8 @@ type config = {
   spool_max_bytes : int option;
   log_spool_max_bytes : int option;
   background_truncation : bool;
+  elr : bool;
+  read_pct : int;
 }
 
 let default_config =
@@ -61,13 +63,17 @@ let default_config =
     spool_max_bytes = None;
     log_spool_max_bytes = None;
     background_truncation = true;
+    elr = true;
+    read_pct = 0;
   }
 
 type result = {
   cfg : config;
   committed : int;
+  reads : int;
   shed : int;
   aborts : int;
+  abort_rate : float;
   batches : int;
   backpressure_deferrals : int;
   duration_us : float;
@@ -76,6 +82,8 @@ type result = {
   p50_latency_us : float;
   p95_latency_us : float;
   p99_latency_us : float;
+  read_p99_latency_us : float;
+  snapshot_read_fraction : float;
   log_writes : int;
   log_syncs : int;
   syncs_per_commit : float;
@@ -247,8 +255,8 @@ let scheduler_of cfg w =
   let arrival_rng = Rng.split rng in
   let backoff_rng = Rng.split rng in
   let gen =
-    Request.make_gen ~accounts:cfg.accounts ~zipf_s:cfg.zipf_s
-      ~transfer_pct:cfg.transfer_pct ~rng:gen_rng
+    Request.make_gen ~read_pct:cfg.read_pct ~accounts:cfg.accounts
+      ~zipf_s:cfg.zipf_s ~transfer_pct:cfg.transfer_pct ~rng:gen_rng ()
   in
   let start_us = Clock.now_us w.clock in
   let arrivals =
@@ -261,7 +269,7 @@ let scheduler_of cfg w =
         ~requests:cfg.requests ~rng:arrival_rng ()
   in
   let admission =
-    Admission.create
+    Admission.create ~obs:w.obs
       {
         Admission.max_inflight = cfg.max_inflight;
         max_queue = cfg.max_queue;
@@ -275,6 +283,7 @@ let scheduler_of cfg w =
       backoff_base_us = cfg.backoff_base_us;
       cpu_per_op_us = cfg.cpu_per_op_us;
       background_truncation = cfg.background_truncation;
+      elr = cfg.elr;
     }
   in
   Scheduler.create ~cfg:scfg ~engine:w.engine ~clock:w.clock ~obs:w.obs
@@ -305,14 +314,22 @@ let run cfg =
   in
   let lat = Array.copy tally.Scheduler.latencies_us in
   Array.sort compare lat;
+  let rlat = Array.copy tally.Scheduler.read_latencies_us in
+  Array.sort compare rlat;
   let n = Array.length lat in
   let committed = tally.Scheduler.committed in
+  let reads = tally.Scheduler.reads in
   let per c = if committed = 0 then 0. else float_of_int c /. float_of_int committed in
   {
     cfg;
     committed;
+    reads;
     shed = tally.Scheduler.shed;
     aborts = tally.Scheduler.aborts;
+    abort_rate =
+      (let total = tally.Scheduler.aborts + committed in
+       if total = 0 then 0.
+       else float_of_int tally.Scheduler.aborts /. float_of_int total);
     batches = tally.Scheduler.batches;
     backpressure_deferrals = tally.Scheduler.backpressure_deferrals;
     duration_us = tally.Scheduler.end_us;
@@ -325,6 +342,10 @@ let run cfg =
     p50_latency_us = percentile lat 50.;
     p95_latency_us = percentile lat 95.;
     p99_latency_us = percentile lat 99.;
+    read_p99_latency_us = percentile rlat 99.;
+    snapshot_read_fraction =
+      (let total = reads + committed in
+       if total = 0 then 0. else float_of_int reads /. float_of_int total);
     log_writes;
     log_syncs;
     syncs_per_commit = per log_syncs;
@@ -364,9 +385,14 @@ let result_to_json r =
       ("batch_max", Json.Int c.batch_max);
       ("requests", Json.Int c.requests);
       ("seed", Json.Int (Int64.to_int c.seed));
+      ("zipf_s", Json.Float c.zipf_s);
+      ("elr", Json.Bool c.elr);
+      ("read_pct", Json.Int c.read_pct);
       ("committed", Json.Int r.committed);
+      ("reads", Json.Int r.reads);
       ("shed", Json.Int r.shed);
       ("aborts", Json.Int r.aborts);
+      ("abort_rate", Json.Float r.abort_rate);
       ("batches", Json.Int r.batches);
       ("backpressure_deferrals", Json.Int r.backpressure_deferrals);
       ("duration_us", Json.Float r.duration_us);
@@ -375,6 +401,8 @@ let result_to_json r =
       ("p50_latency_us", Json.Float r.p50_latency_us);
       ("p95_latency_us", Json.Float r.p95_latency_us);
       ("p99_latency_us", Json.Float r.p99_latency_us);
+      ("read_p99_latency_us", Json.Float r.read_p99_latency_us);
+      ("snapshot_read_fraction", Json.Float r.snapshot_read_fraction);
       ("log_writes", Json.Int r.log_writes);
       ("log_syncs", Json.Int r.log_syncs);
       ("syncs_per_commit", Json.Float r.syncs_per_commit);

@@ -42,6 +42,14 @@ type config = {
           background slot, a few resumable steps per quantum; false:
           classic inline behavior — the commit that crosses the threshold
           pays the whole truncation synchronously *)
+  elr : bool;
+      (** true (default): early lock release — batched commits drop their
+          locks at commit-spool time, acks still wait for the force;
+          false: locks ride until the batch force (the contended
+          baseline) *)
+  read_pct : int;
+      (** % of requests that are read-only balance lookups served from
+          the version-cache snapshot fast path (default 0) *)
 }
 
 val default_config : config
@@ -50,17 +58,21 @@ val default_config : config
 
 type result = {
   cfg : config;
-  committed : int;
+  committed : int;  (** write requests committed (lookups counted apart) *)
+  reads : int;  (** lookups answered from the snapshot fast path *)
   shed : int;
   aborts : int;
+  abort_rate : float;  (** aborts / (aborts + committed), 0 if none *)
   batches : int;
   backpressure_deferrals : int;
   duration_us : float;
-  throughput_tps : float;
+  throughput_tps : float;  (** committed writes per second *)
   mean_latency_us : float;
   p50_latency_us : float;  (** exact (nearest-rank over raw samples) *)
   p95_latency_us : float;
   p99_latency_us : float;
+  read_p99_latency_us : float;  (** lookup ack latency, 0 when no reads *)
+  snapshot_read_fraction : float;  (** reads / (reads + committed) *)
   log_writes : int;  (** summed over the physical log devices *)
   log_syncs : int;
   syncs_per_commit : float;  (** the group-commit payoff metric *)

@@ -1,0 +1,20 @@
+(* Last-committed versions, keyed by lock key. See version_cache.mli. *)
+
+type version = { value : int64; lsn : int; writer : int }
+
+type t = { table : (string, version) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 256 }
+
+let prime t ~key ~value =
+  if not (Hashtbl.mem t.table key) then
+    (* First write ever to this cell: the pre-image is the last committed
+       value, attributable to no writer and durable from the start. *)
+    Hashtbl.replace t.table key { value; lsn = 0; writer = -1 }
+
+let put t ~key ~value ~lsn ~writer =
+  Hashtbl.replace t.table key { value; lsn; writer }
+
+let find t ~key = Hashtbl.find_opt t.table key
+
+let size t = Hashtbl.length t.table

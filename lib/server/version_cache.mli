@@ -1,0 +1,45 @@
+(** Per-key last-committed versions for lock-free snapshot reads.
+
+    One entry per balance cell, keyed by the same string key the lock
+    manager uses: the value the last {e committed} writer left, the
+    logical commit LSN it committed at, and the writer's request id.
+
+    The invariants the scheduler maintains:
+
+    - A cell is {e primed} with its pre-image (LSN 0, writer -1) the
+      first time any transaction writes it — before the write — so a
+      concurrent reader never sees an uncommitted in-place value.
+    - Committed values are {e published} at commit-spool time, while the
+      writer still holds its locks; only then are the locks released.
+      A reader therefore always finds the latest committed version, never
+      a dirty one.
+    - LSNs are assigned in commit order, so each key's entry is monotone
+      in [lsn].
+
+    A read over several keys at one scheduler quantum is an atomic
+    snapshot (the simulation is cooperative single-threaded): taking the
+    max of the observed LSNs gives the read's ack dependency. *)
+
+type version = {
+  value : int64;  (** last committed balance *)
+  lsn : int;  (** commit LSN of the writer; 0 for the pre-image *)
+  writer : int;  (** request id of the writer; -1 for the pre-image *)
+}
+
+type t
+
+val create : unit -> t
+
+val prime : t -> key:string -> value:int64 -> unit
+(** Record the pre-image before a cell's first write. No-op when the key
+    already has a version (only the first writer primes). *)
+
+val put : t -> key:string -> value:int64 -> lsn:int -> writer:int -> unit
+(** Publish a committed version (called at commit-spool, before the
+    writer's locks release). *)
+
+val find : t -> key:string -> version option
+(** The latest committed version; [None] only for cells never written,
+    whose durable image is safe to read directly. *)
+
+val size : t -> int

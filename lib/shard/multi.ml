@@ -65,6 +65,14 @@ type t = {
          force. No-ops on a null clock. *)
   mutable cross_committed : int;
   mutable cross_aborted : int;
+  mutable commit_lsn : int;
+      (* global logical commit counter, assigned at commit dispatch *)
+  mutable durable_lsn : int;
+      (* horizon below which global LSNs are durable on every participant *)
+  lsn_pending : (int * (int * int) list) Queue.t;
+      (* (global lsn, per-participant (shard, local Rvm commit LSN)) in
+         commit order; a global commit is durable once every participant's
+         engine reports its local LSN forced *)
   mutable terminated : bool;
 }
 
@@ -79,6 +87,20 @@ let clock t = t.clock
 let stats t = Rvm.stats t.shards.(0)  (* shared registry: merged totals *)
 let cross_committed t = t.cross_committed
 let cross_aborted t = t.cross_aborted
+let commit_lsn t = t.commit_lsn
+
+let durable_lsn t =
+  let durable (s, local) = Rvm.durable_lsn t.shards.(s) >= local in
+  let rec drain () =
+    match Queue.peek_opt t.lsn_pending with
+    | Some (lsn, locals) when List.for_all durable locals ->
+      ignore (Queue.pop t.lsn_pending);
+      t.durable_lsn <- lsn;
+      drain ()
+    | _ -> ()
+  in
+  drain ();
+  t.durable_lsn
 
 let create_logs devices = Array.iter Rvm.create_log devices
 
@@ -226,6 +248,9 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
     lanes = Array.init (Array.length shards) (fun _ -> Clock.lane ());
     cross_committed = 0;
     cross_aborted = 0;
+    commit_lsn = 0;
+    durable_lsn = 0;
+    lsn_pending = Queue.create ();
     terminated = false;
   }
 
@@ -465,6 +490,18 @@ let end_cross t gtid txn ~mode participants =
            until a global {!flush} makes it durable and resolves it. *)
         t.unresolved <- (gid, participants) :: t.unresolved)
 
+(* Record a fresh global commit LSN for a commit just dispatched to
+   [participants]. The lane closures have already run (the single-worker
+   simulation executes them synchronously), so each participant's engine
+   counter reflects this commit; the global LSN becomes durable once every
+   participant reports its local LSN forced. *)
+let note_commit t participants =
+  t.commit_lsn <- t.commit_lsn + 1;
+  let locals =
+    List.map (fun s -> (s, Rvm.commit_lsn t.shards.(s))) participants
+  in
+  Queue.push (t.commit_lsn, locals) t.lsn_pending
+
 let end_transaction t gtid ~mode =
   check_live t;
   let txn = find_txn t gtid in
@@ -476,8 +513,11 @@ let end_transaction t gtid ~mode =
        no-flush commit leaves the worker to drain on its own. *)
     Clock.on_lane t.clock t.lanes.(s) (fun () ->
         Rvm.end_transaction t.shards.(s) (Hashtbl.find txn.locals s) ~mode);
+    note_commit t [ s ];
     if mode = Types.Flush then Clock.join_lanes t.clock [ t.lanes.(s) ]
-  | participants -> end_cross t gtid txn ~mode participants);
+  | participants ->
+    end_cross t gtid txn ~mode participants;
+    note_commit t participants);
   Hashtbl.remove t.txns gtid
 
 let abort_transaction t gtid =

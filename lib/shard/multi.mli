@@ -129,3 +129,14 @@ val cross_committed : t -> int
 val cross_aborted : t -> int
 (** Cross-shard transactions aborted before their write round (there is no
     abort after it). *)
+
+val commit_lsn : t -> int
+(** Global logical commit counter, incremented once per committed
+    transaction (single- or cross-shard) at dispatch time — i.e. at
+    logical-commit, before any force. *)
+
+val durable_lsn : t -> int
+(** Durable horizon for global LSNs: every commit with LSN
+    [<= durable_lsn] has its records (intents included, for cross-shard
+    commits) forced on every participant shard. Computed lazily from the
+    per-shard engines' durable horizons. *)

@@ -20,6 +20,7 @@ let () =
       ("check", Test_check.suite);
       ("shard", Test_shard.suite);
       ("shard-check", Test_shard_check.suite);
+      ("elr-check", Test_elr_check.suite);
       ("harness", Test_harness.suite);
       ("pds", Test_pds.suite);
       ("server", Test_server.suite);

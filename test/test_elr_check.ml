@@ -1,0 +1,87 @@
+(* The early-lock-release crash explorer.
+
+   A real server world (ELR scheduler, lock manager, admission, version
+   cache) runs a seeded TPC-A mix over recorder-wrapped devices; every
+   crash boundary and torn-write variant is replayed through recovery and
+   checked against the scheduler's own spool/ack records. Zero
+   counterexamples is the acceptance bar for the ELR pipeline — in
+   particular for crashes that land mid-batch, after a commit's locks
+   released but before its force, where a scheduler that acked at spool
+   time (or a lookup that exposed unforced state) would be caught by the
+   ack-dependency check. *)
+
+module Elr_check = Rvm_check.Elr_check
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let assert_clean o =
+  if o.Elr_check.violations <> [] then
+    Alcotest.failf "ELR explorer found violations:@.%a" Elr_check.pp_outcome o
+
+(* Single shard, default mix: the run must actually exercise the machinery
+   the checks exist for — early releases, snapshot reads, torn writes —
+   and every crash point must recover clean. Crash boundaries strictly
+   inside an open batch (between a commit's spool and its force) are
+   covered by construction: every device event of the force itself is a
+   boundary, and acked-but-undurable state at any of them is a violation. *)
+let test_exhaustive_single_shard () =
+  let o = Elr_check.run () in
+  assert_clean o;
+  check_bool "commits explored" true (o.Elr_check.commits > 0);
+  check_bool "lookups explored" true (o.Elr_check.reads > 0);
+  check_bool "early releases happened" true (o.Elr_check.elr_released > 0);
+  check_bool "torn variants explored" true (o.Elr_check.torn_variants > 0);
+  check_int "boundaries = events + 1"
+    (o.Elr_check.events + 1)
+    o.Elr_check.boundaries
+
+(* Two shards: transfers whose accounts route to different shards commit
+   by parallel commit, so crash points now fall between one shard's
+   intent force and the other's — the ELR ack-dependency rule must hold
+   across those inter-shard boundaries too (the global durable horizon
+   only advances when every participant's force lands). *)
+let test_exhaustive_two_shards () =
+  let o =
+    Elr_check.run
+      ~config:{ Elr_check.default_config with Elr_check.shards = 2 }
+      ()
+  in
+  assert_clean o;
+  check_bool "cross-shard commits explored" true (o.Elr_check.cross > 0);
+  check_bool "early releases happened" true (o.Elr_check.elr_released > 0)
+
+(* A couple more seeds so the explored interleavings aren't one lucky
+   schedule; non-exhaustive torn sampling keeps it quick. *)
+let test_more_seeds () =
+  List.iter
+    (fun (seed, shards) ->
+      let cfg =
+        {
+          Elr_check.default_config with
+          Elr_check.seed;
+          shards;
+          requests = 16;
+          accounts = 32;
+          max_torn_per_write = 2;
+        }
+      in
+      assert_clean (Elr_check.run ~config:cfg ()))
+    [ (11L, 1); (12L, 2); (13L, 2) ]
+
+let test_deterministic () =
+  let o1 = Elr_check.run () and o2 = Elr_check.run () in
+  check_int "events" o1.Elr_check.events o2.Elr_check.events;
+  check_int "recoveries" o1.Elr_check.recoveries o2.Elr_check.recoveries;
+  check_int "commits" o1.Elr_check.commits o2.Elr_check.commits;
+  check_int "reads" o1.Elr_check.reads o2.Elr_check.reads
+
+let suite =
+  [
+    ( "elr-explorer.exhaustive-single-shard",
+      `Quick,
+      test_exhaustive_single_shard );
+    ("elr-explorer.exhaustive-two-shards", `Quick, test_exhaustive_two_shards);
+    ("elr-explorer.more-seeds", `Quick, test_more_seeds);
+    ("elr-explorer.deterministic", `Quick, test_deterministic);
+  ]

@@ -345,6 +345,89 @@ let test_locks_release_during_many_waiters () =
     Lock_mgr.release_all lm ~owner:o
   done
 
+(* Early-release stamps: release_all ~stamp marks every held key with the
+   committer's (LSN, writer); later holders read it as an ack dependency.
+   Plain releases leave stamps alone (an aborted successor vouched for
+   nothing new), and a later stamped release overwrites monotonically. *)
+let test_locks_stamps () =
+  let lm = Lock_mgr.create () in
+  ignore (Lock_mgr.try_acquire lm ~owner:1 ~key:"k1" Lock_mgr.Exclusive);
+  ignore (Lock_mgr.try_acquire lm ~owner:1 ~key:"k2" Lock_mgr.Shared);
+  Alcotest.(check (option (pair int int))) "unstamped" None
+    (Lock_mgr.stamp lm ~key:"k1");
+  Lock_mgr.release_all ~stamp:(5, 1) lm ~owner:1;
+  Alcotest.(check (option (pair int int))) "k1 stamped" (Some (5, 1))
+    (Lock_mgr.stamp lm ~key:"k1");
+  Alcotest.(check (option (pair int int))) "k2 stamped" (Some (5, 1))
+    (Lock_mgr.stamp lm ~key:"k2");
+  (* A successor that aborts (plain release) must not disturb the stamp. *)
+  ignore (Lock_mgr.try_acquire lm ~owner:2 ~key:"k1" Lock_mgr.Exclusive);
+  Lock_mgr.release_all lm ~owner:2;
+  Alcotest.(check (option (pair int int))) "stamp survives plain release"
+    (Some (5, 1))
+    (Lock_mgr.stamp lm ~key:"k1");
+  (* A later committer overwrites with its (higher) LSN. *)
+  ignore (Lock_mgr.try_acquire lm ~owner:3 ~key:"k1" Lock_mgr.Exclusive);
+  Lock_mgr.release_all ~stamp:(7, 3) lm ~owner:3;
+  Alcotest.(check (option (pair int int))) "stamp overwritten" (Some (7, 3))
+    (Lock_mgr.stamp lm ~key:"k1")
+
+(* qcheck regression: with n >= 2 shared holders of one key, the first
+   S->X upgrader must park on exactly the other sharers (never a phantom
+   deadlock, never a grant over live sharers), and any second upgrader
+   closes the two-upgraders cycle and gets `Deadlock — the shape the
+   payment step list (Shared teller/branch reads before the Exclusive
+   write) makes an everyday event. After the victim and the bystanders
+   release, the survivor's upgrade must be granted, sole and exclusive. *)
+let prop_upgrade_deadlock =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 8 in
+      let* u1 = int_bound (n - 1) in
+      let* u2_raw = int_bound (n - 2) in
+      (* distinct second upgrader *)
+      let u2 = if u2_raw >= u1 then u2_raw + 1 else u2_raw in
+      return (n, u1, u2))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (n, u1, u2) -> Printf.sprintf "n=%d u1=%d u2=%d" n u1 u2)
+      gen
+  in
+  QCheck.Test.make ~name:"locks: n-sharer upgrade waits, second upgrader deadlocks"
+    ~count:100 arb (fun (n, u1, u2) ->
+      let lm = Lock_mgr.create () in
+      for o = 0 to n - 1 do
+        match Lock_mgr.wait_for lm ~owner:o ~key:"k" Lock_mgr.Shared with
+        | `Granted -> ()
+        | _ -> QCheck.Test.fail_report "shared acquisition refused"
+      done;
+      let others u =
+        List.sort compare (List.filter (fun o -> o <> u) (List.init n Fun.id))
+      in
+      (match Lock_mgr.wait_for lm ~owner:u1 ~key:"k" Lock_mgr.Exclusive with
+      | `Wait blockers when List.sort compare blockers = others u1 -> ()
+      | `Wait blockers ->
+        QCheck.Test.fail_reportf "u1 waits on [%s], expected the other sharers"
+          (String.concat ";" (List.map string_of_int blockers))
+      | `Granted -> QCheck.Test.fail_report "upgrade granted over live sharers"
+      | `Deadlock -> QCheck.Test.fail_report "phantom deadlock on first upgrade");
+      (match Lock_mgr.wait_for lm ~owner:u2 ~key:"k" Lock_mgr.Exclusive with
+      | `Deadlock -> ()
+      | _ -> QCheck.Test.fail_report "second upgrader should deadlock");
+      (* Victim aborts; bystander sharers finish and release; the survivor
+         must then upgrade to a sole exclusive hold. *)
+      Lock_mgr.release_all lm ~owner:u2;
+      List.iter
+        (fun o -> if o <> u1 && o <> u2 then Lock_mgr.release_all lm ~owner:o)
+        (List.init n Fun.id);
+      (match Lock_mgr.wait_for lm ~owner:u1 ~key:"k" Lock_mgr.Exclusive with
+      | `Granted -> ()
+      | _ -> QCheck.Test.fail_report "survivor not grantable after releases");
+      match Lock_mgr.holders lm ~key:"k" with
+      | [ (o, Lock_mgr.Exclusive) ] when o = u1 -> true
+      | _ -> QCheck.Test.fail_report "survivor is not the sole exclusive holder")
+
 let suite =
   [
     ("nested.commit", `Quick, test_nested_commit_commits_all);
@@ -370,4 +453,6 @@ let suite =
     ( "locks.release-under-many-waiters",
       `Quick,
       test_locks_release_during_many_waiters );
+    ("locks.early-release-stamps", `Quick, test_locks_stamps);
   ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_upgrade_deadlock ]

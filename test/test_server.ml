@@ -62,6 +62,32 @@ let test_admission_pressure_sheds_nothing_below_cap () =
   check_bool "queued under pressure" true
     (Admission.submit adm ~pressure:0.99 2 <> `Overload)
 
+(* Releasing a drained pipeline (no inflight work) must be a counted
+   no-op, not an underflow: the ELR scheduler can observe a request's
+   slot already freed when an abort races the drain at shutdown. *)
+let test_admission_double_release () =
+  let obs = Registry.create () in
+  let adm =
+    Admission.create ~obs
+      { Admission.max_inflight = 2; max_queue = 2; backpressure = 0.9 }
+  in
+  check_int "fresh pipeline" 0 (Admission.double_releases adm);
+  Admission.release adm;
+  check_int "drained release counted, not raised" 1
+    (Admission.double_releases adm);
+  check_int "inflight never negative" 0 (Admission.inflight adm);
+  check_bool "submit still works after a spurious release" true
+    (Admission.submit adm ~pressure:0. 1 = `Admitted);
+  Admission.release adm;
+  check_int "matched release not counted" 1 (Admission.double_releases adm);
+  Admission.release adm;
+  check_int "second spurious release counted" 2
+    (Admission.double_releases adm);
+  check_int "obs counter tracks" 2
+    (match List.assoc_opt "admission.double_release" (Registry.counters obs) with
+    | Some n -> n
+    | None -> -1)
+
 (* --- unit: batcher --- *)
 
 let test_batcher_fifo () =
@@ -228,8 +254,8 @@ let replay_specs cfg =
   let _arrival = Rng.split rng in
   let _backoff = Rng.split rng in
   let gen =
-    Request.make_gen ~accounts:cfg.S.accounts ~zipf_s:cfg.S.zipf_s
-      ~transfer_pct:cfg.S.transfer_pct ~rng:gen_rng
+    Request.make_gen ~read_pct:cfg.S.read_pct ~accounts:cfg.S.accounts
+      ~zipf_s:cfg.S.zipf_s ~transfer_pct:cfg.S.transfer_pct ~rng:gen_rng ()
   in
   List.init cfg.S.requests (fun _ -> Request.fresh gen)
 
@@ -250,6 +276,7 @@ let apply_sharded spec ~shards ~accounts ~tellers ~branches =
   | Request.Transfer ->
     add accounts spec.Request.account spec.Request.delta;
     add accounts spec.Request.account2 (Int64.neg spec.Request.delta)
+  | Request.Lookup -> ()
 
 let check_balances cfg (w : S.world) =
   let pl = w.S.placement in
@@ -297,6 +324,46 @@ let test_balances_match_serial_reference () =
   let w, tally = S.run_with_world hot_cfg in
   check_int "all committed" hot_cfg.S.requests tally.Scheduler.committed;
   check_balances hot_cfg w
+
+(* --- end-to-end: the snapshot-read fast path --- *)
+
+let read_cfg =
+  (* skewed writes plus a big lookup share: reads hit recently written
+     (often spooled-but-unforced) cells, so the dep-LSN parking path is
+     exercised, not just cache hits on cold keys *)
+  {
+    S.default_config with
+    S.accounts = 50;
+    S.zipf_s = 0.99;
+    S.read_pct = 40;
+    S.transfer_pct = 30;
+    S.requests = 300;
+    S.load = S.Open_loop 120.;
+    S.batch_max = 8;
+    S.max_queue = 1000;
+  }
+
+let test_snapshot_reads () =
+  let w, tally = S.run_with_world read_cfg in
+  check_bool "lookups answered" true (tally.Scheduler.reads > 0);
+  check_int "every request committed, answered or shed" read_cfg.S.requests
+    (tally.Scheduler.committed + tally.Scheduler.reads + tally.Scheduler.shed);
+  check_balances read_cfg w;
+  let counters = Registry.counters w.S.obs in
+  check_bool "snapshot counter tracks" true
+    (List.assoc_opt "mvcc.snapshot_reads" counters
+    = Some tally.Scheduler.reads);
+  check_bool "early releases under load" true
+    (match List.assoc_opt "elr.released_early" counters with
+    | Some n -> n > 0
+    | None -> false);
+  (* lock-free lookups must ack faster than locked writes at the tail *)
+  let r = S.run read_cfg in
+  check_bool "reads reported" true (r.S.reads = tally.Scheduler.reads);
+  check_bool "snapshot fraction reported" true
+    (r.S.snapshot_read_fraction > 0.);
+  check_bool "read p99 below write p99" true
+    (r.S.read_p99_latency_us < r.S.p99_latency_us)
 
 (* --- end-to-end: the sharded server --- *)
 
@@ -502,12 +569,48 @@ let prop_no_hang_and_serial_balances =
       check_balances cfg w;
       true)
 
+(* Same serial-reference property, but with the contention-relief machinery
+   randomly exercised: early lock release on or off, a random lookup share,
+   and skews reaching into the hot-key regime where ELR actually reorders
+   lock handoff relative to the force. Whatever the interleaving, committed
+   plus answered must account for every request and balances must match the
+   commutative serial reference — i.e. releasing locks at spool time never
+   leaks an unforced write into another transaction's committed state. *)
+let gen_elr_cfg =
+  QCheck.Gen.(
+    gen_cfg >>= fun cfg ->
+    bool >>= fun elr ->
+    int_range 0 50 >>= fun read_pct ->
+    return { cfg with S.elr; read_pct })
+
+let print_elr_cfg (c : S.config) =
+  Printf.sprintf "%s elr=%b read_pct=%d" (print_cfg c) c.S.elr c.S.read_pct
+
+let prop_elr_serial_balances =
+  QCheck.Test.make
+    ~name:
+      "server: ELR and snapshot reads preserve the serial reference across \
+       skew/batch/shards"
+    ~count:40
+    (QCheck.make ~print:print_elr_cfg gen_elr_cfg)
+    (fun cfg ->
+      let w, tally = S.run_with_world cfg in
+      if
+        tally.Scheduler.committed + tally.Scheduler.reads <> cfg.S.requests
+      then
+        QCheck.Test.fail_reportf "committed %d + reads %d <> %d (shed %d)"
+          tally.Scheduler.committed tally.Scheduler.reads cfg.S.requests
+          tally.Scheduler.shed;
+      check_balances cfg w;
+      true)
+
 let suite =
   [
     ("admission.caps", `Quick, test_admission_caps);
     ( "admission.pressure-never-sheds-queueable",
       `Quick,
       test_admission_pressure_sheds_nothing_below_cap );
+    ("admission.double-release-idempotent", `Quick, test_admission_double_release);
     ("batcher.fifo", `Quick, test_batcher_fifo);
     ("arrivals.open-loop-deterministic", `Quick, test_arrivals_deterministic);
     ("arrivals.closed-loop-think", `Quick, test_arrivals_closed_loop_think);
@@ -516,6 +619,7 @@ let suite =
     ("server.shed-only-beyond-limit", `Quick, test_shed_only_beyond_limit);
     ("server.backpressure-defers", `Quick, test_backpressure_defers);
     ("server.deadlock-abort-retry", `Quick, test_deadlock_abort_retry);
+    ("server.snapshot-reads", `Quick, test_snapshot_reads);
     ( "server.balances-match-serial-reference",
       `Quick,
       test_balances_match_serial_reference );
@@ -534,4 +638,5 @@ let suite =
       test_background_truncation_run );
     ("server.trace-parents-commits", `Quick, test_trace_parenting);
     QCheck_alcotest.to_alcotest prop_no_hang_and_serial_balances;
+    QCheck_alcotest.to_alcotest prop_elr_serial_balances;
   ]
