@@ -12,13 +12,18 @@
      rvmutl dump        LOG [--data]
      rvmutl history     LOG --seg ID --off OFF [--len LEN]
      rvmutl recover     LOG --map ID=PATH [--map ID=PATH ...]
-     rvmutl check       --ops N --seed S [--exhaustive] [--sector B]
-                        [--incremental] [--shards N]
+     rvmutl stats       LOG [--json]
+     rvmutl check       [--ops N] [--seed S] [--exhaustive] [--sector B]
+                        [--incremental] [--shards N] [--mid-truncation]
+                        [--elr]
      rvmutl trace       LOG --out t.json [--txns N] [--accounts N]
                         [--batch B] [--seed S] [--top N]
      rvmutl serve       [--requests N] [--accounts N] [--seed S]
                         [--load TPS]... [--batch B]...
-                        [--sessions N --think-ms MS]
+                        [--sessions N --think-ms MS] [--trace FILE]
+                        [--log-size BYTES] [--zipf-s S] [--read-pct PCT]
+                        [--monitor] [--window-ms MS] [--postmortem FILE]
+     rvmutl benchdiff   OLD.json NEW.json [--tolerance PCT]
 *)
 
 module Device = Rvm_disk.Device
@@ -376,8 +381,96 @@ let trace path out txns accounts batch seed top_n =
 
 (* --- serve: the transaction server's saturation table --- *)
 
+(* --monitor: one monitored cell (first load x first batch) with windowed
+   telemetry and the SLO monitor on the scheduler's quantum tick,
+   streaming a top-style health line per closed window and ending with
+   the postmortem JSON artifact. *)
+let serve_monitored requests accounts seed loads batches sessions think_ms
+    log_size zipf_s read_pct window_ms postmortem_out =
+  let module S = Rvm_server.Server in
+  let module M = Rvm_obs.Monitor in
+  let module Ts = Rvm_obs.Timeseries in
+  let module J = Rvm_obs.Json in
+  let load =
+    match (loads, sessions) with
+    | t :: _, _ -> S.Open_loop t
+    | [], Some n -> S.Closed_loop { sessions = n; think_us = think_ms *. 1e3 }
+    | [], None -> S.Open_loop 40.
+  in
+  let batch = match batches with b :: _ -> b | [] -> 8 in
+  let cfg =
+    {
+      S.default_config with
+      S.requests;
+      accounts;
+      seed = Int64.of_int seed;
+      load;
+      batch_max = batch;
+      log_size;
+      zipf_s;
+      read_pct;
+      (* the incident flight recorder needs a live span ring *)
+      trace_capacity = 256;
+    }
+  in
+  Printf.printf
+    "monitored serve: %d requests, %s, batch %d, log %d B, seed %d, window \
+     %.0fms\n\n"
+    requests (S.load_name load) batch log_size seed window_ms;
+  let result, mon =
+    S.run_monitored ~window_us:(window_ms *. 1e3)
+      ~on_window:(fun mon _w ->
+        match M.health_line mon with
+        | Some line -> print_endline line
+        | None -> ())
+      cfg
+  in
+  let incs = M.incidents mon in
+  Printf.printf "\n%d committed, %.1f tps, run p99 %.0f us, %d shed\n"
+    result.S.committed result.S.throughput_tps result.S.p99_latency_us
+    result.S.shed;
+  let windows = Ts.completed (M.timeseries mon) in
+  if incs = [] then
+    Printf.printf "monitor: healthy - zero incidents over %d windows\n"
+      windows
+  else begin
+    Printf.printf "monitor: %d incident(s) over %d windows\n"
+      (List.length incs) windows;
+    List.iter
+      (fun (i : M.incident) ->
+        Printf.printf "  [%s] %s opened t=%.2fs %s\n"
+          (M.severity_to_string i.M.i_severity)
+          i.M.i_rule
+          (i.M.opened_at_us /. 1e6)
+          (match i.M.closed_at_us with
+          | Some t -> Printf.sprintf "closed t=%.2fs" (t /. 1e6)
+          | None -> "(open at end of run)");
+        match i.M.i_reasons with
+        | r :: _ -> Printf.printf "      %s\n" r
+        | [] -> ())
+      incs
+  end;
+  let run_meta =
+    [
+      ("tool", J.String "rvmutl serve --monitor");
+      ("load", J.String (S.load_name load));
+      ("requests", J.Int requests);
+      ("accounts", J.Int accounts);
+      ("batch_max", J.Int batch);
+      ("log_size", J.Int log_size);
+      ("seed", J.Int seed);
+      ("zipf_s", J.Float zipf_s);
+      ("read_pct", J.Int read_pct);
+      ("committed", J.Int result.S.committed);
+      ("throughput_tps", J.Float result.S.throughput_tps);
+      ("p99_latency_us", J.Float result.S.p99_latency_us);
+    ]
+  in
+  J.write_file ~path:postmortem_out (M.postmortem ~run:run_meta mon);
+  Printf.printf "wrote postmortem %s\n" postmortem_out
+
 let serve requests accounts seed loads batches sessions think_ms trace_out
-    log_size zipf_s read_pct =
+    log_size zipf_s read_pct monitor window_ms postmortem_out =
   if requests <= 0 then begin
     Printf.eprintf "rvmutl: --requests must be positive (got %d)\n" requests;
     exit 2
@@ -387,6 +480,14 @@ let serve requests accounts seed loads batches sessions think_ms trace_out
       read_pct;
     exit 2
   end;
+  if monitor && window_ms <= 0. then begin
+    Printf.eprintf "rvmutl: --window-ms must be positive (got %g)\n" window_ms;
+    exit 2
+  end;
+  if monitor then
+    serve_monitored requests accounts seed loads batches sessions think_ms
+      log_size zipf_s read_pct window_ms postmortem_out
+  else begin
   let module S = Rvm_server.Server in
   (* --trace: one run (first load x first batch) with the span ring
      sized to hold everything, exported as Chrome trace_event JSON —
@@ -446,6 +547,143 @@ let serve requests accounts seed loads batches sessions think_ms trace_out
     | None -> []
   in
   Format.printf "%a@?" S.pp_table (rows @ closed_rows)
+  end
+
+(* --- benchdiff: metric-by-metric comparison of bench artifacts --- *)
+
+(* Direction is inferred from the metric name: a latency or an abort
+   count regressing means growing, a throughput regressing means
+   shrinking. Keys that are run configuration rather than measurement
+   only warn when they drift — rows with different configs are not
+   comparable and the artifact needs regeneration, but that is not a
+   performance regression. *)
+let bd_lower_better =
+  [
+    "latency"; "p50"; "p95"; "p99"; "pause"; "abort"; "shed"; "sync";
+    "write"; "deadlock"; "backpressure"; "defer"; "ns_per"; "us_per";
+    "duration"; "stall"; "retry"; "blocked"; "miss";
+  ]
+
+let bd_higher_better =
+  [ "tps"; "throughput"; "committed"; "speedup"; "scaling"; "per_sec";
+    "reads"; "hit" ]
+
+let bd_config_keys =
+  [
+    "load"; "offered_tps"; "shards"; "batch_max"; "requests"; "seed";
+    "zipf_s"; "elr"; "read_pct"; "accounts"; "log_size"; "schema";
+    "window_us"; "bytes"; "ops"; "mode"; "label"; "name"; "size";
+  ]
+
+let bd_contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+type bd_direction = Lower_better | Higher_better | Config | Unknown
+
+let bd_classify path =
+  let p = String.lowercase_ascii path in
+  let leaf =
+    match String.rindex_opt p '.' with
+    | Some i -> String.sub p (i + 1) (String.length p - i - 1)
+    | None -> p
+  in
+  if List.exists (fun k -> leaf = k || bd_contains leaf k) bd_config_keys then
+    Config
+  else if List.exists (bd_contains p) bd_lower_better then Lower_better
+  else if List.exists (bd_contains p) bd_higher_better then Higher_better
+  else Unknown
+
+let benchdiff old_path new_path tolerance_pct =
+  let module J = Rvm_obs.Json in
+  let read p =
+    try J.read_file ~path:p
+    with Sys_error e | J.Parse_error e ->
+      Printf.eprintf "rvmutl: %s: %s\n" p e;
+      exit 2
+  in
+  let old_doc = read old_path and new_doc = read new_path in
+  let tol = tolerance_pct /. 100. in
+  let regressions = ref [] and warnings = ref [] in
+  let improved = ref 0 and compared = ref 0 in
+  let regress path msg = regressions := Printf.sprintf "%s: %s" path msg :: !regressions in
+  let warn path msg = warnings := Printf.sprintf "%s: %s" path msg :: !warnings in
+  let number path a b =
+    incr compared;
+    let rel =
+      if a = 0. && b = 0. then 0.
+      else abs_float (b -. a) /. Float.max (abs_float a) 1e-9
+    in
+    let describe = Printf.sprintf "%.6g -> %.6g (%+.1f%%)" a b (100. *. rel *. (if b >= a then 1. else -1.)) in
+    match bd_classify path with
+    | Config -> if a <> b then warn path ("config drift " ^ describe)
+    | dir ->
+      if rel <= tol then ()
+      else (
+        match dir with
+        | Lower_better ->
+          if b > a then regress path describe else incr improved
+        | Higher_better ->
+          if b < a then regress path describe else incr improved
+        | Unknown | Config ->
+          regress path ("unclassified metric moved " ^ describe))
+  in
+  let rec walk path a b =
+    match (a, b) with
+    | J.Obj fa, J.Obj fb ->
+      List.iter
+        (fun (k, va) ->
+          let p = if path = "" then k else path ^ "." ^ k in
+          match List.assoc_opt k fb with
+          | Some vb -> walk p va vb
+          | None -> regress p "metric missing from new artifact")
+        fa;
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem_assoc k fa) then
+            warn (path ^ "." ^ k) "only in new artifact")
+        fb
+    | J.List la, J.List lb ->
+      if List.length la <> List.length lb then
+        regress path
+          (Printf.sprintf "row count changed: %d -> %d" (List.length la)
+             (List.length lb))
+      else
+        List.iteri
+          (fun i (va, vb) -> walk (Printf.sprintf "%s[%d]" path i) va vb)
+          (List.combine la lb)
+    | (J.Int _ | J.Float _), (J.Int _ | J.Float _) ->
+      let num = function
+        | J.Int i -> float_of_int i
+        | J.Float f -> f
+        | _ -> 0.
+      in
+      number path (num a) (num b)
+    | J.String sa, J.String sb ->
+      if sa <> sb then
+        if bd_classify path = Config then
+          warn path (Printf.sprintf "config drift %S -> %S" sa sb)
+        else regress path (Printf.sprintf "%S -> %S" sa sb)
+    | J.Bool ba, J.Bool bb ->
+      if ba <> bb then warn path (Printf.sprintf "%b -> %b" ba bb)
+    | J.Null, J.Null -> ()
+    | _ -> regress path "value shape changed"
+  in
+  walk "" old_doc new_doc;
+  Printf.printf "benchdiff %s -> %s (tolerance %.1f%%)\n" old_path new_path
+    tolerance_pct;
+  Printf.printf "%d metric(s) compared, %d within tolerance, %d improved\n"
+    !compared
+    (!compared - !improved - List.length !regressions)
+    !improved;
+  List.iter (Printf.printf "warn: %s\n") (List.rev !warnings);
+  if !regressions = [] then print_endline "no regressions"
+  else begin
+    Printf.printf "%d regression(s):\n" (List.length !regressions);
+    List.iter (Printf.printf "  FAIL %s\n") (List.rev !regressions);
+    exit 1
+  end
 
 (* --- command line --- *)
 
@@ -751,6 +989,31 @@ let serve_cmd =
             "Percentage of requests issued as read-only balance lookups, \
              served lock-free from the multi-version snapshot path.")
   in
+  let monitor =
+    Arg.(
+      value & flag
+      & info [ "monitor" ]
+          ~doc:
+            "Run one monitored cell (first load x first batch) instead of \
+             the sweep: windowed telemetry on the scheduler's quantum tick, \
+             SLO rules (commit-p99 burst, abort rate, spool pressure, \
+             truncation starvation, durable-LSN stall) opening typed \
+             incidents, a top-style health line per window, and a \
+             postmortem JSON artifact at exit.")
+  in
+  let window_ms =
+    Arg.(
+      value & opt float 500.
+      & info [ "window-ms" ] ~docv:"MS"
+          ~doc:"Telemetry window in simulated milliseconds for --monitor.")
+  in
+  let postmortem =
+    Arg.(
+      value
+      & opt string "POSTMORTEM.json"
+      & info [ "postmortem" ] ~docv:"FILE"
+          ~doc:"Where --monitor writes the postmortem JSON report.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -758,10 +1021,41 @@ let serve_cmd =
           through the cooperative scheduler, admission control and commit \
           batcher) across a load sweep and print the saturation table: \
           throughput, shed and abort counts, latency percentiles, and \
-          device syncs per committed transaction.")
+          device syncs per committed transaction. With --monitor, run one \
+          cell under the SLO health monitor instead.")
     Term.(
       const serve $ requests $ accounts $ seed $ loads $ batches $ sessions
-      $ think_ms $ trace_out $ log_size $ zipf_s $ read_pct)
+      $ think_ms $ trace_out $ log_size $ zipf_s $ read_pct $ monitor
+      $ window_ms $ postmortem)
+
+let benchdiff_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline bench artifact.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate bench artifact.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 10.
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Relative drift allowed per metric before it counts.")
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Compare two BENCH_*.json artifacts metric by metric: latencies, \
+          pauses and abort counts may not grow and throughputs may not \
+          shrink beyond the tolerance; configuration keys only warn on \
+          drift. Exits non-zero on regression, so the checked-in artifact \
+          trajectory gates itself in CI.")
+    Term.(const benchdiff $ old_arg $ new_arg $ tolerance)
 
 let () =
   let info =
@@ -774,4 +1068,5 @@ let () =
           [
             create_log_cmd; create_seg_cmd; status_cmd; dump_cmd; history_cmd;
             recover_cmd; stats_cmd; check_cmd; trace_cmd; serve_cmd;
+            benchdiff_cmd;
           ]))

@@ -1,10 +1,11 @@
-(** Power-of-two-bucketed histogram for latencies and sizes.
+(** HDR-style sub-bucketed histogram for latencies and sizes.
 
     Observations are non-negative floats (microseconds, bytes, ...).
-    Bucket [i] counts observations in [(2^(i-1), 2^i]] (bucket 0 covers
-    [[0, 1]]), which keeps the memory footprint constant and the relative
-    quantile error under 2x — plenty for attributing cost to layers. Exact
-    count / sum / min / max are tracked alongside. *)
+    Values below 32 get exact unit buckets; above that, each power-of-two
+    octave is split into 32 linear sub-buckets, so the relative quantile
+    error stays under ~3% (versus the 2x of plain power-of-two buckets)
+    at a constant ~1.9k-bucket footprint. Exact count / sum / min / max
+    are tracked alongside. *)
 
 type t
 
@@ -14,23 +15,57 @@ val observe : t -> float -> unit
 val count : t -> int
 val sum : t -> float
 val mean : t -> float
+
 val min_value : t -> float
-(** [infinity] when empty. *)
+(** [infinity] when empty — prefer {!min_opt} for output paths. *)
 
 val max_value : t -> float
-(** [neg_infinity] when empty. *)
+(** [neg_infinity] when empty — prefer {!max_opt} for output paths. *)
+
+val min_opt : t -> float option
+(** [None] when empty. *)
+
+val max_opt : t -> float option
+(** [None] when empty. *)
 
 val quantile : t -> float -> float
-(** [quantile t q] (0 <= q <= 1): upper bound of the bucket where the
-    cumulative count reaches [q]; 0 when empty. *)
+(** [quantile t q] (0 <= q <= 1): upper bound of the sub-bucket where the
+    cumulative count reaches [q], clamped to the observed maximum; 0 when
+    empty. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] (0 <= p <= 100, clamped): [quantile t (p /. 100.)] —
     the p50/p95/p99 convention used by {!Registry.pp} and the JSON
-    snapshots. Like {!quantile}, the result is a bucket upper bound
-    clamped to the observed maximum. *)
+    snapshots. *)
 
 val buckets : t -> (float * int) list
 (** Non-empty buckets as [(upper_bound, count)], ascending. *)
 
 val reset : t -> unit
+
+(** {2 Window deltas}
+
+    A {!snapshot} is a cursor over the cumulative buckets; {!advance}
+    reports the statistics of everything observed since the cursor and
+    moves it to now. {!Timeseries} keeps one cursor per histogram to turn
+    cumulative totals into per-window p50/p95/p99. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+val zero_snapshot : unit -> snapshot
+(** A cursor positioned before any observation — [advance] from it
+    reports a histogram's full cumulative contents as the first
+    window. *)
+
+type window_stats = {
+  w_count : int;
+  w_sum : float;
+  w_p50 : float;
+  w_p95 : float;
+  w_p99 : float;
+  w_max : float;  (** sub-bucket upper edge — 0 when the window is empty *)
+}
+
+val advance : t -> snapshot -> window_stats

@@ -1,0 +1,150 @@
+(** Declarative SLO monitoring with typed incidents and postmortems.
+
+    A monitor owns a {!Timeseries} and a set of {!rule}s. Every closed
+    window is probed by every rule; [open_after] consecutive breaching
+    windows open a typed {!incident}, [close_after] consecutive healthy
+    windows close it again (hysteresis, so one noisy window never
+    pages). Each incident captures the windows that triggered it plus a
+    flight-recorder tail of the spans in flight when it opened. A run
+    ends with {!finish} and a {!postmortem} JSON document — a healthy
+    run reports zero incidents. *)
+
+type severity = Warn | Page
+
+val severity_to_string : severity -> string
+
+type verdict = Healthy | Breach of string
+
+type rule = {
+  name : string;  (** incident type, e.g. ["commit-p99-burst"] *)
+  severity : severity;
+  open_after : int;  (** consecutive breaching windows to open *)
+  close_after : int;  (** consecutive healthy windows to close *)
+  probe : Timeseries.window -> verdict;
+}
+
+val rule :
+  ?severity:severity ->
+  ?open_after:int ->
+  ?close_after:int ->
+  string ->
+  (Timeseries.window -> verdict) ->
+  rule
+(** Defaults: [Page], open after 2, close after 3. Raises
+    [Invalid_argument] on non-positive streaks. *)
+
+(** {2 The standard rule set}
+
+    Metric names default to the transaction server's registry schema
+    ([server.*] counters/histograms and the [spool.pressure] /
+    [lsn.commit] / [lsn.durable] / [log.occupancy] / [truncation.due]
+    gauges registered by the monitored server); every name is a
+    parameter so other harnesses can reuse the shapes. *)
+
+val commit_latency_rule :
+  ?hist:string ->
+  ?ratio:float ->
+  ?floor_us:float ->
+  ?min_count:int ->
+  ?warmup:int ->
+  unit ->
+  rule
+(** Window p99 above [ratio] (default 3x) times a rolling EMA baseline
+    of healthy windows. The baseline learns over [warmup] windows with
+    at least [min_count] commits and freezes while breaching, so an
+    incident cannot drag its own threshold up. [floor_us] suppresses
+    breaches while everything is faster than it. *)
+
+val abort_rate_rule :
+  ?committed:string -> ?retried:string -> ?max_rate:float -> ?min_ops:int ->
+  unit -> rule
+
+val shed_rate_rule :
+  ?shed:string -> ?committed:string -> ?max_rate:float -> ?min_arrivals:int ->
+  unit -> rule
+(** Admission control turning away more than [max_rate] (default 0.25)
+    of a window's arrivals — the overload signature past the saturation
+    knee, where shedding keeps the inside of the server healthy. *)
+
+val spool_pressure_rule : ?gauge:string -> ?watermark:float -> unit -> rule
+
+val truncation_starvation_rule :
+  ?due:string -> ?steps:string list -> unit -> rule
+(** Truncation reported due for a whole window while zero truncation
+    steps (epoch, incremental, emergency) ran. *)
+
+val durable_stall_rule : ?commit:string -> ?durable:string -> unit -> rule
+(** The durable-LSN gauge frozen across a window while the commit LSN
+    sits ahead of it. *)
+
+val shard_imbalance_rule :
+  ?prefix:string ->
+  ?suffix:string ->
+  ?shards:int ->
+  ?max_skew:float ->
+  ?min_per_window:int ->
+  unit ->
+  rule
+(** Max/min per-shard committed delta beyond [max_skew] (or a shard
+    fully starved) in a window with enough volume. *)
+
+val default_rules : ?shards:int -> unit -> rule list
+(** The six engine rules, plus {!shard_imbalance_rule} when
+    [shards > 1]. *)
+
+(** {2 Incidents} *)
+
+type incident = {
+  i_rule : string;
+  i_severity : severity;
+  opened_at_us : float;
+  mutable closed_at_us : float option;
+      (** [None] = still open when the run ended *)
+  mutable i_windows : Timeseries.window list;  (** triggering, oldest first *)
+  mutable i_reasons : string list;  (** one per retained window *)
+  flight_recorder : Trace.span list;  (** span tail at open *)
+}
+
+type t
+
+val create :
+  ?max_incident_windows:int ->
+  ?tail_len:int ->
+  rules:rule list ->
+  Timeseries.t ->
+  Registry.t ->
+  t
+(** The registry supplies the flight-recorder tail (enable a trace
+    capacity on it for non-empty tails). *)
+
+val timeseries : t -> Timeseries.t
+
+val tick : t -> now_us:float -> Timeseries.window list
+(** Drive the clock forward: closes elapsed windows via
+    {!Timeseries.tick}, probes every rule on each, and returns the
+    closed windows (usually [[]]) so callers can stream them. *)
+
+val finish : t -> now_us:float -> Timeseries.window list
+(** End-of-run {!Timeseries.flush} plus rule evaluation of the tail. *)
+
+val incidents : t -> incident list
+(** All incidents, oldest first. *)
+
+val open_incidents : t -> incident list
+val incident_count : t -> int
+
+val healthy : t -> bool
+(** Zero incidents over the whole run. *)
+
+val health_line : t -> string option
+(** Top-style one-liner for the last closed window ([None] before the
+    first close): window index, simulated time, commit rate, window
+    p99, aborts, sheds, spool pressure, log occupancy, LSN lag and open
+    incident count. *)
+
+val incident_json : incident -> Json.t
+
+val postmortem : ?run:(string * Json.t) list -> t -> Json.t
+(** The end-of-run report: run metadata, health verdict, every incident
+    with its triggering windows and flight-recorder tail, and the
+    retained window series. *)

@@ -104,10 +104,11 @@ let histogram_json h =
       ("count", Int (Histogram.count h));
       ("sum", Float (Histogram.sum h));
       ("mean", Float (Histogram.mean h));
+      (* inf/-inf of a fresh histogram must never reach the document. *)
       ( "min",
-        if Histogram.count h = 0 then Null else Float (Histogram.min_value h) );
+        match Histogram.min_opt h with Some v -> Float v | None -> Null );
       ( "max",
-        if Histogram.count h = 0 then Null else Float (Histogram.max_value h) );
+        match Histogram.max_opt h with Some v -> Float v | None -> Null );
       ("p50", Float (Histogram.percentile h 50.));
       ("p95", Float (Histogram.percentile h 95.));
       ("p99", Float (Histogram.percentile h 99.));

@@ -241,6 +241,7 @@ let truncation_step t =
 let truncation_due t = Truncator.due (truncator t)
 let truncation_urgent t = Truncator.urgent (truncator t)
 let truncation_active t = Truncator.active (truncator t)
+let log_occupancy t = Truncator.occupancy (truncator t)
 
 (* --- initialization / termination / mapping --- *)
 

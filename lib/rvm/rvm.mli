@@ -185,6 +185,10 @@ val truncation_urgent : t -> bool
 val truncation_active : t -> bool
 (** A truncation run is suspended mid-flight. *)
 
+val log_occupancy : t -> float
+(** Fill fraction of the log's reclaimable window — the gauge the
+    truncation thresholds compare against, exported for monitoring. *)
+
 (** {1 Miscellaneous — Figure 4(d)} *)
 
 type query_result = {

@@ -14,10 +14,12 @@ type t = {
   commit_lsn : unit -> int;
   durable_lsn : unit -> int;
   spool_pressure : unit -> float;
+  log_occupancy : unit -> float;
   truncation_step : unit -> [ `Progress | `Blocked | `Idle ];
   truncation_due : unit -> bool;
   truncation_urgent : unit -> bool;
   truncate : unit -> unit;
+  shards : int;  (* 1 for the single-log engine *)
 }
 
 let of_rvm rvm =
@@ -33,10 +35,12 @@ let of_rvm rvm =
     commit_lsn = (fun () -> Rvm.commit_lsn rvm);
     durable_lsn = (fun () -> Rvm.durable_lsn rvm);
     spool_pressure = (fun () -> Rvm.spool_pressure rvm);
+    log_occupancy = (fun () -> Rvm.log_occupancy rvm);
     truncation_step = (fun () -> Rvm.truncation_step rvm);
     truncation_due = (fun () -> Rvm.truncation_due rvm);
     truncation_urgent = (fun () -> Rvm.truncation_urgent rvm);
     truncate = (fun () -> Rvm.truncate rvm);
+    shards = 1;
   }
 
 (* The sharded engine already models one simulated worker core per shard
@@ -56,8 +60,10 @@ let of_multi m =
     commit_lsn = (fun () -> Multi.commit_lsn m);
     durable_lsn = (fun () -> Multi.durable_lsn m);
     spool_pressure = (fun () -> Multi.spool_pressure m);
+    log_occupancy = (fun () -> Multi.log_occupancy m);
     truncation_step = (fun () -> Multi.truncation_step m);
     truncation_due = (fun () -> Multi.truncation_due m);
     truncation_urgent = (fun () -> Multi.truncation_urgent m);
     truncate = (fun () -> Multi.truncate m);
+    shards = Multi.shard_count m;
   }

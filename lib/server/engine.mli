@@ -31,10 +31,12 @@ type t = {
   commit_lsn : unit -> int;
   durable_lsn : unit -> int;
   spool_pressure : unit -> float;
+  log_occupancy : unit -> float;
   truncation_step : unit -> [ `Progress | `Blocked | `Idle ];
   truncation_due : unit -> bool;
   truncation_urgent : unit -> bool;
   truncate : unit -> unit;
+  shards : int;  (** 1 for the single-log engine *)
 }
 
 val of_rvm : Rvm_core.Rvm.t -> t

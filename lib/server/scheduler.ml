@@ -163,6 +163,10 @@ type t = {
   mutable on_ack : Request.t -> unit;
       (* fired when a request's outcome is released to the client — after
          durability for writes, after the dependency check for reads *)
+  mutable on_quantum : unit -> unit;
+      (* fired once per scheduler quantum, after the clock may have
+         advanced: the monitoring tick. Must not charge simulated time —
+         observation may never perturb the run it observes. *)
   (* tallies *)
   mutable committed : int;
   mutable reads : int;
@@ -220,6 +224,7 @@ let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
     steps = Hashtbl.create 64;
     on_spool = ignore;
     on_ack = ignore;
+    on_quantum = ignore;
     committed = 0;
     reads = 0;
     shed = 0;
@@ -249,6 +254,8 @@ let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
 let set_hooks t ~on_spool ~on_ack =
   t.on_spool <- on_spool;
   t.on_ack <- on_ack
+
+let set_on_quantum t f = t.on_quantum <- f
 
 let now t = Clock.now_us t.clock
 let charge t = Clock.charge_cpu t.clock t.cfg.cpu_per_op_us
@@ -771,6 +778,7 @@ let run t =
     t.iterations <- t.iterations + 1;
     if t.iterations > t.cfg.max_iterations then
       raise (Stuck (diagnose t "iteration budget exhausted"));
+    t.on_quantum ();
     process_due t;
     admit_from_queue t;
     background_truncation t;

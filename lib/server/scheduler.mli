@@ -123,6 +123,13 @@ val set_hooks :
     released to the client — after durability for writes, after the
     dependency check for lookups. Defaults are no-ops. *)
 
+val set_on_quantum : t -> (unit -> unit) -> unit
+(** Hook fired once at the top of every scheduler quantum — the
+    monitoring tick ({!Rvm_obs.Monitor.tick}), so windowed telemetry
+    samples server, shards and truncator on the scheduler's own
+    timeline. The hook must read the clock, never charge it: observation
+    may not perturb the run it observes. Default is a no-op. *)
+
 val run : t -> tally
 (** Drive the loop until the arrival process is exhausted and every
     request has committed or been shed. Raises {!Stuck} if the loop

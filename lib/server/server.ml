@@ -296,17 +296,7 @@ let log_totals w =
       (ws + d.Device.stats.Device.writes, ss + d.Device.stats.Device.syncs))
     (0, 0) w.log_devs
 
-let run cfg =
-  let w = build_world cfg in
-  let sched = scheduler_of cfg w in
-  let writes0, syncs0 = log_totals w in
-  let tally = Scheduler.run sched in
-  (* Leave any final no-flush residue where the run left it: syncs are
-     attributed per committed request, and the scheduler always closes its
-     last batch before the arrival process drains. *)
-  let writes1, syncs1 = log_totals w in
-  let log_writes = writes1 - writes0 in
-  let log_syncs = syncs1 - syncs0 in
+let reduce cfg w tally ~log_writes ~log_syncs =
   let cross_committed, cross_aborted =
     match w.backend with
     | Single _ -> (0, 0)
@@ -357,6 +347,68 @@ let run cfg =
        if total = 0 then 0.
        else float_of_int cross_aborted /. float_of_int total);
   }
+
+let run cfg =
+  let w = build_world cfg in
+  let sched = scheduler_of cfg w in
+  let writes0, syncs0 = log_totals w in
+  let tally = Scheduler.run sched in
+  (* Leave any final no-flush residue where the run left it: syncs are
+     attributed per committed request, and the scheduler always closes its
+     last batch before the arrival process drains. *)
+  let writes1, syncs1 = log_totals w in
+  reduce cfg w tally ~log_writes:(writes1 - writes0)
+    ~log_syncs:(syncs1 - syncs0)
+
+(* {2 Monitored runs}
+
+   The monitor reads the same registry the engine already reports into;
+   the extra wiring is gauges (instantaneous signals that have no
+   counter) plus the scheduler's quantum hook driving the windowing
+   tick. Nothing here charges the simulated clock, so a monitored run
+   is byte-identical to a bare one. *)
+
+module Timeseries = Rvm_obs.Timeseries
+module Monitor = Rvm_obs.Monitor
+
+let register_gauges w ts =
+  let eng = w.engine in
+  Timeseries.gauge ts "spool.pressure" eng.Engine.spool_pressure;
+  Timeseries.gauge ts "log.occupancy" eng.Engine.log_occupancy;
+  Timeseries.gauge ts "lsn.commit" (fun () ->
+      float_of_int (eng.Engine.commit_lsn ()));
+  Timeseries.gauge ts "lsn.durable" (fun () ->
+      float_of_int (eng.Engine.durable_lsn ()));
+  Timeseries.gauge ts "truncation.due" (fun () ->
+      if eng.Engine.truncation_due () then 1. else 0.)
+
+let default_window_us = 500_000.
+
+let monitor_of ?(window_us = default_window_us) ?rules w =
+  let rules =
+    match rules with
+    | Some r -> r
+    | None -> Monitor.default_rules ~shards:w.engine.Engine.shards ()
+  in
+  let ts = Timeseries.create ~window_us w.obs in
+  register_gauges w ts;
+  Monitor.create ~rules ts w.obs
+
+let run_monitored ?window_us ?rules ?(on_window = fun _ _ -> ()) cfg =
+  let w = build_world cfg in
+  let sched = scheduler_of cfg w in
+  let mon = monitor_of ?window_us ?rules w in
+  Scheduler.set_on_quantum sched (fun () ->
+      List.iter (on_window mon) (Monitor.tick mon ~now_us:(Clock.now_us w.clock)));
+  let writes0, syncs0 = log_totals w in
+  let tally = Scheduler.run sched in
+  List.iter (on_window mon) (Monitor.finish mon ~now_us:(Clock.now_us w.clock));
+  let writes1, syncs1 = log_totals w in
+  let result =
+    reduce cfg w tally ~log_writes:(writes1 - writes0)
+      ~log_syncs:(syncs1 - syncs0)
+  in
+  (result, mon)
 
 let run_with_world cfg =
   let w = build_world cfg in

@@ -84,6 +84,29 @@ type result = {
 
 val run : config -> result
 
+(** {1 Monitored runs}
+
+    Same world, same scheduler, plus windowed telemetry and SLO
+    monitoring: a {!Rvm_obs.Timeseries} over the world's registry
+    (window default 500ms simulated), gauges for spool pressure, log
+    occupancy, the commit/durable LSN horizons and truncation-due, and
+    an {!Rvm_obs.Monitor} ticked from the scheduler's quantum hook. The
+    monitoring path only reads the clock, so a monitored run's {!result}
+    is byte-identical to a bare {!run} of the same config. *)
+
+val default_window_us : float
+
+val run_monitored :
+  ?window_us:float ->
+  ?rules:Rvm_obs.Monitor.rule list ->
+  ?on_window:(Rvm_obs.Monitor.t -> Rvm_obs.Timeseries.window -> unit) ->
+  config ->
+  result * Rvm_obs.Monitor.t
+(** [rules] defaults to {!Rvm_obs.Monitor.default_rules} (with the
+    shard-imbalance rule when [cfg.shards > 1]); [on_window] streams
+    every closed window as the run progresses (the [serve --monitor]
+    health line). *)
+
 (** {1 Open-world entry points}
 
     Tests need the pieces: the registry (to check [req.root] parents

@@ -63,6 +63,10 @@ type t = {
          across shards. Callers only block on a lane at the points where
          the protocol says they must — a Flush-mode commit, a global
          force. No-ops on a null clock. *)
+  shard_committed : Rvm_obs.Counter.t array;
+      (* per-shard committed-transaction counters ([shard.<i>.committed]
+         in the shared registry, so windowed telemetry can spot one
+         shard racing ahead of — or starving behind — the others) *)
   mutable cross_committed : int;
   mutable cross_aborted : int;
   mutable commit_lsn : int;
@@ -246,6 +250,9 @@ let initialize ?(options = Options.default) ?(clock = Clock.null)
     retirable = [];
     force_epoch = Array.make (Array.length shards) 0;
     lanes = Array.init (Array.length shards) (fun _ -> Clock.lane ());
+    shard_committed =
+      Array.init (Array.length shards) (fun i ->
+          Registry.counter obs (Printf.sprintf "shard.%d.committed" i));
     cross_committed = 0;
     cross_aborted = 0;
     commit_lsn = 0;
@@ -496,6 +503,7 @@ let end_cross t gtid txn ~mode participants =
    counter reflects this commit; the global LSN becomes durable once every
    participant reports its local LSN forced. *)
 let note_commit t participants =
+  List.iter (fun s -> Rvm_obs.Counter.incr t.shard_committed.(s)) participants;
   t.commit_lsn <- t.commit_lsn + 1;
   let locals =
     List.map (fun s -> (s, Rvm.commit_lsn t.shards.(s))) participants
@@ -570,6 +578,12 @@ let truncation_urgent t = Array.exists Rvm.truncation_urgent t.shards
 let spool_pressure t =
   Array.fold_left (fun acc r -> Float.max acc (Rvm.spool_pressure r)) 0.
     t.shards
+
+let log_occupancy t =
+  Array.fold_left (fun acc r -> Float.max acc (Rvm.log_occupancy r)) 0.
+    t.shards
+
+let shard_committed t = Array.map Rvm_obs.Counter.get t.shard_committed
 
 let active_transactions t = Hashtbl.length t.txns
 

@@ -116,6 +116,14 @@ val set_i64 : t -> addr:int -> int64 -> unit
 val spool_pressure : t -> float
 (** Max over shards — admission control throttles on the hottest shard. *)
 
+val log_occupancy : t -> float
+(** Max log fill fraction over shards — the monitoring gauge. *)
+
+val shard_committed : t -> int array
+(** Per-shard committed-transaction counts (a cross-shard commit counts
+    on every participant), also exported as [shard.<i>.committed]
+    registry counters for windowed telemetry. *)
+
 val stats : t -> Rvm_core.Statistics.t
 (** Merged engine totals (all shards share one registry). *)
 

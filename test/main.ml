@@ -24,4 +24,8 @@ let () =
       ("harness", Test_harness.suite);
       ("pds", Test_pds.suite);
       ("server", Test_server.suite);
+      ("timeseries", Test_timeseries.suite);
+      ("monitor", Test_monitor.suite);
+      ("cli", Test_cli.suite);
+      ("bench-artifacts", Test_bench_artifacts.suite);
     ]

@@ -1,0 +1,48 @@
+(* Every checked-in BENCH_*.json must parse with the in-tree JSON
+   reader, serialize, and reparse to the same tree — the benchdiff gate
+   and external tooling both depend on the artifacts staying readable.
+   The empty-histogram regression (infinity min/max leaking into JSON as
+   unparseable tokens) is exactly the class of bug this catches. *)
+
+module Json = Rvm_obs.Json
+
+let artifacts () =
+  Sys.readdir ".."
+  |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 6
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.sort compare
+  |> List.map (fun f -> Filename.concat ".." f)
+
+let test_roundtrip path () =
+  let doc = Json.read_file ~path in
+  (* compact rendering reparses to the same tree *)
+  let compact = Json.to_string doc in
+  Alcotest.(check bool)
+    (path ^ " compact round-trip") true
+    (Json.of_string compact = doc);
+  (* pretty rendering (what write_file emits) reparses identically too *)
+  let pretty = Json.to_string_pretty doc in
+  Alcotest.(check bool)
+    (path ^ " pretty round-trip") true
+    (Json.of_string pretty = doc);
+  (* artifacts are top-level objects tagged with their artifact name *)
+  match Json.member "artifact" doc with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail (path ^ " must carry an \"artifact\" tag")
+
+let test_some_artifacts_exist () =
+  Alcotest.(check bool)
+    "checked-in artifacts are visible to the test runner" true
+    (List.length (artifacts ()) >= 5)
+
+let suite =
+  Alcotest.test_case "artifacts present" `Quick test_some_artifacts_exist
+  :: List.map
+       (fun path ->
+         Alcotest.test_case
+           (Printf.sprintf "round-trip %s" (Filename.basename path))
+           `Quick (test_roundtrip path))
+       (artifacts ())

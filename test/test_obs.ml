@@ -34,12 +34,13 @@ let test_histogram () =
   Histogram.reset h;
   check_int "reset drops samples" 0 (Histogram.count h)
 
-(* Percentile is quantile in the 0..100 convention; results are bucket
-   upper bounds (powers of two) clamped to the observed max, so the
-   boundary cases are exact and assertable. *)
+(* Percentile is quantile in the 0..100 convention; results are
+   sub-bucket upper bounds clamped to the observed max. Values below 32
+   get exact unit buckets, so the boundary cases are exact and
+   assertable. *)
 let test_percentile_buckets () =
   let h = Histogram.v "p" in
-  (* One observation per bucket: upper bounds 1, 2, 4, 8. *)
+  (* One observation per unit bucket: upper bounds 1, 2, 4, 8. *)
   List.iter (Histogram.observe h) [ 1.; 2.; 4.; 8. ];
   let p = Histogram.percentile h in
   Alcotest.(check (float 1e-9)) "p25 = first bucket bound" 1. (p 25.);
@@ -51,15 +52,85 @@ let test_percentile_buckets () =
     (p (-10.));
   Alcotest.(check (float 1e-9)) "percentile beyond 100 clamps" (p 100.)
     (p 1000.);
-  (* An interior value reports its bucket's upper bound, clamped to the
-     observed max when the bucket is the last occupied one. *)
+  (* Small integers land in exact unit buckets. *)
   let h2 = Histogram.v "p2" in
   Histogram.observe h2 3.;
-  Alcotest.(check (float 1e-9)) "3.0 lands in (2,4] but clamps to max" 3.
+  Alcotest.(check (float 1e-9)) "3.0 gets an exact unit bucket" 3.
     (Histogram.percentile h2 50.);
   let h3 = Histogram.v "p3" in
   Alcotest.(check (float 1e-9)) "empty histogram reports 0" 0.
     (Histogram.percentile h3 99.)
+
+(* The HDR sub-bucketing keeps relative quantile error under 1/32 where
+   power-of-two buckets would round 1000 all the way up to 1024. *)
+let test_hdr_resolution () =
+  let h = Histogram.v "hdr" in
+  Histogram.observe h 1000.;
+  Histogram.observe h 2000.;
+  (* 1000 lands in octave k=9 (512..1023), sub-bucket width 16:
+     sub = (1000-512)/16 = 30, upper edge 512 + 31*16 = 1008. *)
+  Alcotest.(check (float 1e-9)) "p50 within 1/32 of 1000" 1008.
+    (Histogram.percentile h 50.);
+  Alcotest.(check (float 1e-9)) "p100 clamps to max" 2000.
+    (Histogram.percentile h 100.);
+  (* Octave boundaries stay monotone: every observation's reported
+     quantile upper bound is >= the value itself. *)
+  List.iter
+    (fun v ->
+      let h = Histogram.v "mono" in
+      Histogram.observe h v;
+      let q = Histogram.quantile h 1.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "upper bound >= %g" v)
+        true
+        (q >= v || abs_float (q -. v) < 1e-6))
+    [ 0.; 1.; 31.; 32.; 33.; 63.; 64.; 65.; 512.; 1023.; 1024.; 1e6; 1e9 ]
+
+let test_histogram_min_max_opt () =
+  let h = Histogram.v "opt" in
+  Alcotest.(check bool) "empty min_opt" true (Histogram.min_opt h = None);
+  Alcotest.(check bool) "empty max_opt" true (Histogram.max_opt h = None);
+  Histogram.observe h 7.;
+  Alcotest.(check bool) "min_opt after observe" true
+    (Histogram.min_opt h = Some 7.);
+  Alcotest.(check bool) "max_opt after observe" true
+    (Histogram.max_opt h = Some 7.)
+
+(* Empty-histogram snapshots must not leak inf/-inf into JSON: min and
+   max render as null, and the whole document still parses. *)
+let test_empty_histogram_json () =
+  let reg = Registry.create () in
+  ignore (Registry.histogram reg "fresh.us");
+  let doc = Json.to_string (Registry.to_json reg) in
+  let reparsed = Json.of_string doc in
+  match
+    Option.bind (Json.member "histograms" reparsed) (Json.member "fresh.us")
+  with
+  | Some h ->
+    check_bool "min is null" true (Json.member "min" h = Some Json.Null);
+    check_bool "max is null" true (Json.member "max" h = Some Json.Null)
+  | None -> Alcotest.fail "fresh histogram missing from JSON snapshot"
+
+(* Window deltas: a snapshot cursor turns cumulative buckets into
+   per-window quantiles. *)
+let test_histogram_window_delta () =
+  let h = Histogram.v "w" in
+  List.iter (Histogram.observe h) [ 1.; 1.; 1.; 1. ];
+  let cur = Histogram.snapshot h in
+  List.iter (Histogram.observe h) [ 100.; 100.; 2000. ];
+  let w = Histogram.advance h cur in
+  check_int "window count excludes pre-snapshot samples" 3 w.Histogram.w_count;
+  Alcotest.(check (float 1e-9)) "window sum" 2200. w.Histogram.w_sum;
+  check_bool "window p50 reflects only the window" true
+    (w.Histogram.w_p50 >= 100. && w.Histogram.w_p50 < 110.);
+  check_bool "window max brackets the burst" true (w.Histogram.w_max >= 2000.);
+  (* The cumulative p50 would still be 1 — the window view is the only
+     one that sees the burst. *)
+  Alcotest.(check (float 1e-9)) "cumulative p50 hides the burst" 1.
+    (Histogram.percentile h 50.);
+  let w2 = Histogram.advance h cur in
+  check_int "drained window is empty" 0 w2.Histogram.w_count;
+  Alcotest.(check (float 1e-9)) "empty window p99" 0. w2.Histogram.w_p99
 
 let test_percentile_in_snapshots () =
   let reg = Registry.create () in
@@ -262,6 +333,10 @@ let suite =
     ("counter", `Quick, test_counter);
     ("histogram", `Quick, test_histogram);
     ("histogram.percentile-buckets", `Quick, test_percentile_buckets);
+    ("histogram.hdr-resolution", `Quick, test_hdr_resolution);
+    ("histogram.min-max-opt", `Quick, test_histogram_min_max_opt);
+    ("histogram.empty-json", `Quick, test_empty_histogram_json);
+    ("histogram.window-delta", `Quick, test_histogram_window_delta);
     ("histogram.percentile-snapshots", `Quick, test_percentile_in_snapshots);
     ("registry.get-or-create", `Quick, test_registry_get_or_create);
     ("span", `Quick, test_span);
