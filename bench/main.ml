@@ -8,8 +8,8 @@
 
    Artifacts: table1, fig8, fig9, table2, ablation-truncation,
    ablation-opt, ablation-modes, ablation-startup, groupcommit, server,
-   micro, baseline (the CI metrics gate; `baseline write` regenerates
-   BENCH_baseline.json). *)
+   shards, contention, truncation, ycsb, micro, baseline (the CI metrics
+   gate; `baseline write` regenerates BENCH_baseline.json). *)
 
 module Harness = Rvm_harness
 
@@ -764,6 +764,85 @@ let truncation () =
   Printf.printf "truncation: OK (p99 ratio %.3f <= 2.0, %.1f wraps)\n%!"
     ratio wraps_on
 
+(* --- ycsb: the recoverable ordered map as a storage engine ---
+
+   The YCSB mixes A-F over the B-tree in the Rds heap, each mix bulk-loaded
+   with the same key population and served through the scheduler at a fixed
+   offered load, with vm_sim paging pressure (a quarter of the heap
+   resident). Simulated clock + fixed seed = byte-reproducible JSON. The
+   sweep gates itself on the serial reference: every mix's final tree must
+   equal a replay of its committed operations in commit order — a mix that
+   commits acknowledged work the tree lost (or vice versa) fails the bench,
+   not just a test. The default population is the paper-scale 10^6 keys
+   (several minutes of bulk load per mix); BENCH_YCSB_RECORDS=20000 gives a
+   quick run. *)
+
+let ycsb () =
+  let module Y = Rvm_server.Ycsb_run in
+  let module S = Rvm_server.Server in
+  let module W = Rvm_workload.Ycsb in
+  let module J = Rvm_obs.Json in
+  let getenv_int name default =
+    match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+  in
+  let records = getenv_int "BENCH_YCSB_RECORDS" 1_000_000 in
+  let requests = getenv_int "BENCH_YCSB_REQUESTS" 400 in
+  let base =
+    {
+      Y.default_config with
+      Y.records;
+      requests;
+      load = S.Open_loop 80.;
+      batch_max = 8;
+    }
+  in
+  let mixes = [ W.A; W.B; W.C; W.D; W.E; W.F ] in
+  Printf.printf "\n== YCSB sweep: mixes A-F over %d records ==\n%!" records;
+  let results = Y.sweep ~base mixes in
+  Format.printf "%a@?" Y.pp_table results;
+  let path = "BENCH_ycsb.json" in
+  J.write_file ~path
+    (J.Obj
+       [
+         ("artifact", J.String "ycsb");
+         ("records", J.Int records);
+         ("requests", J.Int requests);
+         ("value_len", J.Int base.Y.value_len);
+         ("degree", J.Int base.Y.degree);
+         ("mem_fraction", J.Float base.Y.mem_fraction);
+         ("seed", J.Int (Int64.to_int base.Y.seed));
+         ("results", J.List (List.map Y.result_to_json results));
+       ]);
+  Printf.printf "wrote %s\n%!" path;
+  let failed = ref false in
+  List.iter
+    (fun r ->
+      if not r.Y.serial_equal then begin
+        failed := true;
+        Printf.printf
+          "ycsb: FAIL — %s final tree diverges from the serial replay of \
+           its committed operations\n%!"
+          (W.mix_name r.Y.cfg.Y.mix)
+      end;
+      if r.Y.committed = 0 then begin
+        failed := true;
+        Printf.printf "ycsb: FAIL — %s committed nothing\n%!"
+          (W.mix_name r.Y.cfg.Y.mix)
+      end;
+      ())
+    results;
+  let total_faults =
+    List.fold_left (fun acc r -> acc + r.Y.vm_faults) 0 results
+  in
+  if total_faults = 0 then begin
+    failed := true;
+    Printf.printf
+      "ycsb: FAIL — the sweep ran without paging pressure (0 faults)\n%!"
+  end;
+  if !failed then exit 1;
+  Printf.printf
+    "ycsb: OK (every mix serial-equal, committed > 0, paging exercised)\n%!"
+
 (* --- baseline: the CI metrics gate ---
 
    Deterministic device-efficiency metrics (writes and syncs per committed
@@ -896,7 +975,39 @@ let baseline () =
     Printf.printf "  %-14s %.4f p99 on/off ratio\n%!" "truncation" ratio;
     [ ("truncation", [ ("p99_on_over_off", ratio) ]) ]
   in
-  let cases = cases @ server_cases @ contention_cases @ truncation_cases in
+  (* The YCSB row: the ordered-map workload on a short deterministic run.
+     Mix F exercises the read-modify-write lock upgrade, so its abort rate
+     gates the deadlock path; syncs per committed transaction gates the
+     batcher through the workload plug; a serial-reference mismatch is a
+     hard zero-tolerance failure (the +0.001 absolute floor never admits a
+     whole lost operation). *)
+  let ycsb_cases =
+    let module Y = Rvm_server.Ycsb_run in
+    let r =
+      Y.run
+        {
+          Y.default_config with
+          Y.mix = Rvm_workload.Ycsb.F;
+          records = 2000;
+          requests = 300;
+          load = Rvm_server.Server.Open_loop 80.;
+        }
+    in
+    Printf.printf "  %-14s %.4f syncs/txn  %.4f abort rate  serial %s\n%!"
+      "server_ycsb" r.Y.syncs_per_commit r.Y.abort_rate
+      (if r.Y.serial_equal then "ok" else "MISMATCH");
+    [
+      ( "server_ycsb",
+        [
+          ("device_syncs_per_txn", r.Y.syncs_per_commit);
+          ("deadlock_abort_rate", r.Y.abort_rate);
+          ("serial_mismatch", if r.Y.serial_equal then 0. else 1.);
+        ] );
+    ]
+  in
+  let cases =
+    cases @ server_cases @ contention_cases @ truncation_cases @ ycsb_cases
+  in
   let tolerance = 0.10 in
   if write_mode then begin
     J.write_file ~path
@@ -990,6 +1101,7 @@ let () =
   | "shards" -> shards ()
   | "contention" -> contention ()
   | "truncation" -> truncation ()
+  | "ycsb" -> ycsb ()
   | "baseline" -> baseline ()
   | "full" ->
     run_table1_family ~trials:5 ~measure:8000;
@@ -1019,6 +1131,7 @@ let () =
     Printf.eprintf
       "unknown artifact %S (try: all, full, table1, fig8, fig9, table2, \
        ablation-truncation, ablation-opt, ablation-modes, ablation-startup, \
-       groupcommit, server, shards, contention, micro, baseline)\n"
+       groupcommit, server, shards, contention, truncation, ycsb, micro, \
+       baseline)\n"
       other;
     exit 2

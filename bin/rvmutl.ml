@@ -12,10 +12,10 @@
      rvmutl dump        LOG [--data]
      rvmutl history     LOG --seg ID --off OFF [--len LEN]
      rvmutl recover     LOG --map ID=PATH [--map ID=PATH ...]
-     rvmutl stats       LOG [--json]
+     rvmutl stats       LOG [--json] [--heap-seg SEG --heap-base ADDR]
      rvmutl check       [--ops N] [--seed S] [--exhaustive] [--sector B]
                         [--incremental] [--shards N] [--mid-truncation]
-                        [--elr]
+                        [--elr] [--btree]
      rvmutl trace       LOG --out t.json [--txns N] [--accounts N]
                         [--batch B] [--seed S] [--top N]
      rvmutl serve       [--requests N] [--accounts N] [--seed S]
@@ -23,6 +23,7 @@
                         [--sessions N --think-ms MS] [--trace FILE]
                         [--log-size BYTES] [--zipf-s S] [--read-pct PCT]
                         [--monitor] [--window-ms MS] [--postmortem FILE]
+                        [--workload tpca|ycsb-a..ycsb-f] [--records N]
      rvmutl benchdiff   OLD.json NEW.json [--tolerance PCT]
 *)
 
@@ -181,7 +182,39 @@ let recover path maps =
 
 (* --- stats: observability snapshot --- *)
 
-let stats path json =
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+(* Attach the Rds heap held in a segment image and publish its occupancy
+   gauges. Both files are copied into memory devices first — stats must
+   never mutate the log or segment it inspects, and recovery writes. *)
+let heap_stats obs ~log_path ~seg_path ~base =
+  let module Rds = Rvm_alloc.Rds in
+  let log_dev =
+    Rvm_disk.Mem_device.of_bytes ~name:"stats-log" (read_file_bytes log_path)
+  in
+  let seg_bytes = read_file_bytes seg_path in
+  let seg_dev = Rvm_disk.Mem_device.of_bytes ~name:"stats-seg" seg_bytes in
+  let rvm =
+    Rvm_core.Rvm.reinitialize ~log:log_dev ~resolve:(fun _ -> seg_dev) ()
+  in
+  ignore
+    (Rvm_core.Rvm.map rvm ~vaddr:base ~seg:1 ~seg_off:0
+       ~len:(Bytes.length seg_bytes) ());
+  let heap = Rds.attach rvm ~base in
+  let gauge name v = Rvm_obs.Counter.add (Rvm_obs.Registry.counter obs name) v in
+  gauge "rds.allocated.bytes" (Rds.allocated_bytes heap);
+  gauge "rds.free.bytes" (Rds.free_bytes heap);
+  gauge "rds.free.list.length" (Rds.free_list_length heap);
+  gauge "rds.blocks" (Rds.block_count heap);
+  gauge "rds.heap.bytes" (Rds.heap_len heap)
+
+let stats path json heap_seg heap_base =
   let obs = Rvm_obs.Registry.create () in
   let file = File_device.open_existing ~path in
   let dev = Rvm_disk.Stack.with_stats ~obs ~prefix:"disk.log" () file in
@@ -202,6 +235,9 @@ let stats path json =
   gauge "log.truncations.total"
     (Log_manager.status lm).Status.truncations;
   dev.Device.close ();
+  (match heap_seg with
+  | Some seg_path -> heap_stats obs ~log_path:path ~seg_path ~base:heap_base
+  | None -> ());
   if json then
     print_string (Rvm_obs.Json.to_string_pretty (Rvm_obs.Registry.to_json obs))
   else Format.printf "%a@." Rvm_obs.Registry.pp obs
@@ -263,7 +299,46 @@ let check_sharded ops_n seed exhaustive sector incremental shards
     exit 1
   end
 
-let check ops_n seed exhaustive sector incremental shards mid_truncation elr =
+let check_btree exhaustive sector =
+  let module Bc = Rvm_check.Btree_check in
+  let config = { Bc.default_config with Bc.sector; exhaustive } in
+  Printf.printf
+    "B-tree structural explorer (minimum degree %d, sector %d%s)\n\n"
+    config.Bc.degree sector
+    (if exhaustive then ", exhaustive" else "");
+  let o = Bc.run ~config () in
+  Printf.printf
+    "events %d (%d writes, %d syncs), %d boundaries, %d torn variants, %d \
+     recoveries\n"
+    o.Bc.events o.Bc.writes o.Bc.syncs o.Bc.boundaries o.Bc.torn_variants
+    o.Bc.recoveries;
+  Printf.printf
+    "commits %d (durable prefix %d); structural coverage: %d splits, %d \
+     merges, %d borrows\n"
+    o.Bc.commits o.Bc.durable o.Bc.splits o.Bc.merges o.Bc.borrows;
+  if o.Bc.splits = 0 || o.Bc.merges = 0 || o.Bc.borrows = 0 then begin
+    print_endline
+      "coverage failure: the scripted workload did not reach every \
+       structural path";
+    exit 1
+  end;
+  match o.Bc.violations with
+  | [] -> print_endline "zero violations"
+  | vs ->
+    Printf.printf "%d violation(s):\n" (List.length vs);
+    List.iter
+      (fun (v : Bc.violation) ->
+        Printf.printf "  crash upto=%d torn=%s required=%d/%d: %s\n"
+          v.Bc.crash.Bc.upto
+          (match v.Bc.crash.Bc.torn with
+          | Some t -> string_of_int t
+          | None -> "-")
+          v.Bc.required v.Bc.commits v.Bc.reason)
+      vs;
+    exit 1
+
+let check ops_n seed exhaustive sector incremental shards mid_truncation elr
+    btree =
   if sector <= 0 then begin
     Printf.eprintf "rvmutl: --sector must be positive (got %d)\n" sector;
     exit 2
@@ -276,7 +351,8 @@ let check ops_n seed exhaustive sector incremental shards mid_truncation elr =
     Printf.eprintf "rvmutl: --shards must be at least 1 (got %d)\n" shards;
     exit 2
   end;
-  if elr then check_elr seed exhaustive sector shards
+  if btree then check_btree exhaustive sector
+  else if elr then check_elr seed exhaustive sector shards
   else if shards > 1 then
     check_sharded ops_n seed exhaustive sector incremental shards
       mid_truncation
@@ -469,12 +545,74 @@ let serve_monitored requests accounts seed loads batches sessions think_ms
   J.write_file ~path:postmortem_out (M.postmortem ~run:run_meta mon);
   Printf.printf "wrote postmortem %s\n" postmortem_out
 
+(* --workload ycsb-a..f: the key-value mixes over the recoverable B-tree,
+   swept across the offered loads like the TPC-A table. Each row carries
+   its serial-reference verdict, and the heap/paging gauges land in the
+   run's registry. *)
+let serve_ycsb mix requests records seed loads batches log_size =
+  let module Y = Rvm_server.Ycsb_run in
+  let module S = Rvm_server.Server in
+  let module Ycsb = Rvm_workload.Ycsb in
+  let batch =
+    match batches with b :: _ -> b | [] -> Y.default_config.Y.batch_max
+  in
+  let loads = if loads = [] then [ 10.; 20.; 40.; 80. ] else loads in
+  let base =
+    {
+      Y.default_config with
+      Y.mix;
+      records;
+      requests;
+      seed = Int64.of_int seed;
+      batch_max = batch;
+      log_size;
+    }
+  in
+  Printf.printf
+    "YCSB %s: %d records, %d requests per cell, batch %d, seed %d\n\n"
+    (Ycsb.mix_name mix) records requests batch seed;
+  let rows =
+    List.map (fun tps -> Y.run { base with Y.load = S.Open_loop tps }) loads
+  in
+  Format.printf "%a@?" Y.pp_table rows;
+  if List.exists (fun (r : Y.result) -> not r.Y.serial_equal) rows then begin
+    print_endline "serial-reference mismatch";
+    exit 1
+  end
+
+let parse_workload s =
+  let module Ycsb = Rvm_workload.Ycsb in
+  match s with
+  | "tpca" -> `Tpca
+  | _ ->
+    let tail =
+      if String.length s > 5 && String.sub s 0 5 = "ycsb-" then
+        String.sub s 5 (String.length s - 5)
+      else s
+    in
+    (match Ycsb.mix_of_string tail with
+    | Some mix -> `Ycsb mix
+    | None ->
+      Printf.eprintf
+        "rvmutl: unknown --workload %S (expected tpca or ycsb-a..ycsb-f)\n" s;
+      exit 2)
+
 let serve requests accounts seed loads batches sessions think_ms trace_out
-    log_size zipf_s read_pct monitor window_ms postmortem_out =
+    log_size zipf_s read_pct monitor window_ms postmortem_out workload records
+    =
   if requests <= 0 then begin
     Printf.eprintf "rvmutl: --requests must be positive (got %d)\n" requests;
     exit 2
   end;
+  (match parse_workload workload with
+  | `Ycsb mix ->
+    if records <= 0 then begin
+      Printf.eprintf "rvmutl: --records must be positive (got %d)\n" records;
+      exit 2
+    end;
+    serve_ycsb mix requests records seed loads batches log_size;
+    exit 0
+  | `Tpca -> ());
   if read_pct < 0 || read_pct > 100 then begin
     Printf.eprintf "rvmutl: --read-pct must be in [0, 100] (got %d)\n"
       read_pct;
@@ -561,7 +699,8 @@ let bd_lower_better =
   [
     "latency"; "p50"; "p95"; "p99"; "pause"; "abort"; "shed"; "sync";
     "write"; "deadlock"; "backpressure"; "defer"; "ns_per"; "us_per";
-    "duration"; "stall"; "retry"; "blocked"; "miss";
+    "duration"; "stall"; "retry"; "blocked"; "miss"; "fault"; "eviction";
+    "pageout";
   ]
 
 let bd_higher_better =
@@ -573,6 +712,7 @@ let bd_config_keys =
     "load"; "offered_tps"; "shards"; "batch_max"; "requests"; "seed";
     "zipf_s"; "elr"; "read_pct"; "accounts"; "log_size"; "schema";
     "window_us"; "bytes"; "ops"; "mode"; "label"; "name"; "size";
+    "degree"; "mem_fraction"; "value_len"; "scan_max";
   ]
 
 let bd_contains hay needle =
@@ -765,13 +905,34 @@ let stats_cmd =
       value & flag
       & info [ "json" ] ~doc:"Emit the snapshot as JSON instead of text.")
   in
+  let heap_seg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "heap-seg" ] ~docv:"SEG"
+          ~doc:
+            "Also attach the Rds allocator heap held in this segment file \
+             (recovered against the log in memory, never mutating either \
+             file) and publish its occupancy: allocated and free bytes, \
+             free-list length, block count.")
+  in
+  let heap_base =
+    Arg.(
+      value
+      & opt int (16 * 4096)
+      & info [ "heap-base" ] ~docv:"ADDR"
+          ~doc:
+            "Virtual address the heap was created at (Rds stores absolute \
+             pointers, so the attach address must match).")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Open a log through the instrumented device stack and dump the \
           observability snapshot: per-layer disk traffic, append/scan \
-          accounting and log occupancy.")
-    Term.(const stats $ log_arg $ json)
+          accounting and log occupancy. With --heap-seg, allocator heap \
+          occupancy gauges are included.")
+    Term.(const stats $ log_arg $ json $ heap_seg $ heap_base)
 
 let check_cmd =
   let ops =
@@ -842,6 +1003,21 @@ let check_cmd =
              reference over exactly the surviving set. Combines with \
              --shards, --seed, --sector, --exhaustive; ignores --ops.")
   in
+  let btree =
+    Arg.(
+      value & flag
+      & info [ "btree" ]
+          ~doc:
+            "Explore the recoverable B-tree instead: a scripted workload \
+             that forces splits, sibling borrows, merges, an aborted \
+             structural transaction and mid-history truncations runs over \
+             recorder-wrapped devices, then every write/sync boundary and \
+             torn variant is recovered, the heap and tree reattached, both \
+             invariant checkers run, and the contents compared against the \
+             committed snapshots. Combines with --sector and --exhaustive; \
+             ignores --ops and --seed (the workload is fixed so coverage \
+             of every rebalancing shape is guaranteed).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -855,7 +1031,7 @@ let check_cmd =
           counterexample on violation.")
     Term.(
       const check $ ops $ seed $ exhaustive $ sector $ incremental $ shards
-      $ mid_truncation $ elr)
+      $ mid_truncation $ elr $ btree)
 
 let trace_cmd =
   let out =
@@ -1014,6 +1190,23 @@ let serve_cmd =
       & info [ "postmortem" ] ~docv:"FILE"
           ~doc:"Where --monitor writes the postmortem JSON report.")
   in
+  let workload =
+    Arg.(
+      value & opt string "tpca"
+      & info [ "workload" ] ~docv:"NAME"
+          ~doc:
+            "Workload to serve: $(b,tpca) (the default banking mix) or \
+             $(b,ycsb-a)..$(b,ycsb-f), the key-value mixes over the \
+             recoverable B-tree — read-heavy, read-modify-write, scans and \
+             latest-skewed inserts, node-granularity locking, with every \
+             row checked against the serial reference model.")
+  in
+  let records =
+    Arg.(
+      value & opt int 10_000
+      & info [ "records" ] ~docv:"N"
+          ~doc:"Initial key population for --workload ycsb-*.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1026,7 +1219,7 @@ let serve_cmd =
     Term.(
       const serve $ requests $ accounts $ seed $ loads $ batches $ sessions
       $ think_ms $ trace_out $ log_size $ zipf_s $ read_pct $ monitor
-      $ window_ms $ postmortem)
+      $ window_ms $ postmortem $ workload $ records)
 
 let benchdiff_cmd =
   let old_arg =

@@ -176,6 +176,10 @@ let free_bytes t =
 let block_count t =
   fold_blocks t ~init:0 ~f:(fun acc ~block:_ ~size:_ ~allocated:_ -> acc + 1)
 
+let free_list_length t =
+  let rec go n b = if b = 0 then n else go (n + 1) (next_free t b) in
+  go 0 (free_head t)
+
 let check t =
   let fail fmt = Types.error fmt in
   (* Walk the block chain. *)

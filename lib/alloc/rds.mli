@@ -47,6 +47,10 @@ val free_bytes : t -> int
 val block_count : t -> int
 (** Number of blocks (free and allocated). *)
 
+val free_list_length : t -> int
+(** Number of blocks on the free list — fragmentation signal under
+    allocation churn (first-fit scans grow with it). *)
+
 val check : t -> unit
 (** Walk the heap verifying every invariant (header/footer agreement,
     coalescing, free-list consistency, accounting); raises on violation.

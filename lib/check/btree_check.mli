@@ -1,0 +1,67 @@
+(** Crash-point exploration for the recoverable B-tree
+    ({!Rvm_pds.Pbtree}).
+
+    Reuses {!Explorer}'s crash model — recover at every write/sync
+    boundary of a recorded run, plus torn variants of every straddling
+    write — but judges each recovered image structurally instead of
+    byte-wise: the Rds heap and the tree are reattached, both full
+    invariant checkers run ({!Rvm_alloc.Rds.check},
+    {!Rvm_pds.Pbtree.check}), and the tree's enumerated contents must
+    equal some committed snapshot at least as new as the last durable
+    point before the crash. The default scripted workload forces splits,
+    sibling borrows and merges (minimum degree 2), an aborted structural
+    transaction, value replaces, and mid-history truncations, so crash
+    points land inside every rebalancing shape the tree has. *)
+
+type config = {
+  heap_len : int;
+  log_size : int;
+  sector : int;
+  degree : int;  (** B-tree minimum degree for the scripted tree *)
+  exhaustive : bool;
+  max_torn_per_write : int;
+  group_commit : bool;
+}
+
+val default_config : config
+
+type action = Put of string * string | Remove of string
+
+type op =
+  | Commit of action list * Rvm_core.Types.commit_mode
+  | Abort of action list
+  | Flush
+  | Truncate
+
+val default_ops : op list
+
+type crash_point = { upto : int; torn : int option }
+
+type violation = {
+  crash : crash_point;
+  required : int;  (** snapshot index that had to survive *)
+  commits : int;
+  reason : string;
+}
+
+type outcome = {
+  events : int;
+  writes : int;
+  syncs : int;
+  boundaries : int;
+  torn_variants : int;
+  recoveries : int;
+  commits : int;
+  durable : int;
+  splits : int;  (** structural coverage of the recorded run *)
+  merges : int;
+  borrows : int;
+  violations : violation list;
+}
+
+val run : ?config:config -> ?ops:op list -> unit -> outcome
+(** Execute the workload, enumerate every crash point, and check each
+    recovered image. An exception escaping recovery or reattachment is
+    itself a violation. A run whose [splits] or [merges] counter is zero
+    did not cover the structural paths and should be treated as a test
+    configuration error by callers. *)

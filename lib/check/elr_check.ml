@@ -201,7 +201,7 @@ let run_workload cfg =
   let sched =
     Scheduler.create ~cfg:scfg ~engine:(Engine.of_multi m) ~clock ~obs
       ~lock_mgr:(Rvm_layers.Lock_mgr.create ()) ~placement:pl ~admission
-      ~arrivals ~gen ~rng:backoff_rng
+      ~arrivals ~gen ~rng:backoff_rng ()
   in
   let spool_order = ref [] (* newest first *) in
   let acks = ref [] in
@@ -228,7 +228,7 @@ let run_workload cfg =
         acks :=
           Ack_read { a_id = id; a_deps = r.Request.dep_writers; a_event = e }
           :: !acks
-      | Request.Payment | Request.Transfer ->
+      | Request.Payment | Request.Transfer | Request.Ycsb _ ->
         acks := Ack_write { a_id = id; a_event = e } :: !acks);
   let tally = Scheduler.run sched in
   let elr_released =
@@ -320,7 +320,7 @@ let expected_balances cfg (survivors : spooled list) =
       | Request.Transfer ->
         add accounts s.Request.account s.Request.delta;
         add accounts s.Request.account2 (Int64.neg s.Request.delta)
-      | Request.Lookup -> ())
+      | Request.Lookup | Request.Ycsb _ -> ())
     survivors;
   (accounts, tellers, branches)
 

@@ -1,0 +1,519 @@
+module Rvm = Rvm_core.Rvm
+module Types = Rvm_core.Types
+module Rds = Rvm_alloc.Rds
+
+(* Layout.
+   Header (32 bytes, rds-allocated):
+     +0  magic          "RVMBTRE1"
+     +8  root node address
+     +16 key count
+     +24 minimum degree d (fixed at create time)
+   Node (40 + 16*(2d-1) bytes, rds-allocated; M = 2d-1 max keys):
+     +0  kind: 1 = leaf, 2 = internal
+     +8  key count
+     +16 next-leaf address (leaves only; 0 = rightmost)
+     +24 reserved
+     +32            .. +32+8M       key cell pointers
+     +32+8M         .. +40+16M      leaf: value cell pointers (M slots)
+                                    internal: child pointers (M+1 slots)
+   Cell (rds-allocated): +0 byte length, +8 the bytes. Cells are immutable;
+   replacing a value allocates the new cell before freeing the old, so an
+   abort leaves the original reachable.
+
+   Every mutation goes through [setw]/[alloc_cell], which declare exactly
+   the touched bytes with set_range — a slot move is one 8-byte range, a
+   node split is the handful of slots it shifts — so the intra- and
+   inter-transaction optimizers see mergeable ranges, never whole nodes. *)
+
+type stats = { mutable splits : int; mutable merges : int; mutable borrows : int }
+
+type t = { rvm : Rvm.t; heap : Rds.t; addr : int; deg : int; stats : stats }
+
+let magic = 0x52564D4254524531L (* "RVMBTRE1" *)
+let header_size = 32
+let leaf_kind = 1
+let internal_kind = 2
+
+let getw t addr = Int64.to_int (Rvm.get_i64 t.rvm ~addr)
+
+let setw t tid addr v =
+  Rvm.set_range t.rvm tid ~addr ~len:8;
+  Rvm.set_i64 t.rvm ~addr (Int64.of_int v)
+
+let max_keys t = (2 * t.deg) - 1
+let min_keys t = t.deg - 1
+let node_size t = 32 + (8 * max_keys t) + (8 * (max_keys t + 1))
+let root t = getw t (t.addr + 8)
+let set_root t tid n = setw t tid (t.addr + 8) n
+let length t = getw t (t.addr + 16)
+let bump_count t tid d = setw t tid (t.addr + 16) (length t + d)
+let degree t = t.deg
+let address t = t.addr
+let stats t = t.stats
+
+let is_leaf t n = getw t n = leaf_kind
+let nkeys t n = getw t (n + 8)
+let set_nkeys t tid n k = setw t tid (n + 8) k
+let next_leaf t n = getw t (n + 16)
+let set_next_leaf t tid n v = setw t tid (n + 16) v
+let key_slot _t n i = n + 32 + (8 * i)
+let ptr_slot t n i = n + 32 + (8 * max_keys t) + (8 * i)
+let key_cell t n i = getw t (key_slot t n i)
+let set_key t tid n i c = setw t tid (key_slot t n i) c
+let ptr t n i = getw t (ptr_slot t n i)
+let set_ptr t tid n i c = setw t tid (ptr_slot t n i) c
+
+let cell_string t c =
+  let len = getw t c in
+  if len = 0 then "" else Bytes.to_string (Rvm.load t.rvm ~addr:(c + 8) ~len)
+
+let alloc_cell t tid s =
+  let len = String.length s in
+  let c = Rds.alloc t.heap tid ~size:(8 + len) in
+  setw t tid c len;
+  if len > 0 then begin
+    Rvm.set_range t.rvm tid ~addr:(c + 8) ~len;
+    Rvm.store_string t.rvm ~addr:(c + 8) s
+  end;
+  c
+
+let free_cell t tid c = Rds.free t.heap tid c
+let node_key t n i = cell_string t (key_cell t n i)
+
+let alloc_node t tid ~leaf =
+  let n = Rds.alloc t.heap tid ~size:(node_size t) in
+  setw t tid n (if leaf then leaf_kind else internal_kind);
+  setw t tid (n + 8) 0;
+  setw t tid (n + 16) 0;
+  n
+
+let fresh_stats () = { splits = 0; merges = 0; borrows = 0 }
+
+let create rvm heap tid ~degree =
+  if degree < 2 then Types.error "pbtree: minimum degree %d < 2" degree;
+  let addr = Rds.alloc heap tid ~size:header_size in
+  let t = { rvm; heap; addr; deg = degree; stats = fresh_stats () } in
+  setw t tid addr (Int64.to_int magic);
+  setw t tid (addr + 24) degree;
+  let r = alloc_node t tid ~leaf:true in
+  setw t tid (addr + 8) r;
+  setw t tid (addr + 16) 0;
+  t
+
+let attach rvm heap ~addr =
+  let t = { rvm; heap; addr; deg = 2; stats = fresh_stats () } in
+  if getw t addr <> Int64.to_int magic then
+    Types.error "pbtree: no tree at %#x" addr;
+  { t with deg = getw t (addr + 24) }
+
+(* First index in [0, nkeys) whose key is >= [key], flagging an exact hit. *)
+(* Both searches are binary — at 10^6 keys the YCSB load phase does tens
+   of millions of in-node comparisons, and each comparison reads a key
+   cell through the engine. *)
+let leaf_find t n ~key =
+  let lo = ref 0 and hi = ref (nkeys t n) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare (node_key t n mid) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  (!lo, !lo < nkeys t n && node_key t n !lo = key)
+
+(* Child to descend into: separator i is the least key of child i+1's
+   subtree, so keys >= separator route right. *)
+let child_index t n ~key =
+  let lo = ref 0 and hi = ref (nkeys t n) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare key (node_key t n mid) < 0 then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let rec leaf_of t n ~key =
+  if is_leaf t n then n else leaf_of t (ptr t n (child_index t n ~key)) ~key
+
+let leaf_addr t ~key = leaf_of t (root t) ~key
+
+let get t ~key =
+  let n = leaf_of t (root t) ~key in
+  let i, exact = leaf_find t n ~key in
+  if exact then Some (cell_string t (ptr t n i)) else None
+
+let mem t ~key = get t ~key <> None
+
+(* --- insertion (preemptive split on the way down) --- *)
+
+(* Wire separator [sep] and new child [right] into [parent] at separator
+   position [ci]; [right] becomes child ci+1. The parent must not be full. *)
+let insert_child_slot t tid parent ci ~sep ~right =
+  let k = nkeys t parent in
+  for j = k downto ci + 1 do
+    set_key t tid parent j (key_cell t parent (j - 1))
+  done;
+  for j = k + 1 downto ci + 2 do
+    set_ptr t tid parent j (ptr t parent (j - 1))
+  done;
+  set_key t tid parent ci sep;
+  set_ptr t tid parent (ci + 1) right;
+  set_nkeys t tid parent (k + 1)
+
+let split_child t tid parent ci =
+  let child = ptr t parent ci in
+  let d = t.deg in
+  (if is_leaf t child then begin
+     (* Leaf split: left keeps d entries, right takes d-1. The separator is
+        a fresh copy of the right node's first key (leaf entries never move
+        up; a separator cell is owned by its internal node alone). *)
+     let right = alloc_node t tid ~leaf:true in
+     for i = 0 to d - 2 do
+       set_key t tid right i (key_cell t child (d + i));
+       set_ptr t tid right i (ptr t child (d + i))
+     done;
+     set_nkeys t tid right (d - 1);
+     set_nkeys t tid child d;
+     set_next_leaf t tid right (next_leaf t child);
+     set_next_leaf t tid child right;
+     let sep = alloc_cell t tid (node_key t right 0) in
+     insert_child_slot t tid parent ci ~sep ~right
+   end
+   else begin
+     (* Internal split: the median key's cell migrates up — pure pointer
+        moves, no copies. *)
+     let right = alloc_node t tid ~leaf:false in
+     for i = 0 to d - 2 do
+       set_key t tid right i (key_cell t child (d + i))
+     done;
+     for i = 0 to d - 1 do
+       set_ptr t tid right i (ptr t child (d + i))
+     done;
+     set_nkeys t tid right (d - 1);
+     let sep = key_cell t child (d - 1) in
+     set_nkeys t tid child (d - 1);
+     insert_child_slot t tid parent ci ~sep ~right
+   end);
+  t.stats.splits <- t.stats.splits + 1
+
+let rec insert_nonfull t tid n ~key ~value =
+  if is_leaf t n then begin
+    let i, exact = leaf_find t n ~key in
+    if exact then begin
+      (* Replace: allocate the new cell before freeing the old one, so an
+         abort finds the original still reachable from the restored slot. *)
+      let old = ptr t n i in
+      set_ptr t tid n i (alloc_cell t tid value);
+      free_cell t tid old
+    end
+    else begin
+      let k = nkeys t n in
+      for j = k downto i + 1 do
+        set_key t tid n j (key_cell t n (j - 1));
+        set_ptr t tid n j (ptr t n (j - 1))
+      done;
+      set_key t tid n i (alloc_cell t tid key);
+      set_ptr t tid n i (alloc_cell t tid value);
+      set_nkeys t tid n (k + 1);
+      bump_count t tid 1
+    end
+  end
+  else begin
+    let ci = child_index t n ~key in
+    let ci =
+      if nkeys t (ptr t n ci) = max_keys t then begin
+        split_child t tid n ci;
+        if compare key (node_key t n ci) >= 0 then ci + 1 else ci
+      end
+      else ci
+    in
+    insert_nonfull t tid (ptr t n ci) ~key ~value
+  end
+
+let put t tid ~key ~value =
+  let r = root t in
+  let r =
+    if nkeys t r = max_keys t then begin
+      let nr = alloc_node t tid ~leaf:false in
+      set_ptr t tid nr 0 r;
+      set_root t tid nr;
+      split_child t tid nr 0;
+      nr
+    end
+    else r
+  in
+  insert_nonfull t tid r ~key ~value
+
+(* --- deletion (rebalance on the way down, CLRS style: never descend into
+   a child at minimum occupancy) --- *)
+
+let borrow_left t tid parent ci =
+  let child = ptr t parent ci and left = ptr t parent (ci - 1) in
+  let lk = nkeys t left and ck = nkeys t child in
+  (if is_leaf t child then begin
+     for j = ck downto 1 do
+       set_key t tid child j (key_cell t child (j - 1));
+       set_ptr t tid child j (ptr t child (j - 1))
+     done;
+     set_key t tid child 0 (key_cell t left (lk - 1));
+     set_ptr t tid child 0 (ptr t left (lk - 1));
+     set_nkeys t tid child (ck + 1);
+     set_nkeys t tid left (lk - 1);
+     (* The separator must become the moved key: fresh copy in, old out. *)
+     let old_sep = key_cell t parent (ci - 1) in
+     set_key t tid parent (ci - 1) (alloc_cell t tid (node_key t child 0));
+     free_cell t tid old_sep
+   end
+   else begin
+     (* Rotate through the parent: separator drops into the child, the
+        left sibling's last key rises — cell pointers move, no copies. *)
+     for j = ck downto 1 do
+       set_key t tid child j (key_cell t child (j - 1))
+     done;
+     for j = ck + 1 downto 1 do
+       set_ptr t tid child j (ptr t child (j - 1))
+     done;
+     set_key t tid child 0 (key_cell t parent (ci - 1));
+     set_ptr t tid child 0 (ptr t left lk);
+     set_key t tid parent (ci - 1) (key_cell t left (lk - 1));
+     set_nkeys t tid child (ck + 1);
+     set_nkeys t tid left (lk - 1)
+   end);
+  t.stats.borrows <- t.stats.borrows + 1
+
+let borrow_right t tid parent ci =
+  let child = ptr t parent ci and right = ptr t parent (ci + 1) in
+  let rk = nkeys t right and ck = nkeys t child in
+  (if is_leaf t child then begin
+     set_key t tid child ck (key_cell t right 0);
+     set_ptr t tid child ck (ptr t right 0);
+     set_nkeys t tid child (ck + 1);
+     for j = 0 to rk - 2 do
+       set_key t tid right j (key_cell t right (j + 1));
+       set_ptr t tid right j (ptr t right (j + 1))
+     done;
+     set_nkeys t tid right (rk - 1);
+     let old_sep = key_cell t parent ci in
+     set_key t tid parent ci (alloc_cell t tid (node_key t right 0));
+     free_cell t tid old_sep
+   end
+   else begin
+     set_key t tid child ck (key_cell t parent ci);
+     set_ptr t tid child (ck + 1) (ptr t right 0);
+     set_key t tid parent ci (key_cell t right 0);
+     for j = 0 to rk - 2 do
+       set_key t tid right j (key_cell t right (j + 1))
+     done;
+     for j = 0 to rk - 1 do
+       set_ptr t tid right j (ptr t right (j + 1))
+     done;
+     set_nkeys t tid child (ck + 1);
+     set_nkeys t tid right (rk - 1)
+   end);
+  t.stats.borrows <- t.stats.borrows + 1
+
+(* Merge child ci with its right sibling; the separator between them
+   leaves the parent (into the merged node for internal levels, freed for
+   leaves). Returns the merged node, which sits at child index ci. *)
+let merge_children t tid parent ci =
+  let child = ptr t parent ci and right = ptr t parent (ci + 1) in
+  let ck = nkeys t child and rk = nkeys t right in
+  let sep = key_cell t parent ci in
+  (if is_leaf t child then begin
+     for i = 0 to rk - 1 do
+       set_key t tid child (ck + i) (key_cell t right i);
+       set_ptr t tid child (ck + i) (ptr t right i)
+     done;
+     set_nkeys t tid child (ck + rk);
+     set_next_leaf t tid child (next_leaf t right);
+     free_cell t tid sep
+   end
+   else begin
+     set_key t tid child ck sep;
+     for i = 0 to rk - 1 do
+       set_key t tid child (ck + 1 + i) (key_cell t right i)
+     done;
+     for i = 0 to rk do
+       set_ptr t tid child (ck + 1 + i) (ptr t right i)
+     done;
+     set_nkeys t tid child (ck + 1 + rk)
+   end);
+  Rds.free t.heap tid right;
+  let pk = nkeys t parent in
+  for j = ci to pk - 2 do
+    set_key t tid parent j (key_cell t parent (j + 1))
+  done;
+  for j = ci + 1 to pk - 1 do
+    set_ptr t tid parent j (ptr t parent (j + 1))
+  done;
+  set_nkeys t tid parent (pk - 1);
+  t.stats.merges <- t.stats.merges + 1;
+  child
+
+(* Grow child ci above minimum occupancy before descending into it.
+   Returns the node to descend into (the merge cases change it). *)
+let fix_child t tid parent ci =
+  let k = nkeys t parent in
+  if ci > 0 && nkeys t (ptr t parent (ci - 1)) > min_keys t then begin
+    borrow_left t tid parent ci;
+    ptr t parent ci
+  end
+  else if ci < k && nkeys t (ptr t parent (ci + 1)) > min_keys t then begin
+    borrow_right t tid parent ci;
+    ptr t parent ci
+  end
+  else if ci < k then merge_children t tid parent ci
+  else merge_children t tid parent (ci - 1)
+
+let rec delete_from t tid n ~key =
+  if is_leaf t n then begin
+    let i, exact = leaf_find t n ~key in
+    if not exact then false
+    else begin
+      let k = nkeys t n in
+      free_cell t tid (key_cell t n i);
+      free_cell t tid (ptr t n i);
+      for j = i to k - 2 do
+        set_key t tid n j (key_cell t n (j + 1));
+        set_ptr t tid n j (ptr t n (j + 1))
+      done;
+      set_nkeys t tid n (k - 1);
+      bump_count t tid (-1);
+      true
+    end
+  end
+  else begin
+    let ci = child_index t n ~key in
+    let c = ptr t n ci in
+    let c = if nkeys t c <= min_keys t then fix_child t tid n ci else c in
+    delete_from t tid c ~key
+  end
+
+let remove t tid ~key =
+  let found = delete_from t tid (root t) ~key in
+  let r = root t in
+  if (not (is_leaf t r)) && nkeys t r = 0 then begin
+    (* The last merge emptied the root: the tree loses a level. *)
+    set_root t tid (ptr t r 0);
+    Rds.free t.heap tid r
+  end;
+  found
+
+(* --- ordered iteration over the leaf chain --- *)
+
+let rec leftmost t n = if is_leaf t n then n else leftmost t (ptr t n 0)
+
+(* Call [f] on entries in key order starting at the first key >= [lo],
+   until it returns false or the chain ends. *)
+let iter_ge t ~lo ~f =
+  let n0, i0 =
+    match lo with
+    | None -> (leftmost t (root t), 0)
+    | Some key ->
+      let n = leaf_of t (root t) ~key in
+      let i, _ = leaf_find t n ~key in
+      (n, i)
+  in
+  let rec go n i =
+    if n = 0 then ()
+    else if i >= nkeys t n then go (next_leaf t n) 0
+    else if f ~key:(node_key t n i) ~value:(cell_string t (ptr t n i)) then
+      go n (i + 1)
+  in
+  go n0 i0
+
+let range t ?lo ?hi ~f () =
+  iter_ge t ~lo ~f:(fun ~key ~value ->
+      match hi with
+      | Some h when compare key h >= 0 -> false
+      | _ ->
+        f ~key ~value;
+        true)
+
+let scan t ?lo ~n () =
+  if n <= 0 then []
+  else begin
+    let acc = ref [] in
+    let left = ref n in
+    iter_ge t ~lo ~f:(fun ~key ~value ->
+        acc := (key, value) :: !acc;
+        decr left;
+        !left > 0);
+    List.rev !acc
+  end
+
+let iter t ~f =
+  iter_ge t ~lo:None ~f:(fun ~key ~value ->
+      f ~key ~value;
+      true)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun ~key ~value -> acc := f !acc ~key ~value);
+  !acc
+
+(* --- invariant walker --- *)
+
+let check t =
+  if getw t t.addr <> Int64.to_int magic then
+    Types.error "pbtree-check: bad magic";
+  if getw t (t.addr + 24) <> t.deg || t.deg < 2 then
+    Types.error "pbtree-check: bad degree %d" (getw t (t.addr + 24));
+  let leaves = ref [] in
+  let count = ref 0 in
+  let leaf_depth = ref (-1) in
+  let in_bounds ~lo ~hi key =
+    (match lo with Some l -> compare key l >= 0 | None -> true)
+    && match hi with Some h -> compare key h < 0 | None -> true
+  in
+  let rec walk n ~lo ~hi ~depth ~at_root =
+    if Rds.usable_size t.heap n < node_size t then
+      Types.error "pbtree-check: node %#x smaller than a node" n;
+    let kind = getw t n in
+    if kind <> leaf_kind && kind <> internal_kind then
+      Types.error "pbtree-check: bad kind %d at %#x" kind n;
+    let k = nkeys t n in
+    if k > max_keys t then Types.error "pbtree-check: overfull node %#x" n;
+    if (not at_root) && k < min_keys t then
+      Types.error "pbtree-check: underfull node %#x (%d keys)" n k;
+    if at_root && kind = internal_kind && k < 1 then
+      Types.error "pbtree-check: keyless internal root %#x" n;
+    let prev = ref None in
+    for i = 0 to k - 1 do
+      let key = node_key t n i in
+      if not (in_bounds ~lo ~hi key) then
+        Types.error "pbtree-check: key out of bounds in %#x" n;
+      (match !prev with
+      | Some p when compare p key >= 0 ->
+        Types.error "pbtree-check: keys not strictly increasing in %#x" n
+      | _ -> ());
+      prev := Some key
+    done;
+    if kind = leaf_kind then begin
+      if !leaf_depth = -1 then leaf_depth := depth
+      else if !leaf_depth <> depth then
+        Types.error "pbtree-check: leaf %#x at depth %d, expected %d" n depth
+          !leaf_depth;
+      count := !count + k;
+      leaves := n :: !leaves
+    end
+    else
+      for i = 0 to k do
+        let c = ptr t n i in
+        if c = 0 then Types.error "pbtree-check: null child %d of %#x" i n;
+        let clo = if i = 0 then lo else Some (node_key t n (i - 1)) in
+        let chi = if i = k then hi else Some (node_key t n i) in
+        walk c ~lo:clo ~hi:chi ~depth:(depth + 1) ~at_root:false
+      done
+  in
+  walk (root t) ~lo:None ~hi:None ~depth:0 ~at_root:true;
+  if !count <> length t then
+    Types.error "pbtree-check: count %d but %d keys reachable" (length t) !count;
+  (* The next-leaf chain must thread the leaves exactly in key order. *)
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+      if next_leaf t a <> b then
+        Types.error "pbtree-check: leaf chain broken at %#x" a;
+      chain rest
+    | [ last ] ->
+      if next_leaf t last <> 0 then
+        Types.error "pbtree-check: rightmost leaf %#x has a successor" last
+    | [] -> ()
+  in
+  chain (List.rev !leaves)

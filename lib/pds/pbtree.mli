@@ -1,0 +1,81 @@
+(** Recoverable ordered map — a B+-tree whose nodes, keys, and values all
+    live in an {!Rvm_alloc.Rds} heap, so every structural mutation (split,
+    merge, borrow) is exactly as atomic as the transaction it runs in: an
+    abort rolls the tree back and a crash recovers it to the last committed
+    shape.
+
+    Keys and values are arbitrary strings ordered by [String.compare].
+    Leaves hold the entries and are threaded into a next-leaf chain for
+    ordered scans; internal nodes hold separator copies that never alias
+    leaf cells. All [set_range] declarations are scoped to the exact slots
+    touched (8-byte pointer moves, freshly allocated cells), never whole
+    nodes, so the intra/inter-transaction optimizers see mergeable small
+    ranges.
+
+    Reads ([get]/[range]/[scan]/[iter]/[fold]/[check]) need no transaction.
+    Mutations take the caller's [tid]; callers serialize access per tree
+    (the server layer locks at leaf-node granularity). *)
+
+type t
+
+type stats = { mutable splits : int; mutable merges : int; mutable borrows : int }
+(** Structural-operation counters for this handle (in-memory, reset at
+    [create]/[attach]) — crash-explorer coverage evidence. *)
+
+val create :
+  Rvm_core.Rvm.t -> Rvm_alloc.Rds.t -> Rvm_core.Rvm.tid -> degree:int -> t
+(** Allocate an empty tree in the heap, inside the given transaction.
+    [degree] is the B-tree minimum degree [d >= 2]: nodes hold at most
+    [2d-1] keys and non-root nodes at least [d-1]. *)
+
+val attach : Rvm_core.Rvm.t -> Rvm_alloc.Rds.t -> addr:int -> t
+(** Attach to a tree created earlier at [addr] (e.g. after a restart).
+    Raises {!Rvm_core.Types.Rvm_error} if no tree signature is present. *)
+
+val address : t -> int
+(** Stable heap address of the tree header; pass to {!attach} after a
+    restart. *)
+
+val degree : t -> int
+val length : t -> int
+
+val get : t -> key:string -> string option
+val mem : t -> key:string -> bool
+
+val put : t -> Rvm_core.Rvm.tid -> key:string -> value:string -> unit
+(** Insert or replace. Replacement allocates the new value cell before
+    freeing the old, so an aborted transaction leaves the original value
+    reachable. *)
+
+val remove : t -> Rvm_core.Rvm.tid -> key:string -> bool
+(** Delete [key]; returns whether it was present. Rebalances on the way
+    down (borrow from a sibling, else merge), collapsing the root when it
+    empties. *)
+
+val range :
+  t -> ?lo:string -> ?hi:string -> f:(key:string -> value:string -> unit) ->
+  unit -> unit
+(** Ordered scan over keys in [[lo, hi)] ([lo] inclusive, [hi] exclusive;
+    each side unbounded when omitted), walking the leaf chain. *)
+
+val scan : t -> ?lo:string -> n:int -> unit -> (string * string) list
+(** First [n] entries with key [>= lo] (from the smallest key when [lo] is
+    omitted), in order — the YCSB scan shape. *)
+
+val iter : t -> f:(key:string -> value:string -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> key:string -> value:string -> 'a) -> 'a
+
+val leaf_addr : t -> key:string -> int
+(** Heap address of the leaf node that holds (or would hold) [key] — the
+    server's lock-granularity unit. Stable across updates of resident keys;
+    invalidated by splits/merges, which is why workloads that insert lock
+    conservatively. *)
+
+val check : t -> unit
+(** Walk the whole tree verifying structural invariants: magic, node kinds,
+    occupancy bounds, separator bounds ([lo <= key < hi] per subtree),
+    strict in-node key order, uniform leaf depth, key count, and that the
+    next-leaf chain threads the leaves exactly in key order. Raises
+    {!Rvm_core.Types.Rvm_error} on any violation. *)
+
+val stats : t -> stats

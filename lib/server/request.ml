@@ -1,12 +1,13 @@
 module Rng = Rvm_util.Rng
 module Tpca = Rvm_workload.Tpca
 
-type kind = Payment | Transfer | Lookup
+type kind = Payment | Transfer | Lookup | Ycsb of Rvm_workload.Ycsb.op
 
 let kind_name = function
   | Payment -> "payment"
   | Transfer -> "transfer"
   | Lookup -> "lookup"
+  | Ycsb op -> "ycsb-" ^ Rvm_workload.Ycsb.op_name op
 
 type spec = {
   id : int;
@@ -17,40 +18,14 @@ type spec = {
   delta : int64;
 }
 
-type gen = {
-  accounts : int;
-  zipf : Rng.zipf;
-  rng : Rng.t;
-  transfer_pct : int;
-  read_pct : int;
-  mutable next_id : int;
-}
-
-let make_gen ?(read_pct = 0) ~accounts ~zipf_s ~transfer_pct ~rng () =
-  if accounts <= 0 then invalid_arg "Request.make_gen: accounts";
-  if transfer_pct < 0 || transfer_pct > 100 then
-    invalid_arg "Request.make_gen: transfer_pct";
-  if read_pct < 0 || read_pct > 100 then
-    invalid_arg "Request.make_gen: read_pct";
-  {
-    accounts;
-    zipf = Rng.zipf_make ~n:accounts ~s:zipf_s;
-    rng;
-    transfer_pct;
-    read_pct;
-    next_id = 0;
-  }
-
-let fresh g =
-  let id = g.next_id in
-  g.next_id <- id + 1;
-  let account = Rng.zipf g.rng g.zipf in
+let tpca_draw ~accounts ~zipf ~rng ~transfer_pct ~read_pct ~id =
+  let account = Rng.zipf rng zipf in
   (* Draw order is fixed (account, read roll, kind roll, ...) so a stream
      with [read_pct = 0] is byte-identical to one generated before lookups
      existed — the serial-reference replay in the tests depends on it. *)
   let kind =
-    if g.read_pct > 0 && Rng.int g.rng 100 < g.read_pct then Lookup
-    else if g.accounts > 1 && Rng.int g.rng 100 < g.transfer_pct then Transfer
+    if read_pct > 0 && Rng.int rng 100 < read_pct then Lookup
+    else if accounts > 1 && Rng.int rng 100 < transfer_pct then Transfer
     else Payment
   in
   (* Transfers keep the two accounts in draw order — NOT sorted — so two
@@ -58,17 +33,38 @@ let fresh g =
      orders and deadlock; that is the scheduler path under test. *)
   let account2 =
     match kind with
-    | Payment | Lookup -> account
+    | Payment | Lookup | Ycsb _ -> account
     | Transfer ->
       let rec draw () =
-        let a = Rng.zipf g.rng g.zipf in
+        let a = Rng.zipf rng zipf in
         if a = account then draw () else a
       in
       draw ()
   in
-  let teller = Rng.int g.rng Tpca.tellers in
-  let delta = Int64.of_int (Rng.int g.rng 1000 - 500) in
+  let teller = Rng.int rng Tpca.tellers in
+  let delta = Int64.of_int (Rng.int rng 1000 - 500) in
   { id; kind; account; account2; teller; delta }
+
+(* A generator is any deterministic [id -> spec] source; the TPC-A
+   closure below is the original, {!of_fn} admits other workloads (YCSB)
+   without the scheduler knowing. *)
+type gen = { mutable next_id : int; draw : int -> spec }
+
+let of_fn f = { next_id = 0; draw = (fun id -> f ~id) }
+
+let make_gen ?(read_pct = 0) ~accounts ~zipf_s ~transfer_pct ~rng () =
+  if accounts <= 0 then invalid_arg "Request.make_gen: accounts";
+  if transfer_pct < 0 || transfer_pct > 100 then
+    invalid_arg "Request.make_gen: transfer_pct";
+  if read_pct < 0 || read_pct > 100 then
+    invalid_arg "Request.make_gen: read_pct";
+  let zipf = Rng.zipf_make ~n:accounts ~s:zipf_s in
+  of_fn (fun ~id -> tpca_draw ~accounts ~zipf ~rng ~transfer_pct ~read_pct ~id)
+
+let fresh g =
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  g.draw id
 
 type status =
   | Queued
@@ -122,4 +118,4 @@ let apply_model spec ~accounts ~tellers ~branches =
   | Transfer ->
     add accounts spec.account spec.delta;
     add accounts spec.account2 (Int64.neg spec.delta)
-  | Lookup -> ()
+  | Lookup | Ycsb _ -> ()

@@ -10,9 +10,12 @@
     ({!apply_model}). A {e lookup} is the read-only class (balance lookup
     on the skew-drawn account plus its teller's branch): it writes
     nothing, takes no locks on the multi-version fast path, and is a
-    no-op in the serial reference. *)
+    no-op in the serial reference. A {e ycsb} request carries one
+    {!Rvm_workload.Ycsb.op} against the recoverable ordered map — the
+    second workload family; its steps come from the scheduler's workload
+    plug-in and it never touches the TPC-A arrays. *)
 
-type kind = Payment | Transfer | Lookup
+type kind = Payment | Transfer | Lookup | Ycsb of Rvm_workload.Ycsb.op
 
 val kind_name : kind -> string
 
@@ -43,6 +46,10 @@ val make_gen :
     generator on the same seed. *)
 
 val fresh : gen -> spec
+
+val of_fn : (id:int -> spec) -> gen
+(** A generator from any deterministic id-indexed source — how non-TPC-A
+    workloads (YCSB) feed the scheduler. *)
 
 (** {1 Per-request runtime state} *)
 

@@ -58,7 +58,7 @@ type update =
   | Upd_branch of int * int64
   | Upd_audit
 
-type step = Lock of Lock_mgr.mode * string | Update of update
+type step = Lock of Lock_mgr.mode * string | Update of update | Run of (Request.t -> int -> unit)
 
 let acct_key i = "a:" ^ string_of_int i
 let teller_key i = "t:" ^ string_of_int i
@@ -67,7 +67,7 @@ let branch_key i = "b:" ^ string_of_int i
 (* Lock identities come from the placement: on a sharded world teller 3 of
    shard 0 and teller 3 of shard 1 are distinct records and must not
    serialize against each other. *)
-let steps_of pl (s : Request.spec) =
+let tpca_steps_of pl (s : Request.spec) =
   match s.kind with
   | Request.Payment ->
     (* TPC-A reads the teller and branch rows (the balance fetch precedes
@@ -101,6 +101,7 @@ let steps_of pl (s : Request.spec) =
       Update Upd_audit;
     ]
   | Request.Lookup -> []  (* read-only fast path: never enters the step loop *)
+  | Request.Ycsb _ -> []  (* routed to the workload plug, not here *)
 
 (* The balance cells a request writes, as (lock key, address) pairs — the
    entries the version cache publishes at commit-spool time. *)
@@ -121,7 +122,7 @@ let written_cells pl (s : Request.spec) =
       (acct_key s.account, Placement.account_addr pl s.account);
       (acct_key s.account2, Placement.account_addr pl s.account2);
     ]
-  | Request.Lookup -> []
+  | Request.Lookup | Request.Ycsb _ -> []
 
 type tally = {
   committed : int;
@@ -143,6 +144,10 @@ type t = {
   obs : Registry.t;
   lm : Lock_mgr.t;
   pl : Placement.t;
+  plug : Request.spec -> step list;
+      (* step source for non-TPC-A request kinds (the YCSB workload):
+         locks at the granularity the workload chooses, interleaved with
+         [Run] closures that execute against its own recoverable state *)
   adm : Request.t Admission.t;
   arr : Arrivals.t;
   gen : Request.gen;
@@ -201,8 +206,8 @@ type t = {
   h_trunc_steps : Histogram.t;
 }
 
-let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
-    ~gen ~rng =
+let create ?(plug = fun _ -> []) ~cfg ~engine ~clock ~obs ~lock_mgr ~placement
+    ~admission ~arrivals ~gen ~rng () =
   validate_config cfg;
   {
     cfg;
@@ -211,6 +216,7 @@ let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
     obs;
     lm = lock_mgr;
     pl = placement;
+    plug;
     adm = admission;
     arr = arrivals;
     gen;
@@ -250,6 +256,11 @@ let create ~cfg ~engine ~clock ~obs ~lock_mgr ~placement ~admission ~arrivals
     h_trunc_pause = Registry.histogram obs "truncation.pause.us";
     h_trunc_steps = Registry.histogram obs "truncation.steps.per.quantum";
   }
+
+let steps_of t (s : Request.spec) =
+  match s.Request.kind with
+  | Request.Ycsb _ -> t.plug s
+  | _ -> tpca_steps_of t.pl s
 
 let set_hooks t ~on_spool ~on_ack =
   t.on_spool <- on_spool;
@@ -510,7 +521,7 @@ let abort_retry t (r : Request.t) =
   t.aborts <- t.aborts + 1;
   Counter.incr t.c_retry;
   Hashtbl.replace t.steps r.Request.spec.Request.id
-    (steps_of t.pl r.Request.spec);
+    (steps_of t r.Request.spec);
   let exp = min (r.Request.attempts - 1) t.cfg.backoff_cap in
   let jitter = 0.5 +. Rng.float t.rng 1.0 in
   let delay = t.cfg.backoff_base_us *. float_of_int (1 lsl exp) *. jitter in
@@ -601,6 +612,14 @@ let exec t (r : Request.t) =
         charge t;
         do_update t r tid u;
         Hashtbl.replace t.steps id rest;
+        Queue.push r t.runnable
+      | Run f ->
+        (* A workload-plug step: runs with every lock of the preceding
+           [Lock] steps held, inside the request's engine transaction. *)
+        let tid = Option.get r.Request.tid in
+        charge t;
+        f r tid;
+        Hashtbl.replace t.steps id rest;
         Queue.push r t.runnable)
   end
 
@@ -613,7 +632,7 @@ let start t (r : Request.t) =
     (r.Request.admitted_us -. r.Request.arrival_us);
   Counter.incr t.c_admitted;
   Hashtbl.replace t.steps r.Request.spec.Request.id
-    (steps_of t.pl r.Request.spec);
+    (steps_of t r.Request.spec);
   Queue.push r t.runnable
 
 let shed t (r : Request.t) =

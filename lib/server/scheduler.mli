@@ -99,7 +99,34 @@ type tally = {
 
 type t
 
+(** {1 Workload steps}
+
+    The executable form of a request: lock acquisitions interleaved with
+    the work they cover, consumed one step per scheduler quantum. TPC-A
+    requests compile to [Lock]/[Update] steps internally; other workloads
+    supply their own step lists through the [plug] — [Lock] steps at
+    whatever key granularity the workload chooses (the YCSB layer locks
+    B-tree leaf nodes), and [Run] closures that execute against the
+    workload's own recoverable state with all previously acquired locks
+    held, inside the request's engine transaction. A [`Deadlock] on any
+    [Lock] step aborts the transaction and re-enters the full step list
+    after backoff, so plugged workloads inherit the abort-retry path
+    unchanged. *)
+
+type update =
+  | Upd_account of int * int64
+  | Upd_teller of int * int64
+  | Upd_branch of int * int64
+  | Upd_audit
+
+type step =
+  | Lock of Rvm_layers.Lock_mgr.mode * string
+  | Update of update
+  | Run of (Request.t -> int -> unit)
+      (** [Run f] calls [f request engine_tid] in one quantum *)
+
 val create :
+  ?plug:(Request.spec -> step list) ->
   cfg:config ->
   engine:Engine.t ->
   clock:Rvm_util.Clock.t ->
@@ -110,10 +137,12 @@ val create :
   arrivals:Arrivals.t ->
   gen:Request.gen ->
   rng:Rvm_util.Rng.t ->
+  unit ->
   t
 (** [rng] is the backoff-jitter stream; keep it distinct from the
     request-generator and arrival streams so the three draws never
-    interleave nondeterministically. *)
+    interleave nondeterministically. [plug] supplies the step lists for
+    {!Request.Ycsb} requests (default: none, they commit vacuously). *)
 
 val set_hooks :
   t -> on_spool:(Request.t -> unit) -> on_ack:(Request.t -> unit) -> unit

@@ -288,7 +288,7 @@ let scheduler_of cfg w =
   in
   Scheduler.create ~cfg:scfg ~engine:w.engine ~clock:w.clock ~obs:w.obs
     ~lock_mgr:(Lock_mgr.create ()) ~placement:w.placement ~admission ~arrivals
-    ~gen ~rng:backoff_rng
+    ~gen ~rng:backoff_rng ()
 
 let log_totals w =
   Array.fold_left

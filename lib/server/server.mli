@@ -13,6 +13,10 @@ type load =
 
 val load_name : load -> string
 
+val percentile : float array -> float -> float
+(** Nearest-rank percentile over a sorted sample array (shared with the
+    YCSB harness so both workloads reduce latencies identically). *)
+
 type config = {
   accounts : int;
   shards : int;

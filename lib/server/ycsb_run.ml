@@ -1,0 +1,493 @@
+module Clock = Rvm_util.Clock
+module Cost_model = Rvm_util.Cost_model
+module Rng = Rvm_util.Rng
+module Mem_device = Rvm_disk.Mem_device
+module Device = Rvm_disk.Device
+module Stack = Rvm_disk.Stack
+module Rvm = Rvm_core.Rvm
+module Options = Rvm_core.Options
+module Types = Rvm_core.Types
+module Vm_sim = Rvm_vm.Vm_sim
+module Rds = Rvm_alloc.Rds
+module Pbtree = Rvm_pds.Pbtree
+module Ycsb = Rvm_workload.Ycsb
+module Lock_mgr = Rvm_layers.Lock_mgr
+module Registry = Rvm_obs.Registry
+module Counter = Rvm_obs.Counter
+module Json = Rvm_obs.Json
+
+type config = {
+  mix : Ycsb.mix;
+  records : int;
+  value_len : int;
+  scan_max : int;
+  degree : int;
+  requests : int;
+  seed : int64;
+  load : Server.load;
+  batch_max : int;
+  max_inflight : int;
+  max_queue : int;
+  backpressure : float;
+  backoff_base_us : float;
+  cpu_per_op_us : float;
+  log_size : int;
+  mem_fraction : float;
+  background_truncation : bool;
+  elr : bool;
+}
+
+let default_config =
+  {
+    mix = Ycsb.A;
+    records = 10_000;
+    value_len = 64;
+    scan_max = 20;
+    degree = 8;
+    requests = 400;
+    seed = 42L;
+    load = Server.Open_loop 40.;
+    batch_max = Scheduler.default_config.Scheduler.batch_max;
+    max_inflight = Admission.default.Admission.max_inflight;
+    max_queue = Admission.default.Admission.max_queue;
+    backpressure = Admission.default.Admission.backpressure;
+    backoff_base_us = Scheduler.default_config.Scheduler.backoff_base_us;
+    cpu_per_op_us = Scheduler.default_config.Scheduler.cpu_per_op_us;
+    log_size = 8 * 1024 * 1024;
+    mem_fraction = 0.25;
+    background_truncation = true;
+    elr = true;
+  }
+
+type result = {
+  cfg : config;
+  committed : int;
+  shed : int;
+  aborts : int;
+  abort_rate : float;
+  batches : int;
+  duration_us : float;
+  throughput_tps : float;
+  mean_latency_us : float;
+  p50_latency_us : float;
+  p95_latency_us : float;
+  p99_latency_us : float;
+  log_writes : int;
+  log_syncs : int;
+  syncs_per_commit : float;
+  vm_faults : int;
+  vm_evictions : int;
+  vm_pageouts : int;
+  heap_allocated_bytes : int;
+  heap_free_bytes : int;
+  heap_free_list : int;
+  tree_length : int;
+  splits : int;
+  merges : int;
+  serial_equal : bool;
+}
+
+type world = {
+  rvm : Rvm.t;
+  engine : Engine.t;
+  clock : Clock.t;
+  obs : Registry.t;
+  heap : Rds.t;
+  tree : Pbtree.t;
+  vm : Vm_sim.t option;
+  log_dev : Device.t;
+}
+
+let page_size = 4096
+let heap_base = 16 * page_size
+
+(* Rds footprint per record: key cell (~40B for "user%010d"), value cell
+   (header + length word + padded payload), plus the record's share of
+   leaf/internal node slots and separator copies at ~2/3 occupancy. The
+   3/2 slack covers fragmentation and the D/E insert tail. *)
+let heap_len_of cfg =
+  let per_record = (176 + cfg.value_len) * 3 / 2 in
+  let raw = (cfg.records * per_record) + (1 lsl 20) in
+  ((raw / page_size) + 1) * page_size
+
+let options_of () =
+  {
+    Options.default with
+    (* Inline reclamation during the load; the scheduler's background
+       slot takes over for the measured run (see Server.options_of). *)
+    Options.auto_truncate = true;
+    truncation_mode = Types.Incremental;
+  }
+
+(* Bulk-load [records] keys in ascending order, batched [No_flush] with a
+   single force at the end — the tree is built before the clock starts,
+   so the sweep measures steady-state serving over a warm store. *)
+let load_tree cfg rvm tree =
+  let i = ref 0 in
+  while !i < cfg.records do
+    let stop = min cfg.records (!i + 2_000) in
+    let tid = Rvm.begin_transaction rvm ~mode:Types.No_restore in
+    while !i < stop do
+      Pbtree.put tree tid ~key:(Ycsb.key_of !i)
+        ~value:(Ycsb.value ~len:cfg.value_len ~ver:1);
+      incr i
+    done;
+    Rvm.end_transaction rvm tid ~mode:Types.No_flush
+  done;
+  Rvm.flush rvm;
+  Rvm.truncate rvm
+
+let build_world cfg =
+  if cfg.records <= 0 then invalid_arg "Ycsb_run: records must be positive";
+  let clock = Clock.simulated () in
+  let model = Cost_model.dec5000 in
+  let obs = Registry.create () in
+  let heap_len = heap_len_of cfg in
+  let log_outer =
+    Stack.compose
+      [ Stack.with_latency ~clock ~disk:model.Cost_model.log_disk () ]
+      (Mem_device.create ~name:"log" ~size:cfg.log_size ())
+  in
+  let seg_dev =
+    Stack.compose
+      [ Stack.with_latency ~seek_fraction:0.08 ~sector:page_size ~clock
+          ~disk:model.Cost_model.data_disk () ]
+      (Mem_device.create ~name:"seg" ~size:(heap_len + page_size) ())
+  in
+  (* The paging pressure the paper's section 7.1 asks about: physical
+     frames are a fraction of the heap's pages, so the Zipf-cold tail of
+     a large key population faults and evicts through the paging disk. *)
+  let vm =
+    if cfg.mem_fraction <= 0. || cfg.mem_fraction >= 1. then None
+    else
+      let pages = heap_len / page_size in
+      let frames =
+        max 64 (int_of_float (float_of_int pages *. cfg.mem_fraction))
+      in
+      Some
+        (Vm_sim.create ~clock ~model
+           {
+             Vm_sim.physical_pages = frames;
+             page_size;
+             fault_disk = model.Cost_model.paging_disk;
+             evict_disk = model.Cost_model.paging_disk;
+             evict_in_background = true;
+           })
+  in
+  Clock.suspend clock @@ fun () ->
+  Rvm.create_log log_outer;
+  let rvm =
+    Rvm.initialize ~options:(options_of ()) ~clock ~model ~obs ?vm
+      ~log:log_outer
+      ~resolve:(fun _ -> seg_dev)
+      ()
+  in
+  ignore (Rvm.map rvm ~vaddr:heap_base ~seg:1 ~seg_off:0 ~len:heap_len ());
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let heap = Rds.init rvm tid ~base:heap_base ~len:heap_len in
+  let tree = Pbtree.create rvm heap tid ~degree:cfg.degree in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  load_tree cfg rvm tree;
+  Rvm.set_options rvm (fun o ->
+      { o with Options.auto_truncate = not cfg.background_truncation });
+  Option.iter Vm_sim.reset_counters vm;
+  (* Structural counters and paging counters restart at zero: the result
+     row reports what the measured run did, not the bulk load. *)
+  let s = Pbtree.stats tree in
+  s.Pbtree.splits <- 0;
+  s.Pbtree.merges <- 0;
+  s.Pbtree.borrows <- 0;
+  { rvm; engine = Engine.of_rvm rvm; clock; obs; heap; tree; vm;
+    log_dev = log_outer }
+
+let tree_lock = "btree"
+
+(* Step lists for each YCSB op, compiled by the scheduler plug.
+
+   Lock granularity: in mixes with no inserts (A/B/C/F) every leaf
+   address is stable for the whole run — replacing a value never moves a
+   node — so point ops lock just their leaf ("n:<addr>") and disjoint
+   keys proceed in parallel. Mixes D and E insert, and an insert can
+   split any node on its root-to-leaf path, so structural mixes fall
+   back to one tree-level lock: inserts exclusive, reads and scans
+   shared. Read-modify-write takes the leaf Shared for the read and
+   upgrades to Exclusive for the write; two RMWs on one leaf deadlock on
+   the upgrade and resolve through the scheduler's abort-retry path. *)
+let plug_of cfg (tree : Pbtree.t) =
+  let structural = match cfg.mix with Ycsb.D | Ycsb.E -> true | _ -> false in
+  let stash : (int, string option) Hashtbl.t = Hashtbl.create 64 in
+  let lk key =
+    if structural then tree_lock
+    else "n:" ^ string_of_int (Pbtree.leaf_addr tree ~key)
+  in
+  fun (s : Request.spec) ->
+    match s.Request.kind with
+    | Request.Ycsb op -> (
+      match op with
+      | Ycsb.Read key ->
+        [
+          Scheduler.Lock (Lock_mgr.Shared, lk key);
+          Scheduler.Run (fun _ _ -> ignore (Pbtree.get tree ~key));
+        ]
+      | Ycsb.Update (key, value) ->
+        [
+          Scheduler.Lock (Lock_mgr.Exclusive, lk key);
+          Scheduler.Run (fun _ tid -> Pbtree.put tree tid ~key ~value);
+        ]
+      | Ycsb.Insert (key, value) ->
+        [
+          Scheduler.Lock (Lock_mgr.Exclusive, tree_lock);
+          Scheduler.Run (fun _ tid -> Pbtree.put tree tid ~key ~value);
+        ]
+      | Ycsb.Scan (lo, n) ->
+        [
+          Scheduler.Lock (Lock_mgr.Shared, lk lo);
+          Scheduler.Run (fun _ _ -> ignore (Pbtree.scan tree ~lo ~n ()));
+        ]
+      | Ycsb.Rmw key ->
+        let k = lk key in
+        [
+          Scheduler.Lock (Lock_mgr.Shared, k);
+          Scheduler.Run
+            (fun r _ ->
+              Hashtbl.replace stash r.Request.spec.Request.id
+                (Pbtree.get tree ~key));
+          Scheduler.Lock (Lock_mgr.Exclusive, k);
+          Scheduler.Run
+            (fun r tid ->
+              let id = r.Request.spec.Request.id in
+              let old = Option.join (Hashtbl.find_opt stash id) in
+              Hashtbl.remove stash id;
+              Pbtree.put tree tid ~key
+                ~value:(Ycsb.rmw_next ~value_len:cfg.value_len old));
+        ])
+    | _ -> []
+
+let scheduler_of cfg w =
+  let rng = Rng.create ~seed:cfg.seed in
+  let gen_rng = Rng.split rng in
+  let arrival_rng = Rng.split rng in
+  let backoff_rng = Rng.split rng in
+  let g =
+    Ycsb.create ~rng:gen_rng ~mix:cfg.mix ~records:cfg.records
+      ~value_len:cfg.value_len ~scan_max:cfg.scan_max
+  in
+  let gen =
+    Request.of_fn (fun ~id ->
+        {
+          Request.id;
+          kind = Request.Ycsb (Ycsb.next g);
+          account = 0;
+          account2 = 0;
+          teller = 0;
+          delta = 0L;
+        })
+  in
+  let start_us = Clock.now_us w.clock in
+  let arrivals =
+    match cfg.load with
+    | Server.Open_loop rate_tps ->
+      Arrivals.open_loop ~start_us ~rate_tps ~requests:cfg.requests
+        ~rng:arrival_rng ()
+    | Server.Closed_loop { sessions; think_us } ->
+      Arrivals.closed_loop ~start_us ~sessions ~think_us
+        ~requests:cfg.requests ~rng:arrival_rng ()
+  in
+  let admission =
+    Admission.create ~obs:w.obs
+      {
+        Admission.max_inflight = cfg.max_inflight;
+        max_queue = cfg.max_queue;
+        backpressure = cfg.backpressure;
+      }
+  in
+  let scfg =
+    {
+      Scheduler.default_config with
+      Scheduler.batch_max = cfg.batch_max;
+      backoff_base_us = cfg.backoff_base_us;
+      cpu_per_op_us = cfg.cpu_per_op_us;
+      background_truncation = cfg.background_truncation;
+      elr = cfg.elr;
+    }
+  in
+  (* The placement is TPC-A machinery the plug never touches; a
+     one-account layout satisfies the scheduler's interface. *)
+  let placement =
+    Placement.make
+      ~layouts:
+        [| Rvm_workload.Tpca.layout ~accounts:1 ~base:heap_base ~page_size |]
+  in
+  Scheduler.create ~plug:(plug_of cfg w.tree) ~cfg:scfg ~engine:w.engine
+    ~clock:w.clock ~obs:w.obs ~lock_mgr:(Lock_mgr.create ()) ~placement
+    ~admission ~arrivals ~gen ~rng:backoff_rng ()
+
+(* Serial reference: replay the committed ops in commit (spool/LSN)
+   order against the plain hash-table model and demand the recoverable
+   tree's full contents match byte-for-byte. *)
+let serial_check cfg w committed_ops =
+  let model = Hashtbl.create (2 * cfg.records) in
+  for i = 0 to cfg.records - 1 do
+    Hashtbl.replace model (Ycsb.key_of i)
+      (Ycsb.value ~len:cfg.value_len ~ver:1)
+  done;
+  List.iter (Ycsb.apply_model model ~value_len:cfg.value_len) committed_ops;
+  Pbtree.length w.tree = Hashtbl.length model
+  && Pbtree.fold w.tree ~init:true ~f:(fun ok ~key ~value ->
+         ok && Hashtbl.find_opt model key = Some value)
+
+(* Heap occupancy and paging pressure, published as counters so they
+   land in the registry dump (`rvmutl serve`'s --stats output) next to
+   the engine's own counters. *)
+let publish_gauges w =
+  let set name v = Counter.add (Registry.counter w.obs name) v in
+  (* vm counters first: the rds occupancy walk below faults in every
+     heap page and would inflate them. *)
+  Option.iter
+    (fun vm ->
+      set "vm.faults" (Vm_sim.faults vm);
+      set "vm.evictions" (Vm_sim.evictions vm);
+      set "vm.pageouts" (Vm_sim.pageouts vm))
+    w.vm;
+  set "rds.allocated.bytes" (Rds.allocated_bytes w.heap);
+  set "rds.free.bytes" (Rds.free_bytes w.heap);
+  set "rds.free.list.length" (Rds.free_list_length w.heap);
+  set "rds.blocks" (Rds.block_count w.heap)
+
+let run_with_world cfg =
+  let w = build_world cfg in
+  let sched = scheduler_of cfg w in
+  let ops = ref [] in
+  Scheduler.set_hooks sched
+    ~on_spool:(fun r ->
+      match r.Request.spec.Request.kind with
+      | Request.Ycsb op -> ops := op :: !ops
+      | _ -> ())
+    ~on_ack:(fun _ -> ());
+  let writes0 = w.log_dev.Device.stats.Device.writes in
+  let syncs0 = w.log_dev.Device.stats.Device.syncs in
+  let tally = Scheduler.run sched in
+  let log_writes = w.log_dev.Device.stats.Device.writes - writes0 in
+  let log_syncs = w.log_dev.Device.stats.Device.syncs - syncs0 in
+  (* Paging counters are sampled first: the gauge pass below walks every
+     heap block and the serial-reference replay walks every leaf — both
+     would otherwise be charged to the run. *)
+  let vm_faults = match w.vm with Some vm -> Vm_sim.faults vm | None -> 0 in
+  let vm_evictions =
+    match w.vm with Some vm -> Vm_sim.evictions vm | None -> 0
+  in
+  let vm_pageouts =
+    match w.vm with Some vm -> Vm_sim.pageouts vm | None -> 0
+  in
+  publish_gauges w;
+  let lat = Array.copy tally.Scheduler.latencies_us in
+  Array.sort compare lat;
+  let n = Array.length lat in
+  let committed = tally.Scheduler.committed in
+  let ts = Pbtree.stats w.tree in
+  let serial_equal = serial_check cfg w (List.rev !ops) in
+  let result =
+    {
+      cfg;
+      committed;
+      shed = tally.Scheduler.shed;
+      aborts = tally.Scheduler.aborts;
+      abort_rate =
+        (let total = tally.Scheduler.aborts + committed in
+         if total = 0 then 0.
+         else float_of_int tally.Scheduler.aborts /. float_of_int total);
+      batches = tally.Scheduler.batches;
+      duration_us = tally.Scheduler.end_us;
+      throughput_tps =
+        (if tally.Scheduler.end_us > 0. then
+           float_of_int committed /. (tally.Scheduler.end_us /. 1e6)
+         else 0.);
+      mean_latency_us =
+        (if n = 0 then 0.
+         else Array.fold_left ( +. ) 0. lat /. float_of_int n);
+      p50_latency_us = Server.percentile lat 50.;
+      p95_latency_us = Server.percentile lat 95.;
+      p99_latency_us = Server.percentile lat 99.;
+      log_writes;
+      log_syncs;
+      syncs_per_commit =
+        (if committed = 0 then 0.
+         else float_of_int log_syncs /. float_of_int committed);
+      vm_faults;
+      vm_evictions;
+      vm_pageouts;
+      heap_allocated_bytes = Rds.allocated_bytes w.heap;
+      heap_free_bytes = Rds.free_bytes w.heap;
+      heap_free_list = Rds.free_list_length w.heap;
+      tree_length = Pbtree.length w.tree;
+      splits = ts.Pbtree.splits;
+      merges = ts.Pbtree.merges;
+      serial_equal;
+    }
+  in
+  (result, w)
+
+let run cfg = fst (run_with_world cfg)
+
+let sweep ~base mixes = List.map (fun mix -> run { base with mix }) mixes
+
+let result_to_json r =
+  let c = r.cfg in
+  Json.Obj
+    [
+      ("mix", Json.String (Ycsb.mix_name c.mix));
+      ("records", Json.Int c.records);
+      ("value_len", Json.Int c.value_len);
+      ("scan_max", Json.Int c.scan_max);
+      ("degree", Json.Int c.degree);
+      ("requests", Json.Int c.requests);
+      ("seed", Json.Int (Int64.to_int c.seed));
+      ("load", Json.String (Server.load_name c.load));
+      ("batch_max", Json.Int c.batch_max);
+      ("mem_fraction", Json.Float c.mem_fraction);
+      ("elr", Json.Bool c.elr);
+      ("committed", Json.Int r.committed);
+      ("shed", Json.Int r.shed);
+      ("aborts", Json.Int r.aborts);
+      ("abort_rate", Json.Float r.abort_rate);
+      ("batches", Json.Int r.batches);
+      ("duration_us", Json.Float r.duration_us);
+      ("throughput_tps", Json.Float r.throughput_tps);
+      ("mean_latency_us", Json.Float r.mean_latency_us);
+      ("p50_latency_us", Json.Float r.p50_latency_us);
+      ("p95_latency_us", Json.Float r.p95_latency_us);
+      ("p99_latency_us", Json.Float r.p99_latency_us);
+      ("log_writes", Json.Int r.log_writes);
+      ("log_syncs", Json.Int r.log_syncs);
+      ("syncs_per_commit", Json.Float r.syncs_per_commit);
+      ("vm_faults", Json.Int r.vm_faults);
+      ("vm_evictions", Json.Int r.vm_evictions);
+      ("vm_pageouts", Json.Int r.vm_pageouts);
+      ("heap_allocated_bytes", Json.Int r.heap_allocated_bytes);
+      ("heap_free_bytes", Json.Int r.heap_free_bytes);
+      ("heap_free_list", Json.Int r.heap_free_list);
+      ("tree_length", Json.Int r.tree_length);
+      ("splits", Json.Int r.splits);
+      ("merges", Json.Int r.merges);
+      ("serial_equal", Json.Bool r.serial_equal);
+    ]
+
+let pp_table fmt results =
+  Format.fprintf fmt
+    "%-7s %8s | %9s %9s %6s %6s | %9s %9s %9s | %9s %8s %6s %6s@\n" "mix"
+    "records" "committed" "tps" "shed" "abort" "p50(ms)" "p95(ms)" "p99(ms)"
+    "syncs/txn" "faults" "splits" "serial";
+  Format.fprintf fmt "%s@\n" (String.make 118 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "%-7s %8d | %9d %9.1f %6d %6d | %9.2f %9.2f %9.2f | %9.3f %8d %6d \
+         %6s@\n"
+        (Ycsb.mix_name r.cfg.mix) r.cfg.records r.committed r.throughput_tps
+        r.shed r.aborts
+        (r.p50_latency_us /. 1e3)
+        (r.p95_latency_us /. 1e3)
+        (r.p99_latency_us /. 1e3)
+        r.syncs_per_commit r.vm_faults r.splits
+        (if r.serial_equal then "ok" else "FAIL"))
+    results

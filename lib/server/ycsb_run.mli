@@ -1,0 +1,99 @@
+(** The YCSB harness: the server's second workload, running the standard
+    key-value mixes A–F ({!Rvm_workload.Ycsb}) against a recoverable
+    B-tree ({!Rvm_pds.Pbtree}) in an {!Rvm_alloc.Rds} heap, through the
+    same scheduler/admission/arrival machinery as the TPC-A {!Server}.
+
+    One call builds the world (latency-wrapped log and segment devices
+    over the dec5000 model, optional {!Rvm_vm.Vm_sim} paging pressure),
+    bulk-loads [records] keys off the clock, serves the seeded mix
+    through the scheduler's workload plug, and reduces to a {!result}
+    row that includes a serial-reference verdict: the committed
+    operations replayed in commit order against a plain hash table must
+    reproduce the tree's final contents byte-for-byte.
+
+    Locking is node-granular where the tree's shape is stable (mixes
+    A/B/C/F lock the key's leaf) and tree-granular where inserts can
+    split nodes (D/E); read-modify-write upgrades Shared to Exclusive on
+    its leaf, and upgrade deadlocks resolve through the scheduler's
+    abort-retry path. *)
+
+type config = {
+  mix : Rvm_workload.Ycsb.mix;
+  records : int;  (** initial key population, loaded before the run *)
+  value_len : int;
+  scan_max : int;
+  degree : int;  (** B-tree minimum degree *)
+  requests : int;
+  seed : int64;
+  load : Server.load;
+  batch_max : int;
+  max_inflight : int;
+  max_queue : int;
+  backpressure : float;
+  backoff_base_us : float;
+  cpu_per_op_us : float;
+  log_size : int;
+  mem_fraction : float;
+      (** physical frames as a fraction of the heap's pages; outside
+          (0, 1) disables the paging simulation *)
+  background_truncation : bool;
+  elr : bool;
+}
+
+val default_config : config
+
+type result = {
+  cfg : config;
+  committed : int;
+  shed : int;
+  aborts : int;
+  abort_rate : float;
+  batches : int;
+  duration_us : float;
+  throughput_tps : float;
+  mean_latency_us : float;
+  p50_latency_us : float;
+  p95_latency_us : float;
+  p99_latency_us : float;
+  log_writes : int;
+  log_syncs : int;
+  syncs_per_commit : float;
+  vm_faults : int;
+  vm_evictions : int;
+  vm_pageouts : int;
+  heap_allocated_bytes : int;
+  heap_free_bytes : int;
+  heap_free_list : int;
+  tree_length : int;
+  splits : int;
+  merges : int;
+  serial_equal : bool;
+      (** tree contents equal the serial replay of committed ops *)
+}
+
+type world = {
+  rvm : Rvm_core.Rvm.t;
+  engine : Engine.t;
+  clock : Rvm_util.Clock.t;
+  obs : Rvm_obs.Registry.t;
+  heap : Rvm_alloc.Rds.t;
+  tree : Rvm_pds.Pbtree.t;
+  vm : Rvm_vm.Vm_sim.t option;
+  log_dev : Rvm_disk.Device.t;
+}
+
+val build_world : config -> world
+(** Devices, engine, heap, tree and bulk load, all under a suspended
+    clock; paging counters are reset so the run starts cold-measured but
+    warm-resident. *)
+
+val run : config -> result
+
+val run_with_world : config -> result * world
+(** [run], but also hands back the world for inspection (heap occupancy,
+    registry counters, the tree itself). *)
+
+val sweep : base:config -> Rvm_workload.Ycsb.mix list -> result list
+
+val result_to_json : result -> Rvm_obs.Json.t
+val pp_table : Format.formatter -> result list -> unit

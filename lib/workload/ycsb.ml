@@ -1,0 +1,124 @@
+module Rng = Rvm_util.Rng
+
+type mix = A | B | C | D | E | F
+
+let mix_of_string = function
+  | "a" | "A" -> Some A
+  | "b" | "B" -> Some B
+  | "c" | "C" -> Some C
+  | "d" | "D" -> Some D
+  | "e" | "E" -> Some E
+  | "f" | "F" -> Some F
+  | _ -> None
+
+let mix_name = function
+  | A -> "ycsb-a"
+  | B -> "ycsb-b"
+  | C -> "ycsb-c"
+  | D -> "ycsb-d"
+  | E -> "ycsb-e"
+  | F -> "ycsb-f"
+
+type op =
+  | Read of string
+  | Update of string * string
+  | Insert of string * string
+  | Scan of string * int
+  | Rmw of string
+
+let op_name = function
+  | Read _ -> "read"
+  | Update _ -> "update"
+  | Insert _ -> "insert"
+  | Scan _ -> "scan"
+  | Rmw _ -> "rmw"
+
+let op_key = function
+  | Read k | Update (k, _) | Insert (k, _) | Scan (k, _) | Rmw k -> k
+
+let key_of i = Printf.sprintf "user%010d" i
+
+(* Values are a version counter in a fixed-width prefix, padded out to
+   [len]. Deterministic renderings mean the live execution and the serial
+   reference replay compute byte-identical read-modify-write results. *)
+let value ~len ~ver =
+  let prefix = Printf.sprintf "v%012d" ver in
+  let pl = String.length prefix in
+  if len <= pl then String.sub prefix 0 (max 0 len)
+  else prefix ^ String.make (len - pl) '.'
+
+let version_of v =
+  if String.length v >= 13 && v.[0] = 'v' then
+    match int_of_string_opt (String.sub v 1 12) with Some n -> n | None -> 0
+  else 0
+
+let rmw_next ~value_len old =
+  let ver = match old with Some v -> version_of v | None -> 0 in
+  value ~len:value_len ~ver:(ver + 1)
+
+type gen = {
+  rng : Rng.t;
+  mix : mix;
+  value_len : int;
+  scan_max : int;
+  mutable records : int;  (** keys 0..records-1 exist *)
+  mutable zipf : Rng.zipf;  (** rebuilt lazily as [records] grows *)
+}
+
+let create ~rng ~mix ~records ~value_len ~scan_max =
+  if records <= 0 then invalid_arg "Ycsb.create: records must be positive";
+  if scan_max <= 0 then invalid_arg "Ycsb.create: scan_max must be positive";
+  {
+    rng;
+    mix;
+    value_len;
+    scan_max;
+    records;
+    zipf = Rng.zipf_make ~n:records ~s:0.99;
+  }
+
+let records t = t.records
+
+(* Zipf over the current key population. Rebuilding the CDF is O(n), so
+   amortize: rebuild only once the population doubles past the sampler,
+   and clamp draws in between (the clamp only matters for D/E inserts,
+   which grow [records] by a fraction of a percent per rebuild window). *)
+let zipf_key t =
+  if t.records > 2 * Rng.zipf_n t.zipf then
+    t.zipf <- Rng.zipf_make ~n:t.records ~s:0.99;
+  min (Rng.zipf t.rng t.zipf) (t.records - 1)
+
+(* YCSB's "latest" distribution: zipf-skewed towards recently inserted
+   keys. *)
+let latest_key t =
+  let d = zipf_key t in
+  max 0 (t.records - 1 - d)
+
+let fresh_value t = value ~len:t.value_len ~ver:1
+
+let insert_op t =
+  let i = t.records in
+  t.records <- t.records + 1;
+  Insert (key_of i, fresh_value t)
+
+(* Draw order is fixed (mix roll, then key) so sequences are seed-stable
+   regardless of which arm each roll lands in. *)
+let next t =
+  let roll = Rng.int t.rng 100 in
+  match t.mix with
+  | A -> if roll < 50 then Read (key_of (zipf_key t)) else Update (key_of (zipf_key t), fresh_value t)
+  | B -> if roll < 95 then Read (key_of (zipf_key t)) else Update (key_of (zipf_key t), fresh_value t)
+  | C -> Read (key_of (zipf_key t))
+  | D -> if roll < 95 then Read (key_of (latest_key t)) else insert_op t
+  | E ->
+    if roll < 95 then Scan (key_of (zipf_key t), 1 + Rng.int t.rng t.scan_max)
+    else insert_op t
+  | F -> if roll < 50 then Read (key_of (zipf_key t)) else Rmw (key_of (zipf_key t))
+
+(* --- serial reference model --- *)
+
+let apply_model tbl ~value_len op =
+  match op with
+  | Read _ | Scan _ -> ()
+  | Update (k, v) | Insert (k, v) -> Hashtbl.replace tbl k v
+  | Rmw k -> Hashtbl.replace tbl k (rmw_next ~value_len (Hashtbl.find_opt tbl k))

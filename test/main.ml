@@ -23,6 +23,9 @@ let () =
       ("elr-check", Test_elr_check.suite);
       ("harness", Test_harness.suite);
       ("pds", Test_pds.suite);
+      ("pbtree", Test_pbtree.suite);
+      ("ycsb", Test_ycsb.suite);
+      ("ycsb_run", Test_ycsb_run.suite);
       ("server", Test_server.suite);
       ("timeseries", Test_timeseries.suite);
       ("monitor", Test_monitor.suite);

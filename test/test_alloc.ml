@@ -80,6 +80,25 @@ let test_coalescing () =
       check_int "coalesced to one block" 1 (Rds.block_count h);
       Rds.check h)
 
+let test_free_list_length () =
+  with_heap (fun rvm h ->
+      check_int "fresh heap: one free block" 1 (Rds.free_list_length h);
+      let ptrs =
+        in_txn rvm (fun tid -> List.init 5 (fun _ -> Rds.alloc h tid ~size:64))
+      in
+      check_int "tail block only" 1 (Rds.free_list_length h);
+      (* Free alternating blocks: each is an island, so the list grows. *)
+      List.iteri
+        (fun i p -> if i mod 2 = 0 then in_txn rvm (fun tid -> Rds.free h tid p))
+        ptrs;
+      check_int "fragmented" 3 (Rds.free_list_length h);
+      (* Freeing the rest coalesces everything back into one block. *)
+      List.iteri
+        (fun i p -> if i mod 2 = 1 then in_txn rvm (fun tid -> Rds.free h tid p))
+        ptrs;
+      check_int "coalesced" 1 (Rds.free_list_length h);
+      Rds.check h)
+
 let test_double_free_rejected () =
   with_heap (fun rvm h ->
       let p = in_txn rvm (fun tid -> Rds.alloc h tid ~size:64) in
@@ -217,6 +236,7 @@ let suite =
     ("alloc.distinct", `Quick, test_alloc_distinct);
     ("alloc.free-reuse", `Quick, test_free_and_reuse);
     ("alloc.coalescing", `Quick, test_coalescing);
+    ("alloc.free-list-length", `Quick, test_free_list_length);
     ("alloc.double-free", `Quick, test_double_free_rejected);
     ("alloc.foreign-pointer", `Quick, test_foreign_pointer_rejected);
     ("alloc.oom", `Quick, test_out_of_memory);

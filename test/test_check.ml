@@ -375,6 +375,48 @@ let test_trace_through_combinators () =
   check_bool "identical traces through combinator layers" true
     (plain = stacked)
 
+(* --- the B-tree structural explorer --- *)
+
+module Btree_check = Rvm_check.Btree_check
+
+let test_btree_clean_and_covered () =
+  let o = Btree_check.run () in
+  (if o.Btree_check.violations <> [] then
+     let v = List.hd o.Btree_check.violations in
+     Alcotest.failf "btree explorer: %d violations; first at upto=%d torn=%s: %s"
+       (List.length o.Btree_check.violations)
+       v.Btree_check.crash.Btree_check.upto
+       (match v.Btree_check.crash.Btree_check.torn with
+       | Some t -> string_of_int t
+       | None -> "-")
+       v.Btree_check.reason);
+  check_bool "covered splits" true (o.Btree_check.splits > 0);
+  check_bool "covered merges" true (o.Btree_check.merges > 0);
+  check_bool "covered borrows" true (o.Btree_check.borrows > 0);
+  check_bool "torn variants enumerated" true (o.Btree_check.torn_variants > 0);
+  check_int "boundary per event plus start" (o.Btree_check.events + 1)
+    o.Btree_check.boundaries;
+  check_bool "durable prefix advanced" true (o.Btree_check.durable > 0);
+  check_bool "commits recorded" true (o.Btree_check.commits >= 8)
+
+let test_btree_deterministic () =
+  let a = Btree_check.run () and b = Btree_check.run () in
+  check_int "events" a.Btree_check.events b.Btree_check.events;
+  check_int "recoveries" a.Btree_check.recoveries b.Btree_check.recoveries;
+  check_int "torn variants" a.Btree_check.torn_variants
+    b.Btree_check.torn_variants
+
+let test_btree_small_sector () =
+  (* A smaller atomicity unit multiplies torn variants; the tree must
+     still recover whole everywhere. *)
+  let o =
+    Btree_check.run
+      ~config:{ Btree_check.default_config with Btree_check.sector = 64 }
+      ()
+  in
+  check_int "clean at sector 64" 0 (List.length o.Btree_check.violations);
+  check_bool "more torn variants" true (o.Btree_check.torn_variants > 100)
+
 let suite =
   [
     ("explorer.honest-epoch", `Quick, test_honest_epoch);
@@ -392,4 +434,7 @@ let suite =
     ("explorer.violation-tail", `Quick, test_violation_tail);
     ("explorer.deterministic", `Quick, test_deterministic);
     ("explorer.trace-through-combinators", `Quick, test_trace_through_combinators);
+    ("btree.clean-and-covered", `Quick, test_btree_clean_and_covered);
+    ("btree.deterministic", `Quick, test_btree_deterministic);
+    ("btree.small-sector", `Quick, test_btree_small_sector);
   ]

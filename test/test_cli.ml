@@ -73,9 +73,13 @@ let test_header_documents_flags () =
       (* stats subcommand with its JSON switch *)
       "rvmutl stats";
       "--json";
+      (* stats heap attach *)
+      "--heap-seg";
+      "--heap-base";
       (* check's crash-exploration switches *)
       "--mid-truncation";
       "--elr";
+      "--btree";
       (* serve's full surface *)
       "--trace";
       "--log-size";
@@ -84,6 +88,8 @@ let test_header_documents_flags () =
       "--monitor";
       "--window-ms";
       "--postmortem";
+      "--workload";
+      "--records";
       (* benchdiff *)
       "rvmutl benchdiff";
       "--tolerance";

@@ -1,0 +1,366 @@
+(* Tests for the recoverable ordered map (Rvm_pds.Pbtree): B+-tree
+   semantics at the smallest legal degree (so splits, borrows and merges
+   all fire), abort rollback across structural changes, crash recovery,
+   ordered scans, and a qcheck model check against Stdlib.Map with
+   mid-sequence crash-recover-reattach. *)
+
+open Rvm_core
+module Mem_device = Rvm_disk.Mem_device
+module Crash_device = Rvm_disk.Crash_device
+module Rds = Rvm_alloc.Rds
+module Pbtree = Rvm_pds.Pbtree
+module Rng = Rvm_util.Rng
+module SMap = Map.Make (String)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_opt = Alcotest.(check (option string))
+let ps = 4096
+let heap_len = 64 * ps
+
+let make_world () =
+  let log_dev = Mem_device.create ~name:"log" ~size:(4 * 1024 * 1024) () in
+  Rvm.create_log log_dev;
+  let seg_dev = Mem_device.create ~name:"seg" ~size:(1024 * 1024) () in
+  let rvm = Rvm.initialize ~log:log_dev ~resolve:(fun _ -> seg_dev) () in
+  let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:heap_len () in
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let heap = Rds.init rvm tid ~base:r.Region.vaddr ~len:heap_len in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  (rvm, heap)
+
+let in_txn rvm f =
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let v = f tid in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  v
+
+let make_tree ?(degree = 2) () =
+  let rvm, heap = make_world () in
+  let t = in_txn rvm (fun tid -> Pbtree.create rvm heap tid ~degree) in
+  (rvm, heap, t)
+
+let contents t = List.rev (Pbtree.fold t ~init:[] ~f:(fun acc ~key ~value -> (key, value) :: acc))
+
+let key_of i = Printf.sprintf "k%04d" i
+
+let test_basic () =
+  let rvm, heap, t = make_tree () in
+  in_txn rvm (fun tid ->
+      Pbtree.put t tid ~key:"banana" ~value:"1";
+      Pbtree.put t tid ~key:"apple" ~value:"2";
+      Pbtree.put t tid ~key:"cherry" ~value:"3");
+  check_opt "apple" (Some "2") (Pbtree.get t ~key:"apple");
+  check_opt "banana" (Some "1") (Pbtree.get t ~key:"banana");
+  check_opt "cherry" (Some "3") (Pbtree.get t ~key:"cherry");
+  check_opt "absent" None (Pbtree.get t ~key:"durian");
+  check_bool "mem" true (Pbtree.mem t ~key:"apple");
+  check_int "length" 3 (Pbtree.length t);
+  check_int "degree" 2 (Pbtree.degree t);
+  Alcotest.(check (list (pair string string)))
+    "ordered"
+    [ ("apple", "2"); ("banana", "1"); ("cherry", "3") ]
+    (contents t);
+  check_bool "removed" true (in_txn rvm (fun tid -> Pbtree.remove t tid ~key:"banana"));
+  check_bool "absent remove" false
+    (in_txn rvm (fun tid -> Pbtree.remove t tid ~key:"banana"));
+  check_opt "gone" None (Pbtree.get t ~key:"banana");
+  check_int "length after" 2 (Pbtree.length t);
+  Pbtree.check t;
+  Rds.check heap
+
+let test_splits () =
+  let rvm, heap, t = make_tree () in
+  let n = 300 in
+  (* Interleave ascending and descending inserts so splits land on both
+     edges and in the middle. *)
+  in_txn rvm (fun tid ->
+      for i = 0 to (n / 2) - 1 do
+        Pbtree.put t tid ~key:(key_of i) ~value:(string_of_int i);
+        let j = n - 1 - i in
+        Pbtree.put t tid ~key:(key_of j) ~value:(string_of_int j)
+      done);
+  check_int "length" n (Pbtree.length t);
+  for i = 0 to n - 1 do
+    check_opt (key_of i) (Some (string_of_int i)) (Pbtree.get t ~key:(key_of i))
+  done;
+  check_bool "splits happened" true ((Pbtree.stats t).Pbtree.splits > 0);
+  let ks = List.map fst (contents t) in
+  Alcotest.(check (list string)) "in order" (List.init n key_of) ks;
+  Pbtree.check t;
+  Rds.check heap
+
+let test_merges () =
+  let rvm, heap, t = make_tree () in
+  let n = 300 in
+  in_txn rvm (fun tid ->
+      for i = 0 to n - 1 do
+        Pbtree.put t tid ~key:(key_of i) ~value:(string_of_int i)
+      done);
+  (* Remove in shuffled order so borrows and merges both fire. *)
+  let rng = Rng.create ~seed:11L in
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let x = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- x
+  done;
+  Array.iteri
+    (fun at i ->
+      check_bool "removed" true
+        (in_txn rvm (fun tid -> Pbtree.remove t tid ~key:(key_of i)));
+      if at mod 37 = 0 then Pbtree.check t)
+    order;
+  check_int "empty" 0 (Pbtree.length t);
+  Alcotest.(check (list (pair string string))) "no contents" [] (contents t);
+  let s = Pbtree.stats t in
+  check_bool "merges happened" true (s.Pbtree.merges > 0);
+  check_bool "borrows happened" true (s.Pbtree.borrows > 0);
+  Pbtree.check t;
+  Rds.check heap;
+  (* Everything freed except the header and the one remaining root leaf. *)
+  check_bool "heap drained" true (Rds.free_list_length heap <= 2)
+
+let test_replace () =
+  let rvm, heap, t = make_tree () in
+  in_txn rvm (fun tid -> Pbtree.put t tid ~key:"k" ~value:"short");
+  in_txn rvm (fun tid ->
+      Pbtree.put t tid ~key:"k" ~value:"a much longer replacement value");
+  check_opt "replaced" (Some "a much longer replacement value")
+    (Pbtree.get t ~key:"k");
+  in_txn rvm (fun tid -> Pbtree.put t tid ~key:"k" ~value:"");
+  check_opt "empty value" (Some "") (Pbtree.get t ~key:"k");
+  check_int "length" 1 (Pbtree.length t);
+  Pbtree.check t;
+  Rds.check heap
+
+let test_range_scan () =
+  let rvm, _heap, t = make_tree () in
+  in_txn rvm (fun tid ->
+      for i = 0 to 99 do
+        Pbtree.put t tid ~key:(key_of (2 * i)) ~value:(string_of_int (2 * i))
+      done);
+  let collect ?lo ?hi () =
+    let acc = ref [] in
+    Pbtree.range t ?lo ?hi ~f:(fun ~key ~value:_ -> acc := key :: !acc) ();
+    List.rev !acc
+  in
+  Alcotest.(check (list string))
+    "window [k0010, k0020)"
+    [ key_of 10; key_of 12; key_of 14; key_of 16; key_of 18 ]
+    (collect ~lo:(key_of 10) ~hi:(key_of 20) ());
+  (* lo between keys starts at the next present key. *)
+  Alcotest.(check (list string))
+    "lo between keys"
+    [ key_of 12; key_of 14 ]
+    (collect ~lo:(key_of 11) ~hi:(key_of 16) ());
+  check_int "unbounded is everything" 100 (List.length (collect ()));
+  Alcotest.(check (list string)) "empty window" []
+    (collect ~lo:(key_of 50) ~hi:(key_of 50) ());
+  Alcotest.(check (list (pair string string)))
+    "scan n from lo"
+    [ (key_of 100, "100"); (key_of 102, "102"); (key_of 104, "104") ]
+    (Pbtree.scan t ~lo:(key_of 99) ~n:3 ());
+  check_int "scan past the end truncates" 2
+    (List.length (Pbtree.scan t ~lo:(key_of 195) ~n:10 ()));
+  check_int "scan n=0" 0 (List.length (Pbtree.scan t ~n:0 ()))
+
+let test_abort_rollback () =
+  let rvm, heap, t = make_tree () in
+  in_txn rvm (fun tid ->
+      for i = 0 to 19 do
+        Pbtree.put t tid ~key:(key_of i) ~value:"keep"
+      done);
+  let before = contents t in
+  let splits_before = (Pbtree.stats t).Pbtree.splits in
+  (* An aborted transaction full of structural damage: replacements,
+     split-forcing inserts, merge-forcing removals. *)
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  for i = 20 to 59 do
+    Pbtree.put t tid ~key:(key_of i) ~value:"doomed"
+  done;
+  Pbtree.put t tid ~key:(key_of 3) ~value:"clobbered";
+  for i = 0 to 9 do
+    ignore (Pbtree.remove t tid ~key:(key_of i))
+  done;
+  Rvm.abort_transaction rvm tid;
+  check_bool "aborted splits were real" true
+    ((Pbtree.stats t).Pbtree.splits > splits_before);
+  Alcotest.(check (list (pair string string))) "state rolled back" before (contents t);
+  check_int "length restored" 20 (Pbtree.length t);
+  Pbtree.check t;
+  Rds.check heap
+
+let test_crash_recovery () =
+  let log_crash = Crash_device.create ~name:"log" ~size:(4 * 1024 * 1024) () in
+  let seg_crash = Crash_device.create ~name:"seg" ~size:(1024 * 1024) () in
+  Rvm.create_log (Crash_device.device log_crash);
+  let resolve _ = Crash_device.device seg_crash in
+  let rvm = Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  let r = Rvm.map rvm ~seg:1 ~seg_off:0 ~len:heap_len () in
+  let base = r.Region.vaddr in
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  let heap = Rds.init rvm tid ~base ~len:heap_len in
+  let t = Pbtree.create rvm heap tid ~degree:2 in
+  Rvm.end_transaction rvm tid ~mode:Types.Flush;
+  let taddr = Pbtree.address t in
+  (* Committed state spans several splits. *)
+  in_txn rvm (fun tid ->
+      for i = 0 to 49 do
+        Pbtree.put t tid ~key:(key_of i) ~value:(string_of_int i)
+      done);
+  (* Uncommitted structural churn, then crash. *)
+  let tid = Rvm.begin_transaction rvm ~mode:Types.Restore in
+  for i = 50 to 90 do
+    Pbtree.put t tid ~key:(key_of i) ~value:"lost"
+  done;
+  ignore (Pbtree.remove t tid ~key:(key_of 0));
+  Crash_device.crash log_crash;
+  Crash_device.crash seg_crash;
+  let rvm2 = Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve () in
+  ignore (Rvm.map rvm2 ~vaddr:base ~seg:1 ~seg_off:0 ~len:heap_len ());
+  let heap2 = Rds.attach rvm2 ~base in
+  let t2 = Pbtree.attach rvm2 heap2 ~addr:taddr in
+  Pbtree.check t2;
+  Rds.check heap2;
+  check_int "committed keys recovered" 50 (Pbtree.length t2);
+  for i = 0 to 49 do
+    check_opt (key_of i) (Some (string_of_int i)) (Pbtree.get t2 ~key:(key_of i))
+  done;
+  check_opt "uncommitted key gone" None (Pbtree.get t2 ~key:(key_of 60))
+
+let test_empty_and_attach_errors () =
+  let rvm, heap, t = make_tree () in
+  check_opt "empty get" None (Pbtree.get t ~key:"x");
+  check_bool "empty remove" false (in_txn rvm (fun tid -> Pbtree.remove t tid ~key:"x"));
+  check_int "empty scan" 0 (List.length (Pbtree.scan t ~n:5 ()));
+  Pbtree.check t;
+  (match Pbtree.attach rvm heap ~addr:(Pbtree.address t + 64) with
+  | exception Types.Rvm_error _ -> ()
+  | _ -> Alcotest.fail "attach off a tree header should raise");
+  match in_txn rvm (fun tid -> Pbtree.create rvm heap tid ~degree:1) with
+  | exception Types.Rvm_error _ -> ()
+  | _ -> Alcotest.fail "degree 1 should be rejected"
+
+(* --- qcheck model check (with crash-recover-reattach mid-sequence) ---
+
+   Random interleaved put/remove/range/abort sequences against
+   Stdlib.Map. Every [reattach_every] ops the handle is re-attached from
+   its address (restart semantics); at the sequence midpoint the devices
+   crash and the world is rebuilt from the log. *)
+
+type mop =
+  | Put of int * int
+  | Remove of int
+  | Range of int * int
+  | Abort of int * int
+
+let mop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k v -> Put (k, v)) (int_bound 47) (int_bound 999));
+        (3, map (fun k -> Remove k) (int_bound 47));
+        (1, map2 (fun a b -> Range (a, b)) (int_bound 47) (int_bound 47));
+        (1, map2 (fun k v -> Abort (k, v)) (int_bound 47) (int_bound 999));
+      ])
+
+let print_mop = function
+  | Put (k, v) -> Printf.sprintf "Put(%d,%d)" k v
+  | Remove k -> Printf.sprintf "Remove %d" k
+  | Range (a, b) -> Printf.sprintf "Range(%d,%d)" a b
+  | Abort (k, v) -> Printf.sprintf "Abort(%d,%d)" k v
+
+let assert_equal_to_model t model =
+  if Pbtree.length t <> SMap.cardinal model then
+    QCheck.Test.fail_reportf "length %d <> model %d" (Pbtree.length t)
+      (SMap.cardinal model);
+  if contents t <> SMap.bindings model then
+    QCheck.Test.fail_report "contents diverge from model";
+  Pbtree.check t
+
+let run_model_sequence ops =
+  let log_crash = Crash_device.create ~name:"log" ~size:(8 * 1024 * 1024) () in
+  let seg_crash = Crash_device.create ~name:"seg" ~size:(1024 * 1024) () in
+  Rvm.create_log (Crash_device.device log_crash);
+  let resolve _ = Crash_device.device seg_crash in
+  let rvm = ref (Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve ()) in
+  let r = Rvm.map !rvm ~seg:1 ~seg_off:0 ~len:heap_len () in
+  let base = r.Region.vaddr in
+  let tid = Rvm.begin_transaction !rvm ~mode:Types.Restore in
+  let heap = ref (Rds.init !rvm tid ~base ~len:heap_len) in
+  let t0 = Pbtree.create !rvm !heap tid ~degree:2 in
+  Rvm.end_transaction !rvm tid ~mode:Types.Flush;
+  let taddr = Pbtree.address t0 in
+  let t = ref t0 in
+  let reattach () = t := Pbtree.attach !rvm !heap ~addr:taddr in
+  let crash_recover () =
+    Crash_device.crash log_crash;
+    Crash_device.crash seg_crash;
+    rvm := Rvm.initialize ~log:(Crash_device.device log_crash) ~resolve ();
+    ignore (Rvm.map !rvm ~vaddr:base ~seg:1 ~seg_off:0 ~len:heap_len ());
+    heap := Rds.attach !rvm ~base;
+    reattach ()
+  in
+  let model = ref SMap.empty in
+  let total = List.length ops in
+  let kof i = key_of i and vof v = Printf.sprintf "v%d" v in
+  List.iteri
+    (fun at op ->
+      (match op with
+      | Put (k, v) ->
+        in_txn !rvm (fun tid -> Pbtree.put !t tid ~key:(kof k) ~value:(vof v));
+        model := SMap.add (kof k) (vof v) !model
+      | Remove k ->
+        let got = in_txn !rvm (fun tid -> Pbtree.remove !t tid ~key:(kof k)) in
+        if got <> SMap.mem (kof k) !model then
+          QCheck.Test.fail_reportf "remove %s disagrees with model" (kof k);
+        model := SMap.remove (kof k) !model
+      | Range (a, b) ->
+        let lo = kof (min a b) and hi = kof (max a b) in
+        let got = ref [] in
+        Pbtree.range !t ~lo ~hi ~f:(fun ~key ~value -> got := (key, value) :: !got) ();
+        let want =
+          SMap.bindings
+            (SMap.filter (fun k _ -> k >= lo && k < hi) !model)
+        in
+        if List.rev !got <> want then
+          QCheck.Test.fail_reportf "range [%s,%s) diverges" lo hi
+      | Abort (k, v) ->
+        let tid = Rvm.begin_transaction !rvm ~mode:Types.Restore in
+        Pbtree.put !t tid ~key:(kof k) ~value:(vof v);
+        ignore (Pbtree.remove !t tid ~key:(kof ((k + 7) mod 48)));
+        Rvm.abort_transaction !rvm tid);
+      if at = total / 2 then begin
+        crash_recover ();
+        assert_equal_to_model !t !model
+      end
+      else if at mod 13 = 12 then begin
+        reattach ();
+        assert_equal_to_model !t !model
+      end)
+    ops;
+  assert_equal_to_model !t !model;
+  Rds.check !heap;
+  true
+
+let prop_model =
+  QCheck.Test.make ~count:25 ~name:"pbtree matches Map under random ops"
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map print_mop ops))
+       QCheck.Gen.(list_size (int_range 40 160) mop_gen))
+    run_model_sequence
+
+let suite =
+  [
+    ("btree.basic", `Quick, test_basic);
+    ("btree.splits", `Quick, test_splits);
+    ("btree.merges", `Quick, test_merges);
+    ("btree.replace", `Quick, test_replace);
+    ("btree.range-scan", `Quick, test_range_scan);
+    ("btree.abort", `Quick, test_abort_rollback);
+    ("btree.crash", `Quick, test_crash_recovery);
+    ("btree.empty-attach", `Quick, test_empty_and_attach_errors);
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -166,6 +166,48 @@ let test_phash_model () =
         (Some value)
         (Hashtbl.find_opt model key))
 
+let test_phash_iter_fold () =
+  let rvm, heap = make_world () in
+  let h = in_txn rvm (fun tid -> Phash.create rvm heap tid ~buckets:5) in
+  let n = 40 in
+  in_txn rvm (fun tid ->
+      for i = 0 to n - 1 do
+        Phash.put h tid ~key:(Printf.sprintf "k%02d" i) ~value:(string_of_int i)
+      done);
+  (* iter visits every binding exactly once, values intact. *)
+  let seen = Hashtbl.create n in
+  Phash.iter h ~f:(fun ~key ~value ->
+      check_bool ("duplicate visit of " ^ key) false (Hashtbl.mem seen key);
+      Hashtbl.add seen key value);
+  check_int "iter count" n (Hashtbl.length seen);
+  for i = 0 to n - 1 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "k%02d visited" i)
+      (Some (string_of_int i))
+      (Hashtbl.find_opt seen (Printf.sprintf "k%02d" i))
+  done;
+  (* fold threads the accumulator over the same enumeration. *)
+  let sum = Phash.fold h ~init:0 ~f:(fun acc ~key:_ ~value -> acc + int_of_string value) in
+  check_int "fold sum" (n * (n - 1) / 2) sum;
+  check_int "fold count" n
+    (Phash.fold h ~init:0 ~f:(fun acc ~key:_ ~value:_ -> acc + 1));
+  (* Transaction-free reads: nothing above ran inside a transaction. *)
+  Phash.check h
+
+let test_pqueue_peek_does_not_consume () =
+  let rvm, heap = make_world () in
+  let q = in_txn rvm (fun tid -> Pqueue.create rvm heap tid) in
+  Alcotest.(check (option string)) "peek empty" None (Pqueue.peek q);
+  in_txn rvm (fun tid -> List.iter (Pqueue.push q tid) [ "a"; "b" ]);
+  Alcotest.(check (option string)) "peek head" (Some "a") (Pqueue.peek q);
+  Alcotest.(check (option string)) "peek again" (Some "a") (Pqueue.peek q);
+  check_int "length untouched by peek" 2 (Pqueue.length q);
+  Alcotest.(check (option string)) "pop sees the same head" (Some "a")
+    (in_txn rvm (fun tid -> Pqueue.pop q tid));
+  Alcotest.(check (option string)) "peek advances with pop" (Some "b")
+    (Pqueue.peek q);
+  Pqueue.check q
+
 (* --- queue --- *)
 
 let test_pqueue_fifo () =
@@ -249,6 +291,8 @@ let suite =
     ("phash.abort", `Quick, test_phash_abort);
     ("phash.crash", `Quick, test_phash_crash_recovery);
     ("phash.model", `Quick, test_phash_model);
+    ("phash.iter-fold", `Quick, test_phash_iter_fold);
+    ("pqueue.peek", `Quick, test_pqueue_peek_does_not_consume);
     ("pqueue.fifo", `Quick, test_pqueue_fifo);
     ("pqueue.abort-requeues", `Quick, test_pqueue_pop_abort_requeues);
     ("pqueue.model", `Quick, test_pqueue_interleaved_model);

@@ -276,7 +276,7 @@ let apply_sharded spec ~shards ~accounts ~tellers ~branches =
   | Request.Transfer ->
     add accounts spec.Request.account spec.Request.delta;
     add accounts spec.Request.account2 (Int64.neg spec.Request.delta)
-  | Request.Lookup -> ()
+  | Request.Lookup | Request.Ycsb _ -> ()
 
 let check_balances cfg (w : S.world) =
   let pl = w.S.placement in

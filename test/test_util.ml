@@ -368,6 +368,34 @@ let test_zipf_degenerate () =
     (Invalid_argument "Rng.zipf_make: n must be positive") (fun () ->
       ignore (Rng.zipf_make ~n:0 ~s:1.))
 
+(* The YCSB key-chooser builds a Zipf sampler over ~10^6 ranks. At small
+   n the chi-square test above covers distribution shape; at large n what
+   matters is that every draw stays in bounds (the CDF's final entry must
+   actually reach 1.0 despite a million float additions) and that the
+   draw sequence is seed-stable, so scan-start keys reproduce across
+   runs and machines. *)
+let test_zipf_large_n_bounds_and_determinism () =
+  let n = 1_000_000 in
+  let z = Rng.zipf_make ~n ~s:0.99 in
+  check_int "zipf_n" n (Rng.zipf_n z);
+  let draw_all seed =
+    let rng = Rng.create ~seed in
+    Array.init 5_000 (fun _ ->
+        let k = Rng.zipf rng z in
+        check_bool "in [0, n)" true (k >= 0 && k < n);
+        k)
+  in
+  let a = draw_all 42L and b = draw_all 42L in
+  check_bool "seed-stable sequence" true (a = b);
+  let c = draw_all 43L in
+  check_bool "different seed diverges" true (a <> c);
+  (* Skew sanity at scale: the head of the distribution dominates. *)
+  let hot = Array.fold_left (fun acc k -> if k < 1000 then acc + 1 else acc) 0 a in
+  check_bool "hot head at n=10^6" true (hot > 1_500);
+  (* The tail is reachable: at least one draw lands beyond rank n/2. *)
+  let deep = Array.exists (fun k -> k > n / 2) a in
+  check_bool "deep tail reachable" true deep
+
 let test_clock_advance_to () =
   let c = Clock.simulated () in
   Clock.charge_cpu c 10.;
@@ -416,6 +444,7 @@ let suite =
     ("rng.split", `Quick, test_rng_split_independent);
     ("rng.zipf-chi-square", `Quick, test_zipf_chi_square);
     ("rng.zipf-degenerate", `Quick, test_zipf_degenerate);
+    ("rng.zipf-large-n", `Quick, test_zipf_large_n_bounds_and_determinism);
     ("stats.summary", `Quick, test_stats);
     ("stats.degenerate", `Quick, test_stats_degenerate);
     ("clock.null", `Quick, test_clock_null);

@@ -1,0 +1,110 @@
+(* End-to-end tests for the YCSB harness: determinism, serial-reference
+   equality on every mix, the leaf-lock upgrade/abort path, and paging
+   pressure wired through vm_sim. *)
+
+module Ycsb = Rvm_workload.Ycsb
+module Ycsb_run = Rvm_server.Ycsb_run
+module Server = Rvm_server.Server
+module Rds = Rvm_alloc.Rds
+module Pbtree = Rvm_pds.Pbtree
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let base =
+  {
+    Ycsb_run.default_config with
+    Ycsb_run.records = 2_000;
+    requests = 200;
+    load = Server.Open_loop 60.;
+    mem_fraction = 0.;
+  }
+
+let test_mixes_serial_equal () =
+  List.iter
+    (fun mix ->
+      let r = Ycsb_run.run { base with Ycsb_run.mix } in
+      let name = Ycsb.mix_name mix in
+      check_bool (name ^ " serial equal") true r.Ycsb_run.serial_equal;
+      check_int
+        (name ^ " all requests accounted")
+        base.Ycsb_run.requests
+        (r.Ycsb_run.committed + r.Ycsb_run.shed);
+      check_bool (name ^ " made progress") true (r.Ycsb_run.committed > 0))
+    [ Ycsb.A; B; C; D; E; F ]
+
+let test_determinism () =
+  let cfg = { base with Ycsb_run.mix = Ycsb.F } in
+  let a = Ycsb_run.run cfg and b = Ycsb_run.run cfg in
+  check_int "committed" a.Ycsb_run.committed b.Ycsb_run.committed;
+  check_int "aborts" a.Ycsb_run.aborts b.Ycsb_run.aborts;
+  check_bool "duration" true (a.Ycsb_run.duration_us = b.Ycsb_run.duration_us);
+  check_bool "latency p99" true
+    (a.Ycsb_run.p99_latency_us = b.Ycsb_run.p99_latency_us)
+
+let test_rmw_upgrade_aborts () =
+  (* A tiny hot key population forces concurrent read-modify-writes onto
+     the same leaf: the Shared→Exclusive upgrade deadlocks, one side
+     aborts and retries, and the serial check still holds. *)
+  let r =
+    Ycsb_run.run
+      {
+        base with
+        Ycsb_run.mix = Ycsb.F;
+        records = 50;
+        requests = 300;
+        load = Server.Open_loop 400.;
+      }
+  in
+  check_bool "upgrade deadlocks aborted" true (r.Ycsb_run.aborts > 0);
+  check_bool "retries recovered" true r.Ycsb_run.serial_equal
+
+let test_inserts_grow_tree () =
+  let r =
+    Ycsb_run.run
+      { base with Ycsb_run.mix = Ycsb.D; records = 500; requests = 400 }
+  in
+  check_bool "population grew" true (r.Ycsb_run.tree_length > 500);
+  check_bool "inserts split nodes" true (r.Ycsb_run.splits > 0);
+  check_bool "serial equal" true r.Ycsb_run.serial_equal
+
+let test_paging_pressure () =
+  (* With frames at a quarter of the heap's pages, the Zipf-cold tail of
+     the key population must fault back in during the run. *)
+  let r =
+    Ycsb_run.run
+      {
+        base with
+        Ycsb_run.mix = Ycsb.C;
+        records = 20_000;
+        requests = 200;
+        mem_fraction = 0.25;
+      }
+  in
+  check_bool "faults charged" true (r.Ycsb_run.vm_faults > 0);
+  check_bool "serial equal" true r.Ycsb_run.serial_equal
+
+let test_world_gauges () =
+  let r, w = Ycsb_run.run_with_world { base with Ycsb_run.mix = Ycsb.A } in
+  check_bool "run ok" true r.Ycsb_run.serial_equal;
+  (* Heap occupancy is published into the registry for stats surfaces. *)
+  let counters = Rvm_obs.Registry.counters w.Ycsb_run.obs in
+  let get name = List.assoc_opt name counters in
+  check_bool "allocated gauge" true
+    (get "rds.allocated.bytes" = Some (Rds.allocated_bytes w.Ycsb_run.heap));
+  check_bool "free-list gauge" true
+    (get "rds.free.list.length"
+    = Some (Rds.free_list_length w.Ycsb_run.heap));
+  (* And the world's tree is still structurally sound. *)
+  Pbtree.check w.Ycsb_run.tree;
+  Rds.check w.Ycsb_run.heap
+
+let suite =
+  [
+    ("ycsb_run.mixes-serial-equal", `Quick, test_mixes_serial_equal);
+    ("ycsb_run.determinism", `Quick, test_determinism);
+    ("ycsb_run.rmw-upgrade-aborts", `Quick, test_rmw_upgrade_aborts);
+    ("ycsb_run.inserts-grow-tree", `Quick, test_inserts_grow_tree);
+    ("ycsb_run.paging-pressure", `Quick, test_paging_pressure);
+    ("ycsb_run.world-gauges", `Quick, test_world_gauges);
+  ]
